@@ -1,0 +1,126 @@
+// Ablation: the cost of the tooling itself — front-end, SSA construction,
+// the Grover pass, the linear solver, and interpreter throughput
+// (google-benchmark microbenchmarks).
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "grover/grover_pass.h"
+#include "grover/linear_system.h"
+#include "grovercl/compiler.h"
+#include "passes/mem2reg.h"
+#include "perf/estimator.h"
+#include "rt/interpreter.h"
+
+namespace {
+
+using namespace grover;
+
+const std::string& transposeSource() {
+  static const std::string src =
+      apps::applicationById("NVD-MT").source();
+  return src;
+}
+
+void BM_CompileFrontEnd(benchmark::State& state) {
+  CompileOptions options;
+  options.optimize = false;
+  options.verify = false;
+  for (auto _ : state) {
+    Program p = compile(transposeSource(), options);
+    benchmark::DoNotOptimize(p.module.get());
+  }
+}
+BENCHMARK(BM_CompileFrontEnd);
+
+void BM_CompileFullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    Program p = compile(transposeSource());
+    benchmark::DoNotOptimize(p.module.get());
+  }
+}
+BENCHMARK(BM_CompileFullPipeline);
+
+void BM_Mem2Reg(benchmark::State& state) {
+  CompileOptions options;
+  options.optimize = false;
+  options.verify = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = compile(transposeSource(), options);
+    ir::Function* fn = p.module->kernels().at(0);
+    state.ResumeTiming();
+    passes::Mem2RegPass pass;
+    pass.run(*fn);
+  }
+}
+BENCHMARK(BM_Mem2Reg);
+
+void BM_GroverPass(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = compile(transposeSource());
+    ir::Function* fn = p.module->kernels().at(0);
+    state.ResumeTiming();
+    grv::GroverResult result = grv::runGrover(*fn);
+    benchmark::DoNotOptimize(result.anyTransformed);
+  }
+}
+BENCHMARK(BM_GroverPass);
+
+void BM_LinearSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<grv::LinearEquation> eqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eqs[i].coeffs.assign(n, Rational(0));
+    eqs[i].coeffs[i] = Rational(static_cast<std::int64_t>(i + 1));
+    if (i + 1 < n) eqs[i].coeffs[i + 1] = Rational(1);
+    eqs[i].rhs = grv::LinearDecomp(Rational(static_cast<std::int64_t>(i)));
+  }
+  for (auto _ : state) {
+    auto copy = eqs;
+    auto sol = grv::solveLinearSystem(std::move(copy), n);
+    benchmark::DoNotOptimize(sol.has_value());
+  }
+}
+BENCHMARK(BM_LinearSolver)->Arg(2)->Arg(3);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  Program p = compile(R"(
+__kernel void flops(__global float* out, int n) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < n; ++k) {
+    acc = acc * 1.000001f + 0.5f;
+  }
+  out[i] = acc;
+})");
+  ir::Function* fn = p.kernel("flops");
+  rt::Buffer out = rt::Buffer::zeros<float>(64);
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    rt::Launch launch(*fn, rt::NDRange::make1D(64, 16),
+                      {rt::KernelArg::buffer(&out),
+                       rt::KernelArg::int32(256)});
+    insts += launch.run().total();
+  }
+  state.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_TraceOverheadCpuModel(benchmark::State& state) {
+  Program p = compile(transposeSource());
+  ir::Function* fn = p.module->kernels().at(0);
+  const apps::Application& app = apps::applicationById("NVD-MT");
+  for (auto _ : state) {
+    apps::Instance inst = app.makeInstance(apps::Scale::Test);
+    perf::PerfEstimate est =
+        perf::estimate(perf::snb(), *fn, inst.range, inst.args, 1);
+    benchmark::DoNotOptimize(est.cycles);
+  }
+}
+BENCHMARK(BM_TraceOverheadCpuModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

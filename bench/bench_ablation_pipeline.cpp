@@ -1,0 +1,60 @@
+// Ablation of DESIGN.md's key decisions:
+//  1. Grover requires SSA form — without mem2reg the staging pattern is
+//     invisible and every buffer is refused.
+//  2. Algorithm-1 subexpression reuse keeps the transformed kernels from
+//     growing (instruction counts before/after per application).
+#include <iostream>
+
+#include "apps/app.h"
+#include "grover/grover_pass.h"
+#include "grovercl/compiler.h"
+#include "grovercl/harness.h"
+#include "support/str.h"
+
+int main() {
+  using namespace grover;
+  std::cout << "=== Ablation 1: Grover without mem2reg (SSA) ===\n\n";
+  {
+    const apps::Application& app = apps::applicationById("NVD-MT");
+    CompileOptions options;
+    options.optimize = false;  // keep the -O0-style alloca/load/store form
+    Program raw = compile(app.source(), options);
+    ir::Function* fn = raw.kernel(app.kernelName());
+    grv::GroverResult result = grv::runGrover(*fn);
+    std::cout << "without mem2reg: ";
+    for (const auto& b : result.buffers) {
+      std::cout << b.bufferName << " transformed=" << b.transformed
+                << (b.transformed ? "" : " (" + b.reason + ")") << "\n";
+    }
+    Program ssa = compile(app.source());
+    ir::Function* fnSsa = ssa.kernel(app.kernelName());
+    grv::GroverResult result2 = grv::runGrover(*fnSsa);
+    std::cout << "with mem2reg:    tile transformed="
+              << result2.forBuffer("tile").transformed << "\n";
+    std::cout << "\n→ the expression-tree analysis needs SSA: in -O0 form "
+                 "the index computation hides behind private loads/stores.\n";
+  }
+
+  std::cout << "\n=== Ablation 2: code-size effect of the transformation "
+               "===\n\n"
+            << padRight("benchmark", 12) << padLeft("insts before", 14)
+            << padLeft("insts after", 13) << padLeft("delta", 8) << "\n";
+  for (const auto& app : apps::allApplications()) {
+    Program before = compile(app->source());
+    const std::size_t nBefore =
+        before.kernel(app->kernelName())->instructionCount();
+    KernelPair pair = prepareKernelPair(*app);
+    const std::size_t nAfter = pair.transformedKernel->instructionCount();
+    std::cout << padRight(app->id(), 12)
+              << padLeft(std::to_string(nBefore), 14)
+              << padLeft(std::to_string(nAfter), 13)
+              << padLeft(std::to_string(static_cast<long>(nAfter) -
+                                        static_cast<long>(nBefore)),
+                         8)
+              << "\n";
+  }
+  std::cout << "\n→ disabling local memory consistently shrinks the kernels "
+               "(the staging chain, barriers and buffer go away), which is "
+               "the instruction-count side of the CPU gains in Fig. 10.\n";
+  return 0;
+}

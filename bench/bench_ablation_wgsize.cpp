@@ -1,0 +1,78 @@
+// Ablation: sensitivity to the work-group (tile) size — the paper fixes
+// default sizes (§V-B, "selecting the optimal workgroup size is beyond the
+// scope"); here we check whether the *direction* of the Grover decision is
+// stable across tile sizes for matrix transpose.
+#include <iostream>
+#include <string>
+
+#include "grovercl/harness.h"
+#include "perf/estimator.h"
+#include "support/str.h"
+
+namespace {
+
+std::string transposeSource(unsigned s) {
+  return grover::cat(R"(
+#define S )", s, R"(
+__kernel void mt(__global float* out, __global float* in, int W, int H) {
+  __local float tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[get_global_id(1)*W + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wx*S + ly)*H + (wy*S + lx)] = tile[lx][ly];
+}
+)");
+}
+
+}  // namespace
+
+int main() {
+  using namespace grover;
+  std::cout << "=== Ablation: tile-size sensitivity of the Grover decision "
+               "(matrix transpose, 512x512) ===\n\n";
+  const unsigned n = 512;
+  std::vector<float> input(std::size_t{n} * n);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i % 997);
+  }
+
+  std::cout << padRight("tile", 7);
+  for (const auto& p : perf::allPlatforms()) {
+    std::cout << padLeft(p.name, 9);
+  }
+  std::cout << "\n";
+
+  for (const unsigned s : {8u, 16u}) {
+    Program with = compile(transposeSource(s));
+    Program without = compile(transposeSource(s));
+    grv::runGrover(*without.kernel("mt"));
+
+    std::cout << padRight(cat(s, "x", s), 7);
+    for (const auto& platform : perf::allPlatforms()) {
+      auto estimateVersion = [&](Program& program) {
+        rt::Buffer in = rt::Buffer::fromVector(input);
+        rt::Buffer out = rt::Buffer::zeros<float>(input.size());
+        return perf::estimate(platform, *program.kernel("mt"),
+                              rt::NDRange::make2D(n, n, s, s),
+                              {rt::KernelArg::buffer(&out),
+                               rt::KernelArg::buffer(&in),
+                               rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                               rt::KernelArg::int32(static_cast<std::int32_t>(n))},
+                              /*sampleStride=*/16)
+            .cycles;
+      };
+      const double np = perf::normalizedPerformance(estimateVersion(with),
+                                                    estimateVersion(without));
+      std::cout << padLeft(fixed(np, 2), 9);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nExpected: np stays < 1 on the GPU models and > 1 on the "
+               "cache-only models for both tile sizes — the auto-tuning "
+               "decision is robust to the work-group size the paper left "
+               "out of scope.\n";
+  return 0;
+}

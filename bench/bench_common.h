@@ -1,0 +1,80 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "grovercl/harness.h"
+#include "support/str.h"
+
+namespace grover::bench {
+
+struct SweepCell {
+  double np = 0;       // normalized performance (paper's y-axis)
+  perf::Outcome outcome = perf::Outcome::Similar;
+  double cyclesWith = 0;
+  double cyclesWithout = 0;
+};
+
+/// app id → platform name → result.
+using SweepResult = std::map<std::string, std::map<std::string, SweepCell>>;
+
+/// Run the with/without-local-memory comparison for the given apps on the
+/// given platforms at Bench scale. Compiles each app once.
+inline SweepResult runSweep(const std::vector<std::string>& appIds,
+                            const std::vector<perf::PlatformSpec>& platforms,
+                            bool verbose = true) {
+  SweepResult result;
+  for (const std::string& id : appIds) {
+    const apps::Application& app = apps::applicationById(id);
+    KernelPair pair = prepareKernelPair(app);
+    for (const perf::PlatformSpec& platform : platforms) {
+      apps::Instance i1 = app.makeInstance(apps::Scale::Bench);
+      perf::PerfEstimate with = perf::estimate(
+          platform, *pair.originalKernel, i1.range, i1.args,
+          i1.benchSampleStride);
+      apps::Instance i2 = app.makeInstance(apps::Scale::Bench);
+      perf::PerfEstimate without = perf::estimate(
+          platform, *pair.transformedKernel, i2.range, i2.args,
+          i2.benchSampleStride);
+      SweepCell cell;
+      cell.cyclesWith = with.cycles;
+      cell.cyclesWithout = without.cycles;
+      cell.np = perf::normalizedPerformance(with.cycles, without.cycles);
+      cell.outcome = perf::classify(cell.np);
+      result[id][platform.name] = cell;
+      if (verbose) {
+        std::cerr << "  " << padRight(id, 10) << " on "
+                  << padRight(platform.name, 8) << " np=" << fixed(cell.np, 3)
+                  << "\n";
+      }
+    }
+  }
+  return result;
+}
+
+/// Plain-text table: rows = apps, columns = platforms, cells = np.
+inline void printNpTable(const SweepResult& sweep,
+                         const std::vector<std::string>& appIds,
+                         const std::vector<std::string>& platformNames) {
+  std::cout << padRight("benchmark", 12);
+  for (const auto& p : platformNames) std::cout << padLeft(p, 10);
+  std::cout << "\n";
+  for (const std::string& id : appIds) {
+    std::cout << padRight(id, 12);
+    for (const std::string& p : platformNames) {
+      std::cout << padLeft(fixed(sweep.at(id).at(p).np, 2), 10);
+    }
+    std::cout << "\n";
+  }
+}
+
+inline std::vector<std::string> fig10Apps() {
+  return {"AMD-SS", "AMD-MT", "NVD-MT", "AMD-RG", "AMD-MM", "NVD-MM-A",
+          "NVD-MM-B", "NVD-MM-AB", "NVD-NBody", "PAB-ST", "ROD-SC"};
+}
+
+}  // namespace grover::bench

@@ -1,0 +1,40 @@
+// Fig. 2 reproduction: the performance impact of removing local memory for
+// Matrix Transpose (MT) and Matrix Multiplication (MM, tile A removed) on
+// all six platform models. Paper shape: MT loses on the GPUs, gains on the
+// cache-only processors; MM is mixed.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace grover;
+  using namespace grover::bench;
+  std::cout << "=== Fig. 2: normalized performance of removing local memory "
+               "(np = perf without LM / perf with LM; >1 is a gain) ===\n\n";
+  const std::vector<std::string> apps{"NVD-MT", "NVD-MM-A"};
+  const auto platforms = perf::allPlatforms();
+  SweepResult sweep = runSweep(apps, platforms);
+
+  std::vector<std::string> names;
+  for (const auto& p : platforms) names.push_back(p.name);
+  std::cout << "\n";
+  printNpTable(sweep, apps, names);
+
+  std::cout << "\npaper reference (shape):\n"
+               "  MT : loss on Fermi/Kepler/Tahiti; gain on SNB (~1.3x) and "
+               "Nehalem (~1.6x), gain on MIC\n"
+               "  MM : gain on Tahiti, SNB (~1.6x), MIC; loss on "
+               "Fermi/Kepler/Nehalem\n";
+
+  // Shape self-check for MT (the unambiguous part of the figure).
+  bool ok = true;
+  for (const char* gpu : {"Fermi", "Kepler", "Tahiti"}) {
+    ok &= sweep["NVD-MT"][gpu].np < 1.0;
+  }
+  for (const char* cpu : {"SNB", "Nehalem", "MIC"}) {
+    ok &= sweep["NVD-MT"][cpu].np > 1.0;
+  }
+  std::cout << "\nMT shape check (GPU loss, cache-only gain): "
+            << (ok ? "MATCHES PAPER" : "DEVIATES") << "\n";
+  return 0;
+}

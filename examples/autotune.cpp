@@ -1,0 +1,38 @@
+// The paper's proposed auto-tuning use of Grover: for each application and
+// platform, run both kernel versions under the platform model and pick the
+// faster one ("code specialization for performance portability").
+//
+//   $ ./example_autotune [app-id ...]
+#include <iostream>
+#include <vector>
+
+#include "apps/app.h"
+#include "grovercl/harness.h"
+#include "support/str.h"
+
+int main(int argc, char** argv) {
+  using namespace grover;
+
+  std::vector<std::string> ids;
+  for (int i = 1; i < argc; ++i) ids.emplace_back(argv[i]);
+  if (ids.empty()) ids = {"NVD-MT", "NVD-MM-B", "PAB-ST"};
+
+  std::cout << padRight("benchmark", 12) << padRight("platform", 10)
+            << padLeft("np", 8) << "   chosen version\n";
+  for (const std::string& id : ids) {
+    const apps::Application& app = apps::applicationById(id);
+    for (const perf::PlatformSpec& platform : perf::allPlatforms()) {
+      PerfComparison cmp =
+          comparePerformance(app, platform, apps::Scale::Test);
+      const char* choice = cmp.normalized > 1.0 ? "without local memory"
+                                                : "with local memory";
+      std::cout << padRight(id, 12) << padRight(platform.name, 10)
+                << padLeft(fixed(cmp.normalized, 2), 8) << "   " << choice
+                << "\n";
+    }
+  }
+  std::cout << "\n(np > 1: disabling local memory is predicted faster; the "
+               "choice flips between GPU and cache-only platforms exactly as "
+               "the paper argues.)\n";
+  return 0;
+}

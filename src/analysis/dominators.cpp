@@ -1,0 +1,145 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+#include "ir/casting.h"
+#include "support/diagnostics.h"
+
+namespace grover::analysis {
+
+using namespace ir;
+
+DominatorTree::DominatorTree(ir::Function& fn) : fn_(fn) {
+  // Post-order DFS from entry, then reverse.
+  std::vector<BasicBlock*> postorder;
+  std::unordered_map<BasicBlock*, int> state;  // 0=unseen 1=open 2=done
+  std::vector<std::pair<BasicBlock*, std::size_t>> stack;
+  BasicBlock* entry = fn.entry();
+  if (entry == nullptr) throw GroverError("DominatorTree: empty function");
+  stack.push_back({entry, 0});
+  state[entry] = 1;
+  while (!stack.empty()) {
+    auto& [bb, next] = stack.back();
+    const std::vector<BasicBlock*> succs = bb->successors();
+    if (next < succs.size()) {
+      BasicBlock* succ = succs[next++];
+      if (state[succ] == 0) {
+        state[succ] = 1;
+        stack.push_back({succ, 0});
+      }
+    } else {
+      postorder.push_back(bb);
+      state[bb] = 2;
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    index_[rpo_[i]] = static_cast<int>(i);
+  }
+
+  // Iterative idom computation (Cooper, Harvey, Kennedy).
+  idom_.assign(rpo_.size(), -1);
+  idom_[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      BasicBlock* bb = rpo_[i];
+      int newIdom = -1;
+      for (BasicBlock* pred : bb->predecessors()) {
+        auto it = index_.find(pred);
+        if (it == index_.end()) continue;  // unreachable predecessor
+        const int p = it->second;
+        if (idom_[p] == -1 && p != 0) continue;  // not yet processed
+        newIdom = newIdom == -1 ? p : intersect(p, newIdom);
+      }
+      if (newIdom != -1 && idom_[i] != newIdom) {
+        idom_[i] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  computeFrontiers();
+}
+
+int DominatorTree::intersect(int a, int b) const {
+  while (a != b) {
+    while (a > b) a = idom_[a];
+    while (b > a) b = idom_[b];
+  }
+  return a;
+}
+
+int DominatorTree::indexOf(ir::BasicBlock* bb) const {
+  auto it = index_.find(bb);
+  if (it == index_.end()) {
+    throw GroverError("DominatorTree: block '" + bb->name() +
+                      "' is unreachable");
+  }
+  return it->second;
+}
+
+ir::BasicBlock* DominatorTree::idom(ir::BasicBlock* bb) const {
+  const int i = indexOf(bb);
+  if (i == 0) return nullptr;
+  return rpo_[static_cast<std::size_t>(idom_[i])];
+}
+
+bool DominatorTree::dominates(ir::BasicBlock* a, ir::BasicBlock* b) const {
+  int i = indexOf(b);
+  const int target = indexOf(a);
+  for (;;) {
+    if (i == target) return true;
+    if (i == 0) return false;
+    i = idom_[i];
+  }
+}
+
+bool DominatorTree::valueDominates(const ir::Value* def,
+                                   const ir::Instruction* user) const {
+  const auto* defInst = dyn_cast<Instruction>(def);
+  if (defInst == nullptr) return true;  // arguments/constants
+  BasicBlock* defBB = defInst->parent();
+  BasicBlock* useBB = user->parent();
+  if (defBB != useBB) return dominates(defBB, useBB);
+  // Same block: def must come first. Phi uses are handled by the caller
+  // (they are uses on the incoming edge, not at the phi).
+  for (const auto& inst : *defBB) {
+    if (inst.get() == defInst) return true;
+    if (inst.get() == user) return false;
+  }
+  return false;
+}
+
+void DominatorTree::computeFrontiers() {
+  frontiers_.assign(rpo_.size(), {});
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    BasicBlock* bb = rpo_[i];
+    const std::vector<BasicBlock*> preds = bb->predecessors();
+    if (preds.size() < 2) continue;
+    for (BasicBlock* pred : preds) {
+      auto it = index_.find(pred);
+      if (it == index_.end()) continue;
+      int runner = it->second;
+      const int stop = idom_[static_cast<std::size_t>(indexOf(bb))];
+      while (runner != stop) {
+        auto& frontier = frontiers_[static_cast<std::size_t>(runner)];
+        if (std::find(frontier.begin(), frontier.end(), bb) ==
+            frontier.end()) {
+          frontier.push_back(bb);
+        }
+        runner = idom_[static_cast<std::size_t>(runner)];
+      }
+    }
+  }
+}
+
+const std::vector<ir::BasicBlock*>& DominatorTree::frontier(
+    ir::BasicBlock* bb) const {
+  auto it = index_.find(bb);
+  if (it == index_.end()) return empty_;
+  return frontiers_[static_cast<std::size_t>(it->second)];
+}
+
+}  // namespace grover::analysis

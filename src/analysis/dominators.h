@@ -1,0 +1,55 @@
+// Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy iterative
+// algorithm). Consumed by Mem2Reg's phi placement and by the verifier.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+
+namespace grover::analysis {
+
+/// Immediate-dominator tree over the reachable CFG of one function.
+class DominatorTree {
+ public:
+  explicit DominatorTree(ir::Function& fn);
+
+  /// Immediate dominator; null for the entry block.
+  [[nodiscard]] ir::BasicBlock* idom(ir::BasicBlock* bb) const;
+
+  /// True if `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(ir::BasicBlock* a, ir::BasicBlock* b) const;
+
+  /// True if the *definition* `def` dominates the *use site* described by
+  /// (userBlock, userInst). Arguments and constants dominate everything.
+  [[nodiscard]] bool valueDominates(const ir::Value* def,
+                                    const ir::Instruction* user) const;
+
+  /// Reverse post-order of reachable blocks (entry first).
+  [[nodiscard]] const std::vector<ir::BasicBlock*>& rpo() const {
+    return rpo_;
+  }
+
+  [[nodiscard]] bool isReachable(ir::BasicBlock* bb) const {
+    return index_.contains(bb);
+  }
+
+  /// Dominance frontier of a block.
+  [[nodiscard]] const std::vector<ir::BasicBlock*>& frontier(
+      ir::BasicBlock* bb) const;
+
+ private:
+  [[nodiscard]] int indexOf(ir::BasicBlock* bb) const;
+  int intersect(int a, int b) const;
+  void computeFrontiers();
+
+  ir::Function& fn_;
+  std::vector<ir::BasicBlock*> rpo_;             // rpo_[i] has RPO index i
+  std::unordered_map<ir::BasicBlock*, int> index_;
+  std::vector<int> idom_;                        // by RPO index; entry = 0
+  std::vector<std::vector<ir::BasicBlock*>> frontiers_;
+  std::vector<ir::BasicBlock*> empty_;
+};
+
+}  // namespace grover::analysis

@@ -1,0 +1,72 @@
+// The 11 applications of the paper's Table I, re-written in the OpenCL C
+// subset. Each application provides its kernel source, which local buffers
+// Grover should disable (the NVD-MM-A/B/AB variants), dataset builders at
+// two scales, and a sequential reference for validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rt/buffer.h"
+#include "rt/interpreter.h"
+#include "rt/ndrange.h"
+
+namespace grover::apps {
+
+/// Dataset scale: Test keeps ctest fast; Bench preserves the stride
+/// structure (power-of-two row pitches etc.) that drives the paper's cache
+/// effects, with work-group sampling bounded via benchSampleStride.
+enum class Scale { Test, Bench };
+
+/// One concrete run of an application: buffers, arguments, NDRange and a
+/// validator comparing device results against the sequential reference.
+struct Instance {
+  std::vector<std::unique_ptr<rt::Buffer>> buffers;
+  std::vector<rt::KernelArg> args;
+  rt::NDRange range;
+  /// Validate kernel output; on failure fills `message`.
+  std::function<bool(std::string& message)> validate;
+  /// Group sampling stride for performance estimation at this scale.
+  std::uint32_t benchSampleStride = 1;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Paper benchmark id, e.g. "NVD-MT" or "NVD-MM-A".
+  [[nodiscard]] virtual std::string id() const = 0;
+  /// Table I description of the dataset we use.
+  [[nodiscard]] virtual std::string datasetDescription() const = 0;
+  [[nodiscard]] virtual std::string kernelName() const = 0;
+  /// OpenCL C source of the kernel (uses local memory).
+  [[nodiscard]] virtual std::string source() const = 0;
+  /// Local buffers Grover should disable; empty = all candidates.
+  [[nodiscard]] virtual std::set<std::string> buffersToDisable() const {
+    return {};
+  }
+  /// Names of all __local buffers the kernel declares (for reports).
+  [[nodiscard]] virtual std::vector<std::string> localBuffers() const = 0;
+
+  [[nodiscard]] virtual Instance makeInstance(Scale scale) const = 0;
+};
+
+/// All benchmark applications in Table I/III order:
+/// AMD-SS, AMD-MT, NVD-MT, AMD-RG, AMD-MM, NVD-MM-A, NVD-MM-B, NVD-MM-AB,
+/// NVD-NBody, PAB-ST, ROD-SC.
+[[nodiscard]] const std::vector<std::unique_ptr<Application>>&
+allApplications();
+
+/// Look up by id; throws if absent.
+[[nodiscard]] const Application& applicationById(const std::string& id);
+
+/// Deterministic pseudo-random floats in [0,1) (xorshift-based).
+void fillRandom(std::vector<float>& data, std::uint64_t seed);
+void fillRandomInts(std::vector<std::int32_t>& data, std::uint64_t seed,
+                    std::int32_t modulo);
+
+}  // namespace grover::apps

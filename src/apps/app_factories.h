@@ -1,0 +1,20 @@
+// Internal: per-application factory functions, aggregated by allApplications().
+#pragma once
+
+#include <memory>
+
+#include "apps/app.h"
+
+namespace grover::apps {
+
+std::unique_ptr<Application> makeAmdSs();
+std::unique_ptr<Application> makeAmdMt();
+std::unique_ptr<Application> makeNvdMt();
+std::unique_ptr<Application> makeAmdRg();
+std::unique_ptr<Application> makeAmdMm();
+std::unique_ptr<Application> makeNvdMm(const std::string& variant);  // "A"/"B"/"AB"
+std::unique_ptr<Application> makeNvdNBody();
+std::unique_ptr<Application> makePabSt();
+std::unique_ptr<Application> makeRodSc();
+
+}  // namespace grover::apps

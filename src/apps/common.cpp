@@ -1,0 +1,55 @@
+#include "apps/app.h"
+#include "apps/app_factories.h"
+#include "support/diagnostics.h"
+
+namespace grover::apps {
+
+void fillRandom(std::vector<float>& data, std::uint64_t seed) {
+  std::uint64_t x = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (float& v : data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = static_cast<float>((x >> 11) & 0xFFFFFF) /
+        static_cast<float>(0x1000000);
+  }
+}
+
+void fillRandomInts(std::vector<std::int32_t>& data, std::uint64_t seed,
+                    std::int32_t modulo) {
+  std::uint64_t x = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (std::int32_t& v : data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = static_cast<std::int32_t>((x >> 17) % static_cast<std::uint64_t>(modulo));
+  }
+}
+
+const std::vector<std::unique_ptr<Application>>& allApplications() {
+  static const std::vector<std::unique_ptr<Application>> apps = [] {
+    std::vector<std::unique_ptr<Application>> v;
+    v.push_back(makeAmdSs());
+    v.push_back(makeAmdMt());
+    v.push_back(makeNvdMt());
+    v.push_back(makeAmdRg());
+    v.push_back(makeAmdMm());
+    v.push_back(makeNvdMm("A"));
+    v.push_back(makeNvdMm("B"));
+    v.push_back(makeNvdMm("AB"));
+    v.push_back(makeNvdNBody());
+    v.push_back(makePabSt());
+    v.push_back(makeRodSc());
+    return v;
+  }();
+  return apps;
+}
+
+const Application& applicationById(const std::string& id) {
+  for (const auto& app : allApplications()) {
+    if (app->id() == id) return *app;
+  }
+  throw GroverError("unknown application id '" + id + "'");
+}
+
+}  // namespace grover::apps

@@ -1,0 +1,197 @@
+// Matrix-multiplication applications: AMD-MM (single B tile, the paper's
+// column-access loss case) and NVD-MM (oclMatrixMul-style A+B tiles, with
+// the -A / -B / -AB disabling variants of Table III).
+#include <cmath>
+
+#include "apps/app_factories.h"
+#include "support/str.h"
+
+namespace grover::apps {
+namespace {
+
+struct MmSizes {
+  unsigned M, K, N;
+  std::uint32_t sampleStride;
+};
+
+MmSizes mmSizes(Scale scale) {
+  if (scale == Scale::Test) return {32, 64, 64, 1};
+  // Bench: B rows are 4 KiB apart (N = 1024 floats), the power-of-two
+  // pitch that makes column access thrash L1 sets — the layout effect
+  // behind the paper's NVD-MM-B / AMD-MM losses.
+  return {64, 128, 1024, 4};
+}
+
+/// Sequential reference, accumulating in the same k-order as the kernels
+/// (bitwise-identical float results).
+std::vector<float> referenceMm(const std::vector<float>& a,
+                               const std::vector<float>& b, unsigned M,
+                               unsigned K, unsigned N) {
+  std::vector<float> c(std::size_t{M} * N, 0.0F);
+  for (unsigned i = 0; i < M; ++i) {
+    for (unsigned j = 0; j < N; ++j) {
+      float acc = 0.0F;
+      for (unsigned k = 0; k < K; ++k) {
+        acc += a[std::size_t{i} * K + k] * b[std::size_t{k} * N + j];
+      }
+      c[std::size_t{i} * N + j] = acc;
+    }
+  }
+  return c;
+}
+
+bool compareFloats(const std::vector<float>& got,
+                   const std::vector<float>& want, std::string& message) {
+  if (got.size() != want.size()) {
+    message = "size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float diff = std::fabs(got[i] - want[i]);
+    if (diff > 1e-4F * std::max(1.0F, std::fabs(want[i]))) {
+      message = cat("mismatch at ", i, ": got ", got[i], ", want ", want[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+Instance makeMmInstance(Scale scale) {
+  const auto [M, K, N, stride] = mmSizes(scale);
+  Instance inst;
+  inst.range = rt::NDRange::make2D(N, M, 16, 16);
+  inst.benchSampleStride = stride;
+
+  std::vector<float> a(std::size_t{M} * K);
+  std::vector<float> b(std::size_t{K} * N);
+  fillRandom(a, 404);
+  fillRandom(b, 505);
+  auto bufA = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(a));
+  auto bufB = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(b));
+  auto bufC = std::make_unique<rt::Buffer>(
+      rt::Buffer::zeros<float>(std::size_t{M} * N));
+  inst.args = {rt::KernelArg::buffer(bufC.get()),
+               rt::KernelArg::buffer(bufA.get()),
+               rt::KernelArg::buffer(bufB.get()),
+               rt::KernelArg::int32(static_cast<std::int32_t>(K)),
+               rt::KernelArg::int32(static_cast<std::int32_t>(N))};
+  rt::Buffer* out = bufC.get();
+  inst.validate = [out, a = std::move(a), b = std::move(b), M = M, K = K,
+                   N = N](std::string& message) {
+    return compareFloats(out->toVector<float>(), referenceMm(a, b, M, K, N),
+                         message);
+  };
+  inst.buffers.push_back(std::move(bufA));
+  inst.buffers.push_back(std::move(bufB));
+  inst.buffers.push_back(std::move(bufC));
+  return inst;
+}
+
+// --- AMD-MM --------------------------------------------------------------------
+
+class AmdMm final : public Application {
+ public:
+  std::string id() const override { return "AMD-MM"; }
+  std::string kernelName() const override { return "amd_mm"; }
+  std::string datasetDescription() const override {
+    return "C[64x1024] = A[64x128] x B[128x1024] (test: 32x64x64), "
+           "16x16 tiles, B staged in local memory (column-reuse case)";
+  }
+  std::vector<std::string> localBuffers() const override { return {"Bs"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 16
+__kernel void amd_mm(__global float* C, __global float* A, __global float* B,
+                     int K, int N) {
+  __local float Bs[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  int wx = get_group_id(0);
+  float acc = 0.0f;
+  for (int t = 0; t < K/S; ++t) {
+    Bs[ly][lx] = B[(t*S + ly)*N + (wx*S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < S; ++k) {
+      acc += A[gy*K + (t*S + k)] * Bs[k][lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy*N + gx] = acc;
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    return makeMmInstance(scale);
+  }
+};
+
+// --- NVD-MM (A and B tiles; variants select which tile Grover disables) --------
+
+class NvdMm final : public Application {
+ public:
+  explicit NvdMm(std::string variant) : variant_(std::move(variant)) {}
+
+  std::string id() const override { return "NVD-MM-" + variant_; }
+  std::string kernelName() const override { return "nvd_mm"; }
+  std::string datasetDescription() const override {
+    return cat("C[64x1024] = A[64x128] x B[128x1024] (test: 32x64x64), "
+               "16x16 A and B tiles; Grover disables tile(s) ",
+               variant_);
+  }
+  std::vector<std::string> localBuffers() const override {
+    return {"As", "Bs"};
+  }
+  std::set<std::string> buffersToDisable() const override {
+    if (variant_ == "A") return {"As"};
+    if (variant_ == "B") return {"Bs"};
+    return {};  // AB: all
+  }
+
+  std::string source() const override {
+    return R"CL(
+#define S 16
+__kernel void nvd_mm(__global float* C, __global float* A, __global float* B,
+                     int K, int N) {
+  __local float As[S][S];
+  __local float Bs[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  float acc = 0.0f;
+  for (int t = 0; t < K/S; ++t) {
+    As[ly][lx] = A[(wy*S + ly)*K + (t*S + lx)];
+    Bs[ly][lx] = B[(t*S + ly)*N + (wx*S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < S; ++k) {
+      acc += As[ly][k] * Bs[k][lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy*N + gx] = acc;
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    return makeMmInstance(scale);
+  }
+
+ private:
+  std::string variant_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> makeAmdMm() { return std::make_unique<AmdMm>(); }
+std::unique_ptr<Application> makeNvdMm(const std::string& variant) {
+  return std::make_unique<NvdMm>(variant);
+}
+
+}  // namespace grover::apps

@@ -1,0 +1,378 @@
+// AMD-SS (StringSearch), NVD-NBody, PAB-ST (Parboil stencil) and ROD-SC
+// (Rodinia streamcluster distance kernel).
+#include <cmath>
+
+#include "apps/app_factories.h"
+#include "support/str.h"
+
+namespace grover::apps {
+namespace {
+
+// --- AMD-SS --------------------------------------------------------------------
+// The pattern string is staged into local memory once per work-group and
+// shared by every work-item (the Table III row with a zero work-group
+// index in the correspondence).
+
+class AmdSs final : public Application {
+ public:
+  std::string id() const override { return "AMD-SS"; }
+  std::string kernelName() const override { return "string_search"; }
+  std::string datasetDescription() const override {
+    return "string search, 256Ki symbols (test: 4Ki), 16-symbol pattern "
+           "staged in local memory, 64 work-items per group";
+  }
+  std::vector<std::string> localBuffers() const override { return {"lpat"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define PLEN 16
+__kernel void string_search(__global int* result, __global int* text,
+                            __global int* pattern, int textLen) {
+  __local int lpat[PLEN];
+  int lx = get_local_id(0);
+  int gid = get_global_id(0);
+  if (lx < PLEN) {
+    lpat[lx] = pattern[lx];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int ok = 0;
+  if (gid + PLEN <= textLen) {
+    ok = 1;
+    for (int j = 0; j < PLEN; ++j) {
+      if (text[gid + j] != lpat[j]) {
+        ok = 0;
+      }
+    }
+  }
+  result[gid] = ok;
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned textLen = scale == Scale::Test ? 4096 : 262144;
+    constexpr unsigned kPatLen = 16;
+    Instance inst;
+    inst.range = rt::NDRange::make1D(textLen, 64);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 8;
+
+    std::vector<std::int32_t> text(textLen);
+    fillRandomInts(text, 606, 4);  // small alphabet → some matches
+    std::vector<std::int32_t> pattern(kPatLen);
+    // Plant the pattern a few times, then copy it out.
+    for (unsigned p = 0; p + kPatLen < textLen; p += textLen / 7) {
+      for (unsigned j = 0; j < kPatLen; ++j) text[p + j] = 1 + (j % 3);
+    }
+    for (unsigned j = 0; j < kPatLen; ++j) pattern[j] = 1 + (j % 3);
+
+    auto bufText = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(text));
+    auto bufPattern =
+        std::make_unique<rt::Buffer>(rt::Buffer::fromVector(pattern));
+    auto bufResult = std::make_unique<rt::Buffer>(
+        rt::Buffer::zeros<std::int32_t>(textLen));
+    inst.args = {rt::KernelArg::buffer(bufResult.get()),
+                 rt::KernelArg::buffer(bufText.get()),
+                 rt::KernelArg::buffer(bufPattern.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(textLen))};
+    rt::Buffer* out = bufResult.get();
+    inst.validate = [out, text = std::move(text), pattern = std::move(pattern),
+                     textLen](std::string& message) {
+      const auto got = out->toVector<std::int32_t>();
+      for (unsigned i = 0; i < textLen; ++i) {
+        std::int32_t want = 0;
+        if (i + pattern.size() <= textLen) {
+          want = 1;
+          for (unsigned j = 0; j < pattern.size(); ++j) {
+            if (text[i + j] != pattern[j]) want = 0;
+          }
+        }
+        if (got[i] != want) {
+          message = cat("mismatch at ", i, ": got ", got[i], ", want ", want);
+          return false;
+        }
+      }
+      return true;
+    };
+    inst.buffers.push_back(std::move(bufText));
+    inst.buffers.push_back(std::move(bufPattern));
+    inst.buffers.push_back(std::move(bufResult));
+    return inst;
+  }
+};
+
+// --- NVD-NBody -------------------------------------------------------------------
+
+class NvdNBody final : public Application {
+ public:
+  std::string id() const override { return "NVD-NBody"; }
+  std::string kernelName() const override { return "nbody"; }
+  std::string datasetDescription() const override {
+    return "all-pairs n-body, 2048 bodies (test: 256), float4 positions, "
+           "64-body tiles staged in local memory";
+  }
+  std::vector<std::string> localBuffers() const override { return {"tilePos"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 64
+__kernel void nbody(__global float4* newPos, __global float4* oldPos,
+                    int N, float dt, float eps) {
+  __local float4 tilePos[S];
+  int gid = get_global_id(0);
+  int lx = get_local_id(0);
+  float4 myPos = oldPos[gid];
+  float ax = 0.0f;
+  float ay = 0.0f;
+  float az = 0.0f;
+  for (int t = 0; t < N/S; ++t) {
+    tilePos[lx] = oldPos[t*S + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int j = 0; j < S; ++j) {
+      float4 p = tilePos[j];
+      float dx = p.x - myPos.x;
+      float dy = p.y - myPos.y;
+      float dz = p.z - myPos.z;
+      float distSq = dx*dx + dy*dy + dz*dz + eps;
+      float inv = rsqrt(distSq);
+      float s = p.w * inv * inv * inv;
+      ax += dx * s;
+      ay += dy * s;
+      az += dz * s;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  newPos[gid] = (float4)(myPos.x + ax*dt, myPos.y + ay*dt,
+                         myPos.z + az*dt, myPos.w);
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned n = scale == Scale::Test ? 256 : 2048;
+    const float dt = 0.01F;
+    const float eps = 0.0625F;
+    Instance inst;
+    inst.range = rt::NDRange::make1D(n, 64);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 4;
+
+    std::vector<float> pos(std::size_t{n} * 4);
+    fillRandom(pos, 707);
+    auto bufOld = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(pos));
+    auto bufNew = std::make_unique<rt::Buffer>(
+        rt::Buffer::zeros<float>(std::size_t{n} * 4));
+    inst.args = {rt::KernelArg::buffer(bufNew.get()),
+                 rt::KernelArg::buffer(bufOld.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                 rt::KernelArg::float32(dt),
+                 rt::KernelArg::float32(eps)};
+    rt::Buffer* out = bufNew.get();
+    inst.validate = [out, pos = std::move(pos), n, dt,
+                     eps](std::string& message) {
+      const auto got = out->toVector<float>();
+      for (unsigned i = 0; i < n; ++i) {
+        const float mx = pos[std::size_t{i} * 4 + 0];
+        const float my = pos[std::size_t{i} * 4 + 1];
+        const float mz = pos[std::size_t{i} * 4 + 2];
+        float ax = 0.0F;
+        float ay = 0.0F;
+        float az = 0.0F;
+        for (unsigned j = 0; j < n; ++j) {
+          const float dx = pos[std::size_t{j} * 4 + 0] - mx;
+          const float dy = pos[std::size_t{j} * 4 + 1] - my;
+          const float dz = pos[std::size_t{j} * 4 + 2] - mz;
+          const float distSq = dx * dx + dy * dy + dz * dz + eps;
+          const float inv = 1.0F / std::sqrt(distSq);
+          const float s = pos[std::size_t{j} * 4 + 3] * inv * inv * inv;
+          ax += dx * s;
+          ay += dy * s;
+          az += dz * s;
+        }
+        const float want[4] = {mx + ax * dt, my + ay * dt, mz + az * dt,
+                               pos[std::size_t{i} * 4 + 3]};
+        for (unsigned c = 0; c < 4; ++c) {
+          const float g = got[std::size_t{i} * 4 + c];
+          if (std::fabs(g - want[c]) >
+              1e-3F * std::max(1.0F, std::fabs(want[c]))) {
+            message = cat("body ", i, " component ", c, ": got ", g,
+                          ", want ", want[c]);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    inst.buffers.push_back(std::move(bufOld));
+    inst.buffers.push_back(std::move(bufNew));
+    return inst;
+  }
+};
+
+// --- PAB-ST (2D 5-point stencil with halo staging) -------------------------------
+
+class PabSt final : public Application {
+ public:
+  std::string id() const override { return "PAB-ST"; }
+  std::string kernelName() const override { return "stencil"; }
+  std::string datasetDescription() const override {
+    return "5-point stencil, 1026x1026 grid (test: 66x66), 16x16 interior "
+           "tiles with halo staged in local memory (multi-pass GL/LS pairs)";
+  }
+  std::vector<std::string> localBuffers() const override { return {"tile"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 16
+__kernel void stencil(__global float* out, __global float* in,
+                      int W, int H, float c0, float c1) {
+  __local float tile[S+2][S+2];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0) + 1;
+  int gy = get_global_id(1) + 1;
+  tile[ly+1][lx+1] = in[gy*W + gx];
+  if (lx == 0)   { tile[ly+1][0]   = in[gy*W + (gx-1)]; }
+  if (lx == S-1) { tile[ly+1][S+1] = in[gy*W + (gx+1)]; }
+  if (ly == 0)   { tile[0][lx+1]   = in[(gy-1)*W + gx]; }
+  if (ly == S-1) { tile[S+1][lx+1] = in[(gy+1)*W + gx]; }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[gy*W + gx] = c0 * tile[ly+1][lx+1]
+      + c1 * (tile[ly+1][lx] + tile[ly+1][lx+2]
+            + tile[ly][lx+1] + tile[ly+2][lx+1]);
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned interior = scale == Scale::Test ? 64 : 1024;
+    const unsigned w = interior + 2;
+    const float c0 = 0.6F;
+    const float c1 = 0.1F;
+    Instance inst;
+    inst.range = rt::NDRange::make2D(interior, interior, 16, 16);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 32;
+
+    std::vector<float> in(std::size_t{w} * w);
+    fillRandom(in, 808);
+    auto bufIn = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(in));
+    auto bufOut = std::make_unique<rt::Buffer>(
+        rt::Buffer::zeros<float>(std::size_t{w} * w));
+    inst.args = {rt::KernelArg::buffer(bufOut.get()),
+                 rt::KernelArg::buffer(bufIn.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(w)),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(w)),
+                 rt::KernelArg::float32(c0), rt::KernelArg::float32(c1)};
+    rt::Buffer* out = bufOut.get();
+    inst.validate = [out, in = std::move(in), w, c0, c1](std::string& message) {
+      const auto got = out->toVector<float>();
+      for (unsigned y = 1; y + 1 < w; ++y) {
+        for (unsigned x = 1; x + 1 < w; ++x) {
+          const auto at = [&](unsigned yy, unsigned xx) {
+            return in[std::size_t{yy} * w + xx];
+          };
+          const float want =
+              c0 * at(y, x) +
+              c1 * (at(y, x - 1) + at(y, x + 1) + at(y - 1, x) + at(y + 1, x));
+          const float g = got[std::size_t{y} * w + x];
+          if (std::fabs(g - want) > 1e-5F * std::max(1.0F, std::fabs(want))) {
+            message = cat("stencil mismatch at (", y, ",", x, "): got ", g,
+                          ", want ", want);
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    inst.buffers.push_back(std::move(bufIn));
+    inst.buffers.push_back(std::move(bufOut));
+    return inst;
+  }
+};
+
+// --- ROD-SC (streamcluster distance kernel) ---------------------------------------
+
+class RodSc final : public Application {
+ public:
+  std::string id() const override { return "ROD-SC"; }
+  std::string kernelName() const override { return "sc_dist"; }
+  std::string datasetDescription() const override {
+    return "streamcluster distance, 64Ki points x 16 dims (test: 1Ki), "
+           "dimension-major coordinates; the candidate center's 16 scattered "
+           "coordinates are gathered into local memory";
+  }
+  std::vector<std::string> localBuffers() const override { return {"ccoord"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define DIM 16
+__kernel void sc_dist(__global float* cost, __global float* coord,
+                      int nPoints, int center) {
+  __local float ccoord[DIM];
+  int gid = get_global_id(0);
+  int lx = get_local_id(0);
+  if (lx < DIM) {
+    ccoord[lx] = coord[lx*nPoints + center];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float acc = 0.0f;
+  for (int d = 0; d < DIM; ++d) {
+    float diff = coord[d*nPoints + gid] - ccoord[d];
+    acc += diff * diff;
+  }
+  cost[gid] = acc;
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned n = scale == Scale::Test ? 1024 : 65536;
+    constexpr unsigned kDim = 16;
+    const std::int32_t center = static_cast<std::int32_t>(n / 3);
+    Instance inst;
+    inst.range = rt::NDRange::make1D(n, 64);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 8;
+
+    std::vector<float> coord(std::size_t{n} * kDim);  // dimension-major
+    fillRandom(coord, 909);
+    auto bufCoord =
+        std::make_unique<rt::Buffer>(rt::Buffer::fromVector(coord));
+    auto bufCost = std::make_unique<rt::Buffer>(rt::Buffer::zeros<float>(n));
+    inst.args = {rt::KernelArg::buffer(bufCost.get()),
+                 rt::KernelArg::buffer(bufCoord.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                 rt::KernelArg::int32(center)};
+    rt::Buffer* out = bufCost.get();
+    inst.validate = [out, coord = std::move(coord), n, center,
+                     kDim](std::string& message) {
+      const auto got = out->toVector<float>();
+      for (unsigned i = 0; i < n; ++i) {
+        float acc = 0.0F;
+        for (unsigned d = 0; d < kDim; ++d) {
+          const float diff =
+              coord[std::size_t{d} * n + i] -
+              coord[std::size_t{d} * n + static_cast<unsigned>(center)];
+          acc += diff * diff;
+        }
+        if (std::fabs(got[i] - acc) > 1e-5F * std::max(1.0F, acc)) {
+          message = cat("cost mismatch at ", i, ": got ", got[i], ", want ",
+                        acc);
+          return false;
+        }
+      }
+      return true;
+    };
+    inst.buffers.push_back(std::move(bufCoord));
+    inst.buffers.push_back(std::move(bufCost));
+    return inst;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Application> makeAmdSs() { return std::make_unique<AmdSs>(); }
+std::unique_ptr<Application> makeNvdNBody() {
+  return std::make_unique<NvdNBody>();
+}
+std::unique_ptr<Application> makePabSt() { return std::make_unique<PabSt>(); }
+std::unique_ptr<Application> makeRodSc() { return std::make_unique<RodSc>(); }
+
+}  // namespace grover::apps

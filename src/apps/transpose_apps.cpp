@@ -1,0 +1,248 @@
+// Transpose-family applications: NVD-MT (oclTranspose-style scalar tile),
+// AMD-MT (float4, 4x4 elements per work-item) and AMD-RG (the transpose
+// stage of RecursiveGaussian). All stage a tile in local memory so that
+// both global read and write streams stay coalesced on GPUs.
+#include <cmath>
+
+#include "apps/app_factories.h"
+#include "support/str.h"
+
+namespace grover::apps {
+namespace {
+
+bool compareFloats(const std::vector<float>& got,
+                   const std::vector<float>& want, std::string& message,
+                   float tolerance = 0.0F) {
+  if (got.size() != want.size()) {
+    message = "size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float diff = std::fabs(got[i] - want[i]);
+    const float bound = tolerance * std::max(1.0F, std::fabs(want[i]));
+    if (diff > bound) {
+      message = cat("mismatch at ", i, ": got ", got[i], ", want ", want[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- NVD-MT ------------------------------------------------------------------
+
+class NvdMt final : public Application {
+ public:
+  explicit NvdMt(unsigned n, std::uint32_t benchStride)
+      : test_n_(n), bench_stride_(benchStride) {}
+
+  std::string id() const override { return "NVD-MT"; }
+  std::string kernelName() const override { return "transpose"; }
+  std::string datasetDescription() const override {
+    return "matrix transpose, 1024x1024 floats (test: 64x64), 16x16 tiles";
+  }
+  std::vector<std::string> localBuffers() const override { return {"tile"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 16
+__kernel void transpose(__global float* out, __global float* in,
+                        int W, int H) {
+  __local float tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[get_global_id(1)*W + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wx*S + ly)*H + (wy*S + lx)] = tile[lx][ly];
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned n = scale == Scale::Test ? test_n_ : 1024;
+    Instance inst;
+    inst.range = rt::NDRange::make2D(n, n, 16, 16);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : bench_stride_;
+
+    std::vector<float> in(std::size_t{n} * n);
+    fillRandom(in, 101);
+    auto bufIn = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(in));
+    auto bufOut = std::make_unique<rt::Buffer>(rt::Buffer::zeros<float>(
+        std::size_t{n} * n));
+    inst.args = {rt::KernelArg::buffer(bufOut.get()),
+                 rt::KernelArg::buffer(bufIn.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n))};
+    rt::Buffer* out = bufOut.get();
+    inst.validate = [out, in = std::move(in), n](std::string& message) {
+      const std::vector<float> got = out->toVector<float>();
+      std::vector<float> want(in.size());
+      for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < n; ++c) {
+          want[std::size_t{r} * n + c] = in[std::size_t{c} * n + r];
+        }
+      }
+      return compareFloats(got, want, message);
+    };
+    inst.buffers.push_back(std::move(bufIn));
+    inst.buffers.push_back(std::move(bufOut));
+    return inst;
+  }
+
+ private:
+  unsigned test_n_;
+  std::uint32_t bench_stride_;
+};
+
+// --- AMD-MT (float4, 4x4 per work-item) ---------------------------------------
+
+class AmdMt final : public Application {
+ public:
+  std::string id() const override { return "AMD-MT"; }
+  std::string kernelName() const override { return "transpose4"; }
+  std::string datasetDescription() const override {
+    return "vectorized transpose, 1024x1024 floats (test: 128x128), "
+           "float4 with a 4x4 block per work-item";
+  }
+  std::vector<std::string> localBuffers() const override { return {"tile"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 8
+__kernel void transpose4(__global float4* out, __global float4* in,
+                         int W4, int H4) {
+  __local float4 tile[4*S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[4*ly+0][lx] = in[(4*(wy*S+ly)+0)*W4 + (wx*S+lx)];
+  tile[4*ly+1][lx] = in[(4*(wy*S+ly)+1)*W4 + (wx*S+lx)];
+  tile[4*ly+2][lx] = in[(4*(wy*S+ly)+2)*W4 + (wx*S+lx)];
+  tile[4*ly+3][lx] = in[(4*(wy*S+ly)+3)*W4 + (wx*S+lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float4 a0 = tile[4*ly+0][lx];
+  float4 a1 = tile[4*ly+1][lx];
+  float4 a2 = tile[4*ly+2][lx];
+  float4 a3 = tile[4*ly+3][lx];
+  float4 t0 = (float4)(a0.x, a1.x, a2.x, a3.x);
+  float4 t1 = (float4)(a0.y, a1.y, a2.y, a3.y);
+  float4 t2 = (float4)(a0.z, a1.z, a2.z, a3.z);
+  float4 t3 = (float4)(a0.w, a1.w, a2.w, a3.w);
+  int orow = 4*(wx*S + lx);
+  int ocol = wy*S + ly;
+  out[(orow+0)*H4 + ocol] = t0;
+  out[(orow+1)*H4 + ocol] = t1;
+  out[(orow+2)*H4 + ocol] = t2;
+  out[(orow+3)*H4 + ocol] = t3;
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned n = scale == Scale::Test ? 128 : 1024;  // scalar side
+    const unsigned n4 = n / 4;
+    Instance inst;
+    // One work-item per 4x4 scalar block.
+    inst.range = rt::NDRange::make2D(n4, n4, 8, 8);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 16;
+
+    std::vector<float> in(std::size_t{n} * n);
+    fillRandom(in, 202);
+    auto bufIn = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(in));
+    auto bufOut = std::make_unique<rt::Buffer>(rt::Buffer::zeros<float>(
+        std::size_t{n} * n));
+    inst.args = {rt::KernelArg::buffer(bufOut.get()),
+                 rt::KernelArg::buffer(bufIn.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n4)),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n4))};
+    rt::Buffer* out = bufOut.get();
+    inst.validate = [out, in = std::move(in), n](std::string& message) {
+      const std::vector<float> got = out->toVector<float>();
+      std::vector<float> want(in.size());
+      for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < n; ++c) {
+          want[std::size_t{r} * n + c] = in[std::size_t{c} * n + r];
+        }
+      }
+      return compareFloats(got, want, message);
+    };
+    inst.buffers.push_back(std::move(bufIn));
+    inst.buffers.push_back(std::move(bufOut));
+    return inst;
+  }
+};
+
+// --- AMD-RG (RecursiveGaussian transpose stage) --------------------------------
+
+class AmdRg final : public Application {
+ public:
+  std::string id() const override { return "AMD-RG"; }
+  std::string kernelName() const override { return "rg_transpose"; }
+  std::string datasetDescription() const override {
+    return "RecursiveGaussian transpose stage, 512x512 image (test: 64x64), "
+           "8x8 tiles, scaled by the filter gain";
+  }
+  std::vector<std::string> localBuffers() const override { return {"block"}; }
+
+  std::string source() const override {
+    return R"CL(
+#define S 8
+__kernel void rg_transpose(__global float* out, __global float* in,
+                           int W, int H, float alpha) {
+  __local float block[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  block[ly][lx] = in[get_global_id(1)*W + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wx*S + ly)*H + (wy*S + lx)] = alpha * block[lx][ly];
+}
+)CL";
+  }
+
+  Instance makeInstance(Scale scale) const override {
+    const unsigned n = scale == Scale::Test ? 64 : 512;
+    const float alpha = 0.729F;
+    Instance inst;
+    inst.range = rt::NDRange::make2D(n, n, 8, 8);
+    inst.benchSampleStride = scale == Scale::Test ? 1 : 8;
+
+    std::vector<float> in(std::size_t{n} * n);
+    fillRandom(in, 303);
+    auto bufIn = std::make_unique<rt::Buffer>(rt::Buffer::fromVector(in));
+    auto bufOut = std::make_unique<rt::Buffer>(rt::Buffer::zeros<float>(
+        std::size_t{n} * n));
+    inst.args = {rt::KernelArg::buffer(bufOut.get()),
+                 rt::KernelArg::buffer(bufIn.get()),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                 rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                 rt::KernelArg::float32(alpha)};
+    rt::Buffer* out = bufOut.get();
+    inst.validate = [out, in = std::move(in), n, alpha](std::string& message) {
+      const std::vector<float> got = out->toVector<float>();
+      std::vector<float> want(in.size());
+      for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < n; ++c) {
+          want[std::size_t{r} * n + c] = alpha * in[std::size_t{c} * n + r];
+        }
+      }
+      return compareFloats(got, want, message, 1e-6F);
+    };
+    inst.buffers.push_back(std::move(bufIn));
+    inst.buffers.push_back(std::move(bufOut));
+    return inst;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Application> makeNvdMt() {
+  return std::make_unique<NvdMt>(64, 32);
+}
+std::unique_ptr<Application> makeAmdMt() { return std::make_unique<AmdMt>(); }
+std::unique_ptr<Application> makeAmdRg() { return std::make_unique<AmdRg>(); }
+
+}  // namespace grover::apps

@@ -1,0 +1,258 @@
+// AST for the OpenCL C subset. Nodes are plain structs owned through
+// unique_ptr; Sema annotates expressions with their ir::Type.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/source_location.h"
+
+namespace grover::clc {
+
+// --- type spellings ---------------------------------------------------------
+
+enum class ScalarKind : std::uint8_t {
+  Void, Bool, Int, UInt, Long, ULong, Float, Double
+};
+
+/// A spelled type, before Sema resolves it against the ir::Context.
+struct TypeSpec {
+  ScalarKind base = ScalarKind::Int;
+  unsigned vecLanes = 0;  // 0 = scalar, 2/4 = vector
+  bool isPointer = false;
+  ir::AddrSpace space = ir::AddrSpace::Private;
+  bool isConst = false;
+};
+
+// --- expressions -------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, BoolLit, VarRef, Binary, Unary, Conditional,
+  Index, Member, Call, Cast, VectorLit,
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  LAnd, LOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+enum class UnOp : std::uint8_t { Neg, LogicalNot, BitNot };
+
+struct Expr {
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  SourceLoc loc;
+  ir::Type* type = nullptr;  // set by Sema
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr final : Expr {
+  IntLitExpr(SourceLoc l, std::int64_t v)
+      : Expr(ExprKind::IntLit, l), value(v) {}
+  std::int64_t value;
+};
+
+struct FloatLitExpr final : Expr {
+  FloatLitExpr(SourceLoc l, double v, bool f32)
+      : Expr(ExprKind::FloatLit, l), value(v), isFloat32(f32) {}
+  double value;
+  bool isFloat32;  // had an 'f' suffix
+};
+
+struct BoolLitExpr final : Expr {
+  BoolLitExpr(SourceLoc l, bool v) : Expr(ExprKind::BoolLit, l), value(v) {}
+  bool value;
+};
+
+struct VarRefExpr final : Expr {
+  VarRefExpr(SourceLoc l, std::string n)
+      : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+  std::string name;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr(SourceLoc l, BinOp o, ExprPtr lhs_, ExprPtr rhs_)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(lhs_)),
+        rhs(std::move(rhs_)) {}
+  BinOp op;
+  ExprPtr lhs, rhs;
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr(SourceLoc l, UnOp o, ExprPtr sub_)
+      : Expr(ExprKind::Unary, l), op(o), sub(std::move(sub_)) {}
+  UnOp op;
+  ExprPtr sub;
+};
+
+struct ConditionalExpr final : Expr {
+  ConditionalExpr(SourceLoc l, ExprPtr c, ExprPtr t, ExprPtr f)
+      : Expr(ExprKind::Conditional, l), cond(std::move(c)),
+        ifTrue(std::move(t)), ifFalse(std::move(f)) {}
+  ExprPtr cond, ifTrue, ifFalse;
+};
+
+struct IndexExpr final : Expr {
+  IndexExpr(SourceLoc l, ExprPtr b, ExprPtr i)
+      : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr base, index;
+};
+
+struct MemberExpr final : Expr {
+  MemberExpr(SourceLoc l, ExprPtr b, std::string m)
+      : Expr(ExprKind::Member, l), base(std::move(b)), member(std::move(m)) {}
+  ExprPtr base;
+  std::string member;  // x/y/z/w swizzle lane
+};
+
+struct CallExpr final : Expr {
+  CallExpr(SourceLoc l, std::string c, std::vector<ExprPtr> a)
+      : Expr(ExprKind::Call, l), callee(std::move(c)), args(std::move(a)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct CastExpr final : Expr {
+  CastExpr(SourceLoc l, TypeSpec t, ExprPtr s)
+      : Expr(ExprKind::Cast, l), target(t), sub(std::move(s)) {}
+  TypeSpec target;
+  ExprPtr sub;
+};
+
+struct VectorLitExpr final : Expr {
+  VectorLitExpr(SourceLoc l, TypeSpec t, std::vector<ExprPtr> e)
+      : Expr(ExprKind::VectorLit, l), target(t), elems(std::move(e)) {}
+  TypeSpec target;
+  std::vector<ExprPtr> elems;
+};
+
+// --- statements --------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block, Decl, ExprStmt, Assign, IncDec, If, For, While, DoWhile, Return,
+  Break, Continue,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt final : Stmt {
+  explicit BlockStmt(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+  std::vector<StmtPtr> stmts;
+};
+
+/// Variable declaration. Arrays carry constant dimensions (flattened by
+/// Sema into a single element count).
+struct DeclStmt final : Stmt {
+  DeclStmt(SourceLoc l, TypeSpec t, std::string n)
+      : Stmt(StmtKind::Decl, l), spec(t), name(std::move(n)) {}
+  TypeSpec spec;
+  std::string name;
+  std::vector<ExprPtr> arrayDims;  // empty for scalars
+  ExprPtr init;                    // optional
+};
+
+struct ExprStmt final : Stmt {
+  ExprStmt(SourceLoc l, ExprPtr e)
+      : Stmt(StmtKind::ExprStmt, l), expr(std::move(e)) {}
+  ExprPtr expr;
+};
+
+enum class AssignOp : std::uint8_t { Assign, AddAssign, SubAssign, MulAssign, DivAssign };
+
+struct AssignStmt final : Stmt {
+  AssignStmt(SourceLoc l, AssignOp o, ExprPtr lhs_, ExprPtr rhs_)
+      : Stmt(StmtKind::Assign, l), op(o), lhs(std::move(lhs_)),
+        rhs(std::move(rhs_)) {}
+  AssignOp op;
+  ExprPtr lhs, rhs;
+};
+
+struct IncDecStmt final : Stmt {
+  IncDecStmt(SourceLoc l, ExprPtr t, bool inc)
+      : Stmt(StmtKind::IncDec, l), target(std::move(t)), isIncrement(inc) {}
+  ExprPtr target;
+  bool isIncrement;
+};
+
+struct IfStmt final : Stmt {
+  explicit IfStmt(SourceLoc l) : Stmt(StmtKind::If, l) {}
+  ExprPtr cond;
+  StmtPtr thenBody;
+  StmtPtr elseBody;  // optional
+};
+
+struct ForStmt final : Stmt {
+  explicit ForStmt(SourceLoc l) : Stmt(StmtKind::For, l) {}
+  StmtPtr init;  // Decl / Assign / null
+  ExprPtr cond;  // optional
+  StmtPtr step;  // Assign / IncDec / null
+  StmtPtr body;
+};
+
+struct WhileStmt final : Stmt {
+  explicit WhileStmt(SourceLoc l) : Stmt(StmtKind::While, l) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct DoWhileStmt final : Stmt {
+  explicit DoWhileStmt(SourceLoc l) : Stmt(StmtKind::DoWhile, l) {}
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+struct ReturnStmt final : Stmt {
+  explicit ReturnStmt(SourceLoc l) : Stmt(StmtKind::Return, l) {}
+  ExprPtr value;  // optional
+};
+
+struct BreakStmt final : Stmt {
+  explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::Break, l) {}
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc l) : Stmt(StmtKind::Continue, l) {}
+};
+
+// --- declarations -------------------------------------------------------------
+
+struct ParamDecl {
+  SourceLoc loc;
+  TypeSpec spec;
+  std::string name;
+};
+
+struct KernelDecl {
+  SourceLoc loc;
+  bool isKernel = false;
+  TypeSpec returnSpec;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<BlockStmt> body;
+};
+
+/// One parsed source buffer.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<KernelDecl>> kernels;
+};
+
+}  // namespace grover::clc

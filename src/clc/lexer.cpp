@@ -1,0 +1,355 @@
+#include "clc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/str.h"
+
+namespace grover::clc {
+namespace {
+
+const std::unordered_map<std::string, TokKind>& keywordTable() {
+  static const std::unordered_map<std::string, TokKind> table = {
+      {"__kernel", TokKind::KwKernel},   {"kernel", TokKind::KwKernel},
+      {"__global", TokKind::KwGlobal},   {"global", TokKind::KwGlobal},
+      {"__local", TokKind::KwLocal},     {"local", TokKind::KwLocal},
+      {"__constant", TokKind::KwConstantAS},
+      {"constant", TokKind::KwConstantAS},
+      {"__private", TokKind::KwPrivate}, {"private", TokKind::KwPrivate},
+      {"const", TokKind::KwConst},       {"void", TokKind::KwVoid},
+      {"bool", TokKind::KwBool},         {"int", TokKind::KwInt},
+      {"uint", TokKind::KwUInt},         {"unsigned", TokKind::KwUInt},
+      {"long", TokKind::KwLong},         {"ulong", TokKind::KwULong},
+      {"float", TokKind::KwFloat},       {"double", TokKind::KwDouble},
+      {"size_t", TokKind::KwSizeT},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"for", TokKind::KwFor},           {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},             {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"float2", TokKind::KwFloat2},     {"float4", TokKind::KwFloat4},
+      {"int2", TokKind::KwInt2},         {"int4", TokKind::KwInt4},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* toString(TokKind kind) {
+  switch (kind) {
+    case TokKind::End: return "<eof>";
+    case TokKind::Identifier: return "identifier";
+    case TokKind::IntLiteral: return "integer literal";
+    case TokKind::FloatLiteral: return "float literal";
+    case TokKind::LParen: return "(";
+    case TokKind::RParen: return ")";
+    case TokKind::LBrace: return "{";
+    case TokKind::RBrace: return "}";
+    case TokKind::LBracket: return "[";
+    case TokKind::RBracket: return "]";
+    case TokKind::Semicolon: return ";";
+    case TokKind::Comma: return ",";
+    case TokKind::Dot: return ".";
+    case TokKind::Question: return "?";
+    case TokKind::Colon: return ":";
+    case TokKind::Assign: return "=";
+    case TokKind::PlusAssign: return "+=";
+    case TokKind::MinusAssign: return "-=";
+    case TokKind::StarAssign: return "*=";
+    case TokKind::SlashAssign: return "/=";
+    case TokKind::Plus: return "+";
+    case TokKind::Minus: return "-";
+    case TokKind::Star: return "*";
+    case TokKind::Slash: return "/";
+    case TokKind::Percent: return "%";
+    case TokKind::PlusPlus: return "++";
+    case TokKind::MinusMinus: return "--";
+    case TokKind::EqEq: return "==";
+    case TokKind::NotEq: return "!=";
+    case TokKind::Less: return "<";
+    case TokKind::LessEq: return "<=";
+    case TokKind::Greater: return ">";
+    case TokKind::GreaterEq: return ">=";
+    case TokKind::AmpAmp: return "&&";
+    case TokKind::PipePipe: return "||";
+    case TokKind::Not: return "!";
+    case TokKind::Amp: return "&";
+    case TokKind::Pipe: return "|";
+    case TokKind::Caret: return "^";
+    case TokKind::Tilde: return "~";
+    case TokKind::Shl: return "<<";
+    case TokKind::Shr: return ">>";
+    default: return "keyword";
+  }
+}
+
+Lexer::Lexer(std::string source, DiagnosticEngine& diags)
+    : source_(std::move(source)), diags_(diags) {
+  // Predefined OpenCL constants (barrier fence flags).
+  auto intMacro = [](std::int64_t v) {
+    Token t;
+    t.kind = TokKind::IntLiteral;
+    t.intValue = v;
+    return std::vector<Token>{t};
+  };
+  macros_["CLK_LOCAL_MEM_FENCE"] = intMacro(1);
+  macros_["CLK_GLOBAL_MEM_FENCE"] = intMacro(2);
+  run();
+}
+
+void Lexer::run() {
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (!atEnd() && peek() == '#') {
+      handleDirective();
+      continue;
+    }
+    Token tok = next();
+    if (tok.kind == TokKind::Identifier) {
+      auto macro = macros_.find(tok.text);
+      if (macro != macros_.end()) {
+        for (Token t : macro->second) {
+          t.loc = tok.loc;  // report at the use site
+          tokens_.push_back(std::move(t));
+        }
+        continue;
+      }
+    }
+    const bool end = tok.kind == TokKind::End;
+    tokens_.push_back(std::move(tok));
+    if (end) break;
+  }
+}
+
+void Lexer::handleDirective() {
+  const SourceLoc loc = here();
+  advance();  // '#'
+  std::string word;
+  while (!atEnd() && (std::isalpha(static_cast<unsigned char>(peek())) != 0)) {
+    word += advance();
+  }
+  if (word != "define") {
+    diags_.error(loc, "unsupported preprocessor directive '#" + word + "'");
+    while (!atEnd() && peek() != '\n') advance();
+    return;
+  }
+  skipWhitespaceAndComments();
+  Token name = next();
+  if (name.kind != TokKind::Identifier) {
+    diags_.error(loc, "#define: expected macro name");
+    return;
+  }
+  // Lex replacement tokens until end of line.
+  std::vector<Token> body;
+  for (;;) {
+    // Stop at newline without consuming it via the generic skipper.
+    while (!atEnd() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) {
+      advance();
+    }
+    if (atEnd() || peek() == '\n') break;
+    Token t = next();
+    if (t.kind == TokKind::End) break;
+    // Nested expansion of earlier macros inside the body.
+    if (t.kind == TokKind::Identifier) {
+      auto it = macros_.find(t.text);
+      if (it != macros_.end()) {
+        for (const Token& inner : it->second) body.push_back(inner);
+        continue;
+      }
+    }
+    body.push_back(std::move(t));
+  }
+  macros_[name.text] = std::move(body);
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    if (atEnd()) return;
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (atEnd()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokKind kind) {
+  Token t;
+  t.kind = kind;
+  t.loc = here();
+  return t;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  if (atEnd()) return makeToken(TokKind::End);
+
+  const char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+    return lexNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    return lexIdentifier();
+  }
+
+  Token t = makeToken(TokKind::End);
+  advance();
+  switch (c) {
+    case '(': t.kind = TokKind::LParen; return t;
+    case ')': t.kind = TokKind::RParen; return t;
+    case '{': t.kind = TokKind::LBrace; return t;
+    case '}': t.kind = TokKind::RBrace; return t;
+    case '[': t.kind = TokKind::LBracket; return t;
+    case ']': t.kind = TokKind::RBracket; return t;
+    case ';': t.kind = TokKind::Semicolon; return t;
+    case ',': t.kind = TokKind::Comma; return t;
+    case '.': t.kind = TokKind::Dot; return t;
+    case '?': t.kind = TokKind::Question; return t;
+    case ':': t.kind = TokKind::Colon; return t;
+    case '~': t.kind = TokKind::Tilde; return t;
+    case '^': t.kind = TokKind::Caret; return t;
+    case '+':
+      if (peek() == '+') { advance(); t.kind = TokKind::PlusPlus; }
+      else if (peek() == '=') { advance(); t.kind = TokKind::PlusAssign; }
+      else t.kind = TokKind::Plus;
+      return t;
+    case '-':
+      if (peek() == '-') { advance(); t.kind = TokKind::MinusMinus; }
+      else if (peek() == '=') { advance(); t.kind = TokKind::MinusAssign; }
+      else t.kind = TokKind::Minus;
+      return t;
+    case '*':
+      if (peek() == '=') { advance(); t.kind = TokKind::StarAssign; }
+      else t.kind = TokKind::Star;
+      return t;
+    case '/':
+      if (peek() == '=') { advance(); t.kind = TokKind::SlashAssign; }
+      else t.kind = TokKind::Slash;
+      return t;
+    case '%': t.kind = TokKind::Percent; return t;
+    case '=':
+      if (peek() == '=') { advance(); t.kind = TokKind::EqEq; }
+      else t.kind = TokKind::Assign;
+      return t;
+    case '!':
+      if (peek() == '=') { advance(); t.kind = TokKind::NotEq; }
+      else t.kind = TokKind::Not;
+      return t;
+    case '<':
+      if (peek() == '=') { advance(); t.kind = TokKind::LessEq; }
+      else if (peek() == '<') { advance(); t.kind = TokKind::Shl; }
+      else t.kind = TokKind::Less;
+      return t;
+    case '>':
+      if (peek() == '=') { advance(); t.kind = TokKind::GreaterEq; }
+      else if (peek() == '>') { advance(); t.kind = TokKind::Shr; }
+      else t.kind = TokKind::Greater;
+      return t;
+    case '&':
+      if (peek() == '&') { advance(); t.kind = TokKind::AmpAmp; }
+      else t.kind = TokKind::Amp;
+      return t;
+    case '|':
+      if (peek() == '|') { advance(); t.kind = TokKind::PipePipe; }
+      else t.kind = TokKind::Pipe;
+      return t;
+    default:
+      diags_.error(t.loc, cat("unexpected character '", c, "'"));
+      return next();
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token t = makeToken(TokKind::IntLiteral);
+  std::string digits;
+  bool isFloat = false;
+  bool isHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    isHex = true;
+    digits += advance();
+    digits += advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+      digits += advance();
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      digits += advance();
+    }
+    if (peek() == '.') {
+      isFloat = true;
+      digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        digits += advance();
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      isFloat = true;
+      digits += advance();
+      if (peek() == '+' || peek() == '-') digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        digits += advance();
+      }
+    }
+  }
+  bool fSuffix = false;
+  if (peek() == 'f' || peek() == 'F') {
+    advance();
+    isFloat = true;
+    fSuffix = true;
+  }
+  // Swallow integer suffixes (u/U/l/L) — our subset treats them as int.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+    advance();
+  }
+  if (isFloat) {
+    t.kind = TokKind::FloatLiteral;
+    t.floatValue = std::strtod(digits.c_str(), nullptr);
+    t.isFloatSuffix = fSuffix;
+  } else {
+    t.intValue = std::strtoll(digits.c_str(), nullptr, isHex ? 16 : 10);
+  }
+  return t;
+}
+
+Token Lexer::lexIdentifier() {
+  Token t = makeToken(TokKind::Identifier);
+  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+         peek() == '_') {
+    t.text += advance();
+  }
+  auto it = keywordTable().find(t.text);
+  if (it != keywordTable().end()) t.kind = it->second;
+  return t;
+}
+
+}  // namespace grover::clc

@@ -1,0 +1,46 @@
+// Lexer for the OpenCL C subset, including a miniature preprocessor that
+// expands object-like #define macros (tile sizes in the SDK kernels).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/token.h"
+#include "support/diagnostics.h"
+
+namespace grover::clc {
+
+/// Tokenizes a whole source buffer up front. #define NAME <tokens> is
+/// recorded and every later occurrence of NAME is replaced by the macro's
+/// token sequence (one level; no function-like macros).
+class Lexer {
+ public:
+  Lexer(std::string source, DiagnosticEngine& diags);
+
+  /// All tokens, ending with a single End token.
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+
+ private:
+  void run();
+  Token next();
+  void handleDirective();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool atEnd() const { return pos_ >= source_.size(); }
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifier();
+  Token makeToken(TokKind kind);
+  [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+  std::string source_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  std::vector<Token> tokens_;
+  std::unordered_map<std::string, std::vector<Token>> macros_;
+};
+
+}  // namespace grover::clc

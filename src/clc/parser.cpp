@@ -1,0 +1,508 @@
+#include "clc/parser.h"
+
+#include "support/str.h"
+
+namespace grover::clc {
+namespace {
+
+/// Internal parse-abort exception; converted to diagnostics at top level.
+struct ParseAbort {};
+
+bool isQualifier(TokKind k) {
+  return k == TokKind::KwGlobal || k == TokKind::KwLocal ||
+         k == TokKind::KwConstantAS || k == TokKind::KwPrivate ||
+         k == TokKind::KwConst;
+}
+
+bool isTypeKeyword(TokKind k) {
+  switch (k) {
+    case TokKind::KwVoid:
+    case TokKind::KwBool:
+    case TokKind::KwInt:
+    case TokKind::KwUInt:
+    case TokKind::KwLong:
+    case TokKind::KwULong:
+    case TokKind::KwFloat:
+    case TokKind::KwDouble:
+    case TokKind::KwSizeT:
+    case TokKind::KwFloat2:
+    case TokKind::KwFloat4:
+    case TokKind::KwInt2:
+    case TokKind::KwInt4:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int binaryPrecedence(TokKind k) {
+  switch (k) {
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent:
+      return 10;
+    case TokKind::Plus:
+    case TokKind::Minus:
+      return 9;
+    case TokKind::Shl:
+    case TokKind::Shr:
+      return 8;
+    case TokKind::Less:
+    case TokKind::LessEq:
+    case TokKind::Greater:
+    case TokKind::GreaterEq:
+      return 7;
+    case TokKind::EqEq:
+    case TokKind::NotEq:
+      return 6;
+    case TokKind::Amp:
+      return 5;
+    case TokKind::Caret:
+      return 4;
+    case TokKind::Pipe:
+      return 3;
+    case TokKind::AmpAmp:
+      return 2;
+    case TokKind::PipePipe:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+BinOp binOpFor(TokKind k) {
+  switch (k) {
+    case TokKind::Star: return BinOp::Mul;
+    case TokKind::Slash: return BinOp::Div;
+    case TokKind::Percent: return BinOp::Rem;
+    case TokKind::Plus: return BinOp::Add;
+    case TokKind::Minus: return BinOp::Sub;
+    case TokKind::Shl: return BinOp::Shl;
+    case TokKind::Shr: return BinOp::Shr;
+    case TokKind::Less: return BinOp::Lt;
+    case TokKind::LessEq: return BinOp::Le;
+    case TokKind::Greater: return BinOp::Gt;
+    case TokKind::GreaterEq: return BinOp::Ge;
+    case TokKind::EqEq: return BinOp::Eq;
+    case TokKind::NotEq: return BinOp::Ne;
+    case TokKind::Amp: return BinOp::BitAnd;
+    case TokKind::Caret: return BinOp::BitXor;
+    case TokKind::Pipe: return BinOp::BitOr;
+    case TokKind::AmpAmp: return BinOp::LAnd;
+    case TokKind::PipePipe: return BinOp::LOr;
+    default: throw GroverError("binOpFor: not a binary operator");
+  }
+}
+
+}  // namespace
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokKind kind, const char* what) {
+  if (!check(kind)) {
+    fail(peek(), cat("expected ", toString(kind), " (", what, "), found '",
+                     toString(peek().kind), "'"));
+  }
+  return advance();
+}
+
+void Parser::fail(const Token& tok, const std::string& msg) {
+  diags_.error(tok.loc, msg);
+  throw ParseAbort{};
+}
+
+std::unique_ptr<TranslationUnit> Parser::parse() {
+  auto tu = std::make_unique<TranslationUnit>();
+  while (!check(TokKind::End)) {
+    try {
+      tu->kernels.push_back(parseFunction());
+    } catch (const ParseAbort&) {
+      // Recover: skip to the next top-level '__kernel' or EOF.
+      while (!check(TokKind::End) && !check(TokKind::KwKernel)) advance();
+    }
+  }
+  return tu;
+}
+
+bool Parser::startsTypeSpec(std::size_t ahead) const {
+  const TokKind k = peek(ahead).kind;
+  return isQualifier(k) || isTypeKeyword(k);
+}
+
+TypeSpec Parser::parseTypeSpec() {
+  TypeSpec spec;
+  bool sawBase = false;
+  for (;;) {
+    const TokKind k = peek().kind;
+    if (isQualifier(k)) {
+      advance();
+      switch (k) {
+        case TokKind::KwGlobal: spec.space = ir::AddrSpace::Global; break;
+        case TokKind::KwLocal: spec.space = ir::AddrSpace::Local; break;
+        case TokKind::KwConstantAS: spec.space = ir::AddrSpace::Constant; break;
+        case TokKind::KwPrivate: spec.space = ir::AddrSpace::Private; break;
+        case TokKind::KwConst: spec.isConst = true; break;
+        default: break;
+      }
+      continue;
+    }
+    if (isTypeKeyword(k) && !sawBase) {
+      advance();
+      sawBase = true;
+      switch (k) {
+        case TokKind::KwVoid: spec.base = ScalarKind::Void; break;
+        case TokKind::KwBool: spec.base = ScalarKind::Bool; break;
+        case TokKind::KwInt: spec.base = ScalarKind::Int; break;
+        case TokKind::KwUInt: spec.base = ScalarKind::UInt; break;
+        case TokKind::KwLong: spec.base = ScalarKind::Long; break;
+        case TokKind::KwULong: spec.base = ScalarKind::ULong; break;
+        case TokKind::KwFloat: spec.base = ScalarKind::Float; break;
+        case TokKind::KwDouble: spec.base = ScalarKind::Double; break;
+        case TokKind::KwSizeT: spec.base = ScalarKind::Int; break;
+        case TokKind::KwFloat2:
+          spec.base = ScalarKind::Float;
+          spec.vecLanes = 2;
+          break;
+        case TokKind::KwFloat4:
+          spec.base = ScalarKind::Float;
+          spec.vecLanes = 4;
+          break;
+        case TokKind::KwInt2:
+          spec.base = ScalarKind::Int;
+          spec.vecLanes = 2;
+          break;
+        case TokKind::KwInt4:
+          spec.base = ScalarKind::Int;
+          spec.vecLanes = 4;
+          break;
+        default: break;
+      }
+      continue;
+    }
+    break;
+  }
+  if (!sawBase) fail(peek(), "expected a type");
+  if (match(TokKind::Star)) spec.isPointer = true;
+  return spec;
+}
+
+std::unique_ptr<KernelDecl> Parser::parseFunction() {
+  auto fn = std::make_unique<KernelDecl>();
+  fn->loc = peek().loc;
+  fn->isKernel = match(TokKind::KwKernel);
+  fn->returnSpec = parseTypeSpec();
+  fn->name = expect(TokKind::Identifier, "function name").text;
+  expect(TokKind::LParen, "parameter list");
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamDecl param;
+      param.loc = peek().loc;
+      param.spec = parseTypeSpec();
+      param.name = expect(TokKind::Identifier, "parameter name").text;
+      fn->params.push_back(std::move(param));
+    } while (match(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "end of parameter list");
+  fn->body = parseBlock();
+  return fn;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  const Token& open = expect(TokKind::LBrace, "block");
+  auto block = std::make_unique<BlockStmt>(open.loc);
+  while (!check(TokKind::RBrace) && !check(TokKind::End)) {
+    block->stmts.push_back(parseStatement());
+  }
+  expect(TokKind::RBrace, "end of block");
+  return block;
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (peek().kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwFor:
+      return parseFor();
+    case TokKind::KwWhile:
+      return parseWhile();
+    case TokKind::KwDo:
+      return parseDoWhile();
+    case TokKind::KwReturn: {
+      const Token& t = advance();
+      auto ret = std::make_unique<ReturnStmt>(t.loc);
+      if (!check(TokKind::Semicolon)) ret->value = parseExpr();
+      expect(TokKind::Semicolon, "after return");
+      return ret;
+    }
+    case TokKind::KwBreak: {
+      const Token& t = advance();
+      expect(TokKind::Semicolon, "after break");
+      return std::make_unique<BreakStmt>(t.loc);
+    }
+    case TokKind::KwContinue: {
+      const Token& t = advance();
+      expect(TokKind::Semicolon, "after continue");
+      return std::make_unique<ContinueStmt>(t.loc);
+    }
+    case TokKind::Semicolon:
+      advance();
+      return std::make_unique<BlockStmt>(peek().loc);  // empty statement
+    default:
+      break;
+  }
+  if (startsTypeSpec()) {
+    StmtPtr decl = parseDeclStatement();
+    expect(TokKind::Semicolon, "after declaration");
+    return decl;
+  }
+  StmtPtr stmt = parseSimpleStatement();
+  expect(TokKind::Semicolon, "after statement");
+  return stmt;
+}
+
+StmtPtr Parser::parseDeclStatement() {
+  const SourceLoc loc = peek().loc;
+  TypeSpec spec = parseTypeSpec();
+  std::string name = expect(TokKind::Identifier, "variable name").text;
+  auto decl = std::make_unique<DeclStmt>(loc, spec, std::move(name));
+  while (match(TokKind::LBracket)) {
+    decl->arrayDims.push_back(parseExpr());
+    expect(TokKind::RBracket, "array dimension");
+  }
+  if (match(TokKind::Assign)) decl->init = parseExpr();
+  if (check(TokKind::Comma)) {
+    fail(peek(), "multiple declarators are not supported; split the line");
+  }
+  return decl;
+}
+
+StmtPtr Parser::parseSimpleStatement() {
+  const SourceLoc loc = peek().loc;
+  if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+    const bool inc = advance().kind == TokKind::PlusPlus;
+    ExprPtr target = parsePostfix();
+    return std::make_unique<IncDecStmt>(loc, std::move(target), inc);
+  }
+  ExprPtr lhs = parseConditional();
+  switch (peek().kind) {
+    case TokKind::Assign:
+    case TokKind::PlusAssign:
+    case TokKind::MinusAssign:
+    case TokKind::StarAssign:
+    case TokKind::SlashAssign: {
+      AssignOp op = AssignOp::Assign;
+      switch (peek().kind) {
+        case TokKind::PlusAssign: op = AssignOp::AddAssign; break;
+        case TokKind::MinusAssign: op = AssignOp::SubAssign; break;
+        case TokKind::StarAssign: op = AssignOp::MulAssign; break;
+        case TokKind::SlashAssign: op = AssignOp::DivAssign; break;
+        default: break;
+      }
+      advance();
+      ExprPtr rhs = parseExpr();
+      return std::make_unique<AssignStmt>(loc, op, std::move(lhs),
+                                          std::move(rhs));
+    }
+    case TokKind::PlusPlus:
+    case TokKind::MinusMinus: {
+      const bool inc = advance().kind == TokKind::PlusPlus;
+      return std::make_unique<IncDecStmt>(loc, std::move(lhs), inc);
+    }
+    default:
+      return std::make_unique<ExprStmt>(loc, std::move(lhs));
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  const Token& kw = expect(TokKind::KwIf, "if");
+  auto stmt = std::make_unique<IfStmt>(kw.loc);
+  expect(TokKind::LParen, "if condition");
+  stmt->cond = parseExpr();
+  expect(TokKind::RParen, "if condition");
+  stmt->thenBody = parseStatement();
+  if (match(TokKind::KwElse)) stmt->elseBody = parseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::parseFor() {
+  const Token& kw = expect(TokKind::KwFor, "for");
+  auto stmt = std::make_unique<ForStmt>(kw.loc);
+  expect(TokKind::LParen, "for header");
+  if (!check(TokKind::Semicolon)) {
+    stmt->init = startsTypeSpec() ? parseDeclStatement() : parseSimpleStatement();
+  }
+  expect(TokKind::Semicolon, "for header");
+  if (!check(TokKind::Semicolon)) stmt->cond = parseExpr();
+  expect(TokKind::Semicolon, "for header");
+  if (!check(TokKind::RParen)) stmt->step = parseSimpleStatement();
+  expect(TokKind::RParen, "for header");
+  stmt->body = parseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::parseWhile() {
+  const Token& kw = expect(TokKind::KwWhile, "while");
+  auto stmt = std::make_unique<WhileStmt>(kw.loc);
+  expect(TokKind::LParen, "while condition");
+  stmt->cond = parseExpr();
+  expect(TokKind::RParen, "while condition");
+  stmt->body = parseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::parseDoWhile() {
+  const Token& kw = expect(TokKind::KwDo, "do");
+  auto stmt = std::make_unique<DoWhileStmt>(kw.loc);
+  stmt->body = parseStatement();
+  expect(TokKind::KwWhile, "do-while");
+  expect(TokKind::LParen, "do-while condition");
+  stmt->cond = parseExpr();
+  expect(TokKind::RParen, "do-while condition");
+  expect(TokKind::Semicolon, "after do-while");
+  return stmt;
+}
+
+ExprPtr Parser::parseExpr() { return parseConditional(); }
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr cond = parseBinary(1);
+  if (!match(TokKind::Question)) return cond;
+  const SourceLoc loc = peek().loc;
+  ExprPtr ifTrue = parseExpr();
+  expect(TokKind::Colon, "conditional expression");
+  ExprPtr ifFalse = parseConditional();
+  return std::make_unique<ConditionalExpr>(loc, std::move(cond),
+                                           std::move(ifTrue),
+                                           std::move(ifFalse));
+}
+
+ExprPtr Parser::parseBinary(int minPrec) {
+  ExprPtr lhs = parseUnary();
+  for (;;) {
+    const int prec = binaryPrecedence(peek().kind);
+    if (prec == 0 || prec < minPrec) return lhs;
+    const Token& opTok = advance();
+    ExprPtr rhs = parseBinary(prec + 1);
+    lhs = std::make_unique<BinaryExpr>(opTok.loc, binOpFor(opTok.kind),
+                                       std::move(lhs), std::move(rhs));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokKind::Minus:
+      advance();
+      return std::make_unique<UnaryExpr>(t.loc, UnOp::Neg, parseUnary());
+    case TokKind::Not:
+      advance();
+      return std::make_unique<UnaryExpr>(t.loc, UnOp::LogicalNot, parseUnary());
+    case TokKind::Tilde:
+      advance();
+      return std::make_unique<UnaryExpr>(t.loc, UnOp::BitNot, parseUnary());
+    case TokKind::Plus:
+      advance();
+      return parseUnary();
+    case TokKind::LParen:
+      // Cast or vector literal: '(' typespec ')' ...
+      if (startsTypeSpec(1)) {
+        advance();  // '('
+        TypeSpec target = parseTypeSpec();
+        expect(TokKind::RParen, "cast");
+        if (target.vecLanes != 0 && check(TokKind::LParen)) {
+          // (floatN)(e0, e1, ...): vector literal (or scalar broadcast).
+          advance();
+          std::vector<ExprPtr> elems;
+          do {
+            elems.push_back(parseExpr());
+          } while (match(TokKind::Comma));
+          expect(TokKind::RParen, "vector literal");
+          return std::make_unique<VectorLitExpr>(t.loc, target,
+                                                 std::move(elems));
+        }
+        return std::make_unique<CastExpr>(t.loc, target, parseUnary());
+      }
+      return parsePostfix();
+    default:
+      return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr expr = parsePrimary();
+  for (;;) {
+    if (match(TokKind::LBracket)) {
+      ExprPtr index = parseExpr();
+      const Token& close = expect(TokKind::RBracket, "index");
+      expr = std::make_unique<IndexExpr>(close.loc, std::move(expr),
+                                         std::move(index));
+    } else if (check(TokKind::Dot)) {
+      advance();
+      const Token& member = expect(TokKind::Identifier, "member name");
+      expr = std::make_unique<MemberExpr>(member.loc, std::move(expr),
+                                          member.text);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokKind::IntLiteral:
+      advance();
+      return std::make_unique<IntLitExpr>(t.loc, t.intValue);
+    case TokKind::FloatLiteral:
+      advance();
+      return std::make_unique<FloatLitExpr>(t.loc, t.floatValue,
+                                            t.isFloatSuffix);
+    case TokKind::KwTrue:
+      advance();
+      return std::make_unique<BoolLitExpr>(t.loc, true);
+    case TokKind::KwFalse:
+      advance();
+      return std::make_unique<BoolLitExpr>(t.loc, false);
+    case TokKind::Identifier: {
+      advance();
+      if (match(TokKind::LParen)) {
+        std::vector<ExprPtr> args;
+        if (!check(TokKind::RParen)) {
+          do {
+            args.push_back(parseExpr());
+          } while (match(TokKind::Comma));
+        }
+        expect(TokKind::RParen, "call");
+        return std::make_unique<CallExpr>(t.loc, t.text, std::move(args));
+      }
+      return std::make_unique<VarRefExpr>(t.loc, t.text);
+    }
+    case TokKind::LParen: {
+      advance();
+      ExprPtr inner = parseExpr();
+      expect(TokKind::RParen, "parenthesized expression");
+      return inner;
+    }
+    default:
+      fail(t, cat("expected an expression, found '", toString(t.kind), "'"));
+  }
+}
+
+}  // namespace grover::clc

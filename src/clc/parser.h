@@ -1,0 +1,62 @@
+// Recursive-descent parser for the OpenCL C subset.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clc/ast.h"
+#include "clc/token.h"
+#include "support/diagnostics.h"
+
+namespace grover::clc {
+
+/// Parses a token stream into a TranslationUnit. On error, emits a
+/// diagnostic and attempts recovery at statement granularity; callers must
+/// check diags.hasErrors() before using the AST.
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, DiagnosticEngine& diags)
+      : tokens_(tokens), diags_(diags) {}
+
+  [[nodiscard]] std::unique_ptr<TranslationUnit> parse();
+
+ private:
+  // token helpers
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokKind kind) const { return peek().is(kind); }
+  bool match(TokKind kind);
+  const Token& expect(TokKind kind, const char* what);
+  [[noreturn]] void fail(const Token& tok, const std::string& msg);
+
+  // type spellings
+  [[nodiscard]] bool startsTypeSpec(std::size_t ahead = 0) const;
+  TypeSpec parseTypeSpec();
+
+  // declarations
+  std::unique_ptr<KernelDecl> parseFunction();
+
+  // statements
+  StmtPtr parseStatement();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseDeclStatement();
+  StmtPtr parseSimpleStatement();  // assign / incdec / expr (no ';')
+  StmtPtr parseIf();
+  StmtPtr parseFor();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+
+  // expressions (precedence climbing)
+  ExprPtr parseExpr();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int minPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  const std::vector<Token>& tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace grover::clc

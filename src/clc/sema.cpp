@@ -1,0 +1,685 @@
+#include "clc/sema.h"
+
+#include "ir/instruction.h"
+#include "support/str.h"
+
+namespace grover::clc {
+
+ir::Type* resolveValueType(ir::Context& ctx, const TypeSpec& spec) {
+  ir::Type* scalar = nullptr;
+  switch (spec.base) {
+    case ScalarKind::Void: return ctx.voidTy();
+    case ScalarKind::Bool: scalar = ctx.boolTy(); break;
+    case ScalarKind::Int:
+    case ScalarKind::UInt: scalar = ctx.int32Ty(); break;
+    case ScalarKind::Long:
+    case ScalarKind::ULong: scalar = ctx.int64Ty(); break;
+    case ScalarKind::Float: scalar = ctx.floatTy(); break;
+    case ScalarKind::Double: scalar = ctx.doubleTy(); break;
+  }
+  if (spec.vecLanes != 0) return ctx.vectorTy(scalar, spec.vecLanes);
+  return scalar;
+}
+
+ir::Type* resolveType(ir::Context& ctx, const TypeSpec& spec) {
+  ir::Type* value = resolveValueType(ctx, spec);
+  if (spec.isPointer) return ctx.pointerTy(value, spec.space);
+  return value;
+}
+
+ir::Type* commonNumericType(ir::Context& ctx, ir::Type* a, ir::Type* b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  // Vector op vector: identical vectors only. Vector op scalar: the vector
+  // wins when the scalar converts to the element type.
+  if (a->isVector() || b->isVector()) {
+    if (a == b) return a;
+    if (a->isVector() && !b->isVector() &&
+        implicitlyConvertible(b, a->element())) {
+      return a;
+    }
+    if (b->isVector() && !a->isVector() &&
+        implicitlyConvertible(a, b->element())) {
+      return b;
+    }
+    return nullptr;
+  }
+  if (!a->isScalarNumber() || !b->isScalarNumber()) return nullptr;
+  auto rank = [&](ir::Type* t) {
+    switch (t->kind()) {
+      case ir::TypeKind::Bool: return 0;
+      case ir::TypeKind::Int32: return 1;
+      case ir::TypeKind::Int64: return 2;
+      case ir::TypeKind::Float: return 3;
+      case ir::TypeKind::Double: return 4;
+      default: return -1;
+    }
+  };
+  ir::Type* winner = rank(a) >= rank(b) ? a : b;
+  // Bool promotes to int in arithmetic.
+  if (winner->isBool()) winner = ctx.int32Ty();
+  return winner;
+}
+
+bool implicitlyConvertible(ir::Type* from, ir::Type* to) {
+  if (from == to) return true;
+  if (from == nullptr || to == nullptr) return false;
+  if (from->isScalarNumber() && to->isScalarNumber()) return true;
+  if (from->isPointer() && to->isPointer()) {
+    return from->element() == to->element() &&
+           from->addrSpace() == to->addrSpace();
+  }
+  return false;
+}
+
+bool Sema::check(TranslationUnit& tu) {
+  for (auto& kernel : tu.kernels) checkKernel(*kernel);
+  return !diags_.hasErrors();
+}
+
+const Symbol* Sema::lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->symbols.find(name);
+    if (found != it->symbols.end()) return &found->second;
+  }
+  return nullptr;
+}
+
+void Sema::declare(SourceLoc loc, const std::string& name, Symbol symbol) {
+  if (scopes_.back().symbols.contains(name)) {
+    diags_.error(loc, cat("redeclaration of '", name, "'"));
+    return;
+  }
+  scopes_.back().symbols.emplace(name, symbol);
+}
+
+void Sema::checkKernel(KernelDecl& kernel) {
+  in_kernel_ = kernel.isKernel;
+  ir::Type* retTy = resolveValueType(ctx_, kernel.returnSpec);
+  if (kernel.isKernel && !retTy->isVoid()) {
+    diags_.error(kernel.loc, "__kernel functions must return void");
+  }
+  scopes_.clear();
+  pushScope();
+  for (const ParamDecl& param : kernel.params) {
+    Symbol sym;
+    sym.isConst = param.spec.isConst;
+    if (param.spec.isPointer) {
+      sym.kind = Symbol::Kind::PointerParam;
+      sym.valueType = resolveValueType(ctx_, param.spec);
+      sym.space = param.spec.space;
+      if (kernel.isKernel && sym.space == ir::AddrSpace::Private) {
+        diags_.error(param.loc,
+                     cat("kernel pointer parameter '", param.name,
+                         "' must be __global, __local or __constant"));
+      }
+    } else {
+      sym.kind = Symbol::Kind::ValueParam;
+      sym.valueType = resolveValueType(ctx_, param.spec);
+      if (sym.valueType->isVoid()) {
+        diags_.error(param.loc, "void parameter");
+      }
+    }
+    declare(param.loc, param.name, sym);
+  }
+  checkBlock(*kernel.body);
+  popScope();
+}
+
+void Sema::checkBlock(BlockStmt& block) {
+  pushScope();
+  for (auto& stmt : block.stmts) checkStmt(*stmt);
+  popScope();
+}
+
+void Sema::checkStmt(Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::Block:
+      checkBlock(static_cast<BlockStmt&>(stmt));
+      return;
+    case StmtKind::Decl:
+      checkDecl(static_cast<DeclStmt&>(stmt));
+      return;
+    case StmtKind::ExprStmt: {
+      auto& es = static_cast<ExprStmt&>(stmt);
+      checkExpr(*es.expr);
+      return;
+    }
+    case StmtKind::Assign:
+      checkAssign(static_cast<AssignStmt&>(stmt));
+      return;
+    case StmtKind::IncDec: {
+      auto& id = static_cast<IncDecStmt&>(stmt);
+      ir::Type* t = checkExpr(*id.target);
+      if (!isLValue(*id.target)) {
+        diags_.error(stmt.loc, "++/-- target is not assignable");
+      } else if (t != nullptr && !t->isInteger()) {
+        diags_.error(stmt.loc, "++/-- requires an integer variable");
+      }
+      return;
+    }
+    case StmtKind::If: {
+      auto& is = static_cast<IfStmt&>(stmt);
+      ir::Type* t = checkExpr(*is.cond);
+      if (t != nullptr && !t->isScalarNumber()) {
+        diags_.error(is.cond->loc, "if condition must be scalar");
+      }
+      checkStmt(*is.thenBody);
+      if (is.elseBody) checkStmt(*is.elseBody);
+      return;
+    }
+    case StmtKind::For: {
+      auto& fs = static_cast<ForStmt&>(stmt);
+      pushScope();  // the induction variable scopes over the loop
+      if (fs.init) checkStmt(*fs.init);
+      if (fs.cond) {
+        ir::Type* t = checkExpr(*fs.cond);
+        if (t != nullptr && !t->isScalarNumber()) {
+          diags_.error(fs.cond->loc, "for condition must be scalar");
+        }
+      }
+      ++loop_depth_;
+      checkStmt(*fs.body);
+      if (fs.step) checkStmt(*fs.step);
+      --loop_depth_;
+      popScope();
+      return;
+    }
+    case StmtKind::While: {
+      auto& ws = static_cast<WhileStmt&>(stmt);
+      ir::Type* t = checkExpr(*ws.cond);
+      if (t != nullptr && !t->isScalarNumber()) {
+        diags_.error(ws.cond->loc, "while condition must be scalar");
+      }
+      ++loop_depth_;
+      checkStmt(*ws.body);
+      --loop_depth_;
+      return;
+    }
+    case StmtKind::DoWhile: {
+      auto& ds = static_cast<DoWhileStmt&>(stmt);
+      ++loop_depth_;
+      checkStmt(*ds.body);
+      --loop_depth_;
+      ir::Type* t = checkExpr(*ds.cond);
+      if (t != nullptr && !t->isScalarNumber()) {
+        diags_.error(ds.cond->loc, "do-while condition must be scalar");
+      }
+      return;
+    }
+    case StmtKind::Return: {
+      auto& rs = static_cast<ReturnStmt&>(stmt);
+      if (rs.value) {
+        if (in_kernel_) {
+          diags_.error(stmt.loc, "kernel return must not carry a value");
+        }
+        checkExpr(*rs.value);
+      }
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      if (loop_depth_ == 0) {
+        diags_.error(stmt.loc, "break/continue outside a loop");
+      }
+      return;
+  }
+}
+
+std::int64_t evalConstIntExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLitExpr&>(expr).value;
+    case ExprKind::Binary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      const std::int64_t l = evalConstIntExpr(*bin.lhs);
+      const std::int64_t r = evalConstIntExpr(*bin.rhs);
+      if (l < 0 || r < 0) return -1;
+      switch (bin.op) {
+        case BinOp::Add: return l + r;
+        case BinOp::Sub: return l - r;
+        case BinOp::Mul: return l * r;
+        case BinOp::Div: return r != 0 ? l / r : -1;
+        case BinOp::Shl: return l << r;
+        default: return -1;
+      }
+    }
+    default:
+      return -1;
+  }
+}
+
+std::int64_t Sema::evalConstInt(const Expr& expr) {
+  return evalConstIntExpr(expr);
+}
+
+void Sema::checkDecl(DeclStmt& decl) {
+  Symbol sym;
+  sym.isConst = decl.spec.isConst;
+  sym.valueType = resolveValueType(ctx_, decl.spec);
+  if (sym.valueType->isVoid()) {
+    diags_.error(decl.loc, "cannot declare a void variable");
+    return;
+  }
+  if (decl.spec.isPointer) {
+    diags_.error(decl.loc,
+                 "pointer-typed local variables are not supported; index the "
+                 "parameter directly");
+    return;
+  }
+  if (!decl.arrayDims.empty()) {
+    sym.kind = Symbol::Kind::ArrayVar;
+    sym.space = decl.spec.space;
+    std::uint64_t total = 1;
+    for (const ExprPtr& dim : decl.arrayDims) {
+      const std::int64_t n = evalConstInt(*dim);
+      if (n <= 0) {
+        diags_.error(dim->loc, "array dimension must be a positive constant");
+        return;
+      }
+      sym.arrayDims.push_back(static_cast<std::uint64_t>(n));
+      total *= static_cast<std::uint64_t>(n);
+    }
+    sym.arrayCount = total;
+    if (decl.init) {
+      diags_.error(decl.loc, "array initializers are not supported");
+    }
+  } else {
+    sym.kind = Symbol::Kind::ScalarVar;
+    if (decl.spec.space == ir::AddrSpace::Local) {
+      // __local scalars are legal OpenCL but none of our benchmarks need
+      // them; keep the model simple.
+      diags_.error(decl.loc, "__local scalar variables are not supported");
+    }
+    if (decl.init) {
+      ir::Type* initTy = checkExpr(*decl.init);
+      if (initTy != nullptr && !implicitlyConvertible(initTy, sym.valueType)) {
+        diags_.error(decl.init->loc,
+                     cat("cannot initialize '", sym.valueType->str(),
+                         "' with '", initTy->str(), "'"));
+      }
+    }
+  }
+  declare(decl.loc, decl.name, sym);
+}
+
+bool Sema::isLValue(const Expr& expr) const {
+  switch (expr.kind) {
+    case ExprKind::VarRef: {
+      const auto& ref = static_cast<const VarRefExpr&>(expr);
+      const Symbol* sym = lookup(ref.name);
+      return sym != nullptr &&
+             (sym->kind == Symbol::Kind::ScalarVar ||
+              sym->kind == Symbol::Kind::ValueParam) &&
+             !sym->isConst;
+    }
+    case ExprKind::Index:
+      return true;
+    case ExprKind::Member: {
+      const auto& mem = static_cast<const MemberExpr&>(expr);
+      return isLValue(*mem.base);
+    }
+    default:
+      return false;
+  }
+}
+
+void Sema::checkAssign(AssignStmt& assign) {
+  ir::Type* lhsTy = checkExpr(*assign.lhs);
+  ir::Type* rhsTy = checkExpr(*assign.rhs);
+  if (!isLValue(*assign.lhs)) {
+    diags_.error(assign.lhs->loc, "left side of assignment is not assignable");
+    return;
+  }
+  if (lhsTy == nullptr || rhsTy == nullptr) return;
+  if (!implicitlyConvertible(rhsTy, lhsTy) &&
+      !(lhsTy->isVector() && implicitlyConvertible(rhsTy, lhsTy->element()))) {
+    diags_.error(assign.loc, cat("cannot assign '", rhsTy->str(), "' to '",
+                                 lhsTy->str(), "'"));
+  }
+  if (assign.op != AssignOp::Assign &&
+      commonNumericType(ctx_, lhsTy, rhsTy) == nullptr) {
+    diags_.error(assign.loc, "compound assignment on incompatible types");
+  }
+}
+
+ir::Type* Sema::checkExpr(Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      expr.type = ctx_.int32Ty();
+      break;
+    case ExprKind::FloatLit: {
+      auto& lit = static_cast<FloatLitExpr&>(expr);
+      expr.type = lit.isFloat32 ? ctx_.floatTy() : ctx_.floatTy();
+      // OpenCL C defaults double literals to double, but the SDK kernels we
+      // model are single precision throughout; unsuffixed literals are f32.
+      break;
+    }
+    case ExprKind::BoolLit:
+      expr.type = ctx_.boolTy();
+      break;
+    case ExprKind::VarRef: {
+      auto& ref = static_cast<VarRefExpr&>(expr);
+      const Symbol* sym = lookup(ref.name);
+      if (sym == nullptr) {
+        diags_.error(expr.loc, cat("use of undeclared name '", ref.name, "'"));
+        break;
+      }
+      switch (sym->kind) {
+        case Symbol::Kind::ScalarVar:
+        case Symbol::Kind::ValueParam:
+          expr.type = sym->valueType;
+          break;
+        case Symbol::Kind::ArrayVar:
+          expr.type = ctx_.pointerTy(sym->valueType, sym->space);
+          break;
+        case Symbol::Kind::PointerParam:
+          expr.type = ctx_.pointerTy(sym->valueType, sym->space);
+          break;
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      auto& bin = static_cast<BinaryExpr&>(expr);
+      ir::Type* l = checkExpr(*bin.lhs);
+      ir::Type* r = checkExpr(*bin.rhs);
+      if (l == nullptr || r == nullptr) break;
+      switch (bin.op) {
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          if (commonNumericType(ctx_, l, r) == nullptr) {
+            diags_.error(expr.loc, cat("cannot compare '", l->str(), "' and '",
+                                       r->str(), "'"));
+          } else {
+            expr.type = ctx_.boolTy();
+          }
+          break;
+        case BinOp::LAnd:
+        case BinOp::LOr:
+          if (!l->isScalarNumber() || !r->isScalarNumber()) {
+            diags_.error(expr.loc, "&&/|| require scalar operands");
+          } else {
+            expr.type = ctx_.boolTy();
+          }
+          break;
+        case BinOp::Rem:
+        case BinOp::Shl:
+        case BinOp::Shr:
+        case BinOp::BitAnd:
+        case BinOp::BitOr:
+        case BinOp::BitXor: {
+          ir::Type* common = commonNumericType(ctx_, l, r);
+          if (common == nullptr ||
+              !(common->isInteger() ||
+                (common->isVector() && common->element()->isInteger()))) {
+            diags_.error(expr.loc, "bitwise/shift operators require integers");
+          } else {
+            expr.type = common;
+          }
+          break;
+        }
+        default: {
+          ir::Type* common = commonNumericType(ctx_, l, r);
+          if (common == nullptr) {
+            diags_.error(expr.loc, cat("invalid operands '", l->str(),
+                                       "' and '", r->str(), "'"));
+          } else {
+            expr.type = common;
+          }
+          break;
+        }
+      }
+      break;
+    }
+    case ExprKind::Unary: {
+      auto& un = static_cast<UnaryExpr&>(expr);
+      ir::Type* t = checkExpr(*un.sub);
+      if (t == nullptr) break;
+      switch (un.op) {
+        case UnOp::Neg:
+          if (!t->isScalarNumber() && !t->isVector()) {
+            diags_.error(expr.loc, "negation requires a numeric operand");
+          } else {
+            expr.type = t->isBool() ? ctx_.int32Ty() : t;
+          }
+          break;
+        case UnOp::LogicalNot:
+          if (!t->isScalarNumber()) {
+            diags_.error(expr.loc, "! requires a scalar operand");
+          } else {
+            expr.type = ctx_.boolTy();
+          }
+          break;
+        case UnOp::BitNot:
+          if (!t->isInteger()) {
+            diags_.error(expr.loc, "~ requires an integer operand");
+          } else {
+            expr.type = t;
+          }
+          break;
+      }
+      break;
+    }
+    case ExprKind::Conditional: {
+      auto& cond = static_cast<ConditionalExpr&>(expr);
+      ir::Type* c = checkExpr(*cond.cond);
+      ir::Type* t = checkExpr(*cond.ifTrue);
+      ir::Type* f = checkExpr(*cond.ifFalse);
+      if (c != nullptr && !c->isScalarNumber()) {
+        diags_.error(cond.cond->loc, "?: condition must be scalar");
+      }
+      if (t != nullptr && f != nullptr) {
+        ir::Type* common = commonNumericType(ctx_, t, f);
+        if (common == nullptr) {
+          diags_.error(expr.loc, "?: arms have incompatible types");
+        } else {
+          expr.type = common;
+        }
+      }
+      break;
+    }
+    case ExprKind::Index: {
+      // Collect the full index chain: a[i][j] = Index(Index(a,i),j). The
+      // chain is resolved against the root symbol so multi-dimensional
+      // arrays type-check as a whole.
+      std::vector<IndexExpr*> chain;
+      Expr* base = &expr;
+      while (base->kind == ExprKind::Index) {
+        auto& idx = static_cast<IndexExpr&>(*base);
+        chain.push_back(&idx);
+        base = idx.base.get();
+      }
+      for (IndexExpr* link : chain) {
+        ir::Type* indexTy = checkExpr(*link->index);
+        if (indexTy != nullptr && !indexTy->isInteger()) {
+          diags_.error(link->index->loc, "array index must be an integer");
+        }
+      }
+      if (base->kind != ExprKind::VarRef) {
+        diags_.error(base->loc, "subscripted value is not a pointer or array");
+        break;
+      }
+      auto& ref = static_cast<VarRefExpr&>(*base);
+      ir::Type* baseTy = checkExpr(*base);
+      if (baseTy == nullptr) break;
+      const Symbol* sym = lookup(ref.name);
+      if (sym->kind == Symbol::Kind::PointerParam) {
+        if (chain.size() != 1) {
+          diags_.error(expr.loc, "pointer parameters support one subscript");
+          break;
+        }
+      } else if (sym->kind == Symbol::Kind::ArrayVar) {
+        if (chain.size() != sym->arrayDims.size()) {
+          diags_.error(expr.loc,
+                       cat("array '", ref.name, "' has ",
+                           sym->arrayDims.size(), " dimension(s), indexed with ",
+                           chain.size()));
+          break;
+        }
+      } else {
+        diags_.error(expr.loc, "subscripted value is not a pointer or array");
+        break;
+      }
+      // Intermediate links carry the decayed pointer type; the outermost
+      // link (this expr) yields the element value.
+      for (std::size_t i = chain.size(); i-- > 1;) {
+        chain[i]->type = baseTy;
+      }
+      expr.type = sym->valueType;
+      break;
+    }
+    case ExprKind::Member: {
+      auto& mem = static_cast<MemberExpr&>(expr);
+      ir::Type* base = checkExpr(*mem.base);
+      if (base == nullptr) break;
+      if (!base->isVector()) {
+        diags_.error(expr.loc, "member access requires a vector value");
+        break;
+      }
+      static const std::string lanes = "xyzw";
+      if (mem.member.size() != 1 ||
+          lanes.find(mem.member[0]) == std::string::npos ||
+          lanes.find(mem.member[0]) >= base->lanes()) {
+        diags_.error(expr.loc,
+                     cat("unknown vector component '.", mem.member, "'"));
+        break;
+      }
+      expr.type = base->element();
+      break;
+    }
+    case ExprKind::Call:
+      expr.type = checkCall(static_cast<CallExpr&>(expr));
+      break;
+    case ExprKind::Cast: {
+      auto& cst = static_cast<CastExpr&>(expr);
+      ir::Type* from = checkExpr(*cst.sub);
+      ir::Type* to = resolveValueType(ctx_, cst.target);
+      if (cst.target.isPointer) {
+        diags_.error(expr.loc, "pointer casts are not supported");
+        break;
+      }
+      if (from != nullptr && !from->isScalarNumber()) {
+        diags_.error(expr.loc, "cast source must be a scalar");
+        break;
+      }
+      expr.type = to;
+      break;
+    }
+    case ExprKind::VectorLit: {
+      auto& vec = static_cast<VectorLitExpr&>(expr);
+      ir::Type* target = resolveValueType(ctx_, vec.target);
+      if (vec.elems.size() != 1 && vec.elems.size() != target->lanes()) {
+        diags_.error(expr.loc,
+                     cat("vector literal needs 1 or ", target->lanes(),
+                         " elements, got ", vec.elems.size()));
+      }
+      for (auto& elem : vec.elems) {
+        ir::Type* et = checkExpr(*elem);
+        if (et != nullptr && !implicitlyConvertible(et, target->element())) {
+          diags_.error(elem->loc, "vector element has incompatible type");
+        }
+      }
+      expr.type = target;
+      break;
+    }
+  }
+  return expr.type;
+}
+
+ir::Type* Sema::checkCall(CallExpr& call) {
+  const auto builtin = ir::lookupBuiltin(call.callee);
+  if (!builtin.has_value()) {
+    diags_.error(call.loc, cat("unknown function '", call.callee,
+                               "' (user-defined functions are not supported)"));
+    return nullptr;
+  }
+  std::vector<ir::Type*> argTypes;
+  argTypes.reserve(call.args.size());
+  for (auto& arg : call.args) argTypes.push_back(checkExpr(*arg));
+
+  auto expectArgs = [&](unsigned n) {
+    if (call.args.size() != n) {
+      diags_.error(call.loc, cat("'", call.callee, "' expects ", n,
+                                 " argument(s), got ", call.args.size()));
+      return false;
+    }
+    return true;
+  };
+
+  using ir::Builtin;
+  switch (*builtin) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups:
+      if (!expectArgs(1)) return nullptr;
+      if (argTypes[0] != nullptr && !argTypes[0]->isInteger()) {
+        diags_.error(call.loc, "work-item query dimension must be an integer");
+      }
+      return ctx_.int32Ty();
+    case Builtin::GetWorkDim:
+      if (!expectArgs(0)) return nullptr;
+      return ctx_.int32Ty();
+    case Builtin::Barrier:
+      if (!expectArgs(1)) return nullptr;
+      return ctx_.voidTy();
+    case Builtin::Sqrt:
+    case Builtin::RSqrt:
+    case Builtin::Fabs:
+    case Builtin::Exp:
+    case Builtin::Log:
+    case Builtin::Sin:
+    case Builtin::Cos:
+    case Builtin::Floor:
+    case Builtin::Ceil:
+      if (!expectArgs(1)) return nullptr;
+      return argTypes[0] != nullptr && argTypes[0]->isFloatingPoint()
+                 ? argTypes[0]
+                 : ctx_.floatTy();
+    case Builtin::Pow:
+    case Builtin::FMin:
+    case Builtin::FMax:
+      if (!expectArgs(2)) return nullptr;
+      return commonNumericType(ctx_, argTypes[0], argTypes[1]);
+    case Builtin::Fma:
+    case Builtin::Mad: {
+      if (!expectArgs(3)) return nullptr;
+      ir::Type* common = commonNumericType(ctx_, argTypes[0], argTypes[1]);
+      return commonNumericType(ctx_, common, argTypes[2]);
+    }
+    case Builtin::IMin:
+    case Builtin::IMax:
+      if (!expectArgs(2)) return nullptr;
+      return commonNumericType(ctx_, argTypes[0], argTypes[1]);
+    case Builtin::IAbs:
+      if (!expectArgs(1)) return nullptr;
+      return argTypes[0];
+    case Builtin::Mul24:
+      if (!expectArgs(2)) return nullptr;
+      return ctx_.int32Ty();
+    case Builtin::Mad24:
+      if (!expectArgs(3)) return nullptr;
+      return ctx_.int32Ty();
+    case Builtin::Clamp: {
+      if (!expectArgs(3)) return nullptr;
+      ir::Type* common = commonNumericType(ctx_, argTypes[0], argTypes[1]);
+      return commonNumericType(ctx_, common, argTypes[2]);
+    }
+    case Builtin::Dot:
+      if (!expectArgs(2)) return nullptr;
+      if (argTypes[0] == nullptr || !argTypes[0]->isVector() ||
+          argTypes[0] != argTypes[1]) {
+        diags_.error(call.loc, "dot requires two identical vectors");
+        return nullptr;
+      }
+      return argTypes[0]->element();
+  }
+  return nullptr;
+}
+
+}  // namespace grover::clc

@@ -1,0 +1,86 @@
+// Semantic analysis: symbol tables, type checking and AST type annotation.
+// After a successful Sema pass, every Expr::type is set and IRGen can lower
+// without re-checking.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/ast.h"
+#include "ir/context.h"
+#include "support/diagnostics.h"
+
+namespace grover::clc {
+
+/// What a name denotes inside a kernel.
+struct Symbol {
+  enum class Kind { ScalarVar, ArrayVar, PointerParam, ValueParam };
+  Kind kind = Kind::ScalarVar;
+  /// ScalarVar/ValueParam: the value type. ArrayVar: the element type.
+  /// PointerParam: the pointee type.
+  ir::Type* valueType = nullptr;
+  ir::AddrSpace space = ir::AddrSpace::Private;
+  bool isConst = false;
+  std::uint64_t arrayCount = 0;  // ArrayVar only (flattened element count)
+  std::vector<std::uint64_t> arrayDims;  // ArrayVar: original dimensions
+};
+
+/// Resolve a spelled TypeSpec to an ir::Type (scalar/vector/pointer).
+[[nodiscard]] ir::Type* resolveType(ir::Context& ctx, const TypeSpec& spec);
+/// Scalar/vector part only (ignores pointer-ness).
+[[nodiscard]] ir::Type* resolveValueType(ir::Context& ctx,
+                                         const TypeSpec& spec);
+
+/// Usual arithmetic conversions for our subset; null if incompatible.
+[[nodiscard]] ir::Type* commonNumericType(ir::Context& ctx, ir::Type* a,
+                                          ir::Type* b);
+/// True if a value of `from` implicitly converts to `to`.
+[[nodiscard]] bool implicitlyConvertible(ir::Type* from, ir::Type* to);
+
+/// Evaluate a constant integer expression (array dimensions); -1 when the
+/// expression is not a supported constant.
+[[nodiscard]] std::int64_t evalConstIntExpr(const Expr& expr);
+
+/// Checks one translation unit. On success every Expr::type is populated.
+class Sema {
+ public:
+  Sema(ir::Context& ctx, DiagnosticEngine& diags)
+      : ctx_(ctx), diags_(diags) {}
+
+  /// Returns true when no errors were found.
+  bool check(TranslationUnit& tu);
+
+ private:
+  struct Scope {
+    std::unordered_map<std::string, Symbol> symbols;
+  };
+
+  void checkKernel(KernelDecl& kernel);
+  void checkStmt(Stmt& stmt);
+  void checkBlock(BlockStmt& block);
+  void checkDecl(DeclStmt& decl);
+  void checkAssign(AssignStmt& assign);
+
+  /// Type-check an expression; sets expr.type (error type = nullptr).
+  ir::Type* checkExpr(Expr& expr);
+  ir::Type* checkCall(CallExpr& call);
+  /// True if the expression can be assigned to.
+  bool isLValue(const Expr& expr) const;
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  [[nodiscard]] const Symbol* lookup(const std::string& name) const;
+  void declare(SourceLoc loc, const std::string& name, Symbol symbol);
+
+  /// Evaluate a constant integer expression (array dims); -1 on failure.
+  std::int64_t evalConstInt(const Expr& expr);
+
+  ir::Context& ctx_;
+  DiagnosticEngine& diags_;
+  std::vector<Scope> scopes_;
+  int loop_depth_ = 0;
+  bool in_kernel_ = false;
+};
+
+}  // namespace grover::clc

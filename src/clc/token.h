@@ -1,0 +1,47 @@
+// Tokens of the OpenCL C subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace grover::clc {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwKernel, KwGlobal, KwLocal, KwConstantAS, KwPrivate,
+  KwConst, KwVoid, KwBool, KwInt, KwUInt, KwLong, KwULong, KwFloat, KwDouble,
+  KwSizeT,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwTrue, KwFalse,
+  KwFloat2, KwFloat4, KwInt2, KwInt4,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Dot, Question, Colon,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  EqEq, NotEq, Less, LessEq, Greater, GreaterEq,
+  AmpAmp, PipePipe, Not,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+};
+
+[[nodiscard]] const char* toString(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::End;
+  SourceLoc loc;
+  std::string text;       // identifier spelling
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  bool isFloatSuffix = false;  // literal had 'f' suffix
+
+  [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+};
+
+}  // namespace grover::clc

@@ -1,0 +1,700 @@
+#include "codegen/irgen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "clc/sema.h"
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::codegen {
+
+using namespace ir;
+
+void IRGen::emit(const clc::TranslationUnit& tu) {
+  for (const auto& kernel : tu.kernels) emitKernel(*kernel);
+}
+
+ir::Function* IRGen::emitKernel(const clc::KernelDecl& kernel) {
+  Type* retTy = clc::resolveValueType(ctx_, kernel.returnSpec);
+  fn_ = module_.addFunction(kernel.name, retTy, kernel.isKernel);
+  scopes_.clear();
+  break_targets_.clear();
+  continue_targets_.clear();
+  block_counter_ = 0;
+
+  BasicBlock* entry = fn_->addBlock("entry");
+  builder_.setInsertPoint(entry);
+  pushScope();
+
+  for (const clc::ParamDecl& param : kernel.params) {
+    Type* declared = clc::resolveType(ctx_, param.spec);
+    Argument* arg = fn_->addArgument(declared, param.name);
+    VarSlot slot;
+    if (param.spec.isPointer) {
+      slot.isPointerParam = true;
+      slot.valueType = declared->element();
+      slot.address = nullptr;  // pointer params are used directly
+      // Record the argument itself under the name.
+      slot.address = arg;
+    } else {
+      // Value params get a private shadow slot so they stay assignable;
+      // Mem2Reg folds it away when the kernel never writes the parameter.
+      slot.valueType = declared;
+      AllocaInst* shadow = createEntryAlloca(declared, 1, AddrSpace::Private,
+                                             param.name + ".addr");
+      builder_.createStore(arg, shadow);
+      slot.address = shadow;
+    }
+    scopes_.back().emplace(param.name, slot);
+  }
+
+  emitBlock(*kernel.body);
+  if (!blockTerminated()) builder_.createRetVoid();
+  popScope();
+  pruneUnreachable(*fn_);
+  fn_->renumber();
+  return fn_;
+}
+
+const IRGen::VarSlot* IRGen::lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return &found->second;
+  }
+  throw GroverError("IRGen: unknown name '" + name + "' (Sema missed it)");
+}
+
+ir::AllocaInst* IRGen::createEntryAlloca(Type* elem, std::uint64_t count,
+                                         AddrSpace space,
+                                         const std::string& name) {
+  BasicBlock* entry = fn_->entry();
+  // Insert after any existing leading allocas, before other instructions.
+  Instruction* firstNonAlloca = nullptr;
+  for (const auto& inst : *entry) {
+    if (!isa<AllocaInst>(inst.get())) {
+      firstNonAlloca = inst.get();
+      break;
+    }
+  }
+  auto alloca = std::make_unique<AllocaInst>(ctx_, elem, count, space);
+  alloca->setName(name);
+  auto* raw = static_cast<AllocaInst*>(
+      entry->insertBefore(firstNonAlloca, std::move(alloca)));
+  return raw;
+}
+
+ir::BasicBlock* IRGen::newBlock(const std::string& name) {
+  return fn_->addBlock(cat(name, ".", block_counter_++));
+}
+
+bool IRGen::blockTerminated() const {
+  BasicBlock* bb = builder_.insertBlock();
+  return bb->terminator() != nullptr;
+}
+
+void IRGen::branchTo(ir::BasicBlock* dest) {
+  if (!blockTerminated()) builder_.createBr(dest);
+}
+
+void IRGen::pruneUnreachable(ir::Function& fn) {
+  std::set<BasicBlock*> reachable;
+  std::vector<BasicBlock*> worklist{fn.entry()};
+  while (!worklist.empty()) {
+    BasicBlock* bb = worklist.back();
+    worklist.pop_back();
+    if (!reachable.insert(bb).second) continue;
+    for (BasicBlock* succ : bb->successors()) worklist.push_back(succ);
+  }
+  // Sever dead blocks' outgoing edges first so cycles among unreachable
+  // blocks don't pin each other alive, then erase.
+  for (BasicBlock* bb : fn.blockList()) {
+    if (reachable.count(bb) != 0) continue;
+    if (Instruction* term = bb->terminator()) term->dropAllOperands();
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* bb : fn.blockList()) {
+      if (reachable.count(bb) != 0 || bb->hasUses()) continue;
+      fn.eraseBlock(bb);
+      changed = true;
+    }
+  }
+}
+
+// --- statements --------------------------------------------------------------
+
+void IRGen::emitBlock(const clc::BlockStmt& block) {
+  pushScope();
+  for (const auto& stmt : block.stmts) {
+    if (blockTerminated()) break;  // code after return is unreachable
+    emitStmt(*stmt);
+  }
+  popScope();
+}
+
+void IRGen::emitStmt(const clc::Stmt& stmt) {
+  using clc::StmtKind;
+  switch (stmt.kind) {
+    case StmtKind::Block:
+      emitBlock(static_cast<const clc::BlockStmt&>(stmt));
+      return;
+    case StmtKind::Decl:
+      emitDecl(static_cast<const clc::DeclStmt&>(stmt));
+      return;
+    case StmtKind::ExprStmt:
+      emitExpr(*static_cast<const clc::ExprStmt&>(stmt).expr);
+      return;
+    case StmtKind::Assign:
+      emitAssign(static_cast<const clc::AssignStmt&>(stmt));
+      return;
+    case StmtKind::IncDec: {
+      const auto& id = static_cast<const clc::IncDecStmt&>(stmt);
+      Value* addr = emitLValueAddress(*id.target);
+      Value* old = builder_.createLoad(addr);
+      Value* one = ctx_.getInt(old->type(), 1);
+      Value* updated = builder_.createBinary(
+          id.isIncrement ? BinaryOp::Add : BinaryOp::Sub, old, one);
+      builder_.createStore(updated, addr);
+      return;
+    }
+    case StmtKind::If:
+      emitIf(static_cast<const clc::IfStmt&>(stmt));
+      return;
+    case StmtKind::For:
+      emitFor(static_cast<const clc::ForStmt&>(stmt));
+      return;
+    case StmtKind::While:
+      emitWhile(static_cast<const clc::WhileStmt&>(stmt));
+      return;
+    case StmtKind::DoWhile:
+      emitDoWhile(static_cast<const clc::DoWhileStmt&>(stmt));
+      return;
+    case StmtKind::Return: {
+      const auto& rs = static_cast<const clc::ReturnStmt&>(stmt);
+      if (rs.value) {
+        builder_.createRet(emitExpr(*rs.value));
+      } else {
+        builder_.createRetVoid();
+      }
+      builder_.setInsertPoint(newBlock("postret"));
+      return;
+    }
+    case StmtKind::Break:
+      builder_.createBr(break_targets_.back());
+      builder_.setInsertPoint(newBlock("postbreak"));
+      return;
+    case StmtKind::Continue:
+      builder_.createBr(continue_targets_.back());
+      builder_.setInsertPoint(newBlock("postcontinue"));
+      return;
+  }
+}
+
+void IRGen::emitDecl(const clc::DeclStmt& decl) {
+  VarSlot slot;
+  slot.valueType = clc::resolveValueType(ctx_, decl.spec);
+  if (!decl.arrayDims.empty()) {
+    std::uint64_t total = 1;
+    for (const auto& dim : decl.arrayDims) {
+      const std::int64_t n = clc::evalConstIntExpr(*dim);
+      if (n <= 0) throw GroverError("IRGen: non-constant array dimension");
+      slot.arrayDims.push_back(static_cast<std::uint64_t>(n));
+      total *= static_cast<std::uint64_t>(n);
+    }
+    auto* alloca =
+        createEntryAlloca(slot.valueType, total, decl.spec.space, decl.name);
+    alloca->setArrayDims(slot.arrayDims);
+    slot.address = alloca;
+  } else {
+    slot.address =
+        createEntryAlloca(slot.valueType, 1, AddrSpace::Private, decl.name);
+    if (decl.init) {
+      Value* init = convert(emitExpr(*decl.init), slot.valueType);
+      builder_.createStore(init, slot.address);
+    }
+  }
+  scopes_.back().insert_or_assign(decl.name, slot);
+}
+
+void IRGen::emitAssign(const clc::AssignStmt& assign) {
+  using clc::AssignOp;
+  // Vector-lane store: lhs is member access (v.x = e).
+  if (assign.lhs->kind == clc::ExprKind::Member) {
+    const auto& mem = static_cast<const clc::MemberExpr&>(*assign.lhs);
+    Value* baseAddr = emitLValueAddress(*mem.base);
+    Value* vec = builder_.createLoad(baseAddr);
+    static const std::string lanes = "xyzw";
+    const auto lane = static_cast<std::int32_t>(lanes.find(mem.member[0]));
+    Value* laneIdx = ctx_.getInt32(lane);
+    Value* current = builder_.createExtractElement(vec, laneIdx);
+    Value* rhs = convert(emitExpr(*assign.rhs), current->type());
+    Value* updated = rhs;
+    if (assign.op != AssignOp::Assign) {
+      const bool isFP = current->type()->isFloatingPoint();
+      BinaryOp op = BinaryOp::Add;
+      switch (assign.op) {
+        case AssignOp::AddAssign: op = isFP ? BinaryOp::FAdd : BinaryOp::Add; break;
+        case AssignOp::SubAssign: op = isFP ? BinaryOp::FSub : BinaryOp::Sub; break;
+        case AssignOp::MulAssign: op = isFP ? BinaryOp::FMul : BinaryOp::Mul; break;
+        case AssignOp::DivAssign: op = isFP ? BinaryOp::FDiv : BinaryOp::SDiv; break;
+        default: break;
+      }
+      updated = builder_.createBinary(op, current, rhs);
+    }
+    Value* newVec = builder_.createInsertElement(vec, updated, laneIdx);
+    builder_.createStore(newVec, baseAddr);
+    return;
+  }
+
+  Value* addr = emitLValueAddress(*assign.lhs);
+  Type* valueTy = addr->type()->element();
+  Value* rhs = emitExpr(*assign.rhs);
+  if (assign.op == AssignOp::Assign) {
+    builder_.createStore(convert(rhs, valueTy), addr);
+    return;
+  }
+  Value* current = builder_.createLoad(addr);
+  Type* common = clc::commonNumericType(ctx_, current->type(), rhs->type());
+  if (common == nullptr) common = valueTy;
+  Value* l = convert(current, common);
+  Value* r = convert(rhs, common);
+  const bool isFP = common->isFloatingPoint() ||
+                    (common->isVector() && common->element()->isFloatingPoint());
+  BinaryOp op = BinaryOp::Add;
+  switch (assign.op) {
+    case AssignOp::AddAssign: op = isFP ? BinaryOp::FAdd : BinaryOp::Add; break;
+    case AssignOp::SubAssign: op = isFP ? BinaryOp::FSub : BinaryOp::Sub; break;
+    case AssignOp::MulAssign: op = isFP ? BinaryOp::FMul : BinaryOp::Mul; break;
+    case AssignOp::DivAssign: op = isFP ? BinaryOp::FDiv : BinaryOp::SDiv; break;
+    default: break;
+  }
+  Value* result = builder_.createBinary(op, l, r);
+  builder_.createStore(convert(result, valueTy), addr);
+}
+
+void IRGen::emitIf(const clc::IfStmt& stmt) {
+  Value* cond = toBool(emitExpr(*stmt.cond));
+  BasicBlock* thenBB = newBlock("if.then");
+  BasicBlock* mergeBB = newBlock("if.end");
+  BasicBlock* elseBB = stmt.elseBody ? newBlock("if.else") : mergeBB;
+  builder_.createCondBr(cond, thenBB, elseBB);
+
+  builder_.setInsertPoint(thenBB);
+  emitStmt(*stmt.thenBody);
+  branchTo(mergeBB);
+
+  if (stmt.elseBody) {
+    builder_.setInsertPoint(elseBB);
+    emitStmt(*stmt.elseBody);
+    branchTo(mergeBB);
+  }
+  builder_.setInsertPoint(mergeBB);
+}
+
+void IRGen::emitFor(const clc::ForStmt& stmt) {
+  pushScope();
+  if (stmt.init) emitStmt(*stmt.init);
+  BasicBlock* condBB = newBlock("for.cond");
+  BasicBlock* bodyBB = newBlock("for.body");
+  BasicBlock* stepBB = newBlock("for.step");
+  BasicBlock* endBB = newBlock("for.end");
+  branchTo(condBB);
+
+  builder_.setInsertPoint(condBB);
+  if (stmt.cond) {
+    builder_.createCondBr(toBool(emitExpr(*stmt.cond)), bodyBB, endBB);
+  } else {
+    builder_.createBr(bodyBB);
+  }
+
+  builder_.setInsertPoint(bodyBB);
+  break_targets_.push_back(endBB);
+  continue_targets_.push_back(stepBB);
+  emitStmt(*stmt.body);
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+  branchTo(stepBB);
+
+  builder_.setInsertPoint(stepBB);
+  if (stmt.step) emitStmt(*stmt.step);
+  branchTo(condBB);
+
+  builder_.setInsertPoint(endBB);
+  popScope();
+}
+
+void IRGen::emitWhile(const clc::WhileStmt& stmt) {
+  BasicBlock* condBB = newBlock("while.cond");
+  BasicBlock* bodyBB = newBlock("while.body");
+  BasicBlock* endBB = newBlock("while.end");
+  branchTo(condBB);
+
+  builder_.setInsertPoint(condBB);
+  builder_.createCondBr(toBool(emitExpr(*stmt.cond)), bodyBB, endBB);
+
+  builder_.setInsertPoint(bodyBB);
+  break_targets_.push_back(endBB);
+  continue_targets_.push_back(condBB);
+  emitStmt(*stmt.body);
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+  branchTo(condBB);
+
+  builder_.setInsertPoint(endBB);
+}
+
+void IRGen::emitDoWhile(const clc::DoWhileStmt& stmt) {
+  BasicBlock* bodyBB = newBlock("do.body");
+  BasicBlock* condBB = newBlock("do.cond");
+  BasicBlock* endBB = newBlock("do.end");
+  branchTo(bodyBB);
+
+  builder_.setInsertPoint(bodyBB);
+  break_targets_.push_back(endBB);
+  continue_targets_.push_back(condBB);
+  emitStmt(*stmt.body);
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+  branchTo(condBB);
+
+  builder_.setInsertPoint(condBB);
+  builder_.createCondBr(toBool(emitExpr(*stmt.cond)), bodyBB, endBB);
+
+  builder_.setInsertPoint(endBB);
+}
+
+// --- expressions --------------------------------------------------------------
+
+ir::Value* IRGen::convert(Value* v, Type* to) {
+  Type* from = v->type();
+  if (from == to) return v;
+  if (to->isVector()) {
+    if (from->isVector()) {
+      if (from == to) return v;
+      throw GroverError("IRGen: vector-to-vector conversion unsupported");
+    }
+    return broadcast(convert(v, to->element()), to);
+  }
+  if (from->isBool()) {
+    if (to->isInteger()) return builder_.createCast(CastOp::ZExt, v, to);
+    if (to->isFloatingPoint()) {
+      Value* asInt = builder_.createCast(CastOp::ZExt, v, ctx_.int32Ty());
+      return builder_.createCast(CastOp::SIToFP, asInt, to);
+    }
+  }
+  if (from->isInteger() && to->isBool()) {
+    return builder_.createICmp(CmpPred::NE, v, ctx_.getInt(from, 0));
+  }
+  if (from->isInteger() && to->isInteger()) {
+    const bool widen = from->sizeInBytes() < to->sizeInBytes();
+    return builder_.createCast(widen ? CastOp::SExt : CastOp::Trunc, v, to);
+  }
+  if (from->isInteger() && to->isFloatingPoint()) {
+    return builder_.createCast(CastOp::SIToFP, v, to);
+  }
+  if (from->isFloatingPoint() && to->isInteger()) {
+    if (to->isBool()) {
+      return builder_.createFCmp(CmpPred::ONE, v, ctx_.getFP(from, 0.0));
+    }
+    return builder_.createCast(CastOp::FPToSI, v, to);
+  }
+  if (from->isFloatingPoint() && to->isFloatingPoint()) {
+    const bool widen = from->sizeInBytes() < to->sizeInBytes();
+    return builder_.createCast(widen ? CastOp::FPExt : CastOp::FPTrunc, v, to);
+  }
+  throw GroverError(cat("IRGen: cannot convert '", from->str(), "' to '",
+                        to->str(), "'"));
+}
+
+ir::Value* IRGen::toBool(Value* v) { return convert(v, ctx_.boolTy()); }
+
+ir::Value* IRGen::broadcast(Value* scalar, Type* vecTy) {
+  Value* vec = ctx_.getUndef(vecTy);
+  for (unsigned lane = 0; lane < vecTy->lanes(); ++lane) {
+    vec = builder_.createInsertElement(vec, scalar, ctx_.getInt32(lane));
+  }
+  return vec;
+}
+
+ir::Value* IRGen::emitLValueAddress(const clc::Expr& expr) {
+  using clc::ExprKind;
+  switch (expr.kind) {
+    case ExprKind::VarRef: {
+      const auto& ref = static_cast<const clc::VarRefExpr&>(expr);
+      const VarSlot* slot = lookup(ref.name);
+      if (slot->isPointerParam) {
+        throw GroverError("IRGen: pointer parameter is not an lvalue");
+      }
+      return slot->address;
+    }
+    case ExprKind::Index: {
+      // Collect the index chain bottom-up: a[i][j] = Index(Index(a,i),j).
+      std::vector<const clc::Expr*> indices;
+      const clc::Expr* base = &expr;
+      while (base->kind == ExprKind::Index) {
+        const auto& idx = static_cast<const clc::IndexExpr&>(*base);
+        indices.push_back(idx.index.get());
+        base = idx.base.get();
+      }
+      std::reverse(indices.begin(), indices.end());
+      if (base->kind != ExprKind::VarRef) {
+        throw GroverError("IRGen: unsupported indexing base");
+      }
+      const auto& ref = static_cast<const clc::VarRefExpr&>(*base);
+      const VarSlot* slot = lookup(ref.name);
+
+      Value* basePtr = slot->address;
+      Value* linear = nullptr;
+      if (!slot->arrayDims.empty()) {
+        if (indices.size() != slot->arrayDims.size()) {
+          throw GroverError("IRGen: wrong number of array indices");
+        }
+        // Flatten row-major: ((i0*D1)+i1)*D2+i2 ...
+        for (std::size_t d = 0; d < indices.size(); ++d) {
+          Value* idx = convert(emitExpr(*indices[d]), ctx_.int32Ty());
+          if (linear == nullptr) {
+            linear = idx;
+          } else {
+            Value* dim = ctx_.getInt32(
+                static_cast<std::int32_t>(slot->arrayDims[d]));
+            linear = builder_.createAdd(builder_.createMul(linear, dim), idx);
+          }
+        }
+      } else {
+        if (!slot->isPointerParam || indices.size() != 1) {
+          throw GroverError("IRGen: invalid pointer indexing");
+        }
+        linear = convert(emitExpr(*indices[0]), ctx_.int32Ty());
+      }
+      return builder_.createGep(basePtr, linear);
+    }
+    default:
+      throw GroverError("IRGen: expression is not an lvalue");
+  }
+}
+
+ir::Value* IRGen::emitExpr(const clc::Expr& expr) {
+  using clc::ExprKind;
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return ctx_.getInt32(static_cast<std::int32_t>(
+          static_cast<const clc::IntLitExpr&>(expr).value));
+    case ExprKind::FloatLit:
+      return ctx_.getFloat(static_cast<float>(
+          static_cast<const clc::FloatLitExpr&>(expr).value));
+    case ExprKind::BoolLit:
+      return ctx_.getBool(static_cast<const clc::BoolLitExpr&>(expr).value);
+    case ExprKind::VarRef: {
+      const auto& ref = static_cast<const clc::VarRefExpr&>(expr);
+      const VarSlot* slot = lookup(ref.name);
+      if (slot->isPointerParam || !slot->arrayDims.empty()) {
+        return slot->address;  // decays to a pointer value
+      }
+      return builder_.createLoad(slot->address, ref.name);
+    }
+    case ExprKind::Binary: {
+      const auto& bin = static_cast<const clc::BinaryExpr&>(expr);
+      Value* l = emitExpr(*bin.lhs);
+      Value* r = emitExpr(*bin.rhs);
+      using clc::BinOp;
+      switch (bin.op) {
+        case BinOp::Eq: case BinOp::Ne: case BinOp::Lt:
+        case BinOp::Le: case BinOp::Gt: case BinOp::Ge: {
+          Type* common = clc::commonNumericType(ctx_, l->type(), r->type());
+          l = convert(l, common);
+          r = convert(r, common);
+          if (common->isFloatingPoint()) {
+            CmpPred pred = CmpPred::OEQ;
+            switch (bin.op) {
+              case BinOp::Eq: pred = CmpPred::OEQ; break;
+              case BinOp::Ne: pred = CmpPred::ONE; break;
+              case BinOp::Lt: pred = CmpPred::OLT; break;
+              case BinOp::Le: pred = CmpPred::OLE; break;
+              case BinOp::Gt: pred = CmpPred::OGT; break;
+              case BinOp::Ge: pred = CmpPred::OGE; break;
+              default: break;
+            }
+            return builder_.createFCmp(pred, l, r);
+          }
+          CmpPred pred = CmpPred::EQ;
+          switch (bin.op) {
+            case BinOp::Eq: pred = CmpPred::EQ; break;
+            case BinOp::Ne: pred = CmpPred::NE; break;
+            case BinOp::Lt: pred = CmpPred::SLT; break;
+            case BinOp::Le: pred = CmpPred::SLE; break;
+            case BinOp::Gt: pred = CmpPred::SGT; break;
+            case BinOp::Ge: pred = CmpPred::SGE; break;
+            default: break;
+          }
+          return builder_.createICmp(pred, l, r);
+        }
+        case BinOp::LAnd:
+        case BinOp::LOr: {
+          // Kernel expressions are side-effect free, so non-short-circuit
+          // evaluation is semantically equivalent.
+          Value* lb = toBool(l);
+          Value* rb = toBool(r);
+          return builder_.createBinary(
+              bin.op == BinOp::LAnd ? BinaryOp::And : BinaryOp::Or, lb, rb);
+        }
+        default: {
+          Type* common = clc::commonNumericType(ctx_, l->type(), r->type());
+          l = convert(l, common);
+          r = convert(r, common);
+          const bool isFP =
+              common->isFloatingPoint() ||
+              (common->isVector() && common->element()->isFloatingPoint());
+          BinaryOp op = BinaryOp::Add;
+          switch (bin.op) {
+            case BinOp::Add: op = isFP ? BinaryOp::FAdd : BinaryOp::Add; break;
+            case BinOp::Sub: op = isFP ? BinaryOp::FSub : BinaryOp::Sub; break;
+            case BinOp::Mul: op = isFP ? BinaryOp::FMul : BinaryOp::Mul; break;
+            case BinOp::Div: op = isFP ? BinaryOp::FDiv : BinaryOp::SDiv; break;
+            case BinOp::Rem: op = BinaryOp::SRem; break;
+            case BinOp::Shl: op = BinaryOp::Shl; break;
+            case BinOp::Shr: op = BinaryOp::AShr; break;
+            case BinOp::BitAnd: op = BinaryOp::And; break;
+            case BinOp::BitOr: op = BinaryOp::Or; break;
+            case BinOp::BitXor: op = BinaryOp::Xor; break;
+            default: break;
+          }
+          return builder_.createBinary(op, l, r);
+        }
+      }
+    }
+    case ExprKind::Unary: {
+      const auto& un = static_cast<const clc::UnaryExpr&>(expr);
+      Value* sub = emitExpr(*un.sub);
+      using clc::UnOp;
+      switch (un.op) {
+        case UnOp::Neg: {
+          Type* t = sub->type();
+          if (t->isBool()) {
+            sub = convert(sub, ctx_.int32Ty());
+            t = ctx_.int32Ty();
+          }
+          const bool isFP =
+              t->isFloatingPoint() ||
+              (t->isVector() && t->element()->isFloatingPoint());
+          Value* zero;
+          if (t->isVector()) {
+            zero = broadcast(
+                isFP ? static_cast<Value*>(ctx_.getFP(t->element(), 0.0))
+                     : static_cast<Value*>(ctx_.getInt(t->element(), 0)),
+                t);
+          } else {
+            zero = isFP ? static_cast<Value*>(ctx_.getFP(t, 0.0))
+                        : static_cast<Value*>(ctx_.getInt(t, 0));
+          }
+          return builder_.createBinary(isFP ? BinaryOp::FSub : BinaryOp::Sub,
+                                       zero, sub);
+        }
+        case UnOp::LogicalNot: {
+          Value* b = toBool(sub);
+          return builder_.createBinary(BinaryOp::Xor, b, ctx_.getBool(true));
+        }
+        case UnOp::BitNot:
+          return builder_.createBinary(BinaryOp::Xor, sub,
+                                       ctx_.getInt(sub->type(), -1));
+      }
+      throw GroverError("IRGen: bad unary op");
+    }
+    case ExprKind::Conditional: {
+      const auto& cond = static_cast<const clc::ConditionalExpr&>(expr);
+      Value* c = toBool(emitExpr(*cond.cond));
+      Value* t = convert(emitExpr(*cond.ifTrue), expr.type);
+      Value* f = convert(emitExpr(*cond.ifFalse), expr.type);
+      return builder_.createSelect(c, t, f);
+    }
+    case ExprKind::Index: {
+      Value* addr = emitLValueAddress(expr);
+      return builder_.createLoad(addr);
+    }
+    case ExprKind::Member: {
+      const auto& mem = static_cast<const clc::MemberExpr&>(expr);
+      Value* vec = emitExpr(*mem.base);
+      static const std::string lanes = "xyzw";
+      const auto lane = static_cast<std::int32_t>(lanes.find(mem.member[0]));
+      return builder_.createExtractElement(vec, ctx_.getInt32(lane));
+    }
+    case ExprKind::Call:
+      return emitCall(static_cast<const clc::CallExpr&>(expr));
+    case ExprKind::Cast: {
+      const auto& cst = static_cast<const clc::CastExpr&>(expr);
+      return convert(emitExpr(*cst.sub), expr.type);
+    }
+    case ExprKind::VectorLit: {
+      const auto& vecLit = static_cast<const clc::VectorLitExpr&>(expr);
+      Type* vecTy = expr.type;
+      if (vecLit.elems.size() == 1) {
+        return broadcast(convert(emitExpr(*vecLit.elems[0]), vecTy->element()),
+                         vecTy);
+      }
+      Value* vec = ctx_.getUndef(vecTy);
+      for (unsigned lane = 0; lane < vecTy->lanes(); ++lane) {
+        Value* elem =
+            convert(emitExpr(*vecLit.elems[lane]), vecTy->element());
+        vec = builder_.createInsertElement(vec, elem, ctx_.getInt32(lane));
+      }
+      return vec;
+    }
+  }
+  throw GroverError("IRGen: bad expression kind");
+}
+
+ir::Value* IRGen::emitCall(const clc::CallExpr& call) {
+  const auto builtin = ir::lookupBuiltin(call.callee);
+  if (!builtin.has_value()) {
+    throw GroverError("IRGen: unknown builtin '" + call.callee + "'");
+  }
+  std::vector<Value*> args;
+  args.reserve(call.args.size());
+  for (const auto& arg : call.args) args.push_back(emitExpr(*arg));
+
+  Type* retTy = call.type != nullptr ? call.type : ctx_.voidTy();
+  // Promote math arguments to the result type (mad(a,b,c) etc.).
+  using ir::Builtin;
+  switch (*builtin) {
+    case Builtin::Sqrt: case Builtin::RSqrt: case Builtin::Fabs:
+    case Builtin::Exp: case Builtin::Log: case Builtin::Sin:
+    case Builtin::Cos: case Builtin::Floor: case Builtin::Ceil:
+    case Builtin::Pow: case Builtin::FMin: case Builtin::FMax:
+    case Builtin::Fma: case Builtin::Mad: case Builtin::IMin:
+    case Builtin::IMax: case Builtin::Clamp:
+      for (Value*& arg : args) arg = convert(arg, retTy);
+      break;
+    case Builtin::GetGlobalId: case Builtin::GetLocalId:
+    case Builtin::GetGroupId: case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize: case Builtin::GetNumGroups:
+      args[0] = convert(args[0], ctx_.int32Ty());
+      break;
+    case Builtin::Barrier:
+      args[0] = convert(args[0], ctx_.int32Ty());
+      break;
+    default:
+      break;
+  }
+  // Distinct names for id queries ("local_id0") make the Grover reports
+  // and printed IR readable; other calls get automatic names.
+  std::string name;
+  switch (*builtin) {
+    case Builtin::GetGlobalId: case Builtin::GetLocalId:
+    case Builtin::GetGroupId: case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize: case Builtin::GetNumGroups: {
+      std::string base = ir::builtinName(*builtin);
+      if (base.rfind("get_", 0) == 0) base = base.substr(4);
+      if (const auto* dim = dyn_cast<ConstantInt>(args[0])) {
+        base += std::to_string(dim->value());
+      }
+      name = base;
+      break;
+    }
+    default:
+      break;
+  }
+  return builder_.createCall(*builtin, retTy, args, name);
+}
+
+}  // namespace grover::codegen

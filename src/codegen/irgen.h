@@ -1,0 +1,89 @@
+// AST → IR lowering. Produces Clang -O0-style code: every variable is an
+// alloca, every use loads, every definition stores. Mem2Reg then rebuilds
+// SSA — matching the pipeline the paper's pass runs on (Clang → SPIR).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/ast.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace grover::codegen {
+
+/// Lowers type-checked kernels to IR. Requires a successful Sema pass
+/// (every Expr::type populated); violations throw GroverError.
+class IRGen {
+ public:
+  IRGen(ir::Module& module, DiagnosticEngine& diags)
+      : module_(module), ctx_(module.context()), builder_(ctx_),
+        diags_(diags) {}
+
+  /// Lower every kernel in the translation unit into the module.
+  void emit(const clc::TranslationUnit& tu);
+
+  /// Lower one kernel; returns the new function.
+  ir::Function* emitKernel(const clc::KernelDecl& kernel);
+
+ private:
+  struct VarSlot {
+    ir::Value* address = nullptr;  // alloca (or null for direct values)
+    ir::Type* valueType = nullptr;
+    std::vector<std::uint64_t> arrayDims;  // multi-dim shape, empty = scalar
+    bool isPointerParam = false;
+  };
+  using Scope = std::unordered_map<std::string, VarSlot>;
+
+  // statements
+  void emitStmt(const clc::Stmt& stmt);
+  void emitBlock(const clc::BlockStmt& block);
+  void emitDecl(const clc::DeclStmt& decl);
+  void emitAssign(const clc::AssignStmt& assign);
+  void emitIf(const clc::IfStmt& stmt);
+  void emitFor(const clc::ForStmt& stmt);
+  void emitWhile(const clc::WhileStmt& stmt);
+  void emitDoWhile(const clc::DoWhileStmt& stmt);
+
+  // expressions
+  ir::Value* emitExpr(const clc::Expr& expr);
+  ir::Value* emitCall(const clc::CallExpr& call);
+  /// Address of an lvalue (VarRef scalar / Index). Member lvalues are
+  /// handled by emitAssign directly.
+  ir::Value* emitLValueAddress(const clc::Expr& expr);
+  /// Convert `v` to `to`, inserting casts as needed.
+  ir::Value* convert(ir::Value* v, ir::Type* to);
+  /// Convert to i1 for branch conditions.
+  ir::Value* toBool(ir::Value* v);
+  /// Broadcast a scalar into a vector type.
+  ir::Value* broadcast(ir::Value* scalar, ir::Type* vecTy);
+
+  // scope/block helpers
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  [[nodiscard]] const VarSlot* lookup(const std::string& name) const;
+  ir::AllocaInst* createEntryAlloca(ir::Type* elem, std::uint64_t count,
+                                    ir::AddrSpace space,
+                                    const std::string& name);
+  ir::BasicBlock* newBlock(const std::string& name);
+  /// True if the current block already ends in a terminator.
+  [[nodiscard]] bool blockTerminated() const;
+  void branchTo(ir::BasicBlock* dest);
+  /// Remove blocks unreachable from entry (created after return).
+  void pruneUnreachable(ir::Function& fn);
+
+  ir::Module& module_;
+  ir::Context& ctx_;
+  ir::IRBuilder builder_;
+  DiagnosticEngine& diags_;
+
+  ir::Function* fn_ = nullptr;
+  std::vector<Scope> scopes_;
+  std::vector<ir::BasicBlock*> break_targets_;
+  std::vector<ir::BasicBlock*> continue_targets_;
+  unsigned block_counter_ = 0;
+};
+
+}  // namespace grover::codegen

@@ -1,0 +1,72 @@
+#include "grover/atom.h"
+
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+ir::CallInst* asIdQuery(ir::Value* v) {
+  auto* call = dyn_cast<CallInst>(v);
+  if (call == nullptr) return nullptr;
+  return call->constDimension().has_value() ? call : nullptr;
+}
+
+AtomKey AtomKey::of(ir::Value* v) {
+  AtomKey key;
+  if (CallInst* query = asIdQuery(v)) {
+    key.kind_ = Kind::Query;
+    key.builtin_ = query->builtin();
+    key.dim_ = *query->constDimension();
+    return key;
+  }
+  key.kind_ = Kind::Value;
+  key.value_ = v;
+  return key;
+}
+
+AtomKey AtomKey::groupBase(unsigned dim) {
+  AtomKey key;
+  key.kind_ = Kind::GroupBase;
+  key.dim_ = dim;
+  return key;
+}
+
+AtomKey AtomKey::localId(unsigned dim) {
+  AtomKey key;
+  key.kind_ = Kind::Query;
+  key.builtin_ = Builtin::GetLocalId;
+  key.dim_ = dim;
+  return key;
+}
+
+bool AtomKey::isLocalId() const {
+  return kind_ == Kind::Query && builtin_ == Builtin::GetLocalId;
+}
+
+bool AtomKey::isGroupId() const {
+  return kind_ == Kind::Query && builtin_ == Builtin::GetGroupId;
+}
+
+std::string AtomKey::name() const {
+  const char* axes = "xyz";
+  if (kind_ == Kind::GroupBase) {
+    return cat("w", axes[dim_], "*ls", axes[dim_]);
+  }
+  if (kind_ == Kind::Query) {
+    switch (builtin_) {
+      case Builtin::GetLocalId: return cat("l", axes[dim_]);
+      case Builtin::GetGroupId: return cat("w", axes[dim_]);
+      case Builtin::GetGlobalId: return cat("g", axes[dim_]);
+      case Builtin::GetLocalSize: return cat("ls", axes[dim_]);
+      case Builtin::GetGlobalSize: return cat("gs", axes[dim_]);
+      case Builtin::GetNumGroups: return cat("ng", axes[dim_]);
+      default: break;
+    }
+  }
+  if (value_ != nullptr && !value_->name().empty()) return value_->name();
+  return "?";
+}
+
+}  // namespace grover::grv

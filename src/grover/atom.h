@@ -1,0 +1,68 @@
+// Atoms: the symbolic leaves of index expressions. Work-item id queries are
+// canonicalized by (builtin, dimension) — two calls to get_local_id(0) are
+// the same symbol — everything else is identified by its ir::Value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "ir/instruction.h"
+
+namespace grover::grv {
+
+/// Canonical identity of an index-expression leaf.
+///
+/// get_global_id(d) never appears as an atom: it is the composite
+/// group_id(d)*local_size(d) + local_id(d), which the decomposition splits
+/// into a GroupBase atom plus a local-id atom — without this, substituting
+/// the local thread index would silently miss the dependence hidden inside
+/// the global id.
+class AtomKey {
+ public:
+  enum class Kind : std::uint8_t {
+    Value,      // arbitrary opaque value (argument, phi, load, ...)
+    Query,      // id-query builtin by (builtin, dim)
+    GroupBase,  // group_id(dim) * local_size(dim)
+  };
+
+  /// Canonicalize a value: id-query calls map to (builtin, dim); any other
+  /// value maps to itself. (get_global_id maps to Query too — callers that
+  /// decompose must split it; see linear_decomp.cpp.)
+  static AtomKey of(ir::Value* v);
+  /// The group_id(dim)*local_size(dim) composite atom.
+  static AtomKey groupBase(unsigned dim);
+  /// The canonical get_local_id(dim) atom (no call value needed).
+  static AtomKey localId(unsigned dim);
+
+  [[nodiscard]] Kind atomKind() const { return kind_; }
+  /// True if this atom is get_local_id(dim()).
+  [[nodiscard]] bool isLocalId() const;
+  /// True if this atom is get_group_id(dim()).
+  [[nodiscard]] bool isGroupId() const;
+  /// True for any atom the materializer can re-create from builtins.
+  [[nodiscard]] bool isQuery() const { return kind_ != Kind::Value; }
+  [[nodiscard]] ir::Builtin builtin() const { return builtin_; }
+  [[nodiscard]] unsigned dim() const { return dim_; }
+  /// The underlying value for non-query atoms (null for queries).
+  [[nodiscard]] ir::Value* value() const { return value_; }
+
+  /// Short symbolic name for reports: lx/ly/lz, wx/wy/wz, argument names.
+  [[nodiscard]] std::string name() const;
+
+  friend std::strong_ordering operator<=>(const AtomKey&,
+                                          const AtomKey&) = default;
+  friend bool operator==(const AtomKey&, const AtomKey&) = default;
+
+ private:
+  AtomKey() = default;
+  Kind kind_ = Kind::Value;
+  ir::Value* value_ = nullptr;
+  ir::Builtin builtin_ = ir::Builtin::GetLocalId;
+  unsigned dim_ = 0;
+};
+
+/// If `v` is a call to an id query with a constant dimension, return it.
+[[nodiscard]] ir::CallInst* asIdQuery(ir::Value* v);
+
+}  // namespace grover::grv

@@ -1,0 +1,145 @@
+#include "grover/candidates.h"
+
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+ir::Value* stripIntCasts(ir::Value* v) {
+  while (auto* cast_ = dyn_cast<CastInst>(v)) {
+    switch (cast_->op()) {
+      case CastOp::SExt:
+      case CastOp::ZExt:
+      case CastOp::Trunc:
+        v = cast_->value();
+        continue;
+      default:
+        return v;
+    }
+  }
+  return v;
+}
+
+namespace {
+
+/// The value stored by an LS traced back to a global (or __constant) load.
+ir::LoadInst* traceToGlobalLoad(ir::Value* stored) {
+  ir::Value* v = stripIntCasts(stored);
+  auto* load = dyn_cast<LoadInst>(v);
+  if (load == nullptr) return nullptr;
+  const AddrSpace space = load->space();
+  if (space != AddrSpace::Global && space != AddrSpace::Constant) {
+    return nullptr;
+  }
+  return load;
+}
+
+}  // namespace
+
+std::vector<CandidateBuffer> findCandidates(ir::Function& fn) {
+  std::vector<CandidateBuffer> out;
+  BasicBlock* entry = fn.entry();
+  if (entry == nullptr) return out;
+
+  for (const auto& instPtr : *entry) {
+    auto* alloca = dyn_cast<AllocaInst>(instPtr.get());
+    if (alloca == nullptr || alloca->space() != AddrSpace::Local) continue;
+
+    CandidateBuffer cand;
+    cand.buffer = alloca;
+    cand.patternOK = true;
+
+    // Collect the accesses: direct load/store and through one gep level.
+    struct Access {
+      Instruction* inst;
+      Value* index;  // null = index 0
+    };
+    std::vector<Access> loads;
+    std::vector<Access> stores;
+    bool escaped = false;
+
+    auto classifyUser = [&](Instruction* user, Value* index) {
+      if (auto* load = dyn_cast<LoadInst>(user)) {
+        loads.push_back({load, index});
+      } else if (auto* store = dyn_cast<StoreInst>(user)) {
+        if (store->value() == alloca ||
+            (index != nullptr && store->value() == index)) {
+          escaped = true;  // the buffer address itself is stored somewhere
+        } else {
+          stores.push_back({store, index});
+        }
+      } else {
+        escaped = true;
+      }
+    };
+
+    for (const Use* use : alloca->uses()) {
+      auto* user = dyn_cast<Instruction>(use->user);
+      if (user == nullptr) {
+        escaped = true;
+        continue;
+      }
+      if (auto* gep = dyn_cast<GepInst>(user)) {
+        if (gep->pointer() != alloca) {
+          escaped = true;
+          continue;
+        }
+        for (const Use* gepUse : gep->uses()) {
+          auto* gepUser = dyn_cast<Instruction>(gepUse->user);
+          if (gepUser == nullptr) {
+            escaped = true;
+            continue;
+          }
+          classifyUser(gepUser, gep->index());
+        }
+      } else {
+        classifyUser(user, nullptr);
+      }
+    }
+
+    if (escaped) {
+      cand.patternOK = false;
+      cand.reason = "buffer address escapes into unsupported instructions";
+      out.push_back(std::move(cand));
+      continue;
+    }
+
+    // Every store must be fed by a global load (software-cache pattern);
+    // buffers used as temporal read/write storage (reductions) are refused,
+    // matching the paper's §VI-D limitation.
+    for (const Access& store : stores) {
+      auto* ls = cast<StoreInst>(store.inst);
+      LoadInst* gl = traceToGlobalLoad(ls->value());
+      if (gl == nullptr) {
+        cand.patternOK = false;
+        cand.reason = cat("store into '", alloca->name(),
+                          "' is not fed by a global load (buffer is used as "
+                          "temporal storage, not a staging cache)");
+        break;
+      }
+      StagingPair pair;
+      pair.gl = gl;
+      pair.ls = ls;
+      pair.lsIndex = store.index;
+      if (auto* glGep = dyn_cast<GepInst>(gl->pointer())) {
+        pair.glIndex = glGep->index();
+      }
+      cand.pairs.push_back(pair);
+    }
+
+    if (cand.patternOK && cand.pairs.empty()) {
+      cand.patternOK = false;
+      cand.reason = "no store into the buffer (nothing stages data)";
+    }
+
+    for (const Access& load : loads) {
+      cand.localLoads.push_back(cast<LoadInst>(load.inst));
+    }
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace grover::grv

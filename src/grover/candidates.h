@@ -1,0 +1,40 @@
+// Candidate selection (paper §IV-A): find local buffers used as a software
+// cache — every store into the buffer (LS) is fed by a global load (GL),
+// and the local loads (LL) are the accesses to replace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace grover::grv {
+
+/// A (GL, LS) staging pair: the global load whose value is stored into the
+/// local buffer.
+struct StagingPair {
+  ir::LoadInst* gl = nullptr;
+  ir::StoreInst* ls = nullptr;
+  /// Flat index operand of the LS gep (null means index 0).
+  ir::Value* lsIndex = nullptr;
+  /// Flat index operand of the GL gep (null means index 0).
+  ir::Value* glIndex = nullptr;
+};
+
+/// One __local buffer with its classified accesses.
+struct CandidateBuffer {
+  ir::AllocaInst* buffer = nullptr;
+  std::vector<StagingPair> pairs;       // GL→LS (paper: any pair works)
+  std::vector<ir::LoadInst*> localLoads;  // LL operations
+  bool patternOK = false;
+  std::string reason;  // why the buffer is not reversible (when !patternOK)
+};
+
+/// Scan a kernel for all __local allocas and classify their usage.
+[[nodiscard]] std::vector<CandidateBuffer> findCandidates(ir::Function& fn);
+
+/// Strip integer-width casts (sext/zext/trunc).
+[[nodiscard]] ir::Value* stripIntCasts(ir::Value* v);
+
+}  // namespace grover::grv

@@ -1,0 +1,77 @@
+#include "grover/dim_split.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grover::grv {
+
+std::optional<std::vector<std::int64_t>> inferStrides(
+    const LinearDecomp& lsIndex) {
+  std::set<std::int64_t, std::greater<>> strides;
+  for (const auto& [key, coeff] : lsIndex.terms()) {
+    if (!key.isLocalId()) continue;
+    if (!coeff.isInteger()) return std::nullopt;
+    std::int64_t c = coeff.asInteger();
+    if (c < 0) c = -c;
+    if (c == 0) continue;
+    strides.insert(c);
+  }
+  if (strides.empty()) {
+    // LS index does not involve the local thread index at all (e.g. the
+    // whole work-group stages through a loop variable): one dimension.
+    return std::vector<std::int64_t>{1};
+  }
+  strides.insert(1);  // innermost
+  std::vector<std::int64_t> out(strides.begin(), strides.end());
+  // Row-major layout: each outer stride must be a multiple of the next.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i] % out[i + 1] != 0) return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> stridesFromDims(
+    const std::vector<std::uint64_t>& dims) {
+  if (dims.size() < 2) return {};
+  std::vector<std::int64_t> strides(dims.size(), 1);
+  for (std::size_t i = dims.size() - 1; i-- > 0;) {
+    strides[i] = strides[i + 1] * static_cast<std::int64_t>(dims[i + 1]);
+  }
+  return strides;
+}
+
+std::optional<std::vector<LinearDecomp>> splitByStrides(
+    const LinearDecomp& flat, const std::vector<std::int64_t>& strides) {
+  std::vector<LinearDecomp> dims(strides.size());
+  for (const auto& [key, coeff] : flat.terms()) {
+    if (!coeff.isInteger()) return std::nullopt;
+    const std::int64_t c = coeff.asInteger();
+    bool placed = false;
+    for (std::size_t d = 0; d < strides.size(); ++d) {
+      if (c % strides[d] == 0) {
+        dims[d].addTerm(key, Rational(c / strides[d]));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;  // coefficient fits no stride
+  }
+  // Split the constant outermost-first with Euclidean semantics.
+  if (!flat.constant().isInteger()) return std::nullopt;
+  std::int64_t rest = flat.constant().asInteger();
+  for (std::size_t d = 0; d + 1 < strides.size(); ++d) {
+    const std::int64_t s = strides[d];
+    std::int64_t q = rest / s;
+    std::int64_t r = rest % s;
+    if (r < 0) {  // Euclidean remainder
+      r += s;
+      q -= 1;
+    }
+    dims[d].setConstant(dims[d].constant() + Rational(q));
+    rest = r;
+  }
+  dims.back().setConstant(dims.back().constant() + Rational(rest));
+  return dims;
+}
+
+}  // namespace grover::grv

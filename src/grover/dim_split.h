@@ -1,0 +1,35 @@
+// Dimension splitting (paper §IV-C, Fig. 7): recover the per-dimension data
+// index from a flattened index expression. Strides are inferred from the LS
+// index — the coefficient of each local-id term gives the '*' node of the
+// '+ → *' pattern — and the same strides then split the LL index.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grover/linear_decomp.h"
+
+namespace grover::grv {
+
+/// Infer the dimension strides of a local buffer from its LS index
+/// decomposition: the distinct coefficients of the local-id terms, sorted
+/// descending, with an implicit innermost stride of 1. All strides must be
+/// positive integers and each must divide the previous one (row-major
+/// layout); otherwise nullopt (pattern not recognized).
+[[nodiscard]] std::optional<std::vector<std::int64_t>> inferStrides(
+    const LinearDecomp& lsIndex);
+
+/// Row-major strides for a declared shape, outermost first (suffix
+/// products): dims [18,18] → strides [18,1]. Empty for shapes with <2 dims.
+[[nodiscard]] std::vector<std::int64_t> stridesFromDims(
+    const std::vector<std::uint64_t>& dims);
+
+/// Split a flat index into per-dimension indexes along `strides` (outermost
+/// first, innermost stride 1): each term goes to the outermost dimension
+/// whose stride divides its coefficient; the constant splits by Euclidean
+/// div/mod. Returns one LinearDecomp per dimension, or nullopt when a term
+/// has a non-integer coefficient.
+[[nodiscard]] std::optional<std::vector<LinearDecomp>> splitByStrides(
+    const LinearDecomp& flat, const std::vector<std::int64_t>& strides);
+
+}  // namespace grover::grv

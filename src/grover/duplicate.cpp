@@ -1,0 +1,218 @@
+#include "grover/duplicate.h"
+
+#include "grover/expr_tree.h"
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+IndexMaterializer::IndexMaterializer(ir::Function& fn,
+                                     analysis::DominatorTree& dt,
+                                     ir::Instruction* insertPoint)
+    : fn_(fn), dt_(dt), insert_point_(insertPoint), ctx_(fn.context()) {}
+
+ir::Instruction* IndexMaterializer::insert(
+    std::unique_ptr<ir::Instruction> inst) {
+  return insert_point_->parent()->insertBefore(insert_point_,
+                                               std::move(inst));
+}
+
+bool IndexMaterializer::dominatesInsert(ir::Value* v) const {
+  if (v->isConstant() || isa<Argument>(v)) return true;
+  if (const auto* inst = dyn_cast<Instruction>(v)) {
+    return dt_.isReachable(inst->parent()) &&
+           dt_.valueDominates(inst, insert_point_);
+  }
+  return false;
+}
+
+std::optional<std::string> IndexMaterializer::validate(
+    const LinearDecomp& d) {
+  if (!d.isIntegral()) {
+    return cat("index solution '", d.str(), "' has non-integer coefficients");
+  }
+  for (const auto& [key, coeff] : d.terms()) {
+    (void)coeff;
+    if (key.isQuery()) continue;  // id queries can always be re-created
+    if (!dominatesInsert(key.value())) {
+      return cat("symbolic term '", key.name(),
+                 "' is not available at the local load");
+    }
+  }
+  return std::nullopt;
+}
+
+ir::Value* IndexMaterializer::queryValue(ir::Builtin builtin, unsigned dim) {
+  // Prefer an existing dominating call to the same query; otherwise
+  // re-create it (id queries are pure and uniform per work-item).
+  for (BasicBlock* bb : fn_.blockList()) {
+    for (const auto& inst : *bb) {
+      CallInst* query = asIdQuery(inst.get());
+      if (query != nullptr && query->builtin() == builtin &&
+          *query->constDimension() == dim && dominatesInsert(query)) {
+        return query;
+      }
+    }
+  }
+  std::vector<Value*> args{ctx_.getInt32(static_cast<std::int32_t>(dim))};
+  auto call = std::make_unique<CallInst>(builtin, ctx_.int32Ty(),
+                                         std::span<Value* const>(args));
+  call->setName(builtinName(builtin));
+  return insert(std::move(call));
+}
+
+ir::Value* IndexMaterializer::atomValue(const AtomKey& key) {
+  auto it = atom_cache_.find(key);
+  if (it != atom_cache_.end()) return it->second;
+  Value* v = nullptr;
+  switch (key.atomKind()) {
+    case AtomKey::Kind::GroupBase:
+      // group_id(d) * local_size(d), the base the global id decomposes to.
+      v = insert(std::make_unique<BinaryInst>(
+          BinaryOp::Mul, queryValue(Builtin::GetGroupId, key.dim()),
+          queryValue(Builtin::GetLocalSize, key.dim())));
+      break;
+    case AtomKey::Kind::Query:
+      v = queryValue(key.builtin(), key.dim());
+      break;
+    case AtomKey::Kind::Value:
+      v = key.value();
+      break;
+  }
+  atom_cache_.emplace(key, v);
+  return v;
+}
+
+ir::Value* IndexMaterializer::asI32(ir::Value* v) {
+  Type* i32 = ctx_.int32Ty();
+  if (v->type() == i32) return v;
+  if (!v->type()->isInteger()) {
+    throw GroverError("materializer: non-integer index atom");
+  }
+  const CastOp op = v->type()->sizeInBytes() > i32->sizeInBytes()
+                        ? CastOp::Trunc
+                        : CastOp::SExt;
+  return insert(std::make_unique<CastInst>(op, v, i32));
+}
+
+ir::Value* IndexMaterializer::materialize(const LinearDecomp& d) {
+  Type* i32 = ctx_.int32Ty();
+  Value* acc = nullptr;
+  for (const auto& [key, coeff] : d.terms()) {
+    Value* atom = asI32(atomValue(key));
+    const std::int64_t c = coeff.asInteger();
+    Value* term = atom;
+    if (c == -1) {
+      term = insert(std::make_unique<BinaryInst>(BinaryOp::Sub,
+                                                 ctx_.getInt32(0), atom));
+    } else if (c != 1) {
+      term = insert(std::make_unique<BinaryInst>(
+          BinaryOp::Mul, atom, ctx_.getInt32(static_cast<std::int32_t>(c))));
+    }
+    acc = acc == nullptr
+              ? term
+              : insert(std::make_unique<BinaryInst>(BinaryOp::Add, acc, term));
+  }
+  const std::int64_t c = d.constant().asInteger();
+  if (acc == nullptr) return ctx_.getInt32(static_cast<std::int32_t>(c));
+  if (c != 0) {
+    acc = insert(std::make_unique<BinaryInst>(
+        BinaryOp::Add, acc, ctx_.getInt32(static_cast<std::int32_t>(c))));
+  }
+  (void)i32;
+  return acc;
+}
+
+std::optional<std::string> IndexMaterializer::validateTree(
+    ir::Value* root, const std::map<unsigned, LinearDecomp>& solutions) {
+  ExprTree tree = ExprTree::build(root);
+  for (ExprNode* leaf : tree.leaves()) {
+    Value* v = leaf->value;
+    if (CallInst* query = asIdQuery(v)) {
+      // get_global_id contains the local id implicitly (gid = base + lid),
+      // so it needs a solution for its dimension just like get_local_id.
+      if (query->builtin() == Builtin::GetLocalId ||
+          query->builtin() == Builtin::GetGlobalId) {
+        const unsigned dim = *query->constDimension();
+        if (!solutions.contains(dim)) {
+          return cat("global load depends on the dim-", dim,
+                     " work-item index, which the local store index does "
+                     "not determine");
+        }
+        continue;  // will be substituted
+      }
+      continue;  // other queries are re-creatable
+    }
+    if (v->isConstant() || isa<Argument>(v)) continue;
+    if (!dominatesInsert(v)) {
+      return cat("global-load operand '%", v->name(),
+                 "' is not available at the local load");
+    }
+  }
+  return std::nullopt;
+}
+
+ir::Value* IndexMaterializer::duplicateWithSubstitution(
+    ir::Value* root, const std::map<unsigned, ir::Value*>& substByDim) {
+  // Leaf handling (Algorithm 1's isCallInst/isConst/isArgs/isPHI case).
+  if (CallInst* query = asIdQuery(root)) {
+    if (query->builtin() == Builtin::GetLocalId) {
+      auto it = substByDim.find(*query->constDimension());
+      if (it != substByDim.end()) return it->second;
+    }
+    if (query->builtin() == Builtin::GetGlobalId) {
+      const unsigned dim = *query->constDimension();
+      auto it = substByDim.find(dim);
+      if (it != substByDim.end()) {
+        // gid(d) → group_id(d)*local_size(d) + solution(d).
+        auto memoIt = dup_memo_.find(root);
+        if (memoIt != dup_memo_.end()) return memoIt->second;
+        Value* base = atomValue(AtomKey::groupBase(dim));
+        Value* replaced = insert(
+            std::make_unique<BinaryInst>(BinaryOp::Add, base, it->second));
+        dup_memo_.emplace(root, replaced);
+        return replaced;
+      }
+    }
+  }
+  if (isExprLeaf(root)) {
+    if (dominatesInsert(root)) return root;
+    if (CallInst* query = asIdQuery(root)) {
+      return atomValue(AtomKey::of(query));
+    }
+    throw GroverError("duplicate: leaf does not dominate insertion point");
+  }
+
+  auto memo = dup_memo_.find(root);
+  if (memo != dup_memo_.end()) return memo->second;
+
+  auto* inst = cast<Instruction>(root);
+  // Duplicate children first (post-order DFS, as in Algorithm 1).
+  std::vector<Value*> newOps;
+  newOps.reserve(inst->numOperands());
+  bool changed = false;
+  for (unsigned i = 0; i < inst->numOperands(); ++i) {
+    Value* newOp = duplicateWithSubstitution(inst->operand(i), substByDim);
+    changed |= newOp != inst->operand(i);
+    newOps.push_back(newOp);
+  }
+  // Reuse the existing instruction when nothing under it changed and it is
+  // available here (node state not marked — paper §IV-E "we reuse the
+  // sub-expressions shared by GL and nGL").
+  if (!changed && dominatesInsert(inst)) {
+    dup_memo_.emplace(root, root);
+    return root;
+  }
+  std::unique_ptr<Instruction> clone = inst->clone();
+  for (unsigned i = 0; i < clone->numOperands(); ++i) {
+    clone->setOperand(i, newOps[i]);
+  }
+  clone->setName("");
+  Instruction* placed = insert(std::move(clone));
+  dup_memo_.emplace(root, placed);
+  return placed;
+}
+
+}  // namespace grover::grv

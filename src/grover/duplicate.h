@@ -1,0 +1,63 @@
+// Instruction materialization and duplication (paper §IV-E, Algorithm 1):
+// rebuild the GL address computation before each LL with the local thread
+// index replaced by the linear-system solution, reusing subexpressions
+// whose nodes need no update.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/dominators.h"
+#include "grover/linear_decomp.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+
+namespace grover::grv {
+
+/// Emits index instructions immediately before a fixed insertion point.
+/// All emitted values are i32.
+class IndexMaterializer {
+ public:
+  IndexMaterializer(ir::Function& fn, analysis::DominatorTree& dt,
+                    ir::Instruction* insertPoint);
+
+  /// Check that a decomposition can be materialized at the insertion point:
+  /// integer coefficients, and every atom either re-creatable (id query) or
+  /// dominating the insertion point. Returns an error string on failure.
+  [[nodiscard]] std::optional<std::string> validate(const LinearDecomp& d);
+
+  /// Emit Σ coeff·atom + const. validate() must have succeeded.
+  ir::Value* materialize(const LinearDecomp& d);
+
+  /// Validate that the GL expression tree can be duplicated here given the
+  /// set of local-id dims with solutions: every get_local_id leaf's dim has
+  /// a solution, other leaves dominate or are re-creatable.
+  [[nodiscard]] std::optional<std::string> validateTree(
+      ir::Value* root, const std::map<unsigned, LinearDecomp>& solutions);
+
+  /// Algorithm 1: duplicate the expression tree rooted at `root`,
+  /// substituting get_local_id(d) leaves with `substByDim[d]` and reusing
+  /// every subtree that needs no update.
+  ir::Value* duplicateWithSubstitution(
+      ir::Value* root, const std::map<unsigned, ir::Value*>& substByDim);
+
+ private:
+  /// A value for an atom, creating a fresh id-query call when needed.
+  ir::Value* atomValue(const AtomKey& key);
+  /// An id-query value: reuse a dominating call or create one.
+  ir::Value* queryValue(ir::Builtin builtin, unsigned dim);
+  [[nodiscard]] bool dominatesInsert(ir::Value* v) const;
+  ir::Value* asI32(ir::Value* v);
+  ir::Instruction* insert(std::unique_ptr<ir::Instruction> inst);
+
+  ir::Function& fn_;
+  analysis::DominatorTree& dt_;
+  ir::Instruction* insert_point_;
+  ir::Context& ctx_;
+  std::map<AtomKey, ir::Value*> atom_cache_;
+  std::unordered_map<ir::Value*, ir::Value*> dup_memo_;
+};
+
+}  // namespace grover::grv

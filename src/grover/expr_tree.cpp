@@ -1,0 +1,179 @@
+#include "grover/expr_tree.h"
+
+#include "grover/atom.h"
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+bool isExprLeaf(ir::Value* v) {
+  if (v->isConstant()) return true;
+  if (isa<Argument>(v)) return true;
+  if (isa<CallInst>(v)) return true;
+  if (isa<PhiInst>(v)) return true;
+  if (isa<AllocaInst>(v)) return true;
+  if (isa<LoadInst>(v)) return true;
+  return !v->isInstruction();
+}
+
+ExprNode* ExprTree::makeNode(ir::Value* value, ExprNode* parent) {
+  arena_.push_back(std::make_unique<ExprNode>());
+  ExprNode* node = arena_.back().get();
+  node->value = value;
+  node->parent = parent;
+  return node;
+}
+
+void ExprTree::buildRec(ExprNode* node) {
+  if (isExprLeaf(node->value)) return;
+  auto* inst = cast<Instruction>(node->value);
+  for (unsigned i = 0; i < inst->numOperands(); ++i) {
+    ExprNode* child = makeNode(inst->operand(i), node);
+    node->children.push_back(child);
+    buildRec(child);
+  }
+}
+
+ExprTree ExprTree::build(ir::Value* root) {
+  ExprTree tree;
+  tree.root_ = tree.makeNode(root, nullptr);
+  tree.buildRec(tree.root_);
+  return tree;
+}
+
+std::vector<ExprNode*> ExprTree::leaves() const {
+  std::vector<ExprNode*> out;
+  std::vector<ExprNode*> stack{root_};
+  while (!stack.empty()) {
+    ExprNode* node = stack.back();
+    stack.pop_back();
+    if (node->children.empty()) {
+      out.push_back(node);
+    } else {
+      for (auto it = node->children.rbegin(); it != node->children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+void ExprTree::markDirtyUpward(ExprNode* node) {
+  for (ExprNode* n = node; n != nullptr; n = n->parent) {
+    if (n->state) break;  // ancestors already marked
+    n->state = true;
+  }
+}
+
+namespace {
+
+std::string renderRec(ir::Value* v, int depth) {
+  if (depth > 16) return "...";
+  if (const auto* c = dyn_cast<ConstantInt>(v)) {
+    return std::to_string(c->value());
+  }
+  if (isExprLeaf(v)) return AtomKey::of(v).name();
+  if (const auto* bin = dyn_cast<BinaryInst>(v)) {
+    const char* op = "?";
+    switch (bin->op()) {
+      case BinaryOp::Add: op = " + "; break;
+      case BinaryOp::Sub: op = " - "; break;
+      case BinaryOp::Mul: op = "*"; break;
+      case BinaryOp::SDiv: op = "/"; break;
+      case BinaryOp::SRem: op = "%"; break;
+      case BinaryOp::Shl: op = "<<"; break;
+      case BinaryOp::AShr: op = ">>"; break;
+      case BinaryOp::And: op = "&"; break;
+      case BinaryOp::Or: op = "|"; break;
+      case BinaryOp::Xor: op = "^"; break;
+      default: break;
+    }
+    const bool tight = bin->op() == BinaryOp::Mul;
+    std::string l = renderRec(bin->lhs(), depth + 1);
+    std::string r = renderRec(bin->rhs(), depth + 1);
+    if (tight) return l + op + r;
+    return "(" + l + op + r + ")";
+  }
+  if (const auto* cast_ = dyn_cast<CastInst>(v)) {
+    return renderRec(cast_->value(), depth + 1);
+  }
+  if (const auto* gep = dyn_cast<GepInst>(v)) {
+    return renderRec(gep->pointer(), depth + 1) + "[" +
+           renderRec(gep->index(), depth + 1) + "]";
+  }
+  return "<" + v->name() + ">";
+}
+
+/// True if this node is mul-by-constant (or shl-by-constant): the 'H'
+/// marker of Fig. 7.
+bool isStrideMul(ir::Value* v) {
+  const auto* bin = dyn_cast<BinaryInst>(v);
+  if (bin == nullptr) return false;
+  if (bin->op() == BinaryOp::Mul) {
+    return isa<ConstantInt>(bin->lhs()) || isa<ConstantInt>(bin->rhs());
+  }
+  if (bin->op() == BinaryOp::Shl) return isa<ConstantInt>(bin->rhs());
+  return false;
+}
+
+ir::Value* skipCasts(ir::Value* v) {
+  while (auto* cast_ = dyn_cast<CastInst>(v)) {
+    switch (cast_->op()) {
+      case CastOp::SExt:
+      case CastOp::ZExt:
+      case CastOp::Trunc:
+        v = cast_->value();
+        continue;
+      default:
+        return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string renderIndexExpr(ir::Value* v) { return renderRec(v, 0); }
+
+const char* toString(IndexPattern p) {
+  switch (p) {
+    case IndexPattern::Constant: return "constant";
+    case IndexPattern::Simple: return "simple";
+    case IndexPattern::PlusMul: return "+ -> *";
+    case IndexPattern::DerivedPlus: return "+ -> + -> *";
+    case IndexPattern::Other: return "other";
+  }
+  return "?";
+}
+
+IndexPattern classifyIndexPattern(ir::Value* v) {
+  v = skipCasts(v);
+  if (isa<ConstantInt>(v)) return IndexPattern::Constant;
+  if (isExprLeaf(v)) return IndexPattern::Simple;
+  const auto* bin = dyn_cast<BinaryInst>(v);
+  if (bin == nullptr) return IndexPattern::Other;
+  if (bin->op() != BinaryOp::Add) {
+    return isStrideMul(const_cast<BinaryInst*>(bin)) ? IndexPattern::Simple
+                                                     : IndexPattern::Other;
+  }
+  ir::Value* l = skipCasts(bin->lhs());
+  ir::Value* r = skipCasts(bin->rhs());
+  // '+ → *': one addend is a stride multiply.
+  if (isStrideMul(l) || isStrideMul(r)) return IndexPattern::PlusMul;
+  // '+ → + → *': an inner '+' holds the stride multiply (Fig. 7b).
+  for (ir::Value* side : {l, r}) {
+    if (auto* innerAdd = dyn_cast<BinaryInst>(side);
+        innerAdd != nullptr && innerAdd->op() == BinaryOp::Add) {
+      if (isStrideMul(skipCasts(innerAdd->lhs())) ||
+          isStrideMul(skipCasts(innerAdd->rhs()))) {
+        return IndexPattern::DerivedPlus;
+      }
+    }
+  }
+  return IndexPattern::Other;
+}
+
+}  // namespace grover::grv

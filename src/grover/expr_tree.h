@@ -1,0 +1,73 @@
+// Index expression trees (the paper's Fig. 6 ExprNode): leaves are call
+// instructions, constants, arguments or phi nodes; internal nodes are the
+// arithmetic instructions of the index computation. The `state` field marks
+// nodes that must be re-materialized when the local thread index is
+// substituted (paper §IV-E/F).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace grover::grv {
+
+struct ExprNode {
+  ir::Value* value = nullptr;
+  bool state = false;  // true = this node needs updating (re-creation)
+  ExprNode* parent = nullptr;
+  std::vector<ExprNode*> children;
+};
+
+/// Owns the nodes of one index expression tree.
+class ExprTree {
+ public:
+  /// Build the tree for an index value. Recursion stops at: call
+  /// instructions, constants, function arguments, phi nodes (paper §IV-B),
+  /// plus allocas and loads (opaque leaves in our IR).
+  static ExprTree build(ir::Value* root);
+
+  [[nodiscard]] ExprNode* root() const { return root_; }
+
+  /// All leaves in DFS order.
+  [[nodiscard]] std::vector<ExprNode*> leaves() const;
+
+  /// Mark `node` and every ancestor up to the root as needing update
+  /// (the backtracking step of paper §IV-E).
+  static void markDirtyUpward(ExprNode* node);
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t size() const { return arena_.size(); }
+
+ private:
+  ExprNode* makeNode(ir::Value* value, ExprNode* parent);
+  void buildRec(ExprNode* node);
+
+  ExprNode* root_ = nullptr;
+  std::vector<std::unique_ptr<ExprNode>> arena_;
+};
+
+/// True if recursion stops at this value (it is a tree leaf).
+[[nodiscard]] bool isExprLeaf(ir::Value* v);
+
+/// Render an index expression with symbolic atom names, e.g.
+/// "((wy*16 + ly)*W + (wx*16 + lx))" — used by the Table III report.
+[[nodiscard]] std::string renderIndexExpr(ir::Value* v);
+
+/// Classification of the paper's Fig. 7 data-index patterns, reported for
+/// each analyzed access.
+enum class IndexPattern {
+  Constant,     // no '+'/'*' structure at all
+  Simple,       // single term (one dimension)
+  PlusMul,      // '+ → *' (Fig. 7a)
+  DerivedPlus,  // '+ → + → *' (Fig. 7b)
+  Other,        // anything the affine decomposition still handles
+};
+[[nodiscard]] const char* toString(IndexPattern p);
+
+/// Syntactic classification of an index tree (diagnostic/report only; the
+/// transformation itself uses the affine decomposition).
+[[nodiscard]] IndexPattern classifyIndexPattern(ir::Value* v);
+
+}  // namespace grover::grv

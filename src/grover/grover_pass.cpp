@@ -1,0 +1,291 @@
+#include "grover/grover_pass.h"
+
+#include <map>
+
+#include "analysis/dominators.h"
+#include "grover/candidates.h"
+#include "grover/dim_split.h"
+#include "grover/duplicate.h"
+#include "grover/linear_system.h"
+#include "ir/casting.h"
+#include "passes/barrier_elim.h"
+#include "passes/cse.h"
+#include "passes/dce.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+namespace {
+
+std::string renderDims(const std::vector<LinearDecomp>& dims) {
+  std::vector<std::string> parts;
+  parts.reserve(dims.size());
+  for (const LinearDecomp& d : dims) parts.push_back(d.str());
+  return "(" + join(parts, ", ") + ")";
+}
+
+/// The flat index of a local access; null index means constant 0.
+std::optional<LinearDecomp> decomposeIndexOrZero(ir::Value* index) {
+  if (index == nullptr) return LinearDecomp(Rational(0));
+  return decompose(index);
+}
+
+/// One LL rewrite plan, fully validated before any IR is touched.
+struct LoadPlan {
+  ir::LoadInst* ll = nullptr;
+  const StagingPair* pair = nullptr;  // the (GL, LS) pair that solved
+  std::map<unsigned, LinearDecomp> solutions;
+};
+
+/// Try to reverse one LL through one staging pair (paper S1–S4 analysis)
+/// using the given dimension strides. On success fills `plan` and the
+/// report strings; on failure returns the reason.
+std::optional<std::string> tryPair(ir::Function& fn,
+                                   analysis::DominatorTree& dt,
+                                   const StagingPair& pair, ir::LoadInst* ll,
+                                   const std::vector<std::int64_t>& strides,
+                                   LoadPlan& plan, std::string* lsStr,
+                                   std::string* llStr, std::string* solStr) {
+  // S1: LS data index as a linear function of the local thread index.
+  const auto lsFlat = decomposeIndexOrZero(pair.lsIndex);
+  if (!lsFlat.has_value()) {
+    return "local store index is not an affine expression";
+  }
+  const auto lsDims = splitByStrides(*lsFlat, strides);
+  if (!lsDims.has_value()) {
+    return "local store index cannot be split into dimensions";
+  }
+
+  ir::Value* llIndexValue = nullptr;
+  if (auto* gep = dyn_cast<GepInst>(ll->pointer())) {
+    llIndexValue = gep->index();
+  }
+  const auto llFlat = decomposeIndexOrZero(llIndexValue);
+  if (!llFlat.has_value()) {
+    return "local load index is not an affine expression";
+  }
+  const auto llDims = splitByStrides(*llFlat, strides);
+  if (!llDims.has_value()) {
+    return "local load index cannot be split into dimensions";
+  }
+
+  // S2: create and solve the linear system.
+  std::vector<unsigned> unknownDims;
+  auto equations = buildEquations(*lsDims, *llDims, unknownDims);
+  if (!equations.has_value()) return "cannot build the linear system";
+  auto solution = solveLinearSystem(*equations, unknownDims.size());
+  if (!solution.has_value()) {
+    return "the linear system has no unique solution (index not reversible)";
+  }
+
+  plan.ll = ll;
+  plan.pair = &pair;
+  plan.solutions.clear();
+  for (std::size_t j = 0; j < unknownDims.size(); ++j) {
+    plan.solutions.emplace(unknownDims[j], solution->values[j]);
+  }
+
+  // S3/S4 validation: the GL address expression must be reconstructible at
+  // the LL with the solved local index.
+  IndexMaterializer mat(fn, dt, ll);
+  for (const auto& [dim, sol] : plan.solutions) {
+    (void)dim;
+    if (auto err = mat.validate(sol)) return err;
+  }
+  if (auto err = mat.validateTree(pair.gl->pointer(), plan.solutions)) {
+    return err;
+  }
+
+  if (lsStr != nullptr) *lsStr = renderDims(*lsDims);
+  if (llStr != nullptr) *llStr = renderDims(*llDims);
+  if (solStr != nullptr) {
+    std::vector<std::string> parts;
+    const char* axes = "xyz";
+    for (const auto& [dim, sol] : plan.solutions) {
+      parts.push_back(cat("l", axes[dim], " := ", sol.str()));
+    }
+    *solStr = join(parts, ", ");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const BufferResult& GroverResult::forBuffer(const std::string& name) const {
+  for (const BufferResult& b : buffers) {
+    if (b.bufferName == name) return b;
+  }
+  throw GroverError("GroverResult: no buffer named '" + name + "'");
+}
+
+GroverResult runGrover(ir::Function& fn, const GroverOptions& options) {
+  GroverResult result;
+  std::vector<CandidateBuffer> candidates = findCandidates(fn);
+
+  for (CandidateBuffer& cand : candidates) {
+    BufferResult br;
+    br.bufferName = cand.buffer->name();
+    br.numLocalLoads = static_cast<unsigned>(cand.localLoads.size());
+    br.numStagingPairs = static_cast<unsigned>(cand.pairs.size());
+
+    if (!options.onlyBuffers.empty() &&
+        !options.onlyBuffers.contains(br.bufferName)) {
+      br.reason = "skipped (not selected)";
+      result.buffers.push_back(std::move(br));
+      continue;
+    }
+    if (!cand.patternOK) {
+      br.reason = cand.reason;
+      result.buffers.push_back(std::move(br));
+      continue;
+    }
+
+    analysis::DominatorTree dt(fn);
+
+    // Phase A: plan every LL (all-or-nothing per buffer). §IV-A notes any
+    // (GL, LS) pair yields the same correspondence; multi-pass staging
+    // (stencil halos, per-row tile loads) produces pairs that only solve
+    // against their matching LL, so each LL scans the pairs in order.
+    std::vector<LoadPlan> plans;
+    std::string failure;
+    bool first = true;
+    // Dimension strides: the declared array shape first (exactly how the
+    // front-end flattened the indexing), then the strides inferred from
+    // each LS index's '+ -> *' structure (the paper's syntactic split, for
+    // buffers declared 1-D but indexed 2-D).
+    const std::vector<std::int64_t> declared =
+        stridesFromDims(cand.buffer->arrayDims());
+
+    for (ir::LoadInst* ll : cand.localLoads) {
+      LoadPlan plan;
+      bool solved = false;
+      std::string lastError = "no staging pair matched";
+      // Phase order matters: every pair is first tried with the declared
+      // strides (each multi-pass pair only solves against its matching LL
+      // there), and only if none matches do we fall back to the inferred
+      // '+ -> *' strides of each pair.
+      std::vector<std::pair<const StagingPair*, std::vector<std::int64_t>>>
+          attempts;
+      if (!declared.empty()) {
+        for (const StagingPair& pair : cand.pairs) {
+          attempts.emplace_back(&pair, declared);
+        }
+      }
+      for (const StagingPair& pair : cand.pairs) {
+        if (const auto lsFlat = decomposeIndexOrZero(pair.lsIndex)) {
+          if (auto inferred = inferStrides(*lsFlat)) {
+            if (declared.empty() || *inferred != declared) {
+              attempts.emplace_back(&pair, std::move(*inferred));
+            }
+          }
+        }
+      }
+      if (attempts.empty()) {
+        lastError = "local store index does not match the '+ -> *' pattern";
+      }
+      for (const auto& [pairPtr, strides] : attempts) {
+        const StagingPair& pair = *pairPtr;
+        std::optional<std::string> err =
+            tryPair(fn, dt, pair, ll, strides, plan,
+                    first ? &br.lsIndex : nullptr,
+                    first ? &br.llIndex : nullptr,
+                    first ? &br.solution : nullptr);
+        if (!err.has_value()) {
+          solved = true;
+          if (first) {
+            br.glIndex =
+                pair.glIndex != nullptr ? renderIndexExpr(pair.glIndex) : "0";
+            br.lsPattern = pair.lsIndex != nullptr
+                               ? classifyIndexPattern(pair.lsIndex)
+                               : IndexPattern::Constant;
+            ir::Value* llIndexValue = nullptr;
+            if (auto* gep = dyn_cast<GepInst>(ll->pointer())) {
+              llIndexValue = gep->index();
+            }
+            br.llPattern = llIndexValue != nullptr
+                               ? classifyIndexPattern(llIndexValue)
+                               : IndexPattern::Constant;
+          }
+          break;
+        }
+        lastError = *err;
+      }
+      if (!solved) {
+        failure = lastError;
+        break;
+      }
+      plans.push_back(std::move(plan));
+      first = false;
+    }
+
+    if (!failure.empty()) {
+      br.reason = failure;
+      result.buffers.push_back(std::move(br));
+      continue;
+    }
+
+    // Phase B: emit. Replace each LL with the duplicated nGL.
+    bool firstNgl = true;
+    for (const LoadPlan& plan : plans) {
+      IndexMaterializer mat(fn, dt, plan.ll);
+      std::map<unsigned, Value*> substByDim;
+      for (const auto& [dim, sol] : plan.solutions) {
+        substByDim.emplace(dim, mat.materialize(sol));
+      }
+      Value* newPtr =
+          mat.duplicateWithSubstitution(plan.pair->gl->pointer(), substByDim);
+      auto ngl = std::make_unique<LoadInst>(newPtr);
+      ngl->setName("ngl");
+      Instruction* nglInst =
+          plan.ll->parent()->insertBefore(plan.ll, std::move(ngl));
+      if (firstNgl) {
+        if (auto* gep = dyn_cast<GepInst>(newPtr)) {
+          br.nglIndex = renderIndexExpr(gep->index());
+        } else {
+          br.nglIndex = "0";
+        }
+        firstNgl = false;
+      }
+      plan.ll->replaceAllUsesWith(nglInst);
+      plan.ll->dropAllOperands();
+      plan.ll->parent()->erase(plan.ll);
+    }
+    if (plans.empty()) {
+      // No local loads: the staging is dead weight either way.
+      br.llIndex = "-";
+      br.nglIndex = "-";
+    }
+
+    // Remove the LS stores (paper: "remove the redundant instructions").
+    for (const StagingPair& p : cand.pairs) {
+      p.ls->dropAllOperands();
+      p.ls->parent()->erase(p.ls);
+    }
+    br.transformed = true;
+    result.anyTransformed = true;
+    result.buffers.push_back(std::move(br));
+  }
+
+  if (result.anyTransformed && options.cleanup) {
+    // Sweep the dead GL chain, the dead index arithmetic and (once
+    // unused) the local allocas; CSE folds re-materialized id queries and
+    // duplicated index arithmetic back into the originals.
+    passes::DcePass dce;
+    dce.run(fn);
+    passes::CsePass cse;
+    if (cse.run(fn)) dce.run(fn);
+  }
+  if (result.anyTransformed && options.removeBarriers) {
+    passes::BarrierElimPass barrierElim;
+    result.barriersRemoved = barrierElim.run(fn);
+    if (result.barriersRemoved) {
+      passes::DcePass dce;
+      dce.run(fn);
+    }
+  }
+  return result;
+}
+
+}  // namespace grover::grv

@@ -1,0 +1,76 @@
+// The Grover pass (paper §IV): automatically disable local memory usage in
+// a kernel by replacing every local load (LL) with an equivalent global
+// load (nGL), then sweeping the dead staging code, buffers, and barriers.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "grover/expr_tree.h"
+#include "passes/pass.h"
+
+namespace grover::grv {
+
+/// Per-buffer outcome, including the symbolic index report that reproduces
+/// a Table III row.
+struct BufferResult {
+  std::string bufferName;
+  bool transformed = false;
+  std::string reason;  // refusal reason when !transformed
+
+  // Symbolic index tuples of the first (GL, LS, LL) triple and the derived
+  // nGL, rendered like the paper's Table III.
+  std::string glIndex;
+  std::string lsIndex;   // per-dimension, e.g. "(ly, lx)"
+  std::string llIndex;
+  std::string nglIndex;
+  std::string solution;  // "(lx, ly) := (ly, lx)"
+
+  IndexPattern lsPattern = IndexPattern::Other;
+  IndexPattern llPattern = IndexPattern::Other;
+  unsigned numLocalLoads = 0;
+  unsigned numStagingPairs = 0;
+};
+
+struct GroverResult {
+  std::vector<BufferResult> buffers;
+  bool anyTransformed = false;
+  bool barriersRemoved = false;
+
+  /// Result for a named buffer; throws when absent.
+  [[nodiscard]] const BufferResult& forBuffer(const std::string& name) const;
+};
+
+struct GroverOptions {
+  /// Only transform these buffers (empty = all candidates). Used for the
+  /// paper's NVD-MM-A / -B / -AB variants.
+  std::set<std::string> onlyBuffers;
+  /// Remove local barriers once no local memory access remains.
+  bool removeBarriers = true;
+  /// Run DCE afterwards to sweep the dead staging chain.
+  bool cleanup = true;
+};
+
+/// Run Grover on one kernel. The kernel must be in SSA form (post mem2reg).
+[[nodiscard]] GroverResult runGrover(ir::Function& fn,
+                                     const GroverOptions& options = {});
+
+/// FunctionPass adapter so Grover can sit in a PassManager pipeline.
+class GroverPass final : public passes::FunctionPass {
+ public:
+  explicit GroverPass(GroverOptions options = {})
+      : options_(std::move(options)) {}
+  [[nodiscard]] std::string name() const override { return "grover"; }
+  bool run(ir::Function& fn) override {
+    last_ = runGrover(fn, options_);
+    return last_.anyTransformed;
+  }
+  [[nodiscard]] const GroverResult& lastResult() const { return last_; }
+
+ private:
+  GroverOptions options_;
+  GroverResult last_;
+};
+
+}  // namespace grover::grv

@@ -1,0 +1,238 @@
+#include "grover/linear_decomp.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+Rational LinearDecomp::coeff(const AtomKey& key) const {
+  auto it = terms_.find(key);
+  return it != terms_.end() ? it->second : Rational{};
+}
+
+void LinearDecomp::addTerm(const AtomKey& key, Rational coeff) {
+  if (coeff.isZero()) return;
+  auto [it, inserted] = terms_.try_emplace(key, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second.isZero()) terms_.erase(it);
+  }
+}
+
+LinearDecomp& LinearDecomp::operator+=(const LinearDecomp& o) {
+  for (const auto& [key, coeff] : o.terms_) addTerm(key, coeff);
+  constant_ += o.constant_;
+  return *this;
+}
+
+LinearDecomp& LinearDecomp::operator-=(const LinearDecomp& o) {
+  for (const auto& [key, coeff] : o.terms_) addTerm(key, -coeff);
+  constant_ -= o.constant_;
+  return *this;
+}
+
+void LinearDecomp::scale(Rational factor) {
+  if (factor.isZero()) {
+    terms_.clear();
+    constant_ = Rational{};
+    return;
+  }
+  for (auto& [key, coeff] : terms_) coeff *= factor;
+  constant_ *= factor;
+}
+
+Rational LinearDecomp::localIdCoeff(unsigned dim) const {
+  for (const auto& [key, coeff] : terms_) {
+    if (key.isLocalId() && key.dim() == dim) return coeff;
+  }
+  return Rational{};
+}
+
+LinearDecomp LinearDecomp::extractLocalIdTerms() {
+  LinearDecomp removed;
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (it->first.isLocalId()) {
+      removed.addTerm(it->first, it->second);
+      it = terms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool LinearDecomp::usesLocalId() const {
+  for (const auto& [key, coeff] : terms_) {
+    (void)coeff;
+    if (key.isLocalId()) return true;
+  }
+  return false;
+}
+
+bool LinearDecomp::isIntegral() const {
+  if (!constant_.isInteger()) return false;
+  for (const auto& [key, coeff] : terms_) {
+    (void)key;
+    if (!coeff.isInteger()) return false;
+  }
+  return true;
+}
+
+std::string LinearDecomp::str() const {
+  std::vector<std::string> parts;
+  for (const auto& [key, coeff] : terms_) {
+    if (coeff.isOne()) {
+      parts.push_back(key.name());
+    } else if (coeff == Rational(-1)) {
+      parts.push_back("-" + key.name());
+    } else {
+      parts.push_back(coeff.str() + "*" + key.name());
+    }
+  }
+  if (!constant_.isZero() || parts.empty()) {
+    parts.push_back(constant_.str());
+  }
+  std::string out = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (!parts[i].empty() && parts[i][0] == '-') {
+      out += " - " + parts[i].substr(1);
+    } else {
+      out += " + " + parts[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool usesIdQueryImpl(ir::Value* v,
+                     std::unordered_map<ir::Value*, bool>& memo) {
+  auto it = memo.find(v);
+  if (it != memo.end()) return it->second;
+  memo[v] = false;  // break cycles through phis conservatively
+  bool result = false;
+  if (asIdQuery(v) != nullptr) {
+    result = true;
+  } else if (auto* inst = dyn_cast<Instruction>(v)) {
+    // Phis and loads are opaque boundaries: a loop counter phi is a
+    // symbolic constant per the paper even if its bounds involve ids.
+    if (!isa<PhiInst>(inst) && !isa<LoadInst>(inst) &&
+        !isa<AllocaInst>(inst)) {
+      for (unsigned i = 0; i < inst->numOperands(); ++i) {
+        if (usesIdQueryImpl(inst->operand(i), memo)) {
+          result = true;
+          break;
+        }
+      }
+    }
+  }
+  memo[v] = result;
+  return result;
+}
+
+/// Recursive decomposition; `idMemo` caches id-dependence queries.
+///
+/// The walk descends through add/sub/mul-by-constant/shl/casts so that
+/// loop-variable terms like k*16 keep their coefficient. Any subtree that
+/// cannot be decomposed linearly becomes ONE opaque atom if it is
+/// independent of the work-item id (the paper's application-specific
+/// symbols, e.g. i*S) — and fails the whole decomposition otherwise.
+std::optional<LinearDecomp> decomposeImpl(
+    ir::Value* v, std::unordered_map<ir::Value*, bool>& idMemo) {
+  auto opaqueOrFail = [&](ir::Value* node) -> std::optional<LinearDecomp> {
+    if (usesIdQueryImpl(node, idMemo)) return std::nullopt;
+    LinearDecomp d;
+    d.addTerm(AtomKey::of(node), Rational(1));
+    return d;
+  };
+
+  // Constants.
+  if (auto* c = dyn_cast<ConstantInt>(v)) {
+    return LinearDecomp(Rational(c->value()));
+  }
+  // Id queries are canonical atoms — except get_global_id, which hides the
+  // local thread index inside it: gid(d) = group_id(d)*local_size(d) +
+  // local_id(d). Splitting it here is what lets Grover reverse kernels that
+  // index through the global id.
+  if (CallInst* query = asIdQuery(v)) {
+    LinearDecomp d;
+    if (query->builtin() == Builtin::GetGlobalId) {
+      const unsigned dim = *query->constDimension();
+      d.addTerm(AtomKey::groupBase(dim), Rational(1));
+      d.addTerm(AtomKey::localId(dim), Rational(1));
+      return d;
+    }
+    d.addTerm(AtomKey::of(v), Rational(1));
+    return d;
+  }
+
+  if (auto* bin = dyn_cast<BinaryInst>(v)) {
+    auto lhs = decomposeImpl(bin->lhs(), idMemo);
+    auto rhs = decomposeImpl(bin->rhs(), idMemo);
+    if (lhs.has_value() && rhs.has_value()) {
+      switch (bin->op()) {
+        case BinaryOp::Add:
+          *lhs += *rhs;
+          return lhs;
+        case BinaryOp::Sub:
+          *lhs -= *rhs;
+          return lhs;
+        case BinaryOp::Mul:
+          if (rhs->isConstant()) {
+            lhs->scale(rhs->constant());
+            return lhs;
+          }
+          if (lhs->isConstant()) {
+            rhs->scale(lhs->constant());
+            return rhs;
+          }
+          break;  // product of two symbolic expressions
+        case BinaryOp::Shl:
+          if (rhs->isConstant() && rhs->constant().isInteger() &&
+              rhs->constant().asInteger() >= 0 &&
+              rhs->constant().asInteger() < 31) {
+            lhs->scale(
+                Rational(std::int64_t{1} << rhs->constant().asInteger()));
+            return lhs;
+          }
+          break;
+        default:
+          // SDiv/SRem/bitwise: integer semantics are not linear.
+          break;
+      }
+    }
+    return opaqueOrFail(v);
+  }
+  if (auto* cast_ = dyn_cast<CastInst>(v)) {
+    // Integer width changes are transparent for index analysis.
+    switch (cast_->op()) {
+      case CastOp::SExt:
+      case CastOp::ZExt:
+      case CastOp::Trunc:
+        return decomposeImpl(cast_->value(), idMemo);
+      default:
+        return opaqueOrFail(v);
+    }
+  }
+  // Arguments, phis, loads, non-query calls, selects, ...
+  return opaqueOrFail(v);
+}
+
+}  // namespace
+
+bool usesIdQuery(ir::Value* v) {
+  std::unordered_map<ir::Value*, bool> memo;
+  return usesIdQueryImpl(v, memo);
+}
+
+std::optional<LinearDecomp> decompose(ir::Value* v) {
+  std::unordered_map<ir::Value*, bool> memo;
+  return decomposeImpl(v, memo);
+}
+
+}  // namespace grover::grv

@@ -1,0 +1,71 @@
+// LinearDecomp: an index expression as a rational-coefficient linear
+// combination of atoms plus a constant — the machine form of the paper's
+// Equation 2 (x = a0*lx + b0*ly + c0*lz + d0, where d0 collects the
+// kernel-specific symbolic terms).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "grover/atom.h"
+#include "ir/instruction.h"
+#include "support/rational.h"
+
+namespace grover::grv {
+
+/// Σ coeff·atom + constant. Atoms whose key isLocalId() are the unknowns
+/// of the linear system; every other atom acts as a symbolic constant.
+class LinearDecomp {
+ public:
+  LinearDecomp() = default;
+  explicit LinearDecomp(Rational constant) : constant_(constant) {}
+
+  [[nodiscard]] const std::map<AtomKey, Rational>& terms() const {
+    return terms_;
+  }
+  [[nodiscard]] Rational constant() const { return constant_; }
+  [[nodiscard]] bool isConstant() const { return terms_.empty(); }
+
+  [[nodiscard]] Rational coeff(const AtomKey& key) const;
+  void addTerm(const AtomKey& key, Rational coeff);
+  void setConstant(Rational c) { constant_ = c; }
+
+  LinearDecomp& operator+=(const LinearDecomp& o);
+  LinearDecomp& operator-=(const LinearDecomp& o);
+  /// Scale every coefficient and the constant.
+  void scale(Rational factor);
+
+  /// Coefficient of get_local_id(dim); zero if absent.
+  [[nodiscard]] Rational localIdCoeff(unsigned dim) const;
+  /// Drop get_local_id terms (returns the removed part).
+  LinearDecomp extractLocalIdTerms();
+  /// True if any get_local_id atom appears with nonzero coefficient.
+  [[nodiscard]] bool usesLocalId() const;
+  /// True if every coefficient and the constant are integers.
+  [[nodiscard]] bool isIntegral() const;
+
+  /// Human-readable form, e.g. "16*wy + ly" (for Table III).
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const LinearDecomp&, const LinearDecomp&) = default;
+
+ private:
+  std::map<AtomKey, Rational> terms_;
+  Rational constant_;
+};
+
+/// Decompose an integer-typed IR value into a LinearDecomp.
+/// Returns nullopt when the expression is not linear over atoms (e.g. the
+/// product of two non-constant subexpressions that both involve
+/// get_local_id) — the case where the paper's method must refuse.
+///
+/// Subtrees that do not involve any work-item id query are treated as one
+/// opaque atom (the paper's application-specific symbols like i*S).
+[[nodiscard]] std::optional<LinearDecomp> decompose(ir::Value* v);
+
+/// True if the expression tree rooted at `v` transitively reads any
+/// work-item id query (memoised walk through instructions).
+[[nodiscard]] bool usesIdQuery(ir::Value* v);
+
+}  // namespace grover::grv

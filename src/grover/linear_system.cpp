@@ -1,0 +1,101 @@
+#include "grover/linear_system.h"
+
+#include <set>
+
+namespace grover::grv {
+
+std::optional<std::vector<LinearEquation>> buildEquations(
+    const std::vector<LinearDecomp>& lsDims,
+    const std::vector<LinearDecomp>& llDims,
+    std::vector<unsigned>& unknownDims) {
+  if (lsDims.size() != llDims.size()) return std::nullopt;
+
+  // The unknowns are the get_local_id dimensions appearing in the LS index.
+  std::set<unsigned> dims;
+  for (const LinearDecomp& ls : lsDims) {
+    for (const auto& [key, coeff] : ls.terms()) {
+      (void)coeff;
+      if (key.isLocalId()) dims.insert(key.dim());
+    }
+  }
+  unknownDims.assign(dims.begin(), dims.end());
+
+  std::vector<LinearEquation> equations;
+  equations.reserve(lsDims.size());
+  for (std::size_t d = 0; d < lsDims.size(); ++d) {
+    LinearEquation eq;
+    LinearDecomp ls = lsDims[d];
+    LinearDecomp lsUnknowns = ls.extractLocalIdTerms();
+    eq.coeffs.resize(unknownDims.size());
+    for (std::size_t j = 0; j < unknownDims.size(); ++j) {
+      eq.coeffs[j] = lsUnknowns.localIdCoeff(unknownDims[j]);
+    }
+    // RHS = LL_d − (LS_d without its unknown terms).
+    eq.rhs = llDims[d];
+    eq.rhs -= ls;
+    equations.push_back(std::move(eq));
+  }
+  return equations;
+}
+
+std::optional<LinearSolution> solveLinearSystem(
+    std::vector<LinearEquation> equations, std::size_t numUnknowns) {
+  const std::size_t rows = equations.size();
+
+  // Forward elimination with partial (first-nonzero) pivoting.
+  std::size_t pivotRow = 0;
+  std::vector<std::size_t> pivotOfCol(numUnknowns, SIZE_MAX);
+  for (std::size_t col = 0; col < numUnknowns && pivotRow < rows; ++col) {
+    std::size_t sel = SIZE_MAX;
+    for (std::size_t r = pivotRow; r < rows; ++r) {
+      if (!equations[r].coeffs[col].isZero()) {
+        sel = r;
+        break;
+      }
+    }
+    if (sel == SIZE_MAX) continue;  // free column → singular
+    std::swap(equations[sel], equations[pivotRow]);
+    LinearEquation& pivot = equations[pivotRow];
+    // Normalize the pivot row.
+    const Rational inv = Rational(1) / pivot.coeffs[col];
+    for (Rational& c : pivot.coeffs) c *= inv;
+    pivot.rhs.scale(inv);
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pivotRow) continue;
+      const Rational factor = equations[r].coeffs[col];
+      if (factor.isZero()) continue;
+      for (std::size_t c = 0; c < numUnknowns; ++c) {
+        equations[r].coeffs[c] -= factor * pivot.coeffs[c];
+      }
+      LinearDecomp scaled = pivot.rhs;
+      scaled.scale(factor);
+      equations[r].rhs -= scaled;
+    }
+    pivotOfCol[col] = pivotRow;
+    ++pivotRow;
+  }
+
+  // Every unknown needs a pivot (unique solution — paper S2).
+  for (std::size_t col = 0; col < numUnknowns; ++col) {
+    if (pivotOfCol[col] == SIZE_MAX) return std::nullopt;
+  }
+  // Residual rows must be symbolically 0 = 0.
+  for (std::size_t r = pivotRow; r < rows; ++r) {
+    bool allZero = true;
+    for (const Rational& c : equations[r].coeffs) {
+      if (!c.isZero()) allZero = false;
+    }
+    if (!allZero) return std::nullopt;
+    if (!(equations[r].rhs == LinearDecomp{})) return std::nullopt;
+  }
+
+  LinearSolution solution;
+  solution.values.resize(numUnknowns);
+  for (std::size_t col = 0; col < numUnknowns; ++col) {
+    solution.values[col] = equations[pivotOfCol[col]].rhs;
+  }
+  return solution;
+}
+
+}  // namespace grover::grv

@@ -1,0 +1,44 @@
+// The linear system of paper §III-B S2: per-dimension LS index (unknowns =
+// local thread index) equals the LL index (symbolic right-hand sides).
+// Solved by exact Gaussian elimination over the rationals; singular or
+// inconsistent systems refuse the transformation, as in the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grover/linear_decomp.h"
+
+namespace grover::grv {
+
+/// One equation: Σ coeffs[j]·unknown[j] = rhs (symbolic).
+struct LinearEquation {
+  std::vector<Rational> coeffs;
+  LinearDecomp rhs;
+};
+
+/// Result of a solve: per-unknown symbolic solution.
+struct LinearSolution {
+  /// solution[j] is the LinearDecomp the j-th unknown equals.
+  std::vector<LinearDecomp> values;
+};
+
+/// Solve the system. `unknowns` names the columns (get_local_id dims).
+/// Returns nullopt when:
+///  - the system has no unique solution (singular — paper S2 refusal), or
+///  - an all-zero row has a RHS that is not symbolically zero
+///    (inconsistent: the LL reads a slot no work-item stored).
+[[nodiscard]] std::optional<LinearSolution> solveLinearSystem(
+    std::vector<LinearEquation> equations, std::size_t numUnknowns);
+
+/// Build equations from split LS/LL indexes: one per dimension.
+/// `unknownDims` returns which get_local_id dimensions are the unknowns
+/// (sorted). Returns nullopt when LS coefficients are non-rational-constant
+/// (cannot happen after decompose) or dims mismatch.
+[[nodiscard]] std::optional<std::vector<LinearEquation>> buildEquations(
+    const std::vector<LinearDecomp>& lsDims,
+    const std::vector<LinearDecomp>& llDims,
+    std::vector<unsigned>& unknownDims);
+
+}  // namespace grover::grv

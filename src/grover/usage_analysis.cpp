@@ -1,0 +1,124 @@
+#include "grover/usage_analysis.h"
+
+#include <sstream>
+
+#include "grover/candidates.h"
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::grv {
+
+using namespace ir;
+
+const char* toString(LocalUsageKind kind) {
+  switch (kind) {
+    case LocalUsageKind::SoftwareCache: return "software-cache";
+    case LocalUsageKind::TemporalStorage: return "temporal-storage";
+    case LocalUsageKind::WriteOnly: return "write-only";
+    case LocalUsageKind::ReadOnly: return "read-only";
+    case LocalUsageKind::Unused: return "unused";
+  }
+  return "?";
+}
+
+bool LocalUsageReport::anyReversible() const {
+  for (const LocalBufferUsage& b : buffers) {
+    if (b.kind == LocalUsageKind::SoftwareCache) return true;
+  }
+  return false;
+}
+
+const LocalBufferUsage* LocalUsageReport::find(const std::string& name) const {
+  for (const LocalBufferUsage& b : buffers) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::string LocalUsageReport::str() const {
+  std::ostringstream os;
+  os << "local memory: " << totalLocalBytes << " bytes in " << buffers.size()
+     << " buffer(s), " << numBarriers << " barrier site(s)\n";
+  for (const LocalBufferUsage& b : buffers) {
+    os << "  " << b.name << " (" << b.sizeBytes << " B";
+    if (!b.declaredDims.empty()) {
+      os << ", dims";
+      for (std::uint64_t d : b.declaredDims) os << " " << d;
+    }
+    os << "): " << toString(b.kind) << ", " << b.numStores << " store(s) ("
+       << b.numStagingPairs << " staged), " << b.numLoads << " load(s)"
+       << (b.guardedByBarrier ? ", barrier-guarded" : "") << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// True if some barrier call appears in a block that is neither the
+/// definition block of a store nor of a load... simplified: the kernel has
+/// at least one local barrier and the buffer has both stores and loads.
+bool hasLocalBarrier(const Function& fn) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalUsageReport analyzeLocalMemoryUsage(ir::Function& fn) {
+  LocalUsageReport report;
+  const bool barrier = hasLocalBarrier(fn);
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) ++report.numBarriers;
+      }
+    }
+  }
+
+  for (const CandidateBuffer& cand : findCandidates(fn)) {
+    LocalBufferUsage usage;
+    usage.name = cand.buffer->name();
+    usage.sizeBytes = cand.buffer->sizeInBytes();
+    usage.declaredDims = cand.buffer->arrayDims();
+    usage.numLoads = static_cast<unsigned>(cand.localLoads.size());
+    usage.numStagingPairs = static_cast<unsigned>(cand.pairs.size());
+    // Count every store (staged or computed).
+    unsigned stores = 0;
+    for (const Use* use : cand.buffer->uses()) {
+      const auto* user = dyn_cast<Instruction>(use->user);
+      if (user == nullptr) continue;
+      if (isa<StoreInst>(user)) ++stores;
+      if (const auto* gep = dyn_cast<GepInst>(user)) {
+        for (const Use* gepUse : gep->uses()) {
+          if (isa<StoreInst>(gepUse->user)) ++stores;
+        }
+      }
+    }
+    usage.numStores = stores;
+    usage.guardedByBarrier =
+        barrier && usage.numStores > 0 && usage.numLoads > 0;
+
+    if (usage.numStores == 0 && usage.numLoads == 0) {
+      usage.kind = LocalUsageKind::Unused;
+    } else if (usage.numStores == 0) {
+      usage.kind = LocalUsageKind::ReadOnly;
+    } else if (usage.numLoads == 0 && cand.patternOK) {
+      usage.kind = LocalUsageKind::WriteOnly;
+    } else if (cand.patternOK) {
+      usage.kind = LocalUsageKind::SoftwareCache;
+    } else {
+      usage.kind = LocalUsageKind::TemporalStorage;
+    }
+    report.totalLocalBytes += usage.sizeBytes;
+    report.buffers.push_back(std::move(usage));
+  }
+  return report;
+}
+
+}  // namespace grover::grv

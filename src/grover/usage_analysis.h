@@ -1,0 +1,49 @@
+// Local-memory usage analysis — the paper's second contribution: "an
+// empirical approach to detect the usage of local memory in an OpenCL
+// kernel". Classifies every __local buffer by how the kernel uses it, so
+// callers (and the auto-tuner) know which buffers Grover can reverse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace grover::grv {
+
+enum class LocalUsageKind : std::uint8_t {
+  SoftwareCache,    // GL→LS staging + LL reads: Grover-reversible
+  TemporalStorage,  // written with computed values (reductions, scratch)
+  WriteOnly,        // stored to but never read
+  ReadOnly,         // read but never written (always zero / UB in OpenCL)
+  Unused,           // declared but never accessed
+};
+[[nodiscard]] const char* toString(LocalUsageKind kind);
+
+struct LocalBufferUsage {
+  std::string name;
+  LocalUsageKind kind = LocalUsageKind::Unused;
+  std::uint64_t sizeBytes = 0;
+  std::vector<std::uint64_t> declaredDims;
+  unsigned numStores = 0;
+  unsigned numLoads = 0;
+  unsigned numStagingPairs = 0;  // stores fed by global loads
+  bool guardedByBarrier = false;  // a barrier separates stores from loads
+};
+
+struct LocalUsageReport {
+  std::vector<LocalBufferUsage> buffers;
+  std::uint64_t totalLocalBytes = 0;
+  unsigned numBarriers = 0;
+
+  [[nodiscard]] bool anyReversible() const;
+  [[nodiscard]] const LocalBufferUsage* find(const std::string& name) const;
+  /// Render a human-readable summary (used by groverc and examples).
+  [[nodiscard]] std::string str() const;
+};
+
+/// Analyze every __local buffer of a kernel.
+[[nodiscard]] LocalUsageReport analyzeLocalMemoryUsage(ir::Function& fn);
+
+}  // namespace grover::grv

@@ -1,0 +1,53 @@
+#include "grovercl/compiler.h"
+
+#include "clc/lexer.h"
+#include "clc/parser.h"
+#include "clc/sema.h"
+#include "codegen/irgen.h"
+#include "ir/verifier.h"
+#include "passes/pass.h"
+
+namespace grover {
+
+Program compileWithDiags(const std::string& source, DiagnosticEngine& diags,
+                         const CompileOptions& options) {
+  Program program;
+  program.context = std::make_unique<ir::Context>();
+
+  clc::Lexer lexer(source, diags);
+  if (diags.hasErrors()) return program;
+
+  clc::Parser parser(lexer.tokens(), diags);
+  auto tu = parser.parse();
+  if (diags.hasErrors()) return program;
+
+  clc::Sema sema(*program.context, diags);
+  if (!sema.check(*tu)) return program;
+
+  program.module = std::make_unique<ir::Module>(*program.context, "program");
+  codegen::IRGen irgen(*program.module, diags);
+  irgen.emit(*tu);
+  if (diags.hasErrors()) {
+    program.module.reset();
+    return program;
+  }
+  if (options.verify) ir::verifyModule(*program.module);
+
+  if (options.optimize) {
+    passes::PassManager pm(options.verify);
+    passes::addStandardPipeline(pm);
+    pm.run(*program.module);
+  }
+  return program;
+}
+
+Program compile(const std::string& source, const CompileOptions& options) {
+  DiagnosticEngine diags;
+  Program program = compileWithDiags(source, diags, options);
+  if (diags.hasErrors() || program.module == nullptr) {
+    throw GroverError("compilation failed:\n" + diags.str());
+  }
+  return program;
+}
+
+}  // namespace grover

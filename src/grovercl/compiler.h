@@ -1,0 +1,45 @@
+// Umbrella compile entry point: OpenCL C source → optimized SSA module.
+// Mirrors the paper's Fig. 9 pipeline (Clang front-end → SPIR → Grover →
+// vendor runtime); Grover itself is applied separately via
+// grover::GroverPass so callers can compare both kernel versions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/context.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace grover {
+
+/// A compiled program: owns the IR context and module.
+struct Program {
+  std::unique_ptr<ir::Context> context;
+  std::unique_ptr<ir::Module> module;
+
+  [[nodiscard]] ir::Function* kernel(const std::string& name) const {
+    return module->findFunction(name);
+  }
+};
+
+struct CompileOptions {
+  /// Run mem2reg/constfold/simplifycfg/dce after lowering (required for
+  /// the Grover pass; disable only for front-end tests).
+  bool optimize = true;
+  /// Verify IR after lowering and after every pass.
+  bool verify = true;
+};
+
+/// Compile OpenCL C source. Throws GroverError with the collected
+/// diagnostics when the source does not parse/type-check.
+[[nodiscard]] Program compile(const std::string& source,
+                              const CompileOptions& options = {});
+
+/// As compile(), but reports problems through `diags` and returns a
+/// Program with a null module on failure.
+[[nodiscard]] Program compileWithDiags(const std::string& source,
+                                       DiagnosticEngine& diags,
+                                       const CompileOptions& options = {});
+
+}  // namespace grover

@@ -1,0 +1,67 @@
+#include "grovercl/harness.h"
+
+#include "ir/verifier.h"
+#include "support/diagnostics.h"
+
+namespace grover {
+
+KernelPair prepareKernelPair(const apps::Application& app) {
+  KernelPair pair;
+  pair.original = compile(app.source());
+  pair.transformed = compile(app.source());
+  pair.originalKernel = pair.original.kernel(app.kernelName());
+  pair.transformedKernel = pair.transformed.kernel(app.kernelName());
+  if (pair.originalKernel == nullptr || pair.transformedKernel == nullptr) {
+    throw GroverError("kernel '" + app.kernelName() + "' not found");
+  }
+  grv::GroverOptions options;
+  options.onlyBuffers = app.buffersToDisable();
+  pair.groverResult = grv::runGrover(*pair.transformedKernel, options);
+  ir::verifyFunction(*pair.transformedKernel);
+  return pair;
+}
+
+std::optional<std::string> runAndValidate(const apps::Application& app,
+                                          ir::Function& kernel,
+                                          apps::Scale scale) {
+  apps::Instance instance = app.makeInstance(scale);
+  rt::Launch launch(kernel, instance.range, instance.args);
+  launch.run();
+  std::string message;
+  if (!instance.validate(message)) return message;
+  return std::nullopt;
+}
+
+PerfComparison comparePerformance(const apps::Application& app,
+                                  const perf::PlatformSpec& platform,
+                                  apps::Scale scale) {
+  KernelPair pair = prepareKernelPair(app);
+
+  PerfComparison cmp;
+  {
+    apps::Instance instance = app.makeInstance(scale);
+    cmp.withLM = perf::estimate(platform, *pair.originalKernel,
+                                instance.range, instance.args,
+                                instance.benchSampleStride);
+  }
+  {
+    apps::Instance instance = app.makeInstance(scale);
+    cmp.withoutLM = perf::estimate(platform, *pair.transformedKernel,
+                                   instance.range, instance.args,
+                                   instance.benchSampleStride);
+  }
+  cmp.cyclesWithLM = cmp.withLM.cycles;
+  cmp.cyclesWithoutLM = cmp.withoutLM.cycles;
+  cmp.normalized =
+      perf::normalizedPerformance(cmp.cyclesWithLM, cmp.cyclesWithoutLM);
+  cmp.outcome = perf::classify(cmp.normalized);
+  return cmp;
+}
+
+std::string autotune(const apps::Application& app,
+                     const perf::PlatformSpec& platform, apps::Scale scale) {
+  const PerfComparison cmp = comparePerformance(app, platform, scale);
+  return cmp.normalized > 1.0 ? "without-local-memory" : "with-local-memory";
+}
+
+}  // namespace grover

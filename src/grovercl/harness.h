@@ -1,0 +1,60 @@
+// High-level harness: compile an application, produce the with/without
+// local-memory kernel versions via Grover, execute both for correctness,
+// and estimate performance on a platform model. This is the auto-tuning
+// loop the paper proposes (§I: "choose the best performing version for a
+// given platform").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apps/app.h"
+#include "grover/grover_pass.h"
+#include "grovercl/compiler.h"
+#include "perf/estimator.h"
+#include "perf/platform.h"
+
+namespace grover {
+
+/// Both kernel versions of one application, ready to launch.
+struct KernelPair {
+  Program original;      // with local memory
+  Program transformed;   // Grover-disabled local memory
+  grv::GroverResult groverResult;
+  ir::Function* originalKernel = nullptr;
+  ir::Function* transformedKernel = nullptr;
+};
+
+/// Compile the application twice and run Grover on the second copy.
+/// Throws when the source fails to compile; Grover refusals are reported
+/// in groverResult (and transformedKernel equals the original behavior).
+[[nodiscard]] KernelPair prepareKernelPair(const apps::Application& app);
+
+/// Run one kernel version against the app's dataset and validate against
+/// the sequential reference. Returns an error message on mismatch.
+[[nodiscard]] std::optional<std::string> runAndValidate(
+    const apps::Application& app, ir::Function& kernel, apps::Scale scale);
+
+/// Performance comparison of the two versions on one platform model.
+struct PerfComparison {
+  double cyclesWithLM = 0;
+  double cyclesWithoutLM = 0;
+  /// np = cyclesWith / cyclesWithout (>1 → disabling local memory wins).
+  double normalized = 0;
+  perf::Outcome outcome = perf::Outcome::Similar;
+  perf::PerfEstimate withLM;
+  perf::PerfEstimate withoutLM;
+};
+
+[[nodiscard]] PerfComparison comparePerformance(const apps::Application& app,
+                                                const perf::PlatformSpec& platform,
+                                                apps::Scale scale);
+
+/// The auto-tuning step: returns "with-local-memory" or
+/// "without-local-memory" — whichever version the platform model predicts
+/// to be faster.
+[[nodiscard]] std::string autotune(const apps::Application& app,
+                                   const perf::PlatformSpec& platform,
+                                   apps::Scale scale = apps::Scale::Bench);
+
+}  // namespace grover

@@ -1,0 +1,94 @@
+#include "ir/basic_block.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::ir {
+
+Instruction* BasicBlock::terminator() const {
+  if (insts_.empty() || !insts_.back()->isTerminator()) return nullptr;
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->setParent(this);
+  insts_.push_back(std::move(inst));
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::insertBefore(Instruction* pos,
+                                      std::unique_ptr<Instruction> inst) {
+  if (pos == nullptr) return append(std::move(inst));
+  inst->setParent(this);
+  auto it = positionOf(pos);
+  return insts_.insert(it, std::move(inst))->get();
+}
+
+void BasicBlock::erase(Instruction* inst) {
+  if (inst->hasUses()) {
+    throw GroverError(
+        cat("erasing instruction '", inst->name(), "' that still has uses"));
+  }
+  auto it = positionOf(inst);
+  insts_.erase(it);
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction* inst) {
+  auto it = positionOf(inst);
+  std::unique_ptr<Instruction> owned = std::move(*it);
+  insts_.erase(it);
+  owned->setParent(nullptr);
+  return owned;
+}
+
+BasicBlock::iterator BasicBlock::positionOf(Instruction* inst) {
+  auto it = std::find_if(
+      insts_.begin(), insts_.end(),
+      [inst](const std::unique_ptr<Instruction>& p) { return p.get() == inst; });
+  if (it == insts_.end()) {
+    throw GroverError("instruction not in this block");
+  }
+  return it;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  std::vector<BasicBlock*> out;
+  const Instruction* term = terminator();
+  if (term == nullptr) return out;
+  if (const auto* br = dyn_cast<BrInst>(term)) {
+    out.push_back(br->dest());
+  } else if (const auto* cbr = dyn_cast<CondBrInst>(term)) {
+    out.push_back(cbr->ifTrue());
+    if (cbr->ifFalse() != cbr->ifTrue()) out.push_back(cbr->ifFalse());
+  }
+  return out;
+}
+
+std::vector<BasicBlock*> BasicBlock::predecessors() const {
+  std::vector<BasicBlock*> out;
+  for (const Use* use : uses()) {
+    auto* inst = dyn_cast<Instruction>(use->user);
+    if (inst == nullptr || !inst->isTerminator()) continue;
+    BasicBlock* pred = inst->parent();
+    if (std::find(out.begin(), out.end(), pred) == out.end()) {
+      out.push_back(pred);
+    }
+  }
+  return out;
+}
+
+std::vector<PhiInst*> BasicBlock::phis() const {
+  std::vector<PhiInst*> out;
+  for (const auto& inst : insts_) {
+    if (auto* phi = dyn_cast<PhiInst>(inst.get())) {
+      out.push_back(phi);
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,71 @@
+// Basic blocks: ordered instruction lists with stable iterators.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/value.h"
+
+namespace grover::ir {
+
+class Function;
+
+/// A straight-line instruction sequence ending in a terminator. Blocks are
+/// Values so branches and phis can reference them as operands.
+class BasicBlock final : public Value {
+ public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  BasicBlock(Context& ctx, std::string name)
+      : Value(ValueKind::BasicBlock, ctx.voidTy()) {
+    setName(std::move(name));
+  }
+
+  [[nodiscard]] Function* parent() const { return parent_; }
+  void setParent(Function* f) { parent_ = f; }
+
+  [[nodiscard]] iterator begin() { return insts_.begin(); }
+  [[nodiscard]] iterator end() { return insts_.end(); }
+  [[nodiscard]] const_iterator begin() const { return insts_.begin(); }
+  [[nodiscard]] const_iterator end() const { return insts_.end(); }
+  [[nodiscard]] bool empty() const { return insts_.empty(); }
+  [[nodiscard]] std::size_t size() const { return insts_.size(); }
+
+  [[nodiscard]] Instruction* front() const { return insts_.front().get(); }
+  /// Last instruction; the terminator in a well-formed block.
+  [[nodiscard]] Instruction* terminator() const;
+
+  /// Append; returns the raw pointer (ownership stays with the block).
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Insert before `pos`; `pos == nullptr` appends.
+  Instruction* insertBefore(Instruction* pos,
+                            std::unique_ptr<Instruction> inst);
+  /// Unlink and destroy. The instruction must have no remaining uses.
+  void erase(Instruction* inst);
+  /// Unlink and return ownership (for moving between blocks).
+  [[nodiscard]] std::unique_ptr<Instruction> detach(Instruction* inst);
+
+  [[nodiscard]] iterator positionOf(Instruction* inst);
+
+  /// CFG successors (from the terminator) and predecessors (from uses).
+  [[nodiscard]] std::vector<BasicBlock*> successors() const;
+  [[nodiscard]] std::vector<BasicBlock*> predecessors() const;
+
+  /// Phi nodes at the head of the block.
+  [[nodiscard]] std::vector<PhiInst*> phis() const;
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::BasicBlock;
+  }
+
+ private:
+  Function* parent_ = nullptr;
+  InstList insts_;
+};
+
+}  // namespace grover::ir

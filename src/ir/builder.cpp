@@ -1,0 +1,134 @@
+#include "ir/builder.h"
+
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+
+template <typename T>
+T* IRBuilder::insert(std::unique_ptr<T> inst, const std::string& name) {
+  if (block_ == nullptr) throw GroverError("IRBuilder: no insertion point");
+  if (!name.empty()) inst->setName(name);
+  T* raw = inst.get();
+  block_->insertBefore(before_, std::move(inst));
+  return raw;
+}
+
+AllocaInst* IRBuilder::createAlloca(Type* elem, std::uint64_t count,
+                                    AddrSpace space, const std::string& name) {
+  return insert(std::make_unique<AllocaInst>(ctx_, elem, count, space), name);
+}
+
+LoadInst* IRBuilder::createLoad(Value* ptr, const std::string& name) {
+  if (!ptr->type()->isPointer()) throw GroverError("load of non-pointer");
+  return insert(std::make_unique<LoadInst>(ptr), name);
+}
+
+StoreInst* IRBuilder::createStore(Value* value, Value* ptr) {
+  if (!ptr->type()->isPointer()) throw GroverError("store to non-pointer");
+  if (ptr->type()->element() != value->type()) {
+    throw GroverError("store type mismatch");
+  }
+  return insert(std::make_unique<StoreInst>(ctx_, value, ptr), {});
+}
+
+GepInst* IRBuilder::createGep(Value* ptr, Value* index,
+                              const std::string& name) {
+  if (!ptr->type()->isPointer()) throw GroverError("gep of non-pointer");
+  if (!index->type()->isInteger()) throw GroverError("gep index not integer");
+  return insert(std::make_unique<GepInst>(ptr, index), name);
+}
+
+Value* IRBuilder::createBinary(BinaryOp op, Value* lhs, Value* rhs,
+                               const std::string& name) {
+  if (lhs->type() != rhs->type()) {
+    throw GroverError("binary operand type mismatch");
+  }
+  return insert(std::make_unique<BinaryInst>(op, lhs, rhs), name);
+}
+
+ICmpInst* IRBuilder::createICmp(CmpPred pred, Value* lhs, Value* rhs,
+                                const std::string& name) {
+  return insert(std::make_unique<ICmpInst>(ctx_, pred, lhs, rhs), name);
+}
+
+FCmpInst* IRBuilder::createFCmp(CmpPred pred, Value* lhs, Value* rhs,
+                                const std::string& name) {
+  return insert(std::make_unique<FCmpInst>(ctx_, pred, lhs, rhs), name);
+}
+
+CastInst* IRBuilder::createCast(CastOp op, Value* value, Type* destTy,
+                                const std::string& name) {
+  return insert(std::make_unique<CastInst>(op, value, destTy), name);
+}
+
+SelectInst* IRBuilder::createSelect(Value* cond, Value* t, Value* f,
+                                    const std::string& name) {
+  return insert(std::make_unique<SelectInst>(cond, t, f), name);
+}
+
+ExtractElementInst* IRBuilder::createExtractElement(Value* vec, Value* index,
+                                                    const std::string& name) {
+  return insert(std::make_unique<ExtractElementInst>(vec, index), name);
+}
+
+InsertElementInst* IRBuilder::createInsertElement(Value* vec, Value* scalar,
+                                                  Value* index,
+                                                  const std::string& name) {
+  return insert(std::make_unique<InsertElementInst>(vec, scalar, index), name);
+}
+
+PhiInst* IRBuilder::createPhi(Type* type, const std::string& name) {
+  // Phis belong at the block head, before any non-phi instruction.
+  if (block_ == nullptr) throw GroverError("IRBuilder: no insertion point");
+  auto phi = std::make_unique<PhiInst>(type);
+  if (!name.empty()) phi->setName(name);
+  PhiInst* raw = phi.get();
+  Instruction* firstNonPhi = nullptr;
+  for (const auto& inst : *block_) {
+    if (!isa<PhiInst>(inst.get())) {
+      firstNonPhi = inst.get();
+      break;
+    }
+  }
+  block_->insertBefore(firstNonPhi, std::move(phi));
+  return raw;
+}
+
+CallInst* IRBuilder::createCall(Builtin builtin, Type* retTy,
+                                std::initializer_list<Value*> args,
+                                const std::string& name) {
+  return createCall(builtin, retTy, std::vector<Value*>(args), name);
+}
+
+CallInst* IRBuilder::createCall(Builtin builtin, Type* retTy,
+                                const std::vector<Value*>& args,
+                                const std::string& name) {
+  return insert(std::make_unique<CallInst>(builtin, retTy,
+                                           std::span<Value* const>(args)),
+                name);
+}
+
+BrInst* IRBuilder::createBr(BasicBlock* dest) {
+  return insert(std::make_unique<BrInst>(ctx_, dest), {});
+}
+
+CondBrInst* IRBuilder::createCondBr(Value* cond, BasicBlock* t,
+                                    BasicBlock* f) {
+  return insert(std::make_unique<CondBrInst>(ctx_, cond, t, f), {});
+}
+
+RetInst* IRBuilder::createRetVoid() {
+  return insert(std::make_unique<RetInst>(ctx_), {});
+}
+
+RetInst* IRBuilder::createRet(Value* value) {
+  return insert(std::make_unique<RetInst>(ctx_, value), {});
+}
+
+CallInst* IRBuilder::createIdQuery(Builtin builtin, unsigned dim,
+                                   const std::string& name) {
+  return createCall(builtin, ctx_.int32Ty(), {ctx_.getInt32(static_cast<std::int32_t>(dim))},
+                    name);
+}
+
+}  // namespace grover::ir

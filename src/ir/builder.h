@@ -1,0 +1,85 @@
+// IRBuilder: convenience construction of instructions at an insertion point.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+
+namespace grover::ir {
+
+/// Appends instructions to the end of a block (or before a given
+/// instruction). All create* methods return the created instruction.
+class IRBuilder {
+ public:
+  explicit IRBuilder(Context& ctx) : ctx_(ctx) {}
+
+  [[nodiscard]] Context& context() const { return ctx_; }
+
+  void setInsertPoint(BasicBlock* block, Instruction* before = nullptr) {
+    block_ = block;
+    before_ = before;
+  }
+  [[nodiscard]] BasicBlock* insertBlock() const { return block_; }
+
+  // --- memory -------------------------------------------------------------
+  AllocaInst* createAlloca(Type* elem, std::uint64_t count, AddrSpace space,
+                           const std::string& name = {});
+  LoadInst* createLoad(Value* ptr, const std::string& name = {});
+  StoreInst* createStore(Value* value, Value* ptr);
+  GepInst* createGep(Value* ptr, Value* index, const std::string& name = {});
+
+  // --- arithmetic ----------------------------------------------------------
+  Value* createBinary(BinaryOp op, Value* lhs, Value* rhs,
+                      const std::string& name = {});
+  Value* createAdd(Value* l, Value* r) { return createBinary(BinaryOp::Add, l, r); }
+  Value* createSub(Value* l, Value* r) { return createBinary(BinaryOp::Sub, l, r); }
+  Value* createMul(Value* l, Value* r) { return createBinary(BinaryOp::Mul, l, r); }
+  ICmpInst* createICmp(CmpPred pred, Value* lhs, Value* rhs,
+                       const std::string& name = {});
+  FCmpInst* createFCmp(CmpPred pred, Value* lhs, Value* rhs,
+                       const std::string& name = {});
+  CastInst* createCast(CastOp op, Value* value, Type* destTy,
+                       const std::string& name = {});
+  SelectInst* createSelect(Value* cond, Value* t, Value* f,
+                           const std::string& name = {});
+
+  // --- vectors --------------------------------------------------------------
+  ExtractElementInst* createExtractElement(Value* vec, Value* index,
+                                           const std::string& name = {});
+  InsertElementInst* createInsertElement(Value* vec, Value* scalar,
+                                         Value* index,
+                                         const std::string& name = {});
+
+  // --- control flow ----------------------------------------------------------
+  PhiInst* createPhi(Type* type, const std::string& name = {});
+  CallInst* createCall(Builtin builtin, Type* retTy,
+                       std::initializer_list<Value*> args,
+                       const std::string& name = {});
+  CallInst* createCall(Builtin builtin, Type* retTy,
+                       const std::vector<Value*>& args,
+                       const std::string& name = {});
+  BrInst* createBr(BasicBlock* dest);
+  CondBrInst* createCondBr(Value* cond, BasicBlock* t, BasicBlock* f);
+  RetInst* createRetVoid();
+  RetInst* createRet(Value* value);
+
+  // --- common shorthands -------------------------------------------------
+  /// call get_local_id(dim) / get_group_id(dim) / ... as i32.
+  CallInst* createIdQuery(Builtin builtin, unsigned dim,
+                          const std::string& name = {});
+
+ private:
+  template <typename T>
+  T* insert(std::unique_ptr<T> inst, const std::string& name);
+
+  Context& ctx_;
+  BasicBlock* block_ = nullptr;
+  Instruction* before_ = nullptr;
+};
+
+}  // namespace grover::ir

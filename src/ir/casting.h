@@ -1,0 +1,37 @@
+// Lightweight kind-based RTTI (isa/cast/dyn_cast) for the IR class
+// hierarchy. Each concrete class provides `static bool classof(const Value*)`.
+#pragma once
+
+#include "ir/value.h"
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+
+template <typename To, typename From>
+[[nodiscard]] bool isa(const From* v) {
+  return v != nullptr && To::classof(v);
+}
+
+template <typename To, typename From>
+[[nodiscard]] To* cast(From* v) {
+  if (!isa<To>(v)) throw GroverError("ir::cast to wrong type");
+  return static_cast<To*>(v);
+}
+
+template <typename To, typename From>
+[[nodiscard]] const To* cast(const From* v) {
+  if (!isa<To>(v)) throw GroverError("ir::cast to wrong type");
+  return static_cast<const To*>(v);
+}
+
+template <typename To, typename From>
+[[nodiscard]] To* dyn_cast(From* v) {
+  return isa<To>(v) ? static_cast<To*>(v) : nullptr;
+}
+
+template <typename To, typename From>
+[[nodiscard]] const To* dyn_cast(const From* v) {
+  return isa<To>(v) ? static_cast<const To*>(v) : nullptr;
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,74 @@
+#include "ir/context.h"
+
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+
+Context::Context() {
+  void_ = makeType(TypeKind::Void);
+  bool_ = makeType(TypeKind::Bool);
+  int32_ = makeType(TypeKind::Int32);
+  int64_ = makeType(TypeKind::Int64);
+  float_ = makeType(TypeKind::Float);
+  double_ = makeType(TypeKind::Double);
+}
+
+Type* Context::makeType(TypeKind kind, Type* element, unsigned lanes,
+                        AddrSpace space) {
+  types_.push_back(
+      std::unique_ptr<Type>(new Type(kind, element, lanes, space)));
+  return types_.back().get();
+}
+
+Type* Context::vectorTy(Type* element, unsigned lanes) {
+  if (!element->isScalarNumber() || lanes < 2) {
+    throw GroverError("vectorTy: invalid element/lanes");
+  }
+  auto [it, inserted] = vector_cache_.try_emplace({element, lanes}, nullptr);
+  if (inserted) it->second = makeType(TypeKind::Vector, element, lanes);
+  return it->second;
+}
+
+Type* Context::pointerTy(Type* element, AddrSpace space) {
+  if (element->isVoid()) throw GroverError("pointerTy: void pointee");
+  auto [it, inserted] = pointer_cache_.try_emplace({element, space}, nullptr);
+  if (inserted) it->second = makeType(TypeKind::Pointer, element, 0, space);
+  return it->second;
+}
+
+ConstantInt* Context::getBool(bool value) {
+  return getInt(bool_, value ? 1 : 0);
+}
+ConstantInt* Context::getInt32(std::int32_t value) {
+  return getInt(int32_, value);
+}
+ConstantInt* Context::getInt64(std::int64_t value) {
+  return getInt(int64_, value);
+}
+
+ConstantInt* Context::getInt(Type* type, std::int64_t value) {
+  if (!type->isInteger()) throw GroverError("getInt: non-integer type");
+  auto [it, inserted] = int_constants_.try_emplace({type, value}, nullptr);
+  if (inserted) it->second = std::make_unique<ConstantInt>(type, value);
+  return it->second.get();
+}
+
+ConstantFloat* Context::getFloat(float value) { return getFP(float_, value); }
+ConstantFloat* Context::getDouble(double value) {
+  return getFP(double_, value);
+}
+
+ConstantFloat* Context::getFP(Type* type, double value) {
+  if (!type->isFloatingPoint()) throw GroverError("getFP: non-FP type");
+  auto [it, inserted] = fp_constants_.try_emplace({type, value}, nullptr);
+  if (inserted) it->second = std::make_unique<ConstantFloat>(type, value);
+  return it->second.get();
+}
+
+ConstantUndef* Context::getUndef(Type* type) {
+  auto [it, inserted] = undef_constants_.try_emplace(type, nullptr);
+  if (inserted) it->second = std::make_unique<ConstantUndef>(type);
+  return it->second.get();
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,66 @@
+// Context: interned types and uniqued constants for one compilation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/type.h"
+#include "ir/value.h"
+
+namespace grover::ir {
+
+/// Owns all Type and constant objects. Pointer identity of types/constants
+/// is guaranteed within one Context; Modules must not mix Contexts.
+class Context {
+ public:
+  Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- types -------------------------------------------------------------
+  [[nodiscard]] Type* voidTy() { return void_; }
+  [[nodiscard]] Type* boolTy() { return bool_; }
+  [[nodiscard]] Type* int32Ty() { return int32_; }
+  [[nodiscard]] Type* int64Ty() { return int64_; }
+  [[nodiscard]] Type* floatTy() { return float_; }
+  [[nodiscard]] Type* doubleTy() { return double_; }
+  /// <lanes x element>; element must be a scalar number type.
+  [[nodiscard]] Type* vectorTy(Type* element, unsigned lanes);
+  /// element addrspace(space)*
+  [[nodiscard]] Type* pointerTy(Type* element, AddrSpace space);
+
+  // --- constants ----------------------------------------------------------
+  [[nodiscard]] ConstantInt* getBool(bool value);
+  [[nodiscard]] ConstantInt* getInt32(std::int32_t value);
+  [[nodiscard]] ConstantInt* getInt64(std::int64_t value);
+  [[nodiscard]] ConstantInt* getInt(Type* type, std::int64_t value);
+  [[nodiscard]] ConstantFloat* getFloat(float value);
+  [[nodiscard]] ConstantFloat* getDouble(double value);
+  [[nodiscard]] ConstantFloat* getFP(Type* type, double value);
+  [[nodiscard]] ConstantUndef* getUndef(Type* type);
+
+ private:
+  Type* makeType(TypeKind kind, Type* element = nullptr, unsigned lanes = 0,
+                 AddrSpace space = AddrSpace::Private);
+
+  std::vector<std::unique_ptr<Type>> types_;
+  Type* void_ = nullptr;
+  Type* bool_ = nullptr;
+  Type* int32_ = nullptr;
+  Type* int64_ = nullptr;
+  Type* float_ = nullptr;
+  Type* double_ = nullptr;
+
+  std::map<std::pair<Type*, unsigned>, Type*> vector_cache_;
+  std::map<std::pair<Type*, AddrSpace>, Type*> pointer_cache_;
+
+  std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>>
+      int_constants_;
+  std::map<std::pair<Type*, double>, std::unique_ptr<ConstantFloat>>
+      fp_constants_;
+  std::map<Type*, std::unique_ptr<ConstantUndef>> undef_constants_;
+};
+
+}  // namespace grover::ir

@@ -1,0 +1,121 @@
+#include "ir/function.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::ir {
+
+Function::~Function() {
+  for (const auto& bb : blocks_) {
+    for (const auto& inst : *bb) inst->dropAllOperands();
+  }
+}
+
+Context& Function::context() const { return module_.context(); }
+
+Argument* Function::addArgument(Type* type, std::string name) {
+  args_.push_back(std::make_unique<Argument>(
+      type, std::move(name), static_cast<unsigned>(args_.size())));
+  return args_.back().get();
+}
+
+Argument* Function::findArg(const std::string& name) const {
+  for (const auto& a : args_) {
+    if (a->name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+BasicBlock* Function::addBlock(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(context(), std::move(name)));
+  blocks_.back()->setParent(this);
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::addBlockAfter(BasicBlock* after, std::string name) {
+  auto it = std::find_if(
+      blocks_.begin(), blocks_.end(),
+      [after](const std::unique_ptr<BasicBlock>& b) { return b.get() == after; });
+  if (it == blocks_.end()) throw GroverError("addBlockAfter: block not found");
+  ++it;
+  auto block = std::make_unique<BasicBlock>(context(), std::move(name));
+  block->setParent(this);
+  return blocks_.insert(it, std::move(block))->get();
+}
+
+void Function::eraseBlock(BasicBlock* block) {
+  if (block->hasUses()) {
+    throw GroverError(
+        cat("erasing block '", block->name(), "' that still has uses"));
+  }
+  // Drop instructions back-to-front so defs lose their uses before erase.
+  while (!block->empty()) {
+    Instruction* last = block->terminator() != nullptr
+                            ? block->terminator()
+                            : std::prev(block->end())->get();
+    last->dropAllOperands();
+    if (last->hasUses()) {
+      throw GroverError("eraseBlock: live value escapes the dead block");
+    }
+    block->erase(last);
+  }
+  blocks_.remove_if(
+      [block](const std::unique_ptr<BasicBlock>& b) { return b.get() == block; });
+}
+
+std::vector<BasicBlock*> Function::blockList() const {
+  std::vector<BasicBlock*> out;
+  out.reserve(blocks_.size());
+  for (const auto& b : blocks_) out.push_back(b.get());
+  return out;
+}
+
+unsigned Function::renumber() {
+  unsigned next = 0;
+  // Names must be unique so the printed IR is unambiguous (and can be
+  // re-parsed); duplicates (e.g. several phis of one promoted variable)
+  // get a ".<slot>" suffix.
+  std::set<std::string> used;
+  auto uniquify = [&used](Value* v, std::string fallback) {
+    std::string name = v->name().empty() ? std::move(fallback) : v->name();
+    if (!used.insert(name).second) {
+      name = cat(name, ".", v->slot());
+      used.insert(name);
+    }
+    v->setName(name);
+  };
+  for (const auto& a : args_) {
+    a->setSlot(next++);
+    uniquify(a.get(), cat("arg", a->index()));
+  }
+  unsigned bbIndex = 0;
+  std::set<std::string> usedBlocks;
+  for (const auto& bb : blocks_) {
+    std::string name = bb->name().empty() ? cat("bb", bbIndex) : bb->name();
+    if (!usedBlocks.insert(name).second) {
+      name = cat(name, ".", bbIndex);
+      usedBlocks.insert(name);
+    }
+    bb->setName(name);
+    ++bbIndex;
+    for (const auto& inst : *bb) {
+      inst->setSlot(next++);
+      if (!inst->type()->isVoid()) {
+        uniquify(inst.get(), cat("v", inst->slot()));
+      }
+    }
+  }
+  return next;
+}
+
+std::size_t Function::instructionCount() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->size();
+  return n;
+}
+
+}  // namespace grover::ir

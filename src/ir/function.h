@@ -1,0 +1,80 @@
+// Functions: argument list + basic-block list + kernel metadata.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/value.h"
+
+namespace grover::ir {
+
+class Module;
+
+/// A kernel (or helper function). Owns its arguments and blocks.
+class Function {
+ public:
+  Function(Module& module, std::string name, Type* returnType, bool isKernel)
+      : module_(module),
+        name_(std::move(name)),
+        return_type_(returnType),
+        is_kernel_(isKernel) {}
+
+  /// Severs every operand edge before destroying blocks — instructions may
+  /// reference values in blocks that would otherwise be destroyed first.
+  ~Function();
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] Module& module() const { return module_; }
+  [[nodiscard]] Context& context() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Type* returnType() const { return return_type_; }
+  [[nodiscard]] bool isKernel() const { return is_kernel_; }
+
+  Argument* addArgument(Type* type, std::string name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Argument>>& args() const {
+    return args_;
+  }
+  [[nodiscard]] Argument* arg(unsigned i) const { return args_.at(i).get(); }
+  [[nodiscard]] unsigned numArgs() const {
+    return static_cast<unsigned>(args_.size());
+  }
+  /// Argument by name; null if absent.
+  [[nodiscard]] Argument* findArg(const std::string& name) const;
+
+  BasicBlock* addBlock(std::string name);
+  /// Insert a new block after `after` in layout order.
+  BasicBlock* addBlockAfter(BasicBlock* after, std::string name);
+  void eraseBlock(BasicBlock* block);
+
+  [[nodiscard]] BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  [[nodiscard]] const std::list<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+
+  /// Blocks in layout order as raw pointers (stable snapshot).
+  [[nodiscard]] std::vector<BasicBlock*> blockList() const;
+
+  /// Assign printer/interpreter slot numbers to args and instructions and
+  /// default names to anonymous values. Returns the number of slots.
+  unsigned renumber();
+
+  /// Total instruction count across all blocks.
+  [[nodiscard]] std::size_t instructionCount() const;
+
+ private:
+  Module& module_;
+  std::string name_;
+  Type* return_type_;
+  bool is_kernel_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::list<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace grover::ir

@@ -1,0 +1,328 @@
+#include "ir/instruction.h"
+
+#include <unordered_map>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+
+const char* toString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "add";
+    case BinaryOp::Sub: return "sub";
+    case BinaryOp::Mul: return "mul";
+    case BinaryOp::SDiv: return "sdiv";
+    case BinaryOp::SRem: return "srem";
+    case BinaryOp::Shl: return "shl";
+    case BinaryOp::AShr: return "ashr";
+    case BinaryOp::LShr: return "lshr";
+    case BinaryOp::And: return "and";
+    case BinaryOp::Or: return "or";
+    case BinaryOp::Xor: return "xor";
+    case BinaryOp::FAdd: return "fadd";
+    case BinaryOp::FSub: return "fsub";
+    case BinaryOp::FMul: return "fmul";
+    case BinaryOp::FDiv: return "fdiv";
+  }
+  return "?";
+}
+
+bool isFloatOp(BinaryOp op) {
+  return op == BinaryOp::FAdd || op == BinaryOp::FSub ||
+         op == BinaryOp::FMul || op == BinaryOp::FDiv;
+}
+
+const char* toString(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::EQ: return "eq";
+    case CmpPred::NE: return "ne";
+    case CmpPred::SLT: return "slt";
+    case CmpPred::SLE: return "sle";
+    case CmpPred::SGT: return "sgt";
+    case CmpPred::SGE: return "sge";
+    case CmpPred::ULT: return "ult";
+    case CmpPred::ULE: return "ule";
+    case CmpPred::UGT: return "ugt";
+    case CmpPred::UGE: return "uge";
+    case CmpPred::OEQ: return "oeq";
+    case CmpPred::ONE: return "one";
+    case CmpPred::OLT: return "olt";
+    case CmpPred::OLE: return "ole";
+    case CmpPred::OGT: return "ogt";
+    case CmpPred::OGE: return "oge";
+  }
+  return "?";
+}
+
+const char* toString(CastOp op) {
+  switch (op) {
+    case CastOp::SExt: return "sext";
+    case CastOp::ZExt: return "zext";
+    case CastOp::Trunc: return "trunc";
+    case CastOp::SIToFP: return "sitofp";
+    case CastOp::UIToFP: return "uitofp";
+    case CastOp::FPToSI: return "fptosi";
+    case CastOp::FPExt: return "fpext";
+    case CastOp::FPTrunc: return "fptrunc";
+  }
+  return "?";
+}
+
+const char* builtinName(Builtin b) {
+  switch (b) {
+    case Builtin::GetGlobalId: return "get_global_id";
+    case Builtin::GetLocalId: return "get_local_id";
+    case Builtin::GetGroupId: return "get_group_id";
+    case Builtin::GetGlobalSize: return "get_global_size";
+    case Builtin::GetLocalSize: return "get_local_size";
+    case Builtin::GetNumGroups: return "get_num_groups";
+    case Builtin::GetWorkDim: return "get_work_dim";
+    case Builtin::Barrier: return "barrier";
+    case Builtin::Sqrt: return "sqrt";
+    case Builtin::RSqrt: return "rsqrt";
+    case Builtin::Fabs: return "fabs";
+    case Builtin::Exp: return "exp";
+    case Builtin::Log: return "log";
+    case Builtin::Sin: return "sin";
+    case Builtin::Cos: return "cos";
+    case Builtin::Pow: return "pow";
+    case Builtin::FMin: return "fmin";
+    case Builtin::FMax: return "fmax";
+    case Builtin::Fma: return "fma";
+    case Builtin::Mad: return "mad";
+    case Builtin::Floor: return "floor";
+    case Builtin::Ceil: return "ceil";
+    case Builtin::IMin: return "min";
+    case Builtin::IMax: return "max";
+    case Builtin::IAbs: return "abs";
+    case Builtin::Mul24: return "mul24";
+    case Builtin::Mad24: return "mad24";
+    case Builtin::Clamp: return "clamp";
+    case Builtin::Dot: return "dot";
+  }
+  return "?";
+}
+
+std::optional<Builtin> lookupBuiltin(const std::string& name) {
+  static const std::unordered_map<std::string, Builtin> table = [] {
+    std::unordered_map<std::string, Builtin> t;
+    for (int i = 0; i <= static_cast<int>(Builtin::Dot); ++i) {
+      const auto b = static_cast<Builtin>(i);
+      t.emplace(builtinName(b), b);
+    }
+    // OpenCL native_* variants share semantics in our runtime.
+    t.emplace("native_sqrt", Builtin::Sqrt);
+    t.emplace("native_rsqrt", Builtin::RSqrt);
+    t.emplace("native_exp", Builtin::Exp);
+    t.emplace("native_log", Builtin::Log);
+    t.emplace("half_sqrt", Builtin::Sqrt);
+    return t;
+  }();
+  auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Instruction::opcodeName() const {
+  switch (kind()) {
+    case ValueKind::InstAlloca: return "alloca";
+    case ValueKind::InstLoad: return "load";
+    case ValueKind::InstStore: return "store";
+    case ValueKind::InstGep: return "gep";
+    case ValueKind::InstBinary:
+      return toString(cast<BinaryInst>(this)->op());
+    case ValueKind::InstICmp: return "icmp";
+    case ValueKind::InstFCmp: return "fcmp";
+    case ValueKind::InstCast:
+      return toString(cast<CastInst>(this)->op());
+    case ValueKind::InstSelect: return "select";
+    case ValueKind::InstPhi: return "phi";
+    case ValueKind::InstCall: return "call";
+    case ValueKind::InstBr: return "br";
+    case ValueKind::InstCondBr: return "condbr";
+    case ValueKind::InstRet: return "ret";
+    case ValueKind::InstExtractElement: return "extractelement";
+    case ValueKind::InstInsertElement: return "insertelement";
+    default: return "?";
+  }
+}
+
+// --- clone impls -----------------------------------------------------------
+// Each clone rebuilds the instruction from its operands (Value/User are
+// non-copyable so the use lists stay consistent).
+
+Context& Instruction::context() const {
+  if (parent_ == nullptr || parent_->parent() == nullptr) {
+    throw GroverError("Instruction::context: instruction is detached");
+  }
+  return parent_->parent()->context();
+}
+
+std::unique_ptr<Instruction> AllocaInst::clone() const {
+  auto copy =
+      std::make_unique<AllocaInst>(context(), allocated_, count_, space());
+  copy->setName(name());
+  copy->setLoc(loc());
+  copy->setArrayDims(dims_);
+  return copy;
+}
+
+std::unique_ptr<Instruction> LoadInst::clone() const {
+  auto copy = std::make_unique<LoadInst>(pointer());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> StoreInst::clone() const {
+  auto copy = std::make_unique<StoreInst>(context(), value(), pointer());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> GepInst::clone() const {
+  auto copy = std::make_unique<GepInst>(pointer(), index());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> BinaryInst::clone() const {
+  auto copy = std::make_unique<BinaryInst>(op(), lhs(), rhs());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> ICmpInst::clone() const {
+  auto copy = std::make_unique<ICmpInst>(context(), pred(), lhs(), rhs());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> FCmpInst::clone() const {
+  auto copy = std::make_unique<FCmpInst>(context(), pred(), lhs(), rhs());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> CastInst::clone() const {
+  auto copy = std::make_unique<CastInst>(op(), value(), type());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> SelectInst::clone() const {
+  auto copy = std::make_unique<SelectInst>(condition(), ifTrue(), ifFalse());
+  copy->setLoc(loc());
+  return copy;
+}
+
+BasicBlock* PhiInst::incomingBlock(unsigned i) const {
+  return cast<BasicBlock>(operand(2 * i + 1));
+}
+
+void PhiInst::addIncoming(Value* value, BasicBlock* block) {
+  appendOperand(value);
+  appendOperand(block);
+}
+
+Value* PhiInst::incomingForBlock(const BasicBlock* block) const {
+  for (unsigned i = 0; i < numIncoming(); ++i) {
+    if (incomingBlock(i) == block) return incomingValue(i);
+  }
+  throw GroverError("phi has no incoming value for block '" + block->name() +
+                    "'");
+}
+
+void PhiInst::removeIncoming(unsigned i) {
+  removeOperandAt(2 * i + 1);
+  removeOperandAt(2 * i);
+}
+
+std::unique_ptr<Instruction> PhiInst::clone() const {
+  auto copy = std::make_unique<PhiInst>(type());
+  for (unsigned i = 0; i < numIncoming(); ++i) {
+    copy->addIncoming(incomingValue(i), incomingBlock(i));
+  }
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::optional<unsigned> CallInst::constDimension() const {
+  switch (builtin_) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups:
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (numArgs() != 1) return std::nullopt;
+  const auto* c = dyn_cast<ConstantInt>(arg(0));
+  if (c == nullptr || c->value() < 0 || c->value() > 2) return std::nullopt;
+  return static_cast<unsigned>(c->value());
+}
+
+std::unique_ptr<Instruction> CallInst::clone() const {
+  std::vector<Value*> args;
+  args.reserve(numArgs());
+  for (unsigned i = 0; i < numArgs(); ++i) args.push_back(arg(i));
+  auto copy = std::make_unique<CallInst>(builtin_, type(),
+                                         std::span<Value* const>(args));
+  copy->setLoc(loc());
+  return copy;
+}
+
+BrInst::BrInst(Context& ctx, BasicBlock* dest)
+    : Instruction(ValueKind::InstBr, ctx.voidTy()) {
+  initOperands(std::array<Value*, 1>{dest});
+}
+
+BasicBlock* BrInst::dest() const { return cast<BasicBlock>(operand(0)); }
+
+std::unique_ptr<Instruction> BrInst::clone() const {
+  auto copy = std::make_unique<BrInst>(context(), dest());
+  copy->setLoc(loc());
+  return copy;
+}
+
+CondBrInst::CondBrInst(Context& ctx, Value* cond, BasicBlock* ifTrue,
+                       BasicBlock* ifFalse)
+    : Instruction(ValueKind::InstCondBr, ctx.voidTy()) {
+  initOperands(std::array<Value*, 3>{cond, ifTrue, ifFalse});
+}
+
+BasicBlock* CondBrInst::ifTrue() const { return cast<BasicBlock>(operand(1)); }
+BasicBlock* CondBrInst::ifFalse() const {
+  return cast<BasicBlock>(operand(2));
+}
+
+std::unique_ptr<Instruction> CondBrInst::clone() const {
+  auto copy =
+      std::make_unique<CondBrInst>(context(), condition(), ifTrue(), ifFalse());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> RetInst::clone() const {
+  auto copy = std::make_unique<RetInst>(context(), value());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> ExtractElementInst::clone() const {
+  auto copy = std::make_unique<ExtractElementInst>(vector(), index());
+  copy->setLoc(loc());
+  return copy;
+}
+
+std::unique_ptr<Instruction> InsertElementInst::clone() const {
+  auto copy = std::make_unique<InsertElementInst>(vector(), scalar(), index());
+  copy->setLoc(loc());
+  return copy;
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,419 @@
+// The instruction hierarchy. Mirrors the LLVM subset that SPIR kernels
+// produced by Clang -O0 + mem2reg actually contain, which is the input the
+// paper's pass operates on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/casting.h"
+#include "ir/context.h"
+#include "ir/value.h"
+#include "support/source_location.h"
+
+namespace grover::ir {
+
+class BasicBlock;
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, SDiv, SRem,
+  Shl, AShr, LShr,
+  And, Or, Xor,
+  FAdd, FSub, FMul, FDiv,
+};
+[[nodiscard]] const char* toString(BinaryOp op);
+[[nodiscard]] bool isFloatOp(BinaryOp op);
+
+enum class CmpPred : std::uint8_t {
+  EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE,  // integer
+  OEQ, ONE, OLT, OLE, OGT, OGE,                    // ordered float
+};
+[[nodiscard]] const char* toString(CmpPred pred);
+
+enum class CastOp : std::uint8_t {
+  SExt, ZExt, Trunc, SIToFP, UIToFP, FPToSI, FPExt, FPTrunc,
+};
+[[nodiscard]] const char* toString(CastOp op);
+
+/// Built-in functions callable from kernels. CallInst leaves are where the
+/// Grover expression-tree recursion stops (paper §IV-B), so work-item id
+/// queries are deliberately modeled as calls, exactly as in SPIR.
+enum class Builtin : std::uint8_t {
+  // Work-item queries (arg: dimension 0..2).
+  GetGlobalId, GetLocalId, GetGroupId,
+  GetGlobalSize, GetLocalSize, GetNumGroups, GetWorkDim,
+  // Synchronization.
+  Barrier,
+  // Float math.
+  Sqrt, RSqrt, Fabs, Exp, Log, Sin, Cos, Pow, FMin, FMax, Fma, Mad,
+  Floor, Ceil,
+  // Integer math.
+  IMin, IMax, IAbs, Mul24, Mad24, Clamp,
+  // Vector helpers.
+  Dot,
+};
+[[nodiscard]] const char* builtinName(Builtin b);
+/// Map an OpenCL C identifier to a builtin (handles native_* aliases).
+[[nodiscard]] std::optional<Builtin> lookupBuiltin(const std::string& name);
+
+/// Base class for all instructions.
+class Instruction : public User {
+ public:
+  [[nodiscard]] BasicBlock* parent() const { return parent_; }
+  void setParent(BasicBlock* bb) { parent_ = bb; }
+
+  /// Context of the enclosing module; requires the instruction to be
+  /// attached to a function (clone() of detached instructions is the only
+  /// operation that would need it and is unsupported).
+  [[nodiscard]] Context& context() const;
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  void setLoc(SourceLoc loc) { loc_ = loc; }
+
+  [[nodiscard]] bool isTerminator() const {
+    return kind() == ValueKind::InstBr || kind() == ValueKind::InstCondBr ||
+           kind() == ValueKind::InstRet;
+  }
+
+  /// Mnemonic for printing ("add", "load", ...).
+  [[nodiscard]] std::string opcodeName() const;
+
+  /// Deep-copy this instruction (same operand Values, no parent). The
+  /// caller inserts the clone and may then retarget operands — this is the
+  /// cloneInst() primitive of the paper's Algorithm 1.
+  [[nodiscard]] virtual std::unique_ptr<Instruction> clone() const = 0;
+
+  static bool classof(const Value* v) { return v->isInstruction(); }
+
+ protected:
+  Instruction(ValueKind kind, Type* type) : User(kind, type) {}
+
+ private:
+  BasicBlock* parent_ = nullptr;
+  SourceLoc loc_;
+};
+
+/// Stack/arena allocation of `count` elements of `allocated` in an address
+/// space. __local arrays are allocas in AddrSpace::Local (one arena per
+/// work-group); private scalars are allocas in AddrSpace::Private.
+class AllocaInst final : public Instruction {
+ public:
+  AllocaInst(Context& ctx, Type* allocated, std::uint64_t count,
+             AddrSpace space)
+      : Instruction(ValueKind::InstAlloca, ctx.pointerTy(allocated, space)),
+        allocated_(allocated),
+        count_(count) {}
+
+  [[nodiscard]] Type* allocatedType() const { return allocated_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] AddrSpace space() const { return type()->addrSpace(); }
+  [[nodiscard]] std::uint64_t sizeInBytes() const {
+    return allocated_->sizeInBytes() * count_;
+  }
+
+  /// Original multi-dimensional shape declared in the source (row-major;
+  /// the front-end flattens indexing, but the Grover dimension splitter
+  /// prefers these declared strides). Empty for 1-D/scalar allocas.
+  [[nodiscard]] const std::vector<std::uint64_t>& arrayDims() const {
+    return dims_;
+  }
+  void setArrayDims(std::vector<std::uint64_t> dims) {
+    dims_ = std::move(dims);
+  }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstAlloca;
+  }
+
+ private:
+  Type* allocated_;
+  std::uint64_t count_;
+  std::vector<std::uint64_t> dims_;
+};
+
+/// Load from a pointer. The address space of the pointer operand classifies
+/// this as a GL (global) or LL (local) operation for Grover.
+class LoadInst final : public Instruction {
+ public:
+  explicit LoadInst(Value* ptr)
+      : Instruction(ValueKind::InstLoad, ptr->type()->element()) {
+    initOperands(std::array<Value*, 1>{ptr});
+  }
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+  [[nodiscard]] AddrSpace space() const {
+    return pointer()->type()->addrSpace();
+  }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstLoad;
+  }
+};
+
+/// Store to a pointer (LS when the pointer is __local).
+class StoreInst final : public Instruction {
+ public:
+  StoreInst(Context& ctx, Value* value, Value* ptr)
+      : Instruction(ValueKind::InstStore, ctx.voidTy()) {
+    initOperands(std::array<Value*, 2>{value, ptr});
+  }
+  [[nodiscard]] Value* value() const { return operand(0); }
+  [[nodiscard]] Value* pointer() const { return operand(1); }
+  [[nodiscard]] AddrSpace space() const {
+    return pointer()->type()->addrSpace();
+  }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstStore;
+  }
+};
+
+/// Element-indexed pointer arithmetic: result = ptr + index * sizeof(elem).
+/// The front-end flattens multi-dimensional indexing to a single linear
+/// index, so each memory access has exactly one gep — the expression tree
+/// of that index is what Grover analyzes.
+class GepInst final : public Instruction {
+ public:
+  GepInst(Value* ptr, Value* index)
+      : Instruction(ValueKind::InstGep, ptr->type()) {
+    initOperands(std::array<Value*, 2>{ptr, index});
+  }
+  [[nodiscard]] Value* pointer() const { return operand(0); }
+  [[nodiscard]] Value* index() const { return operand(1); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstGep;
+  }
+};
+
+/// Two-operand arithmetic/logic. Operand types must match; vectors operate
+/// lane-wise.
+class BinaryInst final : public Instruction {
+ public:
+  BinaryInst(BinaryOp op, Value* lhs, Value* rhs)
+      : Instruction(ValueKind::InstBinary, lhs->type()), op_(op) {
+    initOperands(std::array<Value*, 2>{lhs, rhs});
+  }
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] Value* lhs() const { return operand(0); }
+  [[nodiscard]] Value* rhs() const { return operand(1); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstBinary;
+  }
+
+ private:
+  BinaryOp op_;
+};
+
+/// Integer comparison producing i1.
+class ICmpInst final : public Instruction {
+ public:
+  ICmpInst(Context& ctx, CmpPred pred, Value* lhs, Value* rhs)
+      : Instruction(ValueKind::InstICmp, ctx.boolTy()), pred_(pred) {
+    initOperands(std::array<Value*, 2>{lhs, rhs});
+  }
+  [[nodiscard]] CmpPred pred() const { return pred_; }
+  [[nodiscard]] Value* lhs() const { return operand(0); }
+  [[nodiscard]] Value* rhs() const { return operand(1); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstICmp;
+  }
+
+ private:
+  CmpPred pred_;
+};
+
+/// Ordered floating-point comparison producing i1.
+class FCmpInst final : public Instruction {
+ public:
+  FCmpInst(Context& ctx, CmpPred pred, Value* lhs, Value* rhs)
+      : Instruction(ValueKind::InstFCmp, ctx.boolTy()), pred_(pred) {
+    initOperands(std::array<Value*, 2>{lhs, rhs});
+  }
+  [[nodiscard]] CmpPred pred() const { return pred_; }
+  [[nodiscard]] Value* lhs() const { return operand(0); }
+  [[nodiscard]] Value* rhs() const { return operand(1); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstFCmp;
+  }
+
+ private:
+  CmpPred pred_;
+};
+
+/// Numeric conversion.
+class CastInst final : public Instruction {
+ public:
+  CastInst(CastOp op, Value* value, Type* destTy)
+      : Instruction(ValueKind::InstCast, destTy), op_(op) {
+    initOperands(std::array<Value*, 1>{value});
+  }
+  [[nodiscard]] CastOp op() const { return op_; }
+  [[nodiscard]] Value* value() const { return operand(0); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstCast;
+  }
+
+ private:
+  CastOp op_;
+};
+
+/// cond ? ifTrue : ifFalse.
+class SelectInst final : public Instruction {
+ public:
+  SelectInst(Value* cond, Value* ifTrue, Value* ifFalse)
+      : Instruction(ValueKind::InstSelect, ifTrue->type()) {
+    initOperands(std::array<Value*, 3>{cond, ifTrue, ifFalse});
+  }
+  [[nodiscard]] Value* condition() const { return operand(0); }
+  [[nodiscard]] Value* ifTrue() const { return operand(1); }
+  [[nodiscard]] Value* ifFalse() const { return operand(2); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstSelect;
+  }
+};
+
+/// SSA phi node. Operands alternate (value, block): operand(2i) is the
+/// value incoming from operand(2i+1).
+class PhiInst final : public Instruction {
+ public:
+  explicit PhiInst(Type* type) : Instruction(ValueKind::InstPhi, type) {}
+
+  [[nodiscard]] unsigned numIncoming() const { return numOperands() / 2; }
+  [[nodiscard]] Value* incomingValue(unsigned i) const {
+    return operand(2 * i);
+  }
+  [[nodiscard]] BasicBlock* incomingBlock(unsigned i) const;
+  void addIncoming(Value* value, BasicBlock* block);
+  void setIncomingValue(unsigned i, Value* v) { setOperand(2 * i, v); }
+  /// Incoming value for a predecessor block; throws if absent.
+  [[nodiscard]] Value* incomingForBlock(const BasicBlock* block) const;
+  void removeIncoming(unsigned i);
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstPhi;
+  }
+};
+
+/// Call to a builtin. get_local_id/get_group_id calls are the symbolic
+/// leaves of Grover's index expression trees.
+class CallInst final : public Instruction {
+ public:
+  CallInst(Builtin builtin, Type* retTy, std::span<Value* const> args)
+      : Instruction(ValueKind::InstCall, retTy), builtin_(builtin) {
+    initOperands(args);
+  }
+  [[nodiscard]] Builtin builtin() const { return builtin_; }
+  [[nodiscard]] unsigned numArgs() const { return numOperands(); }
+  [[nodiscard]] Value* arg(unsigned i) const { return operand(i); }
+
+  /// For work-item query builtins with a constant dimension argument,
+  /// return the dimension (0..2).
+  [[nodiscard]] std::optional<unsigned> constDimension() const;
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstCall;
+  }
+
+ private:
+  Builtin builtin_;
+};
+
+/// Unconditional branch.
+class BrInst final : public Instruction {
+ public:
+  BrInst(Context& ctx, BasicBlock* dest);
+  [[nodiscard]] BasicBlock* dest() const;
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstBr;
+  }
+};
+
+/// Conditional branch.
+class CondBrInst final : public Instruction {
+ public:
+  CondBrInst(Context& ctx, Value* cond, BasicBlock* ifTrue,
+             BasicBlock* ifFalse);
+  [[nodiscard]] Value* condition() const { return operand(0); }
+  [[nodiscard]] BasicBlock* ifTrue() const;
+  [[nodiscard]] BasicBlock* ifFalse() const;
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstCondBr;
+  }
+};
+
+/// Return (kernels return void; value is optional for helper functions).
+class RetInst final : public Instruction {
+ public:
+  explicit RetInst(Context& ctx, Value* value = nullptr)
+      : Instruction(ValueKind::InstRet, ctx.voidTy()) {
+    if (value != nullptr) initOperands(std::array<Value*, 1>{value});
+  }
+  [[nodiscard]] Value* value() const {
+    return numOperands() != 0 ? operand(0) : nullptr;
+  }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstRet;
+  }
+};
+
+/// Extract one lane of a vector.
+class ExtractElementInst final : public Instruction {
+ public:
+  ExtractElementInst(Value* vec, Value* index)
+      : Instruction(ValueKind::InstExtractElement, vec->type()->element()) {
+    initOperands(std::array<Value*, 2>{vec, index});
+  }
+  [[nodiscard]] Value* vector() const { return operand(0); }
+  [[nodiscard]] Value* index() const { return operand(1); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstExtractElement;
+  }
+};
+
+/// Produce a vector with one lane replaced.
+class InsertElementInst final : public Instruction {
+ public:
+  InsertElementInst(Value* vec, Value* scalar, Value* index)
+      : Instruction(ValueKind::InstInsertElement, vec->type()) {
+    initOperands(std::array<Value*, 3>{vec, scalar, index});
+  }
+  [[nodiscard]] Value* vector() const { return operand(0); }
+  [[nodiscard]] Value* scalar() const { return operand(1); }
+  [[nodiscard]] Value* index() const { return operand(2); }
+
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const override;
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::InstInsertElement;
+  }
+};
+
+}  // namespace grover::ir

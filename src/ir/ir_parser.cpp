@@ -1,0 +1,489 @@
+#include "ir/ir_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/casting.h"
+#include "ir/verifier.h"
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::ir {
+namespace {
+
+/// Cursor over one line of printed IR.
+class LineCursor {
+ public:
+  LineCursor(std::string line, unsigned lineNo)
+      : line_(std::move(line)), line_no_(lineNo) {}
+
+  void skipWs() {
+    while (pos_ < line_.size() && (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool atEnd() {
+    skipWs();
+    return pos_ >= line_.size();
+  }
+  [[nodiscard]] char peek() {
+    skipWs();
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  bool tryConsume(const std::string& token) {
+    skipWs();
+    if (line_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(const std::string& token, const char* what) {
+    if (!tryConsume(token)) {
+      fail(cat("expected '", token, "' (", what, ")"));
+    }
+  }
+  /// Identifier charset: letters, digits, _, ., -.
+  std::string parseWord() {
+    skipWs();
+    std::string out;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '_' || line_[pos_] == '.' || line_[pos_] == '-')) {
+      out += line_[pos_++];
+    }
+    if (out.empty()) fail("expected an identifier");
+    return out;
+  }
+  std::string parsePercentName() {
+    expect("%", "value or block name");
+    return parseWord();
+  }
+  std::int64_t parseInt() {
+    skipWs();
+    std::size_t consumed = 0;
+    const std::int64_t v = std::stoll(line_.substr(pos_), &consumed);
+    pos_ += consumed;
+    return v;
+  }
+  double parseDouble() {
+    skipWs();
+    std::size_t consumed = 0;
+    const double v = std::stod(line_.substr(pos_), &consumed);
+    pos_ += consumed;
+    return v;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw GroverError(cat("IR parse error, line ", line_no_, ": ", msg,
+                          " in '", line_, "'"));
+  }
+  [[nodiscard]] const std::string& text() const { return line_; }
+
+ private:
+  std::string line_;
+  unsigned line_no_;
+  std::size_t pos_ = 0;
+};
+
+class IrParser {
+ public:
+  IrParser(Context& ctx, const std::string& text) : ctx_(ctx) {
+    std::istringstream is(text);
+    std::string line;
+    unsigned no = 0;
+    while (std::getline(is, line)) {
+      ++no;
+      // Strip comments, trailing whitespace and blank lines.
+      const std::size_t semi = line.find(';');
+      if (semi != std::string::npos) line = line.substr(0, semi);
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                               line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) lines_.push_back({line, no});
+    }
+  }
+
+  std::unique_ptr<Module> run() {
+    auto module = std::make_unique<Module>(ctx_, "parsed");
+    while (index_ < lines_.size()) {
+      parseFunction(*module);
+    }
+    verifyModule(*module);
+    return module;
+  }
+
+ private:
+  LineCursor cursor() {
+    if (index_ >= lines_.size()) {
+      throw GroverError("IR parse error: unexpected end of input");
+    }
+    return LineCursor(lines_[index_].first, lines_[index_].second);
+  }
+
+  Type* parseType(LineCursor& c) {
+    Type* base = nullptr;
+    if (c.tryConsume("void")) {
+      base = ctx_.voidTy();
+    } else if (c.tryConsume("i1")) {
+      base = ctx_.boolTy();
+    } else if (c.tryConsume("i32")) {
+      base = ctx_.int32Ty();
+    } else if (c.tryConsume("i64")) {
+      base = ctx_.int64Ty();
+    } else if (c.tryConsume("f32")) {
+      base = ctx_.floatTy();
+    } else if (c.tryConsume("f64")) {
+      base = ctx_.doubleTy();
+    } else if (c.tryConsume("<")) {
+      const std::int64_t lanes = c.parseInt();
+      c.expect("x", "vector type");
+      Type* elem = parseType(c);
+      c.expect(">", "vector type");
+      base = ctx_.vectorTy(elem, static_cast<unsigned>(lanes));
+    } else {
+      c.fail("expected a type");
+    }
+    // Pointer suffix: "<space>*" with an address-space word.
+    for (const auto& [word, space] :
+         {std::pair<const char*, AddrSpace>{"private*", AddrSpace::Private},
+          {"global*", AddrSpace::Global},
+          {"local*", AddrSpace::Local},
+          {"constant*", AddrSpace::Constant}}) {
+      if (c.tryConsume(word)) return ctx_.pointerTy(base, space);
+    }
+    return base;
+  }
+
+  Value* parseValueRef(LineCursor& c, Type* type) {
+    if (c.tryConsume("undef")) return ctx_.getUndef(type);
+    if (c.peek() == '%') {
+      const std::string name = c.parsePercentName();
+      auto it = values_.find(name);
+      if (it == values_.end()) c.fail("unknown value %" + name);
+      return it->second;
+    }
+    if (type->isFloatingPoint()) {
+      return ctx_.getFP(type, c.parseDouble());
+    }
+    if (type->isInteger()) {
+      return ctx_.getInt(type, c.parseInt());
+    }
+    c.fail("expected a value reference");
+  }
+
+  /// "T %x" or "T 42": typed operand.
+  Value* parseTypedValue(LineCursor& c) {
+    Type* type = parseType(c);
+    return parseValueRef(c, type);
+  }
+
+  BasicBlock* blockRef(LineCursor& c) {
+    const std::string name = c.parsePercentName();
+    auto it = blocks_.find(name);
+    if (it == blocks_.end()) c.fail("unknown block %" + name);
+    return it->second;
+  }
+
+  void define(LineCursor& c, const std::string& name, Value* v) {
+    v->setName(name);
+    if (!values_.emplace(name, v).second) {
+      c.fail("redefinition of %" + name);
+    }
+  }
+
+  void parseFunction(Module& module) {
+    LineCursor header = cursor();
+    bool isKernel = true;
+    if (header.tryConsume("kernel")) {
+      isKernel = true;
+    } else if (header.tryConsume("func")) {
+      isKernel = false;
+    } else {
+      header.fail("expected 'kernel' or 'func'");
+    }
+    Type* retTy = parseType(header);
+    header.expect("@", "function name");
+    const std::string name = header.parseWord();
+    Function* fn = module.addFunction(name, retTy, isKernel);
+    values_.clear();
+    blocks_.clear();
+    phi_fixups_.clear();
+
+    header.expect("(", "parameter list");
+    if (!header.tryConsume(")")) {
+      do {
+        Type* paramTy = parseType(header);
+        const std::string paramName = header.parsePercentName();
+        Argument* arg = fn->addArgument(paramTy, paramName);
+        define(header, paramName, arg);
+      } while (header.tryConsume(","));
+      header.expect(")", "parameter list");
+    }
+    header.expect("{", "function body");
+    ++index_;
+
+    // Pre-scan: create every block so branches can reference forward.
+    for (std::size_t i = index_; i < lines_.size(); ++i) {
+      const std::string& line = lines_[i].first;
+      if (line == "}") break;
+      if (line.back() == ':' && line.find("  ") != 0) {
+        const std::string blockName = line.substr(0, line.size() - 1);
+        BasicBlock* bb = fn->addBlock(blockName);
+        blocks_.emplace(blockName, bb);
+      }
+    }
+
+    IRBuilder builder(ctx_);
+    BasicBlock* current = nullptr;
+    for (;;) {
+      LineCursor c = cursor();
+      if (c.tryConsume("}")) {
+        ++index_;
+        break;
+      }
+      const std::string& raw = c.text();
+      if (raw.back() == ':' && raw.find("  ") != 0) {
+        current = blocks_.at(raw.substr(0, raw.size() - 1));
+        builder.setInsertPoint(current);
+        ++index_;
+        continue;
+      }
+      if (current == nullptr) c.fail("instruction outside any block");
+      parseInstruction(c, builder);
+      ++index_;
+    }
+
+    // Resolve phi incoming values recorded as textual fixups.
+    for (const PhiFixup& fixup : phi_fixups_) {
+      for (const auto& [valueText, blockName] : fixup.incoming) {
+        auto blockIt = blocks_.find(blockName);
+        if (blockIt == blocks_.end()) {
+          throw GroverError("IR parse error: phi references unknown block %" +
+                            blockName);
+        }
+        Value* v = nullptr;
+        if (valueText == "undef") {
+          v = ctx_.getUndef(fixup.phi->type());
+        } else if (!valueText.empty() && valueText[0] == '%') {
+          auto it = values_.find(valueText.substr(1));
+          if (it == values_.end()) {
+            throw GroverError("IR parse error: phi references unknown value " +
+                              valueText);
+          }
+          v = it->second;
+        } else if (fixup.phi->type()->isFloatingPoint()) {
+          v = ctx_.getFP(fixup.phi->type(), std::strtod(valueText.c_str(), nullptr));
+        } else {
+          v = ctx_.getInt(fixup.phi->type(),
+                          std::strtoll(valueText.c_str(), nullptr, 10));
+        }
+        fixup.phi->addIncoming(v, blockIt->second);
+      }
+    }
+  }
+
+  void parseInstruction(LineCursor& c, IRBuilder& b) {
+    // Optional result name.
+    std::string resultName;
+    if (c.peek() == '%') {
+      resultName = c.parsePercentName();
+      c.expect("=", "instruction result");
+    }
+
+    Value* result = nullptr;
+    if (c.tryConsume("alloca")) {
+      Type* elem = parseType(c);
+      c.expect(",", "alloca");
+      c.expect("count", "alloca");
+      const std::int64_t count = c.parseInt();
+      c.expect(",", "alloca");
+      c.expect("addrspace(", "alloca");
+      AddrSpace space = AddrSpace::Private;
+      if (c.tryConsume("private")) space = AddrSpace::Private;
+      else if (c.tryConsume("global")) space = AddrSpace::Global;
+      else if (c.tryConsume("local")) space = AddrSpace::Local;
+      else if (c.tryConsume("constant")) space = AddrSpace::Constant;
+      else c.fail("bad address space");
+      c.expect(")", "alloca");
+      result = b.createAlloca(elem, static_cast<std::uint64_t>(count), space);
+    } else if (c.tryConsume("load")) {
+      parseType(c);  // result type (redundant with pointer)
+      c.expect(",", "load");
+      result = b.createLoad(parseTypedValue(c));
+    } else if (c.tryConsume("store")) {
+      Value* value = parseTypedValue(c);
+      c.expect(",", "store");
+      Value* ptr = parseTypedValue(c);
+      b.createStore(value, ptr);
+    } else if (c.tryConsume("gep")) {
+      Value* ptr = parseTypedValue(c);
+      c.expect(",", "gep");
+      result = b.createGep(ptr, parseTypedValue(c));
+    } else if (c.tryConsume("icmp")) {
+      const CmpPred pred = parseCmpPred(c);
+      Value* lhs = parseTypedValue(c);
+      c.expect(",", "icmp");
+      result = b.createICmp(pred, lhs, parseValueRef(c, lhs->type()));
+    } else if (c.tryConsume("fcmp")) {
+      const CmpPred pred = parseCmpPred(c);
+      Value* lhs = parseTypedValue(c);
+      c.expect(",", "fcmp");
+      result = b.createFCmp(pred, lhs, parseValueRef(c, lhs->type()));
+    } else if (c.tryConsume("select")) {
+      Value* cond = parseTypedValue(c);
+      c.expect(",", "select");
+      Value* t = parseTypedValue(c);
+      c.expect(",", "select");
+      result = b.createSelect(cond, t, parseValueRef(c, t->type()));
+    } else if (c.tryConsume("phi")) {
+      Type* type = parseType(c);
+      PhiInst* phi = b.createPhi(type);
+      PhiFixup fixup;
+      fixup.phi = phi;
+      while (c.tryConsume("[")) {
+        // Capture the raw value text up to the comma (resolved later).
+        std::string valueText;
+        if (c.tryConsume("undef")) {
+          valueText = "undef";
+        } else if (c.peek() == '%') {
+          valueText = "%" + c.parsePercentName();
+        } else if (type->isFloatingPoint()) {
+          valueText = std::to_string(c.parseDouble());
+        } else {
+          valueText = std::to_string(c.parseInt());
+        }
+        c.expect(",", "phi incoming");
+        const std::string blockName = c.parsePercentName();
+        c.expect("]", "phi incoming");
+        fixup.incoming.emplace_back(valueText, blockName);
+        if (!c.tryConsume(",")) break;
+      }
+      phi_fixups_.push_back(std::move(fixup));
+      result = phi;
+    } else if (c.tryConsume("call")) {
+      Type* retTy = parseType(c);
+      c.expect("@", "call target");
+      const std::string callee = c.parseWord();
+      const auto builtin = lookupBuiltin(callee);
+      if (!builtin.has_value()) c.fail("unknown builtin @" + callee);
+      c.expect("(", "call");
+      std::vector<Value*> args;
+      if (!c.tryConsume(")")) {
+        do {
+          args.push_back(parseTypedValue(c));
+        } while (c.tryConsume(","));
+        c.expect(")", "call");
+      }
+      result = b.createCall(*builtin, retTy, args);
+    } else if (c.tryConsume("br")) {
+      if (c.tryConsume("i1")) {
+        Value* cond = parseValueRef(c, ctx_.boolTy());
+        c.expect(",", "condbr");
+        BasicBlock* t = blockRef(c);
+        c.expect(",", "condbr");
+        b.createCondBr(cond, t, blockRef(c));
+      } else {
+        b.createBr(blockRef(c));
+      }
+    } else if (c.tryConsume("ret")) {
+      if (c.tryConsume("void")) {
+        b.createRetVoid();
+      } else {
+        b.createRet(parseTypedValue(c));
+      }
+    } else if (c.tryConsume("extractelement")) {
+      Value* vec = parseTypedValue(c);
+      c.expect(",", "extractelement");
+      result = b.createExtractElement(vec, parseTypedValue(c));
+    } else if (c.tryConsume("insertelement")) {
+      Value* vec = parseTypedValue(c);
+      c.expect(",", "insertelement");
+      Value* scalar = parseTypedValue(c);
+      c.expect(",", "insertelement");
+      result = b.createInsertElement(vec, scalar, parseTypedValue(c));
+    } else {
+      // Binary ops and casts share the "<mnemonic> <typed lhs>, rhs" /
+      // "<mnemonic> <typed value> to <type>" forms.
+      result = parseBinaryOrCast(c, b);
+    }
+
+    if (!resultName.empty()) {
+      if (result == nullptr) c.fail("instruction has no result");
+      define(c, resultName, result);
+    }
+  }
+
+  CmpPred parseCmpPred(LineCursor& c) {
+    for (const auto& [word, pred] : std::initializer_list<
+             std::pair<const char*, CmpPred>>{
+             {"eq", CmpPred::EQ},   {"ne", CmpPred::NE},
+             {"slt", CmpPred::SLT}, {"sle", CmpPred::SLE},
+             {"sgt", CmpPred::SGT}, {"sge", CmpPred::SGE},
+             {"ult", CmpPred::ULT}, {"ule", CmpPred::ULE},
+             {"ugt", CmpPred::UGT}, {"uge", CmpPred::UGE},
+             {"oeq", CmpPred::OEQ}, {"one", CmpPred::ONE},
+             {"olt", CmpPred::OLT}, {"ole", CmpPred::OLE},
+             {"ogt", CmpPred::OGT}, {"oge", CmpPred::OGE}}) {
+      if (c.tryConsume(word)) return pred;
+    }
+    c.fail("expected a comparison predicate");
+  }
+
+  Value* parseBinaryOrCast(LineCursor& c, IRBuilder& b) {
+    static const std::map<std::string, BinaryOp> binops = {
+        {"add", BinaryOp::Add},   {"sub", BinaryOp::Sub},
+        {"mul", BinaryOp::Mul},   {"sdiv", BinaryOp::SDiv},
+        {"srem", BinaryOp::SRem}, {"shl", BinaryOp::Shl},
+        {"ashr", BinaryOp::AShr}, {"lshr", BinaryOp::LShr},
+        {"and", BinaryOp::And},   {"or", BinaryOp::Or},
+        {"xor", BinaryOp::Xor},   {"fadd", BinaryOp::FAdd},
+        {"fsub", BinaryOp::FSub}, {"fmul", BinaryOp::FMul},
+        {"fdiv", BinaryOp::FDiv}};
+    static const std::map<std::string, CastOp> casts = {
+        {"sext", CastOp::SExt},     {"zext", CastOp::ZExt},
+        {"trunc", CastOp::Trunc},   {"sitofp", CastOp::SIToFP},
+        {"uitofp", CastOp::UIToFP}, {"fptosi", CastOp::FPToSI},
+        {"fpext", CastOp::FPExt},   {"fptrunc", CastOp::FPTrunc}};
+    for (const auto& [word, op] : binops) {
+      if (c.tryConsume(word)) {
+        Value* lhs = parseTypedValue(c);
+        c.expect(",", "binary operands");
+        return b.createBinary(op, lhs, parseValueRef(c, lhs->type()));
+      }
+    }
+    for (const auto& [word, op] : casts) {
+      if (c.tryConsume(word)) {
+        Value* v = parseTypedValue(c);
+        c.expect("to", "cast");
+        return b.createCast(op, v, parseType(c));
+      }
+    }
+    c.fail("unknown instruction");
+  }
+
+  struct PhiFixup {
+    PhiInst* phi = nullptr;
+    std::vector<std::pair<std::string, std::string>> incoming;
+  };
+
+  Context& ctx_;
+  std::vector<std::pair<std::string, unsigned>> lines_;
+  std::size_t index_ = 0;
+  std::map<std::string, Value*> values_;
+  std::map<std::string, BasicBlock*> blocks_;
+  std::vector<PhiFixup> phi_fixups_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parseModule(Context& ctx, const std::string& text) {
+  IrParser parser(ctx, text);
+  return parser.run();
+}
+
+}  // namespace grover::ir

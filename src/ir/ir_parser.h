@@ -1,0 +1,19 @@
+// Textual IR parser: reads the exact format ir/printer.h emits, enabling
+// IR-level test fixtures and print→parse round-trips.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/context.h"
+#include "ir/module.h"
+
+namespace grover::ir {
+
+/// Parse a module printed by printModule()/printFunction(). Throws
+/// GroverError with a line-oriented message on malformed input. The
+/// returned module's functions are verified.
+[[nodiscard]] std::unique_ptr<Module> parseModule(Context& ctx,
+                                                  const std::string& text);
+
+}  // namespace grover::ir

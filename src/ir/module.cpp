@@ -1,0 +1,27 @@
+#include "ir/module.h"
+
+namespace grover::ir {
+
+Function* Module::addFunction(std::string name, Type* returnType,
+                              bool isKernel) {
+  functions_.push_back(
+      std::make_unique<Function>(*this, std::move(name), returnType, isKernel));
+  return functions_.back().get();
+}
+
+Function* Module::findFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::vector<Function*> Module::kernels() const {
+  std::vector<Function*> out;
+  for (const auto& f : functions_) {
+    if (f->isKernel()) out.push_back(f.get());
+  }
+  return out;
+}
+
+}  // namespace grover::ir

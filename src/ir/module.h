@@ -1,0 +1,41 @@
+// Module: a compiled translation unit (one or more kernels).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/context.h"
+#include "ir/function.h"
+
+namespace grover::ir {
+
+/// Owns the functions produced from one OpenCL C source. The Context must
+/// outlive the Module.
+class Module {
+ public:
+  Module(Context& ctx, std::string name)
+      : ctx_(ctx), name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] Context& context() const { return ctx_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  Function* addFunction(std::string name, Type* returnType, bool isKernel);
+  [[nodiscard]] Function* findFunction(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions()
+      const {
+    return functions_;
+  }
+  /// All kernel functions.
+  [[nodiscard]] std::vector<Function*> kernels() const;
+
+ private:
+  Context& ctx_;
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+};
+
+}  // namespace grover::ir

@@ -1,0 +1,181 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/casting.h"
+#include "support/str.h"
+
+namespace grover::ir {
+namespace {
+
+std::string typedRef(const Value* v) {
+  return v->type()->str() + " " + printValueRef(v);
+}
+
+}  // namespace
+
+std::string printValueRef(const Value* v) {
+  if (v == nullptr) return "<null>";
+  switch (v->kind()) {
+    case ValueKind::ConstantInt:
+      return std::to_string(cast<ConstantInt>(v)->value());
+    case ValueKind::ConstantFloat: {
+      std::ostringstream os;
+      os << cast<ConstantFloat>(v)->value();
+      return os.str();
+    }
+    case ValueKind::ConstantUndef:
+      return "undef";
+    case ValueKind::BasicBlock:
+      return "%" + v->name();
+    default:
+      return "%" + v->name();
+  }
+}
+
+std::string printInst(const Instruction* inst) {
+  std::ostringstream os;
+  if (!inst->type()->isVoid()) {
+    os << printValueRef(inst) << " = ";
+  }
+  switch (inst->kind()) {
+    case ValueKind::InstAlloca: {
+      const auto* a = cast<AllocaInst>(inst);
+      os << "alloca " << a->allocatedType()->str() << ", count " << a->count()
+         << ", addrspace(" << toString(a->space()) << ")";
+      break;
+    }
+    case ValueKind::InstLoad: {
+      const auto* l = cast<LoadInst>(inst);
+      os << "load " << inst->type()->str() << ", " << typedRef(l->pointer());
+      break;
+    }
+    case ValueKind::InstStore: {
+      const auto* s = cast<StoreInst>(inst);
+      os << "store " << typedRef(s->value()) << ", " << typedRef(s->pointer());
+      break;
+    }
+    case ValueKind::InstGep: {
+      const auto* g = cast<GepInst>(inst);
+      os << "gep " << typedRef(g->pointer()) << ", "
+         << typedRef(g->index());
+      break;
+    }
+    case ValueKind::InstBinary: {
+      const auto* b = cast<BinaryInst>(inst);
+      os << toString(b->op()) << " " << typedRef(b->lhs()) << ", "
+         << printValueRef(b->rhs());
+      break;
+    }
+    case ValueKind::InstICmp: {
+      const auto* c = cast<ICmpInst>(inst);
+      os << "icmp " << toString(c->pred()) << " " << typedRef(c->lhs()) << ", "
+         << printValueRef(c->rhs());
+      break;
+    }
+    case ValueKind::InstFCmp: {
+      const auto* c = cast<FCmpInst>(inst);
+      os << "fcmp " << toString(c->pred()) << " " << typedRef(c->lhs()) << ", "
+         << printValueRef(c->rhs());
+      break;
+    }
+    case ValueKind::InstCast: {
+      const auto* c = cast<CastInst>(inst);
+      os << toString(c->op()) << " " << typedRef(c->value()) << " to "
+         << inst->type()->str();
+      break;
+    }
+    case ValueKind::InstSelect: {
+      const auto* s = cast<SelectInst>(inst);
+      os << "select " << typedRef(s->condition()) << ", "
+         << typedRef(s->ifTrue()) << ", " << printValueRef(s->ifFalse());
+      break;
+    }
+    case ValueKind::InstPhi: {
+      const auto* p = cast<PhiInst>(inst);
+      os << "phi " << inst->type()->str();
+      for (unsigned i = 0; i < p->numIncoming(); ++i) {
+        os << (i == 0 ? " " : ", ") << "[" << printValueRef(p->incomingValue(i))
+           << ", " << printValueRef(p->incomingBlock(i)) << "]";
+      }
+      break;
+    }
+    case ValueKind::InstCall: {
+      const auto* c = cast<CallInst>(inst);
+      os << "call " << inst->type()->str() << " @" << builtinName(c->builtin())
+         << "(";
+      for (unsigned i = 0; i < c->numArgs(); ++i) {
+        if (i != 0) os << ", ";
+        os << typedRef(c->arg(i));
+      }
+      os << ")";
+      break;
+    }
+    case ValueKind::InstBr: {
+      const auto* b = cast<BrInst>(inst);
+      os << "br %" << b->dest()->name();
+      break;
+    }
+    case ValueKind::InstCondBr: {
+      const auto* b = cast<CondBrInst>(inst);
+      os << "br " << typedRef(b->condition()) << ", %" << b->ifTrue()->name()
+         << ", %" << b->ifFalse()->name();
+      break;
+    }
+    case ValueKind::InstRet: {
+      const auto* r = cast<RetInst>(inst);
+      if (r->value() != nullptr) {
+        os << "ret " << typedRef(r->value());
+      } else {
+        os << "ret void";
+      }
+      break;
+    }
+    case ValueKind::InstExtractElement: {
+      const auto* e = cast<ExtractElementInst>(inst);
+      os << "extractelement " << typedRef(e->vector()) << ", "
+         << typedRef(e->index());
+      break;
+    }
+    case ValueKind::InstInsertElement: {
+      const auto* e = cast<InsertElementInst>(inst);
+      os << "insertelement " << typedRef(e->vector()) << ", "
+         << typedRef(e->scalar()) << ", " << typedRef(e->index());
+      break;
+    }
+    default:
+      os << "<unknown inst>";
+  }
+  return os.str();
+}
+
+std::string printFunction(Function& fn) {
+  fn.renumber();
+  std::ostringstream os;
+  os << (fn.isKernel() ? "kernel " : "func ") << fn.returnType()->str() << " @"
+     << fn.name() << "(";
+  for (unsigned i = 0; i < fn.numArgs(); ++i) {
+    if (i != 0) os << ", ";
+    os << fn.arg(i)->type()->str() << " %" << fn.arg(i)->name();
+  }
+  os << ") {\n";
+  for (BasicBlock* bb : fn.blockList()) {
+    os << bb->name() << ":\n";
+    for (const auto& inst : *bb) {
+      os << "  " << printInst(inst.get()) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module& module) {
+  std::ostringstream os;
+  os << "; module '" << module.name() << "'\n";
+  for (const auto& fn : module.functions()) {
+    os << "\n" << printFunction(*fn);
+  }
+  return os.str();
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,24 @@
+// Human-readable IR printing (LLVM-flavored). Used by tests, the groverc
+// tool, and the Fig.1-style before/after listings.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace grover::ir {
+
+/// Render one value reference ("%v3", "42", "3.5f", "%arg0").
+[[nodiscard]] std::string printValueRef(const Value* v);
+
+/// Render a single instruction (no trailing newline).
+[[nodiscard]] std::string printInst(const Instruction* inst);
+
+/// Render a whole function. Calls renumber() on it first.
+[[nodiscard]] std::string printFunction(Function& fn);
+
+/// Render all functions of a module.
+[[nodiscard]] std::string printModule(const Module& module);
+
+}  // namespace grover::ir

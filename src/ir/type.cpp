@@ -1,0 +1,63 @@
+#include "ir/type.h"
+
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::ir {
+
+const char* toString(AddrSpace space) {
+  switch (space) {
+    case AddrSpace::Private:
+      return "private";
+    case AddrSpace::Global:
+      return "global";
+    case AddrSpace::Local:
+      return "local";
+    case AddrSpace::Constant:
+      return "constant";
+  }
+  return "?";
+}
+
+std::uint64_t Type::sizeInBytes() const {
+  switch (kind_) {
+    case TypeKind::Void:
+      throw GroverError("sizeInBytes of void");
+    case TypeKind::Bool:
+      return 1;
+    case TypeKind::Int32:
+    case TypeKind::Float:
+      return 4;
+    case TypeKind::Int64:
+    case TypeKind::Double:
+    case TypeKind::Pointer:
+      return 8;
+    case TypeKind::Vector:
+      return element_->sizeInBytes() * lanes_;
+  }
+  throw GroverError("sizeInBytes: bad type kind");
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Bool:
+      return "i1";
+    case TypeKind::Int32:
+      return "i32";
+    case TypeKind::Int64:
+      return "i64";
+    case TypeKind::Float:
+      return "f32";
+    case TypeKind::Double:
+      return "f64";
+    case TypeKind::Vector:
+      return cat("<", lanes_, " x ", element_->str(), ">");
+    case TypeKind::Pointer:
+      return cat(element_->str(), " ", toString(space_), "*");
+  }
+  return "?";
+}
+
+}  // namespace grover::ir

@@ -1,0 +1,74 @@
+// The IR type system. Types are immutable, interned in a Context, and
+// compared by pointer identity (as in LLVM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grover::ir {
+
+class Context;
+
+/// OpenCL address spaces. The Grover pass keys on Global vs Local; the
+/// runtime maps each space to a distinct arena.
+enum class AddrSpace : std::uint8_t { Private, Global, Local, Constant };
+
+[[nodiscard]] const char* toString(AddrSpace space);
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  Bool,     // i1
+  Int32,    // i32
+  Int64,    // i64
+  Float,    // f32
+  Double,   // f64
+  Vector,   // <N x elem>
+  Pointer,  // elem addrspace(AS)*
+};
+
+/// An interned IR type. Obtain instances through Context factories only.
+class Type {
+ public:
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+
+  [[nodiscard]] bool isVoid() const { return kind_ == TypeKind::Void; }
+  [[nodiscard]] bool isBool() const { return kind_ == TypeKind::Bool; }
+  [[nodiscard]] bool isInteger() const {
+    return kind_ == TypeKind::Int32 || kind_ == TypeKind::Int64 ||
+           kind_ == TypeKind::Bool;
+  }
+  [[nodiscard]] bool isFloatingPoint() const {
+    return kind_ == TypeKind::Float || kind_ == TypeKind::Double;
+  }
+  [[nodiscard]] bool isVector() const { return kind_ == TypeKind::Vector; }
+  [[nodiscard]] bool isPointer() const { return kind_ == TypeKind::Pointer; }
+  /// Integer or FP scalar (not vector/pointer/void).
+  [[nodiscard]] bool isScalarNumber() const {
+    return isInteger() || isFloatingPoint();
+  }
+
+  /// Vector element type / pointer pointee. Null for other kinds.
+  [[nodiscard]] Type* element() const { return element_; }
+  /// Vector lane count; 0 for non-vectors.
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+  /// Pointer address space; only meaningful for pointers.
+  [[nodiscard]] AddrSpace addrSpace() const { return space_; }
+
+  /// Size of an in-memory value of this type. Bool is stored as one byte;
+  /// pointers are 8 bytes; vectors are tightly packed.
+  [[nodiscard]] std::uint64_t sizeInBytes() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  friend class Context;
+  Type(TypeKind kind, Type* element, unsigned lanes, AddrSpace space)
+      : kind_(kind), element_(element), lanes_(lanes), space_(space) {}
+
+  TypeKind kind_;
+  Type* element_ = nullptr;
+  unsigned lanes_ = 0;
+  AddrSpace space_ = AddrSpace::Private;
+};
+
+}  // namespace grover::ir

@@ -1,0 +1,75 @@
+#include "ir/value.h"
+
+#include <algorithm>
+
+namespace grover::ir {
+
+Value::~Value() = default;
+
+void Value::removeUse(Use* use) {
+  auto it = std::find(uses_.begin(), uses_.end(), use);
+  if (it != uses_.end()) uses_.erase(it);
+}
+
+void Value::replaceAllUsesWith(Value* replacement) {
+  if (replacement == this) return;
+  // setOperand mutates uses_; iterate over a snapshot.
+  std::vector<Use*> snapshot = uses_;
+  for (Use* use : snapshot) {
+    use->user->setOperand(use->index, replacement);
+  }
+}
+
+void User::setOperand(unsigned i, Value* v) {
+  if (i >= operands_.size()) throw GroverError("setOperand out of range");
+  Use& use = operands_[i];
+  if (use.value == v) return;
+  if (use.value != nullptr) use.value->removeUse(&use);
+  use.value = v;
+  if (v != nullptr) v->addUse(&use);
+}
+
+bool User::usesValue(const Value* v) const {
+  return std::any_of(operands_.begin(), operands_.end(),
+                     [v](const Use& u) { return u.value == v; });
+}
+
+void User::dropAllOperands() {
+  for (Use& use : operands_) {
+    if (use.value != nullptr) {
+      use.value->removeUse(&use);
+      use.value = nullptr;
+    }
+  }
+}
+
+void User::initOperands(std::span<Value* const> values) {
+  dropAllOperands();
+  operands_.clear();
+  for (Value* v : values) appendOperand(v);
+}
+
+void User::appendOperand(Value* v) {
+  operands_.push_back(Use{nullptr, this, numOperands()});
+  Use& use = operands_.back();
+  use.value = v;
+  if (v != nullptr) v->addUse(&use);
+}
+
+void User::removeOperandAt(unsigned i) {
+  if (i >= operands_.size()) throw GroverError("removeOperandAt out of range");
+  // A middle erase invalidates every element address in a deque, so
+  // unregister all uses, erase, then re-register.
+  for (Use& use : operands_) {
+    if (use.value != nullptr) use.value->removeUse(&use);
+  }
+  operands_.erase(operands_.begin() + i);
+  for (unsigned j = 0; j < operands_.size(); ++j) {
+    operands_[j].index = j;
+    if (operands_[j].value != nullptr) {
+      operands_[j].value->addUse(&operands_[j]);
+    }
+  }
+}
+
+}  // namespace grover::ir

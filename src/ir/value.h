@@ -1,0 +1,189 @@
+// Value/Use/User: the SSA value graph. Every operand edge is a Use that is
+// registered on the used Value, giving O(uses) replaceAllUsesWith — the
+// operation at the heart of Grover's "replace LL with nGL" step.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+
+class User;
+class Value;
+
+enum class ValueKind : std::uint8_t {
+  Argument,
+  BasicBlock,
+  ConstantInt,
+  ConstantFloat,
+  ConstantUndef,
+  // --- instructions (keep contiguous; see Value::isInstruction) ---
+  InstAlloca,
+  InstLoad,
+  InstStore,
+  InstGep,
+  InstBinary,
+  InstICmp,
+  InstFCmp,
+  InstCast,
+  InstSelect,
+  InstPhi,
+  InstCall,
+  InstBr,
+  InstCondBr,
+  InstRet,
+  InstExtractElement,
+  InstInsertElement,
+};
+
+/// One operand slot of a User. Lives inside the User; registered with the
+/// used Value so the def-use graph can be walked in both directions.
+struct Use {
+  Value* value = nullptr;
+  User* user = nullptr;
+  unsigned index = 0;
+};
+
+/// Base of everything that can be referenced by an operand.
+class Value {
+ public:
+  virtual ~Value();
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  [[nodiscard]] ValueKind kind() const { return kind_; }
+  [[nodiscard]] Type* type() const { return type_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] bool isInstruction() const {
+    return kind_ >= ValueKind::InstAlloca;
+  }
+  [[nodiscard]] bool isConstant() const {
+    return kind_ == ValueKind::ConstantInt ||
+           kind_ == ValueKind::ConstantFloat ||
+           kind_ == ValueKind::ConstantUndef;
+  }
+
+  /// All operand slots currently referencing this value.
+  [[nodiscard]] const std::vector<Use*>& uses() const { return uses_; }
+  [[nodiscard]] bool hasUses() const { return !uses_.empty(); }
+
+  /// Rewrite every use of this value to use `replacement` instead.
+  void replaceAllUsesWith(Value* replacement);
+
+  /// Interpreter slot id (assigned by Function::renumber).
+  [[nodiscard]] unsigned slot() const { return slot_; }
+  void setSlot(unsigned s) { slot_ = s; }
+
+ protected:
+  Value(ValueKind kind, Type* type) : kind_(kind), type_(type) {}
+
+ private:
+  friend class User;
+  void addUse(Use* use) { uses_.push_back(use); }
+  void removeUse(Use* use);
+
+  ValueKind kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Use*> uses_;
+  unsigned slot_ = ~0u;
+};
+
+/// A Value that references operands. Operand storage is a deque so Use
+/// addresses stay stable when phi nodes grow.
+class User : public Value {
+ public:
+  [[nodiscard]] unsigned numOperands() const {
+    return static_cast<unsigned>(operands_.size());
+  }
+  [[nodiscard]] Value* operand(unsigned i) const {
+    if (i >= operands_.size()) throw GroverError("operand index out of range");
+    return operands_[i].value;
+  }
+  void setOperand(unsigned i, Value* v);
+
+  /// True if `v` appears among the operands.
+  [[nodiscard]] bool usesValue(const Value* v) const;
+
+  /// Drop every operand edge (used before deleting the user).
+  void dropAllOperands();
+
+ protected:
+  User(ValueKind kind, Type* type) : Value(kind, type) {}
+  ~User() override { dropAllOperands(); }
+
+  void initOperands(std::span<Value* const> values);
+  void appendOperand(Value* v);
+  void removeOperandAt(unsigned i);
+
+ private:
+  std::deque<Use> operands_;
+};
+
+/// A formal parameter of a Function.
+class Argument final : public Value {
+ public:
+  Argument(Type* type, std::string name, unsigned index)
+      : Value(ValueKind::Argument, type), index_(index) {
+    setName(std::move(name));
+  }
+  [[nodiscard]] unsigned index() const { return index_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::Argument;
+  }
+
+ private:
+  unsigned index_;
+};
+
+/// Integer constant (i1/i32/i64).
+class ConstantInt final : public Value {
+ public:
+  ConstantInt(Type* type, std::int64_t value)
+      : Value(ValueKind::ConstantInt, type), value_(value) {}
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::ConstantInt;
+  }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant (f32/f64).
+class ConstantFloat final : public Value {
+ public:
+  ConstantFloat(Type* type, double value)
+      : Value(ValueKind::ConstantFloat, type), value_(value) {}
+  [[nodiscard]] double value() const { return value_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::ConstantFloat;
+  }
+
+ private:
+  double value_;
+};
+
+/// Undefined value (produced by mem2reg for loads of uninitialized slots).
+class ConstantUndef final : public Value {
+ public:
+  explicit ConstantUndef(Type* type) : Value(ValueKind::ConstantUndef, type) {}
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::ConstantUndef;
+  }
+};
+
+}  // namespace grover::ir

@@ -1,0 +1,238 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/dominators.h"
+#include "ir/casting.h"
+#include "ir/printer.h"
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::ir {
+namespace {
+
+[[noreturn]] void fail(const Function& fn, const Instruction* inst,
+                       const std::string& msg) {
+  std::string where = "in function '" + fn.name() + "'";
+  if (inst != nullptr) {
+    where += ", at '" + printInst(inst) + "'";
+  }
+  throw GroverError("verifier: " + msg + " (" + where + ")");
+}
+
+void checkTypes(const Function& fn, const Instruction* inst) {
+  switch (inst->kind()) {
+    case ValueKind::InstLoad: {
+      const auto* load = cast<LoadInst>(inst);
+      if (!load->pointer()->type()->isPointer()) {
+        fail(fn, inst, "load pointer operand is not a pointer");
+      }
+      if (load->pointer()->type()->element() != load->type()) {
+        fail(fn, inst, "load result type mismatch");
+      }
+      break;
+    }
+    case ValueKind::InstStore: {
+      const auto* store = cast<StoreInst>(inst);
+      if (!store->pointer()->type()->isPointer()) {
+        fail(fn, inst, "store pointer operand is not a pointer");
+      }
+      if (store->pointer()->type()->element() != store->value()->type()) {
+        fail(fn, inst, "store value type mismatch");
+      }
+      break;
+    }
+    case ValueKind::InstGep: {
+      const auto* gep = cast<GepInst>(inst);
+      if (!gep->pointer()->type()->isPointer()) {
+        fail(fn, inst, "gep base is not a pointer");
+      }
+      if (gep->type() != gep->pointer()->type()) {
+        fail(fn, inst, "gep type must equal base pointer type");
+      }
+      if (!gep->index()->type()->isInteger()) {
+        fail(fn, inst, "gep index must be an integer");
+      }
+      break;
+    }
+    case ValueKind::InstBinary: {
+      const auto* bin = cast<BinaryInst>(inst);
+      if (bin->lhs()->type() != bin->rhs()->type()) {
+        fail(fn, inst, "binary operand type mismatch");
+      }
+      if (bin->type() != bin->lhs()->type()) {
+        fail(fn, inst, "binary result type mismatch");
+      }
+      Type* scalar = bin->type()->isVector() ? bin->type()->element()
+                                             : bin->type();
+      if (isFloatOp(bin->op()) ? !scalar->isFloatingPoint()
+                               : !scalar->isInteger()) {
+        fail(fn, inst, "binary opcode/type mismatch");
+      }
+      break;
+    }
+    case ValueKind::InstICmp: {
+      const auto* cmp = cast<ICmpInst>(inst);
+      if (cmp->lhs()->type() != cmp->rhs()->type()) {
+        fail(fn, inst, "icmp operand type mismatch");
+      }
+      if (!cmp->lhs()->type()->isInteger()) {
+        fail(fn, inst, "icmp on non-integer operands");
+      }
+      break;
+    }
+    case ValueKind::InstFCmp: {
+      const auto* cmp = cast<FCmpInst>(inst);
+      if (cmp->lhs()->type() != cmp->rhs()->type()) {
+        fail(fn, inst, "fcmp operand type mismatch");
+      }
+      if (!cmp->lhs()->type()->isFloatingPoint()) {
+        fail(fn, inst, "fcmp on non-FP operands");
+      }
+      break;
+    }
+    case ValueKind::InstSelect: {
+      const auto* sel = cast<SelectInst>(inst);
+      if (!sel->condition()->type()->isBool()) {
+        fail(fn, inst, "select condition must be i1");
+      }
+      if (sel->ifTrue()->type() != sel->ifFalse()->type() ||
+          sel->type() != sel->ifTrue()->type()) {
+        fail(fn, inst, "select arm type mismatch");
+      }
+      break;
+    }
+    case ValueKind::InstPhi: {
+      const auto* phi = cast<PhiInst>(inst);
+      for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+        if (phi->incomingValue(i)->type() != phi->type()) {
+          fail(fn, inst, "phi incoming type mismatch");
+        }
+      }
+      break;
+    }
+    case ValueKind::InstExtractElement: {
+      const auto* ext = cast<ExtractElementInst>(inst);
+      if (!ext->vector()->type()->isVector()) {
+        fail(fn, inst, "extractelement of non-vector");
+      }
+      break;
+    }
+    case ValueKind::InstInsertElement: {
+      const auto* ins = cast<InsertElementInst>(inst);
+      if (!ins->vector()->type()->isVector() ||
+          ins->type() != ins->vector()->type()) {
+        fail(fn, inst, "insertelement type mismatch");
+      }
+      break;
+    }
+    case ValueKind::InstCondBr: {
+      const auto* br = cast<CondBrInst>(inst);
+      if (!br->condition()->type()->isBool()) {
+        fail(fn, inst, "condbr condition must be i1");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void verifyFunction(Function& fn) {
+  if (fn.entry() == nullptr) fail(fn, nullptr, "function has no blocks");
+
+  // Collect all values defined inside the function.
+  std::set<const Value*> defined;
+  for (const auto& arg : fn.args()) defined.insert(arg.get());
+  for (BasicBlock* bb : fn.blockList()) {
+    defined.insert(bb);
+    for (const auto& inst : *bb) defined.insert(inst.get());
+  }
+
+  analysis::DominatorTree dt(fn);
+
+  for (BasicBlock* bb : fn.blockList()) {
+    if (bb->empty() || !bb->front()) fail(fn, nullptr, "empty basic block");
+    // Exactly one terminator, at the end.
+    std::size_t position = 0;
+    const std::size_t last = bb->size() - 1;
+    bool seenNonPhi = false;
+    for (const auto& instPtr : *bb) {
+      const Instruction* inst = instPtr.get();
+      if (inst->parent() != bb) fail(fn, inst, "bad parent link");
+      const bool isLast = position == last;
+      if (inst->isTerminator() != isLast) {
+        fail(fn, inst,
+             inst->isTerminator() ? "terminator not at end of block"
+                                  : "block does not end in a terminator");
+      }
+      if (isa<PhiInst>(inst)) {
+        if (seenNonPhi) fail(fn, inst, "phi after non-phi instruction");
+      } else {
+        seenNonPhi = true;
+      }
+
+      // Operand sanity.
+      for (unsigned i = 0; i < inst->numOperands(); ++i) {
+        const Value* op = inst->operand(i);
+        if (op == nullptr) fail(fn, inst, cat("null operand #", i));
+        if (!op->isConstant() && defined.count(op) == 0) {
+          fail(fn, inst, cat("operand #", i, " ('", op->name(),
+                             "') is not defined in this function"));
+        }
+      }
+      checkTypes(fn, inst);
+
+      // SSA dominance (skip unreachable blocks; skip phi operand uses).
+      if (dt.isReachable(bb) && !isa<PhiInst>(inst)) {
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+          const Value* op = inst->operand(i);
+          if (const auto* defInst = dyn_cast<Instruction>(op)) {
+            if (!dt.isReachable(defInst->parent()) ||
+                !dt.valueDominates(defInst, inst)) {
+              fail(fn, inst,
+                   cat("operand '%", op->name(), "' does not dominate use"));
+            }
+          }
+        }
+      }
+      ++position;
+    }
+
+    // Phi edges match predecessors exactly.
+    const std::vector<BasicBlock*> preds = bb->predecessors();
+    for (PhiInst* phi : bb->phis()) {
+      if (phi->numIncoming() != preds.size()) {
+        fail(fn, phi, cat("phi has ", phi->numIncoming(),
+                          " incoming values, block has ", preds.size(),
+                          " predecessors"));
+      }
+      for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+        BasicBlock* in = phi->incomingBlock(i);
+        if (std::find(preds.begin(), preds.end(), in) == preds.end()) {
+          fail(fn, phi,
+               cat("phi incoming block '", in->name(), "' is not a pred"));
+        }
+        // Incoming value must dominate the end of the incoming block.
+        if (dt.isReachable(in)) {
+          if (const auto* defInst =
+                  dyn_cast<Instruction>(phi->incomingValue(i))) {
+            if (!dt.isReachable(defInst->parent()) ||
+                !dt.dominates(defInst->parent(), in)) {
+              fail(fn, phi, "phi incoming value does not dominate edge");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void verifyModule(Module& module) {
+  for (const auto& fn : module.functions()) verifyFunction(*fn);
+}
+
+}  // namespace grover::ir

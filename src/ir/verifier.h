@@ -1,0 +1,21 @@
+// Structural and SSA verification of IR. Throws GroverError with a
+// description of the first violation; used between passes in tests.
+#pragma once
+
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace grover::ir {
+
+/// Verify one function:
+///  - every block ends in exactly one terminator,
+///  - phi nodes are at block heads and cover exactly the predecessors,
+///  - every operand is defined (argument/constant/instruction in function),
+///  - SSA dominance: definitions dominate uses (phi uses checked on edges),
+///  - operand/result types are consistent per opcode.
+void verifyFunction(Function& fn);
+
+/// Verify every function of the module.
+void verifyModule(Module& module);
+
+}  // namespace grover::ir

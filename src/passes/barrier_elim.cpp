@@ -1,0 +1,66 @@
+#include "passes/barrier_elim.h"
+
+#include <vector>
+
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+bool usesLocalMemory(const ir::Function& fn) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      if (const auto* alloca = dyn_cast<AllocaInst>(inst.get())) {
+        if (alloca->space() == AddrSpace::Local && alloca->hasUses()) {
+          return true;
+        }
+        continue;
+      }
+      if (const auto* load = dyn_cast<LoadInst>(inst.get())) {
+        if (load->space() == AddrSpace::Local) return true;
+        continue;
+      }
+      if (const auto* store = dyn_cast<StoreInst>(inst.get())) {
+        if (store->space() == AddrSpace::Local) return true;
+        continue;
+      }
+    }
+  }
+  // Local pointer arguments still in use also count.
+  for (const auto& arg : fn.args()) {
+    if (arg->type()->isPointer() &&
+        arg->type()->addrSpace() == AddrSpace::Local && arg->hasUses()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BarrierElimPass::run(ir::Function& fn) {
+  if (usesLocalMemory(fn)) return false;
+  bool changed = false;
+  for (BasicBlock* bb : fn.blockList()) {
+    std::vector<Instruction*> barriers;
+    for (const auto& inst : *bb) {
+      if (auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) {
+          // Only local fences are known-redundant; a barrier with the
+          // global fence bit still orders global memory in the group.
+          const auto* flags = dyn_cast<ConstantInt>(call->arg(0));
+          if (flags != nullptr && (flags->value() & ~std::int64_t{1}) == 0) {
+            barriers.push_back(call);
+          }
+        }
+      }
+    }
+    for (Instruction* barrier : barriers) {
+      barrier->dropAllOperands();
+      bb->erase(barrier);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace grover::passes

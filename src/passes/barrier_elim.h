@@ -1,0 +1,20 @@
+// Barrier elimination: once a kernel performs no local-memory accesses,
+// its CLK_LOCAL_MEM_FENCE barriers synchronize nothing and are removed
+// (the last "redundant instruction" of the paper's Fig. 1 transformation).
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class BarrierElimPass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "barrier-elim"; }
+  bool run(ir::Function& fn) override;
+};
+
+/// True if the function still touches __local memory (alloca, load, store
+/// or gep in the local address space).
+[[nodiscard]] bool usesLocalMemory(const ir::Function& fn);
+
+}  // namespace grover::passes

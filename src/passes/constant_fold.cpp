@@ -1,0 +1,186 @@
+#include "passes/constant_fold.h"
+
+#include <optional>
+#include <vector>
+
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+namespace {
+
+std::optional<std::int64_t> intConst(const Value* v) {
+  if (const auto* c = dyn_cast<ConstantInt>(v)) return c->value();
+  return std::nullopt;
+}
+
+/// Fold one instruction to an existing value, or null if not foldable.
+Value* fold(Context& ctx, Instruction* inst) {
+  if (auto* bin = dyn_cast<BinaryInst>(inst)) {
+    Type* ty = bin->type();
+    if (!ty->isInteger()) {
+      return nullptr;  // FP folding is skipped: preserve rounding exactly
+    }
+    const auto l = intConst(bin->lhs());
+    const auto r = intConst(bin->rhs());
+    // Algebraic identities first (one side constant).
+    switch (bin->op()) {
+      case BinaryOp::Add:
+        if (l == 0) return bin->rhs();
+        if (r == 0) return bin->lhs();
+        break;
+      case BinaryOp::Sub:
+        if (r == 0) return bin->lhs();
+        break;
+      case BinaryOp::Mul:
+        if (l == 1) return bin->rhs();
+        if (r == 1) return bin->lhs();
+        if (l == 0 || r == 0) return ctx.getInt(ty, 0);
+        break;
+      case BinaryOp::SDiv:
+        if (r == 1) return bin->lhs();
+        break;
+      case BinaryOp::Shl:
+      case BinaryOp::AShr:
+      case BinaryOp::LShr:
+        if (r == 0) return bin->lhs();
+        break;
+      case BinaryOp::Or:
+      case BinaryOp::Xor:
+        if (l == 0) return bin->rhs();
+        if (r == 0) return bin->lhs();
+        break;
+      default:
+        break;
+    }
+    if (!l.has_value() || !r.has_value()) return nullptr;
+    std::int64_t result = 0;
+    switch (bin->op()) {
+      case BinaryOp::Add: result = *l + *r; break;
+      case BinaryOp::Sub: result = *l - *r; break;
+      case BinaryOp::Mul: result = *l * *r; break;
+      case BinaryOp::SDiv:
+        if (*r == 0) return nullptr;
+        result = *l / *r;
+        break;
+      case BinaryOp::SRem:
+        if (*r == 0) return nullptr;
+        result = *l % *r;
+        break;
+      case BinaryOp::Shl: result = *l << (*r & 63); break;
+      case BinaryOp::AShr: result = *l >> (*r & 63); break;
+      case BinaryOp::LShr:
+        result = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(*l) >> (*r & 63));
+        break;
+      case BinaryOp::And: result = *l & *r; break;
+      case BinaryOp::Or: result = *l | *r; break;
+      case BinaryOp::Xor: result = *l ^ *r; break;
+      default: return nullptr;
+    }
+    if (ty->kind() == TypeKind::Int32) {
+      result = static_cast<std::int32_t>(result);
+    } else if (ty->isBool()) {
+      result &= 1;
+    }
+    return ctx.getInt(ty, result);
+  }
+
+  if (auto* cmp = dyn_cast<ICmpInst>(inst)) {
+    const auto l = intConst(cmp->lhs());
+    const auto r = intConst(cmp->rhs());
+    if (!l.has_value() || !r.has_value()) return nullptr;
+    const auto ul = static_cast<std::uint64_t>(*l);
+    const auto ur = static_cast<std::uint64_t>(*r);
+    bool result = false;
+    switch (cmp->pred()) {
+      case CmpPred::EQ: result = *l == *r; break;
+      case CmpPred::NE: result = *l != *r; break;
+      case CmpPred::SLT: result = *l < *r; break;
+      case CmpPred::SLE: result = *l <= *r; break;
+      case CmpPred::SGT: result = *l > *r; break;
+      case CmpPred::SGE: result = *l >= *r; break;
+      case CmpPred::ULT: result = ul < ur; break;
+      case CmpPred::ULE: result = ul <= ur; break;
+      case CmpPred::UGT: result = ul > ur; break;
+      case CmpPred::UGE: result = ul >= ur; break;
+      default: return nullptr;
+    }
+    return ctx.getBool(result);
+  }
+
+  if (auto* cast_ = dyn_cast<CastInst>(inst)) {
+    const auto v = intConst(cast_->value());
+    if (!v.has_value()) return nullptr;
+    Type* to = cast_->type();
+    switch (cast_->op()) {
+      case CastOp::SExt:
+        return ctx.getInt(to, *v);
+      case CastOp::ZExt: {
+        std::int64_t raw = *v;
+        if (cast_->value()->type()->isBool()) raw &= 1;
+        return ctx.getInt(to, raw);
+      }
+      case CastOp::Trunc: {
+        if (to->kind() == TypeKind::Int32) {
+          return ctx.getInt(to, static_cast<std::int32_t>(*v));
+        }
+        if (to->isBool()) return ctx.getBool((*v & 1) != 0);
+        return nullptr;
+      }
+      case CastOp::SIToFP:
+        return ctx.getFP(to, static_cast<double>(*v));
+      default:
+        return nullptr;
+    }
+  }
+
+  if (auto* sel = dyn_cast<SelectInst>(inst)) {
+    const auto c = intConst(sel->condition());
+    if (!c.has_value()) return nullptr;
+    return *c != 0 ? sel->ifTrue() : sel->ifFalse();
+  }
+
+  // Phi with identical incoming values collapses.
+  if (auto* phi = dyn_cast<PhiInst>(inst)) {
+    if (phi->numIncoming() == 0) return nullptr;
+    Value* first = phi->incomingValue(0);
+    for (unsigned i = 1; i < phi->numIncoming(); ++i) {
+      Value* v = phi->incomingValue(i);
+      if (v != first && v != phi) return nullptr;
+    }
+    if (first == phi) return nullptr;
+    return first;
+  }
+
+  return nullptr;
+}
+
+}  // namespace
+
+bool ConstantFoldPass::run(ir::Function& fn) {
+  Context& ctx = fn.context();
+  bool changedAny = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* bb : fn.blockList()) {
+      std::vector<Instruction*> worklist;
+      for (const auto& inst : *bb) worklist.push_back(inst.get());
+      for (Instruction* inst : worklist) {
+        Value* replacement = fold(ctx, inst);
+        if (replacement == nullptr) continue;
+        inst->replaceAllUsesWith(replacement);
+        inst->dropAllOperands();
+        bb->erase(inst);
+        changed = true;
+        changedAny = true;
+      }
+    }
+  }
+  return changedAny;
+}
+
+}  // namespace grover::passes

@@ -1,0 +1,16 @@
+// Constant folding + algebraic simplification (x+0, x*1, x*0, 1*x, ...).
+// Keeps Grover's rebuilt index expressions tidy, which matters for the
+// Table III symbolic index report.
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class ConstantFoldPass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "constfold"; }
+  bool run(ir::Function& fn) override;
+};
+
+}  // namespace grover::passes

@@ -1,0 +1,130 @@
+#include "passes/cse.h"
+
+#include <map>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+namespace {
+
+/// Structural key of a pure instruction: opcode discriminator + operands.
+/// Instructions with identical keys compute identical values.
+struct ExprKey {
+  ValueKind kind;
+  int subcode;  // BinaryOp / CmpPred / CastOp / Builtin, -1 otherwise
+  std::vector<const Value*> operands;
+  const void* type;  // result type for casts
+
+  auto tie() const { return std::tie(kind, subcode, operands, type); }
+  bool operator<(const ExprKey& o) const { return tie() < o.tie(); }
+};
+
+/// Pure, CSE-able instructions. Loads are excluded (memory may change);
+/// id-query calls are pure and uniform per work-item, barriers are not.
+bool isCseable(const Instruction* inst, int& subcode) {
+  subcode = -1;
+  switch (inst->kind()) {
+    case ValueKind::InstBinary:
+      subcode = static_cast<int>(cast<BinaryInst>(inst)->op());
+      return true;
+    case ValueKind::InstICmp:
+      subcode = static_cast<int>(cast<ICmpInst>(inst)->pred());
+      return true;
+    case ValueKind::InstFCmp:
+      subcode = 100 + static_cast<int>(cast<FCmpInst>(inst)->pred());
+      return true;
+    case ValueKind::InstCast:
+      subcode = static_cast<int>(cast<CastInst>(inst)->op());
+      return true;
+    case ValueKind::InstGep:
+    case ValueKind::InstSelect:
+    case ValueKind::InstExtractElement:
+    case ValueKind::InstInsertElement:
+      return true;
+    case ValueKind::InstCall: {
+      const auto* call = cast<CallInst>(inst);
+      switch (call->builtin()) {
+        case Builtin::GetGlobalId:
+        case Builtin::GetLocalId:
+        case Builtin::GetGroupId:
+        case Builtin::GetGlobalSize:
+        case Builtin::GetLocalSize:
+        case Builtin::GetNumGroups:
+        case Builtin::GetWorkDim:
+          subcode = 200 + static_cast<int>(call->builtin());
+          return true;
+        default:
+          return false;  // math calls are pure too, but keep CSE focused
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+ExprKey keyOf(const Instruction* inst, int subcode) {
+  ExprKey key;
+  key.kind = inst->kind();
+  key.subcode = subcode;
+  key.type = inst->type();
+  key.operands.reserve(inst->numOperands());
+  for (unsigned i = 0; i < inst->numOperands(); ++i) {
+    key.operands.push_back(inst->operand(i));
+  }
+  return key;
+}
+
+}  // namespace
+
+bool CsePass::run(ir::Function& fn) {
+  if (fn.entry() == nullptr) return false;
+  analysis::DominatorTree dt(fn);
+
+  // DFS over the dominator tree with a scoped available-expression map:
+  // an expression defined in a dominating block is available here.
+  std::map<BasicBlock*, std::vector<BasicBlock*>> children;
+  for (BasicBlock* bb : dt.rpo()) {
+    if (BasicBlock* parent = dt.idom(bb)) children[parent].push_back(bb);
+  }
+
+  bool changed = false;
+  struct Frame {
+    BasicBlock* bb;
+    std::map<ExprKey, Instruction*> available;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({fn.entry(), {}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    std::vector<Instruction*> toErase;
+    for (const auto& instPtr : *frame.bb) {
+      Instruction* inst = instPtr.get();
+      int subcode = -1;
+      if (!isCseable(inst, subcode)) continue;
+      const ExprKey key = keyOf(inst, subcode);
+      auto [it, inserted] = frame.available.try_emplace(key, inst);
+      if (!inserted) {
+        inst->replaceAllUsesWith(it->second);
+        toErase.push_back(inst);
+        changed = true;
+      }
+    }
+    for (Instruction* inst : toErase) {
+      inst->dropAllOperands();
+      frame.bb->erase(inst);
+    }
+    for (BasicBlock* child : children[frame.bb]) {
+      stack.push_back({child, frame.available});
+    }
+  }
+  return changed;
+}
+
+}  // namespace grover::passes

@@ -1,0 +1,16 @@
+// Common subexpression elimination (dominator-scoped value numbering) for
+// pure instructions. Grover's materializer may re-create id-query calls
+// and index arithmetic that already exist; CSE folds the duplicates.
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class CsePass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "cse"; }
+  bool run(ir::Function& fn) override;
+};
+
+}  // namespace grover::passes

@@ -1,0 +1,45 @@
+#include "passes/dce.h"
+
+#include <vector>
+
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+bool hasSideEffects(const ir::Instruction& inst) {
+  if (inst.isTerminator()) return true;
+  if (isa<StoreInst>(&inst)) return true;
+  if (const auto* call = dyn_cast<CallInst>(&inst)) {
+    return call->builtin() == Builtin::Barrier;
+  }
+  // Allocas are kept while addressed; an unused alloca is removable.
+  return false;
+}
+
+bool DcePass::run(ir::Function& fn) {
+  bool changedAny = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* bb : fn.blockList()) {
+      std::vector<Instruction*> dead;
+      for (const auto& instPtr : *bb) {
+        Instruction* inst = instPtr.get();
+        if (!inst->hasUses() && !hasSideEffects(*inst)) {
+          dead.push_back(inst);
+        }
+      }
+      for (Instruction* inst : dead) {
+        inst->dropAllOperands();
+        bb->erase(inst);
+        changed = true;
+        changedAny = true;
+      }
+    }
+  }
+  return changedAny;
+}
+
+}  // namespace grover::passes

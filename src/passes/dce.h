@@ -1,0 +1,20 @@
+// Dead code elimination: removes side-effect-free instructions with no
+// uses. After Grover replaces local loads with global loads, DCE is what
+// sweeps the dead staging loads/stores' index chains away.
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class DcePass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "dce"; }
+  bool run(ir::Function& fn) override;
+};
+
+/// True if removing this instruction (when unused) changes program
+/// behaviour: stores, barriers, terminators.
+[[nodiscard]] bool hasSideEffects(const ir::Instruction& inst);
+
+}  // namespace grover::passes

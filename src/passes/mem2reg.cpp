@@ -1,0 +1,169 @@
+#include "passes/mem2reg.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+namespace {
+
+/// An alloca is promotable when it is a single private slot whose address
+/// never escapes: every use is a direct load or a store *to* it.
+bool isPromotable(const AllocaInst* alloca) {
+  if (alloca->space() != AddrSpace::Private || alloca->count() != 1) {
+    return false;
+  }
+  for (const Use* use : alloca->uses()) {
+    const auto* inst = dyn_cast<Instruction>(use->user);
+    if (inst == nullptr) return false;
+    if (isa<LoadInst>(inst)) continue;
+    if (const auto* store = dyn_cast<StoreInst>(inst)) {
+      if (store->value() == alloca) return false;  // address escapes
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Mem2RegPass::run(ir::Function& fn) {
+  BasicBlock* entry = fn.entry();
+  if (entry == nullptr) return false;
+
+  // 1. Collect promotable allocas.
+  std::vector<AllocaInst*> allocas;
+  for (const auto& inst : *entry) {
+    if (auto* alloca = dyn_cast<AllocaInst>(inst.get())) {
+      if (isPromotable(alloca)) allocas.push_back(alloca);
+    }
+  }
+  if (allocas.empty()) return false;
+
+  analysis::DominatorTree dt(fn);
+
+  // 2. Phi insertion at iterated dominance frontiers of defining blocks.
+  std::unordered_map<PhiInst*, AllocaInst*> phiSlot;
+  std::unordered_map<AllocaInst*, std::vector<PhiInst*>> slotPhis;
+  for (AllocaInst* alloca : allocas) {
+    std::set<BasicBlock*> defBlocks;
+    for (const Use* use : alloca->uses()) {
+      if (auto* store = dyn_cast<StoreInst>(use->user)) {
+        if (dt.isReachable(store->parent())) defBlocks.insert(store->parent());
+      }
+    }
+    std::set<BasicBlock*> hasPhi;
+    std::vector<BasicBlock*> worklist(defBlocks.begin(), defBlocks.end());
+    while (!worklist.empty()) {
+      BasicBlock* bb = worklist.back();
+      worklist.pop_back();
+      for (BasicBlock* frontier : dt.frontier(bb)) {
+        if (!hasPhi.insert(frontier).second) continue;
+        auto phi = std::make_unique<PhiInst>(alloca->allocatedType());
+        phi->setName(alloca->name() + ".phi");
+        auto* rawPhi =
+            static_cast<PhiInst*>(frontier->insertBefore(
+                frontier->empty() ? nullptr : frontier->front(),
+                std::move(phi)));
+        phiSlot[rawPhi] = alloca;
+        slotPhis[alloca].push_back(rawPhi);
+        if (defBlocks.count(frontier) == 0) worklist.push_back(frontier);
+      }
+    }
+  }
+
+  // 3. Rename via DFS over the dominator tree.
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> domChildren;
+  for (BasicBlock* bb : dt.rpo()) {
+    if (BasicBlock* parent = dt.idom(bb)) domChildren[parent].push_back(bb);
+  }
+
+  std::set<AllocaInst*> promoted(allocas.begin(), allocas.end());
+  std::vector<Instruction*> toErase;
+
+  struct Frame {
+    BasicBlock* bb;
+    std::map<AllocaInst*, Value*> incoming;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({fn.entry(), {}});
+
+  Context& ctx = fn.context();
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    std::map<AllocaInst*, Value*>& current = frame.incoming;
+
+    for (const auto& instPtr : *frame.bb) {
+      Instruction* inst = instPtr.get();
+      if (auto* phi = dyn_cast<PhiInst>(inst)) {
+        auto it = phiSlot.find(phi);
+        if (it != phiSlot.end()) current[it->second] = phi;
+        continue;
+      }
+      if (auto* load = dyn_cast<LoadInst>(inst)) {
+        auto* alloca = dyn_cast<AllocaInst>(load->pointer());
+        if (alloca != nullptr && promoted.count(alloca) != 0) {
+          auto it = current.find(alloca);
+          Value* replacement =
+              it != current.end()
+                  ? it->second
+                  : static_cast<Value*>(ctx.getUndef(load->type()));
+          load->replaceAllUsesWith(replacement);
+          toErase.push_back(load);
+        }
+        continue;
+      }
+      if (auto* store = dyn_cast<StoreInst>(inst)) {
+        auto* alloca = dyn_cast<AllocaInst>(store->pointer());
+        if (alloca != nullptr && promoted.count(alloca) != 0) {
+          current[alloca] = store->value();
+          toErase.push_back(store);
+        }
+        continue;
+      }
+    }
+
+    // Feed phi nodes of successors.
+    for (BasicBlock* succ : frame.bb->successors()) {
+      for (PhiInst* phi : succ->phis()) {
+        auto it = phiSlot.find(phi);
+        if (it == phiSlot.end()) continue;
+        auto cur = current.find(it->second);
+        Value* value = cur != current.end()
+                           ? cur->second
+                           : static_cast<Value*>(
+                                 ctx.getUndef(phi->type()));
+        phi->addIncoming(value, frame.bb);
+      }
+    }
+
+    for (BasicBlock* child : domChildren[frame.bb]) {
+      stack.push_back({child, current});
+    }
+  }
+
+  // 4. Erase replaced loads/stores and the allocas.
+  for (Instruction* inst : toErase) {
+    inst->dropAllOperands();
+    inst->parent()->erase(inst);
+  }
+  // Prune phis that never received an incoming edge from an unreachable
+  // pred mismatch (shouldn't happen on pruned CFGs) and drop dead allocas.
+  for (AllocaInst* alloca : allocas) {
+    if (!alloca->hasUses()) {
+      alloca->parent()->erase(alloca);
+    }
+  }
+  return true;
+}
+
+}  // namespace grover::passes

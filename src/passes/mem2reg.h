@@ -1,0 +1,17 @@
+// Mem2Reg: promote private scalar allocas to SSA values with pruned phi
+// placement on dominance frontiers. Grover's expression-tree walk relies on
+// this pass — in -O0-style IR the index computation would be hidden behind
+// load/store pairs and the '+ → *' index pattern would never match.
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class Mem2RegPass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "mem2reg"; }
+  bool run(ir::Function& fn) override;
+};
+
+}  // namespace grover::passes

@@ -1,0 +1,33 @@
+#include "passes/pass.h"
+
+#include "ir/verifier.h"
+#include "passes/constant_fold.h"
+#include "passes/dce.h"
+#include "passes/mem2reg.h"
+#include "passes/simplify_cfg.h"
+
+namespace grover::passes {
+
+bool PassManager::run(ir::Module& module) {
+  bool changed = false;
+  for (const auto& fn : module.functions()) changed |= run(*fn);
+  return changed;
+}
+
+bool PassManager::run(ir::Function& fn) {
+  bool changed = false;
+  for (const auto& pass : passes_) {
+    changed |= pass->run(fn);
+    if (verify_between_) ir::verifyFunction(fn);
+  }
+  return changed;
+}
+
+void addStandardPipeline(PassManager& pm) {
+  pm.add(std::make_unique<Mem2RegPass>());
+  pm.add(std::make_unique<ConstantFoldPass>());
+  pm.add(std::make_unique<SimplifyCfgPass>());
+  pm.add(std::make_unique<DcePass>());
+}
+
+}  // namespace grover::passes

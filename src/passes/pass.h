@@ -1,0 +1,47 @@
+// Pass framework: function passes scheduled by a PassManager, with
+// optional verification between passes (as the paper's LLVM pipeline does).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace grover::passes {
+
+/// A transformation over one function. run() returns true if it changed IR.
+class FunctionPass {
+ public:
+  virtual ~FunctionPass() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual bool run(ir::Function& fn) = 0;
+};
+
+/// Runs passes in order over every function of a module.
+class PassManager {
+ public:
+  /// verifyBetween: run the IR verifier after every pass (throws on
+  /// malformed IR) — enabled in tests, cheap for kernel-sized functions.
+  explicit PassManager(bool verifyBetween = false)
+      : verify_between_(verifyBetween) {}
+
+  void add(std::unique_ptr<FunctionPass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  /// Returns true if any pass changed any function.
+  bool run(ir::Module& module);
+  bool run(ir::Function& fn);
+
+ private:
+  std::vector<std::unique_ptr<FunctionPass>> passes_;
+  bool verify_between_;
+};
+
+/// Convenience: the standard pipeline the compiler runs before Grover
+/// (mem2reg, constant folding, simplify-cfg, DCE).
+void addStandardPipeline(PassManager& pm);
+
+}  // namespace grover::passes

@@ -1,0 +1,149 @@
+#include "passes/simplify_cfg.h"
+
+#include <set>
+#include <vector>
+
+#include "ir/casting.h"
+
+namespace grover::passes {
+
+using namespace ir;
+
+namespace {
+
+/// Fold `br i1 <const>, t, f` to an unconditional branch. Also fold
+/// condbr with identical targets.
+bool foldConstantBranches(Function& fn) {
+  bool changed = false;
+  for (BasicBlock* bb : fn.blockList()) {
+    auto* cbr = dyn_cast<CondBrInst>(bb->terminator());
+    if (cbr == nullptr) continue;
+    BasicBlock* taken = nullptr;
+    if (const auto* c = dyn_cast<ConstantInt>(cbr->condition())) {
+      taken = c->value() != 0 ? cbr->ifTrue() : cbr->ifFalse();
+    } else if (cbr->ifTrue() == cbr->ifFalse()) {
+      taken = cbr->ifTrue();
+    }
+    if (taken == nullptr) continue;
+    BasicBlock* skipped =
+        taken == cbr->ifTrue() ? cbr->ifFalse() : cbr->ifTrue();
+    // Remove this block from skipped target's phis (if it is no longer a
+    // predecessor once the branch is rewritten).
+    cbr->dropAllOperands();
+    bb->erase(cbr);
+    auto br = std::make_unique<BrInst>(fn.context(), taken);
+    bb->append(std::move(br));
+    if (skipped != taken) {
+      for (PhiInst* phi : skipped->phis()) {
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+          if (phi->incomingBlock(i) == bb) {
+            phi->removeIncoming(i);
+            break;
+          }
+        }
+      }
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+/// Remove blocks not reachable from entry, fixing up phis.
+bool removeUnreachable(Function& fn) {
+  std::set<BasicBlock*> reachable;
+  std::vector<BasicBlock*> worklist{fn.entry()};
+  while (!worklist.empty()) {
+    BasicBlock* bb = worklist.back();
+    worklist.pop_back();
+    if (!reachable.insert(bb).second) continue;
+    for (BasicBlock* succ : bb->successors()) worklist.push_back(succ);
+  }
+  std::vector<BasicBlock*> dead;
+  for (BasicBlock* bb : fn.blockList()) {
+    if (reachable.count(bb) == 0) dead.push_back(bb);
+  }
+  if (dead.empty()) return false;
+  // Remove phi entries flowing in from dead blocks.
+  for (BasicBlock* bb : fn.blockList()) {
+    if (reachable.count(bb) == 0) continue;
+    for (PhiInst* phi : bb->phis()) {
+      for (unsigned i = phi->numIncoming(); i-- > 0;) {
+        if (reachable.count(phi->incomingBlock(i)) == 0) {
+          phi->removeIncoming(i);
+        }
+      }
+    }
+  }
+  // Sever edges among dead blocks, then erase. Dead blocks may define
+  // values used by other dead blocks; drop all their operands first.
+  for (BasicBlock* bb : dead) {
+    for (const auto& inst : *bb) inst->dropAllOperands();
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = dead.begin(); it != dead.end();) {
+      if (!(*it)->hasUses()) {
+        fn.eraseBlock(*it);
+        it = dead.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return true;
+}
+
+/// Merge `a -> b` when a's terminator is an unconditional br to b and b has
+/// exactly one predecessor.
+bool mergeChains(Function& fn) {
+  bool changed = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (BasicBlock* bb : fn.blockList()) {
+      auto* br = dyn_cast<BrInst>(bb->terminator());
+      if (br == nullptr) continue;
+      BasicBlock* succ = br->dest();
+      if (succ == bb || succ == fn.entry()) continue;
+      const std::vector<BasicBlock*> preds = succ->predecessors();
+      if (preds.size() != 1 || preds[0] != bb) continue;
+      // Collapse succ's phis (single incoming).
+      for (PhiInst* phi : succ->phis()) {
+        Value* incoming =
+            phi->numIncoming() == 1 ? phi->incomingValue(0) : nullptr;
+        if (incoming == nullptr) break;
+        phi->replaceAllUsesWith(incoming);
+        phi->dropAllOperands();
+        succ->erase(phi);
+      }
+      // Move instructions of succ into bb, drop the br.
+      br->dropAllOperands();
+      bb->erase(br);
+      while (!succ->empty()) {
+        Instruction* first = succ->front();
+        bb->append(succ->detach(first));
+      }
+      // Phis in succ's successors referring to succ must refer to bb now.
+      succ->replaceAllUsesWith(bb);
+      fn.eraseBlock(succ);
+      progress = true;
+      changed = true;
+      break;  // block list changed; restart scan
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool SimplifyCfgPass::run(ir::Function& fn) {
+  bool changed = false;
+  changed |= foldConstantBranches(fn);
+  changed |= removeUnreachable(fn);
+  changed |= mergeChains(fn);
+  return changed;
+}
+
+}  // namespace grover::passes

@@ -1,0 +1,15 @@
+// CFG simplification: fold constant conditional branches, merge
+// single-pred/single-succ block chains, and drop unreachable blocks.
+#pragma once
+
+#include "passes/pass.h"
+
+namespace grover::passes {
+
+class SimplifyCfgPass final : public FunctionPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "simplifycfg"; }
+  bool run(ir::Function& fn) override;
+};
+
+}  // namespace grover::passes

@@ -1,0 +1,98 @@
+#include "perf/cache_sim.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace grover::perf {
+
+namespace {
+bool isPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheLevelSpec& spec) : spec_(spec) {
+  if (spec_.bytes == 0) {
+    num_sets_ = 0;
+    return;
+  }
+  if (!isPowerOfTwo(spec_.lineSize)) {
+    throw GroverError("cache line size must be a power of two");
+  }
+  const std::uint64_t lines = spec_.bytes / spec_.lineSize;
+  if (lines % spec_.ways != 0) {
+    throw GroverError("cache size/ways mismatch");
+  }
+  num_sets_ = static_cast<unsigned>(lines / spec_.ways);
+  ways_.assign(std::size_t{num_sets_} * spec_.ways, Way{});
+}
+
+void CacheLevel::reset() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+bool CacheLevel::access(std::uint64_t address) {
+  if (num_sets_ == 0) return false;
+  const std::uint64_t line = address / spec_.lineSize;
+  const std::uint64_t set = line % num_sets_;
+  Way* begin = &ways_[set * spec_.ways];
+  ++tick_;
+  Way* victim = begin;
+  for (unsigned i = 0; i < spec_.ways; ++i) {
+    Way& w = begin[i];
+    if (w.tag == line) {
+      w.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (w.lru < victim->lru) victim = &w;
+  }
+  ++misses_;
+  victim->tag = line;
+  victim->lru = tick_;
+  return false;
+}
+
+bool CacheLevel::contains(std::uint64_t address) const {
+  if (num_sets_ == 0) return false;
+  const std::uint64_t line = address / spec_.lineSize;
+  const std::uint64_t set = line % num_sets_;
+  const Way* begin = &ways_[set * spec_.ways];
+  for (unsigned i = 0; i < spec_.ways; ++i) {
+    if (begin[i].tag == line) return true;
+  }
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheLevelSpec>& privateLevels,
+                               CacheLevel* sharedLLC, double memCycles)
+    : shared_llc_(sharedLLC), mem_cycles_(memCycles) {
+  levels_.reserve(privateLevels.size());
+  for (const CacheLevelSpec& spec : privateLevels) levels_.emplace_back(spec);
+}
+
+double CacheHierarchy::accessLine(std::uint64_t address) {
+  for (CacheLevel& level : levels_) {
+    if (level.access(address)) return level.spec().hitCycles;
+  }
+  if (shared_llc_ != nullptr && shared_llc_->spec().bytes != 0) {
+    if (shared_llc_->access(address)) return shared_llc_->spec().hitCycles;
+  }
+  return mem_cycles_;
+}
+
+double CacheHierarchy::access(std::uint64_t address, std::uint32_t size) {
+  const unsigned lineSize =
+      levels_.empty() ? 64U : levels_.front().lineSize();
+  const std::uint64_t first = address / lineSize;
+  const std::uint64_t last = (address + (size == 0 ? 0 : size - 1)) / lineSize;
+  double worst = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    worst = std::max(worst, accessLine(line * lineSize));
+  }
+  return worst;
+}
+
+}  // namespace grover::perf

@@ -1,0 +1,69 @@
+// Set-associative LRU cache simulation (trace-driven). Layout-dependent
+// reuse — the effect behind the paper's NVD-MM-B and ROD-SC results —
+// emerges from this simulation instead of being hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/platform.h"
+
+namespace grover::perf {
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelSpec& spec);
+
+  /// Access the line containing `address`; returns true on hit. A miss
+  /// fills the line (allocate-on-miss for reads and writes).
+  bool access(std::uint64_t address);
+
+  /// Probe without updating (for inclusive checks in tests).
+  [[nodiscard]] bool contains(std::uint64_t address) const;
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] unsigned lineSize() const { return spec_.lineSize; }
+  [[nodiscard]] const CacheLevelSpec& spec() const { return spec_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t lru = 0;
+  };
+
+  CacheLevelSpec spec_;
+  unsigned num_sets_ = 1;
+  std::vector<Way> ways_;  // num_sets_ × spec_.ways
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// A private L1/L2 hierarchy with an optional shared last-level cache.
+/// access() returns the total latency in cycles for the access.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const std::vector<CacheLevelSpec>& privateLevels,
+                 CacheLevel* sharedLLC, double memCycles);
+
+  /// Simulate one access of `size` bytes (line-crossing accesses touch
+  /// every covered line; the worst line determines the latency).
+  double access(std::uint64_t address, std::uint32_t size);
+
+  [[nodiscard]] const std::vector<CacheLevel>& levels() const {
+    return levels_;
+  }
+
+ private:
+  double accessLine(std::uint64_t address);
+
+  std::vector<CacheLevel> levels_;
+  CacheLevel* shared_llc_;  // may be null (MIC)
+  double mem_cycles_;
+};
+
+}  // namespace grover::perf

@@ -1,0 +1,97 @@
+#include "perf/cpu_model.h"
+
+#include <algorithm>
+
+namespace grover::perf {
+
+namespace {
+// Flat-address windows for per-thread local/private arenas. Global buffer
+// traffic starts at rt::bufferBaseAddress(0) = 256 MiB, so the windows
+// below never collide with it.
+constexpr std::uint64_t kLocalWindow = 0x0100'0000;   // 16 MiB per thread
+constexpr std::uint64_t kLocalBase = 0x0000'0000;
+constexpr std::uint64_t kPrivateBase = 0x0800'0000;   // offset inside window
+}  // namespace
+
+unsigned CpuModel::threadOf(std::uint32_t group) {
+  auto [it, inserted] =
+      dense_group_.try_emplace(group, static_cast<unsigned>(dense_group_.size()));
+  (void)inserted;
+  return it->second % spec_.hwThreads;
+}
+
+CpuModel::CpuModel(const PlatformSpec& spec) : spec_(spec) {
+  if (spec_.sharedLLC.bytes != 0) {
+    shared_llc_ = std::make_unique<CacheLevel>(spec_.sharedLLC);
+  }
+  threads_.resize(spec_.hwThreads);
+  for (Thread& t : threads_) {
+    t.caches = std::make_unique<CacheHierarchy>(
+        spec_.privateLevels, shared_llc_.get(), spec_.memCycles);
+  }
+}
+
+void CpuModel::onAccess(const rt::MemAccess& access) {
+  const unsigned tid = threadOf(access.group);
+  Thread& thread = threads_[tid];
+
+  std::uint64_t address = access.address;
+  switch (access.space) {
+    case ir::AddrSpace::Global:
+    case ir::AddrSpace::Constant:
+      break;  // already a flat buffer address
+    case ir::AddrSpace::Local:
+      // Per-thread local arena, reused across groups — the staging buffer
+      // stays cache-hot on the thread that keeps re-filling it.
+      address = kLocalBase + tid * kLocalWindow + access.address;
+      break;
+    case ir::AddrSpace::Private:
+      // Work-item private data cycles through the same thread-local stack.
+      address = kPrivateBase + tid * kLocalWindow + access.address;
+      break;
+  }
+  const double latency = thread.caches->access(address, access.size);
+  const double exposed = latency * spec_.memOverlap;
+  thread.cycles += exposed;
+  thread.memCycles += exposed;
+}
+
+void CpuModel::onBarrier(std::uint32_t group) {
+  (void)group;  // per-work-item costs are charged via counters.barrier
+}
+
+void CpuModel::onGroupFinish(std::uint32_t group,
+                             const rt::InstCounters& counters) {
+  Thread& thread = threads_[threadOf(group)];
+  thread.cycles += static_cast<double>(counters.total()) * spec_.cpi;
+  thread.cycles +=
+      static_cast<double>(counters.barrier) * spec_.barrierCycles;
+  thread.cycles += spec_.groupOverheadCycles;
+  totals_ += counters;
+}
+
+double CpuModel::totalCycles() const {
+  double busiest = 0;
+  for (const Thread& t : threads_) busiest = std::max(busiest, t.cycles);
+  return busiest;
+}
+
+double CpuModel::memoryCycles() const {
+  double total = 0;
+  for (const Thread& t : threads_) total += t.memCycles;
+  return total;
+}
+
+double CpuModel::l1HitRate() const {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+  for (const Thread& t : threads_) {
+    const auto& levels = t.caches->levels();
+    if (levels.empty()) continue;
+    hits += levels.front().hits();
+    total += levels.front().hits() + levels.front().misses();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace grover::perf

@@ -1,0 +1,57 @@
+// Trace-driven timing model for cache-only processors (SNB, Nehalem, MIC).
+//
+// Mapping (paper §II-A, ref [2]): a work-group executes serialized on one
+// hardware thread; __local buffers live in ordinary cached memory, one
+// arena per thread (reused across the groups that thread runs) — exactly
+// why staging through local memory is pure overhead on CPUs unless it
+// improves the layout seen by the caches.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/cache_sim.h"
+#include "perf/platform.h"
+#include "rt/trace.h"
+
+namespace grover::perf {
+
+/// Consumes an execution trace and accumulates per-thread cycles.
+class CpuModel final : public rt::TraceSink {
+ public:
+  explicit CpuModel(const PlatformSpec& spec);
+
+  void onAccess(const rt::MemAccess& access) override;
+  void onBarrier(std::uint32_t group) override;
+  void onGroupFinish(std::uint32_t group,
+                     const rt::InstCounters& counters) override;
+
+  /// Estimated execution cycles: the busiest hardware thread.
+  [[nodiscard]] double totalCycles() const;
+  /// Aggregate memory-hierarchy cycles (diagnostics).
+  [[nodiscard]] double memoryCycles() const;
+  [[nodiscard]] const rt::InstCounters& counters() const { return totals_; }
+  /// L1 hit fraction over all accesses (diagnostics).
+  [[nodiscard]] double l1HitRate() const;
+
+ private:
+  struct Thread {
+    std::unique_ptr<CacheHierarchy> caches;
+    double cycles = 0;
+    double memCycles = 0;
+  };
+
+  /// Groups are densely renumbered in arrival order before round-robin
+  /// thread assignment, so group *sampling* (every Nth group) still spreads
+  /// work over all modeled threads.
+  [[nodiscard]] unsigned threadOf(std::uint32_t group);
+
+  PlatformSpec spec_;
+  std::unique_ptr<CacheLevel> shared_llc_;
+  std::vector<Thread> threads_;
+  rt::InstCounters totals_;
+  std::unordered_map<std::uint32_t, unsigned> dense_group_;
+};
+
+}  // namespace grover::perf

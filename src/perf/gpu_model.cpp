@@ -1,0 +1,97 @@
+#include "perf/gpu_model.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grover::perf {
+
+namespace {
+constexpr std::uint32_t kSegmentBytes = 128;  // coalescing segment
+}
+
+GpuModel::GpuModel(const PlatformSpec& spec) : spec_(spec) {
+  if (spec_.gpuCache.bytes != 0) {
+    CacheLevelSpec cacheSpec = spec_.gpuCache;
+    cacheSpec.lineSize = kSegmentBytes;
+    cache_ = std::make_unique<CacheLevel>(cacheSpec);
+  }
+}
+
+void GpuModel::onAccess(const rt::MemAccess& access) {
+  if (access.space == ir::AddrSpace::Private) {
+    return;  // registers/private: charged via instruction counters
+  }
+  const std::uint32_t warp = access.workItem / spec_.warpSize;
+  const std::uint64_t occKey =
+      (std::uint64_t{access.workItem} << 32) | access.instSlot;
+  const std::uint32_t occ = occurrence_[occKey]++;
+  WarpAccess& wa = pending_[{warp, access.instSlot, occ}];
+  wa.addresses.push_back(access.address);
+  wa.sizes.push_back(access.size);
+  wa.isLocal = access.space == ir::AddrSpace::Local;
+  wa.isWrite = access.isWrite;
+}
+
+void GpuModel::onBarrier(std::uint32_t group) { (void)group; }
+
+void GpuModel::flushGroup(const rt::InstCounters& counters) {
+  double memCycles = 0;
+  double spmCycles = 0;
+  for (const auto& [key, wa] : pending_) {
+    if (wa.isLocal) {
+      // SPM bank conflicts: words mapping to the same bank serialize.
+      // 32-bit banks; simultaneous reads of the *same* word broadcast.
+      std::map<std::uint32_t, std::set<std::uint64_t>> bankWords;
+      for (std::size_t i = 0; i < wa.addresses.size(); ++i) {
+        const std::uint64_t word = wa.addresses[i] / 4;
+        bankWords[static_cast<std::uint32_t>(word % spec_.spmBanks)]
+            .insert(word);
+      }
+      std::size_t degree = 1;
+      for (const auto& [bank, words] : bankWords) {
+        (void)bank;
+        degree = std::max(degree, words.size());
+      }
+      spmCycles += spec_.spmCycles * static_cast<double>(degree);
+      continue;
+    }
+    // Global coalescing: number of distinct 128-byte segments.
+    std::set<std::uint64_t> segments;
+    for (std::size_t i = 0; i < wa.addresses.size(); ++i) {
+      const std::uint64_t first = wa.addresses[i] / kSegmentBytes;
+      const std::uint64_t last =
+          (wa.addresses[i] + std::max<std::uint32_t>(wa.sizes[i], 1) - 1) /
+          kSegmentBytes;
+      for (std::uint64_t s = first; s <= last; ++s) segments.insert(s);
+    }
+    for (std::uint64_t segment : segments) {
+      ++transactions_;
+      // Every transaction serializes the LSU (replay); misses add exposed
+      // DRAM latency on top.
+      memCycles += spec_.transactionCycles;
+      const bool hit =
+          cache_ != nullptr && cache_->access(segment * kSegmentBytes);
+      if (!hit) memCycles += spec_.missCycles;
+    }
+  }
+
+  const double computeCycles =
+      static_cast<double>(counters.total()) * spec_.gpuCpi +
+      static_cast<double>(counters.barrier) * spec_.gpuBarrierCycles +
+      spmCycles;
+  // Compute and memory overlap: the slower pipe bounds the group.
+  total_cycles_ += std::max(computeCycles, memCycles);
+  group_mem_cycles_ += memCycles;
+  spm_cycles_total_ += spmCycles;
+  pending_.clear();
+  occurrence_.clear();
+}
+
+void GpuModel::onGroupFinish(std::uint32_t group,
+                             const rt::InstCounters& counters) {
+  (void)group;
+  totals_ += counters;
+  flushGroup(counters);
+}
+
+}  // namespace grover::perf

@@ -1,0 +1,68 @@
+// Trace-driven timing model for the GPU platforms (Fermi, Kepler, Tahiti).
+//
+// Work-items are grouped into warps/wavefronts; the accesses every warp
+// issues for one static load/store are coalesced into 128-byte
+// transactions, local memory is an on-chip scratch-pad with bank-conflict
+// serialization, and compute overlaps memory (per-group cycles are
+// max(compute, memory)). These are exactly the mechanisms that make the
+// staged (local-memory) transpose fast and the direct strided one slow on
+// real GPUs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/cache_sim.h"
+#include "perf/platform.h"
+#include "rt/trace.h"
+
+namespace grover::perf {
+
+class GpuModel final : public rt::TraceSink {
+ public:
+  explicit GpuModel(const PlatformSpec& spec);
+
+  void onAccess(const rt::MemAccess& access) override;
+  void onBarrier(std::uint32_t group) override;
+  void onGroupFinish(std::uint32_t group,
+                     const rt::InstCounters& counters) override;
+
+  /// Estimated device cycles: sum of per-group max(compute, memory)
+  /// (the concurrency divisor cancels in with/without-LM ratios).
+  [[nodiscard]] double totalCycles() const { return total_cycles_; }
+  [[nodiscard]] std::uint64_t globalTransactions() const {
+    return transactions_;
+  }
+  [[nodiscard]] double spmCyclesTotal() const { return spm_cycles_total_; }
+  [[nodiscard]] const rt::InstCounters& counters() const { return totals_; }
+
+ private:
+  struct WarpAccess {
+    std::vector<std::uint64_t> addresses;
+    std::vector<std::uint32_t> sizes;
+    bool isLocal = false;
+    bool isWrite = false;
+  };
+
+  void flushGroup(const rt::InstCounters& counters);
+
+  PlatformSpec spec_;
+  std::unique_ptr<CacheLevel> cache_;  // device-wide read cache
+
+  // Current group's pending accesses, keyed by (warp, instSlot, occurrence):
+  // the work-items of one warp executing the same dynamic instruction.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, WarpAccess>
+      pending_;
+  // Per (work-item, instSlot) occurrence counters within the current group.
+  std::unordered_map<std::uint64_t, std::uint32_t> occurrence_;
+
+  double total_cycles_ = 0;
+  double group_mem_cycles_ = 0;
+  std::uint64_t transactions_ = 0;
+  double spm_cycles_total_ = 0;
+  rt::InstCounters totals_;
+};
+
+}  // namespace grover::perf

@@ -1,0 +1,116 @@
+#include "perf/platform.h"
+
+namespace grover::perf {
+
+PlatformSpec snb() {
+  PlatformSpec p;
+  p.name = "SNB";
+  p.kind = PlatformKind::CpuCacheOnly;
+  p.hwThreads = 16;
+  p.privateLevels = {
+      {32 * 1024, 8, 64, 4},     // L1D
+      {256 * 1024, 8, 64, 12},   // L2
+  };
+  p.sharedLLC = {20 * 1024 * 1024, 16, 64, 30};
+  p.memCycles = 180;
+  p.cpi = 1.0;
+  p.memOverlap = 0.6;
+  p.barrierCycles = 40;
+  p.groupOverheadCycles = 1500;
+  return p;
+}
+
+PlatformSpec nehalem() {
+  PlatformSpec p;
+  p.name = "Nehalem";
+  p.kind = PlatformKind::CpuCacheOnly;
+  p.hwThreads = 8;
+  p.privateLevels = {
+      {32 * 1024, 8, 64, 4},
+      {256 * 1024, 8, 64, 11},
+  };
+  p.sharedLLC = {8 * 1024 * 1024, 16, 64, 38};
+  p.memCycles = 220;
+  p.cpi = 1.1;  // older microarchitecture: slightly worse IPC
+  p.memOverlap = 0.7;
+  p.barrierCycles = 45;
+  p.groupOverheadCycles = 2000;
+  return p;
+}
+
+PlatformSpec mic() {
+  PlatformSpec p;
+  p.name = "MIC";
+  p.kind = PlatformKind::CpuCacheOnly;
+  p.hwThreads = 60;
+  p.privateLevels = {
+      {32 * 1024, 8, 64, 3},
+      {512 * 1024, 8, 64, 11},  // large, fast per-core L2 (KNC: ~11 cycles)
+  };
+  p.sharedLLC = {0, 16, 64, 0};  // distributed: no unified LLC
+  p.distributedLLC = true;
+  p.memCycles = 350;
+  p.cpi = 1.2;  // in-order cores
+  p.memOverlap = 0.5;  // 4-way SMT hides part of the latency
+  p.barrierCycles = 30;
+  // Xeon Phi's OpenCL runtime pays a large per-work-group dispatch cost
+  // (software scheduling across 240 threads); together with the fast
+  // distributed L2 this flattens the with/without-LM gap (flat Fig. 10c).
+  p.groupOverheadCycles = 60000;
+  return p;
+}
+
+PlatformSpec fermi() {
+  PlatformSpec p;
+  p.name = "Fermi";
+  p.kind = PlatformKind::GpuSpm;
+  p.warpSize = 32;
+  p.transactionCycles = 18;  // strict coalescer, costly replays
+  p.missCycles = 26;
+  p.spmCycles = 2;
+  p.spmBanks = 32;
+  p.gpuCache = {768 * 1024, 16, 128, 0};  // L2
+  p.gpuCpi = 0.09;
+  p.gpuBarrierCycles = 1;
+  return p;
+}
+
+PlatformSpec kepler() {
+  PlatformSpec p;
+  p.name = "Kepler";
+  p.kind = PlatformKind::GpuSpm;
+  p.warpSize = 32;
+  p.transactionCycles = 14;
+  p.missCycles = 22;
+  p.spmCycles = 1.5;
+  p.spmBanks = 32;
+  p.gpuCache = {1536 * 1024, 16, 128, 0};
+  p.gpuCpi = 0.08;
+  p.gpuBarrierCycles = 1;
+  return p;
+}
+
+PlatformSpec tahiti() {
+  PlatformSpec p;
+  p.name = "Tahiti";
+  p.kind = PlatformKind::GpuSpm;
+  p.warpSize = 64;  // wavefront
+  p.transactionCycles = 11;  // GCN: better divergence handling
+  p.missCycles = 18;
+  p.spmCycles = 2;
+  p.spmBanks = 32;
+  p.gpuCache = {768 * 1024, 16, 128, 0};
+  p.gpuCpi = 0.07;
+  p.gpuBarrierCycles = 2;
+  return p;
+}
+
+std::vector<PlatformSpec> cacheOnlyPlatforms() {
+  return {snb(), nehalem(), mic()};
+}
+
+std::vector<PlatformSpec> allPlatforms() {
+  return {fermi(), kepler(), tahiti(), snb(), nehalem(), mic()};
+}
+
+}  // namespace grover::perf

@@ -1,0 +1,76 @@
+// Platform specifications for the six devices of the paper's evaluation
+// (Fig. 2: Fermi, Kepler, Tahiti GPUs + SNB, Nehalem, MIC cache-only
+// processors; Fig. 10 uses the three cache-only ones).
+//
+// These are *models*, not the physical devices: the benchmarks compare the
+// same kernel with and without local memory on the same model, so only the
+// relative weights (cache latencies, coalescing costs, SPM costs) shape the
+// result — absolute cycle counts are not meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grover::perf {
+
+enum class PlatformKind : std::uint8_t {
+  CpuCacheOnly,  // local memory mapped onto ordinary cached memory
+  GpuSpm,        // local memory is an on-chip scratch-pad
+};
+
+/// One set-associative cache level.
+struct CacheLevelSpec {
+  std::uint64_t bytes = 0;
+  unsigned ways = 8;
+  unsigned lineSize = 64;
+  double hitCycles = 4;
+};
+
+struct PlatformSpec {
+  std::string name;
+  PlatformKind kind = PlatformKind::CpuCacheOnly;
+
+  // --- cache-only processors ------------------------------------------------
+  unsigned hwThreads = 8;           // threads the OpenCL runtime uses
+  std::vector<CacheLevelSpec> privateLevels;  // L1 [, L2]
+  CacheLevelSpec sharedLLC;         // bytes == 0 → no shared LLC (MIC)
+  double memCycles = 200;           // DRAM access latency
+  double cpi = 1.0;                 // base cycles per interpreted instruction
+  double memOverlap = 0.6;          // fraction of memory latency exposed
+  double barrierCycles = 40;        // per work-item barrier crossing
+  /// Fixed runtime cost per work-group (enqueue/dispatch/scheduling).
+  /// Dominant on MIC, where it dilutes the with/without-LM gap toward 1 —
+  /// the paper's flat Fig. 10c.
+  double groupOverheadCycles = 0;
+  bool distributedLLC = false;      // MIC-style ring of private L2s
+
+  // --- GPUs -------------------------------------------------------------------
+  // A warp memory instruction that splits into T transactions serializes
+  // the load/store unit for T × transactionCycles (replay cost) — the
+  // dominant penalty of uncoalesced access — plus missCycles of exposed
+  // latency for every transaction that misses the device cache.
+  unsigned warpSize = 32;
+  double transactionCycles = 16;    // LSU issue/replay per 128B transaction
+  double missCycles = 24;           // extra exposed latency per cache miss
+  double spmCycles = 2;             // per SPM access (×conflict degree)
+  unsigned spmBanks = 32;
+  CacheLevelSpec gpuCache;          // device-wide read cache (L2)
+  double gpuCpi = 0.08;             // per-work-item instruction cost
+  double gpuBarrierCycles = 1;      // per work-item
+};
+
+// Factory functions for the paper's six platforms.
+[[nodiscard]] PlatformSpec snb();      // Intel Sandy Bridge (2×8 cores)
+[[nodiscard]] PlatformSpec nehalem();  // Intel Nehalem
+[[nodiscard]] PlatformSpec mic();      // Intel Xeon Phi (distributed L2)
+[[nodiscard]] PlatformSpec fermi();    // NVIDIA GTX580-class
+[[nodiscard]] PlatformSpec kepler();   // NVIDIA K20-class
+[[nodiscard]] PlatformSpec tahiti();   // AMD HD7970-class
+
+/// The three cache-only platforms of Fig. 10.
+[[nodiscard]] std::vector<PlatformSpec> cacheOnlyPlatforms();
+/// All six platforms of Fig. 2.
+[[nodiscard]] std::vector<PlatformSpec> allPlatforms();
+
+}  // namespace grover::perf

@@ -1,0 +1,57 @@
+// Host-visible memory buffers bound to kernel pointer arguments.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace grover::rt {
+
+/// A device buffer (byte storage with typed host accessors).
+class Buffer {
+ public:
+  explicit Buffer(std::size_t bytes) : data_(bytes) {}
+
+  template <typename T>
+  static Buffer fromVector(const std::vector<T>& host) {
+    Buffer b(host.size() * sizeof(T));
+    std::memcpy(b.data_.data(), host.data(), b.data_.size());
+    return b;
+  }
+
+  template <typename T>
+  static Buffer zeros(std::size_t count) {
+    return Buffer(count * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::byte* data() { return data_.data(); }
+  [[nodiscard]] const std::byte* data() const { return data_.data(); }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> toVector() const {
+    if (data_.size() % sizeof(T) != 0) {
+      throw GroverError("Buffer::toVector: size not a multiple of T");
+    }
+    std::vector<T> out(data_.size() / sizeof(T));
+    std::memcpy(out.data(), data_.data(), data_.size());
+    return out;
+  }
+
+  template <typename T>
+  [[nodiscard]] T at(std::size_t index) const {
+    if ((index + 1) * sizeof(T) > data_.size()) {
+      throw GroverError("Buffer::at out of range");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + index * sizeof(T), sizeof(T));
+    return v;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+}  // namespace grover::rt

@@ -1,0 +1,157 @@
+// The NDRange execution engine: interprets kernels in SSA form with OpenCL
+// work-group/barrier semantics. Work-items of a group execute on one thread
+// in barrier-region order — the same mapping Intel's CPU runtime uses
+// (paper ref [2]) — so the memory trace order matches what the CPU
+// performance models assume. Work-groups can run in parallel when no trace
+// sink is attached.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "rt/buffer.h"
+#include "rt/ndrange.h"
+#include "rt/trace.h"
+#include "rt/value.h"
+
+namespace grover::rt {
+
+/// One kernel argument: a buffer (for pointer params) or a scalar.
+struct KernelArg {
+  static KernelArg buffer(Buffer* b) {
+    KernelArg a;
+    a.value = b;
+    return a;
+  }
+  static KernelArg int32(std::int32_t v) {
+    KernelArg a;
+    a.value = static_cast<std::int64_t>(v);
+    return a;
+  }
+  static KernelArg float32(float v) {
+    KernelArg a;
+    a.value = static_cast<double>(v);
+    return a;
+  }
+  std::variant<Buffer*, std::int64_t, double> value;
+};
+
+/// Immutable, shareable pre-computation for one kernel launch: value slot
+/// count, local/private arena layouts, and bound argument values.
+class KernelImage {
+ public:
+  KernelImage(ir::Function& fn, const NDRange& range,
+              const std::vector<KernelArg>& args);
+
+  [[nodiscard]] ir::Function& function() const { return fn_; }
+  [[nodiscard]] const NDRange& range() const { return range_; }
+  [[nodiscard]] unsigned numSlots() const { return num_slots_; }
+  [[nodiscard]] std::uint64_t localArenaSize() const { return local_size_; }
+  [[nodiscard]] std::uint64_t privateArenaSize() const {
+    return private_size_;
+  }
+  [[nodiscard]] const std::vector<RtValue>& argValues() const {
+    return arg_values_;
+  }
+  [[nodiscard]] const std::vector<Buffer*>& buffers() const {
+    return buffers_;
+  }
+  /// Arena offset of a local/private alloca.
+  [[nodiscard]] std::int64_t allocaOffset(const ir::AllocaInst* a) const;
+
+ private:
+  ir::Function& fn_;
+  NDRange range_;
+  unsigned num_slots_ = 0;
+  std::uint64_t local_size_ = 0;
+  std::uint64_t private_size_ = 0;
+  std::vector<RtValue> arg_values_;
+  std::vector<Buffer*> buffers_;
+  std::unordered_map<const ir::AllocaInst*, std::int64_t> alloca_offsets_;
+};
+
+/// Executes work-groups of one launch. Not thread-safe; use one per thread.
+class GroupExecutor {
+ public:
+  explicit GroupExecutor(const KernelImage& image, TraceSink* sink = nullptr);
+
+  /// Execute one work-group to completion (throws on barrier divergence,
+  /// out-of-bounds access, or unsupported IR).
+  void runGroup(const std::array<std::uint32_t, 3>& groupId);
+
+  [[nodiscard]] const InstCounters& totalCounters() const {
+    return total_counters_;
+  }
+
+ private:
+  enum class WiStatus : std::uint8_t { Running, AtBarrier, Done };
+
+  struct WorkItem {
+    std::array<std::uint32_t, 3> localId{};
+    std::uint32_t linear = 0;
+    std::vector<RtValue> slots;
+    std::vector<std::byte> privateArena;
+    ir::BasicBlock* block = nullptr;
+    ir::BasicBlock::const_iterator ip;
+    WiStatus status = WiStatus::Running;
+    const ir::Instruction* barrierAt = nullptr;
+  };
+
+  void resetWorkItem(WorkItem& wi);
+  /// Run until the work-item hits a barrier or returns.
+  void advance(WorkItem& wi);
+  /// Execute one non-control-flow instruction.
+  void exec(WorkItem& wi, const ir::Instruction* inst);
+  void enterBlock(WorkItem& wi, ir::BasicBlock* from, ir::BasicBlock* to);
+
+  RtValue& slot(WorkItem& wi, const ir::Value* v);
+  RtValue eval(WorkItem& wi, const ir::Value* v);
+
+  RtValue loadFrom(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
+                   std::uint32_t instSlot);
+  void storeTo(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
+               const RtValue& value, std::uint32_t instSlot);
+  std::byte* resolve(WorkItem& wi, const PtrVal& ptr, std::uint64_t size,
+                     std::uint64_t& traceAddr);
+
+  RtValue evalBinary(const ir::BinaryInst* bin, const RtValue& l,
+                     const RtValue& r);
+  RtValue evalCall(WorkItem& wi, const ir::CallInst* call);
+
+  const KernelImage& image_;
+  TraceSink* sink_;
+  std::array<std::uint32_t, 3> group_{};
+  std::uint32_t group_linear_ = 0;
+  std::vector<std::byte> local_arena_;
+  std::vector<WorkItem> items_;
+  InstCounters counters_;
+  InstCounters total_counters_;
+};
+
+/// Top-level launch driver: executes every group, optionally multithreaded
+/// (only when no trace sink is attached) or on a sampled subset of groups.
+class Launch {
+ public:
+  Launch(ir::Function& fn, const NDRange& range, std::vector<KernelArg> args);
+
+  /// Trace sink (forces sequential in-order execution).
+  void setTraceSink(TraceSink* sink) { sink_ = sink; }
+  /// Execute only every `stride`-th group (trace-based perf sampling).
+  void setGroupSampling(std::uint32_t stride) { sample_stride_ = stride; }
+
+  /// Run to completion; returns aggregate instruction counters.
+  InstCounters run(unsigned threads = 1);
+
+ private:
+  KernelImage image_;
+  TraceSink* sink_ = nullptr;
+  std::uint32_t sample_stride_ = 1;
+};
+
+}  // namespace grover::rt

@@ -1,0 +1,61 @@
+// NDRange: the OpenCL work-item index space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/diagnostics.h"
+
+namespace grover::rt {
+
+/// Global and work-group sizes for up to 3 dimensions. Global sizes must be
+/// divisible by the corresponding local sizes (core OpenCL 1.x rule).
+struct NDRange {
+  unsigned dims = 1;
+  std::array<std::uint32_t, 3> global{1, 1, 1};
+  std::array<std::uint32_t, 3> local{1, 1, 1};
+
+  static NDRange make1D(std::uint32_t globalX, std::uint32_t localX) {
+    NDRange r;
+    r.dims = 1;
+    r.global = {globalX, 1, 1};
+    r.local = {localX, 1, 1};
+    r.validate();
+    return r;
+  }
+  static NDRange make2D(std::uint32_t gx, std::uint32_t gy, std::uint32_t lx,
+                        std::uint32_t ly) {
+    NDRange r;
+    r.dims = 2;
+    r.global = {gx, gy, 1};
+    r.local = {lx, ly, 1};
+    r.validate();
+    return r;
+  }
+
+  void validate() const {
+    for (unsigned d = 0; d < 3; ++d) {
+      if (local[d] == 0 || global[d] == 0 ||
+          global[d] % local[d] != 0) {
+        throw GroverError("NDRange: global size not divisible by local size");
+      }
+    }
+  }
+
+  [[nodiscard]] std::array<std::uint32_t, 3> numGroups() const {
+    return {global[0] / local[0], global[1] / local[1],
+            global[2] / local[2]};
+  }
+  [[nodiscard]] std::uint64_t totalGroups() const {
+    const auto n = numGroups();
+    return std::uint64_t{n[0]} * n[1] * n[2];
+  }
+  [[nodiscard]] std::uint32_t groupSize() const {
+    return local[0] * local[1] * local[2];
+  }
+  [[nodiscard]] std::uint64_t totalWorkItems() const {
+    return std::uint64_t{global[0]} * global[1] * global[2];
+  }
+};
+
+}  // namespace grover::rt

@@ -1,0 +1,87 @@
+// Execution tracing: the bridge between the runtime and the performance
+// models. The interpreter reports every memory access (with enough context
+// to regroup accesses into warp transactions) and per-group instruction
+// counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/type.h"
+
+namespace grover::rt {
+
+/// One dynamic memory access.
+struct MemAccess {
+  ir::AddrSpace space = ir::AddrSpace::Global;
+  /// Global/Constant: buffer base address + byte offset (buffers get
+  /// disjoint address ranges). Local: byte offset within the group arena.
+  /// Private: byte offset within the work-item arena.
+  std::uint64_t address = 0;
+  std::uint32_t size = 0;    // bytes
+  bool isWrite = false;
+  std::uint32_t group = 0;   // linear work-group id
+  std::uint32_t workItem = 0;  // linear id within the group
+  /// Static instruction slot — lets a GPU model group the accesses of the
+  /// work-items of one warp executing the same load/store together.
+  std::uint32_t instSlot = 0;
+};
+
+/// Instruction-mix counters, accumulated per work-group.
+struct InstCounters {
+  std::uint64_t intAlu = 0;
+  std::uint64_t floatAlu = 0;
+  std::uint64_t vectorAlu = 0;
+  std::uint64_t mathCall = 0;   // sqrt/exp/...
+  std::uint64_t branch = 0;
+  std::uint64_t globalLoad = 0;
+  std::uint64_t globalStore = 0;
+  std::uint64_t localLoad = 0;
+  std::uint64_t localStore = 0;
+  std::uint64_t privateAccess = 0;
+  std::uint64_t barrier = 0;
+  std::uint64_t other = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return intAlu + floatAlu + vectorAlu + mathCall + branch + globalLoad +
+           globalStore + localLoad + localStore + privateAccess + barrier +
+           other;
+  }
+  InstCounters& operator+=(const InstCounters& o) {
+    intAlu += o.intAlu;
+    floatAlu += o.floatAlu;
+    vectorAlu += o.vectorAlu;
+    mathCall += o.mathCall;
+    branch += o.branch;
+    globalLoad += o.globalLoad;
+    globalStore += o.globalStore;
+    localLoad += o.localLoad;
+    localStore += o.localStore;
+    privateAccess += o.privateAccess;
+    barrier += o.barrier;
+    other += o.other;
+    return *this;
+  }
+};
+
+/// Consumer of execution events. Called from the work-group execution
+/// thread; one sink instance must only observe one group at a time unless
+/// it synchronizes internally.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onAccess(const MemAccess& access) = 0;
+  /// All work-items of `group` passed a barrier.
+  virtual void onBarrier(std::uint32_t group) = 0;
+  /// A work-group finished; `counters` is its aggregate instruction mix.
+  virtual void onGroupFinish(std::uint32_t group,
+                             const InstCounters& counters) = 0;
+};
+
+/// Base address assigned to global buffer `i` in the flat trace address
+/// space (buffers are padded to disjoint 256 MiB windows).
+[[nodiscard]] inline std::uint64_t bufferBaseAddress(std::uint32_t index) {
+  return 0x1000'0000ULL + std::uint64_t{index} * 0x1000'0000ULL;
+}
+
+}  // namespace grover::rt

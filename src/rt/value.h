@@ -1,0 +1,66 @@
+// Runtime values for the IR interpreter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/type.h"
+
+namespace grover::rt {
+
+/// A pointer at run time: an address space, a base object, and a byte
+/// offset. For Global/Constant, `base` is the bound buffer index; for
+/// Local, the offset is within the work-group arena; for Private, within
+/// the work-item arena (base unused for both).
+struct PtrVal {
+  ir::AddrSpace space = ir::AddrSpace::Global;
+  std::uint32_t base = 0;
+  std::int64_t offset = 0;
+};
+
+/// One SSA value during execution. A plain struct (no allocation) — the
+/// interpreter stores one per value slot per work-item.
+struct RtValue {
+  enum class Kind : std::uint8_t { Int, Float, Ptr, VecInt, VecFloat };
+
+  Kind kind = Kind::Int;
+  std::uint8_t lanes = 1;  // vectors only
+  std::int64_t i = 0;
+  double f = 0.0;
+  PtrVal ptr;
+  std::array<std::int64_t, 4> vi{};
+  std::array<double, 4> vf{};
+
+  static RtValue ofInt(std::int64_t v) {
+    RtValue r;
+    r.kind = Kind::Int;
+    r.i = v;
+    return r;
+  }
+  static RtValue ofFloat(double v) {
+    RtValue r;
+    r.kind = Kind::Float;
+    r.f = v;
+    return r;
+  }
+  static RtValue ofPtr(PtrVal p) {
+    RtValue r;
+    r.kind = Kind::Ptr;
+    r.ptr = p;
+    return r;
+  }
+  static RtValue ofVecFloat(std::uint8_t lanes) {
+    RtValue r;
+    r.kind = Kind::VecFloat;
+    r.lanes = lanes;
+    return r;
+  }
+  static RtValue ofVecInt(std::uint8_t lanes) {
+    RtValue r;
+    r.kind = Kind::VecInt;
+    r.lanes = lanes;
+    return r;
+  }
+};
+
+}  // namespace grover::rt

@@ -1,0 +1,35 @@
+#include "support/diagnostics.h"
+
+namespace grover {
+
+std::string Diagnostic::str() const {
+  std::string out;
+  if (loc.valid()) {
+    out += loc.str();
+    out += ": ";
+  }
+  switch (level) {
+    case DiagLevel::Note:
+      out += "note: ";
+      break;
+    case DiagLevel::Warning:
+      out += "warning: ";
+      break;
+    case DiagLevel::Error:
+      out += "error: ";
+      break;
+  }
+  out += message;
+  return out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace grover

@@ -1,0 +1,66 @@
+// Diagnostic collection shared by the front-end, the verifier and the
+// Grover pass. Errors are collected (not thrown) so that callers can report
+// every problem in a kernel at once; fatal conditions use GroverError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace grover {
+
+/// Severity of a diagnostic message.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One diagnostic message, optionally anchored to a source location.
+struct Diagnostic {
+  DiagLevel level = DiagLevel::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics emitted while processing one compilation.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagLevel::Error, loc, std::move(msg)});
+    ++num_errors_;
+  }
+  void error(std::string msg) { error(SourceLoc{}, std::move(msg)); }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagLevel::Warning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagLevel::Note, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool hasErrors() const { return num_errors_ != 0; }
+  [[nodiscard]] std::size_t errorCount() const { return num_errors_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Render every collected diagnostic, one per line.
+  [[nodiscard]] std::string str() const;
+
+  void clear() {
+    diags_.clear();
+    num_errors_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t num_errors_ = 0;
+};
+
+/// Thrown for unrecoverable conditions (internal invariant violations,
+/// use of an API in an unsupported way). Recoverable front-end problems go
+/// through DiagnosticEngine instead.
+class GroverError : public std::runtime_error {
+ public:
+  explicit GroverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace grover

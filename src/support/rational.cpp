@@ -1,0 +1,93 @@
+#include "support/rational.h"
+
+#include <limits>
+#include <numeric>
+
+#include "support/diagnostics.h"
+
+namespace grover {
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t narrow(__int128 v) {
+  if (v > std::numeric_limits<std::int64_t>::max() ||
+      v < std::numeric_limits<std::int64_t>::min()) {
+    throw GroverError("Rational overflow: index coefficients exceed int64");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rational Rational::makeNormalized(__int128 num, __int128 den) {
+  if (den == 0) throw GroverError("Rational: zero denominator");
+  if (num == 0) return Rational{};
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const __int128 g = gcd128(num, den);
+  Rational r;
+  r.num_ = narrow(num / g);
+  r.den_ = narrow(den / g);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  *this = makeNormalized(num, den);
+}
+
+std::int64_t Rational::asInteger() const {
+  if (!isInteger()) {
+    throw GroverError("Rational::asInteger on non-integer " + str());
+  }
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return makeNormalized(static_cast<__int128>(num_) * o.den_ +
+                            static_cast<__int128>(o.num_) * den_,
+                        static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  return makeNormalized(static_cast<__int128>(num_) * o.num_,
+                        static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.isZero()) throw GroverError("Rational: division by zero");
+  return makeNormalized(static_cast<__int128>(num_) * o.den_,
+                        static_cast<__int128>(den_) * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace grover

@@ -1,0 +1,62 @@
+// Exact rational arithmetic for Grover's linear-system solver.
+//
+// Index coefficients in real kernels are tiny integers (tile sizes, strides),
+// but Gaussian elimination must decide exactly whether a pivot is zero —
+// floating point would occasionally mis-classify a singular system as
+// solvable (or vice versa), producing a wrong transformation instead of a
+// clean refusal. int64 numerator/denominator with __int128 intermediates is
+// ample for every index expression the pattern matcher accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grover {
+
+/// An exact rational number. Always stored normalized: gcd(num,den) == 1,
+/// den > 0, and zero is canonically 0/1.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): integers convert naturally.
+  constexpr Rational(std::int64_t value) : num_(value) {}
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool isZero() const { return num_ == 0; }
+  [[nodiscard]] bool isOne() const { return num_ == 1 && den_ == 1; }
+  [[nodiscard]] bool isInteger() const { return den_ == 1; }
+
+  /// Integer value; requires isInteger().
+  [[nodiscard]] std::int64_t asInteger() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division by zero throws GroverError.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational&, const Rational&) = default;
+  [[nodiscard]] bool operator<(const Rational& o) const;
+
+  [[nodiscard]] double toDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static Rational makeNormalized(__int128 num, __int128 den);
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace grover

@@ -1,0 +1,23 @@
+// Source locations for front-end diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grover {
+
+/// A position in an OpenCL C source buffer. Lines and columns are 1-based;
+/// a default-constructed location (0,0) means "unknown".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace grover

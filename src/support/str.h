@@ -1,0 +1,29 @@
+// Small string-formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace grover {
+
+/// Concatenate stream-printable arguments into a string.
+template <typename... Args>
+[[nodiscard]] std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Join a range of strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Fixed-point rendering with the given number of decimals (for tables).
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Left-pad / right-pad to a column width (for plain-text tables).
+[[nodiscard]] std::string padLeft(const std::string& s, std::size_t width);
+[[nodiscard]] std::string padRight(const std::string& s, std::size_t width);
+
+}  // namespace grover

@@ -1,0 +1,46 @@
+// A minimal fixed-size thread pool used by the runtime's work-group
+// scheduler and by the benchmark harness (one task per work-group batch).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace grover {
+
+/// Fixed-size pool. Tasks are void() callables; waitIdle() blocks until the
+/// queue is drained and every worker is idle, which is how the runtime
+/// implements clFinish-style synchronization.
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void waitIdle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace grover

@@ -1,0 +1,128 @@
+// The 11 applications of Table I: every kernel compiles, Grover disables
+// the selected local buffers, and BOTH versions compute the reference
+// result. Parameterized over the application id (the paper's §VI-A
+// correctness claim: "after the transformation, each benchmark still runs
+// correctly").
+#include "apps/app.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/harness.h"
+#include "ir/verifier.h"
+#include "passes/barrier_elim.h"
+
+namespace grover::apps {
+namespace {
+
+class AppTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Application& app() const { return applicationById(GetParam()); }
+};
+
+TEST_P(AppTest, CompilesAndDeclaresLocalBuffers) {
+  KernelPair pair = prepareKernelPair(app());
+  ASSERT_NE(pair.originalKernel, nullptr);
+  EXPECT_TRUE(passes::usesLocalMemory(*pair.originalKernel));
+  // The report covers every declared local buffer.
+  for (const std::string& buf : app().localBuffers()) {
+    EXPECT_NO_THROW((void)pair.groverResult.forBuffer(buf));
+  }
+}
+
+TEST_P(AppTest, GroverDisablesSelectedBuffers) {
+  KernelPair pair = prepareKernelPair(app());
+  std::set<std::string> toDisable = app().buffersToDisable();
+  if (toDisable.empty()) {
+    for (const std::string& buf : app().localBuffers()) {
+      toDisable.insert(buf);
+    }
+  }
+  for (const std::string& buf : toDisable) {
+    const grv::BufferResult& r = pair.groverResult.forBuffer(buf);
+    EXPECT_TRUE(r.transformed) << buf << ": " << r.reason;
+  }
+  // Full disabling removes all local traffic and the barriers with it.
+  if (toDisable.size() == app().localBuffers().size()) {
+    EXPECT_FALSE(passes::usesLocalMemory(*pair.transformedKernel));
+  } else {
+    EXPECT_TRUE(passes::usesLocalMemory(*pair.transformedKernel));
+  }
+  ir::verifyFunction(*pair.transformedKernel);
+}
+
+TEST_P(AppTest, OriginalMatchesReference) {
+  KernelPair pair = prepareKernelPair(app());
+  auto err = runAndValidate(app(), *pair.originalKernel, Scale::Test);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST_P(AppTest, TransformedMatchesReference) {
+  KernelPair pair = prepareKernelPair(app());
+  auto err = runAndValidate(app(), *pair.transformedKernel, Scale::Test);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST_P(AppTest, IndexReportIsPopulated) {
+  KernelPair pair = prepareKernelPair(app());
+  for (const auto& b : pair.groverResult.buffers) {
+    if (!b.transformed) continue;
+    EXPECT_FALSE(b.lsIndex.empty());
+    EXPECT_FALSE(b.llIndex.empty());
+    EXPECT_FALSE(b.nglIndex.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppTest,
+    ::testing::Values("AMD-SS", "AMD-MT", "NVD-MT", "AMD-RG", "AMD-MM",
+                      "NVD-MM-A", "NVD-MM-B", "NVD-MM-AB", "NVD-NBody",
+                      "PAB-ST", "ROD-SC"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(AppRegistry, HasElevenApplications) {
+  EXPECT_EQ(allApplications().size(), 11u);
+}
+
+TEST(AppRegistry, IdsAreUniqueAndLookupWorks) {
+  std::set<std::string> ids;
+  for (const auto& app : allApplications()) {
+    EXPECT_TRUE(ids.insert(app->id()).second) << app->id();
+    EXPECT_EQ(&applicationById(app->id()), app.get());
+    EXPECT_FALSE(app->datasetDescription().empty());
+    EXPECT_FALSE(app->source().empty());
+  }
+  EXPECT_THROW(applicationById("NOPE"), GroverError);
+}
+
+TEST(AppRegistry, MmVariantsShareTheKernel) {
+  EXPECT_EQ(applicationById("NVD-MM-A").source(),
+            applicationById("NVD-MM-B").source());
+  EXPECT_EQ(applicationById("NVD-MM-A").buffersToDisable(),
+            (std::set<std::string>{"As"}));
+  EXPECT_EQ(applicationById("NVD-MM-B").buffersToDisable(),
+            (std::set<std::string>{"Bs"}));
+  EXPECT_TRUE(applicationById("NVD-MM-AB").buffersToDisable().empty());
+}
+
+TEST(AppHelpers, FillRandomIsDeterministicAndBounded) {
+  std::vector<float> a(100);
+  std::vector<float> b(100);
+  fillRandom(a, 42);
+  fillRandom(b, 42);
+  EXPECT_EQ(a, b);
+  fillRandom(b, 43);
+  EXPECT_NE(a, b);
+  for (float v : a) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace grover::apps

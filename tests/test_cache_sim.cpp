@@ -1,0 +1,130 @@
+// Set-associative LRU cache simulation.
+#include "perf/cache_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace grover::perf {
+namespace {
+
+CacheLevelSpec smallCache() {
+  // 1 KiB, 2-way, 64B lines → 8 sets.
+  return {1024, 2, 64, 4};
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel cache(smallCache());
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));    // same line
+  EXPECT_FALSE(cache.access(64));   // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  CacheLevel cache(smallCache());
+  // Three lines mapping to set 0 (stride = sets*lineSize = 512).
+  cache.access(0);
+  cache.access(512);
+  cache.access(1024);          // evicts line 0 (LRU)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(512));
+  EXPECT_TRUE(cache.contains(1024));
+}
+
+TEST(CacheLevel, LruRefreshOnHit) {
+  CacheLevel cache(smallCache());
+  cache.access(0);
+  cache.access(512);
+  cache.access(0);      // refresh line 0
+  cache.access(1024);   // now 512 is LRU and gets evicted
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(512));
+}
+
+TEST(CacheLevel, DisabledCacheNeverHits) {
+  CacheLevel cache(CacheLevelSpec{0, 2, 64, 4});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheLevel, ResetClearsState) {
+  CacheLevel cache(smallCache());
+  cache.access(0);
+  cache.reset();
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(CacheLevel, PowerOfTwoStrideThrashesOneSet) {
+  // The mechanism behind the paper's NVD-MM-B loss: 4 KiB-strided rows all
+  // land in one set of a small cache and thrash.
+  CacheLevelSpec spec{32 * 1024, 8, 64, 4};  // L1: 64 sets, 4 KiB set span
+  CacheLevel cache(spec);
+  const std::uint64_t stride = 4096;
+  // First pass: 16 lines, same set → all miss.
+  for (int r = 0; r < 16; ++r) cache.access(r * stride);
+  // Second pass: with only 8 ways, LRU guarantees all miss again.
+  const std::uint64_t missesBefore = cache.misses();
+  for (int r = 0; r < 16; ++r) cache.access(r * stride);
+  EXPECT_EQ(cache.misses(), missesBefore + 16);
+}
+
+TEST(CacheLevel, SequentialLinesDoNotThrash) {
+  CacheLevelSpec spec{32 * 1024, 8, 64, 4};
+  CacheLevel cache(spec);
+  for (int r = 0; r < 16; ++r) cache.access(r * 64);
+  for (int r = 0; r < 16; ++r) EXPECT_TRUE(cache.access(r * 64));
+}
+
+TEST(CacheHierarchy, LatencyByHitLevel) {
+  std::vector<CacheLevelSpec> levels{{1024, 2, 64, 4}, {4096, 4, 64, 12}};
+  CacheLevel llc({16384, 8, 64, 30});
+  CacheHierarchy hier(levels, &llc, 200);
+  EXPECT_DOUBLE_EQ(hier.access(0, 4), 200);  // cold: DRAM
+  EXPECT_DOUBLE_EQ(hier.access(0, 4), 4);    // L1 hit
+  // Evict from tiny L1 by touching other set-0 lines, then L2 hit.
+  hier.access(512, 4);
+  hier.access(1024, 4);
+  EXPECT_DOUBLE_EQ(hier.access(0, 4), 12);
+}
+
+TEST(CacheHierarchy, NoLlcFallsToMemory) {
+  std::vector<CacheLevelSpec> levels{{1024, 2, 64, 4}};
+  CacheHierarchy hier(levels, nullptr, 300);
+  EXPECT_DOUBLE_EQ(hier.access(0, 4), 300);
+  EXPECT_DOUBLE_EQ(hier.access(0, 4), 4);
+}
+
+TEST(CacheHierarchy, LineCrossingAccessTakesWorstLine) {
+  std::vector<CacheLevelSpec> levels{{1024, 2, 64, 4}};
+  CacheHierarchy hier(levels, nullptr, 300);
+  hier.access(0, 4);           // warm line 0
+  // Access straddling lines 0 and 1: line 1 cold → DRAM latency.
+  EXPECT_DOUBLE_EQ(hier.access(60, 8), 300);
+  EXPECT_DOUBLE_EQ(hier.access(60, 8), 4);  // both warm now
+}
+
+// Property: hits + misses == accesses, and a repeat pass over a working
+// set smaller than capacity always hits.
+class CacheProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheProperty, SmallWorkingSetAlwaysHitsOnSecondPass) {
+  const unsigned waysExp = static_cast<unsigned>(GetParam());
+  CacheLevelSpec spec{8192, 1u << (waysExp % 4), 64, 4};
+  CacheLevel cache(spec);
+  const std::uint64_t lines = spec.bytes / spec.lineSize / 2;  // half cap
+  for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(cache.access(i * 64)) << "line " << i;
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), 2 * lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace grover::perf

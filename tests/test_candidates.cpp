@@ -1,0 +1,163 @@
+// Candidate selection (paper §IV-A): GL→LS pairing, LL discovery,
+// refusals for non-staging usage.
+#include "grover/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+
+namespace grover::grv {
+namespace {
+
+std::vector<CandidateBuffer> candidatesOf(Program& program,
+                                          const std::string& src) {
+  program = compile(src);
+  return findCandidates(*program.module->kernels().at(0));
+}
+
+TEST(Candidates, RecognizesStagingPattern) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[64];
+  int lx = get_local_id(0);
+  lm[lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[63 - lx];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK);
+  EXPECT_EQ(cands[0].pairs.size(), 1u);
+  EXPECT_EQ(cands[0].localLoads.size(), 1u);
+  EXPECT_EQ(cands[0].buffer->name(), "lm");
+  EXPECT_NE(cands[0].pairs[0].gl, nullptr);
+  EXPECT_EQ(cands[0].pairs[0].gl->space(), ir::AddrSpace::Global);
+}
+
+TEST(Candidates, MultiPassStagingYieldsMultiplePairs) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[128];
+  int lx = get_local_id(0);
+  lm[lx] = in[get_global_id(0)];
+  lm[lx + 64] = in[get_global_id(0) + 64];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[lx] + lm[lx + 64];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK);
+  EXPECT_EQ(cands[0].pairs.size(), 2u);
+  EXPECT_EQ(cands[0].localLoads.size(), 2u);
+}
+
+TEST(Candidates, RefusesComputedStores) {
+  // Reduction-style temporal storage (paper §VI-D limitation).
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[64];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx] * 2.0f;   // computed, not a staged copy
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[lx];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_FALSE(cands[0].patternOK);
+  EXPECT_NE(cands[0].reason.find("staging"), std::string::npos);
+}
+
+TEST(Candidates, RefusesLocalToLocalCopies) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float a[64];
+  __local float b[64];
+  int lx = get_local_id(0);
+  a[lx] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  b[lx] = a[lx];            // b is fed from local memory, not global
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = b[lx];
+})");
+  ASSERT_EQ(cands.size(), 2u);
+  const auto& a = cands[0].buffer->name() == "a" ? cands[0] : cands[1];
+  const auto& b = cands[0].buffer->name() == "b" ? cands[0] : cands[1];
+  EXPECT_TRUE(a.patternOK);
+  EXPECT_FALSE(b.patternOK);
+}
+
+TEST(Candidates, StoreWithoutLoadsIsStillACandidate) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[64];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = in[lx];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK);
+  EXPECT_TRUE(cands[0].localLoads.empty());
+}
+
+TEST(Candidates, CastedStagedValueStillPairs) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global int* in, __global float* out) {
+  __local long lm[64];
+  int lx = get_local_id(0);
+  lm[lx] = (long)in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = (float)lm[lx];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK) << cands[0].reason;
+  EXPECT_EQ(cands[0].pairs.size(), 1u);
+}
+
+TEST(Candidates, ConstantSpaceSourceAccepted) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__constant int* pattern, __global int* out) {
+  __local int lm[16];
+  int lx = get_local_id(0);
+  if (lx < 16) lm[lx] = pattern[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[0];
+})");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK) << cands[0].reason;
+}
+
+TEST(Candidates, NoLocalBuffersNoCandidates) {
+  Program p;
+  auto cands = candidatesOf(p, R"(
+__kernel void k(__global float* out) {
+  out[get_global_id(0)] = 1.0f;
+})");
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(Candidates, StripIntCasts) {
+  Program p = compile(R"(
+__kernel void k(__global int* out) {
+  int x = get_global_id(0);
+  out[0] = (int)(long)x;
+})");
+  // stripIntCasts unwraps sext/trunc chains down to the call.
+  ir::Function* fn = p.kernel("k");
+  for (ir::BasicBlock* bb : fn->blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* store = ir::dyn_cast<ir::StoreInst>(inst.get())) {
+        ir::Value* v = stripIntCasts(store->value());
+        EXPECT_TRUE(ir::isa<ir::CallInst>(v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grover::grv

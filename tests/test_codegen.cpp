@@ -1,0 +1,277 @@
+// IRGen (AST → IR) behavior, observed through compiled + executed kernels.
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "rt/interpreter.h"
+
+namespace grover {
+namespace {
+
+using namespace ir;
+
+/// Run a 1-work-item kernel writing into `out` and return out[0..n).
+template <typename T>
+std::vector<T> run1(const std::string& src, std::size_t outCount,
+                    std::vector<rt::KernelArg> extraArgs = {}) {
+  auto program = compile(src);
+  Function* fn = program.module->kernels().at(0);
+  rt::Buffer out = rt::Buffer::zeros<T>(outCount);
+  std::vector<rt::KernelArg> args{rt::KernelArg::buffer(&out)};
+  for (auto& a : extraArgs) args.push_back(a);
+  rt::Launch launch(*fn, rt::NDRange::make1D(1, 1), args);
+  launch.run();
+  return out.toVector<T>();
+}
+
+TEST(Codegen, ArithmeticAndPrecedence) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  out[0] = 2 + 3 * 4;
+  out[1] = (2 + 3) * 4;
+  out[2] = 20 / 3;
+  out[3] = 20 % 3;
+  out[4] = 1 << 5;
+  out[5] = -40 >> 2;
+  out[6] = 0xF0 & 0x3C;
+  out[7] = 0xF0 | 0x0C;
+  out[8] = 0xF0 ^ 0xFF;
+  out[9] = ~0;
+})", 10);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{14, 20, 6, 2, 32, -10, 0x30,
+                                            0xFC, 0x0F, -1}));
+}
+
+TEST(Codegen, FloatArithmeticRoundsToF32) {
+  auto out = run1<float>(R"(
+__kernel void k(__global float* out) {
+  float a = 1.5f;
+  float b = 2.25f;
+  out[0] = a + b;
+  out[1] = a - b;
+  out[2] = a * b;
+  out[3] = a / b;
+  out[4] = -a;
+})", 5);
+  EXPECT_FLOAT_EQ(out[0], 3.75F);
+  EXPECT_FLOAT_EQ(out[1], -0.75F);
+  EXPECT_FLOAT_EQ(out[2], 3.375F);
+  EXPECT_FLOAT_EQ(out[3], 1.5F / 2.25F);
+  EXPECT_FLOAT_EQ(out[4], -1.5F);
+}
+
+TEST(Codegen, Conversions) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  float f = 3.9f;
+  out[0] = (int)f;          // trunc toward zero
+  out[1] = (int)(-3.9f);
+  int i = 300;
+  out[2] = (int)(float)i;
+  out[3] = (int)true;
+  out[4] = (int)(5 > 2);
+})", 5);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{3, -3, 300, 1, 1}));
+}
+
+TEST(Codegen, ComparisonsAndLogic) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  int a = 5;
+  int b = 7;
+  out[0] = a < b ? 1 : 0;
+  out[1] = a >= b ? 1 : 0;
+  out[2] = (a < b && b < 10) ? 1 : 0;
+  out[3] = (a > b || b > 6) ? 1 : 0;
+  out[4] = !(a == 5) ? 1 : 0;
+})", 5);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{1, 0, 1, 1, 0}));
+}
+
+TEST(Codegen, ControlFlow) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  int sum = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (i == 3) continue;
+    if (i == 7) break;
+    sum += i;
+  }
+  out[0] = sum;                   // 0+1+2+4+5+6 = 18
+  int w = 0;
+  int n = 5;
+  while (n > 0) { w += n; n--; }
+  out[1] = w;                     // 15
+  if (out[0] > out[1]) out[2] = 1; else out[2] = 2;
+})", 3);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{18, 15, 1}));
+}
+
+TEST(Codegen, EarlyReturn) {
+  auto program = compile(R"(
+__kernel void k(__global int* out, int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  out[i] = i;
+})");
+  Function* fn = program.kernel("k");
+  verifyFunction(*fn);
+  rt::Buffer out = rt::Buffer::zeros<std::int32_t>(8);
+  rt::Launch launch(*fn, rt::NDRange::make1D(8, 4),
+                    {rt::KernelArg::buffer(&out), rt::KernelArg::int32(5)});
+  launch.run();
+  auto v = out.toVector<std::int32_t>();
+  EXPECT_EQ(v, (std::vector<std::int32_t>{0, 1, 2, 3, 4, 0, 0, 0}));
+}
+
+TEST(Codegen, VectorOpsAndSwizzles) {
+  auto out = run1<float>(R"(
+__kernel void k(__global float* out) {
+  float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+  float4 w = v * 2.0f;            // broadcast
+  float4 s = (float4)(10.0f);     // scalar splat
+  float4 sum = w + s;
+  out[0] = sum.x;
+  out[1] = sum.y;
+  out[2] = sum.z;
+  out[3] = sum.w;
+  sum.y = 99.0f;
+  out[4] = sum.y;
+  out[5] = dot(v, v);             // 1+4+9+16 = 30
+})", 6);
+  EXPECT_FLOAT_EQ(out[0], 12.0F);
+  EXPECT_FLOAT_EQ(out[1], 14.0F);
+  EXPECT_FLOAT_EQ(out[2], 16.0F);
+  EXPECT_FLOAT_EQ(out[3], 18.0F);
+  EXPECT_FLOAT_EQ(out[4], 99.0F);
+  EXPECT_FLOAT_EQ(out[5], 30.0F);
+}
+
+TEST(Codegen, BuiltinMath) {
+  auto out = run1<float>(R"(
+__kernel void k(__global float* out) {
+  out[0] = sqrt(16.0f);
+  out[1] = fabs(-2.5f);
+  out[2] = fmin(1.0f, 2.0f);
+  out[3] = fmax(1.0f, 2.0f);
+  out[4] = mad(2.0f, 3.0f, 4.0f);
+  out[5] = rsqrt(4.0f);
+  out[6] = floor(2.7f);
+  out[7] = ceil(2.2f);
+  out[8] = (float)min(3, 5);
+  out[9] = (float)max(3, 5);
+  out[10] = (float)clamp(7, 0, 5);
+  out[11] = (float)mul24(100, 20);
+})", 12);
+  EXPECT_FLOAT_EQ(out[0], 4.0F);
+  EXPECT_FLOAT_EQ(out[1], 2.5F);
+  EXPECT_FLOAT_EQ(out[2], 1.0F);
+  EXPECT_FLOAT_EQ(out[3], 2.0F);
+  EXPECT_FLOAT_EQ(out[4], 10.0F);
+  EXPECT_FLOAT_EQ(out[5], 0.5F);
+  EXPECT_FLOAT_EQ(out[6], 2.0F);
+  EXPECT_FLOAT_EQ(out[7], 3.0F);
+  EXPECT_FLOAT_EQ(out[8], 3.0F);
+  EXPECT_FLOAT_EQ(out[9], 5.0F);
+  EXPECT_FLOAT_EQ(out[10], 5.0F);
+  EXPECT_FLOAT_EQ(out[11], 2000.0F);
+}
+
+TEST(Codegen, PrivateArrays) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  int scratch[8];
+  for (int i = 0; i < 8; ++i) scratch[i] = i * i;
+  int sum = 0;
+  for (int i = 0; i < 8; ++i) sum += scratch[i];
+  out[0] = sum;  // 0+1+4+9+16+25+36+49 = 140
+})", 1);
+  EXPECT_EQ(out[0], 140);
+}
+
+TEST(Codegen, MultiDimPrivateArrayFlattening) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  int m[3][4];
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c)
+      m[r][c] = r * 10 + c;
+  out[0] = m[2][3];
+  out[1] = m[0][1];
+  out[2] = m[1][2];
+})", 3);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{23, 1, 12}));
+}
+
+TEST(Codegen, ValueParamsAreMutable) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out, int n) {
+  n = n + 1;
+  n += 2;
+  out[0] = n;
+})", 1, {rt::KernelArg::int32(10)});
+  EXPECT_EQ(out[0], 13);
+}
+
+TEST(Codegen, CompoundAssignOnBufferElement) {
+  auto out = run1<float>(R"(
+__kernel void k(__global float* out) {
+  out[0] = 10.0f;
+  out[0] += 5.0f;
+  out[0] *= 2.0f;
+  out[0] -= 6.0f;
+  out[0] /= 4.0f;
+})", 1);
+  EXPECT_FLOAT_EQ(out[0], 6.0F);
+}
+
+TEST(Codegen, DoWhileExecutesBodyAtLeastOnce) {
+  auto out = run1<std::int32_t>(R"(
+__kernel void k(__global int* out) {
+  int n = 0;
+  int count = 0;
+  do {
+    count += 1;
+  } while (n > 0);
+  out[0] = count;          // body runs once even though n > 0 is false
+  int v = 10;
+  int steps = 0;
+  do {
+    v -= 3;
+    ++steps;
+    if (steps == 2) continue;
+    if (v < 0) break;
+  } while (v > 0);
+  out[1] = steps;
+  out[2] = v;
+})", 3);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 4);   // 10→7→4→1→-2 (break after 4th step)
+  EXPECT_EQ(out[2], -2);
+}
+
+TEST(Codegen, UnreachableCodeAfterReturnIsPruned) {
+  auto program = compile(R"(
+__kernel void k(__global int* out) {
+  out[0] = 1;
+  return;
+  out[0] = 2;
+})");
+  Function* fn = program.kernel("k");
+  verifyFunction(*fn);
+  // The dead store must be gone.
+  std::size_t stores = 0;
+  for (BasicBlock* bb : fn->blockList()) {
+    for (const auto& inst : *bb) {
+      if (isa<StoreInst>(inst.get())) ++stores;
+    }
+  }
+  EXPECT_EQ(stores, 1u);
+}
+
+}  // namespace
+}  // namespace grover

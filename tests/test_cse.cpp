@@ -1,0 +1,156 @@
+// Common subexpression elimination.
+#include "passes/cse.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/casting.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+
+namespace grover::passes {
+namespace {
+
+using namespace ir;
+
+class CseTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Module module{ctx, "m"};
+  IRBuilder b{ctx};
+
+  std::size_t countInsts(Function& fn) { return fn.instructionCount(); }
+};
+
+TEST_F(CseTest, FoldsIdenticalArithmetic) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  b.setInsertPoint(bb);
+  Value* x = b.createAdd(a, ctx.getInt32(1));
+  Value* y = b.createAdd(a, ctx.getInt32(1));  // duplicate
+  Value* sum = b.createAdd(x, y);
+  b.createStore(sum, b.createGep(out, ctx.getInt32(0)));
+  b.createRetVoid();
+  CsePass cse;
+  EXPECT_TRUE(cse.run(*fn));
+  verifyFunction(*fn);
+  // y removed; sum now uses x twice.
+  auto* sumInst = cast<BinaryInst>(sum);
+  EXPECT_EQ(sumInst->lhs(), sumInst->rhs());
+}
+
+TEST_F(CseTest, FoldsDuplicateIdQueries) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  b.setInsertPoint(bb);
+  Value* id1 = b.createIdQuery(Builtin::GetLocalId, 0);
+  Value* id2 = b.createIdQuery(Builtin::GetLocalId, 0);
+  Value* other = b.createIdQuery(Builtin::GetLocalId, 1);  // different dim
+  Value* v = b.createAdd(b.createAdd(id1, id2), other);
+  b.createStore(v, b.createGep(out, ctx.getInt32(0)));
+  b.createRetVoid();
+  const std::size_t before = countInsts(*fn);
+  CsePass cse;
+  EXPECT_TRUE(cse.run(*fn));
+  verifyFunction(*fn);
+  EXPECT_EQ(countInsts(*fn), before - 1);  // only id2 folded
+}
+
+TEST_F(CseTest, DoesNotFoldAcrossNonDominatingBlocks) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* c = fn->addArgument(ctx.boolTy(), "c");
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* f = fn->addBlock("f");
+  b.setInsertPoint(entry);
+  b.createCondBr(c, t, f);
+  b.setInsertPoint(t);
+  b.createAdd(a, a);
+  b.createRetVoid();
+  b.setInsertPoint(f);
+  b.createAdd(a, a);  // same expression, sibling block: must stay
+  b.createRetVoid();
+  const std::size_t before = countInsts(*fn);
+  CsePass cse;
+  cse.run(*fn);
+  verifyFunction(*fn);
+  EXPECT_EQ(countInsts(*fn), before);
+}
+
+TEST_F(CseTest, FoldsFromDominatingBlock) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* c = fn->addArgument(ctx.boolTy(), "c");
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  b.setInsertPoint(entry);
+  Value* first = b.createAdd(a, a);
+  BasicBlock* exit = fn->addBlock("exit");
+  b.createCondBr(c, t, exit);
+  b.setInsertPoint(t);
+  Value* dup = b.createAdd(a, a);
+  Value* use = b.createMul(dup, a);
+  b.createBr(exit);
+  b.setInsertPoint(exit);
+  b.createRetVoid();
+  CsePass cse;
+  EXPECT_TRUE(cse.run(*fn));
+  verifyFunction(*fn);
+  EXPECT_EQ(cast<BinaryInst>(use)->lhs(), first);
+}
+
+TEST_F(CseTest, DoesNotFoldLoads) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* p =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "p");
+  BasicBlock* bb = fn->addBlock("entry");
+  b.setInsertPoint(bb);
+  Value* l1 = b.createLoad(p);
+  b.createStore(ctx.getInt32(42), p);  // memory changes in between
+  Value* l2 = b.createLoad(p);
+  b.createStore(b.createAdd(l1, l2), p);
+  b.createRetVoid();
+  const std::size_t before = countInsts(*fn);
+  CsePass cse;
+  cse.run(*fn);
+  EXPECT_EQ(countInsts(*fn), before);
+}
+
+TEST_F(CseTest, DoesNotFoldBarriers) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  BasicBlock* bb = fn->addBlock("entry");
+  b.setInsertPoint(bb);
+  b.createCall(Builtin::Barrier, ctx.voidTy(), {ctx.getInt32(1)});
+  b.createCall(Builtin::Barrier, ctx.voidTy(), {ctx.getInt32(1)});
+  b.createRetVoid();
+  const std::size_t before = countInsts(*fn);
+  CsePass cse;
+  cse.run(*fn);
+  EXPECT_EQ(countInsts(*fn), before);
+}
+
+TEST_F(CseTest, DistinguishesOpcodes) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  b.setInsertPoint(bb);
+  Value* add = b.createAdd(a, a);
+  Value* mul = b.createMul(a, a);  // same operands, different opcode
+  b.createStore(b.createAdd(add, mul), b.createGep(out, ctx.getInt32(0)));
+  b.createRetVoid();
+  const std::size_t before = countInsts(*fn);
+  CsePass cse;
+  EXPECT_FALSE(cse.run(*fn));
+  EXPECT_EQ(countInsts(*fn), before);
+}
+
+}  // namespace
+}  // namespace grover::passes

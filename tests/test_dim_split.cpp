@@ -1,0 +1,135 @@
+// Dimension splitting: stride inference and per-dimension index recovery.
+#include "grover/dim_split.h"
+
+#include <gtest/gtest.h>
+
+namespace grover::grv {
+namespace {
+
+LinearDecomp make(std::initializer_list<std::pair<unsigned, std::int64_t>>
+                      localIdCoeffs,
+                  std::int64_t constant = 0) {
+  LinearDecomp d;
+  for (const auto& [dim, coeff] : localIdCoeffs) {
+    d.addTerm(AtomKey::localId(dim), Rational(coeff));
+  }
+  d.setConstant(Rational(constant));
+  return d;
+}
+
+TEST(DimSplit, StridesFromDims) {
+  EXPECT_EQ(stridesFromDims({16, 16}), (std::vector<std::int64_t>{16, 1}));
+  EXPECT_EQ(stridesFromDims({4, 8, 2}), (std::vector<std::int64_t>{16, 2, 1}));
+  EXPECT_TRUE(stridesFromDims({256}).empty());
+  EXPECT_TRUE(stridesFromDims({}).empty());
+}
+
+TEST(DimSplit, InferFrom2DIndex) {
+  // 16*ly + lx → strides [16, 1].
+  auto strides = inferStrides(make({{1, 16}, {0, 1}}));
+  ASSERT_TRUE(strides.has_value());
+  EXPECT_EQ(*strides, (std::vector<std::int64_t>{16, 1}));
+}
+
+TEST(DimSplit, InferFrom1DIndex) {
+  auto strides = inferStrides(make({{0, 1}}));
+  ASSERT_TRUE(strides.has_value());
+  EXPECT_EQ(*strides, (std::vector<std::int64_t>{1}));
+}
+
+TEST(DimSplit, InferWithNoLocalIdIsOneDimension) {
+  auto strides = inferStrides(make({}));
+  ASSERT_TRUE(strides.has_value());
+  EXPECT_EQ(*strides, (std::vector<std::int64_t>{1}));
+}
+
+TEST(DimSplit, InferRejectsNonDividingStrides) {
+  // Coeffs 6 and 4: 6 % 4 != 0 → not a row-major layout.
+  EXPECT_FALSE(inferStrides(make({{1, 6}, {0, 4}})).has_value());
+}
+
+TEST(DimSplit, SplitRoundTrips2D) {
+  // 16*ly + lx with strides [16,1] → dims (ly, lx).
+  auto dims = splitByStrides(make({{1, 16}, {0, 1}}), {16, 1});
+  ASSERT_TRUE(dims.has_value());
+  ASSERT_EQ(dims->size(), 2u);
+  EXPECT_EQ((*dims)[0].localIdCoeff(1), Rational(1));
+  EXPECT_EQ((*dims)[0].localIdCoeff(0), Rational(0));
+  EXPECT_EQ((*dims)[1].localIdCoeff(0), Rational(1));
+}
+
+TEST(DimSplit, ConstantSplitsEuclidean) {
+  // flat = 16*ly + lx + 35 → dim0 += 2, dim1 += 3.
+  auto dims = splitByStrides(make({{1, 16}, {0, 1}}, 35), {16, 1});
+  ASSERT_TRUE(dims.has_value());
+  EXPECT_EQ((*dims)[0].constant(), Rational(2));
+  EXPECT_EQ((*dims)[1].constant(), Rational(3));
+}
+
+TEST(DimSplit, NegativeConstantStaysEuclidean) {
+  // flat = 16*ly - 1 → dim0 -= 1, dim1 += 15 (remainder must be ≥ 0).
+  auto dims = splitByStrides(make({{1, 16}}, -1), {16, 1});
+  ASSERT_TRUE(dims.has_value());
+  EXPECT_EQ((*dims)[0].constant(), Rational(-1));
+  EXPECT_EQ((*dims)[1].constant(), Rational(15));
+}
+
+TEST(DimSplit, CoefficientMultipleOfStrideScales) {
+  // 32*ly with strides [8,1] → dim0 coeff 4 (4 rows per ly step).
+  auto dims = splitByStrides(make({{1, 32}}), {8, 1});
+  ASSERT_TRUE(dims.has_value());
+  EXPECT_EQ((*dims)[0].localIdCoeff(1), Rational(4));
+}
+
+TEST(DimSplit, ThreeDimensions) {
+  // flat = 64*lz + 8*ly + lx with strides [64, 8, 1].
+  auto dims = splitByStrides(make({{2, 64}, {1, 8}, {0, 1}}), {64, 8, 1});
+  ASSERT_TRUE(dims.has_value());
+  ASSERT_EQ(dims->size(), 3u);
+  EXPECT_EQ((*dims)[0].localIdCoeff(2), Rational(1));
+  EXPECT_EQ((*dims)[1].localIdCoeff(1), Rational(1));
+  EXPECT_EQ((*dims)[2].localIdCoeff(0), Rational(1));
+}
+
+TEST(DimSplit, NonIntegerCoefficientFails) {
+  LinearDecomp d;
+  d.addTerm(AtomKey::localId(0), Rational(1, 2));
+  EXPECT_FALSE(splitByStrides(d, {16, 1}).has_value());
+}
+
+// Property: splitting and re-flattening is the identity on the decomp.
+class DimSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimSplitProperty, SplitThenFlattenRoundTrips) {
+  const int seed = GetParam();
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 9973 + 7;
+  auto next = [&state](std::int64_t lo, std::int64_t hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<std::int64_t>((state >> 33) %
+                                          static_cast<std::uint64_t>(hi - lo));
+  };
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::int64_t stride = 1 << next(2, 6);  // 4..32
+    LinearDecomp flat = make({{0, next(0, 2) * stride ? stride : 1}}, 0);
+    flat = LinearDecomp{};
+    // Random flat index: a*stride*ly + b*lx + c with a,b small.
+    const std::int64_t a = next(1, 4);
+    const std::int64_t b = next(1, 2);
+    const std::int64_t c = next(-20, 20);
+    flat.addTerm(AtomKey::localId(1), Rational(a * stride));
+    flat.addTerm(AtomKey::localId(0), Rational(b));
+    flat.setConstant(Rational(c));
+    auto dims = splitByStrides(flat, {stride, 1});
+    ASSERT_TRUE(dims.has_value());
+    // Re-flatten: dim0*stride + dim1 must equal the original.
+    LinearDecomp reflat = (*dims)[0];
+    reflat.scale(Rational(stride));
+    reflat += (*dims)[1];
+    EXPECT_EQ(reflat, flat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DimSplitProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace grover::grv

@@ -1,0 +1,144 @@
+// Dominator tree + dominance frontiers on hand-built CFGs.
+#include "analysis/dominators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace grover::analysis {
+namespace {
+
+using namespace ir;
+
+class DomTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Module module{ctx, "test"};
+  IRBuilder builder{ctx};
+
+  Function* makeDiamond() {
+    // entry → (t | f) → merge → exit
+    Function* fn = module.addFunction("diamond", ctx.voidTy(), true);
+    Argument* c = fn->addArgument(ctx.boolTy(), "c");
+    BasicBlock* entry = fn->addBlock("entry");
+    BasicBlock* t = fn->addBlock("t");
+    BasicBlock* f = fn->addBlock("f");
+    BasicBlock* merge = fn->addBlock("merge");
+    builder.setInsertPoint(entry);
+    builder.createCondBr(c, t, f);
+    builder.setInsertPoint(t);
+    builder.createBr(merge);
+    builder.setInsertPoint(f);
+    builder.createBr(merge);
+    builder.setInsertPoint(merge);
+    builder.createRetVoid();
+    return fn;
+  }
+
+  Function* makeLoop() {
+    // entry → header ⇄ body; header → exit
+    Function* fn = module.addFunction("loop", ctx.voidTy(), true);
+    Argument* c = fn->addArgument(ctx.boolTy(), "c");
+    BasicBlock* entry = fn->addBlock("entry");
+    BasicBlock* header = fn->addBlock("header");
+    BasicBlock* body = fn->addBlock("body");
+    BasicBlock* exit = fn->addBlock("exit");
+    builder.setInsertPoint(entry);
+    builder.createBr(header);
+    builder.setInsertPoint(header);
+    builder.createCondBr(c, body, exit);
+    builder.setInsertPoint(body);
+    builder.createBr(header);
+    builder.setInsertPoint(exit);
+    builder.createRetVoid();
+    return fn;
+  }
+};
+
+TEST_F(DomTest, DiamondIdoms) {
+  Function* fn = makeDiamond();
+  DominatorTree dt(*fn);
+  auto blocks = fn->blockList();
+  BasicBlock* entry = blocks[0];
+  BasicBlock* t = blocks[1];
+  BasicBlock* f = blocks[2];
+  BasicBlock* merge = blocks[3];
+  EXPECT_EQ(dt.idom(entry), nullptr);
+  EXPECT_EQ(dt.idom(t), entry);
+  EXPECT_EQ(dt.idom(f), entry);
+  EXPECT_EQ(dt.idom(merge), entry);  // not t or f
+}
+
+TEST_F(DomTest, DiamondDominates) {
+  Function* fn = makeDiamond();
+  DominatorTree dt(*fn);
+  auto blocks = fn->blockList();
+  EXPECT_TRUE(dt.dominates(blocks[0], blocks[3]));
+  EXPECT_FALSE(dt.dominates(blocks[1], blocks[3]));
+  EXPECT_TRUE(dt.dominates(blocks[1], blocks[1]));  // reflexive
+  EXPECT_FALSE(dt.dominates(blocks[1], blocks[2]));
+}
+
+TEST_F(DomTest, DiamondFrontiers) {
+  Function* fn = makeDiamond();
+  DominatorTree dt(*fn);
+  auto blocks = fn->blockList();
+  BasicBlock* merge = blocks[3];
+  // t and f have merge in their frontier; entry and merge do not.
+  EXPECT_EQ(dt.frontier(blocks[1]), std::vector<BasicBlock*>{merge});
+  EXPECT_EQ(dt.frontier(blocks[2]), std::vector<BasicBlock*>{merge});
+  EXPECT_TRUE(dt.frontier(blocks[0]).empty());
+  EXPECT_TRUE(dt.frontier(merge).empty());
+}
+
+TEST_F(DomTest, LoopHeaderInItsOwnFrontierViaBody) {
+  Function* fn = makeLoop();
+  DominatorTree dt(*fn);
+  auto blocks = fn->blockList();
+  BasicBlock* header = blocks[1];
+  BasicBlock* body = blocks[2];
+  // The back edge puts the header in the body's frontier.
+  const auto& frontier = dt.frontier(body);
+  EXPECT_NE(std::find(frontier.begin(), frontier.end(), header),
+            frontier.end());
+  EXPECT_EQ(dt.idom(body), header);
+}
+
+TEST_F(DomTest, RpoStartsAtEntry) {
+  Function* fn = makeLoop();
+  DominatorTree dt(*fn);
+  ASSERT_FALSE(dt.rpo().empty());
+  EXPECT_EQ(dt.rpo().front(), fn->entry());
+  EXPECT_EQ(dt.rpo().size(), 4u);
+}
+
+TEST_F(DomTest, UnreachableBlockNotInTree) {
+  Function* fn = makeDiamond();
+  BasicBlock* dead = fn->addBlock("dead");
+  builder.setInsertPoint(dead);
+  builder.createRetVoid();
+  DominatorTree dt(*fn);
+  EXPECT_FALSE(dt.isReachable(dead));
+  EXPECT_EQ(dt.rpo().size(), 4u);
+}
+
+TEST_F(DomTest, ValueDominatesWithinBlock) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  builder.setInsertPoint(bb);
+  auto* first = ir::cast<Instruction>(builder.createAdd(a, a));
+  auto* second = ir::cast<Instruction>(builder.createAdd(first, a));
+  builder.createRetVoid();
+  DominatorTree dt(*fn);
+  EXPECT_TRUE(dt.valueDominates(first, second));
+  EXPECT_FALSE(dt.valueDominates(second, first));
+  EXPECT_TRUE(dt.valueDominates(a, first));           // arguments dominate
+  EXPECT_TRUE(dt.valueDominates(ctx.getInt32(1), first));  // constants too
+}
+
+}  // namespace
+}  // namespace grover::analysis

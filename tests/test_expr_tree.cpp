@@ -1,0 +1,118 @@
+// Index expression trees (paper Fig. 6) and Fig. 7 pattern classification.
+#include "grover/expr_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "grover/candidates.h"
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+
+namespace grover::grv {
+namespace {
+
+using namespace ir;
+
+struct Compiled {
+  Program program;
+  Value* lsIndex = nullptr;
+  Value* glIndex = nullptr;
+};
+
+/// Compile a staging kernel and return the LS / GL index values.
+Compiled compileIndex(const std::string& lsExpr, const std::string& glExpr) {
+  Compiled c;
+  const std::string src = R"(
+#define S 16
+__kernel void k(__global float* in, int W) {
+  __local float lm[4096];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  lm[)" + lsExpr + R"(] = in[)" + glExpr + R"(];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  in[0] = lm[0];
+}
+)";
+  c.program = compile(src);
+  auto cands = findCandidates(*c.program.kernel("k"));
+  EXPECT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].patternOK) << cands[0].reason;
+  c.lsIndex = cands[0].pairs[0].lsIndex;
+  c.glIndex = cands[0].pairs[0].glIndex;
+  return c;
+}
+
+TEST(ExprTree, BuildStopsAtLeaves) {
+  Compiled c = compileIndex("ly*S + lx", "(wy*S + ly)*W + wx*S + lx");
+  ExprTree tree = ExprTree::build(c.lsIndex);
+  // Root is the outer add; leaves are calls/constants.
+  EXPECT_GE(tree.size(), 5u);
+  for (ExprNode* leaf : tree.leaves()) {
+    EXPECT_TRUE(isExprLeaf(leaf->value));
+  }
+  // Parent links are consistent.
+  EXPECT_EQ(tree.root()->parent, nullptr);
+  for (ExprNode* child : tree.root()->children) {
+    EXPECT_EQ(child->parent, tree.root());
+  }
+}
+
+TEST(ExprTree, MarkDirtyUpward) {
+  Compiled c = compileIndex("ly*S + lx", "wx*S + lx");
+  ExprTree tree = ExprTree::build(c.lsIndex);
+  auto leaves = tree.leaves();
+  ASSERT_FALSE(leaves.empty());
+  ExprTree::markDirtyUpward(leaves.back());
+  // Every ancestor of that leaf (including the root) is marked.
+  EXPECT_TRUE(tree.root()->state);
+  ExprNode* node = leaves.back();
+  while (node != nullptr) {
+    EXPECT_TRUE(node->state);
+    node = node->parent;
+  }
+  // The first leaf on a different branch is not marked.
+  EXPECT_FALSE(leaves.front()->state);
+}
+
+TEST(ExprTree, RenderIndexExpr) {
+  Compiled c = compileIndex("ly*S + lx", "(wy*S + ly)*W + (wx*S + lx)");
+  const std::string ls = renderIndexExpr(c.lsIndex);
+  EXPECT_NE(ls.find("ly"), std::string::npos);
+  EXPECT_NE(ls.find("16"), std::string::npos);
+  EXPECT_NE(ls.find("lx"), std::string::npos);
+  const std::string gl = renderIndexExpr(c.glIndex);
+  EXPECT_NE(gl.find("W"), std::string::npos);
+  EXPECT_NE(gl.find("wy"), std::string::npos);
+}
+
+TEST(ExprTree, ClassifyPlusMul) {
+  Compiled c = compileIndex("ly*S + lx", "wx*S + lx");
+  EXPECT_EQ(classifyIndexPattern(c.lsIndex), IndexPattern::PlusMul);
+}
+
+TEST(ExprTree, ClassifySimple) {
+  Compiled c = compileIndex("lx", "wx*S + lx");
+  EXPECT_EQ(classifyIndexPattern(c.lsIndex), IndexPattern::Simple);
+}
+
+TEST(ExprTree, ClassifyConstant) {
+  Compiled c = compileIndex("0", "wx*S + lx");
+  EXPECT_EQ(classifyIndexPattern(c.lsIndex), IndexPattern::Constant);
+}
+
+TEST(ExprTree, ClassifyDerivedPlus) {
+  // (L1 + H*S) + L2 — Fig. 7(b)'s '+ → + → *'.
+  Compiled c = compileIndex("(lx + ly*S) + 1", "wx*S + lx");
+  const IndexPattern p = classifyIndexPattern(c.lsIndex);
+  EXPECT_TRUE(p == IndexPattern::DerivedPlus || p == IndexPattern::PlusMul)
+      << toString(p);
+}
+
+TEST(ExprTree, ShlCountsAsStrideMul) {
+  Compiled c = compileIndex("(ly << 4) + lx", "wx*S + lx");
+  EXPECT_EQ(classifyIndexPattern(c.lsIndex), IndexPattern::PlusMul);
+}
+
+}  // namespace
+}  // namespace grover::grv

@@ -1,0 +1,319 @@
+// The Grover pass end-to-end: transformations, refusals, cleanup,
+// and semantic equivalence of the rewritten kernels.
+#include "grover/grover_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/barrier_elim.h"
+#include "rt/interpreter.h"
+
+namespace grover::grv {
+namespace {
+
+using namespace ir;
+
+bool hasLocalAlloca(Function& fn) {
+  for (const auto& inst : *fn.entry()) {
+    if (const auto* a = dyn_cast<AllocaInst>(inst.get())) {
+      if (a->space() == AddrSpace::Local) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t barrierCount(Function& fn) {
+  std::size_t n = 0;
+  for (BasicBlock* bb : fn.blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+const char* kTransposeSrc = R"(
+#define S 16
+__kernel void mt(__global float* out, __global float* in, int W, int H) {
+  __local float tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[get_global_id(1)*W + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wx*S + ly)*H + (wy*S + lx)] = tile[lx][ly];
+}
+)";
+
+TEST(Grover, TransformsMatrixTranspose) {
+  auto program = compile(kTransposeSrc);
+  Function* fn = program.kernel("mt");
+  GroverResult result = runGrover(*fn);
+  verifyFunction(*fn);
+  ASSERT_EQ(result.buffers.size(), 1u);
+  EXPECT_TRUE(result.buffers[0].transformed);
+  EXPECT_TRUE(result.anyTransformed);
+  EXPECT_TRUE(result.barriersRemoved);
+  EXPECT_FALSE(hasLocalAlloca(*fn));
+  EXPECT_EQ(barrierCount(*fn), 0u);
+}
+
+TEST(Grover, TransposeIndexReportMatchesPaperTable3) {
+  // Paper Table III, NVD-MT row: LS (lx,ly..) ↔ LL swapped, and the
+  // solution is the swap (lx := ly, ly := lx).
+  auto program = compile(kTransposeSrc);
+  Function* fn = program.kernel("mt");
+  GroverResult result = runGrover(*fn);
+  const BufferResult& b = result.forBuffer("tile");
+  EXPECT_EQ(b.lsIndex, "(ly, lx)");
+  EXPECT_EQ(b.llIndex, "(lx, ly)");
+  EXPECT_EQ(b.solution, "lx := ly, ly := lx");
+  EXPECT_EQ(b.lsPattern, IndexPattern::PlusMul);
+  // The new global load swaps the local ids inside the original address.
+  EXPECT_NE(b.nglIndex.find("lx"), std::string::npos);
+  EXPECT_NE(b.nglIndex.find("ly"), std::string::npos);
+  EXPECT_NE(b.nglIndex.find("W"), std::string::npos);
+}
+
+TEST(Grover, TransformedTransposeComputesSameResult) {
+  const unsigned n = 32;
+  std::vector<float> in(n * n);
+  for (unsigned i = 0; i < n * n; ++i) in[i] = static_cast<float>(i) * 0.5F;
+
+  auto runVersion = [&](bool transform) {
+    auto program = compile(kTransposeSrc);
+    Function* fn = program.kernel("mt");
+    if (transform) {
+      EXPECT_TRUE(runGrover(*fn).anyTransformed);
+      verifyFunction(*fn);
+    }
+    rt::Buffer bufIn = rt::Buffer::fromVector(in);
+    rt::Buffer bufOut = rt::Buffer::zeros<float>(n * n);
+    rt::Launch launch(*fn, rt::NDRange::make2D(n, n, 16, 16),
+                      {rt::KernelArg::buffer(&bufOut),
+                       rt::KernelArg::buffer(&bufIn),
+                       rt::KernelArg::int32(static_cast<std::int32_t>(n)),
+                       rt::KernelArg::int32(static_cast<std::int32_t>(n))});
+    launch.run();
+    return bufOut.toVector<float>();
+  };
+
+  EXPECT_EQ(runVersion(false), runVersion(true));
+}
+
+TEST(Grover, RefusesNonUniqueSolution) {
+  // LS index lx+ly is not invertible per dimension: singular system.
+  auto program = compile(R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[32];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  lm[lx + ly] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[0];
+})");
+  Function* fn = program.kernel("k");
+  GroverResult result = runGrover(*fn);
+  ASSERT_EQ(result.buffers.size(), 1u);
+  EXPECT_FALSE(result.buffers[0].transformed);
+  EXPECT_FALSE(result.anyTransformed);
+  verifyFunction(*fn);
+  EXPECT_TRUE(hasLocalAlloca(*fn));   // untouched
+  EXPECT_EQ(barrierCount(*fn), 1u);   // barrier kept
+}
+
+TEST(Grover, RefusesReductionPattern) {
+  // Local memory as temporal read/write storage (paper §VI-D).
+  auto program = compile(R"(
+__kernel void reduce(__global float* in, __global float* out) {
+  __local float scratch[64];
+  int lx = get_local_id(0);
+  scratch[lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 32; s > 0; s = s / 2) {
+    if (lx < s) {
+      scratch[lx] = scratch[lx] + scratch[lx + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lx == 0) out[get_group_id(0)] = scratch[0];
+})");
+  Function* fn = program.kernel("reduce");
+  GroverResult result = runGrover(*fn);
+  ASSERT_EQ(result.buffers.size(), 1u);
+  EXPECT_FALSE(result.buffers[0].transformed);
+  EXPECT_NE(result.buffers[0].reason.find("staging"), std::string::npos);
+  verifyFunction(*fn);
+}
+
+TEST(Grover, OnlyBuffersSelectsSubset) {
+  auto program = compile(R"(
+#define S 8
+__kernel void two(__global float* a, __global float* b, __global float* out) {
+  __local float la[S];
+  __local float lb[S];
+  int lx = get_local_id(0);
+  la[lx] = a[get_global_id(0)];
+  lb[lx] = b[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = la[S-1-lx] + lb[S-1-lx];
+})");
+  Function* fn = program.kernel("two");
+  GroverOptions options;
+  options.onlyBuffers = {"la"};
+  GroverResult result = runGrover(*fn, options);
+  EXPECT_TRUE(result.forBuffer("la").transformed);
+  EXPECT_FALSE(result.forBuffer("lb").transformed);
+  EXPECT_TRUE(hasLocalAlloca(*fn));      // lb remains
+  EXPECT_EQ(barrierCount(*fn), 1u);      // barrier still required for lb
+  verifyFunction(*fn);
+}
+
+TEST(Grover, LoopVariableLlIndex) {
+  // N-body style: LL index is a loop variable; solution lx := j.
+  auto program = compile(R"(
+#define S 16
+__kernel void nb(__global float* pos, __global float* out, int N) {
+  __local float tile[S];
+  int lx = get_local_id(0);
+  float acc = 0.0f;
+  for (int t = 0; t < N/S; ++t) {
+    tile[lx] = pos[t*S + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int j = 0; j < S; ++j) {
+      acc += tile[j];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = acc;
+})");
+  Function* fn = program.kernel("nb");
+  GroverResult result = runGrover(*fn);
+  ASSERT_TRUE(result.forBuffer("tile").transformed);
+  EXPECT_FALSE(hasLocalAlloca(*fn));
+  EXPECT_EQ(barrierCount(*fn), 0u);
+  verifyFunction(*fn);
+  // The solution maps lx to the loop variable.
+  EXPECT_NE(result.forBuffer("tile").solution.find("lx := "),
+            std::string::npos);
+}
+
+TEST(Grover, HaloStagingUsesMatchingPair) {
+  // Multi-pass staging (stencil halo): every LL must resolve through a
+  // pair that yields a consistent correspondence.
+  auto program = compile(R"(
+#define S 16
+__kernel void st(__global float* out, __global float* in, int W) {
+  __local float tile[S+2];
+  int lx = get_local_id(0);
+  int gx = get_global_id(0) + 1;
+  tile[lx+1] = in[gx];
+  if (lx == 0)   tile[0]   = in[gx - 1];
+  if (lx == S-1) tile[S+1] = in[gx + 1];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[gx] = tile[lx] + tile[lx+1] + tile[lx+2];
+})");
+  Function* fn = program.kernel("st");
+  GroverResult result = runGrover(*fn);
+  ASSERT_TRUE(result.forBuffer("tile").transformed);
+  verifyFunction(*fn);
+
+  // Execute both versions and compare.
+  const unsigned n = 64;
+  std::vector<float> in(n + 2);
+  for (unsigned i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i * i % 37);
+  auto runVersion = [&](bool transform) {
+    auto p2 = compile(R"(
+#define S 16
+__kernel void st(__global float* out, __global float* in, int W) {
+  __local float tile[S+2];
+  int lx = get_local_id(0);
+  int gx = get_global_id(0) + 1;
+  tile[lx+1] = in[gx];
+  if (lx == 0)   tile[0]   = in[gx - 1];
+  if (lx == S-1) tile[S+1] = in[gx + 1];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[gx] = tile[lx] + tile[lx+1] + tile[lx+2];
+})");
+    Function* k = p2.kernel("st");
+    if (transform) EXPECT_TRUE(runGrover(*k).anyTransformed);
+    rt::Buffer bufIn = rt::Buffer::fromVector(in);
+    rt::Buffer bufOut = rt::Buffer::zeros<float>(n + 2);
+    rt::Launch launch(*k, rt::NDRange::make1D(n, 16),
+                      {rt::KernelArg::buffer(&bufOut),
+                       rt::KernelArg::buffer(&bufIn),
+                       rt::KernelArg::int32(static_cast<std::int32_t>(n + 2))});
+    launch.run();
+    return bufOut.toVector<float>();
+  };
+  EXPECT_EQ(runVersion(false), runVersion(true));
+}
+
+TEST(Grover, NoCleanupKeepsDeadStagingChain) {
+  auto program = compile(kTransposeSrc);
+  Function* fn = program.kernel("mt");
+  GroverOptions options;
+  options.cleanup = false;
+  options.removeBarriers = false;
+  GroverResult result = runGrover(*fn, options);
+  EXPECT_TRUE(result.anyTransformed);
+  verifyFunction(*fn);
+  // Without cleanup the buffer alloca and barrier remain.
+  EXPECT_TRUE(hasLocalAlloca(*fn));
+  EXPECT_EQ(barrierCount(*fn), 1u);
+}
+
+TEST(Grover, PassAdapterReportsChange) {
+  auto program = compile(kTransposeSrc);
+  Function* fn = program.kernel("mt");
+  GroverPass pass;
+  EXPECT_TRUE(pass.run(*fn));
+  EXPECT_TRUE(pass.lastResult().anyTransformed);
+  // A second run finds nothing left to do.
+  GroverPass pass2;
+  EXPECT_FALSE(pass2.run(*fn));
+}
+
+TEST(Grover, SharedPatternStringHasZeroWorkGroupTerm) {
+  // AMD-SS-like: the staged data is shared by all groups; the nGL index
+  // must not contain any work-group term (Table III's zero rows).
+  auto program = compile(R"(
+#define PLEN 16
+__kernel void ss(__global int* text, __global int* pattern, __global int* out) {
+  __local int lpat[PLEN];
+  int lx = get_local_id(0);
+  if (lx < PLEN) lpat[lx] = pattern[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int ok = 1;
+  for (int j = 0; j < PLEN; ++j) {
+    if (text[get_global_id(0) + j] != lpat[j]) ok = 0;
+  }
+  out[get_global_id(0)] = ok;
+})");
+  Function* fn = program.kernel("ss");
+  GroverResult result = runGrover(*fn);
+  const BufferResult& b = result.forBuffer("lpat");
+  ASSERT_TRUE(b.transformed) << b.reason;
+  EXPECT_EQ(b.nglIndex.find("wx"), std::string::npos);
+  EXPECT_EQ(b.nglIndex.find("wy"), std::string::npos);
+  verifyFunction(*fn);
+}
+
+TEST(Grover, GeneratedCodeNeverGrowsUnbounded) {
+  // Rewriting shares subexpressions (Algorithm 1 reuse): the transformed
+  // transpose must not be much larger than the original.
+  auto program = compile(kTransposeSrc);
+  Function* fn = program.kernel("mt");
+  const std::size_t before = fn->instructionCount();
+  runGrover(*fn);
+  EXPECT_LE(fn->instructionCount(), before + 4);
+}
+
+}  // namespace
+}  // namespace grover::grv

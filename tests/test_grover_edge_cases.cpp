@@ -1,0 +1,229 @@
+// Grover edge cases beyond the 11 benchmarks: 3-D indexes, shift-based
+// strides, offsets, double buffers, global-id staging, scaled indexes.
+#include <gtest/gtest.h>
+
+#include "grover/grover_pass.h"
+#include "grovercl/compiler.h"
+#include "ir/verifier.h"
+#include "rt/interpreter.h"
+
+namespace grover::grv {
+namespace {
+
+/// Compile, transform, execute both versions over the NDRange and expect
+/// identical output buffers.
+void expectEquivalent(const std::string& src, const std::string& kernelName,
+                      const rt::NDRange& range, std::size_t ioFloats,
+                      bool expectTransform = true) {
+  std::vector<float> input(ioFloats);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>((i * 2654435761u) % 1000) * 0.25F;
+  }
+  auto runVersion = [&](bool transform) {
+    Program program = compile(src);
+    ir::Function* fn = program.kernel(kernelName);
+    EXPECT_NE(fn, nullptr);
+    if (transform) {
+      GroverResult result = runGrover(*fn);
+      EXPECT_EQ(result.anyTransformed, expectTransform)
+          << (result.buffers.empty() ? "no buffers"
+                                     : result.buffers[0].reason);
+      ir::verifyFunction(*fn);
+    }
+    rt::Buffer in = rt::Buffer::fromVector(input);
+    rt::Buffer out = rt::Buffer::zeros<float>(ioFloats);
+    rt::Launch launch(*fn, range,
+                      {rt::KernelArg::buffer(&out), rt::KernelArg::buffer(&in)});
+    launch.run();
+    return out.toVector<float>();
+  };
+  EXPECT_EQ(runVersion(false), runVersion(true));
+}
+
+TEST(GroverEdge, ThreeDimensionalTile) {
+  const char* src = R"(
+__kernel void t3(__global float* out, __global float* in) {
+  __local float tile[4][4][4];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int lz = get_local_id(2);
+  int flat = (get_global_id(2)*16 + get_global_id(1)*4) + get_global_id(0);
+  tile[lz][ly][lx] = in[flat];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[flat] = tile[lx][lz][ly];   // 3-D permutation
+})";
+  rt::NDRange range;
+  range.dims = 3;
+  range.global = {4, 4, 4};
+  range.local = {4, 4, 4};
+  expectEquivalent(src, "t3", range, 64);
+}
+
+TEST(GroverEdge, ShiftBasedIndexing) {
+  const char* src = R"(
+__kernel void sh(__global float* out, __global float* in) {
+  __local float tile[8][8];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  tile[ly][lx] = in[(get_global_id(1) << 5) + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(get_global_id(1) << 5) + get_global_id(0)] = tile[lx][ly];
+})";
+  expectEquivalent(src, "sh", rt::NDRange::make2D(32, 32, 8, 8), 32 * 32);
+}
+
+TEST(GroverEdge, ConstantOffsetInBothIndexes) {
+  const char* src = R"(
+__kernel void off(__global float* out, __global float* in) {
+  __local float tile[20];
+  int lx = get_local_id(0);
+  tile[lx + 2] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tile[17 - lx];
+})";
+  expectEquivalent(src, "off", rt::NDRange::make1D(64, 16), 64);
+}
+
+TEST(GroverEdge, TwoBuffersBothTransformed) {
+  const char* src = R"(
+__kernel void two(__global float* out, __global float* in) {
+  __local float a[16];
+  __local float b[16];
+  int lx = get_local_id(0);
+  a[lx] = in[get_global_id(0)];
+  b[15 - lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = a[15 - lx] + b[lx];
+})";
+  expectEquivalent(src, "two", rt::NDRange::make1D(64, 16), 64);
+}
+
+TEST(GroverEdge, ScaledLocalIdIndex) {
+  // Each work-item stages two elements at 2*lx and 2*lx+1.
+  const char* src = R"(
+__kernel void sc2(__global float* out, __global float* in) {
+  __local float tile[32];
+  int lx = get_local_id(0);
+  int base = get_group_id(0)*32;
+  tile[2*lx]     = in[base + 2*lx];
+  tile[2*lx + 1] = in[base + 2*lx + 1];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[base + 2*lx]     = tile[31 - 2*lx];
+  out[base + 2*lx + 1] = tile[30 - 2*lx];
+})";
+  expectEquivalent(src, "sc2", rt::NDRange::make1D(64, 16), 128);
+}
+
+TEST(GroverEdge, RefusesWhenRaceWouldBeIntroduced) {
+  // The GL depends on lx but the LS index does not (all work-items write
+  // slot ly): the dim-0 index is not determined — must refuse.
+  const char* src = R"(
+__kernel void race(__global float* out, __global float* in) {
+  __local float tile[16];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  tile[ly] = in[get_global_id(1)*64 + get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(1)*64 + get_global_id(0)] = tile[ly];
+})";
+  Program program = compile(src);
+  ir::Function* fn = program.kernel("race");
+  GroverResult result = runGrover(*fn);
+  EXPECT_FALSE(result.anyTransformed);
+  ir::verifyFunction(*fn);
+}
+
+TEST(GroverEdge, NonAffineLocalLoadIndexRefused) {
+  const char* src = R"(
+__kernel void na(__global float* out, __global float* in) {
+  __local float tile[16];
+  int lx = get_local_id(0);
+  tile[lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tile[(lx * lx) % 16];
+})";
+  Program program = compile(src);
+  ir::Function* fn = program.kernel("na");
+  GroverResult result = runGrover(*fn);
+  EXPECT_FALSE(result.anyTransformed);
+  EXPECT_NE(result.buffers[0].reason.find("affine"), std::string::npos);
+}
+
+TEST(GroverEdge, KernelWithoutLocalMemoryIsNoOp) {
+  Program program = compile(R"(
+__kernel void plain(__global float* out) {
+  out[get_global_id(0)] = 3.0f;
+})");
+  ir::Function* fn = program.kernel("plain");
+  GroverResult result = runGrover(*fn);
+  EXPECT_TRUE(result.buffers.empty());
+  EXPECT_FALSE(result.anyTransformed);
+}
+
+TEST(GroverEdge, GroupIdOffsetsSurviveSubstitution) {
+  // Neighbor-group staging: group g stages from block g+1.
+  const char* src = R"(
+__kernel void nb(__global float* out, __global float* in) {
+  __local float tile[16];
+  int lx = get_local_id(0);
+  int wx = get_group_id(0);
+  tile[lx] = in[(wx + 1)*16 + lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tile[15 - lx];
+})";
+  // 3 groups read blocks 1..3 → input needs 4 blocks; outputs 48 floats.
+  std::vector<float> input(64);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  auto runVersion = [&](bool transform) {
+    Program program = compile(src);
+    ir::Function* fn = program.kernel("nb");
+    if (transform) {
+      EXPECT_TRUE(runGrover(*fn).anyTransformed);
+    }
+    rt::Buffer in = rt::Buffer::fromVector(input);
+    rt::Buffer out = rt::Buffer::zeros<float>(48);
+    rt::Launch launch(*fn, rt::NDRange::make1D(48, 16),
+                      {rt::KernelArg::buffer(&out), rt::KernelArg::buffer(&in)});
+    launch.run();
+    return out.toVector<float>();
+  };
+  EXPECT_EQ(runVersion(false), runVersion(true));
+}
+
+TEST(GroverEdge, CseFoldsRematerializedQueries) {
+  // After the transformation + cleanup, each id query appears at most
+  // once in the kernel.
+  Program program = compile(R"(
+#define S 16
+__kernel void mt(__global float* out, __global float* in, int W, int H) {
+  __local float tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[(wy*S + ly)*W + (wx*S + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wx*S + ly)*H + (wy*S + lx)] = tile[lx][ly];
+})");
+  ir::Function* fn = program.kernel("mt");
+  runGrover(*fn);
+  std::map<std::pair<int, int>, int> queryCount;
+  for (ir::BasicBlock* bb : fn->blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = ir::dyn_cast<ir::CallInst>(inst.get())) {
+        if (auto dim = call->constDimension()) {
+          ++queryCount[{static_cast<int>(call->builtin()),
+                        static_cast<int>(*dim)}];
+        }
+      }
+    }
+  }
+  for (const auto& [key, count] : queryCount) {
+    EXPECT_EQ(count, 1) << "builtin " << key.first << " dim " << key.second;
+  }
+}
+
+}  // namespace
+}  // namespace grover::grv

@@ -1,0 +1,49 @@
+// The auto-tuning harness (the paper's proposed use of Grover).
+#include "grovercl/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+
+namespace grover {
+namespace {
+
+TEST(Harness, PrepareKernelPairKeepsOriginalIntact) {
+  const auto& app = apps::applicationById("NVD-MT");
+  KernelPair pair = prepareKernelPair(app);
+  // The original still uses local memory; the transformed copy does not.
+  EXPECT_GT(pair.originalKernel->instructionCount(), 0u);
+  EXPECT_TRUE(pair.groverResult.anyTransformed);
+  EXPECT_NE(pair.originalKernel, pair.transformedKernel);
+}
+
+TEST(Harness, ComparePerformanceProducesConsistentRatio) {
+  const auto& app = apps::applicationById("NVD-MT");
+  PerfComparison cmp =
+      comparePerformance(app, perf::snb(), apps::Scale::Test);
+  EXPECT_GT(cmp.cyclesWithLM, 0);
+  EXPECT_GT(cmp.cyclesWithoutLM, 0);
+  EXPECT_DOUBLE_EQ(cmp.normalized, cmp.cyclesWithLM / cmp.cyclesWithoutLM);
+  EXPECT_EQ(cmp.outcome, perf::classify(cmp.normalized));
+}
+
+TEST(Harness, AutotunePicksTheFasterVersion) {
+  const auto& app = apps::applicationById("NVD-MT");
+  // On the GPU models the staged (with-LM) transpose wins; on SNB the
+  // Grover version wins — the paper's headline observation.
+  EXPECT_EQ(autotune(app, perf::fermi(), apps::Scale::Test),
+            "with-local-memory");
+  EXPECT_EQ(autotune(app, perf::snb(), apps::Scale::Test),
+            "without-local-memory");
+}
+
+TEST(Harness, EstimatesAreDeterministic) {
+  const auto& app = apps::applicationById("AMD-RG");
+  PerfComparison a = comparePerformance(app, perf::nehalem(), apps::Scale::Test);
+  PerfComparison b = comparePerformance(app, perf::nehalem(), apps::Scale::Test);
+  EXPECT_DOUBLE_EQ(a.cyclesWithLM, b.cyclesWithLM);
+  EXPECT_DOUBLE_EQ(a.cyclesWithoutLM, b.cyclesWithoutLM);
+}
+
+}  // namespace
+}  // namespace grover

@@ -1,0 +1,253 @@
+// The NDRange execution engine: id queries, barrier semantics, memory,
+// divergence errors, instruction counters.
+#include "rt/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "support/diagnostics.h"
+
+namespace grover::rt {
+namespace {
+
+TEST(Interpreter, IdQueriesAreConsistent) {
+  auto program = compile(R"(
+__kernel void ids(__global int* gid, __global int* lid, __global int* wid,
+                  __global int* sizes) {
+  int i = get_global_id(0);
+  gid[i] = i;
+  lid[i] = get_local_id(0);
+  wid[i] = get_group_id(0);
+  if (i == 0) {
+    sizes[0] = get_global_size(0);
+    sizes[1] = get_local_size(0);
+    sizes[2] = get_num_groups(0);
+    sizes[3] = get_work_dim();
+  }
+})");
+  ir::Function* fn = program.kernel("ids");
+  Buffer gid = Buffer::zeros<std::int32_t>(16);
+  Buffer lid = Buffer::zeros<std::int32_t>(16);
+  Buffer wid = Buffer::zeros<std::int32_t>(16);
+  Buffer sizes = Buffer::zeros<std::int32_t>(4);
+  Launch launch(*fn, NDRange::make1D(16, 4),
+                {KernelArg::buffer(&gid), KernelArg::buffer(&lid),
+                 KernelArg::buffer(&wid), KernelArg::buffer(&sizes)});
+  launch.run();
+  const auto g = gid.toVector<std::int32_t>();
+  const auto l = lid.toVector<std::int32_t>();
+  const auto w = wid.toVector<std::int32_t>();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(g[i], i);
+    EXPECT_EQ(l[i], i % 4);
+    EXPECT_EQ(w[i], i / 4);
+    EXPECT_EQ(g[i], w[i] * 4 + l[i]);
+  }
+  EXPECT_EQ(sizes.toVector<std::int32_t>(),
+            (std::vector<std::int32_t>{16, 4, 4, 1}));
+}
+
+TEST(Interpreter, BarrierMakesStoresVisibleAcrossWorkItems) {
+  // Reverse within a group through local memory — only correct if the
+  // barrier really separates the two phases.
+  auto program = compile(R"(
+__kernel void rev(__global int* data) {
+  __local int lm[8];
+  int lx = get_local_id(0);
+  int i = get_global_id(0);
+  lm[lx] = data[i];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  data[i] = lm[7 - lx];
+})");
+  ir::Function* fn = program.kernel("rev");
+  std::vector<std::int32_t> host{0, 1, 2, 3, 4, 5, 6, 7,
+                                 10, 11, 12, 13, 14, 15, 16, 17};
+  Buffer data = Buffer::fromVector(host);
+  Launch launch(*fn, NDRange::make1D(16, 8), {KernelArg::buffer(&data)});
+  launch.run();
+  EXPECT_EQ(data.toVector<std::int32_t>(),
+            (std::vector<std::int32_t>{7, 6, 5, 4, 3, 2, 1, 0,
+                                       17, 16, 15, 14, 13, 12, 11, 10}));
+}
+
+TEST(Interpreter, MultipleBarriersInLoop) {
+  auto program = compile(R"(
+__kernel void ring(__global int* data, int rounds) {
+  __local int lm[4];
+  int lx = get_local_id(0);
+  int v = data[get_global_id(0)];
+  for (int r = 0; r < rounds; ++r) {
+    lm[lx] = v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    v = lm[(lx + 1) % 4];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  data[get_global_id(0)] = v;
+})");
+  ir::Function* fn = program.kernel("ring");
+  Buffer data = Buffer::fromVector(std::vector<std::int32_t>{1, 2, 3, 4});
+  Launch launch(*fn, NDRange::make1D(4, 4),
+                {KernelArg::buffer(&data), KernelArg::int32(4)});
+  launch.run();
+  // After 4 rotations by one, values return to start.
+  EXPECT_EQ(data.toVector<std::int32_t>(),
+            (std::vector<std::int32_t>{1, 2, 3, 4}));
+}
+
+TEST(Interpreter, BarrierDivergenceIsAnError) {
+  auto program = compile(R"(
+__kernel void bad(__global int* out) {
+  int lx = get_local_id(0);
+  if (lx < 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = lx;
+})");
+  ir::Function* fn = program.kernel("bad");
+  Buffer out = Buffer::zeros<std::int32_t>(4);
+  Launch launch(*fn, NDRange::make1D(4, 4), {KernelArg::buffer(&out)});
+  EXPECT_THROW(launch.run(), GroverError);
+}
+
+TEST(Interpreter, OutOfBoundsGlobalAccessThrows) {
+  auto program = compile(R"(
+__kernel void oob(__global int* out) {
+  out[get_global_id(0) + 100] = 1;
+})");
+  ir::Function* fn = program.kernel("oob");
+  Buffer out = Buffer::zeros<std::int32_t>(4);
+  Launch launch(*fn, NDRange::make1D(4, 4), {KernelArg::buffer(&out)});
+  EXPECT_THROW(launch.run(), GroverError);
+}
+
+TEST(Interpreter, WrongArgumentCountThrows) {
+  auto program = compile("__kernel void k(__global int* out, int n) {}");
+  ir::Function* fn = program.kernel("k");
+  Buffer out = Buffer::zeros<std::int32_t>(4);
+  EXPECT_THROW(
+      Launch(*fn, NDRange::make1D(4, 4), {KernelArg::buffer(&out)}),
+      GroverError);
+}
+
+TEST(Interpreter, ArgumentTypeMismatchThrows) {
+  auto program = compile("__kernel void k(__global int* out, int n) {}");
+  ir::Function* fn = program.kernel("k");
+  Buffer out = Buffer::zeros<std::int32_t>(4);
+  EXPECT_THROW(Launch(*fn, NDRange::make1D(4, 4),
+                      {KernelArg::buffer(&out), KernelArg::float32(1.0F)}),
+               GroverError);
+}
+
+TEST(Interpreter, InstCountersClassifyAccesses) {
+  auto program = compile(R"(
+__kernel void count(__global float* out) {
+  __local float lm[4];
+  int lx = get_local_id(0);
+  lm[lx] = out[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[3 - lx] * 2.0f;
+})");
+  ir::Function* fn = program.kernel("count");
+  Buffer out = Buffer::zeros<float>(4);
+  Launch launch(*fn, NDRange::make1D(4, 4), {KernelArg::buffer(&out)});
+  InstCounters counters = launch.run();
+  EXPECT_EQ(counters.globalLoad, 4u);
+  EXPECT_EQ(counters.globalStore, 4u);
+  EXPECT_EQ(counters.localLoad, 4u);
+  EXPECT_EQ(counters.localStore, 4u);
+  EXPECT_EQ(counters.barrier, 4u);
+  EXPECT_GT(counters.floatAlu, 0u);
+  EXPECT_GT(counters.total(), 20u);
+}
+
+TEST(Interpreter, TwoDimensionalRange) {
+  auto program = compile(R"(
+__kernel void grid(__global int* out, int w) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  out[y*w + x] = y*100 + x;
+})");
+  ir::Function* fn = program.kernel("grid");
+  Buffer out = Buffer::zeros<std::int32_t>(8 * 4);
+  Launch launch(*fn, NDRange::make2D(8, 4, 4, 2),
+                {KernelArg::buffer(&out), KernelArg::int32(8)});
+  launch.run();
+  const auto v = out.toVector<std::int32_t>();
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(v[y * 8 + x], y * 100 + x);
+    }
+  }
+}
+
+TEST(Interpreter, MultithreadedMatchesSequential) {
+  auto program = compile(R"(
+__kernel void sq(__global float* out) {
+  int i = get_global_id(0);
+  out[i] = (float)i * (float)i;
+})");
+  ir::Function* fn = program.kernel("sq");
+  Buffer out1 = Buffer::zeros<float>(256);
+  Launch l1(*fn, NDRange::make1D(256, 16), {KernelArg::buffer(&out1)});
+  l1.run(1);
+  Buffer out2 = Buffer::zeros<float>(256);
+  Launch l2(*fn, NDRange::make1D(256, 16), {KernelArg::buffer(&out2)});
+  l2.run(4);
+  EXPECT_EQ(out1.toVector<float>(), out2.toVector<float>());
+}
+
+TEST(Interpreter, GroupSamplingRunsSubset) {
+  auto program = compile(R"(
+__kernel void mark(__global int* out) {
+  out[get_global_id(0)] = 1;
+})");
+  ir::Function* fn = program.kernel("mark");
+  Buffer out = Buffer::zeros<std::int32_t>(64);
+  Launch launch(*fn, NDRange::make1D(64, 8), {KernelArg::buffer(&out)});
+  launch.setGroupSampling(2);  // every other group
+  launch.run();
+  const auto v = out.toVector<std::int32_t>();
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(v[g * 8 + i], g % 2 == 0 ? 1 : 0);
+    }
+  }
+}
+
+TEST(Interpreter, NDRangeValidation) {
+  EXPECT_THROW(NDRange::make1D(10, 3), GroverError);   // not divisible
+  EXPECT_THROW(NDRange::make1D(0, 1), GroverError);    // empty
+  NDRange r = NDRange::make2D(32, 16, 8, 4);
+  EXPECT_EQ(r.totalGroups(), 16u);
+  EXPECT_EQ(r.groupSize(), 32u);
+  EXPECT_EQ(r.totalWorkItems(), 512u);
+}
+
+TEST(Interpreter, LocalArenaIsZeroInitializedPerGroup) {
+  auto program = compile(R"(
+__kernel void zinit(__global int* out) {
+  __local int lm[4];
+  int lx = get_local_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[lx];   // never written: must read 0
+  lm[lx] = 77;                       // pollute for the next group
+})");
+  ir::Function* fn = program.kernel("zinit");
+  Buffer out = Buffer::fromVector(std::vector<std::int32_t>(8, -1));
+  Launch launch(*fn, NDRange::make1D(8, 4), {KernelArg::buffer(&out)});
+  launch.run();
+  EXPECT_EQ(out.toVector<std::int32_t>(),
+            (std::vector<std::int32_t>(8, 0)));
+}
+
+TEST(Buffer, TypedAccessors) {
+  Buffer b = Buffer::fromVector(std::vector<float>{1.0F, 2.0F});
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_FLOAT_EQ(b.at<float>(1), 2.0F);
+  EXPECT_THROW(b.at<float>(2), GroverError);
+  Buffer odd(6);
+  EXPECT_THROW(odd.toVector<float>(), GroverError);
+}
+
+}  // namespace
+}  // namespace grover::rt

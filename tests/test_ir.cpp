@@ -1,0 +1,213 @@
+// IR core: types, constants, use lists, RAUW, builder, cloning.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/casting.h"
+#include "ir/context.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+namespace {
+
+class IrTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Module module{ctx, "test"};
+};
+
+TEST_F(IrTest, TypesAreInterned) {
+  EXPECT_EQ(ctx.int32Ty(), ctx.int32Ty());
+  EXPECT_EQ(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global),
+            ctx.pointerTy(ctx.floatTy(), AddrSpace::Global));
+  EXPECT_NE(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global),
+            ctx.pointerTy(ctx.floatTy(), AddrSpace::Local));
+  EXPECT_EQ(ctx.vectorTy(ctx.floatTy(), 4), ctx.vectorTy(ctx.floatTy(), 4));
+  EXPECT_NE(ctx.vectorTy(ctx.floatTy(), 4), ctx.vectorTy(ctx.floatTy(), 2));
+}
+
+TEST_F(IrTest, TypeSizes) {
+  EXPECT_EQ(ctx.boolTy()->sizeInBytes(), 1u);
+  EXPECT_EQ(ctx.int32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(ctx.int64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(ctx.floatTy()->sizeInBytes(), 4u);
+  EXPECT_EQ(ctx.doubleTy()->sizeInBytes(), 8u);
+  EXPECT_EQ(ctx.vectorTy(ctx.floatTy(), 4)->sizeInBytes(), 16u);
+  EXPECT_EQ(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global)->sizeInBytes(),
+            8u);
+  EXPECT_THROW(ctx.voidTy()->sizeInBytes(), GroverError);
+}
+
+TEST_F(IrTest, TypePredicates) {
+  EXPECT_TRUE(ctx.int32Ty()->isInteger());
+  EXPECT_TRUE(ctx.boolTy()->isInteger());
+  EXPECT_TRUE(ctx.floatTy()->isFloatingPoint());
+  EXPECT_TRUE(ctx.vectorTy(ctx.int32Ty(), 4)->isVector());
+  EXPECT_FALSE(ctx.vectorTy(ctx.int32Ty(), 4)->isScalarNumber());
+  EXPECT_EQ(ctx.vectorTy(ctx.int32Ty(), 4)->element(), ctx.int32Ty());
+  EXPECT_EQ(ctx.vectorTy(ctx.int32Ty(), 4)->lanes(), 4u);
+}
+
+TEST_F(IrTest, ConstantsAreUniqued) {
+  EXPECT_EQ(ctx.getInt32(42), ctx.getInt32(42));
+  EXPECT_NE(ctx.getInt32(42), ctx.getInt32(43));
+  EXPECT_NE(ctx.getInt32(42), ctx.getInt64(42));
+  EXPECT_EQ(ctx.getFloat(1.5F), ctx.getFloat(1.5F));
+  EXPECT_EQ(ctx.getUndef(ctx.floatTy()), ctx.getUndef(ctx.floatTy()));
+}
+
+TEST_F(IrTest, UseListsTrackOperands) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* b = fn->addArgument(ctx.int32Ty(), "b");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  Value* sum = builder.createAdd(a, b);
+  EXPECT_EQ(a->uses().size(), 1u);
+  EXPECT_EQ(b->uses().size(), 1u);
+  Value* twice = builder.createAdd(sum, sum);
+  EXPECT_EQ(sum->uses().size(), 2u);
+  EXPECT_TRUE(cast<BinaryInst>(twice)->usesValue(sum));
+}
+
+TEST_F(IrTest, ReplaceAllUsesWith) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* b = fn->addArgument(ctx.int32Ty(), "b");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  Value* add1 = builder.createAdd(a, a);
+  Value* add2 = builder.createAdd(add1, a);
+  add1->replaceAllUsesWith(b);
+  EXPECT_EQ(cast<BinaryInst>(add2)->lhs(), b);
+  EXPECT_TRUE(add1->uses().empty());
+  EXPECT_EQ(b->uses().size(), 1u);
+}
+
+TEST_F(IrTest, EraseRequiresNoUses) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  auto* add = cast<Instruction>(builder.createAdd(a, a));
+  auto* user = cast<Instruction>(builder.createAdd(add, a));
+  EXPECT_THROW(bb->erase(add), GroverError);
+  user->dropAllOperands();
+  bb->erase(user);
+  bb->erase(add);
+  EXPECT_TRUE(bb->empty());
+}
+
+TEST_F(IrTest, CloneCopiesOperandsAndOpcode) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  auto* mul = cast<BinaryInst>(
+      builder.createBinary(BinaryOp::Mul, a, ctx.getInt32(16)));
+  auto cloned = mul->clone();
+  auto* clonedMul = cast<BinaryInst>(cloned.get());
+  EXPECT_EQ(clonedMul->op(), BinaryOp::Mul);
+  EXPECT_EQ(clonedMul->lhs(), a);
+  EXPECT_EQ(clonedMul->rhs(), ctx.getInt32(16));
+  EXPECT_EQ(a->uses().size(), 2u);  // original + clone
+}
+
+TEST_F(IrTest, PhiIncomingManagement) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  BasicBlock* b1 = fn->addBlock("b1");
+  BasicBlock* b2 = fn->addBlock("b2");
+  BasicBlock* b3 = fn->addBlock("b3");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(b3);
+  PhiInst* phi = builder.createPhi(ctx.int32Ty(), "p");
+  phi->addIncoming(ctx.getInt32(1), b1);
+  phi->addIncoming(ctx.getInt32(2), b2);
+  EXPECT_EQ(phi->numIncoming(), 2u);
+  EXPECT_EQ(phi->incomingForBlock(b1), ctx.getInt32(1));
+  EXPECT_EQ(phi->incomingForBlock(b2), ctx.getInt32(2));
+  phi->removeIncoming(0);
+  EXPECT_EQ(phi->numIncoming(), 1u);
+  EXPECT_EQ(phi->incomingBlock(0), b2);
+  EXPECT_THROW(phi->incomingForBlock(b1), GroverError);
+}
+
+TEST_F(IrTest, SuccessorsAndPredecessors) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* flag = fn->addArgument(ctx.boolTy(), "flag");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* f = fn->addBlock("f");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(entry);
+  builder.createCondBr(flag, t, f);
+  builder.setInsertPoint(t);
+  builder.createRetVoid();
+  builder.setInsertPoint(f);
+  builder.createRetVoid();
+
+  EXPECT_EQ(entry->successors(), (std::vector<BasicBlock*>{t, f}));
+  EXPECT_EQ(t->predecessors(), (std::vector<BasicBlock*>{entry}));
+  EXPECT_TRUE(entry->predecessors().empty());
+}
+
+TEST_F(IrTest, BuilderTypeChecks) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* i = fn->addArgument(ctx.int32Ty(), "i");
+  Argument* x = fn->addArgument(ctx.floatTy(), "x");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  EXPECT_THROW(builder.createAdd(i, x), GroverError);
+  EXPECT_THROW(builder.createLoad(i), GroverError);
+  EXPECT_THROW(builder.createGep(i, i), GroverError);
+}
+
+TEST_F(IrTest, CastingHelpers) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Value* v = a;
+  EXPECT_TRUE(isa<Argument>(v));
+  EXPECT_FALSE(isa<ConstantInt>(v));
+  EXPECT_EQ(dyn_cast<ConstantInt>(v), nullptr);
+  EXPECT_NE(dyn_cast<Argument>(v), nullptr);
+  EXPECT_THROW(ir::cast<ConstantInt>(v), GroverError);
+}
+
+TEST_F(IrTest, AllocaDims) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  AllocaInst* tile =
+      builder.createAlloca(ctx.floatTy(), 256, AddrSpace::Local, "tile");
+  tile->setArrayDims({16, 16});
+  EXPECT_EQ(tile->sizeInBytes(), 1024u);
+  EXPECT_EQ(tile->space(), AddrSpace::Local);
+  EXPECT_EQ(tile->arrayDims(), (std::vector<std::uint64_t>{16, 16}));
+  EXPECT_EQ(tile->type()->element(), ctx.floatTy());
+}
+
+TEST_F(IrTest, FunctionRenumberAssignsSlotsAndNames) {
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "");
+  BasicBlock* bb = fn->addBlock("");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  Value* add = builder.createAdd(a, a);
+  builder.createRetVoid();
+  const unsigned slots = fn->renumber();
+  EXPECT_EQ(slots, 3u);  // arg + add + ret
+  EXPECT_EQ(a->slot(), 0u);
+  EXPECT_FALSE(a->name().empty());
+  EXPECT_FALSE(add->name().empty());
+  EXPECT_FALSE(bb->name().empty());
+  EXPECT_EQ(fn->instructionCount(), 2u);
+}
+
+}  // namespace
+}  // namespace grover::ir

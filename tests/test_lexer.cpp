@@ -1,0 +1,137 @@
+// Lexer: tokens, literals, comments, the #define mini-preprocessor.
+#include "clc/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace grover::clc {
+namespace {
+
+std::vector<Token> lex(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return lexer.tokens();
+}
+
+std::vector<TokKind> kinds(const std::string& src) {
+  std::vector<TokKind> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  EXPECT_EQ(kinds(""), (std::vector<TokKind>{TokKind::End}));
+}
+
+TEST(Lexer, Identifiers) {
+  auto tokens = lex("foo _bar baz42");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar");
+  EXPECT_EQ(tokens[2].text, "baz42");
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("__kernel kernel __global local const float4"),
+            (std::vector<TokKind>{TokKind::KwKernel, TokKind::KwKernel,
+                                  TokKind::KwGlobal, TokKind::KwLocal,
+                                  TokKind::KwConst, TokKind::KwFloat4,
+                                  TokKind::End}));
+}
+
+TEST(Lexer, IntLiterals) {
+  auto tokens = lex("0 42 0x1F 7u 9L");
+  EXPECT_EQ(tokens[0].intValue, 0);
+  EXPECT_EQ(tokens[1].intValue, 42);
+  EXPECT_EQ(tokens[2].intValue, 31);
+  EXPECT_EQ(tokens[3].intValue, 7);
+  EXPECT_EQ(tokens[4].intValue, 9);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokKind::IntLiteral);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto tokens = lex("1.5 2.0f 3e2 .25f 7f");
+  EXPECT_EQ(tokens[0].kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].floatValue, 1.5);
+  EXPECT_FALSE(tokens[0].isFloatSuffix);
+  EXPECT_TRUE(tokens[1].isFloatSuffix);
+  EXPECT_DOUBLE_EQ(tokens[2].floatValue, 300.0);
+  EXPECT_DOUBLE_EQ(tokens[3].floatValue, 0.25);
+  EXPECT_EQ(tokens[4].kind, TokKind::FloatLiteral);  // 7f = 7.0f
+}
+
+TEST(Lexer, Operators) {
+  EXPECT_EQ(kinds("+ ++ += - -- -= << <= < >> >= > == = != ! && & || |"),
+            (std::vector<TokKind>{
+                TokKind::Plus, TokKind::PlusPlus, TokKind::PlusAssign,
+                TokKind::Minus, TokKind::MinusMinus, TokKind::MinusAssign,
+                TokKind::Shl, TokKind::LessEq, TokKind::Less, TokKind::Shr,
+                TokKind::GreaterEq, TokKind::Greater, TokKind::EqEq,
+                TokKind::Assign, TokKind::NotEq, TokKind::Not,
+                TokKind::AmpAmp, TokKind::Amp, TokKind::PipePipe,
+                TokKind::Pipe, TokKind::End}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  EXPECT_EQ(kinds("a // line comment\n b /* block\ncomment */ c"),
+            (std::vector<TokKind>{TokKind::Identifier, TokKind::Identifier,
+                                  TokKind::Identifier, TokKind::End}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a /* oops", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, DefineExpandsAtUse) {
+  auto tokens = lex("#define S 16\nint x[S];");
+  // int x [ 16 ] ;
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[3].kind, TokKind::IntLiteral);
+  EXPECT_EQ(tokens[3].intValue, 16);
+}
+
+TEST(Lexer, DefineMultiTokenBody) {
+  auto tokens = lex("#define N (4*4)\nN");
+  // ( 4 * 4 )
+  EXPECT_EQ(tokens[0].kind, TokKind::LParen);
+  EXPECT_EQ(tokens[1].intValue, 4);
+  EXPECT_EQ(tokens[2].kind, TokKind::Star);
+}
+
+TEST(Lexer, DefineReferencesEarlierMacro) {
+  auto tokens = lex("#define A 2\n#define B A\nB");
+  EXPECT_EQ(tokens[0].kind, TokKind::IntLiteral);
+  EXPECT_EQ(tokens[0].intValue, 2);
+}
+
+TEST(Lexer, PredefinedFenceFlags) {
+  auto tokens = lex("CLK_LOCAL_MEM_FENCE CLK_GLOBAL_MEM_FENCE");
+  EXPECT_EQ(tokens[0].intValue, 1);
+  EXPECT_EQ(tokens[1].intValue, 2);
+}
+
+TEST(Lexer, UnknownDirectiveIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("#include <foo>\n", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("a\nbb\n  c");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[2].loc.line, 3u);
+  EXPECT_EQ(tokens[2].loc.col, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterIsErrorButRecovers) {
+  DiagnosticEngine diags;
+  Lexer lexer("a @ b", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(lexer.tokens().size(), 3u);  // a, b, End
+}
+
+}  // namespace
+}  // namespace grover::clc

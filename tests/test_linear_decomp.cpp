@@ -1,0 +1,174 @@
+// LinearDecomp: decomposition of index expressions into affine form.
+#include "grover/linear_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "grover/candidates.h"
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+
+namespace grover::grv {
+namespace {
+
+using namespace ir;
+
+/// Compile a kernel with a single local store `lm[<expr>] = in[0]` and
+/// return the decomposition of its LS index.
+std::optional<LinearDecomp> decomposeLsIndex(const std::string& indexExpr,
+                                             const std::string& prelude = "") {
+  const std::string src = R"(
+__kernel void k(__global float* in, int A, int B) {
+  __local float lm[4096];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+)" + prelude + R"(
+  lm[)" + indexExpr + R"(] = in[0];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  in[0] = lm[0];
+}
+)";
+  static std::vector<std::unique_ptr<Program>> keepAlive;
+  keepAlive.push_back(std::make_unique<Program>(compile(src)));
+  Function* fn = keepAlive.back()->kernel("k");
+  auto cands = findCandidates(*fn);
+  if (cands.empty() || cands[0].pairs.empty()) return std::nullopt;
+  Value* index = cands[0].pairs[0].lsIndex;
+  if (index == nullptr) return LinearDecomp(Rational(0));
+  return decompose(index);
+}
+
+Rational coeffOfLocalId(const LinearDecomp& d, unsigned dim) {
+  return d.localIdCoeff(dim);
+}
+
+TEST(LinearDecomp, SimpleLocalId) {
+  auto d = decomposeLsIndex("lx");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  EXPECT_EQ(d->constant(), Rational(0));
+}
+
+TEST(LinearDecomp, TiledRowMajor) {
+  auto d = decomposeLsIndex("ly*16 + lx");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  EXPECT_EQ(coeffOfLocalId(*d, 1), Rational(16));
+}
+
+TEST(LinearDecomp, ConstantsAndSubtraction) {
+  auto d = decomposeLsIndex("(ly + 1)*18 + lx - 2");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 1), Rational(18));
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  EXPECT_EQ(d->constant(), Rational(16));  // 18 - 2
+}
+
+TEST(LinearDecomp, ShlAsMultiply) {
+  auto d = decomposeLsIndex("(ly << 4) + lx");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 1), Rational(16));
+}
+
+TEST(LinearDecomp, GlobalIdSplitsIntoBasePlusLocal) {
+  auto d = decomposeLsIndex("get_global_id(0)");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  // The group-base atom carries the rest.
+  bool sawGroupBase = false;
+  for (const auto& [key, coeff] : d->terms()) {
+    if (key.atomKind() == AtomKey::Kind::GroupBase) {
+      sawGroupBase = true;
+      EXPECT_EQ(coeff, Rational(1));
+      EXPECT_EQ(key.dim(), 0u);
+    }
+  }
+  EXPECT_TRUE(sawGroupBase);
+}
+
+TEST(LinearDecomp, SymbolicTermKeepsCoefficient) {
+  // A*16 + lx: the symbolic term is an opaque atom but its ×16 must
+  // survive (the regression behind the first NVD-MM-B failure: a loop
+  // variable's k*16 was swallowed with coefficient 1).
+  auto d = decomposeLsIndex("A*16 + lx");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  Rational symbolic;
+  for (const auto& [key, coeff] : d->terms()) {
+    if (!key.isLocalId()) symbolic = coeff;
+  }
+  EXPECT_EQ(symbolic, Rational(16));
+}
+
+TEST(LinearDecomp, SymbolicProductIsOneAtom) {
+  // A*B involves no work-item id → one opaque atom.
+  auto d = decomposeLsIndex("A*B + lx");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(coeffOfLocalId(*d, 0), Rational(1));
+  std::size_t opaque = 0;
+  for (const auto& [key, coeff] : d->terms()) {
+    (void)coeff;
+    if (key.atomKind() == AtomKey::Kind::Value) ++opaque;
+  }
+  EXPECT_EQ(opaque, 1u);
+}
+
+TEST(LinearDecomp, IdTimesSymbolFails) {
+  // lx*A is not linear with rational coefficients → refuse.
+  auto d = decomposeLsIndex("lx*A");
+  EXPECT_FALSE(d.has_value());
+}
+
+TEST(LinearDecomp, IdTimesIdFails) {
+  auto d = decomposeLsIndex("lx*ly");
+  EXPECT_FALSE(d.has_value());
+}
+
+TEST(LinearDecomp, AlgebraOnDecomps) {
+  LinearDecomp a;
+  a.addTerm(AtomKey::localId(0), Rational(2));
+  a.setConstant(Rational(3));
+  LinearDecomp b;
+  b.addTerm(AtomKey::localId(0), Rational(1));
+  b.addTerm(AtomKey::localId(1), Rational(4));
+  a += b;
+  EXPECT_EQ(a.localIdCoeff(0), Rational(3));
+  EXPECT_EQ(a.localIdCoeff(1), Rational(4));
+  a -= b;
+  EXPECT_EQ(a.localIdCoeff(0), Rational(2));
+  EXPECT_EQ(a.localIdCoeff(1), Rational(0));
+  a.scale(Rational(1, 2));
+  EXPECT_EQ(a.localIdCoeff(0), Rational(1));
+  EXPECT_EQ(a.constant(), Rational(3, 2));
+  EXPECT_FALSE(a.isIntegral());
+}
+
+TEST(LinearDecomp, ExtractLocalIdTerms) {
+  LinearDecomp d;
+  d.addTerm(AtomKey::localId(0), Rational(1));
+  d.addTerm(AtomKey::groupBase(0), Rational(1));
+  d.setConstant(Rational(5));
+  LinearDecomp lids = d.extractLocalIdTerms();
+  EXPECT_TRUE(lids.usesLocalId());
+  EXPECT_FALSE(d.usesLocalId());
+  EXPECT_EQ(d.constant(), Rational(5));
+}
+
+TEST(LinearDecomp, CancellingTermsDisappear) {
+  LinearDecomp d;
+  d.addTerm(AtomKey::localId(0), Rational(3));
+  d.addTerm(AtomKey::localId(0), Rational(-3));
+  EXPECT_TRUE(d.isConstant());
+}
+
+TEST(LinearDecomp, StrRendering) {
+  LinearDecomp d;
+  d.addTerm(AtomKey::localId(0), Rational(1));
+  d.addTerm(AtomKey::localId(1), Rational(16));
+  EXPECT_EQ(d.str(), "lx + 16*ly");
+  LinearDecomp zero;
+  EXPECT_EQ(zero.str(), "0");
+}
+
+}  // namespace
+}  // namespace grover::grv

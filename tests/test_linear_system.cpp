@@ -1,0 +1,202 @@
+// The linear solver (paper S2): unique solutions, singular refusals,
+// symbolic right-hand sides, and a property sweep over random invertible
+// integer systems.
+#include "grover/linear_system.h"
+
+#include <gtest/gtest.h>
+
+namespace grover::grv {
+namespace {
+
+LinearDecomp sym(unsigned dim, std::int64_t coeff = 1,
+                 std::int64_t constant = 0) {
+  LinearDecomp d;
+  d.addTerm(AtomKey::localId(dim), Rational(coeff));
+  d.setConstant(Rational(constant));
+  return d;
+}
+
+LinearDecomp constDecomp(std::int64_t c) { return LinearDecomp(Rational(c)); }
+
+TEST(LinearSystem, IdentitySystem) {
+  // lx = rhs0, ly = rhs1.
+  std::vector<LinearEquation> eqs(2);
+  eqs[0].coeffs = {Rational(1), Rational(0)};
+  eqs[0].rhs = constDecomp(7);
+  eqs[1].coeffs = {Rational(0), Rational(1)};
+  eqs[1].rhs = constDecomp(9);
+  auto sol = solveLinearSystem(eqs, 2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->values[0], constDecomp(7));
+  EXPECT_EQ(sol->values[1], constDecomp(9));
+}
+
+TEST(LinearSystem, SwapSystem) {
+  // The matrix transpose case: unknowns (lx, ly), equations
+  // ly = X_LL (=lx symbol), lx = Y_LL (=ly symbol).
+  std::vector<LinearEquation> eqs(2);
+  eqs[0].coeffs = {Rational(0), Rational(1)};  // ly
+  eqs[0].rhs = sym(0);                         // = lx
+  eqs[1].coeffs = {Rational(1), Rational(0)};  // lx
+  eqs[1].rhs = sym(1);                         // = ly
+  auto sol = solveLinearSystem(eqs, 2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->values[0], sym(1));  // lx := ly
+  EXPECT_EQ(sol->values[1], sym(0));  // ly := lx
+}
+
+TEST(LinearSystem, ScaledEquationNeedsDivision) {
+  // 4*lx = rhs → lx = rhs/4 (rational intermediate).
+  std::vector<LinearEquation> eqs(1);
+  eqs[0].coeffs = {Rational(4)};
+  eqs[0].rhs = sym(1, 8, 4);  // 8*ly + 4
+  auto sol = solveLinearSystem(eqs, 1);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->values[0], sym(1, 2, 1));  // 2*ly + 1
+}
+
+TEST(LinearSystem, SingularIsRefused) {
+  // lx + ly appears in both equations → no unique solution.
+  std::vector<LinearEquation> eqs(2);
+  eqs[0].coeffs = {Rational(1), Rational(1)};
+  eqs[0].rhs = constDecomp(3);
+  eqs[1].coeffs = {Rational(2), Rational(2)};
+  eqs[1].rhs = constDecomp(6);
+  EXPECT_FALSE(solveLinearSystem(eqs, 2).has_value());
+}
+
+TEST(LinearSystem, UnderdeterminedIsRefused) {
+  std::vector<LinearEquation> eqs(1);
+  eqs[0].coeffs = {Rational(1), Rational(1)};
+  eqs[0].rhs = constDecomp(3);
+  EXPECT_FALSE(solveLinearSystem(eqs, 2).has_value());
+}
+
+TEST(LinearSystem, ConsistentExtraRowAccepted) {
+  // Second row 0 = 0 after elimination.
+  std::vector<LinearEquation> eqs(2);
+  eqs[0].coeffs = {Rational(1)};
+  eqs[0].rhs = constDecomp(5);
+  eqs[1].coeffs = {Rational(2)};
+  eqs[1].rhs = constDecomp(10);
+  auto sol = solveLinearSystem(eqs, 1);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->values[0], constDecomp(5));
+}
+
+TEST(LinearSystem, InconsistentExtraRowRefused) {
+  std::vector<LinearEquation> eqs(2);
+  eqs[0].coeffs = {Rational(1)};
+  eqs[0].rhs = constDecomp(5);
+  eqs[1].coeffs = {Rational(2)};
+  eqs[1].rhs = constDecomp(11);  // 2*5 != 11
+  EXPECT_FALSE(solveLinearSystem(eqs, 1).has_value());
+}
+
+TEST(LinearSystem, ZeroUnknownsZeroRhsOk) {
+  // Constant dimensions must match symbolically (0 = 0).
+  std::vector<LinearEquation> eqs(1);
+  eqs[0].coeffs = {};
+  eqs[0].rhs = LinearDecomp{};
+  auto sol = solveLinearSystem(eqs, 0);
+  EXPECT_TRUE(sol.has_value());
+}
+
+TEST(LinearSystem, ZeroUnknownsNonZeroRhsRefused) {
+  std::vector<LinearEquation> eqs(1);
+  eqs[0].coeffs = {};
+  eqs[0].rhs = constDecomp(1);
+  EXPECT_FALSE(solveLinearSystem(eqs, 0).has_value());
+}
+
+TEST(BuildEquations, TransposePattern) {
+  // LS dims (ly, lx); LL dims are opaque symbols u, v.
+  std::vector<LinearDecomp> ls{sym(1), sym(0)};
+  std::vector<LinearDecomp> ll{constDecomp(3), constDecomp(4)};
+  std::vector<unsigned> unknowns;
+  auto eqs = buildEquations(ls, ll, unknowns);
+  ASSERT_TRUE(eqs.has_value());
+  EXPECT_EQ(unknowns, (std::vector<unsigned>{0, 1}));
+  ASSERT_EQ(eqs->size(), 2u);
+  // eq0: 0*lx + 1*ly = 3; eq1: 1*lx + 0*ly = 4.
+  EXPECT_EQ((*eqs)[0].coeffs[1], Rational(1));
+  EXPECT_EQ((*eqs)[0].rhs, constDecomp(3));
+  EXPECT_EQ((*eqs)[1].coeffs[0], Rational(1));
+}
+
+TEST(BuildEquations, MovesSymbolicRestToRhs) {
+  // LS dim0 = ly + C (C symbolic via constant here): rest moves to RHS.
+  std::vector<LinearDecomp> ls{sym(1, 1, 7)};
+  std::vector<LinearDecomp> ll{constDecomp(10)};
+  std::vector<unsigned> unknowns;
+  auto eqs = buildEquations(ls, ll, unknowns);
+  ASSERT_TRUE(eqs.has_value());
+  EXPECT_EQ((*eqs)[0].rhs, constDecomp(3));  // 10 - 7
+}
+
+TEST(BuildEquations, DimCountMismatchFails) {
+  std::vector<LinearDecomp> ls{sym(0)};
+  std::vector<LinearDecomp> ll{constDecomp(0), constDecomp(1)};
+  std::vector<unsigned> unknowns;
+  EXPECT_FALSE(buildEquations(ls, ll, unknowns).has_value());
+}
+
+// Property: random invertible 2x2 and 3x3 integer systems solve to the
+// exact known solution.
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, RandomInvertibleSystems) {
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 7919 + 13;
+  auto next = [&state](std::int64_t lo, std::int64_t hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<std::int64_t>(
+                    (state >> 33) % static_cast<std::uint64_t>(hi - lo));
+  };
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 2 + static_cast<std::size_t>(next(0, 2));
+    // Random matrix + known integer solution x*.
+    std::vector<std::vector<std::int64_t>> a(n, std::vector<std::int64_t>(n));
+    std::vector<std::int64_t> xstar(n);
+    for (std::size_t i = 0; i < n; ++i) xstar[i] = next(-5, 6);
+    // Build an invertible matrix: random unimodular-ish via L*U with unit
+    // diagonals plus a permutation.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a[i][j] = i == j ? 1 : next(-3, 4);
+      }
+    }
+    // Multiply two triangular matrices to keep det = ±1 (invertible).
+    std::vector<std::vector<std::int64_t>> m(n,
+                                             std::vector<std::int64_t>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::int64_t lower = i >= k ? (i == k ? 1 : a[i][k]) : 0;
+          const std::int64_t upper = k <= j ? (k == j ? 1 : a[k][j]) : 0;
+          m[i][j] += lower * upper;
+        }
+      }
+    }
+    std::vector<LinearEquation> eqs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      eqs[i].coeffs.resize(n);
+      std::int64_t rhs = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        eqs[i].coeffs[j] = Rational(m[i][j]);
+        rhs += m[i][j] * xstar[j];
+      }
+      eqs[i].rhs = constDecomp(rhs);
+    }
+    auto sol = solveLinearSystem(eqs, n);
+    ASSERT_TRUE(sol.has_value());
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(sol->values[j], constDecomp(xstar[j]))
+          << "component " << j << " iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace grover::grv

@@ -1,0 +1,164 @@
+// Mem2Reg: SSA construction via compiled kernels (the realistic input).
+#include "passes/mem2reg.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/casting.h"
+#include "ir/verifier.h"
+
+namespace grover {
+namespace {
+
+using namespace ir;
+
+/// Compile with the full pipeline disabled except what we test.
+Function* compileRaw(Program& program, const std::string& src,
+                     const std::string& kernel) {
+  CompileOptions options;
+  options.optimize = false;
+  program = compile(src, options);
+  return program.kernel(kernel);
+}
+
+std::size_t countKind(Function& fn, ValueKind kind) {
+  std::size_t n = 0;
+  for (BasicBlock* bb : fn.blockList()) {
+    for (const auto& inst : *bb) {
+      if (inst->kind() == kind) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t countPrivateAllocas(Function& fn) {
+  std::size_t n = 0;
+  for (const auto& inst : *fn.entry()) {
+    if (const auto* a = dyn_cast<AllocaInst>(inst.get())) {
+      if (a->space() == AddrSpace::Private) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Mem2Reg, PromotesStraightLineScalars) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out) {
+  int i = get_global_id(0);
+  float x = 1.5f;
+  out[i] = x;
+})", "k");
+  EXPECT_GT(countPrivateAllocas(*fn), 0u);
+  passes::Mem2RegPass pass;
+  EXPECT_TRUE(pass.run(*fn));
+  verifyFunction(*fn);
+  EXPECT_EQ(countPrivateAllocas(*fn), 0u);
+  EXPECT_EQ(countKind(*fn, ValueKind::InstPhi), 0u);  // no control flow
+}
+
+TEST(Mem2Reg, InsertsPhiAtIfMerge) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out, int n) {
+  int i = get_global_id(0);
+  float x = 0.0f;
+  if (i < n) { x = 1.0f; } else { x = 2.0f; }
+  out[i] = x;
+})", "k");
+  passes::Mem2RegPass pass;
+  pass.run(*fn);
+  verifyFunction(*fn);
+  EXPECT_EQ(countPrivateAllocas(*fn), 0u);
+  EXPECT_GE(countKind(*fn, ValueKind::InstPhi), 1u);
+}
+
+TEST(Mem2Reg, LoopInductionVariableBecomesPhi) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) { acc += 1.0f; }
+  out[0] = acc;
+})", "k");
+  passes::Mem2RegPass pass;
+  pass.run(*fn);
+  verifyFunction(*fn);
+  EXPECT_EQ(countPrivateAllocas(*fn), 0u);
+  // acc and i both need loop phis.
+  EXPECT_GE(countKind(*fn, ValueKind::InstPhi), 2u);
+}
+
+TEST(Mem2Reg, LocalArraysAreNotPromoted) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  lm[lx] = out[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[lx];
+})", "k");
+  passes::Mem2RegPass pass;
+  pass.run(*fn);
+  verifyFunction(*fn);
+  std::size_t localAllocas = 0;
+  for (const auto& inst : *fn->entry()) {
+    if (const auto* a = dyn_cast<AllocaInst>(inst.get())) {
+      EXPECT_EQ(a->space(), AddrSpace::Local);
+      ++localAllocas;
+    }
+  }
+  EXPECT_EQ(localAllocas, 1u);
+}
+
+TEST(Mem2Reg, PrivateArraysAreNotPromoted) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out) {
+  float tmp[4];
+  tmp[0] = out[0];
+  out[1] = tmp[0];
+})", "k");
+  passes::Mem2RegPass pass;
+  pass.run(*fn);
+  verifyFunction(*fn);
+  EXPECT_EQ(countPrivateAllocas(*fn), 1u);  // the array stays
+}
+
+TEST(Mem2Reg, LoadBeforeStoreYieldsUndef) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out) {
+  float x;
+  out[0] = x;
+})", "k");
+  passes::Mem2RegPass pass;
+  pass.run(*fn);
+  verifyFunction(*fn);
+  bool sawUndefStore = false;
+  for (BasicBlock* bb : fn->blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* st = dyn_cast<StoreInst>(inst.get())) {
+        if (isa<ConstantUndef>(st->value())) sawUndefStore = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawUndefStore);
+}
+
+TEST(Mem2Reg, IdempotentSecondRun) {
+  Program p;
+  Function* fn = compileRaw(p, R"(
+__kernel void k(__global float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += 1.0f;
+  out[0] = acc;
+})", "k");
+  passes::Mem2RegPass pass;
+  EXPECT_TRUE(pass.run(*fn));
+  EXPECT_FALSE(pass.run(*fn));  // nothing left to promote
+}
+
+}  // namespace
+}  // namespace grover

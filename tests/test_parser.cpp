@@ -1,0 +1,198 @@
+// Parser: declarations, statements, expression precedence, error recovery.
+#include "clc/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "clc/lexer.h"
+
+namespace grover::clc {
+namespace {
+
+std::unique_ptr<TranslationUnit> parse(const std::string& src,
+                                       bool expectOk = true) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  Parser parser(lexer.tokens(), diags);
+  auto tu = parser.parse();
+  if (expectOk) {
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  } else {
+    EXPECT_TRUE(diags.hasErrors());
+  }
+  return tu;
+}
+
+TEST(Parser, EmptyKernel) {
+  auto tu = parse("__kernel void k() {}");
+  ASSERT_EQ(tu->kernels.size(), 1u);
+  EXPECT_EQ(tu->kernels[0]->name, "k");
+  EXPECT_TRUE(tu->kernels[0]->isKernel);
+  EXPECT_TRUE(tu->kernels[0]->params.empty());
+}
+
+TEST(Parser, Parameters) {
+  auto tu = parse(
+      "__kernel void k(__global float* out, __local int* l, const int n, "
+      "float4 v) {}");
+  const auto& params = tu->kernels[0]->params;
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_TRUE(params[0].spec.isPointer);
+  EXPECT_EQ(params[0].spec.space, ir::AddrSpace::Global);
+  EXPECT_EQ(params[1].spec.space, ir::AddrSpace::Local);
+  EXPECT_TRUE(params[2].spec.isConst);
+  EXPECT_FALSE(params[2].spec.isPointer);
+  EXPECT_EQ(params[3].spec.vecLanes, 4u);
+}
+
+TEST(Parser, LocalArrayDeclaration) {
+  auto tu = parse("__kernel void k() { __local float lm[16][8]; }");
+  const auto& body = tu->kernels[0]->body->stmts;
+  ASSERT_EQ(body.size(), 1u);
+  const auto& decl = static_cast<const DeclStmt&>(*body[0]);
+  EXPECT_EQ(decl.spec.space, ir::AddrSpace::Local);
+  EXPECT_EQ(decl.arrayDims.size(), 2u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // a + b * c parses as a + (b*c).
+  auto tu = parse("__kernel void k(int a, int b, int c) { int x = a + b * c; }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  const auto& add = static_cast<const BinaryExpr&>(*decl.init);
+  EXPECT_EQ(add.op, BinOp::Add);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*add.rhs).op, BinOp::Mul);
+}
+
+TEST(Parser, ShiftBindsLooserThanAdd) {
+  auto tu = parse("__kernel void k(int a) { int x = a + 1 << 2; }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*decl.init).op, BinOp::Shl);
+}
+
+TEST(Parser, ConditionalExpression) {
+  auto tu = parse("__kernel void k(int a) { int x = a > 0 ? a : 0 - a; }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(decl.init->kind, ExprKind::Conditional);
+}
+
+TEST(Parser, ChainedIndexAndMember) {
+  auto tu = parse(
+      "__kernel void k(__global float4* p) { float v = p[1].x; }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(decl.init->kind, ExprKind::Member);
+}
+
+TEST(Parser, VectorLiteral) {
+  auto tu = parse(
+      "__kernel void k(float a) { float4 v = (float4)(a, a, a, 1.0f); }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  ASSERT_EQ(decl.init->kind, ExprKind::VectorLit);
+  EXPECT_EQ(static_cast<const VectorLitExpr&>(*decl.init).elems.size(), 4u);
+}
+
+TEST(Parser, CastVsParenExpr) {
+  auto tu = parse("__kernel void k(int a) { float f = (float)a * 2.0f; }");
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  // (float)a * 2.0f parses as ((float)a) * 2.0f
+  EXPECT_EQ(decl.init->kind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*decl.init).lhs->kind,
+            ExprKind::Cast);
+}
+
+TEST(Parser, ForLoop) {
+  auto tu = parse(
+      "__kernel void k(int n) { for (int i = 0; i < n; ++i) { } }");
+  const auto& loop =
+      static_cast<const ForStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_NE(loop.init, nullptr);
+  EXPECT_NE(loop.cond, nullptr);
+  EXPECT_NE(loop.step, nullptr);
+  EXPECT_EQ(loop.step->kind, StmtKind::IncDec);
+}
+
+TEST(Parser, ForWithCompoundStep) {
+  auto tu = parse(
+      "__kernel void k(int n) { for (int i = 0; i < n; i += 4) { } }");
+  const auto& loop =
+      static_cast<const ForStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(loop.step->kind, StmtKind::Assign);
+}
+
+TEST(Parser, WhileAndBreakContinue) {
+  auto tu = parse(
+      "__kernel void k(int n) { while (n > 0) { if (n == 3) break; "
+      "if (n == 5) continue; n = n - 1; } }");
+  EXPECT_EQ(tu->kernels[0]->body->stmts[0]->kind, StmtKind::While);
+}
+
+TEST(Parser, DoWhile) {
+  auto tu = parse(
+      "__kernel void k(int n) { do { n = n - 1; } while (n > 0); }");
+  const auto& dw =
+      static_cast<const DoWhileStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(dw.kind, StmtKind::DoWhile);
+  EXPECT_NE(dw.body, nullptr);
+  EXPECT_NE(dw.cond, nullptr);
+}
+
+TEST(Parser, DoWhileRequiresSemicolon) {
+  parse("__kernel void k(int n) { do { } while (n > 0) }", false);
+}
+
+TEST(Parser, IfElseChain) {
+  auto tu = parse(
+      "__kernel void k(int a, __global int* o) { if (a > 0) o[0] = 1; "
+      "else if (a < 0) o[0] = 2; else o[0] = 3; }");
+  const auto& ifs =
+      static_cast<const IfStmt&>(*tu->kernels[0]->body->stmts[0]);
+  ASSERT_NE(ifs.elseBody, nullptr);
+  EXPECT_EQ(ifs.elseBody->kind, StmtKind::If);
+}
+
+TEST(Parser, CompoundAssignments) {
+  auto tu = parse(
+      "__kernel void k(__global float* o) { o[0] += 1.0f; o[1] -= 2.0f; "
+      "o[2] *= 3.0f; o[3] /= 4.0f; }");
+  for (const auto& stmt : tu->kernels[0]->body->stmts) {
+    EXPECT_EQ(stmt->kind, StmtKind::Assign);
+  }
+}
+
+TEST(Parser, PostIncrementStatement) {
+  auto tu = parse("__kernel void k() { int i = 0; i++; --i; }");
+  EXPECT_EQ(tu->kernels[0]->body->stmts[1]->kind, StmtKind::IncDec);
+  EXPECT_EQ(tu->kernels[0]->body->stmts[2]->kind, StmtKind::IncDec);
+}
+
+TEST(Parser, MultipleDeclaratorsRejected) {
+  parse("__kernel void k() { int a, b; }", false);
+}
+
+TEST(Parser, MissingSemicolonIsError) {
+  parse("__kernel void k() { int a = 1 }", false);
+}
+
+TEST(Parser, RecoversToNextKernel) {
+  auto tu = parse("__kernel void broken( { } __kernel void ok() {}", false);
+  // The second kernel still parses after recovery.
+  ASSERT_GE(tu->kernels.size(), 1u);
+  EXPECT_EQ(tu->kernels.back()->name, "ok");
+}
+
+TEST(Parser, BarrierCallStatement) {
+  auto tu = parse("__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); }");
+  EXPECT_EQ(tu->kernels[0]->body->stmts[0]->kind, StmtKind::ExprStmt);
+}
+
+TEST(Parser, TwoKernelsInOneUnit) {
+  auto tu = parse("__kernel void a() {} __kernel void b() {}");
+  EXPECT_EQ(tu->kernels.size(), 2u);
+}
+
+}  // namespace
+}  // namespace grover::clc

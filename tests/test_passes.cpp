@@ -1,0 +1,275 @@
+// DCE, constant folding, CFG simplification, barrier elimination,
+// pass-manager plumbing.
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/builder.h"
+#include "ir/casting.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/barrier_elim.h"
+#include "passes/constant_fold.h"
+#include "passes/dce.h"
+#include "passes/pass.h"
+#include "passes/simplify_cfg.h"
+
+namespace grover {
+namespace {
+
+using namespace ir;
+
+std::size_t instCount(Function& fn) { return fn.instructionCount(); }
+
+std::size_t countKind(Function& fn, ValueKind kind) {
+  std::size_t n = 0;
+  for (BasicBlock* bb : fn.blockList()) {
+    for (const auto& inst : *bb) {
+      if (inst->kind() == kind) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Dce, RemovesUnusedPureChain) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  Value* dead1 = b.createAdd(a, a);
+  b.createMul(dead1, a);  // dead2 uses dead1
+  b.createRetVoid();
+  passes::DcePass dce;
+  EXPECT_TRUE(dce.run(*fn));
+  EXPECT_EQ(instCount(*fn), 1u);  // only ret
+}
+
+TEST(Dce, KeepsSideEffects) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  b.createStore(ctx.getInt32(1), out);
+  b.createCall(Builtin::Barrier, ctx.voidTy(), {ctx.getInt32(1)});
+  b.createRetVoid();
+  passes::DcePass dce;
+  EXPECT_FALSE(dce.run(*fn));
+  EXPECT_EQ(instCount(*fn), 3u);
+}
+
+TEST(Dce, UnusedLoadIsRemovable) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* in =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "in");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  b.createLoad(in);
+  b.createRetVoid();
+  passes::DcePass dce;
+  EXPECT_TRUE(dce.run(*fn));
+  EXPECT_EQ(instCount(*fn), 1u);
+}
+
+TEST(ConstantFold, FoldsArithmetic) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  Value* sum = b.createAdd(ctx.getInt32(2), ctx.getInt32(3));
+  Value* prod = b.createMul(sum, ctx.getInt32(4));
+  b.createStore(prod, out);
+  b.createRetVoid();
+  passes::ConstantFoldPass fold;
+  EXPECT_TRUE(fold.run(*fn));
+  auto* store = dyn_cast<StoreInst>(fn->entry()->front());
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(isa<ConstantInt>(store->value()));
+  EXPECT_EQ(cast<ConstantInt>(store->value())->value(), 20);
+}
+
+TEST(ConstantFold, AlgebraicIdentities) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  Value* v = b.createAdd(a, ctx.getInt32(0));      // a + 0 → a
+  v = b.createMul(v, ctx.getInt32(1));             // a * 1 → a
+  v = b.createBinary(BinaryOp::Shl, v, ctx.getInt32(0));  // a << 0 → a
+  b.createStore(v, out);
+  b.createRetVoid();
+  passes::ConstantFoldPass fold;
+  EXPECT_TRUE(fold.run(*fn));
+  auto* store = dyn_cast<StoreInst>(fn->entry()->front());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->value(), a);
+}
+
+TEST(ConstantFold, MulByZero) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  b.createStore(b.createMul(a, ctx.getInt32(0)), out);
+  b.createRetVoid();
+  passes::ConstantFoldPass fold;
+  fold.run(*fn);
+  auto* store = dyn_cast<StoreInst>(fn->entry()->front());
+  EXPECT_EQ(store->value(), ctx.getInt32(0));
+}
+
+TEST(ConstantFold, FoldsComparisonsAndSelect) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  Value* cmp = b.createICmp(CmpPred::SLT, ctx.getInt32(1), ctx.getInt32(2));
+  Value* sel = b.createSelect(cmp, ctx.getInt32(10), ctx.getInt32(20));
+  b.createStore(sel, out);
+  b.createRetVoid();
+  passes::ConstantFoldPass fold;
+  fold.run(*fn);
+  auto* store = dyn_cast<StoreInst>(fn->entry()->front());
+  EXPECT_EQ(store->value(), ctx.getInt32(10));
+}
+
+TEST(SimplifyCfg, FoldsConstantBranch) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* f = fn->addBlock("f");
+  IRBuilder b(ctx);
+  b.setInsertPoint(entry);
+  b.createCondBr(ctx.getBool(true), t, f);
+  b.setInsertPoint(t);
+  b.createRetVoid();
+  b.setInsertPoint(f);
+  b.createRetVoid();
+  passes::SimplifyCfgPass simplify;
+  EXPECT_TRUE(simplify.run(*fn));
+  verifyFunction(*fn);
+  // f is unreachable and removed; t merges into entry.
+  EXPECT_EQ(fn->blockList().size(), 1u);
+}
+
+TEST(SimplifyCfg, MergesStraightLineChains) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  BasicBlock* a = fn->addBlock("a");
+  BasicBlock* bBlock = fn->addBlock("b");
+  BasicBlock* c = fn->addBlock("c");
+  IRBuilder b(ctx);
+  b.setInsertPoint(a);
+  b.createBr(bBlock);
+  b.setInsertPoint(bBlock);
+  b.createBr(c);
+  b.setInsertPoint(c);
+  b.createRetVoid();
+  passes::SimplifyCfgPass simplify;
+  EXPECT_TRUE(simplify.run(*fn));
+  verifyFunction(*fn);
+  EXPECT_EQ(fn->blockList().size(), 1u);
+}
+
+TEST(BarrierElim, RemovesBarriersOnceLocalTrafficIsGone) {
+  auto program = compile(R"(
+__kernel void k(__global float* out) {
+  int i = get_global_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[i] = 1.0f;
+})");
+  Function* fn = program.kernel("k");
+  EXPECT_FALSE(passes::usesLocalMemory(*fn));
+  passes::BarrierElimPass pass;
+  EXPECT_TRUE(pass.run(*fn));
+  bool anyBarrier = false;
+  for (BasicBlock* bb : fn->blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) anyBarrier = true;
+      }
+    }
+  }
+  EXPECT_FALSE(anyBarrier);
+}
+
+TEST(BarrierElim, KeepsBarriersWhileLocalMemoryIsLive) {
+  auto program = compile(R"(
+__kernel void k(__global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  lm[lx] = out[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[15 - lx];
+})");
+  Function* fn = program.kernel("k");
+  EXPECT_TRUE(passes::usesLocalMemory(*fn));
+  passes::BarrierElimPass pass;
+  EXPECT_FALSE(pass.run(*fn));
+}
+
+TEST(BarrierElim, KeepsGlobalFences) {
+  auto program = compile(R"(
+__kernel void k(__global float* out) {
+  int i = get_global_id(0);
+  out[i] = 1.0f;
+  barrier(CLK_GLOBAL_MEM_FENCE);
+  out[i] = out[i] + 1.0f;
+})");
+  Function* fn = program.kernel("k");
+  passes::BarrierElimPass pass;
+  EXPECT_FALSE(pass.run(*fn));  // global fence must stay
+}
+
+TEST(PassManager, RunsPipelineAndVerifies) {
+  CompileOptions options;
+  options.optimize = false;
+  auto program = compile(R"(
+__kernel void k(__global float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += out[i];
+  out[0] = acc;
+})", options);
+  Function* fn = program.kernel("k");
+  passes::PassManager pm(/*verifyBetween=*/true);
+  passes::addStandardPipeline(pm);
+  EXPECT_TRUE(pm.run(*program.module));
+  verifyFunction(*fn);
+  // Second run reaches a fixed point quickly.
+  passes::PassManager pm2(true);
+  passes::addStandardPipeline(pm2);
+  pm2.run(*program.module);
+  verifyFunction(*fn);
+}
+
+}  // namespace
+}  // namespace grover

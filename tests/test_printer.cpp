@@ -1,0 +1,114 @@
+// IR printing: stable, readable output for every instruction kind.
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "grovercl/compiler.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace grover::ir {
+namespace {
+
+TEST(Printer, ValueRefs) {
+  Context ctx;
+  EXPECT_EQ(printValueRef(ctx.getInt32(42)), "42");
+  EXPECT_EQ(printValueRef(ctx.getInt32(-1)), "-1");
+  EXPECT_EQ(printValueRef(ctx.getFloat(1.5F)), "1.5");
+  EXPECT_EQ(printValueRef(ctx.getUndef(ctx.floatTy())), "undef");
+  EXPECT_EQ(printValueRef(nullptr), "<null>");
+}
+
+TEST(Printer, TypeStrings) {
+  Context ctx;
+  EXPECT_EQ(ctx.int32Ty()->str(), "i32");
+  EXPECT_EQ(ctx.floatTy()->str(), "f32");
+  EXPECT_EQ(ctx.vectorTy(ctx.floatTy(), 4)->str(), "<4 x f32>");
+  EXPECT_EQ(ctx.pointerTy(ctx.floatTy(), AddrSpace::Local)->str(),
+            "f32 local*");
+}
+
+TEST(Printer, InstructionForms) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("f", ctx.voidTy(), true);
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  Argument* p =
+      fn->addArgument(ctx.pointerTy(ctx.int32Ty(), AddrSpace::Global), "p");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  auto* add = cast<Instruction>(b.createAdd(a, ctx.getInt32(3)));
+  auto* gep = b.createGep(p, add);
+  auto* load = b.createLoad(gep);
+  auto* store = b.createStore(load, gep);
+  auto* cmp = b.createICmp(CmpPred::SLT, a, ctx.getInt32(10));
+  auto* sel = b.createSelect(cmp, a, ctx.getInt32(0));
+  auto* call = b.createIdQuery(Builtin::GetLocalId, 1);
+  auto* ret = b.createRetVoid();
+  fn->renumber();
+
+  EXPECT_NE(printInst(add).find("add i32 %a, 3"), std::string::npos);
+  EXPECT_NE(printInst(gep).find("gep i32 global* %p"), std::string::npos);
+  EXPECT_NE(printInst(load).find("load i32"), std::string::npos);
+  EXPECT_NE(printInst(store).find("store i32"), std::string::npos);
+  EXPECT_NE(printInst(cmp).find("icmp slt"), std::string::npos);
+  EXPECT_NE(printInst(sel).find("select"), std::string::npos);
+  EXPECT_NE(printInst(call).find("@get_local_id(i32 1)"), std::string::npos);
+  EXPECT_EQ(printInst(ret), "ret void");
+}
+
+TEST(Printer, FunctionOutputIsStable) {
+  auto program = compile(R"(
+__kernel void k(__global float* out) {
+  out[get_global_id(0)] = 1.0f;
+})");
+  Function* fn = program.kernel("k");
+  const std::string first = printFunction(*fn);
+  const std::string second = printFunction(*fn);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("kernel void @k"), std::string::npos);
+  EXPECT_NE(first.find("entry:"), std::string::npos);
+  EXPECT_NE(first.find("ret void"), std::string::npos);
+}
+
+TEST(Printer, ModuleListsAllKernels) {
+  auto program = compile(R"(
+__kernel void a(__global float* o) { o[0] = 1.0f; }
+__kernel void b(__global float* o) { o[0] = 2.0f; }
+)");
+  const std::string text = printModule(*program.module);
+  EXPECT_NE(text.find("@a"), std::string::npos);
+  EXPECT_NE(text.find("@b"), std::string::npos);
+}
+
+TEST(Printer, PhiAndBranches) {
+  auto program = compile(R"(
+__kernel void k(__global int* out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  out[0] = acc;
+})");
+  const std::string text = printFunction(*program.kernel("k"));
+  EXPECT_NE(text.find("phi i32"), std::string::npos);
+  EXPECT_NE(text.find("br i1"), std::string::npos);
+  EXPECT_NE(text.find("["), std::string::npos);  // phi incoming brackets
+}
+
+TEST(Printer, AllocaShowsSpaceAndCount) {
+  auto program = compile(R"(
+__kernel void k(__global float* out) {
+  __local float lm[32];
+  int lx = get_local_id(0);
+  lm[lx] = out[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[lx];
+})");
+  const std::string text = printFunction(*program.kernel("k"));
+  EXPECT_NE(text.find("alloca f32, count 32, addrspace(local)"),
+            std::string::npos);
+  EXPECT_NE(text.find("call void @barrier(i32 1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grover::ir

@@ -1,0 +1,116 @@
+// Exact rational arithmetic — the foundation of the linear solver.
+#include "support/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/diagnostics.h"
+
+namespace grover {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.isZero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NegativeDenominatorMovesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorIsCanonical) {
+  Rational r(0, -17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), GroverError);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), GroverError);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_TRUE(Rational(1, 3) < Rational(1, 2));
+  EXPECT_FALSE(Rational(1, 2) < Rational(1, 3));
+  EXPECT_FALSE(Rational(1, 2) < Rational(1, 2));
+  EXPECT_TRUE(Rational(-1) < Rational(0));
+}
+
+TEST(Rational, IntegerQueries) {
+  EXPECT_TRUE(Rational(7).isInteger());
+  EXPECT_EQ(Rational(7).asInteger(), 7);
+  EXPECT_FALSE(Rational(7, 2).isInteger());
+  EXPECT_THROW(Rational(7, 2).asInteger(), GroverError);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25);
+}
+
+TEST(Rational, OverflowDetected) {
+  const std::int64_t big = std::int64_t{1} << 62;
+  Rational a(big, 1);
+  EXPECT_THROW(a * a, GroverError);
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalProperty, FieldAxioms) {
+  const int seed = GetParam();
+  auto next = [state = static_cast<std::uint64_t>(seed) * 2654435761u +
+                       12345]() mutable {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::int64_t>((state >> 33) % 19) - 9;
+  };
+  for (int i = 0; i < 50; ++i) {
+    std::int64_t an = next();
+    std::int64_t ad = next();
+    std::int64_t bn = next();
+    std::int64_t bd = next();
+    if (ad == 0) ad = 1;
+    if (bd == 0) bd = 1;
+    const Rational a(an, ad);
+    const Rational b(bn, bd);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.isZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    EXPECT_EQ(a * (b + Rational(1)), a * b + a);  // distributivity
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace grover

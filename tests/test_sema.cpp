@@ -1,0 +1,199 @@
+// Sema: symbol tables, type checking, OpenCL-specific rules.
+#include "clc/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "clc/lexer.h"
+#include "clc/parser.h"
+
+namespace grover::clc {
+namespace {
+
+/// Run sema; returns collected diagnostics text ("" = clean).
+std::string checkSource(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  Parser parser(lexer.tokens(), diags);
+  auto tu = parser.parse();
+  EXPECT_FALSE(diags.hasErrors()) << "parse failed: " << diags.str();
+  ir::Context ctx;
+  Sema sema(ctx, diags);
+  sema.check(*tu);
+  return diags.hasErrors() ? diags.str() : "";
+}
+
+TEST(Sema, CleanKernel) {
+  EXPECT_EQ(checkSource(R"(
+__kernel void k(__global float* out, int n) {
+  int i = get_global_id(0);
+  if (i < n) out[i] = 2.0f * (float)i;
+})"),
+            "");
+}
+
+TEST(Sema, UndeclaredNameIsError) {
+  EXPECT_NE(checkSource("__kernel void k() { int a = b; }"), "");
+}
+
+TEST(Sema, RedeclarationInSameScopeIsError) {
+  EXPECT_NE(checkSource("__kernel void k() { int a = 0; int a = 1; }"), "");
+}
+
+TEST(Sema, ShadowingInInnerScopeIsAllowed) {
+  EXPECT_EQ(checkSource(
+                "__kernel void k() { int a = 0; { int a = 1; a = a + 1; } }"),
+            "");
+}
+
+TEST(Sema, KernelMustReturnVoid) {
+  EXPECT_NE(checkSource("__kernel int k() { return 1; }"), "");
+}
+
+TEST(Sema, KernelPointerParamNeedsAddressSpace) {
+  EXPECT_NE(checkSource("__kernel void k(float* p) { }"), "");
+  EXPECT_EQ(checkSource("__kernel void k(__global float* p) { }"), "");
+}
+
+TEST(Sema, AssignToConstParamIsError) {
+  EXPECT_NE(checkSource("__kernel void k(const int n) { n = 3; }"), "");
+}
+
+TEST(Sema, AssignToRValueIsError) {
+  EXPECT_NE(checkSource("__kernel void k(int a, int b) { a + b = 3; }"), "");
+}
+
+TEST(Sema, ArrayDimensionMustBeConstant) {
+  EXPECT_NE(checkSource("__kernel void k(int n) { __local float lm[n]; }"),
+            "");
+  EXPECT_EQ(
+      checkSource("__kernel void k() { __local float lm[4*4]; lm[0]=1.0f; }"),
+      "");
+}
+
+TEST(Sema, WrongIndexArityIsError) {
+  EXPECT_NE(checkSource(R"(
+__kernel void k() { __local float lm[4][4]; lm[1] = 0.0f; })"),
+            "");
+  EXPECT_NE(checkSource(R"(
+__kernel void k(__global float* p) { p[1][2] = 0.0f; })"),
+            "");
+}
+
+TEST(Sema, SubscriptOfScalarIsError) {
+  EXPECT_NE(checkSource("__kernel void k(int a) { int x = a[0]; }"), "");
+}
+
+TEST(Sema, VectorMemberAccess) {
+  EXPECT_EQ(checkSource(
+                "__kernel void k(float4 v) { float x = v.x + v.w; }"),
+            "");
+  EXPECT_NE(checkSource("__kernel void k(float4 v) { float x = v.q; }"), "");
+  // .z is out of range for float2.
+  EXPECT_NE(checkSource("__kernel void k(float2 v) { float x = v.z; }"), "");
+}
+
+TEST(Sema, MemberOfScalarIsError) {
+  EXPECT_NE(checkSource("__kernel void k(float f) { float x = f.x; }"), "");
+}
+
+TEST(Sema, UnknownFunctionIsError) {
+  EXPECT_NE(checkSource("__kernel void k() { frobnicate(1); }"), "");
+}
+
+TEST(Sema, BuiltinArityChecked) {
+  EXPECT_NE(checkSource("__kernel void k() { int i = get_global_id(); }"),
+            "");
+  EXPECT_NE(checkSource("__kernel void k(float f) { float s = sqrt(f, f); }"),
+            "");
+}
+
+TEST(Sema, BreakOutsideLoopIsError) {
+  EXPECT_NE(checkSource("__kernel void k() { break; }"), "");
+  EXPECT_EQ(checkSource(
+                "__kernel void k() { for (int i = 0; i < 4; ++i) break; }"),
+            "");
+}
+
+TEST(Sema, IncDecRequiresIntegerLValue) {
+  EXPECT_NE(checkSource("__kernel void k(float f) { f++; }"), "");
+  EXPECT_NE(checkSource("__kernel void k() { 3++; }"), "");
+}
+
+TEST(Sema, DotRequiresIdenticalVectors) {
+  EXPECT_EQ(checkSource(
+                "__kernel void k(float4 a, float4 b) { float d = dot(a, b); }"),
+            "");
+  EXPECT_NE(checkSource(
+                "__kernel void k(float4 a, float2 b) { float d = dot(a, b); }"),
+            "");
+}
+
+TEST(Sema, PointerLocalVariablesRejected) {
+  EXPECT_NE(checkSource(
+                "__kernel void k(__global float* p) { __global float* q; }"),
+            "");
+}
+
+TEST(Sema, LocalScalarVariablesRejected) {
+  EXPECT_NE(checkSource("__kernel void k() { __local float x; }"), "");
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  EXPECT_NE(checkSource(
+                "__kernel void k(float4 v, __global float* o) { if (v) o[0] = 1.0f; }"),
+            "");
+}
+
+TEST(Sema, VectorScalarBroadcastInArithmetic) {
+  EXPECT_EQ(checkSource(
+                "__kernel void k(float4 v) { float4 w = v * 2.0f; }"),
+            "");
+}
+
+TEST(Sema, IncompatibleVectorOpsRejected) {
+  EXPECT_NE(checkSource(
+                "__kernel void k(float4 a, int4 b) { float4 c = a + b; }"),
+            "");
+}
+
+TEST(Sema, TypesAnnotatedOnExpressions) {
+  DiagnosticEngine diags;
+  Lexer lexer("__kernel void k(int a, float f) { float x = a + f; }", diags);
+  Parser parser(lexer.tokens(), diags);
+  auto tu = parser.parse();
+  ir::Context ctx;
+  Sema sema(ctx, diags);
+  ASSERT_TRUE(sema.check(*tu));
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  ASSERT_NE(decl.init->type, nullptr);
+  EXPECT_EQ(decl.init->type, ctx.floatTy());  // int + float promotes
+}
+
+TEST(SemaHelpers, CommonNumericType) {
+  ir::Context ctx;
+  EXPECT_EQ(commonNumericType(ctx, ctx.int32Ty(), ctx.floatTy()),
+            ctx.floatTy());
+  EXPECT_EQ(commonNumericType(ctx, ctx.int32Ty(), ctx.int64Ty()),
+            ctx.int64Ty());
+  EXPECT_EQ(commonNumericType(ctx, ctx.boolTy(), ctx.boolTy()),
+            ctx.int32Ty());  // bool promotes to int
+  ir::Type* v4 = ctx.vectorTy(ctx.floatTy(), 4);
+  EXPECT_EQ(commonNumericType(ctx, v4, ctx.floatTy()), v4);
+  EXPECT_EQ(commonNumericType(ctx, v4, ctx.vectorTy(ctx.int32Ty(), 4)),
+            nullptr);
+}
+
+TEST(SemaHelpers, EvalConstIntExpr) {
+  DiagnosticEngine diags;
+  Lexer lexer("__kernel void k() { __local float a[2*8+1]; a[0] = 0.0f; }",
+              diags);
+  Parser parser(lexer.tokens(), diags);
+  auto tu = parser.parse();
+  const auto& decl =
+      static_cast<const DeclStmt&>(*tu->kernels[0]->body->stmts[0]);
+  EXPECT_EQ(evalConstIntExpr(*decl.arrayDims[0]), 17);
+}
+
+}  // namespace
+}  // namespace grover::clc

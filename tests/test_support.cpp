@@ -1,0 +1,80 @@
+// String helpers, diagnostics, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "support/diagnostics.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace grover {
+namespace {
+
+TEST(Str, Cat) { EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5"); }
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Str, Fixed) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(2.0, 3), "2.000");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.hasErrors());
+  diags.warning({1, 2}, "w");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error({3, 4}, "e");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.all().size(), 2u);
+  EXPECT_NE(diags.str().find("3:4: error: e"), std::string::npos);
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(Diagnostics, NoLocRendersWithoutPosition) {
+  DiagnosticEngine diags;
+  diags.error("standalone");
+  EXPECT_EQ(diags.all()[0].str(), "error: standalone");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.waitIdle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.waitIdle();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace grover

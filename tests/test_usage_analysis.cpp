@@ -1,0 +1,134 @@
+// Local-memory usage detection (paper contribution #2).
+#include "grover/usage_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "grovercl/compiler.h"
+
+namespace grover::grv {
+namespace {
+
+LocalUsageReport analyze(Program& program, const std::string& src) {
+  program = compile(src);
+  return analyzeLocalMemoryUsage(*program.module->kernels().at(0));
+}
+
+TEST(UsageAnalysis, DetectsSoftwareCache) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[16][4];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  lm[lx][ly] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = lm[lx][ly];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  const LocalBufferUsage& b = report.buffers[0];
+  EXPECT_EQ(b.kind, LocalUsageKind::SoftwareCache);
+  EXPECT_EQ(b.sizeBytes, 256u);
+  EXPECT_EQ(b.declaredDims, (std::vector<std::uint64_t>{16, 4}));
+  EXPECT_EQ(b.numStores, 1u);
+  EXPECT_EQ(b.numLoads, 1u);
+  EXPECT_EQ(b.numStagingPairs, 1u);
+  EXPECT_TRUE(b.guardedByBarrier);
+  EXPECT_TRUE(report.anyReversible());
+  EXPECT_EQ(report.totalLocalBytes, 256u);
+  EXPECT_EQ(report.numBarriers, 1u);
+}
+
+TEST(UsageAnalysis, DetectsTemporalStorage) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float scratch[64];
+  int lx = get_local_id(0);
+  scratch[lx] = in[lx] + 1.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = scratch[lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_EQ(report.buffers[0].kind, LocalUsageKind::TemporalStorage);
+  EXPECT_FALSE(report.anyReversible());
+}
+
+TEST(UsageAnalysis, DetectsWriteOnly) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = in[lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_EQ(report.buffers[0].kind, LocalUsageKind::WriteOnly);
+}
+
+TEST(UsageAnalysis, DetectsReadOnly) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  out[lx] = lm[lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_EQ(report.buffers[0].kind, LocalUsageKind::ReadOnly);
+}
+
+TEST(UsageAnalysis, MixedBuffersClassifiedIndependently) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float cacheBuf[16];
+  __local float scratch[16];
+  int lx = get_local_id(0);
+  cacheBuf[lx] = in[lx];
+  scratch[lx] = in[lx] * 2.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = cacheBuf[15 - lx] + scratch[15 - lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 2u);
+  EXPECT_EQ(report.find("cacheBuf")->kind, LocalUsageKind::SoftwareCache);
+  EXPECT_EQ(report.find("scratch")->kind, LocalUsageKind::TemporalStorage);
+  EXPECT_TRUE(report.anyReversible());
+  EXPECT_EQ(report.find("nonexistent"), nullptr);
+}
+
+TEST(UsageAnalysis, ReportRenders) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[8];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = lm[7 - lx];
+})");
+  const std::string text = report.str();
+  EXPECT_NE(text.find("software-cache"), std::string::npos);
+  EXPECT_NE(text.find("lm"), std::string::npos);
+  EXPECT_NE(text.find("32 B"), std::string::npos);
+}
+
+TEST(UsageAnalysis, AllPaperAppsAreSoftwareCaches) {
+  // Every Table I benchmark uses local memory as a software cache — the
+  // precondition for the paper's 100% transformation success.
+  for (const auto& app : apps::allApplications()) {
+    Program program = compile(app->source());
+    auto report =
+        analyzeLocalMemoryUsage(*program.kernel(app->kernelName()));
+    EXPECT_TRUE(report.anyReversible()) << app->id();
+    for (const auto& b : report.buffers) {
+      EXPECT_EQ(b.kind, LocalUsageKind::SoftwareCache)
+          << app->id() << " buffer " << b.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grover::grv

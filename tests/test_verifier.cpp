@@ -1,0 +1,189 @@
+// IR verifier: each structural/SSA rule has a test that violates it.
+#include "ir/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/casting.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace grover::ir {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Module module{ctx, "m"};
+  IRBuilder builder{ctx};
+
+  Function* newFn() {
+    Function* fn = module.addFunction("f", ctx.voidTy(), true);
+    return fn;
+  }
+};
+
+TEST_F(VerifierTest, AcceptsMinimalFunction) {
+  Function* fn = newFn();
+  builder.setInsertPoint(fn->addBlock("entry"));
+  builder.createRetVoid();
+  EXPECT_NO_THROW(verifyFunction(*fn));
+}
+
+TEST_F(VerifierTest, RejectsEmptyFunction) {
+  Function* fn = newFn();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsMissingTerminator) {
+  Function* fn = newFn();
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  builder.setInsertPoint(fn->addBlock("entry"));
+  builder.createAdd(a, a);
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsUseBeforeDefInBlock) {
+  Function* fn = newFn();
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  builder.setInsertPoint(bb);
+  Value* first = builder.createAdd(a, a);
+  Value* second = builder.createAdd(a, a);
+  builder.createRetVoid();
+  // Make the *first* instruction use the second.
+  cast<BinaryInst>(first)->setOperand(1, second);
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsCrossFunctionOperand) {
+  Function* fn1 = newFn();
+  Argument* a1 = fn1->addArgument(ctx.int32Ty(), "a");
+  builder.setInsertPoint(fn1->addBlock("entry"));
+  builder.createAdd(a1, a1);
+  builder.createRetVoid();
+
+  Function* fn2 = module.addFunction("g", ctx.voidTy(), true);
+  builder.setInsertPoint(fn2->addBlock("entry"));
+  builder.createAdd(a1, a1);  // a1 belongs to fn1!
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn2), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsPhiEdgeMismatch) {
+  Function* fn = newFn();
+  Argument* c = fn->addArgument(ctx.boolTy(), "c");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* merge = fn->addBlock("merge");
+  builder.setInsertPoint(entry);
+  builder.createCondBr(c, t, merge);
+  builder.setInsertPoint(t);
+  builder.createBr(merge);
+  builder.setInsertPoint(merge);
+  PhiInst* phi = builder.createPhi(ctx.int32Ty(), "p");
+  phi->addIncoming(ctx.getInt32(1), entry);  // missing edge from t
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, AcceptsWellFormedPhi) {
+  Function* fn = newFn();
+  Argument* c = fn->addArgument(ctx.boolTy(), "c");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* merge = fn->addBlock("merge");
+  builder.setInsertPoint(entry);
+  builder.createCondBr(c, t, merge);
+  builder.setInsertPoint(t);
+  builder.createBr(merge);
+  builder.setInsertPoint(merge);
+  PhiInst* phi = builder.createPhi(ctx.int32Ty(), "p");
+  phi->addIncoming(ctx.getInt32(1), entry);
+  phi->addIncoming(ctx.getInt32(2), t);
+  builder.createRetVoid();
+  EXPECT_NO_THROW(verifyFunction(*fn));
+}
+
+TEST_F(VerifierTest, RejectsPhiAfterNonPhi) {
+  Function* fn = newFn();
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* bb = fn->addBlock("entry");
+  builder.setInsertPoint(bb);
+  builder.createAdd(a, a);
+  // Force a phi after the add by appending directly.
+  auto phi = std::make_unique<PhiInst>(ctx.int32Ty());
+  bb->append(std::move(phi));
+  builder.setInsertPoint(bb);
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsStoreTypeMismatch) {
+  Function* fn = newFn();
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  // Bypass the builder's checks with a raw StoreInst.
+  auto store = std::make_unique<StoreInst>(ctx, ctx.getInt32(1), out);
+  bb->append(std::move(store));
+  builder.setInsertPoint(bb);
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsBinaryOperandMismatch) {
+  Function* fn = newFn();
+  Argument* i = fn->addArgument(ctx.int32Ty(), "i");
+  Argument* f = fn->addArgument(ctx.floatTy(), "f");
+  BasicBlock* bb = fn->addBlock("entry");
+  auto bad = std::make_unique<BinaryInst>(BinaryOp::Add, i, f);
+  bb->append(std::move(bad));
+  builder.setInsertPoint(bb);
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsFloatOpcodeOnInts) {
+  Function* fn = newFn();
+  Argument* i = fn->addArgument(ctx.int32Ty(), "i");
+  BasicBlock* bb = fn->addBlock("entry");
+  auto bad = std::make_unique<BinaryInst>(BinaryOp::FAdd, i, i);
+  bb->append(std::move(bad));
+  builder.setInsertPoint(bb);
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsCondBrOnNonBool) {
+  Function* fn = newFn();
+  Argument* i = fn->addArgument(ctx.int32Ty(), "i");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  auto bad = std::make_unique<CondBrInst>(ctx, i, t, t);
+  entry->append(std::move(bad));
+  builder.setInsertPoint(t);
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+TEST_F(VerifierTest, RejectsDominanceViolationAcrossBlocks) {
+  Function* fn = newFn();
+  Argument* c = fn->addArgument(ctx.boolTy(), "c");
+  Argument* a = fn->addArgument(ctx.int32Ty(), "a");
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* t = fn->addBlock("t");
+  BasicBlock* f = fn->addBlock("f");
+  builder.setInsertPoint(entry);
+  builder.createCondBr(c, t, f);
+  builder.setInsertPoint(t);
+  Value* defined = builder.createAdd(a, a);
+  builder.createRetVoid();
+  builder.setInsertPoint(f);
+  builder.createAdd(cast<BinaryInst>(defined), a);  // t does not dominate f
+  builder.createRetVoid();
+  EXPECT_THROW(verifyFunction(*fn), GroverError);
+}
+
+}  // namespace
+}  // namespace grover::ir

@@ -1,0 +1,141 @@
+// groverc — command-line front-end for the Grover pass.
+//
+// Usage:
+//   groverc <kernel.cl> [--kernel=<name>] [--only=<buffer>]...
+//           [--keep-barriers] [--no-cleanup] [--before] [--report-only]
+//
+// Reads an OpenCL C kernel, runs the full pipeline (front-end → SSA →
+// Grover), prints the Table III-style index report, and dumps the
+// transformed IR (and optionally the original IR with --before).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "grover/grover_pass.h"
+#include "grover/usage_analysis.h"
+#include "grovercl/compiler.h"
+#include "ir/printer.h"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: groverc <kernel.cl> [options]\n"
+      "  --kernel=<name>   transform only this kernel (default: all)\n"
+      "  --only=<buffer>   only disable this __local buffer (repeatable)\n"
+      "  --keep-barriers   do not remove redundant barriers\n"
+      "  --no-cleanup      skip the DCE sweep after the transformation\n"
+      "  --before          also print the IR before the transformation\n"
+      "  --report-only     print the index report, no IR\n"
+      "  --analyze         only classify local-memory usage, no transform\n";
+}
+
+void printReport(const grover::grv::GroverResult& result) {
+  for (const auto& b : result.buffers) {
+    std::cout << "buffer '" << b.bufferName << "': "
+              << (b.transformed ? "local memory disabled" : "refused");
+    if (!b.transformed) std::cout << " (" << b.reason << ")";
+    std::cout << "\n";
+    if (!b.transformed) continue;
+    std::cout << "  GL  index: " << b.glIndex << "\n"
+              << "  LS  index: " << b.lsIndex << "   ["
+              << toString(b.lsPattern) << "]\n"
+              << "  LL  index: " << b.llIndex << "   ["
+              << toString(b.llPattern) << "]\n"
+              << "  solution : " << b.solution << "\n"
+              << "  nGL index: " << b.nglIndex << "\n"
+              << "  staging pairs: " << b.numStagingPairs
+              << ", local loads rewritten: " << b.numLocalLoads << "\n";
+  }
+  if (result.barriersRemoved) {
+    std::cout << "redundant local barriers removed\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string path;
+  std::string kernelName;
+  grover::grv::GroverOptions options;
+  bool showBefore = false;
+  bool reportOnly = false;
+  bool analyzeOnly = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--kernel=", 0) == 0) {
+      kernelName = arg.substr(9);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      options.onlyBuffers.insert(arg.substr(7));
+    } else if (arg == "--keep-barriers") {
+      options.removeBarriers = false;
+    } else if (arg == "--no-cleanup") {
+      options.cleanup = false;
+    } else if (arg == "--before") {
+      showBefore = true;
+    } else if (arg == "--report-only") {
+      reportOnly = true;
+    } else if (arg == "--analyze") {
+      analyzeOnly = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream source;
+  source << file.rdbuf();
+
+  try {
+    grover::Program program = grover::compile(source.str());
+    bool anyKernel = false;
+    for (const auto& fn : program.module->functions()) {
+      if (!fn->isKernel()) continue;
+      if (!kernelName.empty() && fn->name() != kernelName) continue;
+      anyKernel = true;
+      std::cout << "=== kernel '" << fn->name() << "' ===\n";
+      if (analyzeOnly) {
+        std::cout << grover::grv::analyzeLocalMemoryUsage(*fn).str();
+        continue;
+      }
+      if (showBefore) {
+        std::cout << "--- before ---\n" << grover::ir::printFunction(*fn);
+      }
+      const auto result = grover::grv::runGrover(*fn, options);
+      printReport(result);
+      if (!reportOnly) {
+        std::cout << "--- after ---\n" << grover::ir::printFunction(*fn);
+      }
+    }
+    if (!anyKernel) {
+      std::cerr << "no matching kernel found\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
