@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_indices.dir/bench_table3_indices.cpp.o"
+  "CMakeFiles/bench_table3_indices.dir/bench_table3_indices.cpp.o.d"
+  "bench_table3_indices"
+  "bench_table3_indices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_transpose_walkthrough.dir/matrix_transpose_walkthrough.cpp.o"
+  "CMakeFiles/example_matrix_transpose_walkthrough.dir/matrix_transpose_walkthrough.cpp.o.d"
+  "example_matrix_transpose_walkthrough"
+  "example_matrix_transpose_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_transpose_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

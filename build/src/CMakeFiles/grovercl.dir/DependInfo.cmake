@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/grovercl.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/apps/common.cpp" "src/CMakeFiles/grovercl.dir/apps/common.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/apps/common.cpp.o.d"
+  "/root/repo/src/apps/matmul_apps.cpp" "src/CMakeFiles/grovercl.dir/apps/matmul_apps.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/apps/matmul_apps.cpp.o.d"
+  "/root/repo/src/apps/misc_apps.cpp" "src/CMakeFiles/grovercl.dir/apps/misc_apps.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/apps/misc_apps.cpp.o.d"
+  "/root/repo/src/apps/transpose_apps.cpp" "src/CMakeFiles/grovercl.dir/apps/transpose_apps.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/apps/transpose_apps.cpp.o.d"
+  "/root/repo/src/clc/lexer.cpp" "src/CMakeFiles/grovercl.dir/clc/lexer.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/clc/lexer.cpp.o.d"
+  "/root/repo/src/clc/parser.cpp" "src/CMakeFiles/grovercl.dir/clc/parser.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/clc/parser.cpp.o.d"
+  "/root/repo/src/clc/sema.cpp" "src/CMakeFiles/grovercl.dir/clc/sema.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/clc/sema.cpp.o.d"
+  "/root/repo/src/codegen/irgen.cpp" "src/CMakeFiles/grovercl.dir/codegen/irgen.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/codegen/irgen.cpp.o.d"
+  "/root/repo/src/grover/atom.cpp" "src/CMakeFiles/grovercl.dir/grover/atom.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/atom.cpp.o.d"
+  "/root/repo/src/grover/candidates.cpp" "src/CMakeFiles/grovercl.dir/grover/candidates.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/candidates.cpp.o.d"
+  "/root/repo/src/grover/dim_split.cpp" "src/CMakeFiles/grovercl.dir/grover/dim_split.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/dim_split.cpp.o.d"
+  "/root/repo/src/grover/duplicate.cpp" "src/CMakeFiles/grovercl.dir/grover/duplicate.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/duplicate.cpp.o.d"
+  "/root/repo/src/grover/expr_tree.cpp" "src/CMakeFiles/grovercl.dir/grover/expr_tree.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/expr_tree.cpp.o.d"
+  "/root/repo/src/grover/grover_pass.cpp" "src/CMakeFiles/grovercl.dir/grover/grover_pass.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/grover_pass.cpp.o.d"
+  "/root/repo/src/grover/linear_decomp.cpp" "src/CMakeFiles/grovercl.dir/grover/linear_decomp.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/linear_decomp.cpp.o.d"
+  "/root/repo/src/grover/linear_system.cpp" "src/CMakeFiles/grovercl.dir/grover/linear_system.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/linear_system.cpp.o.d"
+  "/root/repo/src/grover/usage_analysis.cpp" "src/CMakeFiles/grovercl.dir/grover/usage_analysis.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grover/usage_analysis.cpp.o.d"
+  "/root/repo/src/grovercl/compiler.cpp" "src/CMakeFiles/grovercl.dir/grovercl/compiler.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grovercl/compiler.cpp.o.d"
+  "/root/repo/src/grovercl/harness.cpp" "src/CMakeFiles/grovercl.dir/grovercl/harness.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/grovercl/harness.cpp.o.d"
+  "/root/repo/src/ir/basic_block.cpp" "src/CMakeFiles/grovercl.dir/ir/basic_block.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/grovercl.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/context.cpp" "src/CMakeFiles/grovercl.dir/ir/context.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/context.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/grovercl.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/grovercl.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/ir_parser.cpp" "src/CMakeFiles/grovercl.dir/ir/ir_parser.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/ir_parser.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/grovercl.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/grovercl.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/grovercl.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/CMakeFiles/grovercl.dir/ir/value.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/value.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/grovercl.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/passes/barrier_elim.cpp" "src/CMakeFiles/grovercl.dir/passes/barrier_elim.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/barrier_elim.cpp.o.d"
+  "/root/repo/src/passes/constant_fold.cpp" "src/CMakeFiles/grovercl.dir/passes/constant_fold.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/constant_fold.cpp.o.d"
+  "/root/repo/src/passes/cse.cpp" "src/CMakeFiles/grovercl.dir/passes/cse.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/cse.cpp.o.d"
+  "/root/repo/src/passes/dce.cpp" "src/CMakeFiles/grovercl.dir/passes/dce.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/dce.cpp.o.d"
+  "/root/repo/src/passes/mem2reg.cpp" "src/CMakeFiles/grovercl.dir/passes/mem2reg.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/mem2reg.cpp.o.d"
+  "/root/repo/src/passes/pass.cpp" "src/CMakeFiles/grovercl.dir/passes/pass.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/pass.cpp.o.d"
+  "/root/repo/src/passes/simplify_cfg.cpp" "src/CMakeFiles/grovercl.dir/passes/simplify_cfg.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/passes/simplify_cfg.cpp.o.d"
+  "/root/repo/src/perf/cache_sim.cpp" "src/CMakeFiles/grovercl.dir/perf/cache_sim.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/perf/cache_sim.cpp.o.d"
+  "/root/repo/src/perf/cpu_model.cpp" "src/CMakeFiles/grovercl.dir/perf/cpu_model.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/perf/cpu_model.cpp.o.d"
+  "/root/repo/src/perf/estimator.cpp" "src/CMakeFiles/grovercl.dir/perf/estimator.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/perf/estimator.cpp.o.d"
+  "/root/repo/src/perf/gpu_model.cpp" "src/CMakeFiles/grovercl.dir/perf/gpu_model.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/perf/gpu_model.cpp.o.d"
+  "/root/repo/src/perf/platform.cpp" "src/CMakeFiles/grovercl.dir/perf/platform.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/perf/platform.cpp.o.d"
+  "/root/repo/src/rt/interpreter.cpp" "src/CMakeFiles/grovercl.dir/rt/interpreter.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/rt/interpreter.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/grovercl.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/rational.cpp" "src/CMakeFiles/grovercl.dir/support/rational.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/support/rational.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/grovercl.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/support/str.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/grovercl.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/grovercl.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cse.dir/test_cse.cpp.o"
+  "CMakeFiles/test_cse.dir/test_cse.cpp.o.d"
+  "test_cse"
+  "test_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dominators.dir/test_dominators.cpp.o"
+  "CMakeFiles/test_dominators.dir/test_dominators.cpp.o.d"
+  "test_dominators"
+  "test_dominators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dominators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

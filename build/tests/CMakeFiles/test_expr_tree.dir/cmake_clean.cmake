@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr_tree.dir/test_expr_tree.cpp.o"
+  "CMakeFiles/test_expr_tree.dir/test_expr_tree.cpp.o.d"
+  "test_expr_tree"
+  "test_expr_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

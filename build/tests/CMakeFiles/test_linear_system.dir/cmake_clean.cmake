@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_system.dir/test_linear_system.cpp.o"
+  "CMakeFiles/test_linear_system.dir/test_linear_system.cpp.o.d"
+  "test_linear_system"
+  "test_linear_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem2reg.dir/test_mem2reg.cpp.o"
+  "CMakeFiles/test_mem2reg.dir/test_mem2reg.cpp.o.d"
+  "test_mem2reg"
+  "test_mem2reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem2reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

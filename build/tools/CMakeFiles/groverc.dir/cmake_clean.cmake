@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groverc.dir/groverc.cpp.o"
+  "CMakeFiles/groverc.dir/groverc.cpp.o.d"
+  "groverc"
+  "groverc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groverc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
