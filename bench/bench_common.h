@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -11,6 +12,15 @@
 #include "support/str.h"
 
 namespace grover::bench {
+
+/// Write a machine-readable result blob next to the working directory.
+/// Benches emit BENCH_<name>.json so runs can be diffed across commits.
+inline void writeBenchJson(const std::string& name, const std::string& json) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << json;
+  std::cerr << "wrote " << path << "\n";
+}
 
 struct SweepCell {
   double np = 0;       // normalized performance (paper's y-axis)

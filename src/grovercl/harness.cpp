@@ -23,10 +23,11 @@ KernelPair prepareKernelPair(const apps::Application& app) {
 
 std::optional<std::string> runAndValidate(const apps::Application& app,
                                           ir::Function& kernel,
-                                          apps::Scale scale) {
+                                          apps::Scale scale,
+                                          unsigned threads) {
   apps::Instance instance = app.makeInstance(scale);
   rt::Launch launch(kernel, instance.range, instance.args);
-  launch.run();
+  launch.run(threads);
   std::string message;
   if (!instance.validate(message)) return message;
   return std::nullopt;
@@ -34,7 +35,7 @@ std::optional<std::string> runAndValidate(const apps::Application& app,
 
 PerfComparison comparePerformance(const apps::Application& app,
                                   const perf::PlatformSpec& platform,
-                                  apps::Scale scale) {
+                                  apps::Scale scale, unsigned threads) {
   KernelPair pair = prepareKernelPair(app);
 
   PerfComparison cmp;
@@ -42,13 +43,13 @@ PerfComparison comparePerformance(const apps::Application& app,
     apps::Instance instance = app.makeInstance(scale);
     cmp.withLM = perf::estimate(platform, *pair.originalKernel,
                                 instance.range, instance.args,
-                                instance.benchSampleStride);
+                                instance.benchSampleStride, threads);
   }
   {
     apps::Instance instance = app.makeInstance(scale);
     cmp.withoutLM = perf::estimate(platform, *pair.transformedKernel,
                                    instance.range, instance.args,
-                                   instance.benchSampleStride);
+                                   instance.benchSampleStride, threads);
   }
   cmp.cyclesWithLM = cmp.withLM.cycles;
   cmp.cyclesWithoutLM = cmp.withoutLM.cycles;
@@ -59,8 +60,9 @@ PerfComparison comparePerformance(const apps::Application& app,
 }
 
 std::string autotune(const apps::Application& app,
-                     const perf::PlatformSpec& platform, apps::Scale scale) {
-  const PerfComparison cmp = comparePerformance(app, platform, scale);
+                     const perf::PlatformSpec& platform, apps::Scale scale,
+                     unsigned threads) {
+  const PerfComparison cmp = comparePerformance(app, platform, scale, threads);
   return cmp.normalized > 1.0 ? "without-local-memory" : "with-local-memory";
 }
 

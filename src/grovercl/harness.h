@@ -32,8 +32,10 @@ struct KernelPair {
 
 /// Run one kernel version against the app's dataset and validate against
 /// the sequential reference. Returns an error message on mismatch.
+/// `threads` = host threads for the launch (0 = hardware_concurrency).
 [[nodiscard]] std::optional<std::string> runAndValidate(
-    const apps::Application& app, ir::Function& kernel, apps::Scale scale);
+    const apps::Application& app, ir::Function& kernel, apps::Scale scale,
+    unsigned threads = 0);
 
 /// Performance comparison of the two versions on one platform model.
 struct PerfComparison {
@@ -46,15 +48,19 @@ struct PerfComparison {
   perf::PerfEstimate withoutLM;
 };
 
+/// `threads` = host threads for trace-driven estimation (0 = hardware
+/// concurrency); estimates are bit-identical for every thread count.
 [[nodiscard]] PerfComparison comparePerformance(const apps::Application& app,
                                                 const perf::PlatformSpec& platform,
-                                                apps::Scale scale);
+                                                apps::Scale scale,
+                                                unsigned threads = 0);
 
 /// The auto-tuning step: returns "with-local-memory" or
 /// "without-local-memory" — whichever version the platform model predicts
 /// to be faster.
 [[nodiscard]] std::string autotune(const apps::Application& app,
                                    const perf::PlatformSpec& platform,
-                                   apps::Scale scale = apps::Scale::Bench);
+                                   apps::Scale scale = apps::Scale::Bench,
+                                   unsigned threads = 0);
 
 }  // namespace grover

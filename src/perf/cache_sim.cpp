@@ -95,4 +95,25 @@ double CacheHierarchy::access(std::uint64_t address, std::uint32_t size) {
   return worst;
 }
 
+double CacheHierarchy::accessPrivate(std::uint64_t address, std::uint32_t size,
+                                     std::vector<std::uint64_t>& deferred) {
+  const unsigned lineSize =
+      levels_.empty() ? 64U : levels_.front().lineSize();
+  const std::uint64_t first = address / lineSize;
+  const std::uint64_t last = (address + (size == 0 ? 0 : size - 1)) / lineSize;
+  double worst = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    bool hit = false;
+    for (CacheLevel& level : levels_) {
+      if (level.access(line * lineSize)) {
+        worst = std::max(worst, level.spec().hitCycles);
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) deferred.push_back(line * lineSize);
+  }
+  return worst;
+}
+
 }  // namespace grover::perf

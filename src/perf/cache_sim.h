@@ -54,6 +54,18 @@ class CacheHierarchy {
   /// every covered line; the worst line determines the latency).
   double access(std::uint64_t address, std::uint32_t size);
 
+  /// Like access(), but touching only the private levels: every covered
+  /// line that misses all of them is appended to `deferred` (line-aligned
+  /// addresses, in line order) instead of probing the shared LLC. The
+  /// returned latency covers the private hits only; the caller resolves
+  /// each deferred line against the LLC later and takes the max. Splitting
+  /// the access this way lets private-level simulation run concurrently
+  /// per shard while the shared LLC is replayed serially in group order —
+  /// max() over per-line latencies is insensitive to the split point, so
+  /// the combined latency is identical to a plain access() call.
+  double accessPrivate(std::uint64_t address, std::uint32_t size,
+                       std::vector<std::uint64_t>& deferred);
+
   [[nodiscard]] const std::vector<CacheLevel>& levels() const {
     return levels_;
   }

@@ -20,6 +20,23 @@ unsigned CpuModel::threadOf(std::uint32_t group) {
   return it->second % spec_.hwThreads;
 }
 
+std::uint64_t CpuModel::remapAddress(unsigned tid,
+                                     const rt::MemAccess& access) const {
+  switch (access.space) {
+    case ir::AddrSpace::Global:
+    case ir::AddrSpace::Constant:
+      return access.address;  // already a flat buffer address
+    case ir::AddrSpace::Local:
+      // Per-thread local arena, reused across groups — the staging buffer
+      // stays cache-hot on the thread that keeps re-filling it.
+      return kLocalBase + tid * kLocalWindow + access.address;
+    case ir::AddrSpace::Private:
+      // Work-item private data cycles through the same thread-local stack.
+      return kPrivateBase + tid * kLocalWindow + access.address;
+  }
+  return access.address;
+}
+
 CpuModel::CpuModel(const PlatformSpec& spec) : spec_(spec) {
   if (spec_.sharedLLC.bytes != 0) {
     shared_llc_ = std::make_unique<CacheLevel>(spec_.sharedLLC);
@@ -34,23 +51,8 @@ CpuModel::CpuModel(const PlatformSpec& spec) : spec_(spec) {
 void CpuModel::onAccess(const rt::MemAccess& access) {
   const unsigned tid = threadOf(access.group);
   Thread& thread = threads_[tid];
-
-  std::uint64_t address = access.address;
-  switch (access.space) {
-    case ir::AddrSpace::Global:
-    case ir::AddrSpace::Constant:
-      break;  // already a flat buffer address
-    case ir::AddrSpace::Local:
-      // Per-thread local arena, reused across groups — the staging buffer
-      // stays cache-hot on the thread that keeps re-filling it.
-      address = kLocalBase + tid * kLocalWindow + access.address;
-      break;
-    case ir::AddrSpace::Private:
-      // Work-item private data cycles through the same thread-local stack.
-      address = kPrivateBase + tid * kLocalWindow + access.address;
-      break;
-  }
-  const double latency = thread.caches->access(address, access.size);
+  const double latency =
+      thread.caches->access(remapAddress(tid, access), access.size);
   const double exposed = latency * spec_.memOverlap;
   thread.cycles += exposed;
   thread.memCycles += exposed;
@@ -68,6 +70,53 @@ void CpuModel::onGroupFinish(std::uint32_t group,
       static_cast<double>(counters.barrier) * spec_.barrierCycles;
   thread.cycles += spec_.groupOverheadCycles;
   totals_ += counters;
+}
+
+CpuModel::GroupDigest CpuModel::digestGroup(unsigned shard,
+                                            const rt::GroupTrace& trace) {
+  GroupDigest digest;
+  digest.tid = shard;
+  digest.counters = trace.counters;
+  digest.accesses.reserve(trace.accesses.size());
+  CacheHierarchy& caches = *threads_[shard].caches;
+  for (const rt::MemAccess& access : trace.accesses) {
+    GroupDigest::Access rec;
+    const std::size_t before = digest.deferredLines.size();
+    // accessPrivate never touches the shared LLC, so concurrent digests on
+    // different shards race only on disjoint private cache state.
+    rec.privateLat = caches.accessPrivate(remapAddress(shard, access),
+                                          access.size, digest.deferredLines);
+    rec.deferred =
+        static_cast<std::uint32_t>(digest.deferredLines.size() - before);
+    digest.accesses.push_back(rec);
+  }
+  return digest;
+}
+
+double CpuModel::resolveShared(std::uint64_t lineAddress) {
+  if (shared_llc_ != nullptr && shared_llc_->spec().bytes != 0) {
+    if (shared_llc_->access(lineAddress)) return shared_llc_->spec().hitCycles;
+  }
+  return spec_.memCycles;
+}
+
+void CpuModel::mergeGroup(const GroupDigest& digest) {
+  Thread& thread = threads_[digest.tid];
+  std::size_t li = 0;
+  for (const GroupDigest::Access& rec : digest.accesses) {
+    double latency = rec.privateLat;
+    for (std::uint32_t i = 0; i < rec.deferred; ++i) {
+      latency = std::max(latency, resolveShared(digest.deferredLines[li++]));
+    }
+    const double exposed = latency * spec_.memOverlap;
+    thread.cycles += exposed;
+    thread.memCycles += exposed;
+  }
+  thread.cycles += static_cast<double>(digest.counters.total()) * spec_.cpi;
+  thread.cycles +=
+      static_cast<double>(digest.counters.barrier) * spec_.barrierCycles;
+  thread.cycles += spec_.groupOverheadCycles;
+  totals_ += digest.counters;
 }
 
 double CpuModel::totalCycles() const {

@@ -5,6 +5,17 @@
 // arena per thread (reused across the groups that thread runs) — exactly
 // why staging through local memory is pure overhead on CPUs unless it
 // improves the layout seen by the caches.
+//
+// Two consumption modes over the same simulation state:
+//  - TraceSink (onAccess/onGroupFinish): the serial push interface.
+//  - digestGroup/mergeGroup: the sharded two-phase interface used by the
+//    parallel estimator (perf/traced_driver.h). digestGroup replays a
+//    group's buffered trace against the private L1/L2 of its modeled
+//    hardware thread (shard) — safe to run concurrently across shards —
+//    and records, per access, the best private-level latency plus the
+//    lines that fell through to the shared LLC. mergeGroup then resolves
+//    those lines against the LLC and accumulates cycles, serially in dense
+//    group order, reproducing the serial path bit for bit.
 #pragma once
 
 #include <memory>
@@ -27,6 +38,35 @@ class CpuModel final : public rt::TraceSink {
   void onGroupFinish(std::uint32_t group,
                      const rt::InstCounters& counters) override;
 
+  /// Private-cache replay digest of one work-group (phase A).
+  struct GroupDigest {
+    unsigned tid = 0;  // modeled hardware thread (= shard)
+    /// Per access: worst private-level hit latency and how many of its
+    /// lines missed every private level (their addresses follow in
+    /// `deferredLines`, in line order).
+    struct Access {
+      double privateLat = 0;
+      std::uint32_t deferred = 0;
+    };
+    std::vector<Access> accesses;
+    std::vector<std::uint64_t> deferredLines;
+    rt::InstCounters counters;
+  };
+
+  /// One shard per modeled hardware thread; groups round-robin over them.
+  [[nodiscard]] unsigned digestShards() const { return spec_.hwThreads; }
+  [[nodiscard]] unsigned shardOf(std::uint32_t denseGroup) const {
+    return denseGroup % spec_.hwThreads;
+  }
+  /// Replay `trace` against shard `shard`'s private caches. Calls for the
+  /// same shard must be serialized and arrive in dense group order; calls
+  /// for different shards may run concurrently (disjoint cache state).
+  [[nodiscard]] GroupDigest digestGroup(unsigned shard,
+                                        const rt::GroupTrace& trace);
+  /// Resolve a digest's LLC-bound lines and accumulate cycles. Must be
+  /// called serially, in dense group order, for every digested group.
+  void mergeGroup(const GroupDigest& digest);
+
   /// Estimated execution cycles: the busiest hardware thread.
   [[nodiscard]] double totalCycles() const;
   /// Aggregate memory-hierarchy cycles (diagnostics).
@@ -46,6 +86,12 @@ class CpuModel final : public rt::TraceSink {
   /// thread assignment, so group *sampling* (every Nth group) still spreads
   /// work over all modeled threads.
   [[nodiscard]] unsigned threadOf(std::uint32_t group);
+
+  /// Local/private windows remap into per-thread flat address ranges.
+  [[nodiscard]] std::uint64_t remapAddress(unsigned tid,
+                                           const rt::MemAccess& access) const;
+  /// Latency of one private-miss line: shared LLC if present, else DRAM.
+  double resolveShared(std::uint64_t lineAddress);
 
   PlatformSpec spec_;
   std::unique_ptr<CacheLevel> shared_llc_;

@@ -1,30 +1,36 @@
 #include "perf/estimator.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "perf/cpu_model.h"
 #include "perf/gpu_model.h"
+#include "perf/traced_driver.h"
 
 namespace grover::perf {
 
 PerfEstimate estimate(const PlatformSpec& platform, ir::Function& fn,
                       const rt::NDRange& range,
                       std::vector<rt::KernelArg> args,
-                      std::uint32_t sampleStride) {
+                      std::uint32_t sampleStride, unsigned threads) {
   rt::Launch launch(fn, range, std::move(args));
   if (sampleStride > 1) launch.setGroupSampling(sampleStride);
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  const auto groups = launch.sampledGroups();
 
   PerfEstimate est;
   if (platform.kind == PlatformKind::CpuCacheOnly) {
     CpuModel model(platform);
-    launch.setTraceSink(&model);
-    launch.run();
+    runTracedLaunch(model, launch.image(), groups, threads);
     est.cycles = model.totalCycles() * sampleStride;
     est.counters = model.counters();
     est.memoryCycles = model.memoryCycles();
     est.l1HitRate = model.l1HitRate();
   } else {
     GpuModel model(platform);
-    launch.setTraceSink(&model);
-    launch.run();
+    runTracedLaunch(model, launch.image(), groups, threads);
     est.cycles = model.totalCycles() * sampleStride;
     est.counters = model.counters();
     est.transactions = model.globalTransactions();

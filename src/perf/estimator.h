@@ -26,11 +26,15 @@ struct PerfEstimate {
 
 /// Execute `fn` over the NDRange (optionally sampling every Nth group) and
 /// estimate its run time on `platform`. Sampling scales the result back up.
+/// `threads` sets how many host threads execute and digest the trace
+/// (0 = hardware_concurrency); the estimate is bit-identical for every
+/// thread count — see perf/traced_driver.h for the guarantee.
 [[nodiscard]] PerfEstimate estimate(const PlatformSpec& platform,
                                     ir::Function& fn,
                                     const rt::NDRange& range,
                                     std::vector<rt::KernelArg> args,
-                                    std::uint32_t sampleStride = 1);
+                                    std::uint32_t sampleStride = 1,
+                                    unsigned threads = 0);
 
 /// normalized performance of "without local memory" vs "with":
 /// np > 1 → disabling local memory is faster (paper Fig. 2/10 y-axis).

@@ -17,27 +17,34 @@ GpuModel::GpuModel(const PlatformSpec& spec) : spec_(spec) {
   }
 }
 
-void GpuModel::onAccess(const rt::MemAccess& access) {
-  if (access.space == ir::AddrSpace::Private) {
-    return;  // registers/private: charged via instruction counters
-  }
+void GpuModel::addPending(
+    PendingMap& pending,
+    std::unordered_map<std::uint64_t, std::uint32_t>& occurrence,
+    const rt::MemAccess& access) const {
   const std::uint32_t warp = access.workItem / spec_.warpSize;
   const std::uint64_t occKey =
       (std::uint64_t{access.workItem} << 32) | access.instSlot;
-  const std::uint32_t occ = occurrence_[occKey]++;
-  WarpAccess& wa = pending_[{warp, access.instSlot, occ}];
+  const std::uint32_t occ = occurrence[occKey]++;
+  WarpAccess& wa = pending[{warp, access.instSlot, occ}];
   wa.addresses.push_back(access.address);
   wa.sizes.push_back(access.size);
   wa.isLocal = access.space == ir::AddrSpace::Local;
   wa.isWrite = access.isWrite;
 }
 
+void GpuModel::onAccess(const rt::MemAccess& access) {
+  if (access.space == ir::AddrSpace::Private) {
+    return;  // registers/private: charged via instruction counters
+  }
+  addPending(pending_, occurrence_, access);
+}
+
 void GpuModel::onBarrier(std::uint32_t group) { (void)group; }
 
-void GpuModel::flushGroup(const rt::InstCounters& counters) {
-  double memCycles = 0;
-  double spmCycles = 0;
-  for (const auto& [key, wa] : pending_) {
+GpuModel::GroupDigest GpuModel::digestPending(const PendingMap& pending) const {
+  GroupDigest digest;
+  for (const auto& [key, wa] : pending) {
+    (void)key;
     if (wa.isLocal) {
       // SPM bank conflicts: words mapping to the same bank serialize.
       // 32-bit banks; simultaneous reads of the *same* word broadcast.
@@ -52,7 +59,7 @@ void GpuModel::flushGroup(const rt::InstCounters& counters) {
         (void)bank;
         degree = std::max(degree, words.size());
       }
-      spmCycles += spec_.spmCycles * static_cast<double>(degree);
+      digest.spmCycles += spec_.spmCycles * static_cast<double>(degree);
       continue;
     }
     // Global coalescing: number of distinct 128-byte segments.
@@ -65,33 +72,56 @@ void GpuModel::flushGroup(const rt::InstCounters& counters) {
       for (std::uint64_t s = first; s <= last; ++s) segments.insert(s);
     }
     for (std::uint64_t segment : segments) {
-      ++transactions_;
-      // Every transaction serializes the LSU (replay); misses add exposed
-      // DRAM latency on top.
-      memCycles += spec_.transactionCycles;
-      const bool hit =
-          cache_ != nullptr && cache_->access(segment * kSegmentBytes);
-      if (!hit) memCycles += spec_.missCycles;
+      digest.segments.push_back(segment * kSegmentBytes);
     }
+  }
+  return digest;
+}
+
+GpuModel::GroupDigest GpuModel::digestGroup(unsigned shard,
+                                            const rt::GroupTrace& trace) const {
+  (void)shard;
+  PendingMap pending;
+  std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
+  for (const rt::MemAccess& access : trace.accesses) {
+    if (access.space == ir::AddrSpace::Private) continue;
+    addPending(pending, occurrence, access);
+  }
+  GroupDigest digest = digestPending(pending);
+  digest.counters = trace.counters;
+  return digest;
+}
+
+void GpuModel::mergeGroup(const GroupDigest& digest) {
+  double memCycles = 0;
+  for (std::uint64_t segment : digest.segments) {
+    ++transactions_;
+    // Every transaction serializes the LSU (replay); misses add exposed
+    // DRAM latency on top.
+    memCycles += spec_.transactionCycles;
+    const bool hit = cache_ != nullptr && cache_->access(segment);
+    if (!hit) memCycles += spec_.missCycles;
   }
 
   const double computeCycles =
-      static_cast<double>(counters.total()) * spec_.gpuCpi +
-      static_cast<double>(counters.barrier) * spec_.gpuBarrierCycles +
-      spmCycles;
+      static_cast<double>(digest.counters.total()) * spec_.gpuCpi +
+      static_cast<double>(digest.counters.barrier) * spec_.gpuBarrierCycles +
+      digest.spmCycles;
   // Compute and memory overlap: the slower pipe bounds the group.
   total_cycles_ += std::max(computeCycles, memCycles);
   group_mem_cycles_ += memCycles;
-  spm_cycles_total_ += spmCycles;
-  pending_.clear();
-  occurrence_.clear();
+  spm_cycles_total_ += digest.spmCycles;
+  totals_ += digest.counters;
 }
 
 void GpuModel::onGroupFinish(std::uint32_t group,
                              const rt::InstCounters& counters) {
   (void)group;
-  totals_ += counters;
-  flushGroup(counters);
+  GroupDigest digest = digestPending(pending_);
+  digest.counters = counters;
+  mergeGroup(digest);
+  pending_.clear();
+  occurrence_.clear();
 }
 
 }  // namespace grover::perf

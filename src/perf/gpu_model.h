@@ -7,6 +7,16 @@
 // max(compute, memory)). These are exactly the mechanisms that make the
 // staged (local-memory) transpose fast and the direct strided one slow on
 // real GPUs.
+//
+// Two consumption modes over the same accumulators:
+//  - TraceSink (onAccess/onGroupFinish): the serial push interface.
+//  - digestGroup/mergeGroup: the two-phase interface for the parallel
+//    estimator (perf/traced_driver.h). Warp formation, bank-conflict
+//    degrees, and coalesced segment lists depend only on one group's trace,
+//    so digestGroup is stateless (digestShards() == 0) and safe to run
+//    concurrently for any set of groups. Only mergeGroup touches shared
+//    state (the device read cache and the cycle accumulators) and must run
+//    serially in dense group order.
 #pragma once
 
 #include <map>
@@ -29,6 +39,28 @@ class GpuModel final : public rt::TraceSink {
   void onGroupFinish(std::uint32_t group,
                      const rt::InstCounters& counters) override;
 
+  /// Group-local digest: everything about one group's memory behaviour
+  /// that can be computed without the shared device cache.
+  struct GroupDigest {
+    double spmCycles = 0;  // scratch-pad time incl. bank-conflict replays
+    /// 128-byte-aligned global segment addresses, in warp-access order —
+    /// replayed against the device cache at merge time.
+    std::vector<std::uint64_t> segments;
+    rt::InstCounters counters;
+  };
+
+  /// Digests are stateless: any thread may digest any group.
+  [[nodiscard]] unsigned digestShards() const { return 0; }
+  [[nodiscard]] unsigned shardOf(std::uint32_t denseGroup) const {
+    (void)denseGroup;
+    return 0;
+  }
+  [[nodiscard]] GroupDigest digestGroup(unsigned shard,
+                                        const rt::GroupTrace& trace) const;
+  /// Replay a digest's segments against the device cache and accumulate
+  /// cycles. Must be called serially, in dense group order.
+  void mergeGroup(const GroupDigest& digest);
+
   /// Estimated device cycles: sum of per-group max(compute, memory)
   /// (the concurrency divisor cancels in with/without-LM ratios).
   [[nodiscard]] double totalCycles() const { return total_cycles_; }
@@ -45,17 +77,24 @@ class GpuModel final : public rt::TraceSink {
     bool isLocal = false;
     bool isWrite = false;
   };
+  // One group's pending accesses, keyed by (warp, instSlot, occurrence):
+  // the work-items of one warp executing the same dynamic instruction.
+  using PendingMap =
+      std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+               WarpAccess>;
 
-  void flushGroup(const rt::InstCounters& counters);
+  void addPending(PendingMap& pending,
+                  std::unordered_map<std::uint64_t, std::uint32_t>& occurrence,
+                  const rt::MemAccess& access) const;
+  /// Shared-state-free part of flushGroup: SPM cycles + segment list.
+  [[nodiscard]] GroupDigest digestPending(const PendingMap& pending) const;
 
   PlatformSpec spec_;
   std::unique_ptr<CacheLevel> cache_;  // device-wide read cache
 
-  // Current group's pending accesses, keyed by (warp, instSlot, occurrence):
-  // the work-items of one warp executing the same dynamic instruction.
-  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, WarpAccess>
-      pending_;
-  // Per (work-item, instSlot) occurrence counters within the current group.
+  // Sink-mode state: the current group's pending accesses and per
+  // (work-item, instSlot) occurrence counters.
+  PendingMap pending_;
   std::unordered_map<std::uint64_t, std::uint32_t> occurrence_;
 
   double total_cycles_ = 0;

@@ -1,0 +1,123 @@
+// Kernel pre-decoding: flattens a function's SSA instruction graph into a
+// linear instruction stream the interpreter can walk without chasing
+// ir::Instruction pointers, re-resolving operands, or re-materializing
+// constants per work-item. Decoding happens once per KernelImage; every
+// GroupExecutor then runs the same immutable DecodedKernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "rt/value.h"
+
+namespace grover::rt {
+
+/// Decoded opcode. Binary/compare ops are split by result class so the hot
+/// loop never re-tests type properties the decoder already knows.
+enum class DOp : std::uint8_t {
+  BinInt,
+  BinFloat,
+  BinVecInt,
+  BinVecFloat,
+  ICmp,
+  FCmp,
+  Cast,
+  Select,
+  Gep,
+  Load,
+  Store,
+  Alloca,
+  IdQuery,    // get_global_id & friends
+  MathCall,   // sqrt/pow/clamp/dot/...
+  ExtractElement,
+  InsertElement,
+  Br,
+  CondBr,
+  Ret,
+  Barrier,
+  Trap,  // malformed/unsupported IR: throws its message when executed
+};
+
+/// Operand reference: >= 0 is a work-item value slot, < 0 is an index into
+/// the decoded constant pool (constantIndex = -ref - 1).
+using DRef = std::int32_t;
+
+/// One decoded instruction (fixed-size, cache-friendly).
+struct DInst {
+  DOp op = DOp::Trap;
+  std::uint8_t sub = 0;  // BinaryOp / CmpPred / CastOp / Builtin raw value
+  ir::TypeKind tkind = ir::TypeKind::Void;    // result (element) scalar kind
+  ir::TypeKind srcKind = ir::TypeKind::Void;  // cast source kind
+  std::uint8_t lanes = 0;     // result vector lanes (0 = scalar)
+  bool elemIsFloat = false;   // vector element class (insert/undef widening)
+  DRef dest = -1;             // result slot (unused for void results)
+  DRef a = 0;
+  DRef b = 0;
+  DRef c = 0;
+  std::uint32_t instSlot = 0;  // static slot for the memory trace
+  std::uint32_t memSize = 0;   // load/store: total bytes
+  std::uint32_t elemSize = 0;  // load/store: element bytes; gep: stride
+  std::int64_t imm = 0;        // Br: edge index; Trap: message index
+};
+
+/// One decoded phi move executed when control enters a block over an edge.
+struct DPhiCopy {
+  std::int32_t dest = 0;  // phi's value slot
+  DRef src = 0;
+};
+
+/// A CFG edge: where to jump and which phi moves to perform. Phi moves are
+/// two-phase (all sources read before any destination is written), matching
+/// SSA semantics for phi-reads-phi cycles. `phiOverlap` is precomputed at
+/// decode time: when false no copy's destination is another copy's source,
+/// so the executor may move values directly without the scratch pass.
+struct DEdge {
+  std::uint32_t targetPc = 0;
+  std::uint32_t phiBegin = 0;
+  std::uint32_t phiEnd = 0;
+  bool phiOverlap = false;
+};
+
+/// The immutable decoded form of one kernel function.
+class DecodedKernel {
+ public:
+  DecodedKernel() = default;
+
+  /// Decode `fn` (already renumbered). `allocaOffsets` maps entry-block
+  /// allocas to their arena offsets, as computed by KernelImage.
+  static DecodedKernel build(
+      const ir::Function& fn,
+      const std::unordered_map<const ir::AllocaInst*, std::int64_t>&
+          allocaOffsets);
+
+  [[nodiscard]] const DInst* code() const { return code_.data(); }
+  [[nodiscard]] std::size_t codeSize() const { return code_.size(); }
+  [[nodiscard]] std::uint32_t entryPc() const { return entry_pc_; }
+  [[nodiscard]] const RtValue& constant(std::int32_t index) const {
+    return constants_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] const std::vector<RtValue>& constants() const {
+    return constants_;
+  }
+  [[nodiscard]] const DEdge& edge(std::int64_t index) const {
+    return edges_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] const DPhiCopy* phiCopies() const { return phi_copies_.data(); }
+  [[nodiscard]] const std::string& message(std::int64_t index) const {
+    return messages_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<DInst> code_;
+  std::vector<RtValue> constants_;
+  std::vector<DEdge> edges_;
+  std::vector<DPhiCopy> phi_copies_;
+  std::vector<std::string> messages_;
+  std::uint32_t entry_pc_ = 0;
+};
+
+}  // namespace grover::rt

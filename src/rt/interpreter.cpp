@@ -1,7 +1,9 @@
 #include "rt/interpreter.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "ir/casting.h"
 #include "support/diagnostics.h"
@@ -69,6 +71,8 @@ KernelImage::KernelImage(ir::Function& fn, const NDRange& range,
       throw GroverError("alloca in unsupported address space");
     }
   }
+
+  decoded_ = DecodedKernel::build(fn_, alloca_offsets_);
 }
 
 std::int64_t KernelImage::allocaOffset(const ir::AllocaInst* a) const {
@@ -81,314 +85,10 @@ std::int64_t KernelImage::allocaOffset(const ir::AllocaInst* a) const {
 
 // --- GroupExecutor -----------------------------------------------------------
 
-GroupExecutor::GroupExecutor(const KernelImage& image, TraceSink* sink)
-    : image_(image), sink_(sink) {
-  local_arena_.resize(image.localArenaSize());
-  items_.resize(image.range().groupSize());
-}
-
-void GroupExecutor::resetWorkItem(WorkItem& wi) {
-  wi.slots.assign(image_.numSlots(), RtValue{});
-  wi.privateArena.assign(image_.privateArenaSize(), std::byte{0});
-  wi.block = image_.function().entry();
-  wi.ip = wi.block->begin();
-  wi.status = WiStatus::Running;
-  wi.barrierAt = nullptr;
-  // Seed argument slots.
-  const auto& argValues = image_.argValues();
-  for (unsigned i = 0; i < argValues.size(); ++i) {
-    wi.slots[image_.function().arg(i)->slot()] = argValues[i];
-  }
-}
-
-void GroupExecutor::runGroup(const std::array<std::uint32_t, 3>& groupId) {
-  group_ = groupId;
-  const auto numGroups = image_.range().numGroups();
-  group_linear_ =
-      groupId[0] + numGroups[0] * (groupId[1] + numGroups[1] * groupId[2]);
-  std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
-  counters_ = InstCounters{};
-
-  const NDRange& range = image_.range();
-  std::uint32_t linear = 0;
-  for (std::uint32_t lz = 0; lz < range.local[2]; ++lz) {
-    for (std::uint32_t ly = 0; ly < range.local[1]; ++ly) {
-      for (std::uint32_t lx = 0; lx < range.local[0]; ++lx) {
-        WorkItem& wi = items_[linear];
-        wi.localId = {lx, ly, lz};
-        wi.linear = linear;
-        resetWorkItem(wi);
-        ++linear;
-      }
-    }
-  }
-
-  for (;;) {
-    for (WorkItem& wi : items_) {
-      if (wi.status == WiStatus::Running) advance(wi);
-    }
-    std::size_t done = 0;
-    std::size_t atBarrier = 0;
-    const ir::Instruction* barrierInst = nullptr;
-    for (const WorkItem& wi : items_) {
-      if (wi.status == WiStatus::Done) {
-        ++done;
-      } else {
-        ++atBarrier;
-        if (barrierInst == nullptr) {
-          barrierInst = wi.barrierAt;
-        } else if (barrierInst != wi.barrierAt) {
-          throw GroverError(
-              "barrier divergence: work-items stopped at different barriers");
-        }
-      }
-    }
-    if (atBarrier == 0) break;
-    if (done != 0) {
-      throw GroverError(
-          "barrier divergence: some work-items returned while others wait");
-    }
-    if (sink_ != nullptr) sink_->onBarrier(group_linear_);
-    for (WorkItem& wi : items_) wi.status = WiStatus::Running;
-  }
-
-  if (sink_ != nullptr) sink_->onGroupFinish(group_linear_, counters_);
-  total_counters_ += counters_;
-}
-
-RtValue& GroupExecutor::slot(WorkItem& wi, const ir::Value* v) {
-  return wi.slots[v->slot()];
-}
-
-RtValue GroupExecutor::eval(WorkItem& wi, const ir::Value* v) {
-  switch (v->kind()) {
-    case ValueKind::ConstantInt:
-      return RtValue::ofInt(cast<ConstantInt>(v)->value());
-    case ValueKind::ConstantFloat:
-      return RtValue::ofFloat(cast<ConstantFloat>(v)->value());
-    case ValueKind::ConstantUndef: {
-      const Type* t = v->type();
-      if (t->isVector()) {
-        return t->element()->isFloatingPoint()
-                   ? RtValue::ofVecFloat(static_cast<std::uint8_t>(t->lanes()))
-                   : RtValue::ofVecInt(static_cast<std::uint8_t>(t->lanes()));
-      }
-      if (t->isFloatingPoint()) return RtValue::ofFloat(0.0);
-      return RtValue::ofInt(0);
-    }
-    default:
-      return wi.slots[v->slot()];
-  }
-}
-
-void GroupExecutor::enterBlock(WorkItem& wi, ir::BasicBlock* from,
-                               ir::BasicBlock* to) {
-  // Two-phase phi evaluation: read all incoming values w.r.t. `from`
-  // before writing any phi slot.
-  std::vector<std::pair<const PhiInst*, RtValue>> pending;
-  for (const PhiInst* phi : to->phis()) {
-    pending.emplace_back(phi, eval(wi, phi->incomingForBlock(from)));
-  }
-  for (auto& [phi, value] : pending) {
-    wi.slots[phi->slot()] = value;
-  }
-  counters_.other += pending.size();
-  wi.block = to;
-  wi.ip = to->begin();
-  // Skip the phis (already evaluated).
-  while (wi.ip != to->end() && isa<PhiInst>(wi.ip->get())) ++wi.ip;
-}
-
-void GroupExecutor::advance(WorkItem& wi) {
-  for (;;) {
-    if (wi.ip == wi.block->end()) {
-      throw GroverError("fell off the end of a basic block");
-    }
-    const Instruction* inst = wi.ip->get();
-    switch (inst->kind()) {
-      case ValueKind::InstBr: {
-        counters_.branch += 1;
-        BasicBlock* from = wi.block;
-        enterBlock(wi, from, cast<BrInst>(inst)->dest());
-        continue;
-      }
-      case ValueKind::InstCondBr: {
-        counters_.branch += 1;
-        const auto* br = cast<CondBrInst>(inst);
-        const bool taken = eval(wi, br->condition()).i != 0;
-        BasicBlock* from = wi.block;
-        enterBlock(wi, from, taken ? br->ifTrue() : br->ifFalse());
-        continue;
-      }
-      case ValueKind::InstRet:
-        wi.status = WiStatus::Done;
-        return;
-      case ValueKind::InstCall: {
-        const auto* call = cast<CallInst>(inst);
-        if (call->builtin() == Builtin::Barrier) {
-          counters_.barrier += 1;
-          wi.status = WiStatus::AtBarrier;
-          wi.barrierAt = inst;
-          ++wi.ip;
-          return;
-        }
-        slot(wi, inst) = evalCall(wi, call);
-        ++wi.ip;
-        continue;
-      }
-      default:
-        exec(wi, inst);
-        ++wi.ip;
-        continue;
-    }
-  }
-}
-
-std::byte* GroupExecutor::resolve(WorkItem& wi, const PtrVal& ptr,
-                                  std::uint64_t size,
-                                  std::uint64_t& traceAddr) {
-  switch (ptr.space) {
-    case AddrSpace::Global:
-    case AddrSpace::Constant: {
-      Buffer* buffer = image_.buffers().at(ptr.base);
-      if (ptr.offset < 0 ||
-          static_cast<std::uint64_t>(ptr.offset) + size > buffer->size()) {
-        throw GroverError(cat("out-of-bounds ", toString(ptr.space),
-                              " access at offset ", ptr.offset, " size ", size,
-                              " (buffer ", buffer->size(), " bytes)"));
-      }
-      traceAddr = bufferBaseAddress(ptr.base) +
-                  static_cast<std::uint64_t>(ptr.offset);
-      return buffer->data() + ptr.offset;
-    }
-    case AddrSpace::Local: {
-      if (ptr.offset < 0 ||
-          static_cast<std::uint64_t>(ptr.offset) + size > local_arena_.size()) {
-        throw GroverError(cat("out-of-bounds local access at offset ",
-                              ptr.offset));
-      }
-      traceAddr = static_cast<std::uint64_t>(ptr.offset);
-      return local_arena_.data() + ptr.offset;
-    }
-    case AddrSpace::Private: {
-      if (ptr.offset < 0 || static_cast<std::uint64_t>(ptr.offset) + size >
-                                wi.privateArena.size()) {
-        throw GroverError("out-of-bounds private access");
-      }
-      traceAddr = static_cast<std::uint64_t>(ptr.offset);
-      return wi.privateArena.data() + ptr.offset;
-    }
-  }
-  throw GroverError("bad address space");
-}
-
-RtValue GroupExecutor::loadFrom(WorkItem& wi, const PtrVal& ptr,
-                                const ir::Type* type, std::uint32_t instSlot) {
-  const std::uint64_t size = type->sizeInBytes();
-  std::uint64_t traceAddr = 0;
-  const std::byte* mem = resolve(wi, ptr, size, traceAddr);
-  if (sink_ != nullptr) {
-    sink_->onAccess({ptr.space, traceAddr, static_cast<std::uint32_t>(size),
-                     false, group_linear_, wi.linear, instSlot});
-  }
-  auto readScalar = [&](const ir::Type* t, const std::byte* p) -> RtValue {
-    switch (t->kind()) {
-      case TypeKind::Bool:
-        return RtValue::ofInt(static_cast<std::uint8_t>(*p) != 0 ? 1 : 0);
-      case TypeKind::Int32: {
-        std::int32_t v;
-        std::memcpy(&v, p, 4);
-        return RtValue::ofInt(v);
-      }
-      case TypeKind::Int64: {
-        std::int64_t v;
-        std::memcpy(&v, p, 8);
-        return RtValue::ofInt(v);
-      }
-      case TypeKind::Float: {
-        float v;
-        std::memcpy(&v, p, 4);
-        return RtValue::ofFloat(v);
-      }
-      case TypeKind::Double: {
-        double v;
-        std::memcpy(&v, p, 8);
-        return RtValue::ofFloat(v);
-      }
-      default:
-        throw GroverError("load of unsupported type " + t->str());
-    }
-  };
-  if (!type->isVector()) return readScalar(type, mem);
-  const Type* elem = type->element();
-  const std::uint64_t elemSize = elem->sizeInBytes();
-  RtValue out = elem->isFloatingPoint()
-                    ? RtValue::ofVecFloat(static_cast<std::uint8_t>(type->lanes()))
-                    : RtValue::ofVecInt(static_cast<std::uint8_t>(type->lanes()));
-  for (unsigned lane = 0; lane < type->lanes(); ++lane) {
-    RtValue v = readScalar(elem, mem + lane * elemSize);
-    if (out.kind == RtValue::Kind::VecFloat) {
-      out.vf[lane] = v.f;
-    } else {
-      out.vi[lane] = v.i;
-    }
-  }
-  return out;
-}
-
-void GroupExecutor::storeTo(WorkItem& wi, const PtrVal& ptr,
-                            const ir::Type* type, const RtValue& value,
-                            std::uint32_t instSlot) {
-  const std::uint64_t size = type->sizeInBytes();
-  std::uint64_t traceAddr = 0;
-  std::byte* mem = resolve(wi, ptr, size, traceAddr);
-  if (sink_ != nullptr) {
-    sink_->onAccess({ptr.space, traceAddr, static_cast<std::uint32_t>(size),
-                     true, group_linear_, wi.linear, instSlot});
-  }
-  auto writeScalar = [&](const ir::Type* t, std::byte* p, std::int64_t i,
-                         double f) {
-    switch (t->kind()) {
-      case TypeKind::Bool: {
-        const std::uint8_t v = i != 0 ? 1 : 0;
-        std::memcpy(p, &v, 1);
-        return;
-      }
-      case TypeKind::Int32: {
-        const auto v = static_cast<std::int32_t>(i);
-        std::memcpy(p, &v, 4);
-        return;
-      }
-      case TypeKind::Int64:
-        std::memcpy(p, &i, 8);
-        return;
-      case TypeKind::Float: {
-        const auto v = static_cast<float>(f);
-        std::memcpy(p, &v, 4);
-        return;
-      }
-      case TypeKind::Double:
-        std::memcpy(p, &f, 8);
-        return;
-      default:
-        throw GroverError("store of unsupported type " + t->str());
-    }
-  };
-  if (!type->isVector()) {
-    writeScalar(type, mem, value.i, value.f);
-    return;
-  }
-  const Type* elem = type->element();
-  const std::uint64_t elemSize = elem->sizeInBytes();
-  for (unsigned lane = 0; lane < type->lanes(); ++lane) {
-    writeScalar(elem, mem + lane * elemSize, value.vi[lane], value.vf[lane]);
-  }
-}
-
 namespace {
 
-std::int64_t finalizeInt(const ir::Type* t, std::int64_t v) {
-  switch (t->kind()) {
+std::int64_t finalizeInt(TypeKind kind, std::int64_t v) {
+  switch (kind) {
     case TypeKind::Bool:
       return v & 1;
     case TypeKind::Int32:
@@ -441,377 +141,698 @@ double floatOp(BinaryOp op, double a, double b, bool single) {
   throw GroverError("floatOp: bad opcode");
 }
 
-}  // namespace
-
-RtValue GroupExecutor::evalBinary(const ir::BinaryInst* bin, const RtValue& l,
-                                  const RtValue& r) {
-  const Type* t = bin->type();
-  if (t->isVector()) {
-    const Type* elem = t->element();
-    if (isFloatOp(bin->op())) {
-      RtValue out = RtValue::ofVecFloat(static_cast<std::uint8_t>(t->lanes()));
-      const bool single = elem->kind() == TypeKind::Float;
-      for (unsigned i = 0; i < t->lanes(); ++i) {
-        out.vf[i] = floatOp(bin->op(), l.vf[i], r.vf[i], single);
-      }
-      return out;
+RtValue readScalar(TypeKind kind, const std::byte* p) {
+  switch (kind) {
+    case TypeKind::Bool:
+      return RtValue::ofInt(static_cast<std::uint8_t>(*p) != 0 ? 1 : 0);
+    case TypeKind::Int32: {
+      std::int32_t v;
+      std::memcpy(&v, p, 4);
+      return RtValue::ofInt(v);
     }
-    RtValue out = RtValue::ofVecInt(static_cast<std::uint8_t>(t->lanes()));
-    for (unsigned i = 0; i < t->lanes(); ++i) {
-      out.vi[i] = finalizeInt(elem, intOp(bin->op(), l.vi[i], r.vi[i]));
+    case TypeKind::Int64: {
+      std::int64_t v;
+      std::memcpy(&v, p, 8);
+      return RtValue::ofInt(v);
     }
-    return out;
+    case TypeKind::Float: {
+      float v;
+      std::memcpy(&v, p, 4);
+      return RtValue::ofFloat(v);
+    }
+    case TypeKind::Double: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return RtValue::ofFloat(v);
+    }
+    default:
+      throw GroverError("load of unsupported type");
   }
-  if (isFloatOp(bin->op())) {
-    return RtValue::ofFloat(
-        floatOp(bin->op(), l.f, r.f, t->kind() == TypeKind::Float));
-  }
-  // Pointer arithmetic never reaches BinaryInst (GEP handles it).
-  return RtValue::ofInt(finalizeInt(t, intOp(bin->op(), l.i, r.i)));
 }
 
-RtValue GroupExecutor::evalCall(WorkItem& wi, const ir::CallInst* call) {
-  const NDRange& range = image_.range();
-  auto dimArg = [&](unsigned i) -> unsigned {
-    const std::int64_t d = eval(wi, call->arg(i)).i;
-    return d >= 0 && d < 3 ? static_cast<unsigned>(d) : 3;
-  };
-  switch (call->builtin()) {
-    case Builtin::GetGlobalId: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      if (d >= 3) return RtValue::ofInt(0);
-      return RtValue::ofInt(std::int64_t{group_[d]} * range.local[d] +
-                            wi.localId[d]);
+/// In-place scalar writes to a value slot. RtValue is ~112 bytes; the hot
+/// loop runs one of these per instruction, so updating only the active
+/// payload (instead of constructing and copy-assigning a full RtValue)
+/// matters. Inactive fields keep stale bits — every consumer reads only
+/// the field selected by `kind`, so they are never observed.
+inline void setInt(RtValue& out, std::int64_t v) {
+  out.kind = RtValue::Kind::Int;
+  out.lanes = 1;
+  out.i = v;
+}
+
+inline void setFloat(RtValue& out, double v) {
+  out.kind = RtValue::Kind::Float;
+  out.lanes = 1;
+  out.f = v;
+}
+
+void readScalarInto(TypeKind kind, const std::byte* p, RtValue& out) {
+  switch (kind) {
+    case TypeKind::Bool:
+      setInt(out, static_cast<std::uint8_t>(*p) != 0 ? 1 : 0);
+      return;
+    case TypeKind::Int32: {
+      std::int32_t v;
+      std::memcpy(&v, p, 4);
+      setInt(out, v);
+      return;
     }
-    case Builtin::GetLocalId: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      return RtValue::ofInt(d < 3 ? wi.localId[d] : 0);
+    case TypeKind::Int64: {
+      std::int64_t v;
+      std::memcpy(&v, p, 8);
+      setInt(out, v);
+      return;
     }
-    case Builtin::GetGroupId: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      return RtValue::ofInt(d < 3 ? group_[d] : 0);
+    case TypeKind::Float: {
+      float v;
+      std::memcpy(&v, p, 4);
+      setFloat(out, v);
+      return;
     }
-    case Builtin::GetGlobalSize: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      return RtValue::ofInt(d < 3 ? range.global[d] : 1);
+    case TypeKind::Double: {
+      double v;
+      std::memcpy(&v, p, 8);
+      setFloat(out, v);
+      return;
     }
-    case Builtin::GetLocalSize: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      return RtValue::ofInt(d < 3 ? range.local[d] : 1);
-    }
-    case Builtin::GetNumGroups: {
-      const unsigned d = dimArg(0);
-      counters_.other += 1;
-      return RtValue::ofInt(d < 3 ? range.numGroups()[d] : 1);
-    }
-    case Builtin::GetWorkDim:
-      counters_.other += 1;
-      return RtValue::ofInt(range.dims);
-    case Builtin::Barrier:
-      throw GroverError("barrier handled by scheduler");
     default:
-      break;
+      throw GroverError("load of unsupported type");
+  }
+}
+
+void writeScalar(TypeKind kind, std::byte* p, std::int64_t i, double f) {
+  switch (kind) {
+    case TypeKind::Bool: {
+      const std::uint8_t v = i != 0 ? 1 : 0;
+      std::memcpy(p, &v, 1);
+      return;
+    }
+    case TypeKind::Int32: {
+      const auto v = static_cast<std::int32_t>(i);
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    case TypeKind::Int64:
+      std::memcpy(p, &i, 8);
+      return;
+    case TypeKind::Float: {
+      const auto v = static_cast<float>(f);
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    case TypeKind::Double:
+      std::memcpy(p, &f, 8);
+      return;
+    default:
+      throw GroverError("store of unsupported type");
+  }
+}
+
+}  // namespace
+
+GroupExecutor::GroupExecutor(const KernelImage& image) : image_(image) {
+  local_arena_.resize(image.localArenaSize());
+  items_.resize(image.range().groupSize());
+  // Seed argument slots once; every reset copies this prototype.
+  proto_slots_.assign(image.numSlots(), RtValue{});
+  const auto& argValues = image.argValues();
+  for (unsigned i = 0; i < argValues.size(); ++i) {
+    proto_slots_[image.function().arg(i)->slot()] = argValues[i];
+  }
+}
+
+void GroupExecutor::resetWorkItem(WorkItem& wi) {
+  wi.slots = proto_slots_;
+  wi.privateArena.assign(image_.privateArenaSize(), std::byte{0});
+  wi.pc = image_.decoded().entryPc();
+  wi.status = WiStatus::Running;
+  wi.barrierAt = 0;
+}
+
+void GroupExecutor::runGroup(const std::array<std::uint32_t, 3>& groupId) {
+  group_ = groupId;
+  const auto numGroups = image_.range().numGroups();
+  group_linear_ =
+      groupId[0] + numGroups[0] * (groupId[1] + numGroups[1] * groupId[2]);
+  std::fill(local_arena_.begin(), local_arena_.end(), std::byte{0});
+  counters_ = InstCounters{};
+  if (trace_ != nullptr) {
+    trace_->clear();
+    trace_->group = group_linear_;
   }
 
-  counters_.mathCall += 1;
-  const Type* t = call->type();
-  const bool single = t->kind() == TypeKind::Float;
-  auto f1 = [&](double (*fn)(double)) {
-    const double x = eval(wi, call->arg(0)).f;
-    return RtValue::ofFloat(single ? static_cast<float>(
-                                         fn(static_cast<float>(x)))
-                                   : fn(x));
-  };
-  switch (call->builtin()) {
-    case Builtin::Sqrt: return f1(std::sqrt);
-    case Builtin::RSqrt: {
-      const double x = eval(wi, call->arg(0)).f;
-      return RtValue::ofFloat(
-          single ? 1.0F / std::sqrt(static_cast<float>(x))
-                 : 1.0 / std::sqrt(x));
+  const NDRange& range = image_.range();
+  std::uint32_t linear = 0;
+  for (std::uint32_t lz = 0; lz < range.local[2]; ++lz) {
+    for (std::uint32_t ly = 0; ly < range.local[1]; ++ly) {
+      for (std::uint32_t lx = 0; lx < range.local[0]; ++lx) {
+        WorkItem& wi = items_[linear];
+        wi.localId = {lx, ly, lz};
+        wi.linear = linear;
+        resetWorkItem(wi);
+        ++linear;
+      }
     }
-    case Builtin::Fabs: return f1(std::fabs);
-    case Builtin::Exp: return f1(std::exp);
-    case Builtin::Log: return f1(std::log);
-    case Builtin::Sin: return f1(std::sin);
-    case Builtin::Cos: return f1(std::cos);
-    case Builtin::Floor: return f1(std::floor);
-    case Builtin::Ceil: return f1(std::ceil);
+  }
+
+  for (;;) {
+    for (WorkItem& wi : items_) {
+      if (wi.status == WiStatus::Running) advance(wi);
+    }
+    std::size_t done = 0;
+    std::size_t atBarrier = 0;
+    bool haveBarrier = false;
+    std::uint32_t barrierPc = 0;
+    for (const WorkItem& wi : items_) {
+      if (wi.status == WiStatus::Done) {
+        ++done;
+      } else {
+        ++atBarrier;
+        if (!haveBarrier) {
+          haveBarrier = true;
+          barrierPc = wi.barrierAt;
+        } else if (barrierPc != wi.barrierAt) {
+          throw GroverError(
+              "barrier divergence: work-items stopped at different barriers");
+        }
+      }
+    }
+    if (atBarrier == 0) break;
+    if (done != 0) {
+      throw GroverError(
+          "barrier divergence: some work-items returned while others wait");
+    }
+    if (trace_ != nullptr) {
+      trace_->barriers.push_back(
+          static_cast<std::uint32_t>(trace_->accesses.size()));
+    }
+    for (WorkItem& wi : items_) wi.status = WiStatus::Running;
+  }
+
+  if (trace_ != nullptr) trace_->counters = counters_;
+  total_counters_ += counters_;
+}
+
+void GroupExecutor::takeEdge(WorkItem& wi, const DEdge& edge) {
+  const std::uint32_t n = edge.phiEnd - edge.phiBegin;
+  if (n != 0) {
+    const DPhiCopy* copies = image_.decoded().phiCopies() + edge.phiBegin;
+    if (edge.phiOverlap) {
+      // Two-phase phi moves: read every source before writing any slot.
+      phi_scratch_.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        phi_scratch_[i] = readRef(wi, copies[i].src);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        wi.slots[static_cast<std::size_t>(copies[i].dest)] = phi_scratch_[i];
+      }
+    } else {
+      // No dest is another copy's source (checked at decode time): move
+      // values directly, skipping the scratch pass.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        wi.slots[static_cast<std::size_t>(copies[i].dest)] =
+            readRef(wi, copies[i].src);
+      }
+    }
+    counters_.other += n;
+  }
+  wi.pc = edge.targetPc;
+}
+
+std::byte* GroupExecutor::resolve(WorkItem& wi, const PtrVal& ptr,
+                                  std::uint64_t size,
+                                  std::uint64_t& traceAddr) {
+  switch (ptr.space) {
+    case AddrSpace::Global:
+    case AddrSpace::Constant: {
+      Buffer* buffer = image_.buffers().at(ptr.base);
+      if (ptr.offset < 0 ||
+          static_cast<std::uint64_t>(ptr.offset) + size > buffer->size()) {
+        throw GroverError(cat("out-of-bounds ", toString(ptr.space),
+                              " access at offset ", ptr.offset, " size ", size,
+                              " (buffer ", buffer->size(), " bytes)"));
+      }
+      traceAddr = bufferBaseAddress(ptr.base) +
+                  static_cast<std::uint64_t>(ptr.offset);
+      return buffer->data() + ptr.offset;
+    }
+    case AddrSpace::Local: {
+      if (ptr.offset < 0 ||
+          static_cast<std::uint64_t>(ptr.offset) + size > local_arena_.size()) {
+        throw GroverError(cat("out-of-bounds local access at offset ",
+                              ptr.offset));
+      }
+      traceAddr = static_cast<std::uint64_t>(ptr.offset);
+      return local_arena_.data() + ptr.offset;
+    }
+    case AddrSpace::Private: {
+      if (ptr.offset < 0 || static_cast<std::uint64_t>(ptr.offset) + size >
+                                wi.privateArena.size()) {
+        throw GroverError("out-of-bounds private access");
+      }
+      traceAddr = static_cast<std::uint64_t>(ptr.offset);
+      return wi.privateArena.data() + ptr.offset;
+    }
+  }
+  throw GroverError("bad address space");
+}
+
+void GroupExecutor::execLoad(WorkItem& wi, const DInst& d, const PtrVal& ptr,
+                             RtValue& out) {
+  std::uint64_t traceAddr = 0;
+  const std::byte* mem = resolve(wi, ptr, d.memSize, traceAddr);
+  if (trace_ != nullptr) {
+    trace_->accesses.push_back({ptr.space, traceAddr, d.memSize, false,
+                                group_linear_, wi.linear, d.instSlot});
+  }
+  if (d.lanes == 0) {
+    readScalarInto(d.tkind, mem, out);
+    return;
+  }
+  out = d.elemIsFloat ? RtValue::ofVecFloat(d.lanes)
+                      : RtValue::ofVecInt(d.lanes);
+  for (unsigned lane = 0; lane < d.lanes; ++lane) {
+    const RtValue v = readScalar(d.tkind, mem + lane * d.elemSize);
+    if (out.kind == RtValue::Kind::VecFloat) {
+      out.vf[lane] = v.f;
+    } else {
+      out.vi[lane] = v.i;
+    }
+  }
+}
+
+void GroupExecutor::execStore(WorkItem& wi, const DInst& d, const PtrVal& ptr,
+                              const RtValue& value) {
+  std::uint64_t traceAddr = 0;
+  std::byte* mem = resolve(wi, ptr, d.memSize, traceAddr);
+  if (trace_ != nullptr) {
+    trace_->accesses.push_back({ptr.space, traceAddr, d.memSize, true,
+                                group_linear_, wi.linear, d.instSlot});
+  }
+  if (d.lanes == 0) {
+    writeScalar(d.tkind, mem, value.i, value.f);
+    return;
+  }
+  for (unsigned lane = 0; lane < d.lanes; ++lane) {
+    writeScalar(d.tkind, mem + lane * d.elemSize, value.vi[lane],
+                value.vf[lane]);
+  }
+}
+
+std::int64_t GroupExecutor::execIdQuery(WorkItem& wi, const DInst& d) {
+  const NDRange& range = image_.range();
+  const auto builtin = static_cast<Builtin>(d.sub);
+  counters_.other += 1;
+  if (builtin == Builtin::GetWorkDim) return range.dims;
+  const std::int64_t dv = readRef(wi, d.a).i;
+  const unsigned dim = dv >= 0 && dv < 3 ? static_cast<unsigned>(dv) : 3;
+  switch (builtin) {
+    case Builtin::GetGlobalId:
+      if (dim >= 3) return 0;
+      return std::int64_t{group_[dim]} * range.local[dim] + wi.localId[dim];
+    case Builtin::GetLocalId:
+      return dim < 3 ? wi.localId[dim] : 0;
+    case Builtin::GetGroupId:
+      return dim < 3 ? group_[dim] : 0;
+    case Builtin::GetGlobalSize:
+      return dim < 3 ? range.global[dim] : 1;
+    case Builtin::GetLocalSize:
+      return dim < 3 ? range.local[dim] : 1;
+    case Builtin::GetNumGroups:
+      return dim < 3 ? range.numGroups()[dim] : 1;
+    default:
+      throw GroverError("unsupported builtin call");
+  }
+}
+
+void GroupExecutor::execMathCall(WorkItem& wi, const DInst& d, RtValue& out) {
+  counters_.mathCall += 1;
+  const auto builtin = static_cast<Builtin>(d.sub);
+  const bool single = d.tkind == TypeKind::Float;
+  const bool isFp = single || d.tkind == TypeKind::Double;
+  auto f1 = [&](double (*fn)(double)) {
+    const double x = readRef(wi, d.a).f;
+    setFloat(out, single ? static_cast<float>(fn(static_cast<float>(x)))
+                         : fn(x));
+  };
+  switch (builtin) {
+    case Builtin::Sqrt: f1(std::sqrt); return;
+    case Builtin::RSqrt: {
+      const double x = readRef(wi, d.a).f;
+      setFloat(out, single ? 1.0F / std::sqrt(static_cast<float>(x))
+                           : 1.0 / std::sqrt(x));
+      return;
+    }
+    case Builtin::Fabs: f1(std::fabs); return;
+    case Builtin::Exp: f1(std::exp); return;
+    case Builtin::Log: f1(std::log); return;
+    case Builtin::Sin: f1(std::sin); return;
+    case Builtin::Cos: f1(std::cos); return;
+    case Builtin::Floor: f1(std::floor); return;
+    case Builtin::Ceil: f1(std::ceil); return;
     case Builtin::Pow: {
-      const double a = eval(wi, call->arg(0)).f;
-      const double b = eval(wi, call->arg(1)).f;
-      return RtValue::ofFloat(single ? std::pow(static_cast<float>(a),
-                                                static_cast<float>(b))
-                                     : std::pow(a, b));
+      const double a = readRef(wi, d.a).f;
+      const double b = readRef(wi, d.b).f;
+      setFloat(out, single ? std::pow(static_cast<float>(a),
+                                      static_cast<float>(b))
+                           : std::pow(a, b));
+      return;
     }
     case Builtin::FMin:
     case Builtin::FMax: {
-      const double a = eval(wi, call->arg(0)).f;
-      const double b = eval(wi, call->arg(1)).f;
-      const bool isMin = call->builtin() == Builtin::FMin;
-      return RtValue::ofFloat(isMin ? std::fmin(a, b) : std::fmax(a, b));
+      const double a = readRef(wi, d.a).f;
+      const double b = readRef(wi, d.b).f;
+      const bool isMin = builtin == Builtin::FMin;
+      setFloat(out, isMin ? std::fmin(a, b) : std::fmax(a, b));
+      return;
     }
     case Builtin::Fma:
     case Builtin::Mad: {
-      const double a = eval(wi, call->arg(0)).f;
-      const double b = eval(wi, call->arg(1)).f;
-      const double c = eval(wi, call->arg(2)).f;
+      const double a = readRef(wi, d.a).f;
+      const double b = readRef(wi, d.b).f;
+      const double c = readRef(wi, d.c).f;
       if (single) {
-        return RtValue::ofFloat(static_cast<float>(a) * static_cast<float>(b) +
-                                static_cast<float>(c));
+        setFloat(out, static_cast<float>(a) * static_cast<float>(b) +
+                          static_cast<float>(c));
+      } else {
+        setFloat(out, a * b + c);
       }
-      return RtValue::ofFloat(a * b + c);
+      return;
     }
     case Builtin::IMin:
     case Builtin::IMax: {
-      if (t->isFloatingPoint()) {
-        const double a = eval(wi, call->arg(0)).f;
-        const double b = eval(wi, call->arg(1)).f;
-        return RtValue::ofFloat(call->builtin() == Builtin::IMin
-                                    ? std::fmin(a, b)
-                                    : std::fmax(a, b));
+      if (isFp) {
+        const double a = readRef(wi, d.a).f;
+        const double b = readRef(wi, d.b).f;
+        setFloat(out, builtin == Builtin::IMin ? std::fmin(a, b)
+                                               : std::fmax(a, b));
+        return;
       }
-      const std::int64_t a = eval(wi, call->arg(0)).i;
-      const std::int64_t b = eval(wi, call->arg(1)).i;
-      return RtValue::ofInt(call->builtin() == Builtin::IMin ? std::min(a, b)
-                                                             : std::max(a, b));
+      const std::int64_t a = readRef(wi, d.a).i;
+      const std::int64_t b = readRef(wi, d.b).i;
+      setInt(out, builtin == Builtin::IMin ? std::min(a, b) : std::max(a, b));
+      return;
     }
     case Builtin::IAbs: {
-      const std::int64_t a = eval(wi, call->arg(0)).i;
-      return RtValue::ofInt(a < 0 ? -a : a);
+      const std::int64_t a = readRef(wi, d.a).i;
+      setInt(out, a < 0 ? -a : a);
+      return;
     }
     case Builtin::Mul24: {
-      const auto a = static_cast<std::int32_t>(eval(wi, call->arg(0)).i);
-      const auto b = static_cast<std::int32_t>(eval(wi, call->arg(1)).i);
-      return RtValue::ofInt(static_cast<std::int32_t>(a * b));
+      const auto a = static_cast<std::int32_t>(readRef(wi, d.a).i);
+      const auto b = static_cast<std::int32_t>(readRef(wi, d.b).i);
+      setInt(out, static_cast<std::int32_t>(a * b));
+      return;
     }
     case Builtin::Mad24: {
-      const auto a = static_cast<std::int32_t>(eval(wi, call->arg(0)).i);
-      const auto b = static_cast<std::int32_t>(eval(wi, call->arg(1)).i);
-      const auto c = static_cast<std::int32_t>(eval(wi, call->arg(2)).i);
-      return RtValue::ofInt(static_cast<std::int32_t>(a * b + c));
+      const auto a = static_cast<std::int32_t>(readRef(wi, d.a).i);
+      const auto b = static_cast<std::int32_t>(readRef(wi, d.b).i);
+      const auto c = static_cast<std::int32_t>(readRef(wi, d.c).i);
+      setInt(out, static_cast<std::int32_t>(a * b + c));
+      return;
     }
     case Builtin::Clamp: {
-      if (t->isFloatingPoint()) {
-        const double x = eval(wi, call->arg(0)).f;
-        const double lo = eval(wi, call->arg(1)).f;
-        const double hi = eval(wi, call->arg(2)).f;
-        return RtValue::ofFloat(std::fmin(std::fmax(x, lo), hi));
+      if (isFp) {
+        const double x = readRef(wi, d.a).f;
+        const double lo = readRef(wi, d.b).f;
+        const double hi = readRef(wi, d.c).f;
+        setFloat(out, std::fmin(std::fmax(x, lo), hi));
+        return;
       }
-      const std::int64_t x = eval(wi, call->arg(0)).i;
-      const std::int64_t lo = eval(wi, call->arg(1)).i;
-      const std::int64_t hi = eval(wi, call->arg(2)).i;
-      return RtValue::ofInt(std::min(std::max(x, lo), hi));
+      const std::int64_t x = readRef(wi, d.a).i;
+      const std::int64_t lo = readRef(wi, d.b).i;
+      const std::int64_t hi = readRef(wi, d.c).i;
+      setInt(out, std::min(std::max(x, lo), hi));
+      return;
     }
     case Builtin::Dot: {
-      const RtValue a = eval(wi, call->arg(0));
-      const RtValue b = eval(wi, call->arg(1));
+      const RtValue& a = readRef(wi, d.a);
+      const RtValue& b = readRef(wi, d.b);
       float acc = 0.0F;
       for (unsigned i = 0; i < a.lanes; ++i) {
         acc += static_cast<float>(a.vf[i]) * static_cast<float>(b.vf[i]);
       }
-      return RtValue::ofFloat(acc);
+      setFloat(out, acc);
+      return;
     }
     default:
       throw GroverError("unsupported builtin call");
   }
 }
 
-void GroupExecutor::exec(WorkItem& wi, const ir::Instruction* inst) {
-  switch (inst->kind()) {
-    case ValueKind::InstAlloca: {
-      const auto* alloca = cast<AllocaInst>(inst);
-      PtrVal ptr;
-      ptr.space = alloca->space();
-      ptr.offset = image_.allocaOffset(alloca);
-      slot(wi, inst) = RtValue::ofPtr(ptr);
-      counters_.other += 1;
-      return;
-    }
-    case ValueKind::InstGep: {
-      const auto* gep = cast<GepInst>(inst);
-      RtValue base = eval(wi, gep->pointer());
-      const std::int64_t index = eval(wi, gep->index()).i;
-      base.ptr.offset += index * static_cast<std::int64_t>(
-                                     gep->type()->element()->sizeInBytes());
-      slot(wi, inst) = base;
-      counters_.intAlu += 1;
-      return;
-    }
-    case ValueKind::InstLoad: {
-      const auto* load = cast<LoadInst>(inst);
-      const RtValue ptr = eval(wi, load->pointer());
-      slot(wi, inst) = loadFrom(wi, ptr.ptr, load->type(), inst->slot());
-      switch (ptr.ptr.space) {
-        case AddrSpace::Global:
-        case AddrSpace::Constant: counters_.globalLoad += 1; break;
-        case AddrSpace::Local: counters_.localLoad += 1; break;
-        case AddrSpace::Private: counters_.privateAccess += 1; break;
-      }
-      return;
-    }
-    case ValueKind::InstStore: {
-      const auto* store = cast<StoreInst>(inst);
-      const RtValue ptr = eval(wi, store->pointer());
-      const RtValue value = eval(wi, store->value());
-      storeTo(wi, ptr.ptr, store->value()->type(), value, inst->slot());
-      switch (ptr.ptr.space) {
-        case AddrSpace::Global:
-        case AddrSpace::Constant: counters_.globalStore += 1; break;
-        case AddrSpace::Local: counters_.localStore += 1; break;
-        case AddrSpace::Private: counters_.privateAccess += 1; break;
-      }
-      return;
-    }
-    case ValueKind::InstBinary: {
-      const auto* bin = cast<BinaryInst>(inst);
-      slot(wi, inst) = evalBinary(bin, eval(wi, bin->lhs()),
-                                  eval(wi, bin->rhs()));
-      if (bin->type()->isVector()) {
-        counters_.vectorAlu += 1;
-      } else if (isFloatOp(bin->op())) {
-        counters_.floatAlu += 1;
-      } else {
+void GroupExecutor::advance(WorkItem& wi) {
+  const DecodedKernel& dk = image_.decoded();
+  const DInst* code = dk.code();
+  for (;;) {
+    const DInst& d = code[wi.pc];
+    switch (d.op) {
+      case DOp::BinInt: {
+        const std::int64_t a = readRef(wi, d.a).i;
+        const std::int64_t b = readRef(wi, d.b).i;
+        setInt(wi.slots[static_cast<std::size_t>(d.dest)],
+               finalizeInt(d.tkind, intOp(static_cast<BinaryOp>(d.sub), a, b)));
         counters_.intAlu += 1;
+        ++wi.pc;
+        continue;
       }
-      return;
-    }
-    case ValueKind::InstICmp: {
-      const auto* cmp = cast<ICmpInst>(inst);
-      const std::int64_t a = eval(wi, cmp->lhs()).i;
-      const std::int64_t b = eval(wi, cmp->rhs()).i;
-      const auto ua = static_cast<std::uint64_t>(a);
-      const auto ub = static_cast<std::uint64_t>(b);
-      bool r = false;
-      switch (cmp->pred()) {
-        case CmpPred::EQ: r = a == b; break;
-        case CmpPred::NE: r = a != b; break;
-        case CmpPred::SLT: r = a < b; break;
-        case CmpPred::SLE: r = a <= b; break;
-        case CmpPred::SGT: r = a > b; break;
-        case CmpPred::SGE: r = a >= b; break;
-        case CmpPred::ULT: r = ua < ub; break;
-        case CmpPred::ULE: r = ua <= ub; break;
-        case CmpPred::UGT: r = ua > ub; break;
-        case CmpPred::UGE: r = ua >= ub; break;
-        default:
-          throw GroverError("bad icmp predicate");
+      case DOp::BinFloat: {
+        const double a = readRef(wi, d.a).f;
+        const double b = readRef(wi, d.b).f;
+        setFloat(wi.slots[static_cast<std::size_t>(d.dest)],
+                 floatOp(static_cast<BinaryOp>(d.sub), a, b,
+                         d.tkind == TypeKind::Float));
+        counters_.floatAlu += 1;
+        ++wi.pc;
+        continue;
       }
-      slot(wi, inst) = RtValue::ofInt(r ? 1 : 0);
-      counters_.intAlu += 1;
-      return;
-    }
-    case ValueKind::InstFCmp: {
-      const auto* cmp = cast<FCmpInst>(inst);
-      const double a = eval(wi, cmp->lhs()).f;
-      const double b = eval(wi, cmp->rhs()).f;
-      bool r = false;
-      switch (cmp->pred()) {
-        case CmpPred::OEQ: r = a == b; break;
-        case CmpPred::ONE: r = a != b; break;
-        case CmpPred::OLT: r = a < b; break;
-        case CmpPred::OLE: r = a <= b; break;
-        case CmpPred::OGT: r = a > b; break;
-        case CmpPred::OGE: r = a >= b; break;
-        default:
-          throw GroverError("bad fcmp predicate");
+      case DOp::BinVecInt: {
+        const RtValue& l = readRef(wi, d.a);
+        const RtValue& r = readRef(wi, d.b);
+        // SSA: dest never aliases an operand, so writing in place is safe.
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        out.kind = RtValue::Kind::VecInt;
+        out.lanes = d.lanes;
+        for (unsigned i = 0; i < d.lanes; ++i) {
+          out.vi[i] = finalizeInt(
+              d.tkind, intOp(static_cast<BinaryOp>(d.sub), l.vi[i], r.vi[i]));
+        }
+        counters_.vectorAlu += 1;
+        ++wi.pc;
+        continue;
       }
-      slot(wi, inst) = RtValue::ofInt(r ? 1 : 0);
-      counters_.floatAlu += 1;
-      return;
-    }
-    case ValueKind::InstCast: {
-      const auto* cast_ = cast<CastInst>(inst);
-      const RtValue v = eval(wi, cast_->value());
-      const Type* to = cast_->type();
-      switch (cast_->op()) {
-        case CastOp::SExt:
-        case CastOp::Trunc:
-          slot(wi, inst) = RtValue::ofInt(finalizeInt(to, v.i));
-          break;
-        case CastOp::ZExt: {
-          std::int64_t raw = v.i;
-          const Type* from = cast_->value()->type();
-          if (from->isBool()) {
-            raw &= 1;
-          } else if (from->kind() == TypeKind::Int32) {
-            raw = static_cast<std::int64_t>(static_cast<std::uint32_t>(raw));
+      case DOp::BinVecFloat: {
+        const RtValue& l = readRef(wi, d.a);
+        const RtValue& r = readRef(wi, d.b);
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        out.kind = RtValue::Kind::VecFloat;
+        out.lanes = d.lanes;
+        const bool single = d.tkind == TypeKind::Float;
+        for (unsigned i = 0; i < d.lanes; ++i) {
+          out.vf[i] =
+              floatOp(static_cast<BinaryOp>(d.sub), l.vf[i], r.vf[i], single);
+        }
+        counters_.vectorAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::ICmp: {
+        const std::int64_t a = readRef(wi, d.a).i;
+        const std::int64_t b = readRef(wi, d.b).i;
+        const auto ua = static_cast<std::uint64_t>(a);
+        const auto ub = static_cast<std::uint64_t>(b);
+        bool r = false;
+        switch (static_cast<CmpPred>(d.sub)) {
+          case CmpPred::EQ: r = a == b; break;
+          case CmpPred::NE: r = a != b; break;
+          case CmpPred::SLT: r = a < b; break;
+          case CmpPred::SLE: r = a <= b; break;
+          case CmpPred::SGT: r = a > b; break;
+          case CmpPred::SGE: r = a >= b; break;
+          case CmpPred::ULT: r = ua < ub; break;
+          case CmpPred::ULE: r = ua <= ub; break;
+          case CmpPred::UGT: r = ua > ub; break;
+          case CmpPred::UGE: r = ua >= ub; break;
+          default:
+            throw GroverError("bad icmp predicate");
+        }
+        setInt(wi.slots[static_cast<std::size_t>(d.dest)], r ? 1 : 0);
+        counters_.intAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::FCmp: {
+        const double a = readRef(wi, d.a).f;
+        const double b = readRef(wi, d.b).f;
+        bool r = false;
+        switch (static_cast<CmpPred>(d.sub)) {
+          case CmpPred::OEQ: r = a == b; break;
+          case CmpPred::ONE: r = a != b; break;
+          case CmpPred::OLT: r = a < b; break;
+          case CmpPred::OLE: r = a <= b; break;
+          case CmpPred::OGT: r = a > b; break;
+          case CmpPred::OGE: r = a >= b; break;
+          default:
+            throw GroverError("bad fcmp predicate");
+        }
+        setInt(wi.slots[static_cast<std::size_t>(d.dest)], r ? 1 : 0);
+        counters_.floatAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::Cast: {
+        const RtValue& v = readRef(wi, d.a);
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        switch (static_cast<CastOp>(d.sub)) {
+          case CastOp::SExt:
+          case CastOp::Trunc:
+            setInt(out, finalizeInt(d.tkind, v.i));
+            break;
+          case CastOp::ZExt: {
+            std::int64_t raw = v.i;
+            if (d.srcKind == TypeKind::Bool) {
+              raw &= 1;
+            } else if (d.srcKind == TypeKind::Int32) {
+              raw = static_cast<std::int64_t>(static_cast<std::uint32_t>(raw));
+            }
+            setInt(out, finalizeInt(d.tkind, raw));
+            break;
           }
-          slot(wi, inst) = RtValue::ofInt(finalizeInt(to, raw));
-          break;
+          case CastOp::SIToFP:
+          case CastOp::UIToFP: {
+            double f = static_cast<double>(v.i);
+            if (d.tkind == TypeKind::Float) f = static_cast<float>(f);
+            setFloat(out, f);
+            break;
+          }
+          case CastOp::FPToSI:
+            setInt(out, finalizeInt(d.tkind, static_cast<std::int64_t>(v.f)));
+            break;
+          case CastOp::FPExt:
+            setFloat(out, v.f);
+            break;
+          case CastOp::FPTrunc:
+            setFloat(out, static_cast<float>(v.f));
+            break;
         }
-        case CastOp::SIToFP:
-        case CastOp::UIToFP: {
-          double d = static_cast<double>(v.i);
-          if (to->kind() == TypeKind::Float) d = static_cast<float>(d);
-          slot(wi, inst) = RtValue::ofFloat(d);
-          break;
+        counters_.intAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::Select: {
+        const bool c = readRef(wi, d.a).i != 0;
+        wi.slots[static_cast<std::size_t>(d.dest)] =
+            readRef(wi, c ? d.b : d.c);
+        counters_.intAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::Gep: {
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        out = readRef(wi, d.a);
+        out.ptr.offset += readRef(wi, d.b).i *
+                          static_cast<std::int64_t>(d.elemSize);
+        counters_.intAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::Load: {
+        const PtrVal ptr = readRef(wi, d.a).ptr;
+        execLoad(wi, d, ptr, wi.slots[static_cast<std::size_t>(d.dest)]);
+        switch (ptr.space) {
+          case AddrSpace::Global:
+          case AddrSpace::Constant: counters_.globalLoad += 1; break;
+          case AddrSpace::Local: counters_.localLoad += 1; break;
+          case AddrSpace::Private: counters_.privateAccess += 1; break;
         }
-        case CastOp::FPToSI:
-          slot(wi, inst) =
-              RtValue::ofInt(finalizeInt(to, static_cast<std::int64_t>(v.f)));
-          break;
-        case CastOp::FPExt:
-          slot(wi, inst) = RtValue::ofFloat(v.f);
-          break;
-        case CastOp::FPTrunc:
-          slot(wi, inst) = RtValue::ofFloat(static_cast<float>(v.f));
-          break;
+        ++wi.pc;
+        continue;
       }
-      counters_.intAlu += 1;
-      return;
-    }
-    case ValueKind::InstSelect: {
-      const auto* sel = cast<SelectInst>(inst);
-      const bool c = eval(wi, sel->condition()).i != 0;
-      slot(wi, inst) = eval(wi, c ? sel->ifTrue() : sel->ifFalse());
-      counters_.intAlu += 1;
-      return;
-    }
-    case ValueKind::InstExtractElement: {
-      const auto* ext = cast<ExtractElementInst>(inst);
-      const RtValue vec = eval(wi, ext->vector());
-      const auto lane =
-          static_cast<unsigned>(eval(wi, ext->index()).i);
-      if (lane >= vec.lanes) throw GroverError("extractelement lane OOB");
-      slot(wi, inst) = vec.kind == RtValue::Kind::VecFloat
-                           ? RtValue::ofFloat(vec.vf[lane])
-                           : RtValue::ofInt(vec.vi[lane]);
-      counters_.vectorAlu += 1;
-      return;
-    }
-    case ValueKind::InstInsertElement: {
-      const auto* ins = cast<InsertElementInst>(inst);
-      RtValue vec = eval(wi, ins->vector());
-      const RtValue scalar = eval(wi, ins->scalar());
-      const auto lane = static_cast<unsigned>(eval(wi, ins->index()).i);
-      // Undef vectors arrive with the right lane count from eval().
-      if (vec.lanes == 1) {
-        const Type* t = ins->type();
-        vec = t->element()->isFloatingPoint()
-                  ? RtValue::ofVecFloat(static_cast<std::uint8_t>(t->lanes()))
-                  : RtValue::ofVecInt(static_cast<std::uint8_t>(t->lanes()));
+      case DOp::Store: {
+        const PtrVal ptr = readRef(wi, d.b).ptr;
+        execStore(wi, d, ptr, readRef(wi, d.a));
+        switch (ptr.space) {
+          case AddrSpace::Global:
+          case AddrSpace::Constant: counters_.globalStore += 1; break;
+          case AddrSpace::Local: counters_.localStore += 1; break;
+          case AddrSpace::Private: counters_.privateAccess += 1; break;
+        }
+        ++wi.pc;
+        continue;
       }
-      if (lane >= vec.lanes) throw GroverError("insertelement lane OOB");
-      if (vec.kind == RtValue::Kind::VecFloat) {
-        vec.vf[lane] = scalar.f;
-      } else {
-        vec.vi[lane] = scalar.i;
+      case DOp::Alloca:
+        wi.slots[static_cast<std::size_t>(d.dest)] = readRef(wi, d.a);
+        counters_.other += 1;
+        ++wi.pc;
+        continue;
+      case DOp::IdQuery:
+        setInt(wi.slots[static_cast<std::size_t>(d.dest)],
+               execIdQuery(wi, d));
+        ++wi.pc;
+        continue;
+      case DOp::MathCall:
+        execMathCall(wi, d, wi.slots[static_cast<std::size_t>(d.dest)]);
+        ++wi.pc;
+        continue;
+      case DOp::ExtractElement: {
+        const RtValue& vec = readRef(wi, d.a);
+        const auto lane = static_cast<unsigned>(readRef(wi, d.b).i);
+        if (lane >= vec.lanes) throw GroverError("extractelement lane OOB");
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        if (vec.kind == RtValue::Kind::VecFloat) {
+          setFloat(out, vec.vf[lane]);
+        } else {
+          setInt(out, vec.vi[lane]);
+        }
+        counters_.vectorAlu += 1;
+        ++wi.pc;
+        continue;
       }
-      slot(wi, inst) = vec;
-      counters_.vectorAlu += 1;
-      return;
+      case DOp::InsertElement: {
+        const RtValue& vec = readRef(wi, d.a);
+        const RtValue& scalar = readRef(wi, d.b);
+        const auto lane = static_cast<unsigned>(readRef(wi, d.c).i);
+        RtValue& out = wi.slots[static_cast<std::size_t>(d.dest)];
+        // Undef vectors arrive with the right lane count from the pool.
+        if (vec.lanes == 1) {
+          out = d.elemIsFloat ? RtValue::ofVecFloat(d.lanes)
+                              : RtValue::ofVecInt(d.lanes);
+        } else {
+          out = vec;
+        }
+        if (lane >= out.lanes) throw GroverError("insertelement lane OOB");
+        if (out.kind == RtValue::Kind::VecFloat) {
+          out.vf[lane] = scalar.f;
+        } else {
+          out.vi[lane] = scalar.i;
+        }
+        counters_.vectorAlu += 1;
+        ++wi.pc;
+        continue;
+      }
+      case DOp::Br:
+        counters_.branch += 1;
+        takeEdge(wi, dk.edge(d.imm));
+        continue;
+      case DOp::CondBr: {
+        counters_.branch += 1;
+        const bool taken = readRef(wi, d.a).i != 0;
+        takeEdge(wi, dk.edge(taken ? d.b : d.c));
+        continue;
+      }
+      case DOp::Ret:
+        wi.status = WiStatus::Done;
+        return;
+      case DOp::Barrier:
+        counters_.barrier += 1;
+        wi.status = WiStatus::AtBarrier;
+        wi.barrierAt = wi.pc;
+        ++wi.pc;
+        return;
+      case DOp::Trap:
+        throw GroverError(dk.message(d.imm));
     }
-    case ValueKind::InstPhi:
-      throw GroverError("phi executed outside block entry");
-    default:
-      throw GroverError("unsupported instruction in interpreter: " +
-                        inst->opcodeName());
+    throw GroverError("bad decoded opcode");
   }
 }
 
@@ -821,7 +842,7 @@ Launch::Launch(ir::Function& fn, const NDRange& range,
                std::vector<KernelArg> args)
     : image_(fn, range, args) {}
 
-InstCounters Launch::run(unsigned threads) {
+std::vector<std::array<std::uint32_t, 3>> Launch::sampledGroups() const {
   const auto numGroups = image_.range().numGroups();
   std::vector<std::array<std::uint32_t, 3>> groups;
   std::uint64_t linear = 0;
@@ -833,32 +854,103 @@ InstCounters Launch::run(unsigned threads) {
       }
     }
   }
+  return groups;
+}
 
-  if (sink_ != nullptr || threads <= 1) {
-    GroupExecutor exec(image_, sink_);
+InstCounters Launch::run(unsigned threads) {
+  // Execution is CPU-bound: never run more threads than the hardware has.
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  threads = threads == 0 ? hw : std::min(threads, hw);
+  const auto groups = sampledGroups();
+
+  if (sink_ != nullptr) return runTraced(groups, threads);
+
+  if (threads <= 1) {
+    GroupExecutor exec(image_);
     for (const auto& g : groups) exec.runGroup(g);
     return exec.totalCounters();
   }
 
-  // Parallel execution across groups (correctness runs only — kernels
-  // write disjoint output regions per group).
+  // Parallel execution across groups (kernels write disjoint output regions
+  // per group). The calling thread joins the work-stealing loop, so the
+  // pool only needs threads-1 workers.
   std::vector<std::unique_ptr<GroupExecutor>> execs;
   execs.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    execs.push_back(std::make_unique<GroupExecutor>(image_, nullptr));
+    execs.push_back(std::make_unique<GroupExecutor>(image_));
   }
-  ThreadPool pool(threads);
+  ThreadPool pool(threads - 1);
   std::atomic<std::size_t> next{0};
+  const auto executeLoop = [&](unsigned t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= groups.size()) return;
+      execs[t]->runGroup(groups[i]);
+    }
+  };
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.submit([&executeLoop, t] { executeLoop(t); });
+  }
+  executeLoop(0);
+  pool.waitIdle();
+  InstCounters total;
+  for (const auto& e : execs) total += e->totalCounters();
+  return total;
+}
+
+InstCounters Launch::runTraced(
+    const std::vector<std::array<std::uint32_t, 3>>& groups,
+    unsigned threads) {
+  if (threads <= 1) {
+    GroupExecutor exec(image_);
+    GroupTrace trace;
+    exec.setTrace(&trace);
+    for (const auto& g : groups) {
+      exec.runGroup(g);
+      trace.replay(*sink_);
+    }
+    return exec.totalCounters();
+  }
+
+  // Waves: execute a bounded batch of groups in parallel — each into its
+  // own trace buffer — then replay the batch into the sink serially in
+  // dense order. The sink observes the exact serial event sequence.
+  std::vector<std::unique_ptr<GroupExecutor>> execs;
+  execs.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    pool.submit([&, t] {
+    execs.push_back(std::make_unique<GroupExecutor>(image_));
+  }
+  ThreadPool pool(threads - 1);
+  std::vector<GroupTrace> traces;
+  std::size_t done = 0;
+  std::size_t avgBytes = 0;
+  while (done < groups.size()) {
+    const std::size_t wave =
+        nextTraceWave(groups.size() - done, threads, avgBytes);
+    if (traces.size() < wave) traces.resize(wave);
+    std::atomic<std::size_t> next{0};
+    const auto executeLoop = [&](unsigned t) {
+      GroupExecutor& exec = *execs[t];
       for (;;) {
         const std::size_t i = next.fetch_add(1);
-        if (i >= groups.size()) return;
-        execs[t]->runGroup(groups[i]);
+        if (i >= wave) return;
+        exec.setTrace(&traces[i]);
+        exec.runGroup(groups[done + i]);
       }
-    });
+    };
+    for (unsigned t = 1; t < threads; ++t) {
+      pool.submit([&executeLoop, t] { executeLoop(t); });
+    }
+    executeLoop(0);
+    pool.waitIdle();
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < wave; ++i) {
+      traces[i].replay(*sink_);
+      bytes += traces[i].byteSize();
+    }
+    avgBytes = bytes / wave;
+    done += wave;
   }
-  pool.waitIdle();
   InstCounters total;
   for (const auto& e : execs) total += e->totalCounters();
   return total;

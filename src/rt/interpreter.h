@@ -2,8 +2,13 @@
 // work-group/barrier semantics. Work-items of a group execute on one thread
 // in barrier-region order — the same mapping Intel's CPU runtime uses
 // (paper ref [2]) — so the memory trace order matches what the CPU
-// performance models assume. Work-groups can run in parallel when no trace
-// sink is attached.
+// performance models assume.
+//
+// Each KernelImage pre-decodes its function once into a flat instruction
+// stream (rt/decode.h); GroupExecutor walks that stream and appends trace
+// events into a per-group GroupTrace buffer with no locks or virtual calls,
+// which is what lets traced launches fan out across the ThreadPool while
+// the trace consumer still observes groups in deterministic dense order.
 #pragma once
 
 #include <array>
@@ -16,6 +21,7 @@
 #include "ir/basic_block.h"
 #include "ir/function.h"
 #include "rt/buffer.h"
+#include "rt/decode.h"
 #include "rt/ndrange.h"
 #include "rt/trace.h"
 #include "rt/value.h"
@@ -43,7 +49,8 @@ struct KernelArg {
 };
 
 /// Immutable, shareable pre-computation for one kernel launch: value slot
-/// count, local/private arena layouts, and bound argument values.
+/// count, local/private arena layouts, bound argument values, and the
+/// pre-decoded instruction stream.
 class KernelImage {
  public:
   KernelImage(ir::Function& fn, const NDRange& range,
@@ -64,6 +71,8 @@ class KernelImage {
   }
   /// Arena offset of a local/private alloca.
   [[nodiscard]] std::int64_t allocaOffset(const ir::AllocaInst* a) const;
+  /// The flat decoded instruction stream shared by all executors.
+  [[nodiscard]] const DecodedKernel& decoded() const { return decoded_; }
 
  private:
   ir::Function& fn_;
@@ -74,12 +83,18 @@ class KernelImage {
   std::vector<RtValue> arg_values_;
   std::vector<Buffer*> buffers_;
   std::unordered_map<const ir::AllocaInst*, std::int64_t> alloca_offsets_;
+  DecodedKernel decoded_;
 };
 
-/// Executes work-groups of one launch. Not thread-safe; use one per thread.
+/// Executes work-groups of one launch by walking the pre-decoded stream.
+/// Not thread-safe; use one per thread.
 class GroupExecutor {
  public:
-  explicit GroupExecutor(const KernelImage& image, TraceSink* sink = nullptr);
+  explicit GroupExecutor(const KernelImage& image);
+
+  /// Buffer receiving this executor's trace events; null disables tracing.
+  /// The buffer is cleared and refilled by each runGroup call.
+  void setTrace(GroupTrace* trace) { trace_ = trace; }
 
   /// Execute one work-group to completion (throws on barrier divergence,
   /// out-of-bounds access, or unsupported IR).
@@ -97,58 +112,73 @@ class GroupExecutor {
     std::uint32_t linear = 0;
     std::vector<RtValue> slots;
     std::vector<std::byte> privateArena;
-    ir::BasicBlock* block = nullptr;
-    ir::BasicBlock::const_iterator ip;
+    std::uint32_t pc = 0;
     WiStatus status = WiStatus::Running;
-    const ir::Instruction* barrierAt = nullptr;
+    std::uint32_t barrierAt = 0;  // pc of the barrier instruction reached
   };
 
   void resetWorkItem(WorkItem& wi);
   /// Run until the work-item hits a barrier or returns.
   void advance(WorkItem& wi);
-  /// Execute one non-control-flow instruction.
-  void exec(WorkItem& wi, const ir::Instruction* inst);
-  void enterBlock(WorkItem& wi, ir::BasicBlock* from, ir::BasicBlock* to);
+  /// Perform an edge's phi moves (two-phase) and jump to its target.
+  void takeEdge(WorkItem& wi, const DEdge& edge);
 
-  RtValue& slot(WorkItem& wi, const ir::Value* v);
-  RtValue eval(WorkItem& wi, const ir::Value* v);
+  [[nodiscard]] const RtValue& readRef(const WorkItem& wi, DRef ref) const {
+    return ref >= 0 ? wi.slots[static_cast<std::size_t>(ref)]
+                    : image_.decoded().constant(-ref - 1);
+  }
 
-  RtValue loadFrom(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
-                   std::uint32_t instSlot);
-  void storeTo(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
-               const RtValue& value, std::uint32_t instSlot);
+  void execLoad(WorkItem& wi, const DInst& d, const PtrVal& ptr,
+                RtValue& out);
+  void execStore(WorkItem& wi, const DInst& d, const PtrVal& ptr,
+                 const RtValue& value);
   std::byte* resolve(WorkItem& wi, const PtrVal& ptr, std::uint64_t size,
                      std::uint64_t& traceAddr);
-
-  RtValue evalBinary(const ir::BinaryInst* bin, const RtValue& l,
-                     const RtValue& r);
-  RtValue evalCall(WorkItem& wi, const ir::CallInst* call);
+  std::int64_t execIdQuery(WorkItem& wi, const DInst& d);
+  void execMathCall(WorkItem& wi, const DInst& d, RtValue& out);
 
   const KernelImage& image_;
-  TraceSink* sink_;
+  GroupTrace* trace_ = nullptr;
   std::array<std::uint32_t, 3> group_{};
   std::uint32_t group_linear_ = 0;
+  /// Fresh slot state with argument values pre-seeded; resetWorkItem
+  /// restores a work-item's slots with one trivially-copyable assign.
+  std::vector<RtValue> proto_slots_;
   std::vector<std::byte> local_arena_;
   std::vector<WorkItem> items_;
+  std::vector<RtValue> phi_scratch_;
   InstCounters counters_;
   InstCounters total_counters_;
 };
 
 /// Top-level launch driver: executes every group, optionally multithreaded
-/// (only when no trace sink is attached) or on a sampled subset of groups.
+/// or on a sampled subset of groups. With a trace sink attached, groups
+/// still execute in parallel — each into its own GroupTrace buffer — and
+/// the buffered events are replayed into the sink serially in dense group
+/// order, so the sink observes the exact event sequence of a serial run no
+/// matter how many threads executed.
 class Launch {
  public:
   Launch(ir::Function& fn, const NDRange& range, std::vector<KernelArg> args);
 
-  /// Trace sink (forces sequential in-order execution).
   void setTraceSink(TraceSink* sink) { sink_ = sink; }
   /// Execute only every `stride`-th group (trace-based perf sampling).
   void setGroupSampling(std::uint32_t stride) { sample_stride_ = stride; }
 
   /// Run to completion; returns aggregate instruction counters.
+  /// threads == 0 picks std::thread::hardware_concurrency().
   InstCounters run(unsigned threads = 1);
 
+  [[nodiscard]] const KernelImage& image() const { return image_; }
+  /// Groups selected by the sampling stride, in dense (replay) order.
+  [[nodiscard]] std::vector<std::array<std::uint32_t, 3>> sampledGroups()
+      const;
+
  private:
+  InstCounters runTraced(
+      const std::vector<std::array<std::uint32_t, 3>>& groups,
+      unsigned threads);
+
   KernelImage image_;
   TraceSink* sink_ = nullptr;
   std::uint32_t sample_stride_ = 1;

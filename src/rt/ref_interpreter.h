@@ -1,0 +1,78 @@
+// The original tree-walking work-group executor, preserved verbatim from
+// the first runtime. It interprets ir::Instruction objects directly and
+// pushes trace events through the virtual TraceSink interface — slower than
+// the pre-decoded GroupExecutor, but intentionally kept as:
+//   1. the differential-testing oracle the decoded interpreter is verified
+//      against (identical outputs, counters, and trace streams), and
+//   2. the honest "seed serial path" baseline for bench_parallel_estimation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "rt/interpreter.h"
+#include "rt/trace.h"
+#include "rt/value.h"
+
+namespace grover::rt {
+
+/// Executes work-groups by walking the IR. Not thread-safe; one per thread.
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const KernelImage& image,
+                             TraceSink* sink = nullptr);
+
+  /// Execute one work-group to completion (throws on barrier divergence,
+  /// out-of-bounds access, or unsupported IR).
+  void runGroup(const std::array<std::uint32_t, 3>& groupId);
+
+  [[nodiscard]] const InstCounters& totalCounters() const {
+    return total_counters_;
+  }
+
+ private:
+  enum class WiStatus : std::uint8_t { Running, AtBarrier, Done };
+
+  struct WorkItem {
+    std::array<std::uint32_t, 3> localId{};
+    std::uint32_t linear = 0;
+    std::vector<RtValue> slots;
+    std::vector<std::byte> privateArena;
+    ir::BasicBlock* block = nullptr;
+    ir::BasicBlock::const_iterator ip;
+    WiStatus status = WiStatus::Running;
+    const ir::Instruction* barrierAt = nullptr;
+  };
+
+  void resetWorkItem(WorkItem& wi);
+  void advance(WorkItem& wi);
+  void exec(WorkItem& wi, const ir::Instruction* inst);
+  void enterBlock(WorkItem& wi, ir::BasicBlock* from, ir::BasicBlock* to);
+
+  RtValue& slot(WorkItem& wi, const ir::Value* v);
+  RtValue eval(WorkItem& wi, const ir::Value* v);
+
+  RtValue loadFrom(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
+                   std::uint32_t instSlot);
+  void storeTo(WorkItem& wi, const PtrVal& ptr, const ir::Type* type,
+               const RtValue& value, std::uint32_t instSlot);
+  std::byte* resolve(WorkItem& wi, const PtrVal& ptr, std::uint64_t size,
+                     std::uint64_t& traceAddr);
+
+  RtValue evalBinary(const ir::BinaryInst* bin, const RtValue& l,
+                     const RtValue& r);
+  RtValue evalCall(WorkItem& wi, const ir::CallInst* call);
+
+  const KernelImage& image_;
+  TraceSink* sink_;
+  std::array<std::uint32_t, 3> group_{};
+  std::uint32_t group_linear_ = 0;
+  std::vector<std::byte> local_arena_;
+  std::vector<WorkItem> items_;
+  InstCounters counters_;
+  InstCounters total_counters_;
+};
+
+}  // namespace grover::rt

@@ -4,8 +4,10 @@
 // counts.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "ir/type.h"
 
@@ -78,10 +80,72 @@ class TraceSink {
                              const InstCounters& counters) = 0;
 };
 
+/// The flat trace of one work-group execution: every memory access in
+/// program order, barrier positions, and the group's instruction mix. This
+/// is the lock-free hot-path representation — a GroupExecutor appends into
+/// its own GroupTrace with no virtual dispatch, and the buffered events can
+/// later be replayed into a TraceSink (or digested directly by a model) in
+/// deterministic group order regardless of how many threads executed.
+struct GroupTrace {
+  std::uint32_t group = 0;  // linear work-group id
+  std::vector<MemAccess> accesses;
+  /// Offsets into `accesses` at which a group-wide barrier completed.
+  std::vector<std::uint32_t> barriers;
+  InstCounters counters;
+
+  void clear() {
+    group = 0;
+    accesses.clear();
+    barriers.clear();
+    counters = InstCounters{};
+  }
+
+  /// Approximate heap footprint (drives wave sizing in parallel replay).
+  [[nodiscard]] std::size_t byteSize() const {
+    return accesses.capacity() * sizeof(MemAccess) +
+           barriers.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+  }
+
+  /// Feed the buffered events to `sink` in original program order:
+  /// accesses interleaved with barriers, then onGroupFinish.
+  void replay(TraceSink& sink) const {
+    std::size_t nextBarrier = 0;
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      while (nextBarrier < barriers.size() && barriers[nextBarrier] == i) {
+        sink.onBarrier(group);
+        ++nextBarrier;
+      }
+      sink.onAccess(accesses[i]);
+    }
+    while (nextBarrier < barriers.size()) {
+      sink.onBarrier(group);
+      ++nextBarrier;
+    }
+    sink.onGroupFinish(group, counters);
+  }
+};
+
 /// Base address assigned to global buffer `i` in the flat trace address
 /// space (buffers are padded to disjoint 256 MiB windows).
 [[nodiscard]] inline std::uint64_t bufferBaseAddress(std::uint32_t index) {
   return 0x1000'0000ULL + std::uint64_t{index} * 0x1000'0000ULL;
+}
+
+/// Size of the next parallel traced wave: enough groups to keep `threads`
+/// workers busy while bounding the buffered trace memory to ~256 MiB
+/// (estimated from the previous wave's average per-group trace size).
+[[nodiscard]] inline std::size_t nextTraceWave(std::size_t remaining,
+                                               unsigned threads,
+                                               std::size_t avgGroupBytes) {
+  constexpr std::size_t kTargetBytes = std::size_t{256} << 20;
+  std::size_t wave = std::size_t{threads} * 8;
+  if (avgGroupBytes > 0) {
+    wave = std::max<std::size_t>(kTargetBytes / avgGroupBytes,
+                                 std::size_t{threads});
+  }
+  wave = std::min<std::size_t>(wave, 8192);
+  wave = std::max<std::size_t>(wave, threads);
+  return std::min(wave, remaining);
 }
 
 }  // namespace grover::rt

@@ -1,6 +1,7 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace grover {
 
@@ -34,6 +35,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::waitIdle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -47,9 +53,17 @@ void ThreadPool::workerLoop() {
       queue_.pop();
       ++active_;
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -4,6 +4,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,6 +16,12 @@ namespace grover {
 /// Fixed-size pool. Tasks are void() callables; waitIdle() blocks until the
 /// queue is drained and every worker is idle, which is how the runtime
 /// implements clFinish-style synchronization.
+///
+/// A task that throws does not kill the process: the first exception is
+/// captured and rethrown from the next waitIdle() call (later exceptions
+/// from the same batch are dropped). Remaining queued tasks still run. An
+/// exception that was never observed by waitIdle() is discarded when the
+/// pool is destroyed.
 class ThreadPool {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
@@ -26,7 +33,9 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// exception any task threw since the previous waitIdle(); the pool
+  /// remains usable afterwards.
   void waitIdle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
@@ -41,6 +50,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace grover

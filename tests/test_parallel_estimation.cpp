@@ -1,0 +1,169 @@
+// Parallel trace-driven estimation: the decoded interpreter must match the
+// reference tree-walking executor event for event, and perf::estimate must
+// return bit-identical cycles for every thread count (the determinism
+// guarantee of perf/traced_driver.h), on applications covering the
+// paper's Table I pattern classes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "apps/app.h"
+#include "grovercl/compiler.h"
+#include "grovercl/harness.h"
+#include "perf/cpu_model.h"
+#include "perf/estimator.h"
+#include "perf/gpu_model.h"
+#include "perf/platform.h"
+#include "rt/interpreter.h"
+#include "rt/ref_interpreter.h"
+
+namespace grover {
+namespace {
+
+/// Records every trace event for exact stream comparison.
+struct RecordingSink final : rt::TraceSink {
+  using AccessTuple = std::tuple<int, std::uint64_t, std::uint32_t, bool,
+                                 std::uint32_t, std::uint32_t, std::uint32_t>;
+  struct Event {
+    enum Kind { Access, Barrier, GroupFinish } kind = Access;
+    AccessTuple access;
+    std::uint32_t group = 0;
+    std::uint64_t counterTotal = 0;
+
+    bool operator==(const Event& o) const {
+      return kind == o.kind && access == o.access && group == o.group &&
+             counterTotal == o.counterTotal;
+    }
+  };
+  std::vector<Event> events;
+
+  void onAccess(const rt::MemAccess& a) override {
+    Event e;
+    e.kind = Event::Access;
+    e.access = {static_cast<int>(a.space), a.address, a.size, a.isWrite,
+                a.group, a.workItem, a.instSlot};
+    events.push_back(e);
+  }
+  void onBarrier(std::uint32_t group) override {
+    Event e;
+    e.kind = Event::Barrier;
+    e.group = group;
+    events.push_back(e);
+  }
+  void onGroupFinish(std::uint32_t group,
+                     const rt::InstCounters& counters) override {
+    Event e;
+    e.kind = Event::GroupFinish;
+    e.group = group;
+    e.counterTotal = counters.total();
+    events.push_back(e);
+  }
+};
+
+/// Apps covering the Table I pattern classes exercised by the estimator:
+/// staging transpose, tiled matrix multiply, stencil.
+const char* const kApps[] = {"NVD-MT", "NVD-MM-A", "PAB-ST"};
+
+ir::Function* compiledKernel(Program& program, const apps::Application& app) {
+  ir::Function* fn = program.kernel(app.kernelName());
+  EXPECT_NE(fn, nullptr);
+  return fn;
+}
+
+TEST(ParallelEstimation, DecodedMatchesReferenceExecutor) {
+  for (const char* id : kApps) {
+    const apps::Application& app = apps::applicationById(id);
+
+    // Reference: tree-walking executor pushing straight into the sink.
+    Program refProgram = compile(app.source());
+    apps::Instance refInstance = app.makeInstance(apps::Scale::Test);
+    rt::Launch refLaunch(*compiledKernel(refProgram, app), refInstance.range,
+                         refInstance.args);
+    RecordingSink refSink;
+    rt::ReferenceExecutor refExec(refLaunch.image(), &refSink);
+    for (const auto& g : refLaunch.sampledGroups()) refExec.runGroup(g);
+    std::string message;
+    EXPECT_TRUE(refInstance.validate(message)) << id << ": " << message;
+
+    // Decoded: parallel traced launch replaying buffered GroupTraces.
+    Program decProgram = compile(app.source());
+    apps::Instance decInstance = app.makeInstance(apps::Scale::Test);
+    rt::Launch decLaunch(*compiledKernel(decProgram, app), decInstance.range,
+                         decInstance.args);
+    RecordingSink decSink;
+    decLaunch.setTraceSink(&decSink);
+    const rt::InstCounters counters = decLaunch.run(4);
+    EXPECT_TRUE(decInstance.validate(message)) << id << ": " << message;
+
+    EXPECT_EQ(counters.total(), refExec.totalCounters().total()) << id;
+    ASSERT_EQ(decSink.events.size(), refSink.events.size()) << id;
+    EXPECT_TRUE(decSink.events == refSink.events)
+        << id << ": trace event streams diverge";
+  }
+}
+
+TEST(ParallelEstimation, CyclesBitIdenticalAcrossThreadCounts) {
+  const perf::PlatformSpec platforms[] = {perf::snb(), perf::mic(),
+                                          perf::fermi()};
+  for (const char* id : kApps) {
+    const apps::Application& app = apps::applicationById(id);
+    Program program = compile(app.source());
+    ir::Function* kernel = compiledKernel(program, app);
+    for (const perf::PlatformSpec& platform : platforms) {
+      apps::Instance a = app.makeInstance(apps::Scale::Test);
+      const perf::PerfEstimate serial =
+          perf::estimate(platform, *kernel, a.range, a.args, 1, 1);
+      apps::Instance b = app.makeInstance(apps::Scale::Test);
+      const perf::PerfEstimate parallel =
+          perf::estimate(platform, *kernel, b.range, b.args, 1, 8);
+      EXPECT_EQ(serial.cycles, parallel.cycles)
+          << id << " on " << platform.name;
+      EXPECT_EQ(serial.memoryCycles, parallel.memoryCycles)
+          << id << " on " << platform.name;
+      EXPECT_EQ(serial.transactions, parallel.transactions)
+          << id << " on " << platform.name;
+      EXPECT_EQ(serial.spmCycles, parallel.spmCycles)
+          << id << " on " << platform.name;
+      EXPECT_EQ(serial.counters.total(), parallel.counters.total())
+          << id << " on " << platform.name;
+    }
+  }
+}
+
+TEST(ParallelEstimation, DigestPipelineMatchesSerialSinkPath) {
+  const perf::PlatformSpec platforms[] = {perf::snb(), perf::mic(),
+                                          perf::fermi()};
+  for (const char* id : kApps) {
+    const apps::Application& app = apps::applicationById(id);
+    Program program = compile(app.source());
+    ir::Function* kernel = compiledKernel(program, app);
+    for (const perf::PlatformSpec& platform : platforms) {
+      // Old-style serial path: reference executor pushing into the model.
+      double sinkCycles = 0;
+      {
+        apps::Instance instance = app.makeInstance(apps::Scale::Test);
+        rt::Launch launch(*kernel, instance.range, instance.args);
+        if (platform.kind == perf::PlatformKind::CpuCacheOnly) {
+          perf::CpuModel model(platform);
+          rt::ReferenceExecutor exec(launch.image(), &model);
+          for (const auto& g : launch.sampledGroups()) exec.runGroup(g);
+          sinkCycles = model.totalCycles();
+        } else {
+          perf::GpuModel model(platform);
+          rt::ReferenceExecutor exec(launch.image(), &model);
+          for (const auto& g : launch.sampledGroups()) exec.runGroup(g);
+          sinkCycles = model.totalCycles();
+        }
+      }
+      apps::Instance instance = app.makeInstance(apps::Scale::Test);
+      const perf::PerfEstimate est =
+          perf::estimate(platform, *kernel, instance.range, instance.args,
+                         1, 8);
+      EXPECT_EQ(est.cycles, sinkCycles) << id << " on " << platform.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grover

@@ -76,5 +76,55 @@ TEST(ThreadPool, ReusableAfterWait) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPool, PropagatesTaskExceptionFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw GroverError("worker failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          pool.waitIdle();
+        } catch (const GroverError& e) {
+          EXPECT_STREQ(e.what(), "worker failed");
+          throw;
+        }
+      },
+      GroverError);
+}
+
+TEST(ThreadPool, RemainingTasksStillRunAfterException) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw GroverError("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.waitIdle(), GroverError);
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, UsableAfterExceptionWasRethrown) {
+  ThreadPool pool(2);
+  pool.submit([] { throw GroverError("first"); });
+  EXPECT_THROW(pool.waitIdle(), GroverError);
+  // The exception was observed; the pool must be clean again.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);  // one worker → deterministic task order
+  pool.submit([] { throw GroverError("first"); });
+  pool.submit([] { throw GroverError("second"); });
+  try {
+    pool.waitIdle();
+    FAIL() << "expected an exception";
+  } catch (const GroverError& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.waitIdle();  // second exception was dropped, not deferred
+}
+
 }  // namespace
 }  // namespace grover

@@ -3,33 +3,54 @@
 // Usage:
 //   groverc <kernel.cl> [--kernel=<name>] [--only=<buffer>]...
 //           [--keep-barriers] [--no-cleanup] [--before] [--report-only]
+//   groverc --app=<id> [--platform=<name>] [--scale=test|bench]
+//           [--threads=N]
 //
-// Reads an OpenCL C kernel, runs the full pipeline (front-end → SSA →
-// Grover), prints the Table III-style index report, and dumps the
-// transformed IR (and optionally the original IR with --before).
+// The first form reads an OpenCL C kernel, runs the full pipeline
+// (front-end → SSA → Grover), prints the Table III-style index report, and
+// dumps the transformed IR (and optionally the original IR with --before).
+// The second form runs the with/without-local-memory performance
+// comparison for one of the built-in Table I applications on a platform
+// model, using --threads host threads for the trace-driven estimation.
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "apps/app.h"
 #include "grover/grover_pass.h"
 #include "grover/usage_analysis.h"
 #include "grovercl/compiler.h"
+#include "grovercl/harness.h"
 #include "ir/printer.h"
+#include "perf/platform.h"
+#include "support/diagnostics.h"
 
 namespace {
 
 void usage() {
   std::cerr <<
       "usage: groverc <kernel.cl> [options]\n"
+      "       groverc --app=<id> [--platform=<name>] [options]\n"
       "  --kernel=<name>   transform only this kernel (default: all)\n"
       "  --only=<buffer>   only disable this __local buffer (repeatable)\n"
       "  --keep-barriers   do not remove redundant barriers\n"
       "  --no-cleanup      skip the DCE sweep after the transformation\n"
       "  --before          also print the IR before the transformation\n"
       "  --report-only     print the index report, no IR\n"
-      "  --analyze         only classify local-memory usage, no transform\n";
+      "  --analyze         only classify local-memory usage, no transform\n"
+      "  --app=<id>        estimate a built-in app (e.g. NVD-MT); see\n"
+      "                    --list-apps\n"
+      "  --platform=<name> platform model: SNB, Nehalem, MIC, Fermi,\n"
+      "                    Kepler, Tahiti, or 'all' (default: all)\n"
+      "  --scale=<s>       dataset scale: test or bench (default: bench)\n"
+      "  --threads=N       host threads for execution and trace digestion\n"
+      "                    (default: all hardware threads; estimates are\n"
+      "                    identical for every N)\n"
+      "  --list-apps       print the built-in application ids\n";
 }
 
 void printReport(const grover::grv::GroverResult& result) {
@@ -54,6 +75,57 @@ void printReport(const grover::grv::GroverResult& result) {
   }
 }
 
+unsigned parseThreads(const std::string& value) {
+  // std::stoul accepts a leading '-' by wrapping; reject it explicitly.
+  if (!value.empty() && value[0] != '-') {
+    try {
+      std::size_t pos = 0;
+      const unsigned long n = std::stoul(value, &pos);
+      if (pos == value.size()) return static_cast<unsigned>(n);
+    } catch (const std::exception&) {
+    }
+  }
+  std::cerr << "bad --threads value: " << value << "\n";
+  std::exit(2);
+}
+
+std::vector<grover::perf::PlatformSpec> platformsByName(
+    const std::string& name) {
+  std::vector<grover::perf::PlatformSpec> all =
+      grover::perf::allPlatforms();
+  if (name.empty() || name == "all") return all;
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (grover::perf::PlatformSpec& p : all) {
+    std::string pl = p.name;
+    std::transform(pl.begin(), pl.end(), pl.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (pl == lower) return {std::move(p)};
+  }
+  throw grover::GroverError("unknown platform '" + name + "'");
+}
+
+int runAppComparison(const std::string& appId, const std::string& platform,
+                     const std::string& scaleName, unsigned threads) {
+  const grover::apps::Application& app =
+      grover::apps::applicationById(appId);
+  const grover::apps::Scale scale = scaleName == "test"
+                                        ? grover::apps::Scale::Test
+                                        : grover::apps::Scale::Bench;
+  std::cout << "app " << app.id() << " (" << app.datasetDescription()
+            << ")\n";
+  for (const grover::perf::PlatformSpec& spec : platformsByName(platform)) {
+    const grover::PerfComparison cmp =
+        grover::comparePerformance(app, spec, scale, threads);
+    std::cout << spec.name << ": with-LM " << cmp.cyclesWithLM
+              << " cycles, without-LM " << cmp.cyclesWithoutLM
+              << " cycles, np " << cmp.normalized << " ("
+              << grover::perf::toString(cmp.outcome) << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +135,10 @@ int main(int argc, char** argv) {
   }
   std::string path;
   std::string kernelName;
+  std::string appId;
+  std::string platformName;
+  std::string scaleName = "bench";
+  unsigned threads = 0;
   grover::grv::GroverOptions options;
   bool showBefore = false;
   bool reportOnly = false;
@@ -84,6 +160,21 @@ int main(int argc, char** argv) {
       reportOnly = true;
     } else if (arg == "--analyze") {
       analyzeOnly = true;
+    } else if (arg.rfind("--app=", 0) == 0) {
+      appId = arg.substr(6);
+    } else if (arg.rfind("--platform=", 0) == 0) {
+      platformName = arg.substr(11);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scaleName = arg.substr(8);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = parseThreads(arg.substr(10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = parseThreads(argv[++i]);
+    } else if (arg == "--list-apps") {
+      for (const auto& app : grover::apps::allApplications()) {
+        std::cout << app->id() << "\n";
+      }
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -95,20 +186,28 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
-  if (path.empty()) {
-    usage();
+  if (scaleName != "test" && scaleName != "bench") {
+    std::cerr << "bad --scale value: " << scaleName << "\n";
     return 2;
   }
 
-  std::ifstream file(path);
-  if (!file) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
-  }
-  std::stringstream source;
-  source << file.rdbuf();
-
   try {
+    if (!appId.empty()) {
+      return runAppComparison(appId, platformName, scaleName, threads);
+    }
+    if (path.empty()) {
+      usage();
+      return 2;
+    }
+
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    std::stringstream source;
+    source << file.rdbuf();
+
     grover::Program program = grover::compile(source.str());
     bool anyKernel = false;
     for (const auto& fn : program.module->functions()) {
