@@ -1,0 +1,164 @@
+// Compilation-service cache effectiveness over the Table I app set.
+//
+// Per app: one cold request (miss → full front-end → Grover → estimate
+// pipeline) vs warm requests (content-addressed cache hits), reporting
+// the latency ratio. Then two self-checks that mirror the service's
+// contract: (1) single-flight — N concurrent identical requests on a
+// fresh service trigger exactly one compilation; (2) estimates served
+// through the cache are bit-identical to the uncached Harness path.
+// Exits non-zero when warm latency is not at least 20x better overall or
+// when any self-check fails. Results land in BENCH_service_cache.json.
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_common.h"
+#include "service/compile_service.h"
+
+namespace {
+
+using namespace grover;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+service::Request makeRequest(const std::string& appId) {
+  service::Request req;
+  req.appId = appId;
+  req.platform = "SNB";
+  req.scale = apps::Scale::Test;
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  using namespace grover::bench;
+  const std::vector<std::string> appIds = fig10Apps();
+  constexpr int kWarmReps = 50;
+  constexpr unsigned kConcurrentWaiters = 16;
+
+  std::cout << "=== compilation service: warm-cache vs cold-compile "
+               "latency (SNB model, test scale) ===\n\n";
+  std::cout << padRight("benchmark", 12) << padLeft("cold ms", 10)
+            << padLeft("warm us", 10) << padLeft("speedup", 10) << "\n";
+
+  service::CompileService service(service::ServiceConfig{});
+  std::ostringstream json;
+  json << "{\n  \"apps\": {\n";
+
+  double totalColdMs = 0;
+  double totalWarmMs = 0;
+  bool firstApp = true;
+  for (const std::string& id : appIds) {
+    const service::Request req = makeRequest(id);
+
+    const Clock::time_point coldStart = Clock::now();
+    const service::ArtifactPtr cold = service.run(req);
+    const double coldMs = msSince(coldStart);
+    if (cold == nullptr || !cold->ok) {
+      std::cerr << "FATAL: cold request for " << id << " failed\n";
+      return 1;
+    }
+
+    // Warm: best-of-reps hit latency (the steady-state serving cost).
+    double warmMs = 1e100;
+    for (int r = 0; r < kWarmReps; ++r) {
+      const Clock::time_point warmStart = Clock::now();
+      const service::ArtifactPtr warm = service.run(req);
+      warmMs = std::min(warmMs, msSince(warmStart));
+      if (warm.get() != cold.get()) {
+        std::cerr << "FATAL: warm hit did not serve the cached artifact\n";
+        return 1;
+      }
+    }
+
+    totalColdMs += coldMs;
+    totalWarmMs += warmMs;
+    const double speedup = coldMs / warmMs;
+    std::cout << padRight(id, 12) << padLeft(fixed(coldMs, 2), 10)
+              << padLeft(fixed(warmMs * 1000.0, 1), 10)
+              << padLeft(fixed(speedup, 0) + "x", 10) << "\n";
+    if (!firstApp) json << ",\n";
+    firstApp = false;
+    json << "    \"" << id << "\": {\"cold_ms\": " << coldMs
+         << ", \"warm_ms\": " << warmMs << ", \"speedup\": " << speedup
+         << "}";
+  }
+  const double overall = totalColdMs / totalWarmMs;
+  std::cout << "\noverall: cold " << fixed(totalColdMs, 1) << " ms, warm "
+            << fixed(totalWarmMs * 1000.0, 1) << " us, speedup "
+            << fixed(overall, 0) << "x\n";
+  if (overall < 20.0) {
+    std::cerr << "FATAL: warm-cache speedup " << overall
+              << "x is below the required 20x\n";
+    return 1;
+  }
+
+  // --- single-flight: N concurrent identical requests, one compile -------
+  service::CompileService fresh(service::ServiceConfig{});
+  std::vector<service::CompileService::Future> futures;
+  for (unsigned i = 0; i < kConcurrentWaiters; ++i) {
+    futures.push_back(fresh.submit(makeRequest("NVD-MT")));
+  }
+  std::string firstText;
+  for (auto& f : futures) {
+    const service::ArtifactPtr a = f.get();
+    if (a == nullptr || !a->ok) {
+      std::cerr << "FATAL: single-flight waiter failed\n";
+      return 1;
+    }
+    if (firstText.empty()) firstText = a->transformedText;
+    if (a->transformedText != firstText) {
+      std::cerr << "FATAL: waiters observed divergent module text\n";
+      return 1;
+    }
+  }
+  const service::ServiceStats sf = fresh.stats();
+  std::cout << "single-flight: " << kConcurrentWaiters
+            << " concurrent identical requests -> " << sf.compiles
+            << " compile (" << sf.coalesced << " coalesced, "
+            << sf.memoryHits << " cache hits)\n";
+  if (sf.compiles != 1) {
+    std::cerr << "FATAL: expected exactly 1 compile, got " << sf.compiles
+              << "\n";
+    return 1;
+  }
+
+  // --- cached estimates must be bit-identical to the Harness path --------
+  for (const std::string& id : {std::string("NVD-MT"), std::string("PAB-ST"),
+                                std::string("ROD-SC")}) {
+    const service::ArtifactPtr served = service.run(makeRequest(id));
+    const PerfComparison direct = comparePerformance(
+        apps::applicationById(id), *perf::findPlatform("SNB"),
+        apps::Scale::Test);
+    if (served->cyclesWithLM != direct.cyclesWithLM ||
+        served->cyclesWithoutLM != direct.cyclesWithoutLM ||
+        served->normalized != direct.normalized) {
+      std::cerr << "FATAL: " << id
+                << " cached estimate diverges from the Harness ("
+                << served->cyclesWithLM << "/" << served->cyclesWithoutLM
+                << " vs " << direct.cyclesWithLM << "/"
+                << direct.cyclesWithoutLM << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "estimates: bit-identical to uncached Harness results\n";
+
+  const service::ServiceStats s = service.stats();
+  json << "\n  },\n  \"overall_speedup\": " << overall
+       << ",\n  \"single_flight\": {\"waiters\": " << kConcurrentWaiters
+       << ", \"compiles\": " << sf.compiles
+       << ", \"coalesced\": " << sf.coalesced << "}"
+       << ",\n  \"stats\": {\"requests\": " << s.requests
+       << ", \"memory_hits\": " << s.memoryHits
+       << ", \"misses\": " << s.misses << ", \"compiles\": " << s.compiles
+       << ", \"frontend_ms\": " << s.frontendMs
+       << ", \"grover_ms\": " << s.groverMs
+       << ", \"estimate_ms\": " << s.estimateMs << "}\n}\n";
+  writeBenchJson("service_cache", json.str());
+  return 0;
+}

@@ -97,6 +97,12 @@ class IrParser {
     unsigned no = 0;
     while (std::getline(is, line)) {
       ++no;
+      // The printer's header comment carries the module name; recover it
+      // so print → parse → print is a fixed point at module level.
+      if (lines_.empty() && line.rfind("; module '", 0) == 0) {
+        const std::size_t close = line.rfind('\'');
+        if (close > 10) module_name_ = line.substr(10, close - 10);
+      }
       // Strip comments, trailing whitespace and blank lines.
       const std::size_t semi = line.find(';');
       if (semi != std::string::npos) line = line.substr(0, semi);
@@ -109,7 +115,7 @@ class IrParser {
   }
 
   std::unique_ptr<Module> run() {
-    auto module = std::make_unique<Module>(ctx_, "parsed");
+    auto module = std::make_unique<Module>(ctx_, module_name_);
     while (index_ < lines_.size()) {
       parseFunction(*module);
     }
@@ -472,6 +478,7 @@ class IrParser {
   };
 
   Context& ctx_;
+  std::string module_name_ = "parsed";
   std::vector<std::pair<std::string, unsigned>> lines_;
   std::size_t index_ = 0;
   std::map<std::string, Value*> values_;

@@ -1,5 +1,8 @@
 #include "perf/platform.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace grover::perf {
 
 PlatformSpec snb() {
@@ -111,6 +114,20 @@ std::vector<PlatformSpec> cacheOnlyPlatforms() {
 
 std::vector<PlatformSpec> allPlatforms() {
   return {fermi(), kepler(), tahiti(), snb(), nehalem(), mic()};
+}
+
+std::optional<PlatformSpec> findPlatform(const std::string& name) {
+  const auto lowered = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    return s;
+  };
+  const std::string wanted = lowered(name);
+  for (PlatformSpec& p : allPlatforms()) {
+    if (lowered(p.name) == wanted) return std::move(p);
+  }
+  return std::nullopt;
 }
 
 }  // namespace grover::perf

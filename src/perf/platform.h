@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,5 +73,9 @@ struct PlatformSpec {
 [[nodiscard]] std::vector<PlatformSpec> cacheOnlyPlatforms();
 /// All six platforms of Fig. 2.
 [[nodiscard]] std::vector<PlatformSpec> allPlatforms();
+
+/// Case-insensitive lookup among allPlatforms(); nullopt when unknown.
+[[nodiscard]] std::optional<PlatformSpec> findPlatform(
+    const std::string& name);
 
 }  // namespace grover::perf

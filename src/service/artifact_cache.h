@@ -1,0 +1,103 @@
+// Content-addressed artifact cache: a sharded in-memory LRU with a byte
+// budget, plus an optional on-disk tier. Keys are stable 64-bit content
+// hashes of (source, transform options, platform, scale) — see
+// CompileService::cacheKey.
+//
+// The on-disk format embeds the modules exactly as ir/printer.h renders
+// them and reloads them through ir::parseModule: the textual IR
+// round-trip IS the cache format (no separate serializer). A loaded
+// artifact is only served when its header parses, the key matches, the
+// modules reparse + verify, and print(parse(text)) == text; anything
+// else counts as corruption and falls back to recompilation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/artifact.h"
+
+namespace grover::service {
+
+class ArtifactCache {
+ public:
+  struct Config {
+    /// Total in-memory budget across all shards. An artifact larger than
+    /// its shard's slice is never retained in memory (it is still
+    /// returned to the requester, and still hits the disk tier).
+    std::size_t maxBytes = 256u << 20;
+    unsigned shards = 8;
+    /// Directory of the on-disk tier; empty = memory only.
+    std::string diskDir;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytesInUse = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskMisses = 0;
+    std::uint64_t diskLoadFailures = 0;  // corrupt/unreadable artifacts
+    std::uint64_t diskStores = 0;
+  };
+
+  explicit ArtifactCache(Config config);
+
+  /// In-memory probe; bumps LRU recency on hit.
+  [[nodiscard]] ArtifactPtr get(std::uint64_t key);
+
+  /// Insert/overwrite; evicts least-recently-used entries of the shard
+  /// until it fits its byte budget again.
+  void put(std::uint64_t key, ArtifactPtr artifact);
+
+  /// Disk-tier probe. Returns null on miss, on a disabled disk tier, and
+  /// on any corruption (counted in diskLoadFailures). Does NOT populate
+  /// the memory tier — callers put() the result so the two tiers stay
+  /// decoupled.
+  [[nodiscard]] ArtifactPtr loadFromDisk(std::uint64_t key);
+
+  /// Persist an artifact (atomic write-then-rename). No-op without a
+  /// disk tier; write errors are swallowed — the disk tier is an
+  /// optimization, never a correctness dependency.
+  void storeToDisk(std::uint64_t key, const Artifact& artifact);
+
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Path of the artifact file for a key ("" without a disk tier).
+  [[nodiscard]] std::string diskPath(std::uint64_t key) const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    ArtifactPtr artifact;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    // key → position in lru. std::list iterators stay valid on splice.
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shardFor(std::uint64_t key);
+
+  Config config_;
+  std::size_t shardBudget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex disk_mutex_;
+  std::uint64_t disk_hits_ = 0, disk_misses_ = 0, disk_failures_ = 0,
+                disk_stores_ = 0;
+};
+
+}  // namespace grover::service

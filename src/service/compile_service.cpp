@@ -1,0 +1,266 @@
+#include "service/compile_service.h"
+
+#include <chrono>
+
+#include "grovercl/compiler.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "perf/estimator.h"
+#include "perf/platform.h"
+#include "support/diagnostics.h"
+#include "support/hash.h"
+
+namespace grover::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Accumulate the elapsed time of one stage into an atomic counter.
+class StageTimer {
+ public:
+  explicit StageTimer(std::atomic<std::uint64_t>& sink)
+      : sink_(sink), start_(Clock::now()) {}
+  ~StageTimer() {
+    sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  std::atomic<std::uint64_t>& sink_;
+  Clock::time_point start_;
+};
+
+ArtifactPtr negative(std::string diagnostics) {
+  auto a = std::make_shared<Artifact>();
+  a->ok = false;
+  a->diagnostics = std::move(diagnostics);
+  return a;
+}
+
+}  // namespace
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache),
+      pool_(config_.workers) {}
+
+CompileService::~CompileService() { shutdown(); }
+
+Request CompileService::resolve(Request request) {
+  if (!request.appId.empty()) {
+    const apps::Application& app = apps::applicationById(request.appId);
+    request.source = app.source();
+    request.kernelName = app.kernelName();
+    request.options.onlyBuffers = app.buffersToDisable();
+  }
+  if (!request.platform.empty()) {
+    if (request.appId.empty()) {
+      throw GroverError(
+          "estimation requires a built-in app id (the app provides the "
+          "dataset)");
+    }
+    if (!perf::findPlatform(request.platform)) {
+      throw GroverError("unknown platform '" + request.platform + "'");
+    }
+  }
+  return request;
+}
+
+std::uint64_t CompileService::cacheKey(const Request& resolved) {
+  Fnv1a h;
+  h.update(std::string_view("groverc-artifact-key-v1"));
+  h.update(std::string_view(resolved.source));
+  h.update(std::string_view(resolved.kernelName));
+  h.update(static_cast<std::uint64_t>(resolved.options.onlyBuffers.size()));
+  for (const std::string& b : resolved.options.onlyBuffers) {
+    h.update(std::string_view(b));  // std::set iterates in sorted order
+  }
+  h.update(resolved.options.removeBarriers);
+  h.update(resolved.options.cleanup);
+  h.update(std::string_view(resolved.platform));
+  h.update(static_cast<std::uint64_t>(resolved.scale));
+  return h.digest();
+}
+
+CompileService::Future CompileService::submit(Request request) {
+  Request resolved = resolve(std::move(request));
+  const std::uint64_t key = cacheKey(resolved);
+  ++requests_;
+
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) {
+      throw GroverError("compile service is shut down");
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      ++coalesced_;
+      return it->second;
+    }
+    // Memory probe under the service lock: the leader publishes to the
+    // cache *before* leaving inflight_, so this order can never miss a
+    // finished compilation (single-flight guarantee).
+    if (ArtifactPtr hit = cache_.get(key)) {
+      ++memory_hits_;
+      if (!hit->ok) ++negative_hits_;
+      std::promise<ArtifactPtr> ready;
+      ready.set_value(std::move(hit));
+      return ready.get_future().share();
+    }
+    if (pending_ < config_.maxQueue) break;
+    cv_capacity_.wait(lock);
+  }
+
+  ++misses_;
+  ++pending_;
+  auto promise = std::make_shared<std::promise<ArtifactPtr>>();
+  Future future = promise->get_future().share();
+  inflight_.emplace(key, future);
+  lock.unlock();
+
+  pool_.submit([this, key, promise,
+                resolved = std::move(resolved)]() mutable {
+    ArtifactPtr artifact;
+    try {
+      artifact = cache_.loadFromDisk(key);
+      if (artifact != nullptr) {
+        ++disk_hits_;
+      } else {
+        artifact = compileUncached(resolved);
+        cache_.storeToDisk(key, *artifact);
+      }
+    } catch (const std::exception& e) {
+      artifact = negative(std::string("internal error: ") + e.what());
+    } catch (...) {
+      artifact = negative("internal error");
+    }
+    // Publish to the cache and leave the in-flight map BEFORE completing
+    // the future: anyone who observes the future done will find the
+    // artifact in the cache, never a stale in-flight entry.
+    cache_.put(key, artifact);
+    {
+      std::lock_guard relock(mutex_);
+      inflight_.erase(key);
+      --pending_;
+    }
+    cv_capacity_.notify_all();
+    promise->set_value(artifact);
+  });
+  return future;
+}
+
+ArtifactPtr CompileService::compileUncached(const Request& resolved) {
+  ++compiles_;
+  auto artifact = std::make_shared<Artifact>();
+
+  Program original;
+  Program transformed;
+  {
+    StageTimer timer(frontend_ns_);
+    DiagnosticEngine diags;
+    original = compileWithDiags(resolved.source, diags);
+    if (original.module == nullptr || diags.hasErrors()) {
+      return negative(diags.hasErrors() ? diags.str()
+                                        : "compilation produced no module");
+    }
+    diags.clear();
+    transformed = compileWithDiags(resolved.source, diags);
+    if (transformed.module == nullptr || diags.hasErrors()) {
+      return negative(diags.str());
+    }
+  }
+
+  {
+    StageTimer timer(grover_ns_);
+    bool any = false;
+    for (const auto& fn : transformed.module->functions()) {
+      if (!fn->isKernel()) continue;
+      if (!resolved.kernelName.empty() && fn->name() != resolved.kernelName) {
+        continue;
+      }
+      any = true;
+      grv::GroverResult result = grv::runGrover(*fn, resolved.options);
+      ir::verifyFunction(*fn);
+      artifact->report.anyTransformed |= result.anyTransformed;
+      artifact->report.barriersRemoved |= result.barriersRemoved;
+      for (auto& b : result.buffers) {
+        artifact->report.buffers.push_back(std::move(b));
+      }
+    }
+    if (!any) {
+      return negative(resolved.kernelName.empty()
+                          ? "no kernel found in source"
+                          : "kernel '" + resolved.kernelName + "' not found");
+    }
+  }
+
+  {
+    StageTimer timer(print_ns_);
+    artifact->originalText = ir::printModule(*original.module);
+    artifact->transformedText = ir::printModule(*transformed.module);
+  }
+
+  if (!resolved.platform.empty()) {
+    StageTimer timer(estimate_ns_);
+    const apps::Application& app = apps::applicationById(resolved.appId);
+    const perf::PlatformSpec spec = *perf::findPlatform(resolved.platform);
+    ir::Function* origKernel = original.kernel(resolved.kernelName);
+    ir::Function* transKernel = transformed.kernel(resolved.kernelName);
+    apps::Instance i1 = app.makeInstance(resolved.scale);
+    const perf::PerfEstimate with =
+        perf::estimate(spec, *origKernel, i1.range, i1.args,
+                       i1.benchSampleStride, config_.estimateThreads);
+    apps::Instance i2 = app.makeInstance(resolved.scale);
+    const perf::PerfEstimate without =
+        perf::estimate(spec, *transKernel, i2.range, i2.args,
+                       i2.benchSampleStride, config_.estimateThreads);
+    artifact->hasEstimate = true;
+    artifact->cyclesWithLM = with.cycles;
+    artifact->cyclesWithoutLM = without.cycles;
+    artifact->normalized =
+        perf::normalizedPerformance(with.cycles, without.cycles);
+    artifact->outcome = perf::classify(artifact->normalized);
+  }
+
+  artifact->ok = true;
+  return artifact;
+}
+
+void CompileService::drain() { pool_.waitIdle(); }
+
+void CompileService::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_capacity_.notify_all();
+  pool_.waitIdle();
+}
+
+ServiceStats CompileService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load();
+  s.memoryHits = memory_hits_.load();
+  s.negativeHits = negative_hits_.load();
+  s.coalesced = coalesced_.load();
+  s.misses = misses_.load();
+  s.diskHits = disk_hits_.load();
+  s.compiles = compiles_.load();
+  const ArtifactCache::Stats c = cache_.stats();
+  s.evictions = c.evictions;
+  s.diskLoadFailures = c.diskLoadFailures;
+  s.diskStores = c.diskStores;
+  s.entries = c.entries;
+  s.bytesInUse = c.bytesInUse;
+  const auto ms = [](const std::atomic<std::uint64_t>& ns) {
+    return static_cast<double>(ns.load()) / 1e6;
+  };
+  s.frontendMs = ms(frontend_ns_);
+  s.groverMs = ms(grover_ns_);
+  s.printMs = ms(print_ns_);
+  s.estimateMs = ms(estimate_ns_);
+  return s;
+}
+
+}  // namespace grover::service

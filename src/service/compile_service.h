@@ -1,0 +1,115 @@
+// Thread-safe compile-and-estimate service on top of grovercl
+// (DESIGN.md §8): content-addressed artifact cache (memory LRU + optional
+// disk tier), single-flight deduplication of concurrent identical
+// requests, and an async submit API executing on support::ThreadPool with
+// a bounded in-flight queue and a drain/shutdown path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/artifact_cache.h"
+#include "support/thread_pool.h"
+
+namespace grover::service {
+
+struct ServiceConfig {
+  /// Worker threads compiling requests (0 = hardware concurrency).
+  unsigned workers = 0;
+  /// Max requests being compiled or queued at once; submit() blocks
+  /// (back-pressure) when the bound is reached.
+  std::size_t maxQueue = 256;
+  /// Host threads inside one perf::estimate call. Estimates are
+  /// bit-identical for every value; 1 keeps concurrent requests from
+  /// oversubscribing the host.
+  unsigned estimateThreads = 1;
+  ArtifactCache::Config cache;
+};
+
+/// Cumulative counters; snapshot via CompileService::stats().
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t memoryHits = 0;    // served from the in-memory LRU
+  std::uint64_t negativeHits = 0;  // of those, cached failures/diagnostics
+  std::uint64_t coalesced = 0;     // joined an in-flight identical request
+  std::uint64_t misses = 0;        // became the compiling leader
+  std::uint64_t diskHits = 0;      // leader loaded the disk artifact
+  std::uint64_t compiles = 0;      // full pipeline executions
+  std::uint64_t evictions = 0;
+  std::uint64_t diskLoadFailures = 0;
+  std::uint64_t diskStores = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytesInUse = 0;
+  // Cumulative per-stage wall time across all compiles, in milliseconds.
+  double frontendMs = 0;   // source → SSA (×2: original + transformed)
+  double groverMs = 0;     // the Grover pass + verification
+  double printMs = 0;      // IR rendering of both versions
+  double estimateMs = 0;   // trace-driven with/without-LM estimation
+};
+
+class CompileService {
+ public:
+  using Future = std::shared_future<ArtifactPtr>;
+
+  explicit CompileService(ServiceConfig config = {});
+  ~CompileService();  // drains and shuts down
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Async entry point. Returns immediately with a ready future on a
+  /// memory-cache hit, joins the in-flight future of an identical
+  /// request, or schedules a compilation (blocking while the queue is
+  /// full). Throws GroverError for malformed requests (unknown app or
+  /// platform, estimation without an app) and after shutdown(). The
+  /// future itself never throws: failures are negative artifacts.
+  [[nodiscard]] Future submit(Request request);
+
+  /// Blocking convenience wrapper: submit + get.
+  [[nodiscard]] ArtifactPtr run(Request request) {
+    return submit(std::move(request)).get();
+  }
+
+  /// Wait until every submitted request has completed. The service stays
+  /// usable afterwards.
+  void drain();
+
+  /// Stop accepting new requests, then drain. Idempotent; also performed
+  /// by the destructor.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Fill appId-derived fields and validate the request. Public so tools
+  /// and tests can inspect the canonical form. Throws GroverError.
+  [[nodiscard]] static Request resolve(Request request);
+
+  /// Stable content hash of a *resolved* request — the cache key.
+  [[nodiscard]] static std::uint64_t cacheKey(const Request& resolved);
+
+ private:
+  [[nodiscard]] ArtifactPtr compileUncached(const Request& resolved);
+
+  ServiceConfig config_;
+  ArtifactCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_capacity_;
+  std::unordered_map<std::uint64_t, Future> inflight_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> requests_{0}, memory_hits_{0},
+      negative_hits_{0}, coalesced_{0}, misses_{0}, disk_hits_{0},
+      compiles_{0};
+  std::atomic<std::uint64_t> frontend_ns_{0}, grover_ns_{0}, print_ns_{0},
+      estimate_ns_{0};
+};
+
+}  // namespace grover::service

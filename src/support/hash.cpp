@@ -1,0 +1,53 @@
+#include "support/hash.h"
+
+namespace grover {
+namespace {
+
+constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+std::uint64_t mix(std::uint64_t state, const unsigned char* p,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= kPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+void Fnv1a::updateBytes(const void* data, std::size_t size) {
+  state_ = mix(state_, static_cast<const unsigned char*>(data), size);
+}
+
+void Fnv1a::update(std::string_view s) {
+  update(static_cast<std::uint64_t>(s.size()));
+  updateBytes(s.data(), s.size());
+}
+
+void Fnv1a::update(std::uint64_t v) {
+  // Fixed little-endian-style byte order, independent of the host.
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  updateBytes(bytes, sizeof(bytes));
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  Fnv1a h;
+  h.update(s);
+  return h.digest();
+}
+
+std::string toHex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace grover

@@ -1,0 +1,35 @@
+// Stable content hashing (64-bit FNV-1a) for cache keys and artifact
+// filenames. The digest is defined by this file alone — it must never
+// depend on pointer values, iteration order of unordered containers, or
+// the host's std::hash, so that on-disk artifacts stay valid across runs
+// and builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grover {
+
+/// Incremental FNV-1a/64. Every update() is length-prefixed, so
+/// ("ab","c") and ("a","bc") produce different digests.
+class Fnv1a {
+ public:
+  void updateBytes(const void* data, std::size_t size);
+  void update(std::string_view s);
+  void update(std::uint64_t v);
+  void update(bool b) { update(static_cast<std::uint64_t>(b ? 1 : 0)); }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s);
+
+/// 16-digit lowercase hex rendering (filename-safe).
+[[nodiscard]] std::string toHex64(std::uint64_t v);
+
+}  // namespace grover

@@ -1,0 +1,122 @@
+// Drives the groverc binary end-to-end (path supplied by CMake as
+// GROVERC_PATH): file-handling error paths must exit non-zero with a
+// one-line diagnostic — no uncaught exception, no empty-source compile —
+// and --serve-batch must serve a request file.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult runGroverc(const std::string& args) {
+  const std::string cmd = std::string(GROVERC_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult r;
+  char buf[4096];
+  while (pipe != nullptr && fgets(buf, sizeof(buf), pipe) != nullptr) {
+    r.output += buf;
+  }
+  if (pipe != nullptr) {
+    const int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return r;
+}
+
+std::size_t countLines(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+fs::path tmpFile(const std::string& name, const std::string& contents) {
+  const fs::path path = fs::temp_directory_path() /
+                        ("groverc_cli_" + std::to_string(::getpid()) + "_" +
+                         name);
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+  return path;
+}
+
+TEST(GrovercCli, MissingFileIsOneLineDiagnosticNonZeroExit) {
+  const RunResult r = runGroverc("/definitely/not/here.cl");
+  EXPECT_NE(r.exitCode, 0);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos) << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+  EXPECT_EQ(r.output.find("terminate"), std::string::npos) << r.output;
+}
+
+TEST(GrovercCli, DirectoryPathIsRejected) {
+  const RunResult r = runGroverc(fs::temp_directory_path().string());
+  EXPECT_NE(r.exitCode, 0);
+  EXPECT_NE(r.output.find("not a regular file"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+}
+
+TEST(GrovercCli, EmptyFileIsNotCompiled) {
+  const fs::path path = tmpFile("empty.cl", "");
+  const RunResult r = runGroverc(path.string());
+  EXPECT_NE(r.exitCode, 0);
+  EXPECT_NE(r.output.find("file is empty"), std::string::npos) << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+  fs::remove(path);
+}
+
+TEST(GrovercCli, ValidKernelStillTransforms) {
+  const fs::path path = tmpFile("ok.cl", R"CL(
+__kernel void copy(__global float* out, __global float* in) {
+  __local float tile[16];
+  int lx = get_local_id(0);
+  tile[lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tile[lx];
+}
+)CL");
+  const RunResult r = runGroverc(path.string() + " --report-only");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("local memory disabled"), std::string::npos)
+      << r.output;
+  fs::remove(path);
+}
+
+TEST(GrovercCli, ServeBatchServesRequestsAndReportsCacheStats) {
+  const fs::path batch = tmpFile("batch.txt",
+                                 "# two identical + one distinct\n"
+                                 "NVD-MT SNB test\n"
+                                 "NVD-MT SNB test\n"
+                                 "AMD-MT none\n");
+  const RunResult r =
+      runGroverc("--serve-batch=" + batch.string() + " --repeat=2");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("np "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("served 6 requests"), std::string::npos)
+      << r.output;
+  // 2 unique keys → exactly 2 compiles despite 6 requests.
+  EXPECT_NE(r.output.find(" 2 compiles"), std::string::npos) << r.output;
+  fs::remove(batch);
+}
+
+TEST(GrovercCli, ServeBatchMissingFileFails) {
+  const RunResult r = runGroverc("--serve-batch=/no/such/batch.txt");
+  EXPECT_NE(r.exitCode, 0);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos) << r.output;
+}
+
+}  // namespace

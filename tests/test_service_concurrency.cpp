@@ -1,0 +1,134 @@
+// Single-flight deduplication under contention: many threads hammering a
+// small key set must trigger exactly one compilation per unique key, and
+// every waiter must observe identical module text.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/compile_service.h"
+#include "support/diagnostics.h"
+
+namespace grover::service {
+namespace {
+
+Request appRequest(const std::string& id) {
+  Request r;
+  r.appId = id;
+  return r;
+}
+
+TEST(ServiceConcurrency, OneCompilePerUniqueKeyUnderContention) {
+  const std::vector<std::string> keySet = {"NVD-MT", "AMD-MT", "AMD-SS"};
+  constexpr unsigned kThreads = 10;
+  constexpr unsigned kItersPerThread = 24;
+
+  CompileService service(ServiceConfig{});
+  std::vector<std::vector<ArtifactPtr>> seen(kThreads);
+  std::atomic<bool> go{false};
+  std::atomic<unsigned> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (unsigned i = 0; i < kItersPerThread; ++i) {
+        const std::string& id = keySet[(t + i) % keySet.size()];
+        try {
+          seen[t].push_back(service.run(appRequest(id)));
+        } catch (const GroverError&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  go = true;
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.compiles, keySet.size())
+      << "every unique key must compile exactly once";
+  EXPECT_EQ(s.requests, kThreads * kItersPerThread);
+  // Every request was served by exactly one of: leading a compile,
+  // coalescing onto an in-flight one, or a cache hit.
+  EXPECT_EQ(s.misses + s.coalesced + s.memoryHits, s.requests);
+  EXPECT_EQ(s.misses, keySet.size());
+
+  // All observers of one key see identical module text.
+  std::map<std::string, std::string> canonical;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    unsigned i = 0;
+    for (const ArtifactPtr& a : seen[t]) {
+      const std::string& id = keySet[(t + i++) % keySet.size()];
+      ASSERT_NE(a, nullptr);
+      EXPECT_TRUE(a->ok);
+      auto [it, inserted] = canonical.emplace(id, a->transformedText);
+      if (!inserted) {
+        EXPECT_EQ(a->transformedText, it->second)
+            << "waiters observed divergent module text for " << id;
+      }
+    }
+  }
+  EXPECT_EQ(canonical.size(), keySet.size());
+}
+
+TEST(ServiceConcurrency, ConcurrentIdenticalSubmitsShareOneCompilation) {
+  constexpr unsigned kWaiters = 16;
+  CompileService service(ServiceConfig{});
+  std::vector<CompileService::Future> futures;
+  futures.reserve(kWaiters);
+  for (unsigned i = 0; i < kWaiters; ++i) {
+    futures.push_back(service.submit(appRequest("PAB-ST")));
+  }
+  std::vector<ArtifactPtr> results;
+  for (auto& f : futures) results.push_back(f.get());
+  for (const ArtifactPtr& a : results) {
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->ok);
+    EXPECT_EQ(a->transformedText, results.front()->transformedText);
+  }
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.coalesced + s.memoryHits, kWaiters - 1);
+}
+
+TEST(ServiceConcurrency, BoundedQueueAppliesBackPressure) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.maxQueue = 2;
+  CompileService service(config);
+  // More unique keys than queue slots: submit() must block rather than
+  // reject, and everything must still complete.
+  const std::vector<std::string> ids = {"NVD-MT",   "AMD-MT", "AMD-SS",
+                                        "AMD-RG",   "PAB-ST", "ROD-SC",
+                                        "NVD-NBody"};
+  std::vector<CompileService::Future> futures;
+  for (const std::string& id : ids) {
+    futures.push_back(service.submit(appRequest(id)));
+  }
+  for (auto& f : futures) {
+    const ArtifactPtr a = f.get();
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->ok);
+  }
+  EXPECT_EQ(service.stats().compiles, ids.size());
+}
+
+TEST(ServiceShutdown, DrainsAndRejectsNewWork) {
+  CompileService service(ServiceConfig{});
+  auto f = service.submit(appRequest("NVD-MT"));
+  service.shutdown();
+  // The in-flight request completed during shutdown's drain.
+  EXPECT_TRUE(f.get()->ok);
+  EXPECT_THROW((void)service.submit(appRequest("NVD-MT")), GroverError);
+  service.shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace grover::service

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "support/diagnostics.h"
+#include "support/hash.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
@@ -27,6 +28,30 @@ TEST(Str, Padding) {
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("ab", 4), "ab  ");
   EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(Hash, StableAcrossRuns) {
+  // Pinned digests: the on-disk artifact cache depends on these values
+  // never changing across builds or hosts.
+  EXPECT_EQ(fnv1a(""), 0xa8c7f832281a39c5ull);
+  EXPECT_EQ(fnv1a("grover"), fnv1a("grover"));
+  EXPECT_NE(fnv1a("grover"), fnv1a("grover "));
+}
+
+TEST(Hash, LengthPrefixingPreventsConcatenationCollisions) {
+  Fnv1a a;
+  a.update(std::string_view("ab"));
+  a.update(std::string_view("c"));
+  Fnv1a b;
+  b.update(std::string_view("a"));
+  b.update(std::string_view("bc"));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, Hex64) {
+  EXPECT_EQ(toHex64(0), "0000000000000000");
+  EXPECT_EQ(toHex64(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(toHex64(~0ull), "ffffffffffffffff");
 }
 
 TEST(Diagnostics, CollectsAndCounts) {

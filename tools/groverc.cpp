@@ -5,6 +5,8 @@
 //           [--keep-barriers] [--no-cleanup] [--before] [--report-only]
 //   groverc --app=<id> [--platform=<name>] [--scale=test|bench]
 //           [--threads=N]
+//   groverc --serve-batch=<file> [--threads=N] [--repeat=K]
+//           [--cache-mb=M] [--cache-dir=DIR]
 //
 // The first form reads an OpenCL C kernel, runs the full pipeline
 // (front-end → SSA → Grover), prints the Table III-style index report, and
@@ -12,8 +14,14 @@
 // The second form runs the with/without-local-memory performance
 // comparison for one of the built-in Table I applications on a platform
 // model, using --threads host threads for the trace-driven estimation.
+// The third form reads a request file (one request per line), serves all
+// requests concurrently through the compilation service, and reports
+// throughput plus cache effectiveness (see tools/README.md).
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,7 +35,9 @@
 #include "grovercl/harness.h"
 #include "ir/printer.h"
 #include "perf/platform.h"
+#include "service/compile_service.h"
 #include "support/diagnostics.h"
+#include "support/str.h"
 
 namespace {
 
@@ -50,7 +60,47 @@ void usage() {
       "  --threads=N       host threads for execution and trace digestion\n"
       "                    (default: all hardware threads; estimates are\n"
       "                    identical for every N)\n"
-      "  --list-apps       print the built-in application ids\n";
+      "  --list-apps       print the built-in application ids\n"
+      "  --serve-batch=<f> serve a request file through the compilation\n"
+      "                    service (one request per line; see\n"
+      "                    tools/README.md)\n"
+      "  --repeat=K        replay the batch K times (default 1)\n"
+      "  --cache-mb=M      service cache byte budget in MiB (default 256)\n"
+      "  --cache-dir=DIR   enable the on-disk artifact cache tier\n";
+}
+
+/// Read a kernel/request file. Returns false and fills `error` with a
+/// one-line reason on any problem (missing, directory, unreadable,
+/// empty) — callers must not compile an empty or half-read source.
+bool readTextFile(const std::string& path, std::string& out,
+                  std::string& error) {
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(status)) {
+    error = "no such file";
+    return false;
+  }
+  if (!std::filesystem::is_regular_file(status)) {
+    error = "not a regular file";
+    return false;
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    error = "cannot open (permission denied?)";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    error = "read error";
+    return false;
+  }
+  out = buffer.str();
+  if (out.find_first_not_of(" \t\r\n") == std::string::npos) {
+    error = "file is empty";
+    return false;
+  }
+  return true;
 }
 
 void printReport(const grover::grv::GroverResult& result) {
@@ -126,6 +176,161 @@ int runAppComparison(const std::string& appId, const std::string& platform,
   return 0;
 }
 
+/// One parsed line of a --serve-batch request file.
+struct BatchEntry {
+  std::string text;  // original line, for reporting
+  grover::service::Request request;
+  bool valid = false;
+  std::string error;
+};
+
+/// Grammar: `<app-id> [<platform>] [test|bench]` or `<path ending in .cl>`
+/// (transform-only). `#` starts a comment.
+std::vector<BatchEntry> parseBatchFile(const std::string& contents) {
+  std::vector<BatchEntry> entries;
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> words;
+    for (std::string w; tokens >> w;) words.push_back(w);
+    if (words.empty()) continue;
+    BatchEntry e;
+    e.text = grover::join(words, " ");
+    if (words[0].size() > 3 &&
+        words[0].rfind(".cl") == words[0].size() - 3) {
+      if (words.size() > 1) {
+        e.error = "a .cl request takes no further arguments";
+      } else if (std::string err;
+                 !readTextFile(words[0], e.request.source, err)) {
+        e.error = "cannot read '" + words[0] + "': " + err;
+      } else {
+        e.valid = true;
+      }
+    } else {
+      e.request.appId = words[0];
+      if (words.size() > 1 && words[1] != "none") {
+        e.request.platform = words[1];
+      }
+      if (words.size() > 2) {
+        if (words[2] != "test" && words[2] != "bench") {
+          e.error = "bad scale '" + words[2] + "'";
+        }
+        e.request.scale = words[2] == "bench" ? grover::apps::Scale::Bench
+                                              : grover::apps::Scale::Test;
+      }
+      if (words.size() > 3) e.error = "too many arguments";
+      e.valid = e.error.empty();
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+int runServeBatch(const std::string& file, unsigned threads, int repeat,
+                  std::size_t cacheMb, const std::string& cacheDir) {
+  namespace svc = grover::service;
+  std::string contents;
+  if (std::string err; !readTextFile(file, contents, err)) {
+    std::cerr << "groverc: cannot read '" << file << "': " << err << "\n";
+    return 1;
+  }
+  std::vector<BatchEntry> entries = parseBatchFile(contents);
+  if (entries.empty()) {
+    std::cerr << "groverc: '" << file << "' contains no requests\n";
+    return 1;
+  }
+
+  svc::ServiceConfig config;
+  config.workers = threads;
+  config.cache.maxBytes = cacheMb << 20;
+  config.cache.diskDir = cacheDir;
+  svc::CompileService service(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  // Submit every repetition of every valid line up front; the service
+  // coalesces identical in-flight requests and serves repeats from cache.
+  std::vector<std::pair<std::size_t, svc::CompileService::Future>> futures;
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].valid) continue;
+      try {
+        futures.emplace_back(i, service.submit(entries[i].request));
+      } catch (const std::exception& e) {
+        entries[i].valid = false;
+        entries[i].error = e.what();
+      }
+    }
+  }
+  std::size_t served = 0, failed = 0;
+  std::vector<grover::service::ArtifactPtr> firstResult(entries.size());
+  for (auto& [index, future] : futures) {
+    grover::service::ArtifactPtr artifact = future.get();
+    ++served;
+    if (!artifact->ok) ++failed;
+    if (firstResult[index] == nullptr) firstResult[index] = artifact;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.drain();
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BatchEntry& e = entries[i];
+    std::cout << "[" << (i + 1) << "] " << e.text << ": ";
+    if (!e.error.empty()) {
+      std::cout << "error: " << e.error << "\n";
+      continue;
+    }
+    const grover::service::ArtifactPtr& a = firstResult[i];
+    if (a == nullptr) {
+      std::cout << "not served\n";
+    } else if (!a->ok) {
+      std::cout << "failed: "
+                << a->diagnostics.substr(0, a->diagnostics.find('\n'))
+                << "\n";
+    } else {
+      std::size_t transformed = 0;
+      for (const auto& b : a->report.buffers) {
+        if (b.transformed) ++transformed;
+      }
+      std::cout << "ok, " << transformed << "/" << a->report.buffers.size()
+                << " buffers transformed";
+      if (a->hasEstimate) {
+        std::cout << ", np " << grover::fixed(a->normalized, 3) << " ("
+                  << grover::perf::toString(a->outcome) << ")";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  const svc::ServiceStats s = service.stats();
+  std::cout << "\nserved " << served << " requests in "
+            << grover::fixed(seconds, 3) << " s ("
+            << grover::fixed(seconds > 0 ? served / seconds : 0, 1)
+            << " req/s), " << failed << " failed\n";
+  std::cout << "cache: " << s.memoryHits << " memory hits ("
+            << s.negativeHits << " negative), " << s.coalesced
+            << " coalesced, " << s.misses << " misses, " << s.diskHits
+            << " disk hits, " << s.compiles << " compiles, " << s.evictions
+            << " evictions, " << s.diskLoadFailures
+            << " disk load failures\n";
+  std::cout << "cache bytes: " << s.bytesInUse << " in " << s.entries
+            << " entries\n";
+  std::cout << "stages: frontend " << grover::fixed(s.frontendMs, 1)
+            << " ms, grover " << grover::fixed(s.groverMs, 1)
+            << " ms, print " << grover::fixed(s.printMs, 1)
+            << " ms, estimate " << grover::fixed(s.estimateMs, 1)
+            << " ms\n";
+
+  for (const BatchEntry& e : entries) {
+    if (!e.error.empty()) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +343,10 @@ int main(int argc, char** argv) {
   std::string appId;
   std::string platformName;
   std::string scaleName = "bench";
+  std::string batchFile;
+  std::string cacheDir;
+  std::size_t cacheMb = 256;
+  int repeat = 1;
   unsigned threads = 0;
   grover::grv::GroverOptions options;
   bool showBefore = false;
@@ -166,6 +375,15 @@ int main(int argc, char** argv) {
       platformName = arg.substr(11);
     } else if (arg.rfind("--scale=", 0) == 0) {
       scaleName = arg.substr(8);
+    } else if (arg.rfind("--serve-batch=", 0) == 0) {
+      batchFile = arg.substr(14);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::max(1, std::atoi(arg.substr(9).c_str()));
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      cacheMb = static_cast<std::size_t>(
+          std::max(1, std::atoi(arg.substr(11).c_str())));
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cacheDir = arg.substr(12);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = parseThreads(arg.substr(10));
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -192,6 +410,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!batchFile.empty()) {
+      return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir);
+    }
     if (!appId.empty()) {
       return runAppComparison(appId, platformName, scaleName, threads);
     }
@@ -200,15 +421,14 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    std::ifstream file(path);
-    if (!file) {
-      std::cerr << "cannot open " << path << "\n";
+    std::string source;
+    if (std::string error; !readTextFile(path, source, error)) {
+      std::cerr << "groverc: cannot read '" << path << "': " << error
+                << "\n";
       return 1;
     }
-    std::stringstream source;
-    source << file.rdbuf();
 
-    grover::Program program = grover::compile(source.str());
+    grover::Program program = grover::compile(source);
     bool anyKernel = false;
     for (const auto& fn : program.module->functions()) {
       if (!fn->isKernel()) continue;
