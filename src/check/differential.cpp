@@ -1,0 +1,165 @@
+#include "check/differential.h"
+
+#include <cstring>
+#include <exception>
+
+#include "grover/grover_pass.h"
+#include "grovercl/compiler.h"
+#include "rt/interpreter.h"
+#include "rt/ref_interpreter.h"
+#include "support/str.h"
+
+namespace grover::check {
+
+namespace {
+
+rt::NDRange launchRange(const GeneratedKernel& kernel) {
+  rt::NDRange range;
+  range.dims = kernel.dims;
+  range.global = kernel.global;
+  range.local = kernel.local;
+  range.validate();
+  return range;
+}
+
+/// Execute `fn` over the kernel's range with the decoded interpreter.
+std::vector<float> runDecoded(ir::Function& fn, const GeneratedKernel& k,
+                              const std::vector<float>& input) {
+  rt::Buffer in = rt::Buffer::fromVector(input);
+  rt::Buffer out = rt::Buffer::zeros<float>(k.ioFloats);
+  rt::Launch launch(fn, launchRange(k),
+                    {rt::KernelArg::buffer(&out), rt::KernelArg::buffer(&in)});
+  launch.run(1);
+  return out.toVector<float>();
+}
+
+/// Execute `fn` with the tree-walking reference oracle, group by group in
+/// dense order (the same serial order the decoded path replays).
+std::vector<float> runReference(ir::Function& fn, const GeneratedKernel& k,
+                                const std::vector<float>& input) {
+  rt::Buffer in = rt::Buffer::fromVector(input);
+  rt::Buffer out = rt::Buffer::zeros<float>(k.ioFloats);
+  const rt::NDRange range = launchRange(k);
+  rt::KernelImage image(
+      fn, range,
+      {rt::KernelArg::buffer(&out), rt::KernelArg::buffer(&in)});
+  rt::ReferenceExecutor exec(image);
+  const auto groups = range.numGroups();
+  for (std::uint32_t gz = 0; gz < groups[2]; ++gz) {
+    for (std::uint32_t gy = 0; gy < groups[1]; ++gy) {
+      for (std::uint32_t gx = 0; gx < groups[0]; ++gx) {
+        exec.runGroup({gx, gy, gz});
+      }
+    }
+  }
+  return out.toVector<float>();
+}
+
+/// Index of the first bit-difference, or -1 when equal.
+std::ptrdiff_t firstDiff(const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  if (a.size() != b.size()) return 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::string diffMessage(const GeneratedKernel& k, const std::vector<float>& a,
+                        const std::vector<float>& b, std::ptrdiff_t at) {
+  return cat(k.describe(), ": outputs differ at [", at, "]: ",
+             a[static_cast<std::size_t>(at)], " vs ",
+             b[static_cast<std::size_t>(at)]);
+}
+
+}  // namespace
+
+DiffOutcome runDifferential(const GeneratedKernel& kernel, bool validate) {
+  Program original;
+  Program transformed;
+  ir::Function* origFn = nullptr;
+  ir::Function* transFn = nullptr;
+  try {
+    original = compile(kernel.source);
+    transformed = compile(kernel.source);
+    origFn = original.kernel(kernel.kernelName);
+    transFn = transformed.kernel(kernel.kernelName);
+    if (origFn == nullptr || transFn == nullptr) {
+      return DiffOutcome::fail("compile", "kernel 'fuzz' not found");
+    }
+  } catch (const std::exception& e) {
+    return DiffOutcome::fail("compile",
+                             cat(kernel.describe(), ": ", e.what()));
+  }
+
+  DiffOutcome outcome;
+  grv::GroverResult result;
+  try {
+    grv::GroverOptions options;
+    options.validate = validate;
+    result = grv::runGrover(*transFn, options);
+  } catch (const std::exception& e) {
+    return DiffOutcome::fail("validator",
+                             cat(kernel.describe(), ": ", e.what()));
+  }
+  outcome.transformed = result.anyTransformed;
+  outcome.barriersRemoved = result.barriersRemoved;
+
+  if (kernel.mustTransform) {
+    const grv::BufferResult* tile = nullptr;
+    for (const grv::BufferResult& br : result.buffers) {
+      if (br.bufferName == "tile") tile = &br;
+    }
+    if (tile == nullptr || !tile->transformed) {
+      return DiffOutcome::fail(
+          "expectation",
+          cat(kernel.describe(), ": buffer 'tile' must be transformed but "
+                                 "was refused (",
+              tile == nullptr ? "no candidate" : tile->reason.c_str(), ")"));
+    }
+  }
+  if (kernel.mustReject && result.anyTransformed) {
+    return DiffOutcome::fail(
+        "expectation",
+        cat(kernel.describe(),
+            ": kernel must be rejected but a buffer was transformed"));
+  }
+  if (kernel.expectBarrierRemoved.has_value() &&
+      result.barriersRemoved != *kernel.expectBarrierRemoved) {
+    return DiffOutcome::fail(
+        "expectation",
+        cat(kernel.describe(), ": expected barriersRemoved=",
+            *kernel.expectBarrierRemoved, ", got ", result.barriersRemoved));
+  }
+
+  const std::vector<float> input = makeInput(kernel);
+  std::vector<float> decOrig, refOrig, decTrans, refTrans;
+  try {
+    decOrig = runDecoded(*origFn, kernel, input);
+    refOrig = runReference(*origFn, kernel, input);
+    decTrans = runDecoded(*transFn, kernel, input);
+    refTrans = runReference(*transFn, kernel, input);
+  } catch (const std::exception& e) {
+    return DiffOutcome::fail("run", cat(kernel.describe(), ": ", e.what()));
+  }
+
+  if (std::ptrdiff_t at = firstDiff(decOrig, refOrig); at >= 0) {
+    return DiffOutcome::fail(
+        "oracle", cat("original kernel: ",
+                      diffMessage(kernel, decOrig, refOrig, at)));
+  }
+  if (std::ptrdiff_t at = firstDiff(decTrans, refTrans); at >= 0) {
+    return DiffOutcome::fail(
+        "oracle", cat("transformed kernel: ",
+                      diffMessage(kernel, decTrans, refTrans, at)));
+  }
+  if (std::ptrdiff_t at = firstDiff(decOrig, decTrans); at >= 0) {
+    return DiffOutcome::fail("mismatch",
+                             diffMessage(kernel, decOrig, decTrans, at));
+  }
+  return outcome;
+}
+
+}  // namespace grover::check

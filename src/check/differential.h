@@ -1,0 +1,45 @@
+// Differential execution of one generated kernel: compile it twice, run
+// Grover on one copy, execute both copies on the decoded interpreter AND
+// the tree-walking reference oracle, and require all four outputs to be
+// bit-identical. Also cross-checks the transform outcome against the
+// generator's expectation and (optionally) the semantic validator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/kernel_gen.h"
+
+namespace grover::check {
+
+/// Outcome of one differential run. On failure `phase` names the stage:
+///   "compile"     - the generated source failed to compile (generator bug)
+///   "validator"   - runGrover's validation threw
+///   "expectation" - transform outcome contradicts the family's contract
+///   "run"         - an execution threw (OOB access, divergence, ...)
+///   "oracle"      - decoded and reference interpreters disagree
+///   "mismatch"    - original and transformed kernels produce different
+///                   output (a miscompile)
+struct DiffOutcome {
+  bool ok = true;
+  std::string phase;
+  std::string message;
+  bool transformed = false;      // what runGrover actually did
+  bool barriersRemoved = false;
+
+  static DiffOutcome fail(std::string phase, std::string message) {
+    DiffOutcome o;
+    o.ok = false;
+    o.phase = std::move(phase);
+    o.message = std::move(message);
+    return o;
+  }
+};
+
+/// Run the full differential check for one kernel. `validate` turns on
+/// GroverOptions::validate (IR verification per stage + the semantic
+/// validator). Deterministic: same kernel -> same outcome.
+[[nodiscard]] DiffOutcome runDifferential(const GeneratedKernel& kernel,
+                                          bool validate);
+
+}  // namespace grover::check

@@ -1,0 +1,314 @@
+#include "check/kernel_gen.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace grover::check {
+
+const char* toString(KernelFamily family) {
+  switch (family) {
+    case KernelFamily::AffineTile: return "affine-tile";
+    case KernelFamily::ScaledPair: return "scaled-pair";
+    case KernelFamily::Race: return "race";
+    case KernelFamily::NonAffine: return "non-affine";
+    case KernelFamily::Temporal: return "temporal";
+    case KernelFamily::MixedKeepBarrier: return "mixed-keep-barrier";
+    case KernelFamily::TwoCacheBuffers: return "two-cache-buffers";
+  }
+  return "?";
+}
+
+KernelSpec normalize(KernelSpec spec) {
+  // Per-family dimensionality: Race needs a second dim to ignore; the
+  // single-buffer scalar families are 1-D by construction.
+  switch (spec.family) {
+    case KernelFamily::AffineTile:
+      break;
+    case KernelFamily::Race:
+      spec.dims = 2;
+      break;
+    default:
+      spec.dims = 1;
+      break;
+  }
+  if (spec.localX < 2) spec.localX = 2;
+  if (spec.groupsX < 1) spec.groupsX = 1;
+  if (spec.dims == 1) {
+    spec.localY = 1;
+    spec.groupsY = 1;
+    spec.revY = false;
+    spec.swapXY = false;
+  } else {
+    if (spec.localY < 2) spec.localY = 2;
+    if (spec.groupsY < 1) spec.groupsY = 1;
+  }
+  if (spec.pitch < spec.localX) spec.pitch = spec.localX;
+  if (spec.dims == 2 && spec.offset > spec.pitch - spec.localX) {
+    // Keep ly*pitch + lx + offset injective over the group; a colliding
+    // flat index would make the staging itself order-dependent and the
+    // kernel useless as a transform oracle.
+    spec.offset = spec.pitch - spec.localX;
+  }
+  if (spec.swapXY && spec.localX != spec.localY) spec.swapXY = false;
+  if (spec.family != KernelFamily::NonAffine) spec.nonAffineOnLoad = false;
+  return spec;
+}
+
+KernelSpec randomSpec(std::uint64_t seed) {
+  Rng rng(seed);
+  KernelSpec spec;
+  spec.seed = seed;
+  switch (rng.below(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: spec.family = KernelFamily::AffineTile; break;
+    case 4: spec.family = KernelFamily::ScaledPair; break;
+    case 5: spec.family = KernelFamily::Race; break;
+    case 6: spec.family = KernelFamily::NonAffine; break;
+    case 7: spec.family = KernelFamily::Temporal; break;
+    case 8: spec.family = KernelFamily::MixedKeepBarrier; break;
+    default: spec.family = KernelFamily::TwoCacheBuffers; break;
+  }
+  const std::uint32_t sizes[] = {2, 4, 8, 16};
+  spec.dims = rng.chance(70) ? 2 : 1;
+  spec.localX = sizes[rng.below(4)];
+  spec.localY = sizes[rng.below(3)];
+  spec.groupsX = 1 + static_cast<std::uint32_t>(rng.below(3));
+  spec.groupsY = 1 + static_cast<std::uint32_t>(rng.below(2));
+  spec.pitch = spec.localX + static_cast<std::uint32_t>(rng.below(5));
+  spec.offset = static_cast<std::uint32_t>(rng.below(4));
+  spec.revX = rng.chance(40);
+  spec.revY = rng.chance(40);
+  spec.swapXY = rng.chance(30);
+  spec.nonAffineOnLoad = rng.chance(50);
+  return normalize(spec);
+}
+
+namespace {
+
+/// "lx" or its in-group reversal "(W-1 - lx)".
+std::string maybeRev(const std::string& id, std::uint32_t extent, bool rev) {
+  if (!rev) return id;
+  return cat("(", extent - 1, " - ", id, ")");
+}
+
+/// Render "expr + offset" without a trailing "+ 0".
+std::string plusOffset(const std::string& expr, std::uint32_t offset) {
+  if (offset == 0) return expr;
+  return cat(expr, " + ", offset);
+}
+
+struct SourceParts {
+  std::string locals;  // __local declarations
+  std::string body;    // statements after the id queries
+};
+
+std::string assemble(const KernelSpec& spec, const SourceParts& parts) {
+  std::ostringstream os;
+  os << "__kernel void fuzz(__global float* out, __global float* in) {\n"
+     << parts.locals << "  int lx = get_local_id(0);\n"
+     << "  int gx = get_global_id(0);\n";
+  if (spec.dims == 2) {
+    os << "  int ly = get_local_id(1);\n"
+       << "  int gy = get_global_id(1);\n";
+  }
+  os << parts.body << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+GeneratedKernel render(const KernelSpec& rawSpec) {
+  const KernelSpec spec = normalize(rawSpec);
+  GeneratedKernel k;
+  k.spec = spec;
+  k.kernelName = "fuzz";
+  k.dims = spec.dims;
+  k.local = {spec.localX, spec.localY, 1};
+  k.global = {spec.localX * spec.groupsX, spec.localY * spec.groupsY, 1};
+  const std::uint64_t totalItems =
+      std::uint64_t{k.global[0]} * k.global[1];
+  k.ioFloats = totalItems;
+
+  const std::uint32_t w = spec.localX;
+  const std::uint32_t h = spec.localY;
+  const std::uint32_t p = spec.pitch;
+  const std::uint32_t gw = k.global[0];
+
+  // Flat global index and the LS/LL tile indices of the main buffer.
+  const std::string flat =
+      spec.dims == 2 ? cat("gy * ", gw, " + gx") : std::string("gx");
+  std::string lsIdx;
+  std::string llIdx;
+  std::uint64_t tileElems = 0;
+  if (spec.dims == 2) {
+    lsIdx = plusOffset(cat("ly * ", p, " + lx"), spec.offset);
+    // The LL reads a bijective remap of the group: optional transpose
+    // (square groups only) with per-axis reversal.
+    const std::string col =
+        maybeRev(spec.swapXY ? "ly" : "lx", w, spec.revX);
+    const std::string row =
+        maybeRev(spec.swapXY ? "lx" : "ly", h, spec.revY);
+    llIdx = plusOffset(cat(row, " * ", p, " + ", col), spec.offset);
+    tileElems = std::uint64_t{p} * (h - 1) + (w - 1) + spec.offset + 1;
+  } else {
+    lsIdx = plusOffset("lx", spec.offset);
+    llIdx = plusOffset(maybeRev("lx", w, spec.revX), spec.offset);
+    tileElems = std::uint64_t{w} + spec.offset;
+  }
+
+  SourceParts parts;
+  switch (spec.family) {
+    case KernelFamily::AffineTile: {
+      parts.locals = cat("  __local float tile[", tileElems, "];\n");
+      parts.body = cat("  tile[", lsIdx, "] = in[", flat, "];\n",
+                       "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+                       "  out[", flat, "] = tile[", llIdx, "];\n");
+      k.mustTransform = true;
+      k.expectBarrierRemoved = true;
+      break;
+    }
+    case KernelFamily::ScaledPair: {
+      // Two interleaved staging pairs at stride 2; each LL only solves
+      // against its matching pair.
+      k.ioFloats = totalItems * 2;
+      parts.locals = cat("  __local float tile[", 2 * w, "];\n");
+      const std::string rev = maybeRev("lx", w, spec.revX);
+      parts.body = cat(
+          "  tile[lx * 2] = in[gx * 2];\n",
+          "  tile[lx * 2 + 1] = in[gx * 2 + 1];\n",
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+          "  out[gx * 2] = tile[", rev, " * 2 + 1];\n",
+          "  out[gx * 2 + 1] = tile[", rev, " * 2];\n");
+      k.mustTransform = true;
+      k.expectBarrierRemoved = true;
+      break;
+    }
+    case KernelFamily::Race: {
+      // The LS index ignores lx while the staged global value depends on
+      // gx: the linear system leaves dim 0 unsolved and Grover must
+      // refuse (transforming would read the wrong work-item's element).
+      const std::string idx =
+          plusOffset(cat("ly * ", p), spec.offset);
+      tileElems = std::uint64_t{p} * (h - 1) + spec.offset + 1;
+      parts.locals = cat("  __local float tile[", tileElems, "];\n");
+      parts.body = cat("  tile[", idx, "] = in[", flat, "];\n",
+                       "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+                       "  out[", flat, "] = tile[", idx, "];\n");
+      k.mustReject = true;
+      break;
+    }
+    case KernelFamily::NonAffine: {
+      // Quadratic index on one side; reads of unwritten slots hit the
+      // zero-filled local arena, so the kernel is still deterministic.
+      tileElems = std::uint64_t{w - 1} * (w - 1) + spec.offset + 1;
+      const std::string quad = plusOffset("lx * lx", spec.offset);
+      const std::string lin = plusOffset("lx", spec.offset);
+      parts.locals = cat("  __local float tile[", tileElems, "];\n");
+      parts.body = cat(
+          "  tile[", spec.nonAffineOnLoad ? lin : quad, "] = in[gx];\n",
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+          "  out[gx] = tile[", spec.nonAffineOnLoad ? quad : lin, "];\n");
+      k.mustReject = true;
+      break;
+    }
+    case KernelFamily::Temporal: {
+      // The stored value is computed, not a pure global load: no staging
+      // pair exists and the buffer must be refused.
+      parts.locals = cat("  __local float tile[", tileElems, "];\n");
+      parts.body = cat("  tile[", lsIdx, "] = in[gx] * 0.5f + 1.0f;\n",
+                       "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+                       "  out[gx] = tile[", llIdx, "];\n");
+      k.mustReject = true;
+      break;
+    }
+    case KernelFamily::MixedKeepBarrier: {
+      // "tile" is a transformable cache; "scratch" holds computed values
+      // read across work-items, so the barrier must survive even after
+      // tile's staging is removed.
+      parts.locals = cat("  __local float tile[", tileElems, "];\n",
+                         "  __local float scratch[", w, "];\n");
+      parts.body = cat(
+          "  tile[", lsIdx, "] = in[gx];\n",
+          "  scratch[lx] = in[gx] + 1.0f;\n",
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+          "  out[gx] = tile[", llIdx, "] + scratch[", w - 1, " - lx];\n");
+      k.mustTransform = true;
+      k.expectBarrierRemoved = false;
+      break;
+    }
+    case KernelFamily::TwoCacheBuffers: {
+      // Two independent staging buffers over disjoint halves of `in`;
+      // both must be transformed and then the barrier removed.
+      k.ioFloats = totalItems * 2;
+      parts.locals = cat("  __local float tile[", tileElems, "];\n",
+                         "  __local float pair[", w, "];\n");
+      parts.body = cat(
+          "  tile[", lsIdx, "] = in[gx];\n",
+          "  pair[lx] = in[gx + ", totalItems, "];\n",
+          "  barrier(CLK_LOCAL_MEM_FENCE);\n",
+          "  out[gx] = tile[", llIdx, "] + pair[",
+          maybeRev("lx", w, !spec.revX), "];\n");
+      k.mustTransform = true;
+      k.expectBarrierRemoved = true;
+      break;
+    }
+  }
+  k.source = assemble(spec, parts);
+  return k;
+}
+
+GeneratedKernel generateKernel(std::uint64_t seed) {
+  return render(randomSpec(seed));
+}
+
+std::vector<KernelSpec> shrinkCandidates(const KernelSpec& rawSpec) {
+  const KernelSpec spec = normalize(rawSpec);
+  std::vector<KernelSpec> out;
+  auto push = [&](auto&& mutate) {
+    KernelSpec s = spec;
+    mutate(s);
+    s = normalize(s);
+    out.push_back(s);
+  };
+  if (spec.dims == 2 && spec.family == KernelFamily::AffineTile) {
+    push([](KernelSpec& s) { s.dims = 1; });
+  }
+  if (spec.groupsX > 1) push([](KernelSpec& s) { s.groupsX = 1; });
+  if (spec.groupsY > 1) push([](KernelSpec& s) { s.groupsY = 1; });
+  if (spec.localX > 2) push([](KernelSpec& s) { s.localX /= 2; });
+  if (spec.localY > 2) push([](KernelSpec& s) { s.localY /= 2; });
+  if (spec.pitch > spec.localX) {
+    push([](KernelSpec& s) { s.pitch = s.localX; });
+  }
+  if (spec.offset > 0) push([](KernelSpec& s) { s.offset = 0; });
+  if (spec.swapXY) push([](KernelSpec& s) { s.swapXY = false; });
+  if (spec.revX) push([](KernelSpec& s) { s.revX = false; });
+  if (spec.revY) push([](KernelSpec& s) { s.revY = false; });
+  return out;
+}
+
+std::vector<float> makeInput(const GeneratedKernel& kernel) {
+  std::vector<float> input(kernel.ioFloats);
+  Rng rng(kernel.spec.seed ^ 0x5eedf00dULL);
+  for (float& v : input) {
+    // Small multiples of 1/4: exactly representable, sums stay exact.
+    v = static_cast<float>(rng.below(1024)) * 0.25F;
+  }
+  return input;
+}
+
+std::string GeneratedKernel::describe() const {
+  std::ostringstream os;
+  os << toString(spec.family) << " seed=" << spec.seed << " dims=" << dims
+     << " local=" << local[0] << "x" << local[1] << " groups="
+     << global[0] / local[0] << "x" << global[1] / local[1]
+     << " pitch=" << spec.pitch << " offset=" << spec.offset
+     << (spec.revX ? " revX" : "") << (spec.revY ? " revY" : "")
+     << (spec.swapXY ? " swapXY" : "");
+  return os.str();
+}
+
+}  // namespace grover::check

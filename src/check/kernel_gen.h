@@ -1,0 +1,102 @@
+// Randomized staging-kernel generator for the differential fuzzer. Each
+// seed deterministically produces one OpenCL C kernel from a small family
+// catalogue: affine software-cache kernels Grover must transform, plus
+// near-miss variants (non-affine, under-determined, temporal, mixed) it
+// must reject. Every kernel carries its launch shape and the expected
+// transform outcome so the harness can flag both miscompiles and missed
+// or spurious transformations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace grover::check {
+
+/// splitmix64: tiny, deterministic, and good enough for kernel shapes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform-ish in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  bool chance(unsigned percent) { return below(100) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+enum class KernelFamily {
+  AffineTile,       // per-dim affine staging (reversal/swap/pitch/offset)
+  ScaledPair,       // two interleaved staging pairs at stride 2
+  Race,             // LS index ignores a dim the GL depends on -> reject
+  NonAffine,        // quadratic index -> reject
+  Temporal,         // computed store (not a staging pair) -> reject
+  MixedKeepBarrier, // cache buffer + temporal buffer: barrier must stay
+  TwoCacheBuffers,  // two independent cache buffers, both transformed
+};
+
+[[nodiscard]] const char* toString(KernelFamily family);
+
+/// The shrinkable parameter vector one kernel is rendered from.
+struct KernelSpec {
+  KernelFamily family = KernelFamily::AffineTile;
+  std::uint64_t seed = 0;       // drives input data, kept across shrinking
+  unsigned dims = 1;            // 1 or 2
+  std::uint32_t localX = 8;
+  std::uint32_t localY = 1;     // 1 when dims == 1
+  std::uint32_t groupsX = 1;
+  std::uint32_t groupsY = 1;
+  std::uint32_t pitch = 8;      // flat-tile row pitch, >= localX (dims == 2)
+  std::uint32_t offset = 0;     // constant added to every tile index
+  bool revX = false;            // reverse the x index between LS and LL
+  bool revY = false;
+  bool swapXY = false;          // transpose (requires localX == localY)
+  bool nonAffineOnLoad = false; // NonAffine only: which side is quadratic
+};
+
+/// A rendered kernel plus launch shape and expectations.
+struct GeneratedKernel {
+  KernelSpec spec;
+  std::string kernelName;
+  std::string source;
+  unsigned dims = 1;
+  std::array<std::uint32_t, 3> global{1, 1, 1};
+  std::array<std::uint32_t, 3> local{1, 1, 1};
+  std::size_t ioFloats = 0;     // element count of the in/out buffers
+
+  bool mustTransform = false;   // buffer "tile" must be transformed
+  bool mustReject = false;      // no buffer may be transformed
+  /// When set, GroverResult::barriersRemoved must equal this.
+  std::optional<bool> expectBarrierRemoved;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Clamp a spec to the invariants render() relies on (pitch >= localX,
+/// swap only on square 2-D groups, per-family dims). Idempotent.
+[[nodiscard]] KernelSpec normalize(KernelSpec spec);
+
+[[nodiscard]] KernelSpec randomSpec(std::uint64_t seed);
+[[nodiscard]] GeneratedKernel render(const KernelSpec& spec);
+
+/// generateKernel(seed) == render(randomSpec(seed)).
+[[nodiscard]] GeneratedKernel generateKernel(std::uint64_t seed);
+
+/// One-mutation-smaller variants of `spec` for greedy shrinking, already
+/// normalized. Order is from most to least aggressive.
+[[nodiscard]] std::vector<KernelSpec> shrinkCandidates(const KernelSpec& spec);
+
+/// Deterministic input data for a kernel (derived from spec.seed).
+[[nodiscard]] std::vector<float> makeInput(const GeneratedKernel& kernel);
+
+}  // namespace grover::check

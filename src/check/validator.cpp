@@ -1,0 +1,157 @@
+#include "check/validator.h"
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/casting.h"
+#include "ir/verifier.h"
+#include "passes/barrier_elim.h"
+#include "support/diagnostics.h"
+
+namespace grover::check {
+
+using namespace ir;
+
+bool ValidationReport::has(const std::string& check) const {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.check == check) return true;
+  }
+  return false;
+}
+
+std::string ValidationReport::str() const {
+  if (issues.empty()) return "validation OK";
+  std::ostringstream os;
+  os << issues.size() << " validation issue(s):";
+  for (const ValidationIssue& issue : issues) {
+    os << "\n  [" << issue.check << "] " << issue.message;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// The local alloca named `name`, or null once it has been swept.
+AllocaInst* findLocalAlloca(Function& fn, const std::string& name) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      if (auto* alloca = dyn_cast<AllocaInst>(inst.get())) {
+        if (alloca->space() == AddrSpace::Local && alloca->name() == name) {
+          return alloca;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+void checkVerifier(Function& fn, ValidationReport& report) {
+  try {
+    verifyFunction(fn);
+  } catch (const GroverError& e) {
+    report.issues.push_back({"verifier", e.what()});
+  }
+}
+
+void checkStaleLocalAccesses(Function& fn, const grv::GroverResult& result,
+                             ValidationReport& report) {
+  for (const grv::BufferResult& br : result.buffers) {
+    if (!br.transformed) continue;
+    // A fully swept buffer is gone from the IR; one that survives cleanup
+    // (e.g. with cleanup disabled) may keep dead address arithmetic, but
+    // no load or store may still reach it.
+    AllocaInst* alloca = findLocalAlloca(fn, br.bufferName);
+    if (alloca != nullptr && passes::pointerIsAccessed(alloca)) {
+      report.issues.push_back(
+          {"stale-local-access",
+           "transformed buffer '" + br.bufferName +
+               "' still has loads or stores reaching it"});
+    }
+  }
+}
+
+void checkBarrierSafety(Function& fn, const grv::GroverResult& result,
+                        ValidationReport& report) {
+  if (!result.barriersRemoved) return;
+  // Barriers may only disappear when the kernel performs no local-memory
+  // traffic at all: a second, untransformed buffer with a live
+  // store->barrier->load chain would race without them.
+  if (passes::usesLocalMemory(fn)) {
+    report.issues.push_back(
+        {"barrier-safety",
+         "barriers were removed but the kernel still accesses local "
+         "memory"});
+  }
+}
+
+/// Collect the instruction-operand closure feeding `root` (the address
+/// arithmetic an nGL consumes), including `root` itself.
+std::vector<const Instruction*> operandClosure(const Instruction* root) {
+  std::vector<const Instruction*> order;
+  std::unordered_set<const Instruction*> seen;
+  std::vector<const Instruction*> work{root};
+  seen.insert(root);
+  while (!work.empty()) {
+    const Instruction* inst = work.back();
+    work.pop_back();
+    order.push_back(inst);
+    for (unsigned i = 0; i < inst->numOperands(); ++i) {
+      if (const auto* op = dyn_cast<Instruction>(inst->operand(i))) {
+        if (seen.insert(op).second) work.push_back(op);
+      }
+    }
+  }
+  return order;
+}
+
+void checkNglDominance(Function& fn, ValidationReport& report) {
+  analysis::DominatorTree dt(fn);
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      const auto* load = dyn_cast<LoadInst>(inst.get());
+      if (load == nullptr || load->name().rfind("ngl", 0) != 0) continue;
+      for (const Instruction* user : operandClosure(load)) {
+        // Phi incoming values are used on the predecessor edge, not at the
+        // phi itself; the verifier checks those separately.
+        if (isa<PhiInst>(user)) continue;
+        for (unsigned i = 0; i < user->numOperands(); ++i) {
+          const auto* def = dyn_cast<Instruction>(user->operand(i));
+          if (def == nullptr || !dt.valueDominates(def, user)) {
+            if (def != nullptr) {
+              report.issues.push_back(
+                  {"ngl-dominance",
+                   "'" + load->name() + "' consumes '" + def->name() +
+                       "' which does not dominate its use in '" +
+                       user->name() + "'"});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validateTransform(ir::Function& fn,
+                                   const grv::GroverResult& result) {
+  ValidationReport report;
+  checkVerifier(fn, report);
+  checkStaleLocalAccesses(fn, result, report);
+  checkBarrierSafety(fn, result, report);
+  checkNglDominance(fn, report);
+  return report;
+}
+
+void validateTransformOrThrow(ir::Function& fn,
+                              const grv::GroverResult& result) {
+  ValidationReport report = validateTransform(fn, result);
+  if (!report.ok()) {
+    throw GroverError("post-Grover validation failed for kernel '" +
+                      fn.name() + "': " + report.str());
+  }
+}
+
+}  // namespace grover::check

@@ -1,0 +1,45 @@
+// Post-Grover semantic validator: independent structural checks that every
+// transformed kernel must pass before its output is trusted. The checks
+// deliberately re-derive their facts from the IR instead of trusting the
+// pass's own bookkeeping, so a wrong transform is caught even when the
+// GroverResult claims success.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grover/grover_pass.h"
+#include "ir/function.h"
+
+namespace grover::check {
+
+/// One violated check. `check` names which validator rule fired:
+///   "verifier"           - ir::verifyFunction rejected the IR
+///   "stale-local-access" - a transformed buffer still has loads/stores
+///   "barrier-safety"     - barriers were removed while a live local
+///                          buffer still carries real memory traffic
+///   "ngl-dominance"      - an emitted nGL consumes a definition that does
+///                          not dominate it
+struct ValidationIssue {
+  std::string check;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  [[nodiscard]] bool has(const std::string& check) const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Validate `fn` against the outcome `result` that runGrover reported for
+/// it. Never mutates the function.
+[[nodiscard]] ValidationReport validateTransform(ir::Function& fn,
+                                                 const grv::GroverResult& result);
+
+/// Same, but throws GroverError listing every issue when validation fails.
+void validateTransformOrThrow(ir::Function& fn,
+                              const grv::GroverResult& result);
+
+}  // namespace grover::check

@@ -3,11 +3,13 @@
 #include <map>
 
 #include "analysis/dominators.h"
+#include "check/validator.h"
 #include "grover/candidates.h"
 #include "grover/dim_split.h"
 #include "grover/duplicate.h"
 #include "grover/linear_system.h"
 #include "ir/casting.h"
+#include "ir/verifier.h"
 #include "passes/barrier_elim.h"
 #include "passes/cse.h"
 #include "passes/dce.h"
@@ -39,15 +41,24 @@ struct LoadPlan {
   std::map<unsigned, LinearDecomp> solutions;
 };
 
+/// Table III-style report strings of one solve attempt. Kept separate from
+/// BufferResult so a failing attempt can never leak partial strings into
+/// the report: the caller commits an AttemptReport only for the attempt
+/// that actually succeeded.
+struct AttemptReport {
+  std::string lsIndex;
+  std::string llIndex;
+  std::string solution;
+};
+
 /// Try to reverse one LL through one staging pair (paper S1–S4 analysis)
-/// using the given dimension strides. On success fills `plan` and the
-/// report strings; on failure returns the reason.
+/// using the given dimension strides. On success fills `plan` and
+/// `report`; on failure returns the reason.
 std::optional<std::string> tryPair(ir::Function& fn,
                                    analysis::DominatorTree& dt,
                                    const StagingPair& pair, ir::LoadInst* ll,
                                    const std::vector<std::int64_t>& strides,
-                                   LoadPlan& plan, std::string* lsStr,
-                                   std::string* llStr, std::string* solStr) {
+                                   LoadPlan& plan, AttemptReport& report) {
   // S1: LS data index as a linear function of the local thread index.
   const auto lsFlat = decomposeIndexOrZero(pair.lsIndex);
   if (!lsFlat.has_value()) {
@@ -98,16 +109,14 @@ std::optional<std::string> tryPair(ir::Function& fn,
     return err;
   }
 
-  if (lsStr != nullptr) *lsStr = renderDims(*lsDims);
-  if (llStr != nullptr) *llStr = renderDims(*llDims);
-  if (solStr != nullptr) {
-    std::vector<std::string> parts;
-    const char* axes = "xyz";
-    for (const auto& [dim, sol] : plan.solutions) {
-      parts.push_back(cat("l", axes[dim], " := ", sol.str()));
-    }
-    *solStr = join(parts, ", ");
+  report.lsIndex = renderDims(*lsDims);
+  report.llIndex = renderDims(*llDims);
+  std::vector<std::string> parts;
+  const char* axes = "xyz";
+  for (const auto& [dim, sol] : plan.solutions) {
+    parts.push_back(cat("l", axes[dim], " := ", sol.str()));
   }
+  report.solution = join(parts, ", ");
   return std::nullopt;
 }
 
@@ -187,14 +196,18 @@ GroverResult runGrover(ir::Function& fn, const GroverOptions& options) {
       }
       for (const auto& [pairPtr, strides] : attempts) {
         const StagingPair& pair = *pairPtr;
+        AttemptReport report;
         std::optional<std::string> err =
-            tryPair(fn, dt, pair, ll, strides, plan,
-                    first ? &br.lsIndex : nullptr,
-                    first ? &br.llIndex : nullptr,
-                    first ? &br.solution : nullptr);
+            tryPair(fn, dt, pair, ll, strides, plan, report);
         if (!err.has_value()) {
           solved = true;
           if (first) {
+            // Commit the report strings of the *winning* attempt only: a
+            // failed declared-stride attempt must not leave its partial
+            // strings behind when the inferred-stride fallback succeeds.
+            br.lsIndex = std::move(report.lsIndex);
+            br.llIndex = std::move(report.llIndex);
+            br.solution = std::move(report.solution);
             br.glIndex =
                 pair.glIndex != nullptr ? renderIndexExpr(pair.glIndex) : "0";
             br.lsPattern = pair.lsIndex != nullptr
@@ -268,6 +281,9 @@ GroverResult runGrover(ir::Function& fn, const GroverOptions& options) {
     result.buffers.push_back(std::move(br));
   }
 
+  if (result.anyTransformed && options.validate) {
+    ir::verifyFunction(fn);  // after Phase B emit, before any cleanup
+  }
   if (result.anyTransformed && options.cleanup) {
     // Sweep the dead GL chain, the dead index arithmetic and (once
     // unused) the local allocas; CSE folds re-materialized id queries and
@@ -276,6 +292,7 @@ GroverResult runGrover(ir::Function& fn, const GroverOptions& options) {
     dce.run(fn);
     passes::CsePass cse;
     if (cse.run(fn)) dce.run(fn);
+    if (options.validate) ir::verifyFunction(fn);
   }
   if (result.anyTransformed && options.removeBarriers) {
     passes::BarrierElimPass barrierElim;
@@ -284,6 +301,10 @@ GroverResult runGrover(ir::Function& fn, const GroverOptions& options) {
       passes::DcePass dce;
       dce.run(fn);
     }
+    if (options.validate) ir::verifyFunction(fn);
+  }
+  if (options.validate) {
+    check::validateTransformOrThrow(fn, result);
   }
   return result;
 }

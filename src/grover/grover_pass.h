@@ -50,6 +50,11 @@ struct GroverOptions {
   bool removeBarriers = true;
   /// Run DCE afterwards to sweep the dead staging chain.
   bool cleanup = true;
+  /// Verify the IR after every transform stage and run the post-Grover
+  /// semantic validator (check/validator.h) at the end; throws GroverError
+  /// on the first violation. Off by default: it costs a verifier walk per
+  /// stage and exists for tests, fuzzing, and --validate runs.
+  bool validate = false;
 };
 
 /// Run Grover on one kernel. The kernel must be in SSA form (post mem2reg).

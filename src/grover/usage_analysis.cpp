@@ -56,16 +56,39 @@ namespace {
 
 /// True if some barrier call appears in a block that is neither the
 /// definition block of a store nor of a load... simplified: the kernel has
-/// at least one local barrier and the buffer has both stores and loads.
+/// at least one barrier with the local fence bit and the buffer has both
+/// stores and loads. A barrier carrying only the global fence bit orders
+/// global memory and says nothing about local staging, so it must not mark
+/// buffers "barrier-guarded"; non-constant flags count conservatively.
 bool hasLocalBarrier(const Function& fn) {
   for (const auto& bb : fn.blocks()) {
     for (const auto& inst : *bb) {
       if (const auto* call = dyn_cast<CallInst>(inst.get())) {
-        if (call->builtin() == Builtin::Barrier) return true;
+        if (call->builtin() != Builtin::Barrier) continue;
+        if (call->numArgs() == 0) return true;
+        const auto* flags = dyn_cast<ConstantInt>(call->arg(0));
+        if (flags == nullptr || (flags->value() & 1) != 0) return true;
       }
     }
   }
   return false;
+}
+
+/// Stores that write *through* `ptr` (the pointer operand), walking nested
+/// GEP chains. A store that merely uses the pointer as the stored value is
+/// an escape, not a write to the buffer.
+unsigned countStoresThrough(const Value* ptr) {
+  unsigned n = 0;
+  for (const Use* use : ptr->uses()) {
+    const auto* user = dyn_cast<Instruction>(use->user);
+    if (user == nullptr) continue;
+    if (const auto* store = dyn_cast<StoreInst>(user)) {
+      if (store->pointer() == ptr) ++n;
+    } else if (const auto* gep = dyn_cast<GepInst>(user)) {
+      if (gep->pointer() == ptr) n += countStoresThrough(gep);
+    }
+  }
+  return n;
 }
 
 }  // namespace
@@ -88,19 +111,8 @@ LocalUsageReport analyzeLocalMemoryUsage(ir::Function& fn) {
     usage.declaredDims = cand.buffer->arrayDims();
     usage.numLoads = static_cast<unsigned>(cand.localLoads.size());
     usage.numStagingPairs = static_cast<unsigned>(cand.pairs.size());
-    // Count every store (staged or computed).
-    unsigned stores = 0;
-    for (const Use* use : cand.buffer->uses()) {
-      const auto* user = dyn_cast<Instruction>(use->user);
-      if (user == nullptr) continue;
-      if (isa<StoreInst>(user)) ++stores;
-      if (const auto* gep = dyn_cast<GepInst>(user)) {
-        for (const Use* gepUse : gep->uses()) {
-          if (isa<StoreInst>(gepUse->user)) ++stores;
-        }
-      }
-    }
-    usage.numStores = stores;
+    // Count every store through the buffer (staged or computed).
+    usage.numStores = countStoresThrough(cand.buffer);
     usage.guardedByBarrier =
         barrier && usage.numStores > 0 && usage.numLoads > 0;
 

@@ -5,7 +5,7 @@
 
 namespace grover {
 
-KernelPair prepareKernelPair(const apps::Application& app) {
+KernelPair prepareKernelPair(const apps::Application& app, bool validate) {
   KernelPair pair;
   pair.original = compile(app.source());
   pair.transformed = compile(app.source());
@@ -16,6 +16,7 @@ KernelPair prepareKernelPair(const apps::Application& app) {
   }
   grv::GroverOptions options;
   options.onlyBuffers = app.buffersToDisable();
+  options.validate = validate;
   pair.groverResult = grv::runGrover(*pair.transformedKernel, options);
   ir::verifyFunction(*pair.transformedKernel);
   return pair;
@@ -35,8 +36,9 @@ std::optional<std::string> runAndValidate(const apps::Application& app,
 
 PerfComparison comparePerformance(const apps::Application& app,
                                   const perf::PlatformSpec& platform,
-                                  apps::Scale scale, unsigned threads) {
-  KernelPair pair = prepareKernelPair(app);
+                                  apps::Scale scale, unsigned threads,
+                                  bool validate) {
+  KernelPair pair = prepareKernelPair(app, validate);
 
   PerfComparison cmp;
   {

@@ -28,7 +28,10 @@ struct KernelPair {
 /// Compile the application twice and run Grover on the second copy.
 /// Throws when the source fails to compile; Grover refusals are reported
 /// in groverResult (and transformedKernel equals the original behavior).
-[[nodiscard]] KernelPair prepareKernelPair(const apps::Application& app);
+/// With `validate` the post-Grover semantic validator runs on the
+/// transformed kernel and throws on any violation.
+[[nodiscard]] KernelPair prepareKernelPair(const apps::Application& app,
+                                           bool validate = false);
 
 /// Run one kernel version against the app's dataset and validate against
 /// the sequential reference. Returns an error message on mismatch.
@@ -50,10 +53,12 @@ struct PerfComparison {
 
 /// `threads` = host threads for trace-driven estimation (0 = hardware
 /// concurrency); estimates are bit-identical for every thread count.
+/// `validate` forwards to prepareKernelPair.
 [[nodiscard]] PerfComparison comparePerformance(const apps::Application& app,
                                                 const perf::PlatformSpec& platform,
                                                 apps::Scale scale,
-                                                unsigned threads = 0);
+                                                unsigned threads = 0,
+                                                bool validate = false);
 
 /// The auto-tuning step: returns "with-local-memory" or
 /// "without-local-memory" — whichever version the platform model predicts

@@ -4,7 +4,13 @@
 
 namespace grover::ir {
 
-Value::~Value() = default;
+Value::~Value() {
+  // A value can die while users still reference it — e.g. one function's
+  // argument used (illegally, but verifiably) by another function whose
+  // teardown runs later. Null the dangling edges so the surviving users'
+  // dropAllOperands() never touches freed memory.
+  for (Use* use : uses_) use->value = nullptr;
+}
 
 void Value::removeUse(Use* use) {
   auto it = std::find(uses_.begin(), uses_.end(), use);

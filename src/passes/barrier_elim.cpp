@@ -8,11 +8,31 @@ namespace grover::passes {
 
 using namespace ir;
 
+bool pointerIsAccessed(const ir::Value* pointer) {
+  for (const Use* use : pointer->uses()) {
+    const auto* user = dyn_cast<Instruction>(use->user);
+    if (user == nullptr) return true;  // unknown user: assume accessed
+    if (const auto* gep = dyn_cast<GepInst>(user);
+        gep != nullptr && gep->pointer() == pointer) {
+      if (pointerIsAccessed(gep)) return true;
+      continue;  // dead gep chain: no access through this use
+    }
+    // Load/store through the pointer is an access; the address escaping
+    // (stored as a value, fed to arithmetic/call/phi) counts conservatively.
+    return true;
+  }
+  return false;
+}
+
 bool usesLocalMemory(const ir::Function& fn) {
+  // Loads/stores that are already in the local address space.
   for (const auto& bb : fn.blocks()) {
     for (const auto& inst : *bb) {
       if (const auto* alloca = dyn_cast<AllocaInst>(inst.get())) {
-        if (alloca->space() == AddrSpace::Local && alloca->hasUses()) {
+        // A local alloca counts only if something actually reads or writes
+        // through it; dead GEP chains left by partial cleanup do not keep
+        // barriers alive.
+        if (alloca->space() == AddrSpace::Local && pointerIsAccessed(alloca)) {
           return true;
         }
         continue;
@@ -27,10 +47,11 @@ bool usesLocalMemory(const ir::Function& fn) {
       }
     }
   }
-  // Local pointer arguments still in use also count.
+  // Local pointer arguments with real accesses also count.
   for (const auto& arg : fn.args()) {
     if (arg->type()->isPointer() &&
-        arg->type()->addrSpace() == AddrSpace::Local && arg->hasUses()) {
+        arg->type()->addrSpace() == AddrSpace::Local &&
+        pointerIsAccessed(arg.get())) {
       return true;
     }
   }

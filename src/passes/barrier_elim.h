@@ -3,6 +3,7 @@
 // (the last "redundant instruction" of the paper's Fig. 1 transformation).
 #pragma once
 
+#include "ir/value.h"
 #include "passes/pass.h"
 
 namespace grover::passes {
@@ -13,8 +14,15 @@ class BarrierElimPass final : public FunctionPass {
   bool run(ir::Function& fn) override;
 };
 
-/// True if the function still touches __local memory (alloca, load, store
-/// or gep in the local address space).
+/// True if memory is actually read or written through `pointer`: walks GEP
+/// chains to real loads/stores, so a pointer whose only remaining uses are
+/// dead GEP chains reports false. Escaping uses (the address stored as a
+/// value, or fed to anything but a load/store/gep) conservatively count as
+/// an access.
+[[nodiscard]] bool pointerIsAccessed(const ir::Value* pointer);
+
+/// True if the function still performs real __local memory traffic (a load
+/// or store reachable from a local alloca or local pointer argument).
 [[nodiscard]] bool usesLocalMemory(const ir::Function& fn);
 
 }  // namespace grover::passes

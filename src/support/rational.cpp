@@ -55,10 +55,9 @@ std::int64_t Rational::asInteger() const {
 }
 
 Rational Rational::operator-() const {
-  Rational r;
-  r.num_ = -num_;
-  r.den_ = den_;
-  return r;
+  // -INT64_MIN does not fit in int64; route through the widening/narrowing
+  // path so the overflow throws GroverError like every other operator.
+  return makeNormalized(-static_cast<__int128>(num_), den_);
 }
 
 Rational Rational::operator+(const Rational& o) const {

@@ -225,5 +225,37 @@ __kernel void mt(__global float* out, __global float* in, int W, int H) {
   }
 }
 
+TEST(GroverEdge, ReportComesFromWinningStrideAttempt) {
+  // The buffer is declared [16][16] but indexed with a row pitch of 20, so
+  // the declared-stride attempt fails to split and the '+ -> *' inferred
+  // strides win. The per-buffer report must describe the winning attempt,
+  // not carry leftovers from the failed one.
+  const char* src = R"(
+__kernel void pitch(__global float* out, __global float* in) {
+  __local float tile[16][16];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int flat = get_global_id(1) * 16 + get_global_id(0);
+  tile[0][ly * 20 + lx] = in[flat];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[flat] = tile[0][ly * 20 + (15 - lx)];
+})";
+  expectEquivalent(src, "pitch", rt::NDRange::make2D(16, 8, 16, 8), 16 * 8);
+
+  Program program = compile(src);
+  ir::Function* fn = program.kernel("pitch");
+  GroverResult result = runGrover(*fn);
+  ASSERT_TRUE(result.anyTransformed);
+  const BufferResult& br = result.forBuffer("tile");
+  EXPECT_TRUE(br.transformed);
+  // Winning split is 2-D (ly, lx) via the inferred stride 20; the declared
+  // 16x16 split would have produced different dimension terms.
+  EXPECT_NE(br.lsIndex.find("ly"), std::string::npos) << br.lsIndex;
+  EXPECT_NE(br.lsIndex.find("lx"), std::string::npos) << br.lsIndex;
+  EXPECT_NE(br.llIndex.find("lx"), std::string::npos) << br.llIndex;
+  EXPECT_FALSE(br.solution.empty());
+  EXPECT_NE(br.solution.find("lx"), std::string::npos) << br.solution;
+}
+
 }  // namespace
 }  // namespace grover::grv

@@ -1,0 +1,94 @@
+// The fuzzer's kernel generator and differential harness, run in-process
+// over a fixed seed window: every generated kernel must compile, meet its
+// family's transform contract, and produce bit-identical outputs across
+// {original, transformed} x {decoded interpreter, reference oracle}.
+#include "check/kernel_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/differential.h"
+
+namespace grover::check {
+namespace {
+
+TEST(KernelGen, GenerationIsDeterministic) {
+  const GeneratedKernel a = generateKernel(42);
+  const GeneratedKernel b = generateKernel(42);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(makeInput(a), makeInput(b));
+}
+
+TEST(KernelGen, NormalizeEnforcesInvariants) {
+  KernelSpec spec;
+  spec.family = KernelFamily::AffineTile;
+  spec.dims = 2;
+  spec.localX = 8;
+  spec.localY = 4;
+  spec.pitch = 3;     // < localX: must be raised
+  spec.offset = 9;    // would break flat-index injectivity: must be clamped
+  spec.swapXY = true; // non-square: must be dropped
+  const KernelSpec n = normalize(spec);
+  EXPECT_GE(n.pitch, n.localX);
+  EXPECT_LE(n.offset, n.pitch - n.localX);
+  EXPECT_FALSE(n.swapXY);
+  // Race kernels need the second dimension they ignore.
+  spec.family = KernelFamily::Race;
+  spec.dims = 1;
+  EXPECT_EQ(normalize(spec).dims, 2u);
+}
+
+TEST(KernelGen, ShrinkCandidatesAreSmallerAndValid) {
+  const KernelSpec spec = randomSpec(1234);
+  for (const KernelSpec& candidate : shrinkCandidates(spec)) {
+    // Already normalized...
+    const KernelSpec renorm = normalize(candidate);
+    EXPECT_EQ(renorm.localX, candidate.localX);
+    EXPECT_EQ(renorm.pitch, candidate.pitch);
+    // ...and renderable.
+    const GeneratedKernel k = render(candidate);
+    EXPECT_FALSE(k.source.empty());
+    EXPECT_GT(k.ioFloats, 0u);
+  }
+}
+
+TEST(KernelGen, DifferentialPassesOverSeedWindow) {
+  // A small in-process slice of what `groverfuzz --seeds=N --validate`
+  // runs in CI; large enough to hit every family.
+  std::set<KernelFamily> seen;
+  unsigned transformed = 0;
+  unsigned rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const GeneratedKernel kernel = generateKernel(seed);
+    const DiffOutcome outcome = runDifferential(kernel, /*validate=*/true);
+    EXPECT_TRUE(outcome.ok) << "seed " << seed << " [" << outcome.phase
+                            << "] " << outcome.message << "\n"
+                            << kernel.source;
+    seen.insert(kernel.spec.family);
+    (outcome.transformed ? transformed : rejected) += 1;
+  }
+  EXPECT_GE(seen.size(), 6u);  // the window covers almost every family
+  EXPECT_GT(transformed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(KernelGen, MustTransformFamiliesDeclareBarrierExpectation) {
+  // MixedKeepBarrier is the one family whose barrier must survive.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const GeneratedKernel k = generateKernel(seed);
+    if (k.spec.family == KernelFamily::MixedKeepBarrier) {
+      ASSERT_TRUE(k.expectBarrierRemoved.has_value());
+      EXPECT_FALSE(*k.expectBarrierRemoved);
+    }
+    if (k.spec.family == KernelFamily::AffineTile) {
+      ASSERT_TRUE(k.expectBarrierRemoved.has_value());
+      EXPECT_TRUE(*k.expectBarrierRemoved);
+    }
+    EXPECT_FALSE(k.mustTransform && k.mustReject);
+  }
+}
+
+}  // namespace
+}  // namespace grover::check

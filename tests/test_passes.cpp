@@ -237,6 +237,103 @@ __kernel void k(__global float* out) {
   EXPECT_FALSE(pass.run(*fn));
 }
 
+unsigned countBarriers(Function& fn) {
+  unsigned n = 0;
+  for (BasicBlock* bb : fn.blockList()) {
+    for (const auto& inst : *bb) {
+      if (const auto* call = dyn_cast<CallInst>(inst.get())) {
+        if (call->builtin() == Builtin::Barrier) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(BarrierElim, FlagsMatrixPinsEligibility) {
+  // Exactly which barriers are removable once no local traffic remains:
+  // constant flags without the global bit (0, LOCAL) go; the global fence
+  // bit or non-constant flags keep the barrier.
+  struct Case {
+    const char* flags;
+    bool removable;
+  };
+  const Case cases[] = {
+      {"0", true},
+      {"CLK_LOCAL_MEM_FENCE", true},
+      {"CLK_GLOBAL_MEM_FENCE", false},
+      {"CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE", false},
+      {"flags", false},
+  };
+  for (const Case& c : cases) {
+    const std::string src = std::string(R"(
+__kernel void k(__global float* out, int flags) {
+  int i = get_global_id(0);
+  out[i] = 1.0f;
+  barrier()") + c.flags + R"();
+  out[i] = out[i] + 1.0f;
+})";
+    auto program = compile(src);
+    Function* fn = program.kernel("k");
+    ASSERT_EQ(countBarriers(*fn), 1u) << "flags = " << c.flags;
+    passes::BarrierElimPass pass;
+    EXPECT_EQ(pass.run(*fn), c.removable) << "flags = " << c.flags;
+    EXPECT_EQ(countBarriers(*fn), c.removable ? 0u : 1u)
+        << "flags = " << c.flags;
+    verifyFunction(*fn);
+  }
+}
+
+TEST(BarrierElim, DeadGepChainsDoNotBlockRemoval) {
+  // A local alloca whose only remaining uses are dead GEP chains (no
+  // loads or stores) — the state after Grover when cleanup ordering left
+  // the chain unswept — must not keep barriers alive.
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  AllocaInst* tile =
+      b.createAlloca(ctx.floatTy(), 16, AddrSpace::Local, "tile");
+  Value* lx = b.createIdQuery(Builtin::GetLocalId, 0, "lx");
+  GepInst* gep = b.createGep(tile, lx);        // dead
+  b.createGep(gep, ctx.getInt32(1));           // dead nested chain
+  b.createCall(Builtin::Barrier, ctx.voidTy(), {ctx.getInt32(1)});
+  b.createStore(ctx.getFloat(1.0F), b.createGep(out, lx));
+  b.createRetVoid();
+
+  EXPECT_FALSE(passes::usesLocalMemory(*fn));
+  passes::BarrierElimPass pass;
+  EXPECT_TRUE(pass.run(*fn));
+  EXPECT_EQ(countBarriers(*fn), 0u);
+}
+
+TEST(BarrierElim, GepChainToRealAccessStillBlocks) {
+  // The same chain ending in an actual store keeps the barrier.
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  AllocaInst* tile =
+      b.createAlloca(ctx.floatTy(), 16, AddrSpace::Local, "tile");
+  Value* lx = b.createIdQuery(Builtin::GetLocalId, 0, "lx");
+  GepInst* gep = b.createGep(tile, lx);
+  GepInst* nested = b.createGep(gep, ctx.getInt32(1));
+  b.createStore(ctx.getFloat(2.0F), nested);
+  b.createCall(Builtin::Barrier, ctx.voidTy(), {ctx.getInt32(1)});
+  b.createRetVoid();
+
+  EXPECT_TRUE(passes::usesLocalMemory(*fn));
+  passes::BarrierElimPass pass;
+  EXPECT_FALSE(pass.run(*fn));
+  EXPECT_EQ(countBarriers(*fn), 1u);
+}
+
 TEST(BarrierElim, KeepsGlobalFences) {
   auto program = compile(R"(
 __kernel void k(__global float* out) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 
 #include "support/diagnostics.h"
 
@@ -77,6 +78,37 @@ TEST(Rational, OverflowDetected) {
   const std::int64_t big = std::int64_t{1} << 62;
   Rational a(big, 1);
   EXPECT_THROW(a * a, GroverError);
+}
+
+TEST(Rational, NegationAtInt64MinThrows) {
+  // -INT64_MIN is not representable; a raw `-num_` would be UB. Every
+  // route to the negation must throw instead of wrapping.
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const Rational m(min);
+  EXPECT_THROW(-m, GroverError);
+  EXPECT_THROW(Rational(0) - m, GroverError);
+  EXPECT_THROW(m / Rational(-1), GroverError);
+  EXPECT_THROW(Rational(1, min), GroverError);  // den sign flip negates num
+}
+
+TEST(Rational, NegationJustAboveInt64MinWorks) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const Rational r(min + 1);
+  EXPECT_EQ((-r).num(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(-(-r), r);
+}
+
+TEST(Rational, ArithmeticAtInt64Limits) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(Rational(max) + Rational(1), GroverError);
+  EXPECT_THROW(Rational(min) - Rational(1), GroverError);
+  EXPECT_THROW(Rational(min) * Rational(2), GroverError);
+  EXPECT_THROW(Rational(2) / Rational(1, max), GroverError);
+  // Exactly-representable results at the boundary still succeed.
+  EXPECT_EQ(Rational(max) + Rational(0), Rational(max));
+  EXPECT_EQ((Rational(min) + Rational(max)).num(), -1);
+  EXPECT_EQ(Rational(min) / Rational(min), Rational(1));
 }
 
 // Property sweep: field axioms on a grid of small rationals.

@@ -5,6 +5,7 @@
 
 #include "apps/app.h"
 #include "grovercl/compiler.h"
+#include "ir/builder.h"
 
 namespace grover::grv {
 namespace {
@@ -113,6 +114,87 @@ __kernel void k(__global float* in, __global float* out) {
   EXPECT_NE(text.find("software-cache"), std::string::npos);
   EXPECT_NE(text.find("lm"), std::string::npos);
   EXPECT_NE(text.find("32 B"), std::string::npos);
+}
+
+TEST(UsageAnalysis, GlobalOnlyFenceDoesNotGuard) {
+  // barrier(CLK_GLOBAL_MEM_FENCE) orders global memory only; it must not
+  // mark the staging buffer "barrier-guarded".
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx];
+  barrier(CLK_GLOBAL_MEM_FENCE);
+  out[lx] = lm[15 - lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_FALSE(report.buffers[0].guardedByBarrier);
+  EXPECT_EQ(report.numBarriers, 1u);  // the barrier is still counted
+}
+
+TEST(UsageAnalysis, CombinedFenceStillGuards) {
+  Program p;
+  auto report = analyze(p, R"(
+__kernel void k(__global float* in, __global float* out) {
+  __local float lm[16];
+  int lx = get_local_id(0);
+  lm[lx] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);
+  out[lx] = lm[15 - lx];
+})");
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_TRUE(report.buffers[0].guardedByBarrier);
+}
+
+TEST(UsageAnalysis, StoredPointerValueIsNotAStore) {
+  // A store whose *value* operand is the local buffer pointer (the address
+  // escaping) must not be counted as a store into the buffer.
+  ir::Context ctx;
+  ir::Module module(ctx, "m");
+  ir::Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  ir::Argument* out = fn->addArgument(
+      ctx.pointerTy(ctx.pointerTy(ctx.floatTy(), ir::AddrSpace::Local),
+                    ir::AddrSpace::Global),
+      "out");
+  ir::BasicBlock* bb = fn->addBlock("entry");
+  ir::IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  ir::AllocaInst* tile =
+      b.createAlloca(ctx.floatTy(), 16, ir::AddrSpace::Local, "tile");
+  ir::Value* gx = b.createIdQuery(ir::Builtin::GetGlobalId, 0, "gx");
+  b.createStore(tile, b.createGep(out, gx));  // publishes the address
+  b.createRetVoid();
+
+  auto report = analyzeLocalMemoryUsage(*fn);
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_EQ(report.buffers[0].numStores, 0u);
+  EXPECT_EQ(report.buffers[0].numLoads, 0u);
+  EXPECT_EQ(report.buffers[0].kind, LocalUsageKind::Unused);
+}
+
+TEST(UsageAnalysis, NestedGepStoresAreCounted) {
+  // Stores through multi-level GEP chains write to the buffer just as
+  // single-level ones do and must all be counted.
+  ir::Context ctx;
+  ir::Module module(ctx, "m");
+  ir::Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  fn->addArgument(ctx.pointerTy(ctx.floatTy(), ir::AddrSpace::Global), "in");
+  ir::BasicBlock* bb = fn->addBlock("entry");
+  ir::IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  ir::AllocaInst* tile =
+      b.createAlloca(ctx.floatTy(), 64, ir::AddrSpace::Local, "tile");
+  ir::Value* lx = b.createIdQuery(ir::Builtin::GetLocalId, 0, "lx");
+  ir::GepInst* row = b.createGep(tile, lx);
+  b.createStore(ctx.getFloat(1.0F), b.createGep(row, ctx.getInt32(1)));
+  b.createStore(ctx.getFloat(2.0F), b.createGep(row, ctx.getInt32(2)));
+  b.createStore(ctx.getFloat(3.0F), tile);  // direct store, no GEP
+  b.createRetVoid();
+
+  auto report = analyzeLocalMemoryUsage(*fn);
+  ASSERT_EQ(report.buffers.size(), 1u);
+  EXPECT_EQ(report.buffers[0].numStores, 3u);
 }
 
 TEST(UsageAnalysis, AllPaperAppsAreSoftwareCaches) {

@@ -1,0 +1,154 @@
+// The post-Grover semantic validator: a correct transform passes cleanly,
+// and three hand-built *wrong* transforms (the kinds of bugs the pass
+// could realistically introduce) are each rejected by the matching check.
+#include "check/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "grover/grover_pass.h"
+#include "grovercl/compiler.h"
+#include "ir/builder.h"
+
+namespace grover::check {
+namespace {
+
+using namespace ir;
+
+const char* kCacheKernel = R"(
+__kernel void k(__global float* out, __global float* in) {
+  __local float tile[16];
+  int lx = get_local_id(0);
+  tile[lx] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tile[15 - lx];
+})";
+
+TEST(Validator, CorrectTransformPasses) {
+  Program program = compile(kCacheKernel);
+  Function* fn = program.kernel("k");
+  grv::GroverResult result = grv::runGrover(*fn);
+  ASSERT_TRUE(result.anyTransformed);
+  const ValidationReport report = validateTransform(*fn, result);
+  EXPECT_TRUE(report.ok()) << report.str();
+  EXPECT_EQ(report.str(), "validation OK");
+}
+
+TEST(Validator, RunGroverWithValidateOptionIsClean) {
+  Program program = compile(kCacheKernel);
+  Function* fn = program.kernel("k");
+  grv::GroverOptions options;
+  options.validate = true;
+  EXPECT_NO_THROW({
+    auto result = grv::runGrover(*fn, options);
+    EXPECT_TRUE(result.anyTransformed);
+  });
+}
+
+/// Wrong transform #1: the pass claims buffer "tile" was transformed but a
+/// local load through it survived (a stale LL).
+TEST(Validator, DetectsStaleLocalAccess) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  AllocaInst* tile =
+      b.createAlloca(ctx.floatTy(), 16, AddrSpace::Local, "tile");
+  Value* lx = b.createIdQuery(Builtin::GetLocalId, 0, "lx");
+  LoadInst* stale = b.createLoad(b.createGep(tile, lx), "ll");
+  b.createStore(stale, b.createGep(out, lx));
+  b.createRetVoid();
+
+  grv::GroverResult result;
+  grv::BufferResult br;
+  br.bufferName = "tile";
+  br.transformed = true;
+  result.buffers.push_back(br);
+  result.anyTransformed = true;
+
+  const ValidationReport report = validateTransform(*fn, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("stale-local-access")) << report.str();
+  EXPECT_NE(report.str().find("tile"), std::string::npos);
+}
+
+/// Wrong transform #2: barriers were removed although a second local
+/// buffer still carries a live store -> barrier -> load chain.
+TEST(Validator, DetectsBarrierRemovalWithLiveLocalBuffer) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  AllocaInst* scratch =
+      b.createAlloca(ctx.floatTy(), 16, AddrSpace::Local, "scratch");
+  Value* lx = b.createIdQuery(Builtin::GetLocalId, 0, "lx");
+  b.createStore(ctx.getFloat(1.0F), b.createGep(scratch, lx));
+  // Note: no barrier instruction left — the buggy pass deleted it even
+  // though the load below reads another work-item's slot.
+  LoadInst* crossItem = b.createLoad(b.createGep(scratch, lx), "x");
+  b.createStore(crossItem, b.createGep(out, lx));
+  b.createRetVoid();
+
+  grv::GroverResult result;
+  result.anyTransformed = true;
+  result.barriersRemoved = true;
+
+  const ValidationReport report = validateTransform(*fn, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("barrier-safety")) << report.str();
+}
+
+/// Wrong transform #3: the emitted nGL was hoisted above one of the index
+/// definitions it consumes.
+TEST(Validator, DetectsNglAboveItsDefinition) {
+  Context ctx;
+  Module module(ctx, "m");
+  Function* fn = module.addFunction("k", ctx.voidTy(), true);
+  Argument* out =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "out");
+  Argument* in =
+      fn->addArgument(ctx.pointerTy(ctx.floatTy(), AddrSpace::Global), "in");
+  BasicBlock* bb = fn->addBlock("entry");
+  IRBuilder b(ctx);
+  b.setInsertPoint(bb);
+  Value* lx = b.createIdQuery(Builtin::GetLocalId, 0, "lx");
+  GepInst* gep = b.createGep(in, lx);  // placeholder index, patched below
+  LoadInst* ngl = b.createLoad(gep, "ngl");
+  // The index the nGL should use is defined *after* the load.
+  Value* idx = b.createAdd(lx, ctx.getInt32(1));
+  gep->setOperand(1, idx);
+  b.createStore(ngl, b.createGep(out, lx));
+  b.createRetVoid();
+
+  grv::GroverResult result;
+  result.anyTransformed = true;
+
+  const ValidationReport report = validateTransform(*fn, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("ngl-dominance")) << report.str();
+  // The plain IR verifier flags the same defect independently.
+  EXPECT_TRUE(report.has("verifier")) << report.str();
+}
+
+TEST(Validator, ReportRendersEveryIssue) {
+  ValidationReport report;
+  report.issues.push_back({"barrier-safety", "m1"});
+  report.issues.push_back({"verifier", "m2"});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("verifier"));
+  EXPECT_FALSE(report.has("ngl-dominance"));
+  const std::string text = report.str();
+  EXPECT_NE(text.find("2 validation issue(s)"), std::string::npos);
+  EXPECT_NE(text.find("[barrier-safety] m1"), std::string::npos);
+  EXPECT_NE(text.find("[verifier] m2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grover::check

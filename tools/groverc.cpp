@@ -49,6 +49,9 @@ void usage() {
       "  --only=<buffer>   only disable this __local buffer (repeatable)\n"
       "  --keep-barriers   do not remove redundant barriers\n"
       "  --no-cleanup      skip the DCE sweep after the transformation\n"
+      "  --validate        run the post-Grover semantic validator (and the\n"
+      "                    IR verifier after every stage); fails on any\n"
+      "                    violation\n"
       "  --before          also print the IR before the transformation\n"
       "  --report-only     print the index report, no IR\n"
       "  --analyze         only classify local-memory usage, no transform\n"
@@ -157,7 +160,8 @@ std::vector<grover::perf::PlatformSpec> platformsByName(
 }
 
 int runAppComparison(const std::string& appId, const std::string& platform,
-                     const std::string& scaleName, unsigned threads) {
+                     const std::string& scaleName, unsigned threads,
+                     bool validate) {
   const grover::apps::Application& app =
       grover::apps::applicationById(appId);
   const grover::apps::Scale scale = scaleName == "test"
@@ -167,7 +171,7 @@ int runAppComparison(const std::string& appId, const std::string& platform,
             << ")\n";
   for (const grover::perf::PlatformSpec& spec : platformsByName(platform)) {
     const grover::PerfComparison cmp =
-        grover::comparePerformance(app, spec, scale, threads);
+        grover::comparePerformance(app, spec, scale, threads, validate);
     std::cout << spec.name << ": with-LM " << cmp.cyclesWithLM
               << " cycles, without-LM " << cmp.cyclesWithoutLM
               << " cycles, np " << cmp.normalized << " ("
@@ -363,6 +367,8 @@ int main(int argc, char** argv) {
       options.removeBarriers = false;
     } else if (arg == "--no-cleanup") {
       options.cleanup = false;
+    } else if (arg == "--validate") {
+      options.validate = true;
     } else if (arg == "--before") {
       showBefore = true;
     } else if (arg == "--report-only") {
@@ -414,7 +420,8 @@ int main(int argc, char** argv) {
       return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir);
     }
     if (!appId.empty()) {
-      return runAppComparison(appId, platformName, scaleName, threads);
+      return runAppComparison(appId, platformName, scaleName, threads,
+                              options.validate);
     }
     if (path.empty()) {
       usage();

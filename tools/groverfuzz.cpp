@@ -1,0 +1,176 @@
+// groverfuzz — differential kernel fuzzer for the Grover transform.
+//
+// Usage:
+//   groverfuzz [--seeds=N] [--seed=S] [--validate] [--out-dir=DIR]
+//              [--verbose]
+//
+// Each seed deterministically generates one staging kernel (plus near-miss
+// variants Grover must reject), compiles it with and without the Grover
+// pass, executes both versions on the decoded interpreter and on the
+// tree-walking reference oracle, and requires all outputs to be
+// bit-identical. Failures are greedily shrunk to a minimal kernel and
+// written to --out-dir as an on-disk reproducer.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/kernel_gen.h"
+
+namespace {
+
+using grover::check::DiffOutcome;
+using grover::check::GeneratedKernel;
+using grover::check::KernelSpec;
+
+void usage() {
+  std::cerr <<
+      "usage: groverfuzz [options]\n"
+      "  --seeds=N     number of seeds to run (default 200)\n"
+      "  --seed=S      run exactly one seed\n"
+      "  --validate    also run the post-Grover semantic validator and the\n"
+      "                IR verifier after every transform stage\n"
+      "  --out-dir=DIR where to write shrunk reproducers (default: .)\n"
+      "  --verbose     print one line per seed\n";
+}
+
+/// Greedy shrink: repeatedly adopt the first one-step-smaller spec that
+/// still fails the differential check (any phase counts), until no
+/// candidate fails.
+KernelSpec shrink(const KernelSpec& start, bool validate) {
+  KernelSpec best = start;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const KernelSpec& candidate :
+         grover::check::shrinkCandidates(best)) {
+      const DiffOutcome outcome =
+          runDifferential(grover::check::render(candidate), validate);
+      if (!outcome.ok) {
+        best = candidate;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+/// Write the shrunk kernel and a metadata sidecar; returns the .cl path.
+std::string writeReproducer(const std::string& dir,
+                            const GeneratedKernel& kernel,
+                            const DiffOutcome& outcome) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string stem =
+      dir + "/groverfuzz_seed_" + std::to_string(kernel.spec.seed);
+  {
+    std::ofstream cl(stem + ".cl");
+    cl << kernel.source;
+  }
+  {
+    std::ofstream meta(stem + ".txt");
+    meta << "kernel : " << kernel.describe() << "\n"
+         << "phase  : " << outcome.phase << "\n"
+         << "detail : " << outcome.message << "\n"
+         << "launch : global " << kernel.global[0] << "x" << kernel.global[1]
+         << ", local " << kernel.local[0] << "x" << kernel.local[1]
+         << ", io floats " << kernel.ioFloats << "\n";
+  }
+  return stem + ".cl";
+}
+
+/// Strict unsigned parse: the whole string must be digits.
+bool parseU64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 200;
+  std::uint64_t singleSeed = 0;
+  bool haveSingleSeed = false;
+  bool validate = false;
+  bool verbose = false;
+  std::string outDir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      if (!parseU64(arg.substr(8), seeds)) {
+        std::cerr << "bad --seeds value: " << arg.substr(8) << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parseU64(arg.substr(7), singleSeed)) {
+        std::cerr << "bad --seed value: " << arg.substr(7) << "\n";
+        return 2;
+      }
+      haveSingleSeed = true;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      outDir = arg.substr(10);
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<std::uint64_t> seedList;
+  if (haveSingleSeed) {
+    seedList.push_back(singleSeed);
+  } else {
+    for (std::uint64_t s = 1; s <= seeds; ++s) seedList.push_back(s);
+  }
+
+  std::map<std::string, unsigned> byFamily;
+  unsigned transformed = 0, rejected = 0, failures = 0;
+  for (const std::uint64_t seed : seedList) {
+    const GeneratedKernel kernel = grover::check::generateKernel(seed);
+    const DiffOutcome outcome = runDifferential(kernel, validate);
+    ++byFamily[grover::check::toString(kernel.spec.family)];
+    if (outcome.ok) {
+      outcome.transformed ? ++transformed : ++rejected;
+      if (verbose) {
+        std::cout << "seed " << seed << ": ok, " << kernel.describe()
+                  << (outcome.transformed ? " [transformed]" : " [rejected]")
+                  << "\n";
+      }
+      continue;
+    }
+    ++failures;
+    std::cout << "seed " << seed << ": FAIL [" << outcome.phase << "] "
+              << outcome.message << "\n";
+    const KernelSpec small = shrink(kernel.spec, validate);
+    const GeneratedKernel smallKernel = grover::check::render(small);
+    const DiffOutcome smallOutcome = runDifferential(smallKernel, validate);
+    const std::string path =
+        writeReproducer(outDir, smallKernel, smallOutcome);
+    std::cout << "  shrunk to " << smallKernel.describe() << "\n"
+              << "  reproducer written to " << path << "\n";
+  }
+
+  std::cout << "\n" << seedList.size() << " seed(s): " << transformed
+            << " transformed, " << rejected << " rejected, " << failures
+            << " failure(s)"
+            << (validate ? " [validator on]" : "") << "\n";
+  for (const auto& [family, count] : byFamily) {
+    std::cout << "  " << family << ": " << count << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
