@@ -1,0 +1,74 @@
+#include "policy/decision_engine.h"
+
+#include "perf/estimator.h"
+
+namespace grover::policy {
+namespace {
+
+Decision fromNp(double np, double threshold, double confidence,
+                std::string source) {
+  Decision d;
+  d.predictedNp = np;
+  d.predictedOutcome = perf::classify(np, threshold);
+  d.variant = Decision::variantFor(np, threshold);
+  d.confidence = confidence;
+  d.source = std::move(source);
+  return d;
+}
+
+}  // namespace
+
+Decision DecisionEngine::prior(const KernelFeatures& features,
+                               const perf::PlatformSpec& platform) const {
+  // Nothing to reverse → the transform is a no-op; serve the original.
+  if (features.numReversibleBuffers == 0 || features.numStagingPairs == 0) {
+    return fromNp(1.0, threshold_, 0.9, "prior");
+  }
+
+  const double reuse = static_cast<double>(features.reuseMilli) / 1000.0;
+
+  if (platform.kind == perf::PlatformKind::GpuSpm) {
+    // Disabling local memory replays every former LL as a global access.
+    // When the local reads are lane-strided (transpose shape), the
+    // lowered global reads split into per-lane transactions — the
+    // paper's Fig. 2 GPU losses. Coalesced low-reuse staging is merely
+    // redundant and roughly cancels against the saved SPM traffic.
+    if (features.llStride == StrideShape::Scaled ||
+        features.glStride == StrideShape::Scaled) {
+      return fromNp(0.7, threshold_, 0.6, "prior");
+    }
+    if (reuse > 2.0) return fromNp(0.9, threshold_, 0.5, "prior");
+    return fromNp(1.0, threshold_, 0.4, "prior");
+  }
+
+  // Cache-only processors: local memory is ordinary cached memory, so
+  // the software cache only pays off when it *changes the layout* of
+  // high-reuse data (MM's column-accessed tile). Low-reuse staging is
+  // pure instruction overhead the caches absorb — the paper's Fig. 10
+  // transpose-family gains.
+  if (reuse > 2.0 && features.glStride == StrideShape::Scaled) {
+    return fromNp(0.8, threshold_, 0.6, "prior");  // MM-like: keep the tile
+  }
+  if (reuse <= 2.0 && features.numStagingPairs > 0) {
+    return fromNp(1.2, threshold_, 0.6, "prior");  // staging is overhead
+  }
+  return fromNp(1.0, threshold_, 0.4, "prior");
+}
+
+Decision DecisionEngine::decide(const KernelFeatures& features,
+                                const perf::PlatformSpec& platform,
+                                const EstimatePair& estimates) const {
+  const double np = perf::normalizedPerformance(estimates.cyclesWithLM,
+                                                estimates.cyclesWithoutLM);
+  const Decision guess = prior(features, platform);
+  // Estimates dominate: the verdict is the estimator-derived label. The
+  // prior only shifts confidence — agreement on the outcome class makes
+  // the decision near-certain, contradiction keeps it serveable but
+  // marks it worth re-measuring.
+  const bool agrees =
+      guess.predictedOutcome == perf::classify(np, threshold_);
+  Decision d = fromNp(np, threshold_, agrees ? 0.95 : 0.75, "estimate");
+  return d;
+}
+
+}  // namespace grover::policy

@@ -1,0 +1,50 @@
+// Decision engine (DESIGN.md §10): turns kernel features and — when
+// available — the trace-driven estimates of both variants into a
+// Gain/Loss/Similar verdict at the paper's 5% threshold, choosing which
+// kernel variant to serve on a platform. The feature-based prior encodes
+// the paper's own mechanisms (Table IV / §VI-C): strided global reads
+// punish SPM GPUs and set-thrashing caches, low-reuse staging is pure
+// overhead on cache-only processors. Estimates always dominate the
+// prior; the prior decides cold requests that cannot be estimated and
+// modulates confidence when both are present.
+#pragma once
+
+#include "perf/platform.h"
+#include "policy/features.h"
+#include "policy/policy_store.h"
+
+namespace grover::policy {
+
+/// Cycle estimates of the two variants on one platform.
+struct EstimatePair {
+  double cyclesWithLM = 0;
+  double cyclesWithoutLM = 0;
+};
+
+class DecisionEngine {
+ public:
+  /// `threshold`: the paper's Gain/Loss similarity band (5%).
+  explicit DecisionEngine(double threshold = 0.05)
+      : threshold_(threshold) {}
+
+  /// Feature-only verdict for a kernel shape on a platform — the cold
+  /// path, when no estimates exist. Low confidence by construction.
+  [[nodiscard]] Decision prior(const KernelFeatures& features,
+                               const perf::PlatformSpec& platform) const;
+
+  /// Full verdict from the measured with/without-LM estimates. The
+  /// outcome is exactly perf::classify(np) at the engine's threshold —
+  /// the estimator-derived Table IV label — and the prior only modulates
+  /// the reported confidence (agreement raises it, contradiction lowers
+  /// it and is a calibration signal).
+  [[nodiscard]] Decision decide(const KernelFeatures& features,
+                                const perf::PlatformSpec& platform,
+                                const EstimatePair& estimates) const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace grover::policy

@@ -1,0 +1,63 @@
+#include "policy/feedback.h"
+
+#include <cmath>
+
+#include "perf/estimator.h"
+
+namespace grover::policy {
+
+Decision FeedbackLoop::recordMeasurement(std::uint64_t key,
+                                         double measuredNp) {
+  // One lock around the whole read-modify-write: concurrent measurements
+  // of the same key must not drop each other's EWMA contribution.
+  std::lock_guard lock(mutex_);
+  Decision d;
+  if (std::optional<Decision> existing = store_.lookup(key);
+      existing.has_value()) {
+    d = *existing;
+  } else {
+    // Unknown shape: bootstrap from the measurement alone.
+    d.predictedNp = measuredNp;
+    d.source = "feedback";
+    d.confidence = 0.5;
+  }
+
+  d.ewmaNp = d.observations == 0
+                 ? measuredNp
+                 : config_.alpha * measuredNp +
+                       (1.0 - config_.alpha) * d.ewmaNp;
+  ++d.observations;
+
+  const Variant measuredVariant =
+      Decision::variantFor(d.ewmaNp, config_.threshold);
+  const bool flips = measuredVariant != d.variant;
+  if (flips) {
+    d.variant = measuredVariant;
+    d.predictedOutcome = perf::classify(d.ewmaNp, config_.threshold);
+    d.source = "feedback";
+    // Measured evidence replaces the contradicted prediction.
+    d.confidence = 0.8;
+  }
+
+  const double relDiff =
+      d.predictedNp > 0
+          ? std::fabs(d.predictedNp - d.ewmaNp) / d.predictedNp
+          : 0.0;
+  const bool newlyMismatched =
+      !d.mismatch && relDiff > config_.mismatchTolerance;
+  if (newlyMismatched) d.mismatch = true;
+
+  store_.store(key, d);
+
+  ++stats_.measurements;
+  if (flips) ++stats_.flips;
+  if (newlyMismatched) ++stats_.mismatches;
+  return d;
+}
+
+FeedbackLoop::Stats FeedbackLoop::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace grover::policy

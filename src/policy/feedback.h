@@ -1,0 +1,54 @@
+// Feedback loop (DESIGN.md §10): folds *measured* run outcomes back into
+// stored decisions. Each measurement of normalized performance (np =
+// perf without LM / perf with LM) updates an exponentially-weighted
+// moving average; once the EWMA's classification contradicts the served
+// variant, the decision flips, and a predicted-vs-measured divergence
+// beyond the tolerance flags the entry as a model-calibration mismatch.
+// This is Han & Abdelrahman's online tuning step (PAPERS.md) on top of
+// the paper's static estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "policy/policy_store.h"
+
+namespace grover::policy {
+
+struct FeedbackConfig {
+  /// EWMA weight of a new measurement (1 = latest only).
+  double alpha = 0.3;
+  /// Gain/Loss band, matching the engine's 5% threshold.
+  double threshold = 0.05;
+  /// Relative |predicted − measured| np divergence that flags a
+  /// mismatch between the platform model and reality.
+  double mismatchTolerance = 0.15;
+};
+
+class FeedbackLoop {
+ public:
+  struct Stats {
+    std::uint64_t measurements = 0;
+    std::uint64_t flips = 0;       // decisions whose variant changed
+    std::uint64_t mismatches = 0;  // entries newly flagged
+  };
+
+  explicit FeedbackLoop(PolicyStore& store, FeedbackConfig config = {})
+      : store_(store), config_(config) {}
+
+  /// Fold one measured np into the decision for `key` and persist the
+  /// update. Unknown keys bootstrap a measurement-only decision (source
+  /// "feedback"). Returns the stored decision after the update.
+  Decision recordMeasurement(std::uint64_t key, double measuredNp);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const FeedbackConfig& config() const { return config_; }
+
+ private:
+  PolicyStore& store_;
+  FeedbackConfig config_;
+
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+}  // namespace grover::policy

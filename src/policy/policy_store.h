@@ -1,0 +1,120 @@
+// Persistent decision store of the policy engine (DESIGN.md §10): maps a
+// feature key — support::hash over (feature vector, platform, scale) —
+// to the transform decision learned for that kernel shape. Sharded
+// in-memory LRU (decisions are tiny, so the budget is entry-count based)
+// plus an optional on-disk tier following the service::ArtifactCache
+// conventions: line-oriented text format, doubles stored as bit
+// patterns, temp-file + atomic rename on write, corrupt entries deleted
+// and treated as misses.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/estimator.h"
+
+namespace grover::policy {
+
+/// Which compiled kernel variant a decision serves.
+enum class Variant : std::uint8_t {
+  Original,     // keep local memory
+  Transformed,  // Grover-disabled local memory
+};
+[[nodiscard]] const char* toString(Variant v);
+
+/// One learned decision. Immutable from the consumer's point of view;
+/// only the feedback loop rewrites entries (through PolicyStore::store).
+struct Decision {
+  Variant variant = Variant::Original;
+  perf::Outcome predictedOutcome = perf::Outcome::Similar;
+  /// np the decision was made at (np > 1 → disabling local memory wins).
+  double predictedNp = 1.0;
+  /// 0..1; estimate-backed decisions are high, feature-prior ones low.
+  double confidence = 0;
+  /// Where the decision came from: "estimate", "prior", or "feedback".
+  std::string source;
+
+  // --- feedback state (see policy/feedback.h) --------------------------
+  /// Exponentially-weighted mean of *measured* np; 0 until the first
+  /// measurement arrives.
+  double ewmaNp = 0;
+  std::uint64_t observations = 0;
+  /// Set when the measured EWMA contradicts predictedNp by more than the
+  /// feedback loop's tolerance — the platform model is miscalibrated for
+  /// this kernel shape.
+  bool mismatch = false;
+
+  /// The variant np says to serve (ties/Similar keep the original: the
+  /// author's code wins unless the transform is a proven gain).
+  [[nodiscard]] static Variant variantFor(double np, double threshold);
+};
+
+class PolicyStore {
+ public:
+  struct Config {
+    /// Total in-memory entries across all shards.
+    std::size_t maxEntries = 1u << 16;
+    unsigned shards = 8;
+    /// Directory of the on-disk tier; empty = memory only.
+    std::string diskDir;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskLoadFailures = 0;  // corrupt/unreadable entries
+    std::uint64_t diskStores = 0;
+  };
+
+  explicit PolicyStore(Config config);
+
+  /// Memory probe, falling back to the disk tier on miss (a disk hit
+  /// populates the memory tier). nullopt = unknown kernel shape.
+  [[nodiscard]] std::optional<Decision> lookup(std::uint64_t key);
+
+  /// Insert/overwrite in memory and persist to the disk tier (atomic
+  /// temp-file + rename; write errors are swallowed — the disk tier is
+  /// an optimization, never a correctness dependency).
+  void store(std::uint64_t key, const Decision& decision);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Path of the decision file for a key ("" without a disk tier).
+  [[nodiscard]] std::string diskPath(std::uint64_t key) const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    Decision decision;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shardFor(std::uint64_t key);
+  void putMemory(std::uint64_t key, const Decision& decision);
+  [[nodiscard]] std::optional<Decision> loadFromDisk(std::uint64_t key);
+  void storeToDisk(std::uint64_t key, const Decision& decision);
+
+  Config config_;
+  std::size_t shardBudget_ = 0;  // entries per shard
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex disk_mutex_;
+  std::uint64_t disk_hits_ = 0, disk_failures_ = 0, disk_stores_ = 0;
+};
+
+}  // namespace grover::policy

@@ -1,11 +1,14 @@
 #include "service/artifact_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <thread>
 
 #include "ir/ir_parser.h"
 #include "ir/printer.h"
@@ -298,13 +301,30 @@ void ArtifactCache::storeToDisk(std::uint64_t key, const Artifact& artifact) {
   const std::string path = diskPath(key);
   if (path.empty()) return;
   const std::string payload = serialize(key, artifact);
-  // Write-then-rename so concurrent readers never observe a torn file.
-  const std::string tmp = path + ".tmp" + toHex64(key);
+  // Write-then-rename so concurrent readers never observe a torn file
+  // and a crash mid-write can never leave a truncated artifact — only a
+  // stale .tmp. The temp name is unique per write (not just per key) so
+  // two processes sharing a cache directory cannot interleave writes to
+  // the same temp file.
+  static std::atomic<std::uint64_t> tmpCounter{0};
+  Fnv1a tmpTag;
+  tmpTag.update(static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  tmpTag.update(static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(&tmpCounter)));  // per-process (ASLR)
+  tmpTag.update(tmpCounter.fetch_add(1));
+  const std::string tmp = path + ".tmp" + toHex64(tmpTag.digest());
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;
     out << payload;
-    if (!out.good()) return;
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code cleanupEc;
+      std::filesystem::remove(tmp, cleanupEc);
+      return;
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);

@@ -44,6 +44,9 @@ ArtifactPtr negative(std::string diagnostics) {
 CompileService::CompileService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache),
+      policy_store_(config_.policyStore),
+      engine_(),
+      feedback_(policy_store_),
       pool_(config_.workers) {}
 
 CompileService::~CompileService() { shutdown(); }
@@ -148,6 +151,115 @@ CompileService::Future CompileService::submit(Request request) {
     promise->set_value(artifact);
   });
   return future;
+}
+
+AutoResult CompileService::compileAuto(Request request) {
+  Request resolved = resolve(std::move(request));
+  AutoResult out;
+  if (resolved.platform.empty()) {
+    // Nothing to decide without a platform; serve the normal path.
+    out.artifact = run(resolved);
+    return out;
+  }
+  const perf::PlatformSpec spec = *perf::findPlatform(resolved.platform);
+
+  // Front-end compile once (microseconds — see bench_ablation_pass_cost)
+  // to extract the feature vector the decision is keyed on.
+  DiagnosticEngine diags;
+  Program program = compileWithDiags(resolved.source, diags);
+  if (program.module == nullptr || diags.hasErrors()) {
+    out.artifact = negative(diags.hasErrors()
+                                ? diags.str()
+                                : "compilation produced no module");
+    return out;
+  }
+  ir::Function* kernel = program.kernel(resolved.kernelName);
+  if (kernel == nullptr) {
+    out.artifact =
+        negative("kernel '" + resolved.kernelName + "' not found");
+    return out;
+  }
+  const apps::Application& app = apps::applicationById(resolved.appId);
+  const apps::Instance instance = app.makeInstance(resolved.scale);
+  out.features = policy::extractFeatures(*kernel, &instance.range);
+  // The tag folds in everything that shapes the transform besides the
+  // kernel itself: the scale and the Grover options. The NVD-MM-A/B/AB
+  // family shares one kernel source (identical features) but disables
+  // different buffers — with different winners, so they must not share a
+  // decision.
+  Fnv1a tag;
+  tag.update(static_cast<std::uint64_t>(resolved.scale));
+  tag.update(static_cast<std::uint64_t>(resolved.options.onlyBuffers.size()));
+  for (const std::string& b : resolved.options.onlyBuffers) {
+    tag.update(std::string_view(b));  // std::set iterates in sorted order
+  }
+  tag.update(resolved.options.removeBarriers);
+  tag.update(resolved.options.cleanup);
+  out.policyKey = policy::featureKey(out.features, spec.name, tag.digest());
+  out.eligible = true;
+
+  if (std::optional<policy::Decision> warm =
+          policy_store_.lookup(out.policyKey);
+      warm.has_value()) {
+    ++policy_hits_;
+    out.policyHit = true;
+    out.decision = *warm;
+    // A full artifact may already be cached for this exact request —
+    // serving it is free and strictly more informative.
+    if (ArtifactPtr full = cache_.get(cacheKey(resolved))) {
+      out.artifact = full;
+      return out;
+    }
+    // Warm fast path: build only the winning variant from the module we
+    // already compiled. No second front-end run, no Grover/print for the
+    // losing variant, and no estimation at all.
+    auto artifact = std::make_shared<Artifact>();
+    if (warm->variant == policy::Variant::Transformed) {
+      StageTimer timer(grover_ns_);
+      for (const auto& fn : program.module->functions()) {
+        if (!fn->isKernel()) continue;
+        if (!resolved.kernelName.empty() &&
+            fn->name() != resolved.kernelName) {
+          continue;
+        }
+        grv::GroverResult result = grv::runGrover(*fn, resolved.options);
+        ir::verifyFunction(*fn);
+        artifact->report.anyTransformed |= result.anyTransformed;
+        artifact->report.barriersRemoved |= result.barriersRemoved;
+        for (auto& b : result.buffers) {
+          artifact->report.buffers.push_back(std::move(b));
+        }
+      }
+      artifact->transformedText = ir::printModule(*program.module);
+    } else {
+      StageTimer timer(print_ns_);
+      artifact->originalText = ir::printModule(*program.module);
+    }
+    artifact->ok = true;
+    // Deliberately NOT cache_.put(): the artifact is partial (one
+    // variant, no estimate) and must not shadow full artifacts.
+    out.artifact = std::move(artifact);
+    return out;
+  }
+
+  ++policy_misses_;
+  // Cold: full both-variant pipeline through the cached, single-flight
+  // path, then learn the decision from the estimates.
+  out.artifact = run(resolved);
+  if (out.artifact->ok && out.artifact->hasEstimate) {
+    out.decision = engine_.decide(
+        out.features, spec,
+        policy::EstimatePair{out.artifact->cyclesWithLM,
+                             out.artifact->cyclesWithoutLM});
+    policy_store_.store(out.policyKey, out.decision);
+    ++policy_stores_;
+  }
+  return out;
+}
+
+policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
+                                                   double measuredNp) {
+  return feedback_.recordMeasurement(policyKey, measuredNp);
 }
 
 ArtifactPtr CompileService::compileUncached(const Request& resolved) {
@@ -260,6 +372,12 @@ ServiceStats CompileService::stats() const {
   s.groverMs = ms(grover_ns_);
   s.printMs = ms(print_ns_);
   s.estimateMs = ms(estimate_ns_);
+  s.policyHits = policy_hits_.load();
+  s.policyMisses = policy_misses_.load();
+  s.policyStores = policy_stores_.load();
+  const policy::FeedbackLoop::Stats f = feedback_.stats();
+  s.policyFlips = f.flips;
+  s.policyMismatches = f.mismatches;
   return s;
 }
 

@@ -13,6 +13,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "policy/decision_engine.h"
+#include "policy/feedback.h"
+#include "policy/policy_store.h"
 #include "service/artifact_cache.h"
 #include "support/thread_pool.h"
 
@@ -29,6 +32,9 @@ struct ServiceConfig {
   /// oversubscribing the host.
   unsigned estimateThreads = 1;
   ArtifactCache::Config cache;
+  /// Decision store of the compileAuto() path; set diskDir to persist
+  /// decisions across runs (groverc --policy-dir).
+  policy::PolicyStore::Config policyStore;
 };
 
 /// Cumulative counters; snapshot via CompileService::stats().
@@ -45,11 +51,43 @@ struct ServiceStats {
   std::uint64_t diskStores = 0;
   std::uint64_t entries = 0;
   std::uint64_t bytesInUse = 0;
+  // compileAuto() policy path.
+  std::uint64_t policyHits = 0;    // warm decisions (loser pipeline skipped)
+  std::uint64_t policyMisses = 0;  // cold: both variants compiled+estimated
+  std::uint64_t policyStores = 0;  // decisions learned this run
+  std::uint64_t policyFlips = 0;   // decisions flipped by feedback
+  std::uint64_t policyMismatches = 0;  // predicted-vs-measured flags
   // Cumulative per-stage wall time across all compiles, in milliseconds.
   double frontendMs = 0;   // source → SSA (×2: original + transformed)
   double groverMs = 0;     // the Grover pass + verification
   double printMs = 0;      // IR rendering of both versions
   double estimateMs = 0;   // trace-driven with/without-LM estimation
+};
+
+/// Result of the policy-driven compileAuto() path.
+struct AutoResult {
+  /// The served artifact. On a warm policy hit this may be *partial*:
+  /// only the winning variant's text is filled and hasEstimate is false
+  /// (the whole point is skipping the loser's pipeline). Partial
+  /// artifacts are never published to the artifact cache.
+  ArtifactPtr artifact;
+  policy::Decision decision;
+  /// False when the request cannot be policy-routed (no platform to
+  /// decide for, or the source fails to compile) — `artifact` is then
+  /// the plain submit() result and `decision` is default.
+  bool eligible = false;
+  /// True when the decision came warm from the policy store.
+  bool policyHit = false;
+  /// Feature-store key; pass to recordMeasurement() to close the loop.
+  std::uint64_t policyKey = 0;
+  policy::KernelFeatures features;
+
+  /// Printed IR of the variant the decision serves.
+  [[nodiscard]] const std::string& servedText() const {
+    return decision.variant == policy::Variant::Transformed
+               ? artifact->transformedText
+               : artifact->originalText;
+  }
 };
 
 class CompileService {
@@ -75,6 +113,27 @@ class CompileService {
     return submit(std::move(request)).get();
   }
 
+  /// Policy-driven entry point (DESIGN.md §10). Extracts the kernel's
+  /// architecture-independent features, consults the decision store
+  /// keyed on (features, platform, scale), and on a warm decision
+  /// compiles and serves *only* the winning variant — the losing
+  /// variant's transform/print/estimate pipeline is skipped entirely.
+  /// On a cold key the request runs through the normal cached pipeline
+  /// (both variants + estimates), the engine derives the verdict at the
+  /// paper's 5% threshold, and the decision is persisted. Requests
+  /// without a platform fall back to submit() (nothing to decide).
+  [[nodiscard]] AutoResult compileAuto(Request request);
+
+  /// Fold a measured np for a policyKey back into the decision store
+  /// (EWMA; may flip the stored decision). Returns the updated decision.
+  policy::Decision recordMeasurement(std::uint64_t policyKey,
+                                     double measuredNp);
+
+  [[nodiscard]] policy::PolicyStore& policyStore() { return policy_store_; }
+  [[nodiscard]] const policy::DecisionEngine& decisionEngine() const {
+    return engine_;
+  }
+
   /// Wait until every submitted request has completed. The service stays
   /// usable afterwards.
   void drain();
@@ -97,6 +156,9 @@ class CompileService {
 
   ServiceConfig config_;
   ArtifactCache cache_;
+  policy::PolicyStore policy_store_;
+  policy::DecisionEngine engine_;
+  policy::FeedbackLoop feedback_;
   ThreadPool pool_;
 
   mutable std::mutex mutex_;
@@ -108,6 +170,8 @@ class CompileService {
   std::atomic<std::uint64_t> requests_{0}, memory_hits_{0},
       negative_hits_{0}, coalesced_{0}, misses_{0}, disk_hits_{0},
       compiles_{0};
+  std::atomic<std::uint64_t> policy_hits_{0}, policy_misses_{0},
+      policy_stores_{0};
   std::atomic<std::uint64_t> frontend_ns_{0}, grover_ns_{0}, print_ns_{0},
       estimate_ns_{0};
 };

@@ -119,4 +119,82 @@ TEST(GrovercCli, ServeBatchMissingFileFails) {
   EXPECT_NE(r.output.find("cannot read"), std::string::npos) << r.output;
 }
 
+TEST(GrovercCli, BadNumericFlagValuesExitOneWithOneLineDiagnostic) {
+  // Zero, negative, and garbage values of every count flag get the same
+  // treatment: one diagnostic line naming the flag and value, exit 1.
+  const struct {
+    const char* args;
+    const char* flag;
+  } cases[] = {
+      {"--threads=0 x.cl", "--threads"},
+      {"--threads=-4 x.cl", "--threads"},
+      {"--threads=abc x.cl", "--threads"},
+      {"--threads=3junk x.cl", "--threads"},
+      {"--repeat=0 x.cl", "--repeat"},
+      {"--repeat=-1 x.cl", "--repeat"},
+      {"--cache-mb=0 x.cl", "--cache-mb"},
+      {"--cache-mb=xyz x.cl", "--cache-mb"},
+  };
+  for (const auto& c : cases) {
+    const RunResult r = runGroverc(c.args);
+    EXPECT_EQ(r.exitCode, 1) << c.args << "\n" << r.output;
+    EXPECT_NE(r.output.find(std::string("bad ") + c.flag + " value"),
+              std::string::npos)
+        << c.args << "\n" << r.output;
+    EXPECT_EQ(countLines(r.output), 1u) << c.args << "\n" << r.output;
+    EXPECT_EQ(r.output.find("terminate"), std::string::npos) << r.output;
+  }
+}
+
+TEST(GrovercCli, AutoServeBatchLearnsThenServesFromThePolicyStore) {
+  const fs::path batch = tmpFile("auto_batch.txt",
+                                 "NVD-MT SNB test\n"
+                                 "NVD-MT Fermi test\n");
+  const fs::path policyDir =
+      fs::temp_directory_path() /
+      ("groverc_cli_policy_" + std::to_string(::getpid()));
+  fs::remove_all(policyDir);
+
+  // Cold run: every request is a cold decision, learned and persisted.
+  const std::string args = "--serve-batch=" + batch.string() + " --auto" +
+                           " --policy-dir=" + policyDir.string();
+  const RunResult cold = runGroverc(args);
+  EXPECT_EQ(cold.exitCode, 0) << cold.output;
+  EXPECT_NE(cold.output.find("cold decision"), std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("2 decisions stored"), std::string::npos)
+      << cold.output;
+  // NVD-MT is the paper's flagship: gain on the cache-only CPU, loss on
+  // the scratchpad GPU — the policy serves opposite variants.
+  EXPECT_NE(cold.output.find("serving without-local-memory"),
+            std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("serving with-local-memory"),
+            std::string::npos)
+      << cold.output;
+
+  // Warm run, fresh process: decisions come back from the disk tier and
+  // every request is a policy hit.
+  const RunResult warm = runGroverc(args);
+  EXPECT_EQ(warm.exitCode, 0) << warm.output;
+  EXPECT_NE(warm.output.find("policy hit"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("policy: 2 hits, 0 misses"), std::string::npos)
+      << warm.output;
+  EXPECT_EQ(warm.output.find("cold decision"), std::string::npos)
+      << warm.output;
+
+  fs::remove(batch);
+  fs::remove_all(policyDir);
+}
+
+TEST(GrovercCli, AutoWithoutServeBatchIsRejected) {
+  const fs::path path = tmpFile("auto_alone.cl", "__kernel void k() {}\n");
+  const RunResult r = runGroverc("--auto " + path.string());
+  EXPECT_NE(r.exitCode, 0);
+  EXPECT_NE(r.output.find("--auto"), std::string::npos) << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+  fs::remove(path);
+}
+
 }  // namespace

@@ -6,7 +6,7 @@
 //   groverc --app=<id> [--platform=<name>] [--scale=test|bench]
 //           [--threads=N]
 //   groverc --serve-batch=<file> [--threads=N] [--repeat=K]
-//           [--cache-mb=M] [--cache-dir=DIR]
+//           [--cache-mb=M] [--cache-dir=DIR] [--auto] [--policy-dir=DIR]
 //
 // The first form reads an OpenCL C kernel, runs the full pipeline
 // (front-end → SSA → Grover), prints the Table III-style index report, and
@@ -35,6 +35,7 @@
 #include "grovercl/harness.h"
 #include "ir/printer.h"
 #include "perf/platform.h"
+#include "policy/policy_store.h"
 #include "service/compile_service.h"
 #include "support/diagnostics.h"
 #include "support/str.h"
@@ -69,7 +70,11 @@ void usage() {
       "                    tools/README.md)\n"
       "  --repeat=K        replay the batch K times (default 1)\n"
       "  --cache-mb=M      service cache byte budget in MiB (default 256)\n"
-      "  --cache-dir=DIR   enable the on-disk artifact cache tier\n";
+      "  --cache-dir=DIR   enable the on-disk artifact cache tier\n"
+      "  --auto            route serve-batch requests through the policy\n"
+      "                    engine: warm per-kernel/per-platform decisions\n"
+      "                    compile only the winning variant\n"
+      "  --policy-dir=DIR  persist policy decisions on disk (with --auto)\n";
 }
 
 /// Read a kernel/request file. Returns false and fills `error` with a
@@ -128,18 +133,24 @@ void printReport(const grover::grv::GroverResult& result) {
   }
 }
 
-unsigned parseThreads(const std::string& value) {
-  // std::stoul accepts a leading '-' by wrapping; reject it explicitly.
+/// Strict positive-integer flag parse: the whole value must be digits and
+/// the result ≥ 1. Zero, negatives, and garbage all get the same one-line
+/// diagnostic and exit 1 (matching the groverfuzz --seeds handling) — a
+/// zero thread pool, zero-byte cache, or zero-iteration batch is never
+/// what the caller meant.
+std::uint64_t parseCountFlag(const char* flag, const std::string& value) {
+  // std::stoull accepts a leading '-' by wrapping; reject it explicitly.
   if (!value.empty() && value[0] != '-') {
     try {
       std::size_t pos = 0;
-      const unsigned long n = std::stoul(value, &pos);
-      if (pos == value.size()) return static_cast<unsigned>(n);
+      const unsigned long long n = std::stoull(value, &pos);
+      if (pos == value.size() && n >= 1) return n;
     } catch (const std::exception&) {
     }
   }
-  std::cerr << "bad --threads value: " << value << "\n";
-  std::exit(2);
+  std::cerr << "groverc: bad " << flag << " value '" << value
+            << "' (expected a positive integer)\n";
+  std::exit(1);
 }
 
 std::vector<grover::perf::PlatformSpec> platformsByName(
@@ -234,7 +245,8 @@ std::vector<BatchEntry> parseBatchFile(const std::string& contents) {
 }
 
 int runServeBatch(const std::string& file, unsigned threads, int repeat,
-                  std::size_t cacheMb, const std::string& cacheDir) {
+                  std::size_t cacheMb, const std::string& cacheDir,
+                  bool autoPolicy, const std::string& policyDir) {
   namespace svc = grover::service;
   std::string contents;
   if (std::string err; !readTextFile(file, contents, err)) {
@@ -251,30 +263,55 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
   config.workers = threads;
   config.cache.maxBytes = cacheMb << 20;
   config.cache.diskDir = cacheDir;
+  config.policyStore.diskDir = policyDir;
   svc::CompileService service(config);
 
   const auto start = std::chrono::steady_clock::now();
-  // Submit every repetition of every valid line up front; the service
-  // coalesces identical in-flight requests and serves repeats from cache.
-  std::vector<std::pair<std::size_t, svc::CompileService::Future>> futures;
-  for (int rep = 0; rep < repeat; ++rep) {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      if (!entries[i].valid) continue;
-      try {
-        futures.emplace_back(i, service.submit(entries[i].request));
-      } catch (const std::exception& e) {
-        entries[i].valid = false;
-        entries[i].error = e.what();
-      }
-    }
-  }
   std::size_t served = 0, failed = 0;
   std::vector<grover::service::ArtifactPtr> firstResult(entries.size());
-  for (auto& [index, future] : futures) {
-    grover::service::ArtifactPtr artifact = future.get();
-    ++served;
-    if (!artifact->ok) ++failed;
-    if (firstResult[index] == nullptr) firstResult[index] = artifact;
+  std::vector<svc::AutoResult> firstAuto(entries.size());
+  if (autoPolicy) {
+    // Policy mode: each request consults the decision store; warm
+    // decisions compile only the winning variant.
+    for (int rep = 0; rep < repeat; ++rep) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid) continue;
+        try {
+          svc::AutoResult r = service.compileAuto(entries[i].request);
+          ++served;
+          if (!r.artifact->ok) ++failed;
+          if (firstAuto[i].artifact == nullptr) {
+            firstResult[i] = r.artifact;
+            firstAuto[i] = std::move(r);
+          }
+        } catch (const std::exception& e) {
+          entries[i].valid = false;
+          entries[i].error = e.what();
+        }
+      }
+    }
+  } else {
+    // Submit every repetition of every valid line up front; the service
+    // coalesces identical in-flight requests and serves repeats from
+    // cache.
+    std::vector<std::pair<std::size_t, svc::CompileService::Future>> futures;
+    for (int rep = 0; rep < repeat; ++rep) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid) continue;
+        try {
+          futures.emplace_back(i, service.submit(entries[i].request));
+        } catch (const std::exception& e) {
+          entries[i].valid = false;
+          entries[i].error = e.what();
+        }
+      }
+    }
+    for (auto& [index, future] : futures) {
+      grover::service::ArtifactPtr artifact = future.get();
+      ++served;
+      if (!artifact->ok) ++failed;
+      if (firstResult[index] == nullptr) firstResult[index] = artifact;
+    }
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -295,6 +332,15 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
       std::cout << "failed: "
                 << a->diagnostics.substr(0, a->diagnostics.find('\n'))
                 << "\n";
+    } else if (autoPolicy && firstAuto[i].eligible) {
+      const svc::AutoResult& r = firstAuto[i];
+      std::cout << "ok, serving "
+                << grover::policy::toString(r.decision.variant) << " ("
+                << (r.policyHit ? "policy hit" : "cold decision")
+                << ", predicted np "
+                << grover::fixed(r.decision.predictedNp, 3) << ", "
+                << grover::perf::toString(r.decision.predictedOutcome)
+                << ")\n";
     } else {
       std::size_t transformed = 0;
       for (const auto& b : a->report.buffers) {
@@ -328,6 +374,12 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
             << " ms, print " << grover::fixed(s.printMs, 1)
             << " ms, estimate " << grover::fixed(s.estimateMs, 1)
             << " ms\n";
+  if (autoPolicy) {
+    std::cout << "policy: " << s.policyHits << " hits, " << s.policyMisses
+              << " misses, " << s.policyStores << " decisions stored, "
+              << s.policyFlips << " flips, " << s.policyMismatches
+              << " mismatches\n";
+  }
 
   for (const BatchEntry& e : entries) {
     if (!e.error.empty()) return 1;
@@ -349,9 +401,11 @@ int main(int argc, char** argv) {
   std::string scaleName = "bench";
   std::string batchFile;
   std::string cacheDir;
+  std::string policyDir;
   std::size_t cacheMb = 256;
   int repeat = 1;
   unsigned threads = 0;
+  bool autoPolicy = false;
   grover::grv::GroverOptions options;
   bool showBefore = false;
   bool reportOnly = false;
@@ -384,16 +438,21 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--serve-batch=", 0) == 0) {
       batchFile = arg.substr(14);
     } else if (arg.rfind("--repeat=", 0) == 0) {
-      repeat = std::max(1, std::atoi(arg.substr(9).c_str()));
+      repeat = static_cast<int>(parseCountFlag("--repeat", arg.substr(9)));
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       cacheMb = static_cast<std::size_t>(
-          std::max(1, std::atoi(arg.substr(11).c_str())));
+          parseCountFlag("--cache-mb", arg.substr(11)));
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       cacheDir = arg.substr(12);
+    } else if (arg.rfind("--policy-dir=", 0) == 0) {
+      policyDir = arg.substr(13);
+    } else if (arg == "--auto") {
+      autoPolicy = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = parseThreads(arg.substr(10));
+      threads = static_cast<unsigned>(
+          parseCountFlag("--threads", arg.substr(10)));
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = parseThreads(argv[++i]);
+      threads = static_cast<unsigned>(parseCountFlag("--threads", argv[++i]));
     } else if (arg == "--list-apps") {
       for (const auto& app : grover::apps::allApplications()) {
         std::cout << app->id() << "\n";
@@ -414,10 +473,15 @@ int main(int argc, char** argv) {
     std::cerr << "bad --scale value: " << scaleName << "\n";
     return 2;
   }
+  if (autoPolicy && batchFile.empty()) {
+    std::cerr << "groverc: --auto requires --serve-batch\n";
+    return 1;
+  }
 
   try {
     if (!batchFile.empty()) {
-      return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir);
+      return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir,
+                           autoPolicy, policyDir);
     }
     if (!appId.empty()) {
       return runAppComparison(appId, platformName, scaleName, threads,
