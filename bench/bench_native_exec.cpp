@@ -1,0 +1,165 @@
+// Native execution speedup (the backend's raison d'être): run every
+// Table I application's original kernel through the decoded interpreter
+// and through the JIT-compiled native backend, compare wall times, and
+// require a ≥10× median speedup with bit-exact outputs. JIT preparation
+// (lowering + compiler invocation) is reported separately — it is a
+// one-time cost amortized over every subsequent launch.
+//
+// Timing follows the wall/min-of-reps idiom: each variant runs REPS
+// times on a fresh dataset instance and the minimum is reported
+// (scheduler noise only ever adds time).
+//
+// Exit status: 0 on success (or when no system C compiler is available —
+// the backend is optional by design), 1 when outputs mismatch or the
+// median speedup misses the target.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "native/engine.h"
+#include "rt/interpreter.h"
+#include "support/str.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr unsigned kReps = 5;
+constexpr double kTargetMedianSpeedup = 10.0;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::vector<std::vector<std::byte>> snapshot(
+    const grover::apps::Instance& in) {
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(in.buffers.size());
+  for (const auto& b : in.buffers) {
+    out.emplace_back(b->data(), b->data() + b->size());
+  }
+  return out;
+}
+
+struct Row {
+  std::string app;
+  double interpMs = 0;   // min over reps, decoded interpreter
+  double nativeMs = 0;   // min over reps, compiled code
+  double prepareMs = 0;  // one-time lowering + JIT wall time
+  double speedup = 0;
+  bool exact = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace grover;
+
+  native::NativeEngine& engine = native::NativeEngine::shared();
+  if (!engine.available()) {
+    // Optional subsystem: absence is a configuration, not a failure.
+    std::cerr << "bench_native_exec: native backend unavailable ("
+              << engine.unavailableReason() << "); skipping\n";
+    return 0;
+  }
+
+  std::vector<Row> rows;
+  for (const std::string& id : bench::fig10Apps()) {
+    const apps::Application& app = apps::applicationById(id);
+    KernelPair pair = prepareKernelPair(app);
+    ir::Function& fn = *pair.originalKernel;
+    Row row;
+    row.app = id;
+
+    // One-time native preparation, timed separately.
+    std::string reason;
+    std::shared_ptr<const native::CompiledKernel> kernel;
+    {
+      apps::Instance shape = app.makeInstance(apps::Scale::Test);
+      rt::KernelImage image(fn, shape.range, shape.args);
+      const auto t0 = Clock::now();
+      kernel = engine.prepare(image, reason);
+      row.prepareMs = msSince(t0);
+    }
+    if (kernel == nullptr) {
+      std::cerr << id << ": native preparation failed: " << reason << "\n";
+      return 1;
+    }
+
+    // Interpreter leg: min of kReps, plus the reference output.
+    std::vector<std::vector<std::byte>> expected;
+    for (unsigned rep = 0; rep < kReps; ++rep) {
+      apps::Instance inst = app.makeInstance(apps::Scale::Test);
+      rt::Launch launch(fn, inst.range, inst.args);
+      const auto t0 = Clock::now();
+      launch.run(1);
+      const double ms = msSince(t0);
+      if (rep == 0 || ms < row.interpMs) row.interpMs = ms;
+      if (rep == 0) expected = snapshot(inst);
+    }
+
+    // Native leg: min of kReps, output compared bit-exact.
+    row.exact = true;
+    for (unsigned rep = 0; rep < kReps; ++rep) {
+      apps::Instance inst = app.makeInstance(apps::Scale::Test);
+      rt::KernelImage image(fn, inst.range, inst.args);
+      const auto t0 = Clock::now();
+      kernel->execute(image);
+      const double ms = msSince(t0);
+      if (rep == 0 || ms < row.nativeMs) row.nativeMs = ms;
+      if (rep == 0) row.exact = snapshot(inst) == expected;
+    }
+
+    row.speedup = row.nativeMs > 0 ? row.interpMs / row.nativeMs : 0;
+    std::cout << padRight(id, 12) << " interp " << padLeft(fixed(row.interpMs, 3), 9)
+              << " ms  native " << padLeft(fixed(row.nativeMs, 3), 8)
+              << " ms  jit " << padLeft(fixed(row.prepareMs, 1), 7)
+              << " ms  speedup " << padLeft(fixed(row.speedup, 1), 6) << "x  "
+              << (row.exact ? "bit-exact" : "MISMATCH") << "\n";
+    rows.push_back(row);
+  }
+
+  std::vector<double> speedups;
+  bool allExact = true;
+  for (const Row& r : rows) {
+    speedups.push_back(r.speedup);
+    allExact &= r.exact;
+  }
+  std::sort(speedups.begin(), speedups.end());
+  const double median = speedups[speedups.size() / 2];
+  std::cout << "\nmedian speedup " << fixed(median, 1) << "x over "
+            << rows.size() << " apps (target ≥" << fixed(kTargetMedianSpeedup, 0)
+            << "x), outputs " << (allExact ? "bit-exact" : "MISMATCHED")
+            << "\n";
+
+  std::string json = "{\n  \"apps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += cat("    {\"app\": \"", r.app, "\", \"interp_ms\": ",
+                fixed(r.interpMs, 4), ", \"native_ms\": ",
+                fixed(r.nativeMs, 4), ", \"jit_ms\": ", fixed(r.prepareMs, 2),
+                ", \"speedup\": ", fixed(r.speedup, 2), ", \"bit_exact\": ",
+                r.exact ? "true" : "false", "}",
+                i + 1 < rows.size() ? "," : "", "\n");
+  }
+  json += cat("  ],\n  \"median_speedup\": ", fixed(median, 2),
+              ",\n  \"target\": ", fixed(kTargetMedianSpeedup, 1),
+              ",\n  \"all_bit_exact\": ", allExact ? "true" : "false",
+              "\n}\n");
+  bench::writeBenchJson("native_exec", json);
+
+  if (!allExact) {
+    std::cerr << "FAIL: native outputs diverge from the interpreter\n";
+    return 1;
+  }
+  if (median < kTargetMedianSpeedup) {
+    std::cerr << "FAIL: median speedup " << fixed(median, 1)
+              << "x below the " << fixed(kTargetMedianSpeedup, 0)
+              << "x target\n";
+    return 1;
+  }
+  return 0;
+}

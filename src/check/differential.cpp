@@ -5,6 +5,7 @@
 
 #include "grover/grover_pass.h"
 #include "grovercl/compiler.h"
+#include "native/engine.h"
 #include "rt/interpreter.h"
 #include "rt/ref_interpreter.h"
 #include "support/str.h"
@@ -55,6 +56,24 @@ std::vector<float> runReference(ir::Function& fn, const GeneratedKernel& k,
   return out.toVector<float>();
 }
 
+/// Execute `fn` through the native backend. Returns false + reason when
+/// the kernel cannot go native (no toolchain, lowering refusal); throws
+/// for runtime faults, like the interpreter paths.
+bool runNative(ir::Function& fn, const GeneratedKernel& k,
+               const std::vector<float>& input, std::vector<float>& out,
+               std::string& reason) {
+  rt::Buffer in = rt::Buffer::fromVector(input);
+  rt::Buffer outBuf = rt::Buffer::zeros<float>(k.ioFloats);
+  if (!native::executeNatively(
+          fn, launchRange(k),
+          {rt::KernelArg::buffer(&outBuf), rt::KernelArg::buffer(&in)},
+          reason)) {
+    return false;
+  }
+  out = outBuf.toVector<float>();
+  return true;
+}
+
 /// Index of the first bit-difference, or -1 when equal.
 std::ptrdiff_t firstDiff(const std::vector<float>& a,
                          const std::vector<float>& b) {
@@ -76,7 +95,8 @@ std::string diffMessage(const GeneratedKernel& k, const std::vector<float>& a,
 
 }  // namespace
 
-DiffOutcome runDifferential(const GeneratedKernel& kernel, bool validate) {
+DiffOutcome runDifferential(const GeneratedKernel& kernel, bool validate,
+                            bool nativeLeg) {
   Program original;
   Program transformed;
   ir::Function* origFn = nullptr;
@@ -158,6 +178,34 @@ DiffOutcome runDifferential(const GeneratedKernel& kernel, bool validate) {
   if (std::ptrdiff_t at = firstDiff(decOrig, decTrans); at >= 0) {
     return DiffOutcome::fail("mismatch",
                              diffMessage(kernel, decOrig, decTrans, at));
+  }
+
+  if (nativeLeg) {
+    std::vector<float> natOrig, natTrans;
+    std::string reason;
+    bool ran = false;
+    try {
+      ran = runNative(*origFn, kernel, input, natOrig, reason) &&
+            runNative(*transFn, kernel, input, natTrans, reason);
+    } catch (const std::exception& e) {
+      return DiffOutcome::fail("native",
+                               cat(kernel.describe(), ": ", e.what()));
+    }
+    if (!ran) {
+      outcome.nativeSkipReason = reason;
+      return outcome;
+    }
+    if (std::ptrdiff_t at = firstDiff(natOrig, decOrig); at >= 0) {
+      return DiffOutcome::fail(
+          "native", cat("original kernel: ",
+                        diffMessage(kernel, natOrig, decOrig, at)));
+    }
+    if (std::ptrdiff_t at = firstDiff(natTrans, decTrans); at >= 0) {
+      return DiffOutcome::fail(
+          "native", cat("transformed kernel: ",
+                        diffMessage(kernel, natTrans, decTrans, at)));
+    }
+    outcome.nativeChecked = true;
   }
   return outcome;
 }

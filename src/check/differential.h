@@ -20,12 +20,20 @@ namespace grover::check {
 ///   "oracle"      - decoded and reference interpreters disagree
 ///   "mismatch"    - original and transformed kernels produce different
 ///                   output (a miscompile)
+///   "native"      - the JIT-compiled native execution diverges from the
+///                   decoded interpreter (a native-backend miscompile)
 struct DiffOutcome {
   bool ok = true;
   std::string phase;
   std::string message;
   bool transformed = false;      // what runGrover actually did
   bool barriersRemoved = false;
+  /// Native-leg state (only meaningful when the leg was requested):
+  /// checked == true means both versions ran natively and matched the
+  /// decoded outputs bit-exactly; otherwise nativeSkipReason says why the
+  /// leg was skipped (no toolchain, lowering refusal, ...).
+  bool nativeChecked = false;
+  std::string nativeSkipReason;
 
   static DiffOutcome fail(std::string phase, std::string message) {
     DiffOutcome o;
@@ -38,8 +46,12 @@ struct DiffOutcome {
 
 /// Run the full differential check for one kernel. `validate` turns on
 /// GroverOptions::validate (IR verification per stage + the semantic
-/// validator). Deterministic: same kernel -> same outcome.
+/// validator). `nativeLeg` additionally executes both versions through
+/// the native backend and requires bit-identity with the decoded
+/// interpreter — skipped gracefully (nativeSkipReason) when the backend
+/// is unavailable. Deterministic: same kernel -> same outcome.
 [[nodiscard]] DiffOutcome runDifferential(const GeneratedKernel& kernel,
-                                          bool validate);
+                                          bool validate,
+                                          bool nativeLeg = false);
 
 }  // namespace grover::check

@@ -1,0 +1,118 @@
+#include "native/engine.h"
+
+#include "support/diagnostics.h"
+#include "support/hash.h"
+#include "support/str.h"
+
+namespace grover::native {
+
+CompiledKernel::CompiledKernel(Lowered lowered,
+                               std::shared_ptr<LoadedObject> object)
+    : lowered_(std::move(lowered)), object_(std::move(object)) {}
+
+void CompiledKernel::execute(const rt::KernelImage& image) const {
+  std::vector<unsigned char*> bufs;
+  std::vector<std::uint64_t> bufn;
+  bufs.reserve(image.buffers().size());
+  bufn.reserve(image.buffers().size());
+  for (rt::Buffer* buffer : image.buffers()) {
+    bufs.push_back(reinterpret_cast<unsigned char*>(buffer->data()));
+    bufn.push_back(buffer->size());
+  }
+
+  std::vector<std::int64_t> iargs;
+  std::vector<double> dargs;
+  const ir::Function& fn = image.function();
+  const auto& argValues = image.argValues();
+  for (unsigned i = 0; i < fn.numArgs(); ++i) {
+    const ir::Type* t = fn.arg(i)->type();
+    if (t->isPointer()) continue;  // bound via bufs, in argument order
+    if (t->isInteger()) {
+      iargs.push_back(argValues[i].i);
+    } else {
+      dargs.push_back(argValues[i].f);
+    }
+  }
+
+  if (bufs.size() != lowered_.numBufferArgs ||
+      iargs.size() != lowered_.numIntArgs ||
+      dargs.size() != lowered_.numFloatArgs) {
+    throw GroverError(
+        "native execute: argument shape differs from the compiled kernel");
+  }
+
+  const auto entry = reinterpret_cast<EntryFn>(object_->symbol());
+  const int rc = entry(bufs.data(), bufn.data(), iargs.data(), dargs.data());
+  if (rc == 0) return;
+  const auto index = static_cast<std::size_t>(-rc) - 1;
+  if (rc > 0 || index >= lowered_.messages.size()) {
+    throw GroverError(cat("native kernel returned unknown status ", rc));
+  }
+  throw GroverError(lowered_.messages[index]);
+}
+
+NativeEngine::NativeEngine(JitOptions options) : jit_(std::move(options)) {}
+
+NativeEngine& NativeEngine::shared() {
+  static NativeEngine engine;
+  return engine;
+}
+
+bool NativeEngine::available() const { return jit_.available(); }
+
+const std::string& NativeEngine::unavailableReason() const {
+  return jit_.unavailableReason();
+}
+
+EngineStats NativeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats s;
+  s.prepared = prepared_;
+  s.refused = refused_;
+  s.memoryHits = memory_hits_;
+  s.jit = jit_.stats();
+  return s;
+}
+
+std::shared_ptr<const CompiledKernel> NativeEngine::prepare(
+    const rt::KernelImage& image, std::string& reason) {
+  if (!jit_.available()) {
+    reason = jit_.unavailableReason();
+    return nullptr;
+  }
+
+  Lowered lowered = lowerKernel(image);
+  if (!lowered.ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++refused_;
+    reason = cat("lowering refused: ", lowered.reason);
+    return nullptr;
+  }
+
+  const std::uint64_t key = fnv1a(lowered.cSource);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = kernels_.find(key); it != kernels_.end()) {
+    ++memory_hits_;
+    return it->second;
+  }
+  auto object = jit_.compile(lowered.cSource, kEntrySymbol, reason);
+  if (object == nullptr) return nullptr;
+  auto kernel =
+      std::make_shared<const CompiledKernel>(std::move(lowered),
+                                             std::move(object));
+  kernels_.emplace(key, kernel);
+  ++prepared_;
+  return kernel;
+}
+
+bool executeNatively(ir::Function& fn, const rt::NDRange& range,
+                     const std::vector<rt::KernelArg>& args,
+                     std::string& reason) {
+  rt::KernelImage image(fn, range, args);
+  auto kernel = NativeEngine::shared().prepare(image, reason);
+  if (kernel == nullptr) return false;
+  kernel->execute(image);
+  return true;
+}
+
+}  // namespace grover::native

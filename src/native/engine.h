@@ -1,0 +1,84 @@
+// Native execution engine: the front door of src/native/. Lowers a
+// rt::KernelImage to C (lower.h), JIT-compiles it (jit.h), memoizes the
+// loaded kernels in-process by content hash, and executes launches through
+// the compiled entry point with the interpreter's fault semantics
+// (faults surface as GroverError, like rt::Launch::run).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "native/jit.h"
+#include "native/lower.h"
+#include "rt/interpreter.h"
+
+namespace grover::native {
+
+/// One lowered + JIT-compiled kernel, reusable across launches whose
+/// decoded stream, ND-range and argument shapes match the image it was
+/// prepared from (the range is baked into the code).
+class CompiledKernel {
+ public:
+  CompiledKernel(Lowered lowered, std::shared_ptr<LoadedObject> object);
+
+  /// Execute every work-group. `image` must describe the same kernel and
+  /// range this object was compiled from; buffers and scalar argument
+  /// values may differ. Throws GroverError on any runtime fault.
+  void execute(const rt::KernelImage& image) const;
+
+  [[nodiscard]] const std::string& cSource() const { return lowered_.cSource; }
+  [[nodiscard]] const std::string& soPath() const { return object_->path(); }
+
+ private:
+  Lowered lowered_;
+  std::shared_ptr<LoadedObject> object_;
+};
+
+struct EngineStats {
+  std::uint64_t prepared = 0;     // distinct kernels lowered + loaded
+  std::uint64_t refused = 0;      // lowering refusals (fell back)
+  std::uint64_t memoryHits = 0;   // served from the in-process kernel map
+  JitStats jit;
+};
+
+/// Thread-safe facade. Unavailable engines (no compiler, dlopen failure,
+/// $GROVER_NATIVE_DISABLE) report a reason and return null from prepare();
+/// callers fall back to the decoded interpreter.
+class NativeEngine {
+ public:
+  explicit NativeEngine(JitOptions options = {});
+
+  /// Process-wide engine with default options, created on first use.
+  /// Environment overrides are read at that first call.
+  static NativeEngine& shared();
+
+  [[nodiscard]] bool available() const;
+  [[nodiscard]] const std::string& unavailableReason() const;
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Lower + compile (or fetch memoized). Null + reason when the kernel
+  /// cannot be lowered or the toolchain is unavailable.
+  [[nodiscard]] std::shared_ptr<const CompiledKernel> prepare(
+      const rt::KernelImage& image, std::string& reason);
+
+ private:
+  mutable std::mutex mutex_;
+  JitCompiler jit_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledKernel>>
+      kernels_;
+  std::uint64_t prepared_ = 0, refused_ = 0, memory_hits_ = 0;
+};
+
+/// Convenience wrapper used by the differential harness and tools: run
+/// `fn` natively over `range` with `args`. Returns false and fills
+/// `reason` (without touching buffers) when the native path is
+/// unavailable; throws GroverError for runtime faults, like Launch::run.
+bool executeNatively(ir::Function& fn, const rt::NDRange& range,
+                     const std::vector<rt::KernelArg>& args,
+                     std::string& reason);
+
+}  // namespace grover::native

@@ -1,0 +1,79 @@
+// System-compiler JIT: turns a generated C translation unit into a loaded
+// shared object. Artifacts are content-addressed (support/hash.h FNV-1a of
+// the source + compiler identity) in a disk cache directory, so identical
+// kernels compile once per machine and reloads are a dlopen away.
+//
+// Availability is probed once at construction: the compiler comes from
+// $GROVER_NATIVE_CC, else the first of cc/gcc/clang that answers
+// --version. When nothing works (or $GROVER_NATIVE_DISABLE=1 is set) the
+// JIT reports unavailable with a reason and callers degrade to the
+// decoded interpreter — never an abort (DESIGN.md §11).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace grover::native {
+
+/// One dlopen'd shared object pinned for the lifetime of any kernel
+/// compiled into it; closes the handle on destruction.
+class LoadedObject {
+ public:
+  LoadedObject(void* handle, void* symbol, std::string path);
+  ~LoadedObject();
+
+  LoadedObject(const LoadedObject&) = delete;
+  LoadedObject& operator=(const LoadedObject&) = delete;
+
+  [[nodiscard]] void* symbol() const { return symbol_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void* handle_ = nullptr;
+  void* symbol_ = nullptr;
+  std::string path_;
+};
+
+struct JitOptions {
+  /// Compiler executable; empty = $GROVER_NATIVE_CC, else probe
+  /// cc / gcc / clang.
+  std::string compiler;
+  /// Artifact directory; empty = <system temp>/grover-native-cache.
+  std::string cacheDir;
+};
+
+struct JitStats {
+  std::uint64_t compiles = 0;    // compiler actually invoked
+  std::uint64_t cacheHits = 0;   // .so already on disk
+  double compileMs = 0;          // cumulative wall time in the compiler
+};
+
+class JitCompiler {
+ public:
+  explicit JitCompiler(JitOptions options = {});
+
+  [[nodiscard]] bool available() const { return available_; }
+  [[nodiscard]] const std::string& unavailableReason() const {
+    return unavailable_reason_;
+  }
+  [[nodiscard]] const std::string& compiler() const { return compiler_; }
+  [[nodiscard]] const std::string& cacheDir() const { return cache_dir_; }
+  [[nodiscard]] JitStats stats() const;
+
+  /// Compile `cSource` (or reuse the cached .so) and resolve `symbol`.
+  /// Returns null and fills `reason` on any failure; never throws for
+  /// toolchain problems.
+  [[nodiscard]] std::shared_ptr<LoadedObject> compile(
+      const std::string& cSource, const std::string& symbol,
+      std::string& reason);
+
+ private:
+  bool available_ = false;
+  std::string unavailable_reason_;
+  std::string compiler_;
+  std::string cache_dir_;
+  mutable std::uint64_t compiles_ = 0, cache_hits_ = 0;
+  mutable double compile_ms_ = 0;
+};
+
+}  // namespace grover::native

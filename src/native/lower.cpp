@@ -1,0 +1,1068 @@
+#include "native/lower.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ir/instruction.h"
+#include "ir/type.h"
+
+namespace grover::native {
+
+using ir::AddrSpace;
+using ir::BinaryOp;
+using ir::Builtin;
+using ir::CastOp;
+using ir::CmpPred;
+using ir::TypeKind;
+using rt::DecodedKernel;
+using rt::DInst;
+using rt::DOp;
+using rt::DRef;
+using rt::RtValue;
+
+namespace {
+
+/// C storage class of one SSA slot. Mirrors the payload the interpreter
+/// actually reads for that slot (RtValue fields), not the full RtValue.
+enum class CClass : std::uint8_t { None, I64, F64, VecI, VecF, Ptr };
+
+const char* typeName(CClass c) {
+  switch (c) {
+    case CClass::I64: return "int64_t";
+    case CClass::F64: return "double";
+    case CClass::VecI: return "vi_t";
+    case CClass::VecF: return "vf_t";
+    case CClass::Ptr: return "ptr_t";
+    case CClass::None: break;
+  }
+  return "void";
+}
+
+std::string fmtI64(std::int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "((int64_t)UINT64_C(0x%016" PRIx64 "))",
+                static_cast<std::uint64_t>(v));
+  return buf;
+}
+
+std::string fmtF64(double v) {
+  if (std::isnan(v)) return "__builtin_nan(\"\")";
+  if (std::isinf(v)) return v < 0 ? "(-__builtin_inf())" : "__builtin_inf()";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Mirror of the interpreter's finalizeInt(): where int results are
+/// truncated back to their declared width.
+std::string finalize(TypeKind kind, const std::string& expr) {
+  switch (kind) {
+    case TypeKind::Bool: return "((" + expr + ") & 1)";
+    case TypeKind::Int32: return "((int64_t)(int32_t)(" + expr + "))";
+    default: return "(" + expr + ")";
+  }
+}
+
+/// Mirror of intOp(): operands are int64_t lvalues named `a`/`b`.
+std::string intOpExpr(BinaryOp op, bool* ok) {
+  switch (op) {
+    case BinaryOp::Add: return "a + b";
+    case BinaryOp::Sub: return "a - b";
+    case BinaryOp::Mul: return "a * b";
+    case BinaryOp::SDiv: return "(b == 0 ? 0 : a / b)";
+    case BinaryOp::SRem: return "(b == 0 ? 0 : a % b)";
+    case BinaryOp::Shl: return "a << (b & 63)";
+    case BinaryOp::AShr: return "a >> (b & 63)";
+    case BinaryOp::LShr: return "(int64_t)((uint64_t)a >> (b & 63))";
+    case BinaryOp::And: return "a & b";
+    case BinaryOp::Or: return "a | b";
+    case BinaryOp::Xor: return "a ^ b";
+    default: *ok = false; return "0";
+  }
+}
+
+/// Mirror of floatOp(): `a`/`b` are double lvalues; single-precision ops
+/// round both operands and the result through float.
+std::string floatOpExpr(BinaryOp op, bool single, bool* ok) {
+  const char* sym = nullptr;
+  switch (op) {
+    case BinaryOp::FAdd: sym = "+"; break;
+    case BinaryOp::FSub: sym = "-"; break;
+    case BinaryOp::FMul: sym = "*"; break;
+    case BinaryOp::FDiv: sym = "/"; break;
+    default: *ok = false; return "0";
+  }
+  if (single) {
+    return std::string("(double)((float)a ") + sym + " (float)b)";
+  }
+  return std::string("a ") + sym + " b";
+}
+
+std::string cmpExpr(CmpPred pred, bool isFloat, bool* ok) {
+  // Mirror the interpreter's switches: ICmp handles only integer
+  // predicates, FCmp only ordered float ones — anything else throws there.
+  if (isFloat) {
+    switch (pred) {
+      case CmpPred::OEQ: return "a == b";
+      case CmpPred::ONE: return "a != b";
+      case CmpPred::OLT: return "a < b";
+      case CmpPred::OLE: return "a <= b";
+      case CmpPred::OGT: return "a > b";
+      case CmpPred::OGE: return "a >= b";
+      default: break;
+    }
+    *ok = false;
+    return "0";
+  }
+  switch (pred) {
+    case CmpPred::EQ: return "a == b";
+    case CmpPred::NE: return "a != b";
+    case CmpPred::SLT: return "a < b";
+    case CmpPred::SLE: return "a <= b";
+    case CmpPred::SGT: return "a > b";
+    case CmpPred::SGE: return "a >= b";
+    case CmpPred::ULT: return "(uint64_t)a < (uint64_t)b";
+    case CmpPred::ULE: return "(uint64_t)a <= (uint64_t)b";
+    case CmpPred::UGT: return "(uint64_t)a > (uint64_t)b";
+    case CmpPred::UGE: return "(uint64_t)a >= (uint64_t)b";
+    default: break;
+  }
+  *ok = false;
+  return "0";
+}
+
+class Emitter {
+ public:
+  explicit Emitter(const rt::KernelImage& image)
+      : image_(image), dk_(image.decoded()) {}
+
+  Lowered run();
+
+ private:
+  void refuse(const std::string& why) {
+    if (ok_) {
+      ok_ = false;
+      reason_ = why;
+    }
+  }
+
+  int addMsg(std::string text) {
+    messages_.push_back(std::move(text));
+    return static_cast<int>(messages_.size()) - 1;
+  }
+
+  /// `return` statement for the fault whose message index is `msg`.
+  std::string fault(int msg) {
+    return "return -" + std::to_string(msg + 1) + ";";
+  }
+
+  CClass classify(const ir::Type* t, unsigned* lanes) {
+    *lanes = 0;
+    switch (t->kind()) {
+      case TypeKind::Bool:
+      case TypeKind::Int32:
+      case TypeKind::Int64:
+        return CClass::I64;
+      case TypeKind::Float:
+      case TypeKind::Double:
+        return CClass::F64;
+      case TypeKind::Pointer:
+        return CClass::Ptr;
+      case TypeKind::Vector: {
+        *lanes = t->lanes();
+        if (*lanes < 1 || *lanes > 4) {
+          refuse("vector with unsupported lane count");
+          return CClass::None;
+        }
+        return t->element()->isFloatingPoint() ? CClass::VecF : CClass::VecI;
+      }
+      case TypeKind::Void:
+        return CClass::None;
+    }
+    refuse("value of unsupported type kind");
+    return CClass::None;
+  }
+
+  void classifySlots();
+
+  /// C expression reading `ref` with the payload class the interpreter
+  /// would read (slot field, scalar literal, or named vector constant).
+  std::string refExpr(DRef ref, CClass want);
+  /// Lane count of a vector operand (slot type or constant pool value).
+  unsigned refLanes(DRef ref);
+
+  /// Destination lvalue, checked against the class the statement writes.
+  std::string slotLhs(DRef dest, CClass want) {
+    if (dest < 0 || static_cast<std::size_t>(dest) >= cls_.size() ||
+        cls_[static_cast<std::size_t>(dest)] != want) {
+      refuse("destination slot class mismatch");
+      return "w->sBAD";
+    }
+    return "w->s" + std::to_string(dest);
+  }
+
+  void emitInst(std::uint32_t pc, const DInst& d, std::ostringstream& b);
+  void emitEdge(std::int64_t edgeIndex, std::ostringstream& b);
+  void emitMathCall(const DInst& d, std::ostringstream& b);
+
+  const rt::KernelImage& image_;
+  const DecodedKernel& dk_;
+
+  bool ok_ = true;
+  std::string reason_;
+  std::vector<std::string> messages_;
+
+  std::vector<CClass> cls_;
+  std::vector<unsigned> slotLanes_;
+  std::set<std::uint32_t> labels_;
+  std::map<std::uint32_t, int> barrierIds_;  // barrier pc -> resume id
+  /// (constantIndex, asFloat) -> emitted static const name.
+  std::map<std::pair<std::int32_t, bool>, std::string> vecConsts_;
+  std::ostringstream vecConstDefs_;
+
+  int errOob_ = 0, errLaneEx_ = 0, errLaneIn_ = 0, errDivergeDiff_ = 0,
+      errDivergeMix_ = 0, errAlloc_ = 0, errResume_ = 0;
+};
+
+void Emitter::classifySlots() {
+  cls_.assign(image_.numSlots(), CClass::None);
+  slotLanes_.assign(image_.numSlots(), 0);
+  const ir::Function& fn = image_.function();
+  auto note = [&](const ir::Value* v) {
+    if (v->type() == nullptr || v->type()->isVoid()) return;
+    unsigned lanes = 0;
+    const CClass c = classify(v->type(), &lanes);
+    if (v->slot() >= cls_.size()) {
+      refuse("slot numbering out of range");
+      return;
+    }
+    cls_[v->slot()] = c;
+    slotLanes_[v->slot()] = lanes;
+  };
+  for (unsigned i = 0; i < fn.numArgs(); ++i) note(fn.arg(i));
+  for (const ir::BasicBlock* bb : fn.blockList()) {
+    for (const auto& inst : *bb) note(inst.get());
+  }
+}
+
+std::string Emitter::refExpr(DRef ref, CClass want) {
+  if (ref >= 0) {
+    const auto slot = static_cast<std::size_t>(ref);
+    if (slot >= cls_.size() || cls_[slot] != want) {
+      refuse("operand slot class mismatch");
+      return "0";
+    }
+    return "w->s" + std::to_string(ref);
+  }
+  const RtValue& rv = dk_.constant(-ref - 1);
+  switch (want) {
+    case CClass::I64:
+      return fmtI64(rv.i);
+    case CClass::F64:
+      return fmtF64(rv.f);
+    case CClass::VecI:
+    case CClass::VecF: {
+      const bool asFloat = want == CClass::VecF;
+      const auto key = std::make_pair(static_cast<std::int32_t>(-ref - 1),
+                                      asFloat);
+      auto it = vecConsts_.find(key);
+      if (it != vecConsts_.end()) return it->second;
+      std::string name = "K" + std::to_string(-ref - 1) +
+                         (asFloat ? "f" : "i");
+      vecConstDefs_ << "static const " << (asFloat ? "vf_t " : "vi_t ")
+                    << name << " = {{";
+      for (int lane = 0; lane < 4; ++lane) {
+        if (lane != 0) vecConstDefs_ << ", ";
+        vecConstDefs_ << (asFloat ? fmtF64(rv.vf[static_cast<std::size_t>(
+                                        lane)])
+                                  : fmtI64(rv.vi[static_cast<std::size_t>(
+                                        lane)]));
+      }
+      vecConstDefs_ << "}};\n";
+      vecConsts_[key] = name;
+      return name;
+    }
+    case CClass::Ptr:
+      refuse("pointer-valued constant outside alloca");
+      return "0";
+    case CClass::None:
+      break;
+  }
+  refuse("constant read with no class");
+  return "0";
+}
+
+unsigned Emitter::refLanes(DRef ref) {
+  if (ref >= 0) {
+    const auto slot = static_cast<std::size_t>(ref);
+    return slot < slotLanes_.size() ? slotLanes_[slot] : 0;
+  }
+  return dk_.constant(-ref - 1).lanes;
+}
+
+void Emitter::emitEdge(std::int64_t edgeIndex, std::ostringstream& b) {
+  const rt::DEdge& e = dk_.edge(edgeIndex);
+  const std::uint32_t n = e.phiEnd - e.phiBegin;
+  b << "{ ";
+  if (n != 0) {
+    const rt::DPhiCopy* copies = dk_.phiCopies() + e.phiBegin;
+    if (e.phiOverlap) {
+      // Two-phase: read every source into a scratch temp before any
+      // destination slot is written (phi-reads-phi cycles).
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const CClass c = copies[i].dest < static_cast<std::int32_t>(
+                                              cls_.size())
+                             ? cls_[static_cast<std::size_t>(copies[i].dest)]
+                             : CClass::None;
+        if (c == CClass::None) {
+          refuse("phi destination with no class");
+          return;
+        }
+        b << typeName(c) << " t" << i << " = "
+          << refExpr(copies[i].src, c) << "; ";
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        b << "w->s" << copies[i].dest << " = t" << i << "; ";
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const CClass c = cls_[static_cast<std::size_t>(copies[i].dest)];
+        if (c == CClass::None) {
+          refuse("phi destination with no class");
+          return;
+        }
+        b << "w->s" << copies[i].dest << " = "
+          << refExpr(copies[i].src, c) << "; ";
+      }
+    }
+  }
+  b << "goto L" << e.targetPc << "; }";
+}
+
+void Emitter::emitMathCall(const DInst& d, std::ostringstream& b) {
+  const auto builtin = static_cast<Builtin>(d.sub);
+  const bool single = d.tkind == TypeKind::Float;
+  const bool isFp = single || d.tkind == TypeKind::Double;
+  // Every fp-typed builtin stores a double, every int-typed one an int64.
+  const std::string dst =
+      slotLhs(d.dest, isFp ? CClass::F64 : CClass::I64);
+  // f1 mirror: single-precision unary calls convert the operand to float,
+  // call the *double* libm function, and round the result through float.
+  auto f1 = [&](const char* fn) {
+    const std::string x = refExpr(d.a, CClass::F64);
+    if (single) {
+      b << dst << " = (double)(float)" << fn << "((double)(float)(" << x
+        << "));";
+    } else {
+      b << dst << " = " << fn << "(" << x << ");";
+    }
+  };
+  switch (builtin) {
+    case Builtin::Sqrt: f1("sqrt"); return;
+    case Builtin::RSqrt: {
+      const std::string x = refExpr(d.a, CClass::F64);
+      if (single) {
+        // std::sqrt(float) == sqrtf; the divide is a float divide.
+        b << dst << " = (double)(1.0f / sqrtf((float)(" << x << ")));";
+      } else {
+        b << dst << " = 1.0 / sqrt(" << x << ");";
+      }
+      return;
+    }
+    case Builtin::Fabs: f1("fabs"); return;
+    case Builtin::Exp: f1("exp"); return;
+    case Builtin::Log: f1("log"); return;
+    case Builtin::Sin: f1("sin"); return;
+    case Builtin::Cos: f1("cos"); return;
+    case Builtin::Floor: f1("floor"); return;
+    case Builtin::Ceil: f1("ceil"); return;
+    case Builtin::Pow: {
+      const std::string x = refExpr(d.a, CClass::F64);
+      const std::string y = refExpr(d.b, CClass::F64);
+      if (single) {
+        // std::pow(float, float) == powf.
+        b << dst << " = (double)powf((float)(" << x << "), (float)(" << y
+          << "));";
+      } else {
+        b << dst << " = pow(" << x << ", " << y << ");";
+      }
+      return;
+    }
+    case Builtin::FMin:
+    case Builtin::FMax: {
+      // The interpreter never rounds fmin/fmax results through float.
+      const char* fn = builtin == Builtin::FMin ? "fmin" : "fmax";
+      b << dst << " = " << fn << "(" << refExpr(d.a, CClass::F64) << ", "
+        << refExpr(d.b, CClass::F64) << ");";
+      return;
+    }
+    case Builtin::Fma:
+    case Builtin::Mad: {
+      const std::string x = refExpr(d.a, CClass::F64);
+      const std::string y = refExpr(d.b, CClass::F64);
+      const std::string z = refExpr(d.c, CClass::F64);
+      if (single) {
+        b << dst << " = (double)((float)(" << x << ") * (float)(" << y
+          << ") + (float)(" << z << "));";
+      } else {
+        b << dst << " = " << x << " * " << y << " + " << z << ";";
+      }
+      return;
+    }
+    case Builtin::IMin:
+    case Builtin::IMax: {
+      const bool isMin = builtin == Builtin::IMin;
+      if (isFp) {
+        b << dst << " = " << (isMin ? "fmin" : "fmax") << "("
+          << refExpr(d.a, CClass::F64) << ", " << refExpr(d.b, CClass::F64)
+          << ");";
+        return;
+      }
+      b << "{ int64_t a = " << refExpr(d.a, CClass::I64) << "; int64_t b = "
+        << refExpr(d.b, CClass::I64) << "; " << dst << " = "
+        << (isMin ? "(a < b ? a : b)" : "(a > b ? a : b)") << "; }";
+      return;
+    }
+    case Builtin::IAbs:
+      b << "{ int64_t a = " << refExpr(d.a, CClass::I64) << "; " << dst
+        << " = (a < 0 ? -a : a); }";
+      return;
+    case Builtin::Mul24:
+      b << "{ int32_t a = (int32_t)(" << refExpr(d.a, CClass::I64)
+        << "); int32_t b = (int32_t)(" << refExpr(d.b, CClass::I64) << "); "
+        << dst << " = (int64_t)(int32_t)(a * b); }";
+      return;
+    case Builtin::Mad24:
+      b << "{ int32_t a = (int32_t)(" << refExpr(d.a, CClass::I64)
+        << "); int32_t b = (int32_t)(" << refExpr(d.b, CClass::I64)
+        << "); int32_t c = (int32_t)(" << refExpr(d.c, CClass::I64) << "); "
+        << dst << " = (int64_t)(int32_t)(a * b + c); }";
+      return;
+    case Builtin::Clamp: {
+      if (isFp) {
+        b << dst << " = fmin(fmax(" << refExpr(d.a, CClass::F64) << ", "
+          << refExpr(d.b, CClass::F64) << "), " << refExpr(d.c, CClass::F64)
+          << ");";
+        return;
+      }
+      b << "{ int64_t x = " << refExpr(d.a, CClass::I64) << "; int64_t lo = "
+        << refExpr(d.b, CClass::I64) << "; int64_t hi = "
+        << refExpr(d.c, CClass::I64)
+        << "; int64_t m = (x > lo ? x : lo); " << dst
+        << " = (m < hi ? m : hi); }";
+      return;
+    }
+    case Builtin::Dot: {
+      const unsigned lanes = refLanes(d.a);
+      if (lanes < 1 || lanes > 4) {
+        refuse("dot with unsupported lane count");
+        return;
+      }
+      // Float accumulator, one rounding per step — exactly execMathCall.
+      b << "{ vf_t a = " << refExpr(d.a, CClass::VecF) << "; vf_t b = "
+        << refExpr(d.b, CClass::VecF)
+        << "; float acc = 0.0f; int i; for (i = 0; i < "
+        << lanes << "; ++i) acc += (float)a.v[i] * (float)b.v[i]; " << dst
+        << " = (double)acc; }";
+      return;
+    }
+    default:
+      refuse("unsupported math builtin");
+  }
+}
+
+void Emitter::emitInst(std::uint32_t pc, const DInst& d,
+                       std::ostringstream& b) {
+  switch (d.op) {
+    case DOp::BinInt: {
+      bool opOk = true;
+      const std::string expr =
+          intOpExpr(static_cast<BinaryOp>(d.sub), &opOk);
+      if (!opOk) { refuse("bad int opcode"); return; }
+      b << "{ int64_t a = " << refExpr(d.a, CClass::I64) << "; int64_t b = "
+        << refExpr(d.b, CClass::I64) << "; "
+        << slotLhs(d.dest, CClass::I64) << " = "
+        << finalize(d.tkind, expr) << "; }";
+      return;
+    }
+    case DOp::BinFloat: {
+      bool opOk = true;
+      const std::string expr = floatOpExpr(static_cast<BinaryOp>(d.sub),
+                                           d.tkind == TypeKind::Float, &opOk);
+      if (!opOk) { refuse("bad float opcode"); return; }
+      b << "{ double a = " << refExpr(d.a, CClass::F64) << "; double b = "
+        << refExpr(d.b, CClass::F64) << "; "
+        << slotLhs(d.dest, CClass::F64) << " = " << expr << "; }";
+      return;
+    }
+    case DOp::BinVecInt: {
+      bool opOk = true;
+      const std::string expr =
+          intOpExpr(static_cast<BinaryOp>(d.sub), &opOk);
+      if (!opOk) { refuse("bad int opcode"); return; }
+      b << "{ vi_t l = " << refExpr(d.a, CClass::VecI) << "; vi_t r = "
+        << refExpr(d.b, CClass::VecI)
+        << "; vi_t o; int i; for (i = 0; i < " << unsigned{d.lanes}
+        << "; ++i) { int64_t a = l.v[i]; int64_t b = r.v[i]; o.v[i] = "
+        << finalize(d.tkind, expr) << "; } "
+        << slotLhs(d.dest, CClass::VecI) << " = o; }";
+      return;
+    }
+    case DOp::BinVecFloat: {
+      bool opOk = true;
+      const std::string expr = floatOpExpr(static_cast<BinaryOp>(d.sub),
+                                           d.tkind == TypeKind::Float, &opOk);
+      if (!opOk) { refuse("bad float opcode"); return; }
+      b << "{ vf_t l = " << refExpr(d.a, CClass::VecF) << "; vf_t r = "
+        << refExpr(d.b, CClass::VecF)
+        << "; vf_t o; int i; for (i = 0; i < " << unsigned{d.lanes}
+        << "; ++i) { double a = l.v[i]; double b = r.v[i]; o.v[i] = "
+        << expr << "; } " << slotLhs(d.dest, CClass::VecF) << " = o; }";
+      return;
+    }
+    case DOp::ICmp: {
+      bool opOk = true;
+      const std::string expr =
+          cmpExpr(static_cast<CmpPred>(d.sub), false, &opOk);
+      if (!opOk) { refuse("bad icmp predicate"); return; }
+      b << "{ int64_t a = " << refExpr(d.a, CClass::I64) << "; int64_t b = "
+        << refExpr(d.b, CClass::I64) << "; "
+        << slotLhs(d.dest, CClass::I64) << " = (" << expr << ") ? 1 : 0; }";
+      return;
+    }
+    case DOp::FCmp: {
+      bool opOk = true;
+      const std::string expr =
+          cmpExpr(static_cast<CmpPred>(d.sub), true, &opOk);
+      if (!opOk) { refuse("bad fcmp predicate"); return; }
+      b << "{ double a = " << refExpr(d.a, CClass::F64) << "; double b = "
+        << refExpr(d.b, CClass::F64) << "; "
+        << slotLhs(d.dest, CClass::I64) << " = (" << expr << ") ? 1 : 0; }";
+      return;
+    }
+    case DOp::Cast: {
+      const auto castOp = static_cast<CastOp>(d.sub);
+      const bool fpResult = castOp == CastOp::SIToFP ||
+                            castOp == CastOp::UIToFP ||
+                            castOp == CastOp::FPExt ||
+                            castOp == CastOp::FPTrunc;
+      const std::string dst =
+          slotLhs(d.dest, fpResult ? CClass::F64 : CClass::I64);
+      switch (castOp) {
+        case CastOp::SExt:
+        case CastOp::Trunc:
+          b << dst << " = "
+            << finalize(d.tkind, refExpr(d.a, CClass::I64)) << ";";
+          return;
+        case CastOp::ZExt: {
+          std::string raw = refExpr(d.a, CClass::I64);
+          if (d.srcKind == TypeKind::Bool) {
+            raw = "((" + raw + ") & 1)";
+          } else if (d.srcKind == TypeKind::Int32) {
+            raw = "((int64_t)(uint32_t)(" + raw + "))";
+          }
+          b << dst << " = " << finalize(d.tkind, raw) << ";";
+          return;
+        }
+        case CastOp::SIToFP:
+        case CastOp::UIToFP: {
+          // Both convert the *signed* int64 payload (interpreter quirk).
+          const std::string x = refExpr(d.a, CClass::I64);
+          if (d.tkind == TypeKind::Float) {
+            b << dst << " = (double)(float)(double)(" << x << ");";
+          } else {
+            b << dst << " = (double)(" << x << ");";
+          }
+          return;
+        }
+        case CastOp::FPToSI:
+          b << dst << " = "
+            << finalize(d.tkind,
+                        "(int64_t)(" + refExpr(d.a, CClass::F64) + ")")
+            << ";";
+          return;
+        case CastOp::FPExt:
+          b << dst << " = " << refExpr(d.a, CClass::F64) << ";";
+          return;
+        case CastOp::FPTrunc:
+          b << dst << " = (double)(float)(" << refExpr(d.a, CClass::F64)
+            << ");";
+          return;
+      }
+      refuse("bad cast opcode");
+      return;
+    }
+    case DOp::Select: {
+      const CClass dc = cls_[static_cast<std::size_t>(d.dest)];
+      if (dc == CClass::None) { refuse("select with no class"); return; }
+      b << slotLhs(d.dest, dc) << " = ((" << refExpr(d.a, CClass::I64)
+        << ") != 0) ? " << refExpr(d.b, dc) << " : " << refExpr(d.c, dc)
+        << ";";
+      return;
+    }
+    case DOp::Gep:
+      if (d.a < 0) { refuse("gep on constant pointer"); return; }
+      b << "{ ptr_t p = " << refExpr(d.a, CClass::Ptr) << "; p.off += ("
+        << refExpr(d.b, CClass::I64) << ") * (int64_t)" << d.elemSize
+        << "; " << slotLhs(d.dest, CClass::Ptr) << " = p; }";
+      return;
+    case DOp::Load: {
+      if (d.a < 0) { refuse("load through constant pointer"); return; }
+      b << "{ ptr_t p = " << refExpr(d.a, CClass::Ptr)
+        << "; if (p.off < 0 || (uint64_t)p.off + " << d.memSize
+        << " > p.lim) " << fault(errOob_)
+        << " const unsigned char* m = p.base + p.off; ";
+      if (d.lanes == 0) {
+        const bool fpLoad =
+            d.tkind == TypeKind::Float || d.tkind == TypeKind::Double;
+        const std::string dst =
+            slotLhs(d.dest, fpLoad ? CClass::F64 : CClass::I64);
+        switch (d.tkind) {
+          case TypeKind::Bool:
+            b << dst << " = (m[0] != 0) ? 1 : 0;";
+            break;
+          case TypeKind::Int32:
+            b << "int32_t t; memcpy(&t, m, 4); " << dst << " = (int64_t)t;";
+            break;
+          case TypeKind::Int64:
+            b << "int64_t t; memcpy(&t, m, 8); " << dst << " = t;";
+            break;
+          case TypeKind::Float:
+            b << "float t; memcpy(&t, m, 4); " << dst << " = (double)t;";
+            break;
+          case TypeKind::Double:
+            b << "double t; memcpy(&t, m, 8); " << dst << " = t;";
+            break;
+          default:
+            refuse("load of unsupported type");
+            return;
+        }
+        b << " }";
+        return;
+      }
+      const bool asFloat = d.elemIsFloat;
+      b << (asFloat ? "vf_t" : "vi_t") << " o = {{0, 0, 0, 0}}; int i; "
+        << "for (i = 0; i < " << unsigned{d.lanes} << "; ++i) { ";
+      switch (d.tkind) {
+        case TypeKind::Bool:
+          b << "o.v[i] = (m[i * " << d.elemSize << "] != 0) ? 1 : 0;";
+          break;
+        case TypeKind::Int32:
+          b << "int32_t t; memcpy(&t, m + i * " << d.elemSize
+            << ", 4); o.v[i] = (int64_t)t;";
+          break;
+        case TypeKind::Int64:
+          b << "int64_t t; memcpy(&t, m + i * " << d.elemSize
+            << ", 8); o.v[i] = t;";
+          break;
+        case TypeKind::Float:
+          b << "float t; memcpy(&t, m + i * " << d.elemSize
+            << ", 4); o.v[i] = (double)t;";
+          break;
+        case TypeKind::Double:
+          b << "double t; memcpy(&t, m + i * " << d.elemSize
+            << ", 8); o.v[i] = t;";
+          break;
+        default:
+          refuse("load of unsupported type");
+          return;
+      }
+      b << " } "
+        << slotLhs(d.dest, asFloat ? CClass::VecF : CClass::VecI)
+        << " = o; }";
+      return;
+    }
+    case DOp::Store: {
+      if (d.b < 0) { refuse("store through constant pointer"); return; }
+      b << "{ ptr_t p = " << refExpr(d.b, CClass::Ptr)
+        << "; if (p.off < 0 || (uint64_t)p.off + " << d.memSize
+        << " > p.lim) " << fault(errOob_)
+        << " unsigned char* m = p.base + p.off; ";
+      auto writeScalar = [&](const std::string& iexpr,
+                             const std::string& fexpr,
+                             const std::string& at) {
+        switch (d.tkind) {
+          case TypeKind::Bool:
+            b << "unsigned char t = ((" << iexpr
+              << ") != 0) ? 1 : 0; memcpy(" << at << ", &t, 1);";
+            return true;
+          case TypeKind::Int32:
+            b << "int32_t t = (int32_t)(" << iexpr << "); memcpy(" << at
+              << ", &t, 4);";
+            return true;
+          case TypeKind::Int64:
+            b << "int64_t t = " << iexpr << "; memcpy(" << at
+              << ", &t, 8);";
+            return true;
+          case TypeKind::Float:
+            b << "float t = (float)(" << fexpr << "); memcpy(" << at
+              << ", &t, 4);";
+            return true;
+          case TypeKind::Double:
+            b << "double t = " << fexpr << "; memcpy(" << at << ", &t, 8);";
+            return true;
+          default:
+            refuse("store of unsupported type");
+            return false;
+        }
+      };
+      if (d.lanes == 0) {
+        const bool isFloat =
+            d.tkind == TypeKind::Float || d.tkind == TypeKind::Double;
+        const std::string v =
+            refExpr(d.a, isFloat ? CClass::F64 : CClass::I64);
+        if (!writeScalar(v, v, "m")) return;
+        b << " }";
+        return;
+      }
+      const bool asFloat =
+          d.tkind == TypeKind::Float || d.tkind == TypeKind::Double;
+      b << (asFloat ? "vf_t" : "vi_t") << " a = "
+        << refExpr(d.a, asFloat ? CClass::VecF : CClass::VecI)
+        << "; int i; for (i = 0; i < " << unsigned{d.lanes} << "; ++i) { ";
+      const std::string at = "m + i * " + std::to_string(d.elemSize);
+      if (!writeScalar("a.v[i]", "a.v[i]", at)) return;
+      b << " } }";
+      return;
+    }
+    case DOp::Alloca: {
+      if (d.a >= 0) { refuse("alloca with non-constant pointer"); return; }
+      const RtValue& rv = dk_.constant(-d.a - 1);
+      if (rv.ptr.space == AddrSpace::Local) {
+        b << slotLhs(d.dest, CClass::Ptr) << " = (ptr_t){ lmem, LMEM_SIZE, "
+          << rv.ptr.offset << " };";
+      } else if (rv.ptr.space == AddrSpace::Private) {
+        b << slotLhs(d.dest, CClass::Ptr) << " = (ptr_t){ w->priv, PRIV_SIZE, "
+          << rv.ptr.offset << " };";
+      } else {
+        refuse("alloca in unsupported address space");
+      }
+      return;
+    }
+    case DOp::IdQuery: {
+      const auto builtin = static_cast<Builtin>(d.sub);
+      const std::string dst = slotLhs(d.dest, CClass::I64);
+      if (builtin == Builtin::GetWorkDim) {
+        b << dst << " = DIMS;";
+        return;
+      }
+      b << "{ int64_t dv = " << refExpr(d.a, CClass::I64)
+        << "; unsigned dim = (dv >= 0 && dv < 3) ? (unsigned)dv : 3u; ";
+      switch (builtin) {
+        case Builtin::GetGlobalId:
+          b << dst << " = (dim >= 3) ? 0 : (int64_t)grp[dim] * "
+            << "(int64_t)LOC[dim] + (int64_t)w->lid[dim];";
+          break;
+        case Builtin::GetLocalId:
+          b << dst << " = (dim < 3) ? (int64_t)w->lid[dim] : 0;";
+          break;
+        case Builtin::GetGroupId:
+          b << dst << " = (dim < 3) ? (int64_t)grp[dim] : 0;";
+          break;
+        case Builtin::GetGlobalSize:
+          b << dst << " = (dim < 3) ? (int64_t)GLB[dim] : 1;";
+          break;
+        case Builtin::GetLocalSize:
+          b << dst << " = (dim < 3) ? (int64_t)LOC[dim] : 1;";
+          break;
+        case Builtin::GetNumGroups:
+          b << dst << " = (dim < 3) ? (int64_t)NGR[dim] : 1;";
+          break;
+        default:
+          refuse("unsupported id query");
+          return;
+      }
+      b << " }";
+      return;
+    }
+    case DOp::MathCall:
+      emitMathCall(d, b);
+      return;
+    case DOp::ExtractElement: {
+      const unsigned lanes = refLanes(d.a);
+      if (lanes < 1) { refuse("extractelement from non-vector"); return; }
+      const CClass vc = d.a >= 0
+                            ? cls_[static_cast<std::size_t>(d.a)]
+                            : (dk_.constant(-d.a - 1).kind ==
+                                       RtValue::Kind::VecFloat
+                                   ? CClass::VecF
+                                   : CClass::VecI);
+      if (vc != CClass::VecI && vc != CClass::VecF) {
+        refuse("extractelement from non-vector");
+        return;
+      }
+      const CClass dc = cls_[static_cast<std::size_t>(d.dest)];
+      if (dc != (vc == CClass::VecF ? CClass::F64 : CClass::I64)) {
+        refuse("extractelement result class mismatch");
+        return;
+      }
+      b << "{ " << (vc == CClass::VecF ? "vf_t" : "vi_t") << " v = "
+        << refExpr(d.a, vc) << "; int64_t l = " << refExpr(d.b, CClass::I64)
+        << "; if ((uint64_t)l >= " << lanes << ") " << fault(errLaneEx_)
+        << " " << slotLhs(d.dest, dc) << " = v.v[l]; }";
+      return;
+    }
+    case DOp::InsertElement: {
+      const CClass oc = d.elemIsFloat ? CClass::VecF : CClass::VecI;
+      const unsigned srcLanes = refLanes(d.a);
+      std::string init;
+      if (srcLanes <= 1) {
+        // Scalar/undef operand: fresh zero vector of the result shape.
+        init = "{{0, 0, 0, 0}}";
+      } else {
+        const CClass ac = d.a >= 0
+                              ? cls_[static_cast<std::size_t>(d.a)]
+                              : (dk_.constant(-d.a - 1).kind ==
+                                         RtValue::Kind::VecFloat
+                                     ? CClass::VecF
+                                     : CClass::VecI);
+        if (ac != oc) { refuse("insertelement class mismatch"); return; }
+        init = refExpr(d.a, oc);
+      }
+      const unsigned outLanes = srcLanes <= 1 ? d.lanes : srcLanes;
+      b << "{ " << (oc == CClass::VecF ? "vf_t" : "vi_t") << " o = " << init
+        << "; int64_t l = " << refExpr(d.c, CClass::I64)
+        << "; if ((uint64_t)l >= " << outLanes << ") " << fault(errLaneIn_)
+        << " o.v[l] = "
+        << refExpr(d.b, oc == CClass::VecF ? CClass::F64 : CClass::I64)
+        << "; " << slotLhs(d.dest, oc) << " = o; }";
+      return;
+    }
+    case DOp::Br:
+      emitEdge(d.imm, b);
+      return;
+    case DOp::CondBr:
+      b << "if ((" << refExpr(d.a, CClass::I64) << ") != 0) ";
+      emitEdge(d.b, b);
+      b << " else ";
+      emitEdge(d.c, b);
+      return;
+    case DOp::Ret:
+      b << "w->status = 2; return 0;";
+      return;
+    case DOp::Barrier: {
+      const int id = barrierIds_.at(pc);
+      b << "w->resume = " << id << "; w->status = 1; return " << id
+        << ";\nRB" << id << ": ;";
+      return;
+    }
+    case DOp::Trap:
+      b << fault(static_cast<int>(d.imm));
+      return;
+  }
+  refuse("bad decoded opcode");
+}
+
+Lowered Emitter::run() {
+  Lowered out;
+
+  // Message table: the decoded trap table first (so DInst::imm indexes
+  // stay valid), then the native runtime's own fault messages.
+  messages_ = dk_.messages();
+  errOob_ = addMsg("out-of-bounds memory access (native kernel)");
+  errLaneEx_ = addMsg("extractelement lane OOB");
+  errLaneIn_ = addMsg("insertelement lane OOB");
+  errDivergeDiff_ = addMsg(
+      "barrier divergence: work-items stopped at different barriers");
+  errDivergeMix_ = addMsg(
+      "barrier divergence: some work-items returned while others wait");
+  errAlloc_ = addMsg("native kernel: arena allocation failed");
+  errResume_ = addMsg("native kernel: corrupt resume state");
+
+  classifySlots();
+  if (!ok_) {
+    out.reason = reason_;
+    return out;
+  }
+
+  // Control-flow labels and barrier resume ids, in pc order.
+  labels_.insert(dk_.entryPc());
+  for (std::size_t pc = 0; pc < dk_.codeSize(); ++pc) {
+    const DInst& d = dk_.code()[pc];
+    if (d.op == DOp::Br) {
+      labels_.insert(dk_.edge(d.imm).targetPc);
+    } else if (d.op == DOp::CondBr) {
+      labels_.insert(dk_.edge(d.b).targetPc);
+      labels_.insert(dk_.edge(d.c).targetPc);
+    } else if (d.op == DOp::Barrier) {
+      const int id = static_cast<int>(barrierIds_.size()) + 1;
+      barrierIds_[static_cast<std::uint32_t>(pc)] = id;
+    }
+  }
+
+  // Body first: emitting it populates vector-constant definitions and may
+  // refuse; the preamble is assembled afterwards.
+  std::ostringstream body;
+  for (std::size_t pc = 0; pc < dk_.codeSize() && ok_; ++pc) {
+    if (labels_.count(static_cast<std::uint32_t>(pc)) != 0) {
+      body << "L" << pc << ": ;\n";
+    }
+    body << "  ";
+    emitInst(static_cast<std::uint32_t>(pc), dk_.code()[pc], body);
+    body << "\n";
+  }
+  if (!ok_) {
+    out.reason = reason_;
+    return out;
+  }
+
+  const rt::NDRange& range = image_.range();
+  const auto numGroups = range.numGroups();
+  const std::uint64_t groupSize = range.groupSize();
+
+  // Argument marshalling plan, in argument order (mirrors KernelImage:
+  // pointer args bind buffers in order; scalars split by int/float).
+  const ir::Function& fn = image_.function();
+  std::ostringstream argInit;
+  for (unsigned i = 0; i < fn.numArgs(); ++i) {
+    const ir::Argument* arg = fn.arg(i);
+    const unsigned slot = arg->slot();
+    if (arg->type()->isPointer()) {
+      argInit << "    w->s" << slot << " = (ptr_t){ bufs[" << out.numBufferArgs
+              << "], bufn[" << out.numBufferArgs << "], 0 };\n";
+      ++out.numBufferArgs;
+    } else if (arg->type()->isInteger()) {
+      argInit << "    w->s" << slot << " = iargs[" << out.numIntArgs
+              << "];\n";
+      ++out.numIntArgs;
+    } else if (arg->type()->isFloatingPoint()) {
+      argInit << "    w->s" << slot << " = dargs[" << out.numFloatArgs
+              << "];\n";
+      ++out.numFloatArgs;
+    } else {
+      refuse("argument of unsupported type");
+      out.reason = reason_;
+      return out;
+    }
+  }
+
+  std::ostringstream src;
+  src << "/* Generated by grover::native::lowerKernel for kernel '"
+      << fn.name() << "'.\n"
+      << " * Compile with: " << kRequiredCFlags << " (see lower.h).\n"
+      << " */\n"
+      << "#include <stdint.h>\n#include <stdlib.h>\n#include <string.h>\n"
+      << "#include <math.h>\n\n"
+      << "typedef struct { int64_t v[4]; } vi_t;\n"
+      << "typedef struct { double v[4]; } vf_t;\n"
+      << "typedef struct { unsigned char* base; uint64_t lim; int64_t off; }"
+         " ptr_t;\n\n";
+
+  src << "static const uint32_t LOC[3] = { " << range.local[0] << "u, "
+      << range.local[1] << "u, " << range.local[2] << "u };\n"
+      << "static const uint32_t GLB[3] = { " << range.global[0] << "u, "
+      << range.global[1] << "u, " << range.global[2] << "u };\n"
+      << "static const uint32_t NGR[3] = { " << numGroups[0] << "u, "
+      << numGroups[1] << "u, " << numGroups[2] << "u };\n"
+      << "#define DIMS " << range.dims << "\n"
+      << "#define LMEM_SIZE UINT64_C(" << image_.localArenaSize() << ")\n"
+      << "#define PRIV_SIZE UINT64_C(" << image_.privateArenaSize() << ")\n"
+      << "#define GROUP_SIZE " << groupSize << "u\n\n";
+
+  src << vecConstDefs_.str() << "\n";
+
+  src << "typedef struct {\n";
+  for (std::size_t s = 0; s < cls_.size(); ++s) {
+    if (cls_[s] == CClass::None) continue;
+    src << "  " << typeName(cls_[s]) << " s" << s << ";\n";
+  }
+  src << "  uint32_t resume;\n  uint32_t status;\n  uint32_t lid[3];\n"
+      << "  uint32_t linear;\n  unsigned char* priv;\n} wi_t;\n\n";
+
+  // One work-item until return (0), barrier (id > 0), or fault (< 0).
+  src << "static int wi_run(wi_t* restrict w, unsigned char* restrict lmem,\n"
+      << "                  uint32_t gx, uint32_t gy, uint32_t gz) {\n"
+      << "  const uint32_t grp[3] = { gx, gy, gz };\n"
+      << "  (void)grp; (void)lmem;\n"
+      << "  switch (w->resume) {\n"
+      << "  case 0: goto L" << dk_.entryPc() << ";\n";
+  for (const auto& [pc, id] : barrierIds_) {
+    (void)pc;
+    src << "  case " << id << ": goto RB" << id << ";\n";
+  }
+  src << "  default: return -" << (errResume_ + 1) << ";\n  }\n"
+      << body.str() << "}\n\n";
+
+  // One work-group: pass-based execution with the interpreter's barrier
+  // convergence rules (all live items must stop at the same barrier).
+  src << "static int run_group(uint32_t gx, uint32_t gy, uint32_t gz,\n"
+      << "                     wi_t* ws, unsigned char* lmem,\n"
+      << "                     unsigned char* priv, unsigned char** bufs,\n"
+      << "                     const uint64_t* bufn, const int64_t* iargs,\n"
+      << "                     const double* dargs) {\n"
+      << "  (void)bufs; (void)bufn; (void)iargs; (void)dargs;\n"
+      << "  uint32_t i, lx, ly, lz, linear = 0;\n"
+      << "  memset(lmem, 0, (size_t)LMEM_SIZE);\n"
+      << "  for (lz = 0; lz < LOC[2]; ++lz)\n"
+      << "  for (ly = 0; ly < LOC[1]; ++ly)\n"
+      << "  for (lx = 0; lx < LOC[0]; ++lx) {\n"
+      << "    wi_t* w = &ws[linear];\n"
+      << "    memset(w, 0, sizeof(wi_t));\n"
+      << "    w->lid[0] = lx; w->lid[1] = ly; w->lid[2] = lz;\n"
+      << "    w->linear = linear;\n"
+      << "    w->priv = priv + (uint64_t)linear * PRIV_SIZE;\n"
+      << "    memset(w->priv, 0, (size_t)PRIV_SIZE);\n"
+      << argInit.str()
+      << "    ++linear;\n"
+      << "  }\n"
+      << "  for (;;) {\n"
+      << "    uint32_t done = 0, nbar = 0, have = 0, bid = 0;\n"
+      << "    for (i = 0; i < GROUP_SIZE; ++i) {\n"
+      << "      if (ws[i].status == 2) continue;\n"
+      << "      int rc = wi_run(&ws[i], lmem, gx, gy, gz);\n"
+      << "      if (rc < 0) return rc;\n"
+      << "    }\n"
+      << "    for (i = 0; i < GROUP_SIZE; ++i) {\n"
+      << "      if (ws[i].status == 2) { ++done; continue; }\n"
+      << "      ++nbar;\n"
+      << "      if (!have) { have = 1; bid = ws[i].resume; }\n"
+      << "      else if (bid != ws[i].resume) return -"
+      << (errDivergeDiff_ + 1) << ";\n"
+      << "    }\n"
+      << "    if (nbar == 0) break;\n"
+      << "    if (done != 0) return -" << (errDivergeMix_ + 1) << ";\n"
+      << "    for (i = 0; i < GROUP_SIZE; ++i) ws[i].status = 0;\n"
+      << "  }\n"
+      << "  return 0;\n"
+      << "}\n\n";
+
+  src << "int " << kEntrySymbol
+      << "(unsigned char** bufs, const uint64_t* bufn,\n"
+      << "    const int64_t* iargs, const double* dargs) {\n"
+      << "  wi_t* ws = (wi_t*)malloc(sizeof(wi_t) * GROUP_SIZE);\n"
+      << "  unsigned char* lmem = (unsigned char*)malloc(\n"
+      << "      LMEM_SIZE ? (size_t)LMEM_SIZE : 1);\n"
+      << "  unsigned char* priv = (unsigned char*)malloc(\n"
+      << "      PRIV_SIZE * GROUP_SIZE ? (size_t)(PRIV_SIZE * GROUP_SIZE)"
+         " : 1);\n"
+      << "  int rc = 0;\n"
+      << "  uint32_t gx, gy, gz;\n"
+      << "  if (!ws || !lmem || !priv) rc = -" << (errAlloc_ + 1) << ";\n"
+      << "  for (gz = 0; rc == 0 && gz < NGR[2]; ++gz)\n"
+      << "  for (gy = 0; rc == 0 && gy < NGR[1]; ++gy)\n"
+      << "  for (gx = 0; rc == 0 && gx < NGR[0]; ++gx)\n"
+      << "    rc = run_group(gx, gy, gz, ws, lmem, priv, bufs, bufn,\n"
+      << "                   iargs, dargs);\n"
+      << "  free(priv); free(lmem); free(ws);\n"
+      << "  return rc;\n"
+      << "}\n";
+
+  out.ok = true;
+  out.cSource = src.str();
+  out.messages = std::move(messages_);
+  return out;
+}
+
+}  // namespace
+
+Lowered lowerKernel(const rt::KernelImage& image) {
+  Emitter emitter(image);
+  return emitter.run();
+}
+
+}  // namespace grover::native

@@ -1,0 +1,70 @@
+// Native lowering: translate one pre-decoded kernel (rt/decode.h flat
+// instruction stream) into a self-contained C99 translation unit that
+// executes the whole ND-range as plain nested loops (DESIGN.md §11).
+//
+// Layout of the generated code:
+//   - one `wi_t` struct per work-item holding every live SSA slot as a
+//     typed field (int64_t / double / 4-lane vector / fat pointer),
+//   - `wi_run()` advances one work-item until it returns or reaches a
+//     barrier; barriers become resume points (`switch (w->resume)` +
+//     labels), which is loop fission in resumable form and handles
+//     barriers under arbitrary control flow,
+//   - `run_group()` re-runs all work-items pass by pass with the exact
+//     same barrier-convergence rules as rt::GroupExecutor,
+//   - the exported entry walks every group serially with locals as one
+//     heap-backed arena per group (zeroed, like the interpreter).
+//
+// The generated code is bit-exact against the decoded interpreter by
+// construction: every arithmetic expression mirrors rt/interpreter.cpp
+// (finalizeInt truncation points, float-vs-double precision rules, libm
+// call shapes) and must be compiled with -fwrapv -fno-fast-math
+// -ffp-contract=off (native::kRequiredCFlags).
+//
+// Lowering is total-or-refused: any construct whose interpreter semantics
+// cannot be reproduced exactly in typed C (class-mismatched operands,
+// non-finite float literals, pointer constants outside alloca) yields
+// ok == false with a reason, and callers fall back to the interpreter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/interpreter.h"
+
+namespace grover::native {
+
+/// Flags every generated TU must be compiled with for bit-exactness.
+inline constexpr const char* kRequiredCFlags =
+    "-O2 -fPIC -shared -fwrapv -fno-fast-math -ffp-contract=off "
+    "-fno-strict-aliasing -w";
+
+/// Exported entry point of a lowered kernel.
+///   bufs/bufn: one pointer+byte-size per pointer argument, in argument
+///              order (matching rt::KernelImage::buffers()).
+///   iargs/dargs: scalar int / float arguments, each in argument order.
+/// Returns 0 on success or -(messageIndex + 1) on a runtime fault.
+inline constexpr const char* kEntrySymbol = "grover_native_main";
+using EntryFn = int (*)(unsigned char** bufs, const std::uint64_t* bufn,
+                        const std::int64_t* iargs, const double* dargs);
+
+struct Lowered {
+  bool ok = false;
+  /// Why lowering was refused (ok == false).
+  std::string reason;
+  /// The complete C translation unit (ok == true).
+  std::string cSource;
+  /// Fault messages; a negative entry-point return rc maps to
+  /// messages[-rc - 1]. Prefix is the decoded kernel's own trap table.
+  std::vector<std::string> messages;
+  /// Argument-marshalling counts the host must satisfy.
+  unsigned numBufferArgs = 0;
+  unsigned numIntArgs = 0;
+  unsigned numFloatArgs = 0;
+};
+
+/// Lower `image` (function + ND-range + argument shapes; the range and
+/// arena sizes are baked into the generated code as constants). Never
+/// throws for unsupported IR — returns ok == false instead.
+[[nodiscard]] Lowered lowerKernel(const rt::KernelImage& image);
+
+}  // namespace grover::native

@@ -1,0 +1,105 @@
+#include "perf/measure.h"
+
+#include <chrono>
+#include <memory>
+
+#include "grovercl/harness.h"
+#include "native/engine.h"
+#include "support/diagnostics.h"
+
+namespace grover::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Minimum execution wall time of one variant over the configured
+/// repetitions. Each repetition runs on a fresh dataset instance so no
+/// iteration observes a previous run's outputs; instance construction and
+/// image decoding stay outside the timed region.
+double timeVariant(const apps::Application& app, ir::Function& fn,
+                   const std::shared_ptr<const native::CompiledKernel>& native,
+                   const MeasureOptions& options) {
+  const unsigned total = options.warmup + std::max(1U, options.repetitions);
+  double best = -1;
+  for (unsigned rep = 0; rep < total; ++rep) {
+    apps::Instance instance = app.makeInstance(options.scale);
+    double ms = 0;
+    if (native != nullptr) {
+      rt::KernelImage image(fn, instance.range, instance.args);
+      const auto t0 = Clock::now();
+      native->execute(image);
+      ms = msSince(t0);
+    } else {
+      rt::Launch launch(fn, instance.range, instance.args);
+      const auto t0 = Clock::now();
+      launch.run(options.threads);
+      ms = msSince(t0);
+    }
+    if (rep < options.warmup) continue;
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+Measurement measure(const apps::Application& app,
+                    const MeasureOptions& options) {
+  Measurement m;
+  try {
+    KernelPair pair = prepareKernelPair(app, options.validate);
+
+    // Engine parity: use the native path only when *both* variants lower
+    // and compile; a mixed comparison would skew the ratio.
+    std::shared_ptr<const native::CompiledKernel> nativeWith;
+    std::shared_ptr<const native::CompiledKernel> nativeWithout;
+    if (options.allowNative) {
+      const auto t0 = Clock::now();
+      native::NativeEngine& engine = native::NativeEngine::shared();
+      apps::Instance shape = app.makeInstance(options.scale);
+      rt::KernelImage imageWith(*pair.originalKernel, shape.range,
+                                shape.args);
+      std::string reason;
+      nativeWith = engine.prepare(imageWith, reason);
+      if (nativeWith != nullptr) {
+        apps::Instance shape2 = app.makeInstance(options.scale);
+        rt::KernelImage imageWithout(*pair.transformedKernel, shape2.range,
+                                     shape2.args);
+        nativeWithout = engine.prepare(imageWithout, reason);
+      }
+      if (nativeWith == nullptr || nativeWithout == nullptr) {
+        nativeWith.reset();
+        nativeWithout.reset();
+        m.nativeFallbackReason = reason;
+      }
+      m.prepareMs = msSince(t0);
+    } else {
+      m.nativeFallbackReason = "native path disabled by options";
+    }
+    m.usedNative = nativeWith != nullptr;
+
+    m.msWithLM = timeVariant(app, *pair.originalKernel, nativeWith, options);
+    m.msWithoutLM =
+        timeVariant(app, *pair.transformedKernel, nativeWithout, options);
+    if (m.msWithoutLM <= 0) {
+      // Sub-resolution timings: call the variants equal rather than
+      // dividing by zero.
+      m.measuredNp = 1;
+    } else {
+      m.measuredNp = m.msWithLM / m.msWithoutLM;
+    }
+    m.outcome = classify(m.measuredNp);
+    m.ok = true;
+  } catch (const GroverError& e) {
+    m.error = e.what();
+  }
+  return m;
+}
+
+}  // namespace grover::perf

@@ -1,0 +1,60 @@
+// Real measurement path (paper §VI "measured" columns): instead of the
+// trace-driven cycle *estimate*, execute both kernel versions for real and
+// time them. With the native backend available both variants run as
+// JIT-compiled machine code; otherwise both fall back to the decoded
+// interpreter — never one of each, so the with/without-LM ratio always
+// compares like against like.
+//
+// Timing follows the wall/iterations idiom of the SNIPPETS.md gflops
+// loops: warm-up runs first, then the minimum wall time over N timed
+// repetitions (minimum, not mean — scheduler noise only ever adds time).
+// Setup (compile, decode, dataset construction) is excluded; only kernel
+// execution is inside the timed region.
+#pragma once
+
+#include <string>
+
+#include "apps/app.h"
+#include "perf/estimator.h"
+
+namespace grover::perf {
+
+struct MeasureOptions {
+  /// Timed repetitions per variant; the minimum wall time is reported.
+  unsigned repetitions = 3;
+  /// Untimed warm-up executions per variant.
+  unsigned warmup = 1;
+  /// Permit the native backend (false forces the interpreter path).
+  bool allowNative = true;
+  /// Host threads for interpreter-path launches (0 = hardware).
+  unsigned threads = 1;
+  apps::Scale scale = apps::Scale::Test;
+  /// Run the post-Grover semantic validator while preparing the pair.
+  bool validate = false;
+};
+
+struct Measurement {
+  bool ok = false;
+  std::string error;  // when !ok
+  /// Minimum execution wall time per variant, milliseconds.
+  double msWithLM = 0;
+  double msWithoutLM = 0;
+  /// Measured np = timeWith / timeWithout (>1 → disabling LM wins),
+  /// directly comparable to the estimator's normalizedPerformance().
+  double measuredNp = 0;
+  Outcome outcome = Outcome::Similar;
+  /// True when both variants executed natively.
+  bool usedNative = false;
+  /// Why the native path was not used (empty when usedNative).
+  std::string nativeFallbackReason;
+  /// One-time lowering + JIT wall time (excluded from the timings).
+  double prepareMs = 0;
+};
+
+/// Measure both variants of `app`. Never throws for toolchain problems —
+/// degrades to the interpreter; returns ok == false only when the app
+/// itself fails to compile or execute.
+[[nodiscard]] Measurement measure(const apps::Application& app,
+                                  const MeasureOptions& options = {});
+
+}  // namespace grover::perf

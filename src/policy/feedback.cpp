@@ -7,7 +7,9 @@
 namespace grover::policy {
 
 Decision FeedbackLoop::recordMeasurement(std::uint64_t key,
-                                         double measuredNp) {
+                                         double measuredNp,
+                                         bool* newlyMismatched) {
+  if (newlyMismatched != nullptr) *newlyMismatched = false;
   // One lock around the whole read-modify-write: concurrent measurements
   // of the same key must not drop each other's EWMA contribution.
   std::lock_guard lock(mutex_);
@@ -43,15 +45,16 @@ Decision FeedbackLoop::recordMeasurement(std::uint64_t key,
       d.predictedNp > 0
           ? std::fabs(d.predictedNp - d.ewmaNp) / d.predictedNp
           : 0.0;
-  const bool newlyMismatched =
+  const bool crossed =
       !d.mismatch && relDiff > config_.mismatchTolerance;
-  if (newlyMismatched) d.mismatch = true;
+  if (crossed) d.mismatch = true;
 
   store_.store(key, d);
 
   ++stats_.measurements;
   if (flips) ++stats_.flips;
-  if (newlyMismatched) ++stats_.mismatches;
+  if (crossed) ++stats_.mismatches;
+  if (newlyMismatched != nullptr) *newlyMismatched = crossed;
   return d;
 }
 

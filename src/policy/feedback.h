@@ -37,8 +37,12 @@ class FeedbackLoop {
 
   /// Fold one measured np into the decision for `key` and persist the
   /// update. Unknown keys bootstrap a measurement-only decision (source
-  /// "feedback"). Returns the stored decision after the update.
-  Decision recordMeasurement(std::uint64_t key, double measuredNp);
+  /// "feedback"). Returns the stored decision after the update. When
+  /// `newlyMismatched` is non-null it is set to whether *this* call
+  /// crossed the mismatch tolerance (already-flagged entries report
+  /// false) — the service uses that edge to trigger re-estimation.
+  Decision recordMeasurement(std::uint64_t key, double measuredNp,
+                             bool* newlyMismatched = nullptr);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const FeedbackConfig& config() const { return config_; }

@@ -110,6 +110,11 @@ class DecodedKernel {
   [[nodiscard]] const std::string& message(std::int64_t index) const {
     return messages_[static_cast<std::size_t>(index)];
   }
+  /// Full trap-message table, index-aligned with DInst::imm — the native
+  /// lowering clones it so compiled kernels report the same diagnostics.
+  [[nodiscard]] const std::vector<std::string>& messages() const {
+    return messages_;
+  }
 
  private:
   std::vector<DInst> code_;

@@ -1,6 +1,7 @@
 #include "service/compile_service.h"
 
 #include <chrono>
+#include <cmath>
 
 #include "grovercl/compiler.h"
 #include "ir/printer.h"
@@ -104,12 +105,15 @@ CompileService::Future CompileService::submit(Request request) {
     // Memory probe under the service lock: the leader publishes to the
     // cache *before* leaving inflight_, so this order can never miss a
     // finished compilation (single-flight guarantee).
-    if (ArtifactPtr hit = cache_.get(key)) {
-      ++memory_hits_;
-      if (!hit->ok) ++negative_hits_;
-      std::promise<ArtifactPtr> ready;
-      ready.set_value(std::move(hit));
-      return ready.get_future().share();
+    {
+      StageTimer timer(cache_ns_);
+      if (ArtifactPtr hit = cache_.get(key)) {
+        ++memory_hits_;
+        if (!hit->ok) ++negative_hits_;
+        std::promise<ArtifactPtr> ready;
+        ready.set_value(std::move(hit));
+        return ready.get_future().share();
+      }
     }
     if (pending_ < config_.maxQueue) break;
     cv_capacity_.wait(lock);
@@ -126,11 +130,15 @@ CompileService::Future CompileService::submit(Request request) {
                 resolved = std::move(resolved)]() mutable {
     ArtifactPtr artifact;
     try {
-      artifact = cache_.loadFromDisk(key);
+      {
+        StageTimer timer(cache_ns_);
+        artifact = cache_.loadFromDisk(key);
+      }
       if (artifact != nullptr) {
         ++disk_hits_;
       } else {
         artifact = compileUncached(resolved);
+        StageTimer timer(cache_ns_);
         cache_.storeToDisk(key, *artifact);
       }
     } catch (const std::exception& e) {
@@ -141,7 +149,10 @@ CompileService::Future CompileService::submit(Request request) {
     // Publish to the cache and leave the in-flight map BEFORE completing
     // the future: anyone who observes the future done will find the
     // artifact in the cache, never a stale in-flight entry.
-    cache_.put(key, artifact);
+    {
+      StageTimer timer(cache_ns_);
+      cache_.put(key, artifact);
+    }
     {
       std::lock_guard relock(mutex_);
       inflight_.erase(key);
@@ -206,8 +217,14 @@ AutoResult CompileService::compileAuto(Request request) {
     out.decision = *warm;
     // A full artifact may already be cached for this exact request —
     // serving it is free and strictly more informative.
-    if (ArtifactPtr full = cache_.get(cacheKey(resolved))) {
-      out.artifact = full;
+    {
+      StageTimer timer(cache_ns_);
+      if (ArtifactPtr full = cache_.get(cacheKey(resolved))) {
+        out.artifact = full;
+      }
+    }
+    if (out.artifact != nullptr) {
+      maybeMeasure(resolved, out);
       return out;
     }
     // Warm fast path: build only the winning variant from the module we
@@ -215,15 +232,20 @@ AutoResult CompileService::compileAuto(Request request) {
     // losing variant, and no estimation at all.
     auto artifact = std::make_shared<Artifact>();
     if (warm->variant == policy::Variant::Transformed) {
-      StageTimer timer(grover_ns_);
       for (const auto& fn : program.module->functions()) {
         if (!fn->isKernel()) continue;
         if (!resolved.kernelName.empty() &&
             fn->name() != resolved.kernelName) {
           continue;
         }
-        grv::GroverResult result = grv::runGrover(*fn, resolved.options);
-        ir::verifyFunction(*fn);
+        grv::GroverResult result = [&] {
+          StageTimer timer(grover_ns_);
+          return grv::runGrover(*fn, resolved.options);
+        }();
+        {
+          StageTimer timer(validate_ns_);
+          ir::verifyFunction(*fn);
+        }
         artifact->report.anyTransformed |= result.anyTransformed;
         artifact->report.barriersRemoved |= result.barriersRemoved;
         for (auto& b : result.buffers) {
@@ -239,6 +261,7 @@ AutoResult CompileService::compileAuto(Request request) {
     // Deliberately NOT cache_.put(): the artifact is partial (one
     // variant, no estimate) and must not shadow full artifacts.
     out.artifact = std::move(artifact);
+    maybeMeasure(resolved, out);
     return out;
   }
 
@@ -254,12 +277,85 @@ AutoResult CompileService::compileAuto(Request request) {
     policy_store_.store(out.policyKey, out.decision);
     ++policy_stores_;
   }
+  maybeMeasure(resolved, out);
   return out;
+}
+
+void CompileService::maybeMeasure(const Request& resolved, AutoResult& out) {
+  if (!out.eligible || out.artifact == nullptr || !out.artifact->ok) return;
+  {
+    std::lock_guard lock(mutex_);
+    // Remember the request even when this one isn't sampled: a later
+    // recordMeasurement() mismatch needs it to re-run the pipeline.
+    auto_requests_[out.policyKey] = resolved;
+    if (config_.measureRate <= 0) return;
+    measure_accum_ += std::min(config_.measureRate, 1.0);
+    if (measure_accum_ < 1.0) return;
+    measure_accum_ -= 1.0;
+  }
+
+  perf::MeasureOptions opts = config_.measure;
+  opts.scale = resolved.scale;
+  perf::Measurement m;
+  {
+    StageTimer timer(execute_ns_);
+    m = perf::measure(apps::applicationById(resolved.appId), opts);
+  }
+  if (!m.ok) return;  // execution failure: keep the estimate-based decision
+  ++measurements_;
+  if (m.usedNative) ++native_measurements_;
+  out.decision = recordMeasurement(out.policyKey, m.measuredNp);
+  out.measured = true;
+  out.measurement = std::move(m);
 }
 
 policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
                                                    double measuredNp) {
-  return feedback_.recordMeasurement(policyKey, measuredNp);
+  bool newlyMismatched = false;
+  policy::Decision d =
+      feedback_.recordMeasurement(policyKey, measuredNp, &newlyMismatched);
+  if (!newlyMismatched) return d;
+
+  // The measurement just crossed the mismatch tolerance: the platform
+  // model's prediction disagrees with observed reality. Instead of
+  // leaving the entry flagged, re-run the estimation pipeline and
+  // refresh the decision — and when the fresh estimate *still* diverges
+  // from the measured EWMA, trust the measurement outright.
+  Request resolved;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = auto_requests_.find(policyKey);
+    if (it == auto_requests_.end()) return d;  // key never served here
+    resolved = it->second;
+  }
+  ArtifactPtr fresh;
+  try {
+    fresh = run(resolved);
+  } catch (const GroverError&) {
+    return d;  // service shut down mid-refresh; keep the flag
+  }
+  if (fresh == nullptr || !fresh->ok || !fresh->hasEstimate) return d;
+
+  const double threshold = feedback_.config().threshold;
+  const double freshNp = fresh->normalized;
+  const double relDiff =
+      freshNp > 0 ? std::fabs(freshNp - d.ewmaNp) / freshNp : 0.0;
+  policy::Decision refreshed = d;
+  refreshed.mismatch = false;
+  refreshed.source = "refresh";
+  if (relDiff > feedback_.config().mismatchTolerance) {
+    refreshed.predictedNp = d.ewmaNp;
+    refreshed.confidence = 0.9;
+  } else {
+    refreshed.predictedNp = freshNp;
+  }
+  refreshed.variant =
+      policy::Decision::variantFor(refreshed.predictedNp, threshold);
+  refreshed.predictedOutcome =
+      perf::classify(refreshed.predictedNp, threshold);
+  policy_store_.store(policyKey, refreshed);
+  ++policy_refreshes_;
+  return refreshed;
 }
 
 ArtifactPtr CompileService::compileUncached(const Request& resolved) {
@@ -284,7 +380,6 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
   }
 
   {
-    StageTimer timer(grover_ns_);
     bool any = false;
     for (const auto& fn : transformed.module->functions()) {
       if (!fn->isKernel()) continue;
@@ -292,8 +387,14 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
         continue;
       }
       any = true;
-      grv::GroverResult result = grv::runGrover(*fn, resolved.options);
-      ir::verifyFunction(*fn);
+      grv::GroverResult result = [&] {
+        StageTimer timer(grover_ns_);
+        return grv::runGrover(*fn, resolved.options);
+      }();
+      {
+        StageTimer timer(validate_ns_);
+        ir::verifyFunction(*fn);
+      }
       artifact->report.anyTransformed |= result.anyTransformed;
       artifact->report.barriersRemoved |= result.barriersRemoved;
       for (auto& b : result.buffers) {
@@ -370,11 +471,17 @@ ServiceStats CompileService::stats() const {
   };
   s.frontendMs = ms(frontend_ns_);
   s.groverMs = ms(grover_ns_);
+  s.validateMs = ms(validate_ns_);
   s.printMs = ms(print_ns_);
   s.estimateMs = ms(estimate_ns_);
+  s.executeMs = ms(execute_ns_);
+  s.cacheMs = ms(cache_ns_);
   s.policyHits = policy_hits_.load();
   s.policyMisses = policy_misses_.load();
   s.policyStores = policy_stores_.load();
+  s.measurements = measurements_.load();
+  s.nativeMeasurements = native_measurements_.load();
+  s.policyRefreshes = policy_refreshes_.load();
   const policy::FeedbackLoop::Stats f = feedback_.stats();
   s.policyFlips = f.flips;
   s.policyMismatches = f.mismatches;

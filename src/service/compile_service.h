@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "perf/measure.h"
 #include "policy/decision_engine.h"
 #include "policy/feedback.h"
 #include "policy/policy_store.h"
@@ -35,6 +36,15 @@ struct ServiceConfig {
   /// Decision store of the compileAuto() path; set diskDir to persist
   /// decisions across runs (groverc --policy-dir).
   policy::PolicyStore::Config policyStore;
+  /// Fraction of eligible compileAuto() requests whose kernels are
+  /// *executed* for real (natively when the JIT is available) and whose
+  /// measured np is folded back through recordMeasurement(). 0 disables
+  /// measurement; 1 measures every request. Sampling is deterministic:
+  /// an accumulator fires every 1/measureRate-th eligible request.
+  double measureRate = 0;
+  /// Knobs of the sampled measurements (repetitions, native opt-out, …).
+  /// The scale is overridden per request.
+  perf::MeasureOptions measure;
 };
 
 /// Cumulative counters; snapshot via CompileService::stats().
@@ -57,11 +67,18 @@ struct ServiceStats {
   std::uint64_t policyStores = 0;  // decisions learned this run
   std::uint64_t policyFlips = 0;   // decisions flipped by feedback
   std::uint64_t policyMismatches = 0;  // predicted-vs-measured flags
+  // Sampled real-execution measurements (config.measureRate).
+  std::uint64_t measurements = 0;        // completed measurements
+  std::uint64_t nativeMeasurements = 0;  // of those, ran as native code
+  std::uint64_t policyRefreshes = 0;     // mismatch-triggered re-estimates
   // Cumulative per-stage wall time across all compiles, in milliseconds.
   double frontendMs = 0;   // source → SSA (×2: original + transformed)
-  double groverMs = 0;     // the Grover pass + verification
+  double groverMs = 0;     // the Grover pass
+  double validateMs = 0;   // post-transform IR verification
   double printMs = 0;      // IR rendering of both versions
   double estimateMs = 0;   // trace-driven with/without-LM estimation
+  double executeMs = 0;    // sampled real executions (both variants)
+  double cacheMs = 0;      // artifact-cache probes/stores, memory + disk
 };
 
 /// Result of the policy-driven compileAuto() path.
@@ -81,6 +98,11 @@ struct AutoResult {
   /// Feature-store key; pass to recordMeasurement() to close the loop.
   std::uint64_t policyKey = 0;
   policy::KernelFeatures features;
+  /// True when this request was sampled for a real-execution measurement
+  /// (ServiceConfig::measureRate); `measurement` then holds the result
+  /// and `decision` already reflects the folded-in np.
+  bool measured = false;
+  perf::Measurement measurement;
 
   /// Printed IR of the variant the decision serves.
   [[nodiscard]] const std::string& servedText() const {
@@ -125,7 +147,11 @@ class CompileService {
   [[nodiscard]] AutoResult compileAuto(Request request);
 
   /// Fold a measured np for a policyKey back into the decision store
-  /// (EWMA; may flip the stored decision). Returns the updated decision.
+  /// (EWMA; may flip the stored decision). When the measurement newly
+  /// crosses the mismatch tolerance and the key's request is known from
+  /// a prior compileAuto(), the service re-runs the estimation pipeline
+  /// and refreshes the decision in place instead of leaving it flagged.
+  /// Returns the updated decision.
   policy::Decision recordMeasurement(std::uint64_t policyKey,
                                      double measuredNp);
 
@@ -153,6 +179,9 @@ class CompileService {
 
  private:
   [[nodiscard]] ArtifactPtr compileUncached(const Request& resolved);
+  /// Deterministic measurement sampling of one eligible compileAuto()
+  /// result; folds the measured np into the decision store on fire.
+  void maybeMeasure(const Request& resolved, AutoResult& out);
 
   ServiceConfig config_;
   ArtifactCache cache_;
@@ -166,14 +195,23 @@ class CompileService {
   std::unordered_map<std::uint64_t, Future> inflight_;
   std::size_t pending_ = 0;
   bool stopping_ = false;
+  /// Measurement sampling accumulator (guarded by mutex_): gains
+  /// measureRate per eligible request, fires when it reaches 1.
+  double measure_accum_ = 0;
+  /// policyKey → resolved request of the last compileAuto() that used
+  /// it, so a mismatch can be re-estimated (guarded by mutex_).
+  std::unordered_map<std::uint64_t, Request> auto_requests_;
 
   std::atomic<std::uint64_t> requests_{0}, memory_hits_{0},
       negative_hits_{0}, coalesced_{0}, misses_{0}, disk_hits_{0},
       compiles_{0};
   std::atomic<std::uint64_t> policy_hits_{0}, policy_misses_{0},
       policy_stores_{0};
-  std::atomic<std::uint64_t> frontend_ns_{0}, grover_ns_{0}, print_ns_{0},
-      estimate_ns_{0};
+  std::atomic<std::uint64_t> measurements_{0}, native_measurements_{0},
+      policy_refreshes_{0};
+  std::atomic<std::uint64_t> frontend_ns_{0}, grover_ns_{0},
+      validate_ns_{0}, print_ns_{0}, estimate_ns_{0}, execute_ns_{0},
+      cache_ns_{0};
 };
 
 }  // namespace grover::service

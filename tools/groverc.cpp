@@ -4,9 +4,10 @@
 //   groverc <kernel.cl> [--kernel=<name>] [--only=<buffer>]...
 //           [--keep-barriers] [--no-cleanup] [--before] [--report-only]
 //   groverc --app=<id> [--platform=<name>] [--scale=test|bench]
-//           [--threads=N]
+//           [--threads=N] [--native]
 //   groverc --serve-batch=<file> [--threads=N] [--repeat=K]
 //           [--cache-mb=M] [--cache-dir=DIR] [--auto] [--policy-dir=DIR]
+//           [--measure-rate=<f>]
 //
 // The first form reads an OpenCL C kernel, runs the full pipeline
 // (front-end → SSA → Grover), prints the Table III-style index report, and
@@ -34,6 +35,8 @@
 #include "grovercl/compiler.h"
 #include "grovercl/harness.h"
 #include "ir/printer.h"
+#include "native/engine.h"
+#include "perf/measure.h"
 #include "perf/platform.h"
 #include "policy/policy_store.h"
 #include "service/compile_service.h"
@@ -64,6 +67,11 @@ void usage() {
       "  --threads=N       host threads for execution and trace digestion\n"
       "                    (default: all hardware threads; estimates are\n"
       "                    identical for every N)\n"
+      "  --native          with --app: execute both kernel versions for\n"
+      "                    real (JIT-compiled native code when a system C\n"
+      "                    compiler is available, the decoded interpreter\n"
+      "                    otherwise) and report measured times instead of\n"
+      "                    the platform-model estimate\n"
       "  --list-apps       print the built-in application ids\n"
       "  --serve-batch=<f> serve a request file through the compilation\n"
       "                    service (one request per line; see\n"
@@ -74,7 +82,10 @@ void usage() {
       "  --auto            route serve-batch requests through the policy\n"
       "                    engine: warm per-kernel/per-platform decisions\n"
       "                    compile only the winning variant\n"
-      "  --policy-dir=DIR  persist policy decisions on disk (with --auto)\n";
+      "  --policy-dir=DIR  persist policy decisions on disk (with --auto)\n"
+      "  --measure-rate=<f> with --auto: execute this fraction (0..1] of\n"
+      "                    served requests for real and fold the measured\n"
+      "                    np back into the decision store\n";
 }
 
 /// Read a kernel/request file. Returns false and fills `error` with a
@@ -172,7 +183,7 @@ std::vector<grover::perf::PlatformSpec> platformsByName(
 
 int runAppComparison(const std::string& appId, const std::string& platform,
                      const std::string& scaleName, unsigned threads,
-                     bool validate) {
+                     bool validate, bool nativeExec) {
   const grover::apps::Application& app =
       grover::apps::applicationById(appId);
   const grover::apps::Scale scale = scaleName == "test"
@@ -180,6 +191,30 @@ int runAppComparison(const std::string& appId, const std::string& platform,
                                         : grover::apps::Scale::Bench;
   std::cout << "app " << app.id() << " (" << app.datasetDescription()
             << ")\n";
+  if (nativeExec) {
+    grover::perf::MeasureOptions opts;
+    opts.scale = scale;
+    opts.threads = threads;
+    opts.validate = validate;
+    const grover::perf::Measurement m = grover::perf::measure(app, opts);
+    if (!m.ok) {
+      std::cerr << "groverc: measurement failed: " << m.error << "\n";
+      return 1;
+    }
+    if (!m.usedNative) {
+      // Graceful degradation, never an abort: the decoded interpreter
+      // measures the same ratio, just slower.
+      std::cerr << "groverc: native execution unavailable ("
+                << m.nativeFallbackReason
+                << "); measuring with the decoded interpreter\n";
+    }
+    std::cout << "measured (" << (m.usedNative ? "native" : "interpreter")
+              << "): with-LM " << grover::fixed(m.msWithLM, 3)
+              << " ms, without-LM " << grover::fixed(m.msWithoutLM, 3)
+              << " ms, np " << grover::fixed(m.measuredNp, 3) << " ("
+              << grover::perf::toString(m.outcome) << ")\n";
+    return 0;
+  }
   for (const grover::perf::PlatformSpec& spec : platformsByName(platform)) {
     const grover::PerfComparison cmp =
         grover::comparePerformance(app, spec, scale, threads, validate);
@@ -246,7 +281,8 @@ std::vector<BatchEntry> parseBatchFile(const std::string& contents) {
 
 int runServeBatch(const std::string& file, unsigned threads, int repeat,
                   std::size_t cacheMb, const std::string& cacheDir,
-                  bool autoPolicy, const std::string& policyDir) {
+                  bool autoPolicy, const std::string& policyDir,
+                  double measureRate) {
   namespace svc = grover::service;
   std::string contents;
   if (std::string err; !readTextFile(file, contents, err)) {
@@ -264,7 +300,17 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
   config.cache.maxBytes = cacheMb << 20;
   config.cache.diskDir = cacheDir;
   config.policyStore.diskDir = policyDir;
+  config.measureRate = measureRate;
   svc::CompileService service(config);
+  if (measureRate > 0) {
+    const grover::native::NativeEngine& engine =
+        grover::native::NativeEngine::shared();
+    if (!engine.available()) {
+      std::cerr << "groverc: native execution unavailable ("
+                << engine.unavailableReason()
+                << "); sampled measurements use the decoded interpreter\n";
+    }
+  }
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t served = 0, failed = 0;
@@ -340,7 +386,14 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
                 << ", predicted np "
                 << grover::fixed(r.decision.predictedNp, 3) << ", "
                 << grover::perf::toString(r.decision.predictedOutcome)
-                << ")\n";
+                << ")";
+      if (r.measured) {
+        std::cout << ", measured np "
+                  << grover::fixed(r.measurement.measuredNp, 3) << " ("
+                  << (r.measurement.usedNative ? "native" : "interpreter")
+                  << ")";
+      }
+      std::cout << "\n";
     } else {
       std::size_t transformed = 0;
       for (const auto& b : a->report.buffers) {
@@ -369,16 +422,25 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
             << " disk load failures\n";
   std::cout << "cache bytes: " << s.bytesInUse << " in " << s.entries
             << " entries\n";
+  // Per-stage wall-time breakdown of everything the service did: parse,
+  // transform, validate, estimate-or-execute, cache.
   std::cout << "stages: frontend " << grover::fixed(s.frontendMs, 1)
             << " ms, grover " << grover::fixed(s.groverMs, 1)
+            << " ms, validate " << grover::fixed(s.validateMs, 1)
             << " ms, print " << grover::fixed(s.printMs, 1)
             << " ms, estimate " << grover::fixed(s.estimateMs, 1)
-            << " ms\n";
+            << " ms, execute " << grover::fixed(s.executeMs, 1)
+            << " ms, cache " << grover::fixed(s.cacheMs, 1) << " ms\n";
   if (autoPolicy) {
     std::cout << "policy: " << s.policyHits << " hits, " << s.policyMisses
               << " misses, " << s.policyStores << " decisions stored, "
               << s.policyFlips << " flips, " << s.policyMismatches
               << " mismatches\n";
+    if (measureRate > 0) {
+      std::cout << "measure: " << s.measurements << " measured ("
+                << s.nativeMeasurements << " native), "
+                << s.policyRefreshes << " decision refreshes\n";
+    }
   }
 
   for (const BatchEntry& e : entries) {
@@ -406,6 +468,8 @@ int main(int argc, char** argv) {
   int repeat = 1;
   unsigned threads = 0;
   bool autoPolicy = false;
+  bool nativeExec = false;
+  double measureRate = 0;
   grover::grv::GroverOptions options;
   bool showBefore = false;
   bool reportOnly = false;
@@ -448,6 +512,21 @@ int main(int argc, char** argv) {
       policyDir = arg.substr(13);
     } else if (arg == "--auto") {
       autoPolicy = true;
+    } else if (arg == "--native") {
+      nativeExec = true;
+    } else if (arg.rfind("--measure-rate=", 0) == 0) {
+      const std::string value = arg.substr(15);
+      try {
+        std::size_t pos = 0;
+        measureRate = std::stod(value, &pos);
+        if (pos != value.size() || measureRate <= 0 || measureRate > 1) {
+          throw std::invalid_argument(value);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "groverc: bad --measure-rate value '" << value
+                  << "' (expected a number in (0, 1])\n";
+        return 1;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<unsigned>(
           parseCountFlag("--threads", arg.substr(10)));
@@ -477,15 +556,23 @@ int main(int argc, char** argv) {
     std::cerr << "groverc: --auto requires --serve-batch\n";
     return 1;
   }
+  if (measureRate > 0 && !autoPolicy) {
+    std::cerr << "groverc: --measure-rate requires --auto\n";
+    return 1;
+  }
+  if (nativeExec && appId.empty()) {
+    std::cerr << "groverc: --native requires --app\n";
+    return 1;
+  }
 
   try {
     if (!batchFile.empty()) {
       return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir,
-                           autoPolicy, policyDir);
+                           autoPolicy, policyDir, measureRate);
     }
     if (!appId.empty()) {
       return runAppComparison(appId, platformName, scaleName, threads,
-                              options.validate);
+                              options.validate, nativeExec);
     }
     if (path.empty()) {
       usage();

@@ -1,8 +1,8 @@
 // groverfuzz — differential kernel fuzzer for the Grover transform.
 //
 // Usage:
-//   groverfuzz [--seeds=N] [--seed=S] [--validate] [--out-dir=DIR]
-//              [--verbose]
+//   groverfuzz [--seeds=N] [--seed=S] [--validate] [--native]
+//              [--out-dir=DIR] [--verbose]
 //
 // Each seed deterministically generates one staging kernel (plus near-miss
 // variants Grover must reject), compiles it with and without the Grover
@@ -20,6 +20,7 @@
 
 #include "check/differential.h"
 #include "check/kernel_gen.h"
+#include "native/engine.h"
 
 namespace {
 
@@ -34,6 +35,10 @@ void usage() {
       "  --seed=S      run exactly one seed\n"
       "  --validate    also run the post-Grover semantic validator and the\n"
       "                IR verifier after every transform stage\n"
+      "  --native      additionally execute both kernel versions through\n"
+      "                the JIT-compiled native backend and require\n"
+      "                bit-identity with the decoded interpreter (skipped\n"
+      "                with a warning when no system C compiler is found)\n"
       "  --out-dir=DIR where to write shrunk reproducers (default: .)\n"
       "  --verbose     print one line per seed\n";
 }
@@ -41,15 +46,15 @@ void usage() {
 /// Greedy shrink: repeatedly adopt the first one-step-smaller spec that
 /// still fails the differential check (any phase counts), until no
 /// candidate fails.
-KernelSpec shrink(const KernelSpec& start, bool validate) {
+KernelSpec shrink(const KernelSpec& start, bool validate, bool nativeLeg) {
   KernelSpec best = start;
   bool improved = true;
   while (improved) {
     improved = false;
     for (const KernelSpec& candidate :
          grover::check::shrinkCandidates(best)) {
-      const DiffOutcome outcome =
-          runDifferential(grover::check::render(candidate), validate);
+      const DiffOutcome outcome = runDifferential(
+          grover::check::render(candidate), validate, nativeLeg);
       if (!outcome.ok) {
         best = candidate;
         improved = true;
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   std::uint64_t singleSeed = 0;
   bool haveSingleSeed = false;
   bool validate = false;
+  bool nativeLeg = false;
   bool verbose = false;
   std::string outDir = ".";
 
@@ -119,6 +125,8 @@ int main(int argc, char** argv) {
       outDir = arg.substr(10);
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--native") {
+      nativeLeg = true;
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -138,17 +146,31 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= seeds; ++s) seedList.push_back(s);
   }
 
+  if (nativeLeg) {
+    const grover::native::NativeEngine& engine =
+        grover::native::NativeEngine::shared();
+    if (!engine.available()) {
+      // Warn once up front rather than per seed; the differential legs
+      // that don't need a toolchain still run.
+      std::cerr << "groverfuzz: native backend unavailable ("
+                << engine.unavailableReason()
+                << "); the --native leg will be skipped\n";
+    }
+  }
+
   std::map<std::string, unsigned> byFamily;
-  unsigned transformed = 0, rejected = 0, failures = 0;
+  unsigned transformed = 0, rejected = 0, failures = 0, nativeChecked = 0;
   for (const std::uint64_t seed : seedList) {
     const GeneratedKernel kernel = grover::check::generateKernel(seed);
-    const DiffOutcome outcome = runDifferential(kernel, validate);
+    const DiffOutcome outcome = runDifferential(kernel, validate, nativeLeg);
     ++byFamily[grover::check::toString(kernel.spec.family)];
     if (outcome.ok) {
       outcome.transformed ? ++transformed : ++rejected;
+      if (outcome.nativeChecked) ++nativeChecked;
       if (verbose) {
         std::cout << "seed " << seed << ": ok, " << kernel.describe()
                   << (outcome.transformed ? " [transformed]" : " [rejected]")
+                  << (outcome.nativeChecked ? " [native]" : "")
                   << "\n";
       }
       continue;
@@ -156,9 +178,10 @@ int main(int argc, char** argv) {
     ++failures;
     std::cout << "seed " << seed << ": FAIL [" << outcome.phase << "] "
               << outcome.message << "\n";
-    const KernelSpec small = shrink(kernel.spec, validate);
+    const KernelSpec small = shrink(kernel.spec, validate, nativeLeg);
     const GeneratedKernel smallKernel = grover::check::render(small);
-    const DiffOutcome smallOutcome = runDifferential(smallKernel, validate);
+    const DiffOutcome smallOutcome =
+        runDifferential(smallKernel, validate, nativeLeg);
     const std::string path =
         writeReproducer(outDir, smallKernel, smallOutcome);
     std::cout << "  shrunk to " << smallKernel.describe() << "\n"
@@ -169,6 +192,10 @@ int main(int argc, char** argv) {
             << " transformed, " << rejected << " rejected, " << failures
             << " failure(s)"
             << (validate ? " [validator on]" : "") << "\n";
+  if (nativeLeg) {
+    std::cout << "native leg: " << nativeChecked << "/" << seedList.size()
+              << " seed(s) cross-checked bit-exact\n";
+  }
   for (const auto& [family, count] : byFamily) {
     std::cout << "  " << family << ": " << count << "\n";
   }
