@@ -1,0 +1,69 @@
+#include "net/batch.h"
+
+#include <sstream>
+
+#include "support/io.h"
+#include "support/str.h"
+
+namespace grover::net {
+
+BatchEntry parseRequestLine(const std::string& line) {
+  BatchEntry e;
+  std::string stripped = line;
+  if (const std::size_t hash = stripped.find('#');
+      hash != std::string::npos) {
+    stripped = stripped.substr(0, hash);
+  }
+  std::istringstream tokens(stripped);
+  std::vector<std::string> words;
+  for (std::string w; tokens >> w;) words.push_back(w);
+  if (words.empty()) return e;  // blank/comment-only: text stays empty
+  e.text = join(words, " ");
+  if (words[0].size() > 3 && words[0].rfind(".cl") == words[0].size() - 3) {
+    if (words.size() > 1) {
+      e.error = "a .cl request takes no further arguments";
+    } else if (std::string err;
+               !readTextFile(words[0], e.request.source, err)) {
+      e.error = "cannot read '" + words[0] + "': " + err;
+    } else {
+      e.valid = true;
+    }
+  } else {
+    e.request.appId = words[0];
+    if (words.size() > 1 && words[1] != "none") {
+      e.request.platform = words[1];
+    }
+    if (words.size() > 2) {
+      if (words[2] != "test" && words[2] != "bench") {
+        e.error = "bad scale '" + words[2] + "' (expected test or bench)";
+      }
+      e.request.scale = words[2] == "bench" ? apps::Scale::Bench
+                                            : apps::Scale::Test;
+    }
+    if (words.size() > 3) {
+      e.error = "too many arguments (expected <app> [<platform>|none] "
+                "[test|bench])";
+    }
+    e.valid = e.error.empty();
+  }
+  return e;
+}
+
+std::vector<BatchEntry> parseBatchFile(const std::string& contents,
+                                       const std::string& fileName) {
+  std::vector<BatchEntry> entries;
+  std::istringstream in(contents);
+  std::string line;
+  for (std::size_t lineNo = 1; std::getline(in, line); ++lineNo) {
+    BatchEntry e = parseRequestLine(line);
+    if (e.text.empty()) continue;
+    e.line = lineNo;
+    if (!e.valid && !fileName.empty()) {
+      e.error = cat(fileName, ":", lineNo, ": ", e.error);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace grover::net

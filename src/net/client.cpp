@@ -1,0 +1,154 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::net {
+namespace {
+
+/// "host:port" when the tail after the last ':' is all digits and the
+/// head is not a path; anything else is a unix socket path.
+bool splitHostPort(const std::string& spec, std::string& host,
+                   std::string& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  if (spec.find('/') != std::string::npos) return false;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return false;
+  }
+  host = spec.substr(0, colon);
+  port = spec.substr(colon + 1);
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect(const std::string& spec) {
+  close();
+  std::string host, port;
+  if (splitHostPort(spec, host, port)) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                 &result);
+    if (rc != 0) {
+      throw GroverError(cat("cannot resolve '", spec, "': ",
+                            ::gai_strerror(rc)));
+    }
+    int lastErrno = 0;
+    for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+      fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd_ < 0) {
+        lastErrno = errno;
+        continue;
+      }
+      if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      lastErrno = errno;
+      ::close(fd_);
+      fd_ = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd_ < 0) {
+      throw GroverError(cat("cannot connect to ", spec, ": ",
+                            std::strerror(lastErrno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  } else {
+    sockaddr_un addr{};
+    if (spec.size() >= sizeof(addr.sun_path)) {
+      throw GroverError("unix socket path too long: " + spec);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw GroverError(cat("socket(AF_UNIX): ", std::strerror(errno)));
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw GroverError(cat("cannot connect to ", spec, ": ",
+                            std::strerror(err)));
+    }
+  }
+}
+
+void Client::sendFrame(FrameType type, std::uint64_t id,
+                       std::string_view payload) {
+  std::string frame;
+  appendFrame(frame, type, id, payload);
+  sendRaw(frame);
+}
+
+void Client::sendRaw(std::string_view bytes) {
+  if (fd_ < 0) throw GroverError("not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw GroverError(cat("connection to daemon lost while sending: ",
+                          std::strerror(errno)));
+  }
+}
+
+Frame Client::readFrame() {
+  if (fd_ < 0) throw GroverError("not connected");
+  for (;;) {
+    Frame frame;
+    const FrameReader::Result r = reader_.next(frame);
+    if (r == FrameReader::Result::Frame) return frame;
+    if (r == FrameReader::Result::Error) {
+      throw GroverError("protocol error from daemon: " + reader_.error());
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      throw GroverError("connection closed by daemon");
+    }
+    throw GroverError(cat("connection to daemon lost: ",
+                          std::strerror(errno)));
+  }
+}
+
+void Client::shutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace grover::net

@@ -1,0 +1,52 @@
+// Blocking client for the groverd wire protocol — the transport behind
+// `groverc --connect`. One instance = one connection; pipelining is the
+// caller's job (send several frames, then read the responses; ids match
+// them up).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+namespace grover::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to "host:port" (TCP) or a filesystem path (Unix-domain
+  /// socket). Throws GroverError on resolution/connect failure.
+  void connect(const std::string& spec);
+
+  /// Send one frame, handling partial writes. SIGPIPE-safe. Throws
+  /// GroverError when the daemon hung up.
+  void sendFrame(FrameType type, std::uint64_t id,
+                 std::string_view payload);
+
+  /// Send raw bytes with no framing — the protocol-violation hook the
+  /// wire tests use to poke the daemon with garbage.
+  void sendRaw(std::string_view bytes);
+
+  /// Block until one whole frame arrives. Throws GroverError on EOF,
+  /// socket error, or a protocol violation in the byte stream.
+  [[nodiscard]] Frame readFrame();
+
+  /// Half-close the write side (tests use this to model a client that
+  /// stops sending but still reads).
+  void shutdownWrite();
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace grover::net

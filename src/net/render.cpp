@@ -1,0 +1,73 @@
+#include "net/render.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace grover::net {
+
+std::string renderResultLine(const service::Artifact& a) {
+  if (!a.ok) {
+    return "failed: " + a.diagnostics.substr(0, a.diagnostics.find('\n'));
+  }
+  std::size_t transformed = 0;
+  for (const auto& b : a.report.buffers) {
+    if (b.transformed) ++transformed;
+  }
+  std::ostringstream os;
+  os << "ok, " << transformed << "/" << a.report.buffers.size()
+     << " buffers transformed";
+  if (a.hasEstimate) {
+    os << ", np " << fixed(a.normalized, 3) << " ("
+       << perf::toString(a.outcome) << ")";
+  }
+  return os.str();
+}
+
+std::string renderAutoResultLine(const service::AutoResult& r) {
+  if (r.artifact == nullptr) return "not served";
+  if (!r.artifact->ok || !r.eligible) return renderResultLine(*r.artifact);
+  std::ostringstream os;
+  os << "ok, serving " << policy::toString(r.decision.variant) << " ("
+     << (r.policyHit ? "policy hit" : "cold decision") << ", predicted np "
+     << fixed(r.decision.predictedNp, 3) << ", "
+     << perf::toString(r.decision.predictedOutcome) << ")";
+  if (r.measured) {
+    os << ", measured np " << fixed(r.measurement.measuredNp, 3) << " ("
+       << (r.measurement.usedNative ? "native" : "interpreter") << ")";
+  }
+  return os.str();
+}
+
+std::string renderStats(const service::ServiceStats& s,
+                        const StatsRenderOptions& options) {
+  std::ostringstream os;
+  os << "cache: " << s.memoryHits << " memory hits (" << s.negativeHits
+     << " negative), " << s.coalesced << " coalesced, " << s.misses
+     << " misses, " << s.diskHits << " disk hits, " << s.compiles
+     << " compiles, " << s.evictions << " evictions, "
+     << s.diskLoadFailures << " disk load failures\n";
+  os << "cache bytes: " << s.bytesInUse << " in " << s.entries
+     << " entries\n";
+  // Per-stage wall-time breakdown of everything the service did: parse,
+  // transform, validate, estimate-or-execute, cache.
+  os << "stages: frontend " << fixed(s.frontendMs, 1) << " ms, grover "
+     << fixed(s.groverMs, 1) << " ms, validate " << fixed(s.validateMs, 1)
+     << " ms, print " << fixed(s.printMs, 1) << " ms, estimate "
+     << fixed(s.estimateMs, 1) << " ms, execute " << fixed(s.executeMs, 1)
+     << " ms, cache " << fixed(s.cacheMs, 1) << " ms\n";
+  if (options.policy) {
+    os << "policy: " << s.policyHits << " hits, " << s.policyMisses
+       << " misses, " << s.policyStores << " decisions stored, "
+       << s.policyFlips << " flips, " << s.policyMismatches
+       << " mismatches\n";
+    if (options.measure) {
+      os << "measure: " << s.measurements << " measured ("
+         << s.nativeMeasurements << " native), " << s.policyRefreshes
+         << " decision refreshes\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace grover::net

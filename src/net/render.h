@@ -1,0 +1,33 @@
+// Text rendering of per-request verdicts and service stats, shared by
+// groverc's local --serve-batch mode and the groverd daemon so a remote
+// client sees exactly the lines a local run would print.
+#pragma once
+
+#include <string>
+
+#include "service/compile_service.h"
+
+namespace grover::net {
+
+/// The per-request verdict text of the plain submit path — what groverc
+/// prints after "[i] <request>: " (e.g. "ok, 1/1 buffers transformed,
+/// np 2.252 (gain)" or "failed: <first diagnostic line>").
+[[nodiscard]] std::string renderResultLine(const service::Artifact& a);
+
+/// The per-request verdict text of the policy path (--auto): falls back
+/// to renderResultLine for ineligible or failed requests.
+[[nodiscard]] std::string renderAutoResultLine(const service::AutoResult& r);
+
+/// What to include in a rendered stats block.
+struct StatsRenderOptions {
+  bool policy = false;   ///< include the "policy:" line (--auto)
+  bool measure = false;  ///< include the "measure:" line (--measure-rate)
+};
+
+/// The multi-line cache/stages(/policy/measure) stats block groverc
+/// prints after a batch; the daemon ships the same text for a Stats
+/// frame. Ends with a newline.
+[[nodiscard]] std::string renderStats(const service::ServiceStats& s,
+                                      const StatsRenderOptions& options);
+
+}  // namespace grover::net

@@ -1,0 +1,530 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/batch.h"
+#include "net/render.h"
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace grover::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+/// Per-connection state machine. Reads accumulate in `reader` until
+/// whole frames decode; writes drain from `writeBuf` as the socket
+/// accepts them (partial writes keep their offset).
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t connId = 0;
+  FrameReader reader;
+  std::string writeBuf;
+  std::size_t writeOff = 0;
+  /// Admitted requests whose response has not been queued yet.
+  std::size_t inflight = 0;
+  /// Protocol violation: flush the Error frame, then close. No further
+  /// reads are processed.
+  bool closeAfterFlush = false;
+  Clock::time_point lastActivity = Clock::now();
+
+  explicit Connection(std::size_t maxPayload) : reader(maxPayload) {}
+  [[nodiscard]] bool wantsWrite() const {
+    return writeOff < writeBuf.size();
+  }
+};
+
+Server::Server(service::CompileService& service, ServerConfig config,
+               std::ostream* log)
+    : service_(service),
+      config_(std::move(config)),
+      log_stream_(log),
+      workers_(config_.workers) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw GroverError(cat("cannot create wakeup pipe: ",
+                          std::strerror(errno)));
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  setNonBlocking(wake_read_fd_);
+  setNonBlocking(wake_write_fd_);
+}
+
+Server::~Server() {
+  // Workers may still be queued with tasks holding `this`; wait for
+  // them before tearing the completion queue down.
+  workers_.waitIdle();
+  for (auto& conn : connections_) closeFd(conn->fd);
+  connections_.clear();
+  closeFd(tcp_fd_);
+  closeFd(unix_fd_);
+  if (!config_.unixPath.empty()) ::unlink(config_.unixPath.c_str());
+  closeFd(wake_read_fd_);
+  closeFd(wake_write_fd_);
+}
+
+void Server::bind() {
+  // TCP listener (unless the caller wants unix-only, signalled by
+  // host == "none").
+  if (config_.host != "none") {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      throw GroverError(cat("socket: ", std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      throw GroverError("bad listen address '" + config_.host +
+                        "' (expected an IPv4 address)");
+    }
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throw GroverError(cat("cannot bind ", config_.host, ":", config_.port,
+                            ": ", std::strerror(errno)));
+    }
+    if (::listen(tcp_fd_, 64) != 0) {
+      throw GroverError(cat("listen: ", std::strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port_ = ntohs(addr.sin_port);
+    setNonBlocking(tcp_fd_);
+  }
+
+  if (!config_.unixPath.empty()) {
+    sockaddr_un addr{};
+    if (config_.unixPath.size() >= sizeof(addr.sun_path)) {
+      throw GroverError("unix socket path too long: " + config_.unixPath);
+    }
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      throw GroverError(cat("socket(AF_UNIX): ", std::strerror(errno)));
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unixPath.c_str());  // stale socket from a dead daemon
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throw GroverError(cat("cannot bind unix socket ", config_.unixPath,
+                            ": ", std::strerror(errno)));
+    }
+    if (::listen(unix_fd_, 64) != 0) {
+      throw GroverError(cat("listen(unix): ", std::strerror(errno)));
+    }
+    setNonBlocking(unix_fd_);
+  }
+  if (tcp_fd_ < 0 && unix_fd_ < 0) {
+    throw GroverError("no listener configured (host=none and no --socket)");
+  }
+}
+
+void Server::requestStop() noexcept {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  // Async-signal-safe; the pipe is non-blocking, and a full pipe already
+  // guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connectionsAccepted = accepted_.load();
+  s.connectionsClosed = closed_.load();
+  s.framesReceived = frames_.load();
+  s.requestsAdmitted = admitted_total_.load();
+  s.responsesSent = responses_.load();
+  s.rejectedOverload = overloaded_.load();
+  s.rejectedShutdown = shutdown_rejected_.load();
+  s.protocolErrors = protocol_errors_.load();
+  s.disconnectedMidRequest = disconnected_.load();
+  s.idleTimeouts = idle_timeouts_.load();
+  return s;
+}
+
+void Server::log(const std::string& message) {
+  if (log_stream_ != nullptr) {
+    *log_stream_ << "groverd: " << message << "\n" << std::flush;
+  }
+}
+
+void Server::run() {
+  Clock::time_point drainDeadline{};
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed) && !draining_) {
+      draining_ = true;
+      drainDeadline = Clock::now() +
+                      std::chrono::milliseconds(
+                          std::max(config_.drainTimeoutMs, 0));
+      closeFd(tcp_fd_);
+      closeFd(unix_fd_);
+      log(cat("draining: ", admitted_, " request(s) in flight, ",
+              connections_.size(), " connection(s) open"));
+    }
+
+    if (draining_) {
+      // Close everything that has nothing left to say. In-flight
+      // requests keep their connection until the response is flushed.
+      for (std::size_t i = connections_.size(); i-- > 0;) {
+        Connection& c = *connections_[i];
+        if (c.inflight == 0 && !c.wantsWrite()) {
+          closeConnection(c.connId);
+        }
+      }
+      const bool timedOut =
+          Clock::now() >= drainDeadline && config_.drainTimeoutMs >= 0;
+      if (admitted_ == 0 && (connections_.empty() || timedOut)) {
+        if (!connections_.empty()) {
+          log(cat("drain timeout: force-closing ", connections_.size(),
+                  " connection(s)"));
+          while (!connections_.empty()) {
+            closeConnection(connections_.back()->connId);
+          }
+        }
+        break;
+      }
+    }
+
+    // Build the poll set: listeners, wakeup pipe, connections.
+    std::vector<pollfd> fds;
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    const std::size_t firstConn = fds.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      // A poisoned connection only flushes its Error frame.
+      if (!conn->closeAfterFlush) events |= POLLIN;
+      if (conn->wantsWrite()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int timeoutMs = -1;
+    if (config_.idleTimeoutMs > 0 && !connections_.empty()) {
+      timeoutMs = config_.idleTimeoutMs;
+      const Clock::time_point now = Clock::now();
+      for (const auto& conn : connections_) {
+        if (conn->inflight > 0) continue;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - conn->lastActivity)
+                .count();
+        timeoutMs = std::min<int>(
+            timeoutMs,
+            std::max<int>(0, config_.idleTimeoutMs -
+                                 static_cast<int>(elapsed)));
+      }
+    }
+    if (draining_) timeoutMs = timeoutMs < 0 ? 100 : std::min(timeoutMs, 100);
+
+    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      log(cat("poll failed: ", std::strerror(errno)));
+      break;
+    }
+
+    // Wakeup pipe: drain it, then the completion queue.
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    drainCompletions();
+
+    for (std::size_t i = 1; i < firstConn; ++i) {
+      if (fds[i].revents & POLLIN) acceptPending(fds[i].fd);
+    }
+
+    // Snapshot conn ids: handlers may close (erase) connections.
+    for (std::size_t i = firstConn; i < fds.size(); ++i) {
+      const pollfd& p = fds[i];
+      if (p.revents == 0) continue;
+      const auto it = std::find_if(
+          connections_.begin(), connections_.end(),
+          [&](const auto& c) { return c->fd == p.fd; });
+      if (it == connections_.end()) continue;
+      Connection& conn = **it;
+      const std::uint64_t connId = conn.connId;
+      if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+        handleReadable(conn);
+      }
+      // handleReadable may have closed it; re-find before writing.
+      const auto again = std::find_if(
+          connections_.begin(), connections_.end(),
+          [&](const auto& c) { return c->connId == connId; });
+      if (again != connections_.end() && (*again)->wantsWrite()) {
+        flushWrites(**again);
+      }
+    }
+
+    // Idle sweep.
+    if (config_.idleTimeoutMs > 0) {
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i = connections_.size(); i-- > 0;) {
+        Connection& c = *connections_[i];
+        if (c.inflight > 0 || c.wantsWrite()) continue;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - c.lastActivity)
+                .count();
+        if (elapsed >= config_.idleTimeoutMs) {
+          ++idle_timeouts_;
+          closeConnection(c.connId);
+        }
+      }
+    }
+  }
+  log("drained, event loop exiting");
+}
+
+void Server::acceptPending(int listenFd) {
+  for (;;) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll round
+    setNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(config_.maxPayload);
+    conn->fd = fd;
+    conn->connId = next_conn_id_++;
+    connections_.push_back(std::move(conn));
+    ++accepted_;
+  }
+}
+
+void Server::handleReadable(Connection& conn) {
+  if (conn.closeAfterFlush) return;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.lastActivity = Clock::now();
+      conn.reader.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the peer is gone. In-flight requests finish in
+    // the service; their completions are dropped on arrival.
+    closeConnection(conn.connId);
+    return;
+  }
+
+  for (;;) {
+    Frame frame;
+    const FrameReader::Result r = conn.reader.next(frame);
+    if (r == FrameReader::Result::NeedMore) break;
+    if (r == FrameReader::Result::Error) {
+      ++protocol_errors_;
+      log(cat("protocol error on connection #", conn.connId, ": ",
+              conn.reader.error()));
+      respond(conn, FrameType::Error, 0, Status::Malformed,
+              conn.reader.error());
+      conn.closeAfterFlush = true;
+      flushWrites(conn);
+      return;
+    }
+    ++frames_;
+    handleFrame(conn, std::move(frame));
+    if (conn.closeAfterFlush) {
+      flushWrites(conn);
+      return;
+    }
+  }
+}
+
+void Server::handleFrame(Connection& conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::Request:
+    case FrameType::AutoRequest:
+      if (draining_) {
+        ++shutdown_rejected_;
+        respond(conn, FrameType::Response, frame.id, Status::ShuttingDown,
+                "error: daemon is shutting down");
+        return;
+      }
+      if (admitted_ >= config_.maxAdmitted) {
+        ++overloaded_;
+        respond(conn, FrameType::Response, frame.id, Status::Overloaded,
+                cat("error: admission queue full (", config_.maxAdmitted,
+                    " in flight); retry later"));
+        return;
+      }
+      ++admitted_;
+      ++admitted_total_;
+      ++conn.inflight;
+      dispatchRequest(conn, frame.type, frame.id, std::move(frame.payload));
+      return;
+    case FrameType::Stats:
+      respond(conn, FrameType::StatsResponse, frame.id, Status::Ok,
+              renderStatsPayload());
+      return;
+    case FrameType::Response:
+    case FrameType::StatsResponse:
+    case FrameType::Error: {
+      ++protocol_errors_;
+      const std::string reason =
+          cat("unexpected frame type ",
+              static_cast<std::uint16_t>(frame.type), " from client");
+      log(cat("protocol error on connection #", conn.connId, ": ", reason));
+      respond(conn, FrameType::Error, frame.id, Status::Malformed, reason);
+      conn.closeAfterFlush = true;
+      return;
+    }
+  }
+}
+
+void Server::dispatchRequest(Connection& conn, FrameType type,
+                             std::uint64_t id, std::string payload) {
+  const std::uint64_t connId = conn.connId;
+  workers_.submit([this, connId, id, type,
+                   payload = std::move(payload)]() mutable {
+    Completion c;
+    c.connId = connId;
+    c.requestId = id;
+    BatchEntry entry = parseRequestLine(payload);
+    if (entry.text.empty()) {
+      c.status = Status::RequestFailed;
+      c.text = "error: empty request";
+    } else if (!entry.valid) {
+      c.status = Status::RequestFailed;
+      c.text = "error: " + entry.error;
+    } else {
+      try {
+        // Status::Ok means "the request was served" — a negative
+        // artifact ("failed: <diagnostic>") is a served verdict, same
+        // as local serve-batch, and must not fail the client's batch.
+        if (type == FrameType::AutoRequest) {
+          const service::AutoResult r =
+              service_.compileAuto(entry.request);
+          c.status = Status::Ok;
+          c.text = renderAutoResultLine(r);
+        } else {
+          const service::ArtifactPtr a = service_.run(entry.request);
+          c.status = Status::Ok;
+          c.text = renderResultLine(*a);
+        }
+      } catch (const std::exception& e) {
+        c.status = Status::RequestFailed;
+        c.text = std::string("error: ") + e.what();
+      }
+    }
+    {
+      std::lock_guard lock(completion_mutex_);
+      completions_.push_back(std::move(c));
+    }
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  });
+}
+
+void Server::drainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    --admitted_;
+    const auto it = std::find_if(
+        connections_.begin(), connections_.end(),
+        [&](const auto& conn) { return conn->connId == c.connId; });
+    if (it == connections_.end()) {
+      // Client disconnected mid-request: the work is done (and cached),
+      // only the reply has nowhere to go.
+      ++disconnected_;
+      continue;
+    }
+    Connection& conn = **it;
+    if (conn.inflight > 0) --conn.inflight;
+    respond(conn, FrameType::Response, c.requestId, c.status, c.text);
+    flushWrites(conn);
+  }
+}
+
+void Server::respond(Connection& conn, FrameType type, std::uint64_t id,
+                     Status status, std::string_view text) {
+  appendStatusFrame(conn.writeBuf, type, id, status, text);
+  ++responses_;
+  conn.lastActivity = Clock::now();
+}
+
+void Server::flushWrites(Connection& conn) {
+  while (conn.wantsWrite()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.writeBuf.data() + conn.writeOff,
+               conn.writeBuf.size() - conn.writeOff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.writeOff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    closeConnection(conn.connId);  // EPIPE/ECONNRESET: peer is gone
+    return;
+  }
+  if (conn.writeOff == conn.writeBuf.size()) {
+    conn.writeBuf.clear();
+    conn.writeOff = 0;
+    if (conn.closeAfterFlush) closeConnection(conn.connId);
+  }
+}
+
+void Server::closeConnection(std::uint64_t connId) {
+  const auto it = std::find_if(
+      connections_.begin(), connections_.end(),
+      [&](const auto& conn) { return conn->connId == connId; });
+  if (it == connections_.end()) return;
+  closeFd((*it)->fd);
+  connections_.erase(it);
+  ++closed_;
+}
+
+std::string Server::renderStatsPayload() {
+  StatsRenderOptions opts;
+  opts.policy = true;
+  opts.measure = true;
+  std::string text = renderStats(service_.stats(), opts);
+  const ServerStats s = stats();
+  text += cat("server: ", s.connectionsAccepted, " connections (",
+              connections_.size(), " open), ", s.framesReceived,
+              " frames, ", s.requestsAdmitted, " admitted, ",
+              s.responsesSent, " responses, ", s.rejectedOverload,
+              " overload-rejected, ", s.protocolErrors,
+              " protocol errors, ", s.disconnectedMidRequest,
+              " disconnected mid-request, ", s.idleTimeouts,
+              " idle timeouts\n");
+  return text;
+}
+
+}  // namespace grover::net

@@ -1,0 +1,154 @@
+// groverd's serving core (DESIGN.md §12): a poll()-based event loop over
+// a TCP (and optionally Unix-domain) listener, per-connection request
+// pipelining of wire.h frames, and a bounded admission queue feeding a
+// support::ThreadPool that runs requests through a CompileService.
+//
+// Threading model: ONE event-loop thread owns every socket, connection
+// state machine, and server counter — run() is that loop. Worker threads
+// only execute service calls and hand finished responses back through a
+// mutex-guarded completion queue plus a self-pipe wakeup; they never
+// touch a socket. requestStop() is async-signal-safe (a pipe write), so
+// SIGINT/SIGTERM handlers can trigger a graceful drain: stop accepting,
+// reject new requests with Status::ShuttingDown, finish every admitted
+// request, flush, exit run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/compile_service.h"
+#include "support/thread_pool.h"
+
+namespace grover::net {
+
+struct ServerConfig {
+  /// TCP listener address. Loopback by default: groverd is a local
+  /// compile daemon, not an internet-facing service.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Optional Unix-domain listener path (empty = TCP only). A stale
+  /// socket file at the path is unlinked before binding.
+  std::string unixPath;
+  /// Bounded admission queue: requests admitted (queued or executing)
+  /// at once, across all connections. Excess requests are answered
+  /// immediately with Status::Overloaded — backpressure, not OOM.
+  std::size_t maxAdmitted = 128;
+  /// Worker threads executing service calls (0 = hardware concurrency).
+  unsigned workers = 0;
+  /// Close connections with no in-flight request and no traffic for
+  /// this long; <= 0 disables the timeout.
+  int idleTimeoutMs = 0;
+  /// On drain, wait at most this long for response flushes to clients
+  /// that have stopped reading before force-closing them. In-flight
+  /// *service* work always completes regardless.
+  int drainTimeoutMs = 5000;
+  /// Per-frame payload bound (Status::Malformed beyond it).
+  std::size_t maxPayload = kMaxPayload;
+};
+
+/// Event-loop counters, all maintained on the loop thread.
+struct ServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t requestsAdmitted = 0;
+  std::uint64_t responsesSent = 0;
+  std::uint64_t rejectedOverload = 0;
+  std::uint64_t rejectedShutdown = 0;
+  std::uint64_t protocolErrors = 0;
+  /// Completions whose connection was gone by the time the request
+  /// finished — the request itself still ran to completion.
+  std::uint64_t disconnectedMidRequest = 0;
+  std::uint64_t idleTimeouts = 0;
+};
+
+class Server {
+ public:
+  /// The service outlives the server; the server never owns it (the
+  /// daemon shuts the service down after run() returns).
+  Server(service::CompileService& service, ServerConfig config,
+         std::ostream* log = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create, bind and listen on the configured sockets. Throws
+  /// GroverError on any socket failure (port in use, bad unix path).
+  void bind();
+
+  /// The event loop. Returns after requestStop() once every admitted
+  /// request has completed and responses are flushed (or the drain
+  /// timeout forced the remaining connections closed). Call bind()
+  /// first.
+  void run();
+
+  /// Begin a graceful drain. Async-signal-safe and callable from any
+  /// thread (it only writes one byte to the wakeup pipe).
+  void requestStop() noexcept;
+
+  /// Bound TCP port (after bind(); the ephemeral port when config.port
+  /// was 0) — 0 when no TCP listener exists.
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Completion {
+    std::uint64_t connId = 0;
+    std::uint64_t requestId = 0;
+    Status status = Status::Ok;
+    std::string text;
+  };
+
+  void acceptPending(int listenFd);
+  void handleReadable(Connection& conn);
+  void handleFrame(Connection& conn, Frame frame);
+  void dispatchRequest(Connection& conn, FrameType type, std::uint64_t id,
+                       std::string payload);
+  void respond(Connection& conn, FrameType type, std::uint64_t id,
+               Status status, std::string_view text);
+  void flushWrites(Connection& conn);
+  void closeConnection(std::uint64_t connId);
+  void drainCompletions();
+  [[nodiscard]] std::string renderStatsPayload();
+  void log(const std::string& message);
+
+  service::CompileService& service_;
+  ServerConfig config_;
+  std::ostream* log_stream_;
+
+  int tcp_fd_ = -1;
+  int unix_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  ThreadPool workers_;
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+  std::atomic<bool> stop_requested_{false};
+
+  // Loop-thread state.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::size_t admitted_ = 0;
+  bool draining_ = false;
+
+  // Counters are atomics only so stats() can be called from test
+  // threads while the loop runs; every writer is the loop thread.
+  std::atomic<std::uint64_t> accepted_{0}, closed_{0}, frames_{0},
+      admitted_total_{0}, responses_{0}, overloaded_{0},
+      shutdown_rejected_{0}, protocol_errors_{0}, disconnected_{0},
+      idle_timeouts_{0};
+};
+
+}  // namespace grover::net

@@ -1,0 +1,139 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "support/str.h"
+
+namespace grover::net {
+namespace {
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t getU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t getU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t getU64(const char* p) {
+  std::uint64_t v = 0;
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+bool knownType(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(FrameType::Request) &&
+         t <= static_cast<std::uint16_t>(FrameType::Error);
+}
+
+}  // namespace
+
+const char* toString(Status status) {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::RequestFailed: return "request failed";
+    case Status::Overloaded: return "overloaded";
+    case Status::Malformed: return "malformed";
+    case Status::ShuttingDown: return "shutting down";
+  }
+  return "unknown";
+}
+
+void appendFrame(std::string& out, FrameType type, std::uint64_t id,
+                 std::string_view payload) {
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  putU16(out, kProtocolVersion);
+  putU16(out, static_cast<std::uint16_t>(type));
+  putU64(out, id);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+void appendStatusFrame(std::string& out, FrameType type, std::uint64_t id,
+                       Status status, std::string_view text) {
+  std::string payload;
+  payload.reserve(1 + text.size());
+  payload.push_back(static_cast<char>(status));
+  payload.append(text.data(), text.size());
+  appendFrame(out, type, id, payload);
+}
+
+bool splitStatusPayload(std::string_view payload, Status& status,
+                        std::string_view& text) {
+  if (payload.empty()) return false;
+  const auto raw = static_cast<unsigned char>(payload[0]);
+  if (raw > static_cast<unsigned char>(Status::ShuttingDown)) return false;
+  status = static_cast<Status>(raw);
+  text = payload.substr(1);
+  return true;
+}
+
+void FrameReader::append(const char* data, std::size_t size) {
+  // Compact the consumed prefix before it outgrows one frame's worth.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kMaxPayload) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, size);
+}
+
+FrameReader::Result FrameReader::next(Frame& out) {
+  if (!error_.empty()) return Result::Error;
+  if (buffered() < kHeaderSize) return Result::NeedMore;
+  const char* h = buf_.data() + pos_;
+  if (std::memcmp(h, kMagic, 4) != 0) {
+    error_ = "bad magic (not a groverd frame)";
+    return Result::Error;
+  }
+  const std::uint16_t version = getU16(h + 4);
+  if (version != kProtocolVersion) {
+    error_ = cat("unsupported protocol version ", version,
+                 " (this build speaks v", kProtocolVersion, ")");
+    return Result::Error;
+  }
+  const std::uint16_t rawType = getU16(h + 6);
+  if (!knownType(rawType)) {
+    error_ = cat("unknown frame type ", rawType);
+    return Result::Error;
+  }
+  const std::uint32_t size = getU32(h + 16);
+  if (size > max_payload_) {
+    error_ = cat("oversized frame: ", size, " bytes (limit ", max_payload_,
+                 ")");
+    return Result::Error;
+  }
+  if (buffered() < kHeaderSize + size) return Result::NeedMore;
+  out.type = static_cast<FrameType>(rawType);
+  out.id = getU64(h + 8);
+  out.payload.assign(buf_, pos_ + kHeaderSize, size);
+  pos_ += kHeaderSize + size;
+  return Result::Frame;
+}
+
+}  // namespace grover::net

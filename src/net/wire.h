@@ -1,0 +1,125 @@
+// Wire protocol of the groverd serving daemon (DESIGN.md §12).
+//
+// The request *payload* is the existing --serve-batch grammar — one
+// request per frame, exactly the text that would be one line of a batch
+// file — wrapped in a small versioned binary header so the framing can
+// evolve independently of the grammar:
+//
+//   offset  size  field
+//        0     4  magic      0x47 0x52 0x4F 0x56  ("GROV")
+//        4     2  version    protocol version, little-endian (currently 1)
+//        6     2  type       FrameType, little-endian
+//        8     8  id         request id, little-endian; responses echo it,
+//                            so pipelined requests may complete out of
+//                            order
+//       16     4  size       payload byte count, little-endian
+//       20     …  payload
+//
+// Response and error payloads start with one Status byte followed by
+// UTF-8 text (a verdict line, a stats block, or an error message).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grover::net {
+
+inline constexpr unsigned char kMagic[4] = {'G', 'R', 'O', 'V'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Hard per-frame payload bound: a request line or a rendered result is
+/// a few hundred bytes; anything near this is a corrupt or hostile
+/// frame, and the decoder refuses it instead of buffering unboundedly.
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint16_t {
+  /// Client → daemon: one serve-batch grammar line, plain submit path
+  /// (both variants compiled, estimate when a platform is named).
+  Request = 1,
+  /// Client → daemon: one serve-batch grammar line routed through the
+  /// policy engine (CompileService::compileAuto, groverc --auto).
+  AutoRequest = 2,
+  /// Daemon → client: Status byte + the per-request verdict text.
+  Response = 3,
+  /// Client → daemon: snapshot the service + server counters.
+  Stats = 4,
+  /// Daemon → client: Status byte + rendered stats block.
+  StatsResponse = 5,
+  /// Daemon → client: Status byte + reason. Sent for protocol
+  /// violations; the daemon closes the connection after flushing it.
+  Error = 6,
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  /// The request was understood but could not be served (malformed
+  /// grammar line, unknown app/platform, source failed to compile).
+  /// Request-scoped: the connection stays usable.
+  RequestFailed = 1,
+  /// The admission queue is full; retry later. Request-scoped.
+  Overloaded = 2,
+  /// Protocol violation (bad magic/version/oversized frame, unexpected
+  /// frame type). Connection-scoped: the daemon closes after sending.
+  Malformed = 3,
+  /// The daemon is draining; no new requests are admitted.
+  ShuttingDown = 4,
+};
+
+[[nodiscard]] const char* toString(Status status);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::Request;
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+/// Append the binary encoding of one frame to `out`.
+void appendFrame(std::string& out, FrameType type, std::uint64_t id,
+                 std::string_view payload);
+
+/// Convenience for Response/StatsResponse/Error frames: payload is the
+/// Status byte followed by `text`.
+void appendStatusFrame(std::string& out, FrameType type, std::uint64_t id,
+                       Status status, std::string_view text);
+
+/// Split a status-carrying payload back into (status, text). Returns
+/// false for an empty payload or an out-of-range status byte.
+bool splitStatusPayload(std::string_view payload, Status& status,
+                        std::string_view& text);
+
+/// Incremental frame decoder: feed bytes as they arrive, pull complete
+/// frames out. Both the daemon's per-connection read path and the
+/// client use it.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t maxPayload = kMaxPayload)
+      : max_payload_(maxPayload) {}
+
+  /// Buffer incoming bytes.
+  void append(const char* data, std::size_t size);
+
+  enum class Result {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< `out` holds the next frame
+    Error,     ///< protocol violation; error() explains. The reader is
+               ///< poisoned: every later next() also returns Error.
+  };
+
+  /// Decode the next complete frame, if any.
+  Result next(Frame& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes currently buffered (for idle/overload accounting).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::string error_;
+};
+
+}  // namespace grover::net

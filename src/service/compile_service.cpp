@@ -14,25 +14,6 @@
 namespace grover::service {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// Accumulate the elapsed time of one stage into an atomic counter.
-class StageTimer {
- public:
-  explicit StageTimer(std::atomic<std::uint64_t>& sink)
-      : sink_(sink), start_(Clock::now()) {}
-  ~StageTimer() {
-    sink_ += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start_)
-            .count());
-  }
-
- private:
-  std::atomic<std::uint64_t>& sink_;
-  Clock::time_point start_;
-};
-
 ArtifactPtr negative(std::string diagnostics) {
   auto a = std::make_shared<Artifact>();
   a->ok = false;
@@ -91,7 +72,7 @@ std::uint64_t CompileService::cacheKey(const Request& resolved) {
 CompileService::Future CompileService::submit(Request request) {
   Request resolved = resolve(std::move(request));
   const std::uint64_t key = cacheKey(resolved);
-  ++requests_;
+  bump(&Counters::requests);
 
   std::unique_lock lock(mutex_);
   for (;;) {
@@ -99,17 +80,17 @@ CompileService::Future CompileService::submit(Request request) {
       throw GroverError("compile service is shut down");
     }
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
-      ++coalesced_;
+      bump(&Counters::coalesced);
       return it->second;
     }
     // Memory probe under the service lock: the leader publishes to the
     // cache *before* leaving inflight_, so this order can never miss a
     // finished compilation (single-flight guarantee).
     {
-      StageTimer timer(cache_ns_);
+      StageTimer timer(*this, &Counters::cacheNs);
       if (ArtifactPtr hit = cache_.get(key)) {
-        ++memory_hits_;
-        if (!hit->ok) ++negative_hits_;
+        bump(&Counters::memoryHits);
+        if (!hit->ok) bump(&Counters::negativeHits);
         std::promise<ArtifactPtr> ready;
         ready.set_value(std::move(hit));
         return ready.get_future().share();
@@ -119,7 +100,7 @@ CompileService::Future CompileService::submit(Request request) {
     cv_capacity_.wait(lock);
   }
 
-  ++misses_;
+  bump(&Counters::misses);
   ++pending_;
   auto promise = std::make_shared<std::promise<ArtifactPtr>>();
   Future future = promise->get_future().share();
@@ -131,14 +112,14 @@ CompileService::Future CompileService::submit(Request request) {
     ArtifactPtr artifact;
     try {
       {
-        StageTimer timer(cache_ns_);
+        StageTimer timer(*this, &Counters::cacheNs);
         artifact = cache_.loadFromDisk(key);
       }
       if (artifact != nullptr) {
-        ++disk_hits_;
+        bump(&Counters::diskHits);
       } else {
         artifact = compileUncached(resolved);
-        StageTimer timer(cache_ns_);
+        StageTimer timer(*this, &Counters::cacheNs);
         cache_.storeToDisk(key, *artifact);
       }
     } catch (const std::exception& e) {
@@ -150,7 +131,7 @@ CompileService::Future CompileService::submit(Request request) {
     // the future: anyone who observes the future done will find the
     // artifact in the cache, never a stale in-flight entry.
     {
-      StageTimer timer(cache_ns_);
+      StageTimer timer(*this, &Counters::cacheNs);
       cache_.put(key, artifact);
     }
     {
@@ -212,13 +193,13 @@ AutoResult CompileService::compileAuto(Request request) {
   if (std::optional<policy::Decision> warm =
           policy_store_.lookup(out.policyKey);
       warm.has_value()) {
-    ++policy_hits_;
+    bump(&Counters::policyHits);
     out.policyHit = true;
     out.decision = *warm;
     // A full artifact may already be cached for this exact request —
     // serving it is free and strictly more informative.
     {
-      StageTimer timer(cache_ns_);
+      StageTimer timer(*this, &Counters::cacheNs);
       if (ArtifactPtr full = cache_.get(cacheKey(resolved))) {
         out.artifact = full;
       }
@@ -239,11 +220,11 @@ AutoResult CompileService::compileAuto(Request request) {
           continue;
         }
         grv::GroverResult result = [&] {
-          StageTimer timer(grover_ns_);
+          StageTimer timer(*this, &Counters::groverNs);
           return grv::runGrover(*fn, resolved.options);
         }();
         {
-          StageTimer timer(validate_ns_);
+          StageTimer timer(*this, &Counters::validateNs);
           ir::verifyFunction(*fn);
         }
         artifact->report.anyTransformed |= result.anyTransformed;
@@ -254,7 +235,7 @@ AutoResult CompileService::compileAuto(Request request) {
       }
       artifact->transformedText = ir::printModule(*program.module);
     } else {
-      StageTimer timer(print_ns_);
+      StageTimer timer(*this, &Counters::printNs);
       artifact->originalText = ir::printModule(*program.module);
     }
     artifact->ok = true;
@@ -265,7 +246,7 @@ AutoResult CompileService::compileAuto(Request request) {
     return out;
   }
 
-  ++policy_misses_;
+  bump(&Counters::policyMisses);
   // Cold: full both-variant pipeline through the cached, single-flight
   // path, then learn the decision from the estimates.
   out.artifact = run(resolved);
@@ -275,7 +256,7 @@ AutoResult CompileService::compileAuto(Request request) {
         policy::EstimatePair{out.artifact->cyclesWithLM,
                              out.artifact->cyclesWithoutLM});
     policy_store_.store(out.policyKey, out.decision);
-    ++policy_stores_;
+    bump(&Counters::policyStores);
   }
   maybeMeasure(resolved, out);
   return out;
@@ -298,12 +279,12 @@ void CompileService::maybeMeasure(const Request& resolved, AutoResult& out) {
   opts.scale = resolved.scale;
   perf::Measurement m;
   {
-    StageTimer timer(execute_ns_);
+    StageTimer timer(*this, &Counters::executeNs);
     m = perf::measure(apps::applicationById(resolved.appId), opts);
   }
   if (!m.ok) return;  // execution failure: keep the estimate-based decision
-  ++measurements_;
-  if (m.usedNative) ++native_measurements_;
+  bump(&Counters::measurements);
+  if (m.usedNative) bump(&Counters::nativeMeasurements);
   out.decision = recordMeasurement(out.policyKey, m.measuredNp);
   out.measured = true;
   out.measurement = std::move(m);
@@ -354,18 +335,18 @@ policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
   refreshed.predictedOutcome =
       perf::classify(refreshed.predictedNp, threshold);
   policy_store_.store(policyKey, refreshed);
-  ++policy_refreshes_;
+  bump(&Counters::policyRefreshes);
   return refreshed;
 }
 
 ArtifactPtr CompileService::compileUncached(const Request& resolved) {
-  ++compiles_;
+  bump(&Counters::compiles);
   auto artifact = std::make_shared<Artifact>();
 
   Program original;
   Program transformed;
   {
-    StageTimer timer(frontend_ns_);
+    StageTimer timer(*this, &Counters::frontendNs);
     DiagnosticEngine diags;
     original = compileWithDiags(resolved.source, diags);
     if (original.module == nullptr || diags.hasErrors()) {
@@ -388,11 +369,11 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
       }
       any = true;
       grv::GroverResult result = [&] {
-        StageTimer timer(grover_ns_);
+        StageTimer timer(*this, &Counters::groverNs);
         return grv::runGrover(*fn, resolved.options);
       }();
       {
-        StageTimer timer(validate_ns_);
+        StageTimer timer(*this, &Counters::validateNs);
         ir::verifyFunction(*fn);
       }
       artifact->report.anyTransformed |= result.anyTransformed;
@@ -409,13 +390,13 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
   }
 
   {
-    StageTimer timer(print_ns_);
+    StageTimer timer(*this, &Counters::printNs);
     artifact->originalText = ir::printModule(*original.module);
     artifact->transformedText = ir::printModule(*transformed.module);
   }
 
   if (!resolved.platform.empty()) {
-    StageTimer timer(estimate_ns_);
+    StageTimer timer(*this, &Counters::estimateNs);
     const apps::Application& app = apps::applicationById(resolved.appId);
     const perf::PlatformSpec spec = *perf::findPlatform(resolved.platform);
     ir::Function* origKernel = original.kernel(resolved.kernelName);
@@ -452,37 +433,46 @@ void CompileService::shutdown() {
 }
 
 ServiceStats CompileService::stats() const {
-  ServiceStats s;
-  s.requests = requests_.load();
-  s.memoryHits = memory_hits_.load();
-  s.negativeHits = negative_hits_.load();
-  s.coalesced = coalesced_.load();
-  s.misses = misses_.load();
-  s.diskHits = disk_hits_.load();
-  s.compiles = compiles_.load();
+  // Sub-component snapshots first (each consistent under its own lock),
+  // then every service counter in ONE critical section — a reader can
+  // never observe e.g. policyHits from after a request but measurements
+  // from before it.
   const ArtifactCache::Stats c = cache_.stats();
+  const policy::FeedbackLoop::Stats f = feedback_.stats();
+  Counters snap;
+  {
+    std::lock_guard lock(stats_mutex_);
+    snap = counters_;
+  }
+  ServiceStats s;
+  s.requests = snap.requests;
+  s.memoryHits = snap.memoryHits;
+  s.negativeHits = snap.negativeHits;
+  s.coalesced = snap.coalesced;
+  s.misses = snap.misses;
+  s.diskHits = snap.diskHits;
+  s.compiles = snap.compiles;
   s.evictions = c.evictions;
   s.diskLoadFailures = c.diskLoadFailures;
   s.diskStores = c.diskStores;
   s.entries = c.entries;
   s.bytesInUse = c.bytesInUse;
-  const auto ms = [](const std::atomic<std::uint64_t>& ns) {
-    return static_cast<double>(ns.load()) / 1e6;
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
   };
-  s.frontendMs = ms(frontend_ns_);
-  s.groverMs = ms(grover_ns_);
-  s.validateMs = ms(validate_ns_);
-  s.printMs = ms(print_ns_);
-  s.estimateMs = ms(estimate_ns_);
-  s.executeMs = ms(execute_ns_);
-  s.cacheMs = ms(cache_ns_);
-  s.policyHits = policy_hits_.load();
-  s.policyMisses = policy_misses_.load();
-  s.policyStores = policy_stores_.load();
-  s.measurements = measurements_.load();
-  s.nativeMeasurements = native_measurements_.load();
-  s.policyRefreshes = policy_refreshes_.load();
-  const policy::FeedbackLoop::Stats f = feedback_.stats();
+  s.frontendMs = ms(snap.frontendNs);
+  s.groverMs = ms(snap.groverNs);
+  s.validateMs = ms(snap.validateNs);
+  s.printMs = ms(snap.printNs);
+  s.estimateMs = ms(snap.estimateNs);
+  s.executeMs = ms(snap.executeNs);
+  s.cacheMs = ms(snap.cacheNs);
+  s.policyHits = snap.policyHits;
+  s.policyMisses = snap.policyMisses;
+  s.policyStores = snap.policyStores;
+  s.measurements = snap.measurements;
+  s.nativeMeasurements = snap.nativeMeasurements;
+  s.policyRefreshes = snap.policyRefreshes;
   s.policyFlips = f.flips;
   s.policyMismatches = f.mismatches;
   return s;

@@ -5,7 +5,7 @@
 // a bounded in-flight queue and a drain/shutdown path.
 #pragma once
 
-#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -168,6 +168,10 @@ class CompileService {
   /// by the destructor.
   void shutdown();
 
+  /// One consistent snapshot of every service counter, taken under a
+  /// single lock — concurrent traffic can never produce a torn view
+  /// (e.g. policyHits bumped but measurements not yet). The daemon's
+  /// stats endpoint depends on this.
   [[nodiscard]] ServiceStats stats() const;
 
   /// Fill appId-derived fields and validate the request. Public so tools
@@ -178,6 +182,50 @@ class CompileService {
   [[nodiscard]] static std::uint64_t cacheKey(const Request& resolved);
 
  private:
+  /// Service-owned counters. All of them live in one struct guarded by
+  /// stats_mutex_ (never the service mutex_) so stats() can copy the
+  /// whole block atomically instead of reading fields one by one.
+  struct Counters {
+    std::uint64_t requests = 0, memoryHits = 0, negativeHits = 0,
+        coalesced = 0, misses = 0, diskHits = 0, compiles = 0;
+    std::uint64_t policyHits = 0, policyMisses = 0, policyStores = 0;
+    std::uint64_t measurements = 0, nativeMeasurements = 0,
+        policyRefreshes = 0;
+    // Cumulative per-stage wall time, nanoseconds.
+    std::uint64_t frontendNs = 0, groverNs = 0, validateNs = 0,
+        printNs = 0, estimateNs = 0, executeNs = 0, cacheNs = 0;
+  };
+
+  /// RAII stage clock: adds the elapsed nanoseconds to one Counters
+  /// field on destruction.
+  class StageTimer {
+   public:
+    StageTimer(CompileService& service, std::uint64_t Counters::*field)
+        : service_(service),
+          field_(field),
+          start_(std::chrono::steady_clock::now()) {}
+    ~StageTimer() {
+      service_.bump(
+          field_,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count()));
+    }
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+   private:
+    CompileService& service_;
+    std::uint64_t Counters::*field_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void bump(std::uint64_t Counters::*field, std::uint64_t delta = 1) {
+    std::lock_guard lock(stats_mutex_);
+    counters_.*field += delta;
+  }
+
   [[nodiscard]] ArtifactPtr compileUncached(const Request& resolved);
   /// Deterministic measurement sampling of one eligible compileAuto()
   /// result; folds the measured np into the decision store on fire.
@@ -202,16 +250,8 @@ class CompileService {
   /// it, so a mismatch can be re-estimated (guarded by mutex_).
   std::unordered_map<std::uint64_t, Request> auto_requests_;
 
-  std::atomic<std::uint64_t> requests_{0}, memory_hits_{0},
-      negative_hits_{0}, coalesced_{0}, misses_{0}, disk_hits_{0},
-      compiles_{0};
-  std::atomic<std::uint64_t> policy_hits_{0}, policy_misses_{0},
-      policy_stores_{0};
-  std::atomic<std::uint64_t> measurements_{0}, native_measurements_{0},
-      policy_refreshes_{0};
-  std::atomic<std::uint64_t> frontend_ns_{0}, grover_ns_{0},
-      validate_ns_{0}, print_ns_{0}, estimate_ns_{0}, execute_ns_{0},
-      cache_ns_{0};
+  mutable std::mutex stats_mutex_;
+  Counters counters_;  // guarded by stats_mutex_
 };
 
 }  // namespace grover::service

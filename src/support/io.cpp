@@ -1,0 +1,40 @@
+#include "support/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace grover {
+
+bool readTextFile(const std::string& path, std::string& out,
+                  std::string& error) {
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(status)) {
+    error = "no such file";
+    return false;
+  }
+  if (!std::filesystem::is_regular_file(status)) {
+    error = "not a regular file";
+    return false;
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    error = "cannot open (permission denied?)";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    error = "read error";
+    return false;
+  }
+  out = buffer.str();
+  if (out.find_first_not_of(" \t\r\n") == std::string::npos) {
+    error = "file is empty";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace grover

@@ -1,0 +1,14 @@
+// Small filesystem helpers shared by the tools and the serving layer.
+#pragma once
+
+#include <string>
+
+namespace grover {
+
+/// Read a whole text file. Returns false and fills `error` with a
+/// one-line reason on any problem (missing, directory, unreadable,
+/// empty) — callers must not compile an empty or half-read source.
+bool readTextFile(const std::string& path, std::string& out,
+                  std::string& error);
+
+}  // namespace grover

@@ -113,6 +113,48 @@ TEST(GrovercCli, ServeBatchServesRequestsAndReportsCacheStats) {
   fs::remove(batch);
 }
 
+TEST(GrovercCli, ServeBatchMalformedLinesAreAttributedToFileAndLine) {
+  // The satellite regression at the CLI layer: a bad request in a batch
+  // file is reported with the file name and the 1-based line number it
+  // sits on (comments and blank lines count), and fails the run.
+  const fs::path batch = tmpFile("malformed.txt",
+                                 "# header comment\n"
+                                 "NVD-MT SNB test\n"
+                                 "\n"
+                                 "NVD-MT SNB warp\n"
+                                 "AMD-SS SNB bench extra\n");
+  const RunResult r = runGroverc("--serve-batch=" + batch.string());
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find(batch.string() + ":4: bad scale 'warp'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(batch.string() + ":5: too many arguments"),
+            std::string::npos)
+      << r.output;
+  // The valid line is still served.
+  EXPECT_NE(r.output.find("[1] NVD-MT SNB test: ok,"), std::string::npos)
+      << r.output;
+  fs::remove(batch);
+}
+
+TEST(GrovercCli, VersionPrintsInjectedDescribeString) {
+  const RunResult r = runGroverc("--version");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_EQ(r.output.rfind("groverc ", 0), 0u) << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+  EXPECT_EQ(r.output.find("@GROVER_GIT_DESCRIBE@"), std::string::npos)
+      << r.output;
+}
+
+TEST(GrovercCli, ConnectWithoutServeBatchIsRejected) {
+  const RunResult r = runGroverc("--connect=127.0.0.1:9 x.cl");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("--connect requires --serve-batch"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(countLines(r.output), 1u) << r.output;
+}
+
 TEST(GrovercCli, ServeBatchMissingFileFails) {
   const RunResult r = runGroverc("--serve-batch=/no/such/batch.txt");
   EXPECT_NE(r.exitCode, 0);

@@ -1,0 +1,123 @@
+// The --serve-batch request grammar, and the satellite it grew: every
+// malformed line in a batch file must be reported with file name + line
+// number so a bad request in a long file is attributable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "apps/app.h"
+#include "net/batch.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using grover::net::BatchEntry;
+using grover::net::parseBatchFile;
+using grover::net::parseRequestLine;
+
+TEST(NetBatch, AppPlatformScaleLine) {
+  const BatchEntry e = parseRequestLine("NVD-MT SNB bench");
+  ASSERT_TRUE(e.valid) << e.error;
+  EXPECT_EQ(e.text, "NVD-MT SNB bench");
+  EXPECT_EQ(e.request.appId, "NVD-MT");
+  EXPECT_EQ(e.request.platform, "SNB");
+  EXPECT_EQ(e.request.scale, grover::apps::Scale::Bench);
+}
+
+TEST(NetBatch, ScaleDefaultsToTestAndNoneMeansNoPlatform) {
+  const BatchEntry e = parseRequestLine("AMD-SS none");
+  ASSERT_TRUE(e.valid) << e.error;
+  EXPECT_TRUE(e.request.platform.empty());
+  EXPECT_EQ(e.request.scale, grover::apps::Scale::Test);
+}
+
+TEST(NetBatch, CommentsAndBlanksProduceNoEntry) {
+  EXPECT_TRUE(parseRequestLine("").text.empty());
+  EXPECT_TRUE(parseRequestLine("   ").text.empty());
+  EXPECT_TRUE(parseRequestLine("# a comment").text.empty());
+  const BatchEntry e = parseRequestLine("NVD-MT SNB  # trailing comment");
+  ASSERT_TRUE(e.valid) << e.error;
+  EXPECT_EQ(e.text, "NVD-MT SNB");
+}
+
+TEST(NetBatch, BadScaleIsRejectedWithTheOffendingWord) {
+  const BatchEntry e = parseRequestLine("NVD-MT SNB warp");
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.error.find("bad scale 'warp'"), std::string::npos) << e.error;
+}
+
+TEST(NetBatch, TooManyArgumentsIsRejected) {
+  const BatchEntry e = parseRequestLine("NVD-MT SNB bench extra");
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.error.find("too many arguments"), std::string::npos)
+      << e.error;
+}
+
+TEST(NetBatch, ClPathTakesNoArguments) {
+  const BatchEntry e = parseRequestLine("kernel.cl SNB");
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.error.find("no further arguments"), std::string::npos)
+      << e.error;
+}
+
+TEST(NetBatch, MissingClFileNamesThePath) {
+  const BatchEntry e = parseRequestLine("/definitely/not/here.cl");
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.error.find("/definitely/not/here.cl"), std::string::npos)
+      << e.error;
+}
+
+TEST(NetBatch, ClFileIsReadIntoTheRequest) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("net_batch_" + std::to_string(::getpid()) + ".cl");
+  std::ofstream(path, std::ios::trunc)
+      << "__kernel void k(__global int* a) { a[0] = 1; }\n";
+  const BatchEntry e = parseRequestLine(path.string());
+  ASSERT_TRUE(e.valid) << e.error;
+  EXPECT_NE(e.request.source.find("__kernel"), std::string::npos);
+  EXPECT_TRUE(e.request.appId.empty());
+  fs::remove(path);
+}
+
+// The satellite regression: malformed entries from a batch file carry a
+// "<file>:<line>: " prefix, counting real file lines (comments and
+// blanks included in the count, excluded from the entries).
+TEST(NetBatch, MalformedLinesCarryFileAndLineNumber) {
+  const std::string contents =
+      "# Table IV requests\n"
+      "\n"
+      "NVD-MT SNB test\n"
+      "NVD-MT SNB warp\n"
+      "\n"
+      "AMD-SS SNB bench extra\n";
+  const std::vector<BatchEntry> entries =
+      parseBatchFile(contents, "reqs.txt");
+  ASSERT_EQ(entries.size(), 3u);
+
+  EXPECT_TRUE(entries[0].valid);
+  EXPECT_EQ(entries[0].line, 3u);
+
+  EXPECT_FALSE(entries[1].valid);
+  EXPECT_EQ(entries[1].line, 4u);
+  EXPECT_EQ(entries[1].error.rfind("reqs.txt:4: ", 0), 0u)
+      << entries[1].error;
+  EXPECT_NE(entries[1].error.find("bad scale"), std::string::npos);
+
+  EXPECT_FALSE(entries[2].valid);
+  EXPECT_EQ(entries[2].error.rfind("reqs.txt:6: ", 0), 0u)
+      << entries[2].error;
+}
+
+TEST(NetBatch, NoFileNameMeansNoPrefix) {
+  const std::vector<BatchEntry> entries =
+      parseBatchFile("NVD-MT SNB warp\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].error.rfind("bad scale", 0), 0u)
+      << entries[0].error;
+}
+
+}  // namespace

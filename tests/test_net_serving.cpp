@@ -1,0 +1,448 @@
+// In-process serving tests: a real Server event loop on an ephemeral
+// loopback port (run() on its own thread), real Client sockets driving
+// it. Covers the concurrency properties the daemon exists for —
+// single-flight across connections, shared policy warmth — and the
+// failure modes it must survive: malformed and oversized frames,
+// clients vanishing mid-request, admission-queue overflow, and a drain
+// that completes in-flight work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "service/compile_service.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+using grover::GroverError;
+using grover::net::Client;
+using grover::net::Frame;
+using grover::net::FrameType;
+using grover::net::Server;
+using grover::net::ServerConfig;
+using grover::net::ServerStats;
+using grover::net::Status;
+using grover::service::CompileService;
+using grover::service::ServiceConfig;
+using grover::service::ServiceStats;
+
+/// One service + one server + the event loop on a background thread.
+struct Serving {
+  CompileService service;
+  Server server;
+  std::thread loop;
+
+  explicit Serving(ServerConfig serverConfig = {},
+                   ServiceConfig serviceConfig = {})
+      : service(serviceConfig), server(service, serverConfig) {
+    server.bind();
+    loop = std::thread([this] { server.run(); });
+  }
+
+  ~Serving() { stop(); }
+
+  void stop() {
+    server.requestStop();
+    if (loop.joinable()) loop.join();
+  }
+
+  [[nodiscard]] std::string addr() const {
+    return "127.0.0.1:" + std::to_string(server.port());
+  }
+};
+
+struct Reply {
+  std::uint64_t id = 0;
+  Status status = Status::Ok;
+  std::string text;
+};
+
+Reply readReply(Client& client) {
+  const Frame frame = client.readFrame();
+  Reply r;
+  r.id = frame.id;
+  std::string_view text;
+  EXPECT_TRUE(grover::net::splitStatusPayload(frame.payload, r.status, text))
+      << "unsplittable payload on frame id " << frame.id;
+  r.text = std::string(text);
+  return r;
+}
+
+Reply request(Client& client, const std::string& line, std::uint64_t id,
+              FrameType type = FrameType::Request) {
+  client.sendFrame(type, id, line);
+  return readReply(client);
+}
+
+/// Spin until `predicate` holds or ~5 s pass (completions cross threads;
+/// stats are eventually consistent with the wire).
+template <typename Predicate>
+bool eventually(Predicate predicate) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+TEST(NetServing, RoundTripAndPipeliningOnOneConnection) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  // Two requests pipelined before any read; ids match them back up.
+  client.sendFrame(FrameType::Request, 10, "NVD-MT SNB test");
+  client.sendFrame(FrameType::Request, 11, "AMD-SS SNB test");
+  const Reply a = readReply(client);
+  const Reply b = readReply(client);
+  EXPECT_EQ(a.status, Status::Ok) << a.text;
+  EXPECT_EQ(b.status, Status::Ok) << b.text;
+  EXPECT_TRUE((a.id == 10 && b.id == 11) || (a.id == 11 && b.id == 10));
+  EXPECT_EQ(a.text.rfind("ok, ", 0), 0u) << a.text;
+}
+
+TEST(NetServing, MalformedGrammarLineFailsTheRequestNotTheConnection) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  const Reply bad = request(client, "NVD-MT SNB warp", 1);
+  EXPECT_EQ(bad.status, Status::RequestFailed);
+  EXPECT_NE(bad.text.find("bad scale"), std::string::npos) << bad.text;
+
+  // The connection survives a failed request.
+  const Reply good = request(client, "NVD-MT SNB test", 2);
+  EXPECT_EQ(good.status, Status::Ok) << good.text;
+}
+
+TEST(NetServing, SingleFlightHoldsAcrossConnections) {
+  // 8 client threads hammer the same two request lines; the service must
+  // compile each unique key exactly once — everything else is a memory
+  // hit or a coalesced join of the in-flight leader.
+  Serving s;
+  const std::vector<std::string> lines = {"NVD-MT SNB test",
+                                          "AMD-SS SNB test"};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> okCount{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Client client;
+      client.connect(s.addr());
+      for (int i = 0; i < kPerThread; ++i) {
+        const Reply r =
+            request(client, lines[(t + i) % lines.size()],
+                    static_cast<std::uint64_t>(t * 100 + i));
+        if (r.status == Status::Ok) ++okCount;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(okCount.load(), kThreads * kPerThread);
+  const ServiceStats stats = s.service.stats();
+  EXPECT_EQ(stats.compiles, lines.size());
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Every request either led, joined the leader, or hit the cache.
+  EXPECT_EQ(stats.misses + stats.coalesced + stats.memoryHits,
+            stats.requests);
+}
+
+TEST(NetServing, PolicyWarmHitCountersAddUp) {
+  Serving s;
+
+  // Cold decision first, sequentially, so the store is warm before the
+  // concurrent clients arrive.
+  {
+    Client client;
+    client.connect(s.addr());
+    const Reply cold =
+        request(client, "NVD-MT SNB test", 1, FrameType::AutoRequest);
+    ASSERT_EQ(cold.status, Status::Ok) << cold.text;
+    EXPECT_NE(cold.text.find("cold decision"), std::string::npos)
+        << cold.text;
+  }
+
+  constexpr int kWarmClients = 6;
+  std::vector<std::thread> clients;
+  std::atomic<int> warmHits{0};
+  for (int t = 0; t < kWarmClients; ++t) {
+    clients.emplace_back([&, t] {
+      Client client;
+      client.connect(s.addr());
+      const Reply r = request(client, "NVD-MT SNB test",
+                              static_cast<std::uint64_t>(10 + t),
+                              FrameType::AutoRequest);
+      if (r.status == Status::Ok &&
+          r.text.find("policy hit") != std::string::npos) {
+        ++warmHits;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(warmHits.load(), kWarmClients);
+  const ServiceStats stats = s.service.stats();
+  EXPECT_EQ(stats.policyMisses, 1u);
+  EXPECT_EQ(stats.policyHits, static_cast<std::uint64_t>(kWarmClients));
+  EXPECT_EQ(stats.policyHits + stats.policyMisses,
+            static_cast<std::uint64_t>(kWarmClients + 1));
+}
+
+TEST(NetServing, ClientDisconnectMidRequestNeitherLeaksNorWedges) {
+  Serving s;
+  {
+    // Fire a slow (bench-scale) request, wait until the daemon has
+    // admitted it, then vanish before the reply.
+    Client doomed;
+    doomed.connect(s.addr());
+    doomed.sendFrame(FrameType::Request, 1, "NVD-MT SNB bench");
+    ASSERT_TRUE(eventually(
+        [&] { return s.server.stats().requestsAdmitted == 1; }));
+  }  // destructor closes the socket
+
+  // The in-flight request must complete, its completion must be dropped
+  // (not leaked into a dead connection), and the admission slot freed.
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().disconnectedMidRequest == 1;
+  })) << "completion for the dead connection never drained";
+
+  // The loop is not wedged: a new client gets served.
+  Client client;
+  client.connect(s.addr());
+  const Reply r = request(client, "AMD-SS SNB test", 2);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+
+  const ServerStats stats = s.server.stats();
+  EXPECT_EQ(stats.connectionsAccepted, 2u);
+  EXPECT_EQ(stats.requestsAdmitted, 2u);
+}
+
+TEST(NetServing, AdmissionOverflowIsRejectedNotQueued) {
+  ServerConfig serverConfig;
+  serverConfig.maxAdmitted = 1;
+  ServiceConfig serviceConfig;
+  serviceConfig.workers = 1;
+  Serving s(serverConfig, serviceConfig);
+
+  Client client;
+  client.connect(s.addr());
+  // Four distinct slow requests in ONE buffer: the loop decodes them in
+  // one batch, admits the first, and must reject the rest immediately —
+  // backpressure to the client, not an unbounded queue.
+  std::string burst;
+  grover::net::appendFrame(burst, FrameType::Request, 1, "NVD-MT SNB bench");
+  grover::net::appendFrame(burst, FrameType::Request, 2, "AMD-SS SNB bench");
+  grover::net::appendFrame(burst, FrameType::Request, 3, "AMD-MT SNB bench");
+  grover::net::appendFrame(burst, FrameType::Request, 4, "AMD-RG SNB bench");
+  client.sendRaw(burst);
+
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Reply r = readReply(client);
+    if (r.status == Status::Ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status, Status::Overloaded);
+      EXPECT_NE(r.text.find("admission queue full"), std::string::npos)
+          << r.text;
+      ++overloaded;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_EQ(ok + overloaded, 4);
+  EXPECT_EQ(s.server.stats().rejectedOverload,
+            static_cast<std::uint64_t>(overloaded));
+
+  // Rejection is request-scoped: the connection still serves.
+  const Reply after = request(client, "NVD-MT SNB test", 5);
+  EXPECT_EQ(after.status, Status::Ok) << after.text;
+}
+
+TEST(NetServing, MalformedFrameGetsErrorThenClose) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  client.sendRaw("this is not a groverd frame at all");
+  const Frame frame = client.readFrame();
+  EXPECT_EQ(frame.type, FrameType::Error);
+  Status status = Status::Ok;
+  std::string_view text;
+  ASSERT_TRUE(grover::net::splitStatusPayload(frame.payload, status, text));
+  EXPECT_EQ(status, Status::Malformed);
+  EXPECT_NE(text.find("magic"), std::string_view::npos)
+      << std::string(text);
+
+  // Connection-scoped violation: the daemon hangs up after the error.
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+  EXPECT_TRUE(eventually([&] {
+    const ServerStats stats = s.server.stats();
+    return stats.protocolErrors == 1 && stats.connectionsClosed == 1;
+  }));
+}
+
+TEST(NetServing, OversizedFrameGetsErrorThenClose) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  // A valid header declaring a 2 MiB payload (bound is 1 MiB).
+  std::string header;
+  grover::net::appendFrame(header, FrameType::Request, 1, "");
+  const std::uint32_t huge = 2u << 20;
+  header[16] = static_cast<char>(huge & 0xFF);
+  header[17] = static_cast<char>((huge >> 8) & 0xFF);
+  header[18] = static_cast<char>((huge >> 16) & 0xFF);
+  header[19] = static_cast<char>((huge >> 24) & 0xFF);
+  client.sendRaw(header);
+
+  const Frame frame = client.readFrame();
+  EXPECT_EQ(frame.type, FrameType::Error);
+  Status status = Status::Ok;
+  std::string_view text;
+  ASSERT_TRUE(grover::net::splitStatusPayload(frame.payload, status, text));
+  EXPECT_EQ(status, Status::Malformed);
+  EXPECT_NE(text.find("oversized"), std::string_view::npos)
+      << std::string(text);
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+}
+
+TEST(NetServing, UnexpectedFrameTypeFromClientIsAProtocolError) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  client.sendFrame(FrameType::Response, 1, std::string(1, '\0'));
+  const Frame frame = client.readFrame();
+  EXPECT_EQ(frame.type, FrameType::Error);
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+}
+
+TEST(NetServing, StatsFrameReturnsServiceAndServerCounters) {
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+  ASSERT_EQ(request(client, "NVD-MT SNB test", 1).status, Status::Ok);
+
+  client.sendFrame(FrameType::Stats, 2, "");
+  const Frame frame = client.readFrame();
+  EXPECT_EQ(frame.type, FrameType::StatsResponse);
+  Status status = Status::RequestFailed;
+  std::string_view text;
+  ASSERT_TRUE(grover::net::splitStatusPayload(frame.payload, status, text));
+  EXPECT_EQ(status, Status::Ok);
+  const std::string body(text);
+  EXPECT_NE(body.find("cache:"), std::string::npos) << body;
+  EXPECT_NE(body.find("server: "), std::string::npos) << body;
+  EXPECT_NE(body.find("1 admitted"), std::string::npos) << body;
+}
+
+TEST(NetServing, DrainCompletesInFlightRequestsThenExits) {
+  ServiceConfig serviceConfig;
+  serviceConfig.workers = 1;
+  Serving s({}, serviceConfig);
+
+  Client client;
+  client.connect(s.addr());
+  // Two slow requests on one worker: a wide in-flight window.
+  client.sendFrame(FrameType::Request, 1, "NVD-MM-A SNB bench");
+  client.sendFrame(FrameType::Request, 2, "NVD-MM-B SNB bench");
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  s.server.requestStop();
+
+  // Both in-flight responses still arrive, then the daemon hangs up.
+  const Reply a = readReply(client);
+  const Reply b = readReply(client);
+  EXPECT_EQ(a.status, Status::Ok) << a.text;
+  EXPECT_EQ(b.status, Status::Ok) << b.text;
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+
+  s.stop();  // run() must return promptly
+  const ServerStats stats = s.server.stats();
+  EXPECT_EQ(stats.responsesSent, 2u);
+  EXPECT_EQ(stats.connectionsClosed, stats.connectionsAccepted);
+}
+
+TEST(NetServing, RequestsDuringDrainAreRejectedShuttingDown) {
+  ServiceConfig serviceConfig;
+  serviceConfig.workers = 1;
+  Serving s({}, serviceConfig);
+
+  Client client;
+  client.connect(s.addr());
+  // Keep the connection busy so the drain cannot close it while we poke
+  // it with a late request: two heavy requests serialized on one worker
+  // hold the in-flight window open well past the sleeps below.
+  client.sendFrame(FrameType::Request, 1, "NVD-MM-A SNB bench");
+  client.sendFrame(FrameType::Request, 2, "NVD-MM-B SNB bench");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  s.server.requestStop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.sendFrame(FrameType::Request, 3, "AMD-MT SNB test");
+
+  bool sawShutdownReject = false;
+  int served = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Reply r = readReply(client);
+    if (r.id == 3) {
+      EXPECT_EQ(r.status, Status::ShuttingDown) << r.text;
+      sawShutdownReject = r.status == Status::ShuttingDown;
+    } else {
+      EXPECT_EQ(r.status, Status::Ok) << r.text;
+      ++served;
+    }
+  }
+  EXPECT_TRUE(sawShutdownReject);
+  EXPECT_EQ(served, 2);
+  s.stop();
+  EXPECT_EQ(s.server.stats().rejectedShutdown, 1u);
+}
+
+TEST(NetServing, IdleConnectionsAreTimedOut) {
+  ServerConfig serverConfig;
+  serverConfig.idleTimeoutMs = 100;
+  Serving s(serverConfig);
+
+  Client client;
+  client.connect(s.addr());
+  EXPECT_THROW((void)client.readFrame(), GroverError);  // daemon hangs up
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().idleTimeouts == 1;
+  }));
+}
+
+TEST(NetServing, UnixDomainSocketServes) {
+  const std::string path =
+      "/tmp/grover_serving_" + std::to_string(::getpid()) + ".sock";
+  ServerConfig serverConfig;
+  serverConfig.host = "none";
+  serverConfig.unixPath = path;
+  Serving s(serverConfig);
+  EXPECT_EQ(s.server.port(), 0);
+
+  Client client;
+  client.connect(path);
+  const Reply r = request(client, "NVD-MT SNB test", 1);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+  s.stop();
+  ::unlink(path.c_str());
+}
+
+}  // namespace

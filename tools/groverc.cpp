@@ -7,7 +7,7 @@
 //           [--threads=N] [--native]
 //   groverc --serve-batch=<file> [--threads=N] [--repeat=K]
 //           [--cache-mb=M] [--cache-dir=DIR] [--auto] [--policy-dir=DIR]
-//           [--measure-rate=<f>]
+//           [--measure-rate=<f>] [--connect=<host:port|socket>]
 //
 // The first form reads an OpenCL C kernel, runs the full pipeline
 // (front-end → SSA → Grover), prints the Table III-style index report, and
@@ -17,7 +17,9 @@
 // model, using --threads host threads for the trace-driven estimation.
 // The third form reads a request file (one request per line), serves all
 // requests concurrently through the compilation service, and reports
-// throughput plus cache effectiveness (see tools/README.md).
+// throughput plus cache effectiveness (see tools/README.md). With
+// --connect the same batch is shipped to a running groverd daemon
+// instead of an in-process service.
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -36,12 +38,18 @@
 #include "grovercl/harness.h"
 #include "ir/printer.h"
 #include "native/engine.h"
+#include "net/batch.h"
+#include "net/client.h"
+#include "net/render.h"
+#include "net/wire.h"
 #include "perf/measure.h"
 #include "perf/platform.h"
 #include "policy/policy_store.h"
 #include "service/compile_service.h"
 #include "support/diagnostics.h"
+#include "support/io.h"
 #include "support/str.h"
+#include "support/version.h"
 
 namespace {
 
@@ -85,42 +93,16 @@ void usage() {
       "  --policy-dir=DIR  persist policy decisions on disk (with --auto)\n"
       "  --measure-rate=<f> with --auto: execute this fraction (0..1] of\n"
       "                    served requests for real and fold the measured\n"
-      "                    np back into the decision store\n";
+      "                    np back into the decision store\n"
+      "  --connect=<spec>  with --serve-batch: ship the requests to a\n"
+      "                    running groverd daemon at <host:port> or a\n"
+      "                    unix socket path instead of serving them\n"
+      "                    in-process (--auto and --repeat apply; cache/\n"
+      "                    policy/measure flags are daemon-side)\n"
+      "  --version         print the build version and exit\n";
 }
 
-/// Read a kernel/request file. Returns false and fills `error` with a
-/// one-line reason on any problem (missing, directory, unreadable,
-/// empty) — callers must not compile an empty or half-read source.
-bool readTextFile(const std::string& path, std::string& out,
-                  std::string& error) {
-  std::error_code ec;
-  const auto status = std::filesystem::status(path, ec);
-  if (ec || !std::filesystem::exists(status)) {
-    error = "no such file";
-    return false;
-  }
-  if (!std::filesystem::is_regular_file(status)) {
-    error = "not a regular file";
-    return false;
-  }
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    error = "cannot open (permission denied?)";
-    return false;
-  }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) {
-    error = "read error";
-    return false;
-  }
-  out = buffer.str();
-  if (out.find_first_not_of(" \t\r\n") == std::string::npos) {
-    error = "file is empty";
-    return false;
-  }
-  return true;
-}
+using grover::readTextFile;
 
 void printReport(const grover::grv::GroverResult& result) {
   for (const auto& b : result.buffers) {
@@ -226,57 +208,131 @@ int runAppComparison(const std::string& appId, const std::string& platform,
   return 0;
 }
 
-/// One parsed line of a --serve-batch request file.
-struct BatchEntry {
-  std::string text;  // original line, for reporting
-  grover::service::Request request;
-  bool valid = false;
-  std::string error;
-};
+using grover::net::BatchEntry;
 
-/// Grammar: `<app-id> [<platform>] [test|bench]` or `<path ending in .cl>`
-/// (transform-only). `#` starts a comment.
-std::vector<BatchEntry> parseBatchFile(const std::string& contents) {
-  std::vector<BatchEntry> entries;
-  std::istringstream in(contents);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    std::istringstream tokens(line);
-    std::vector<std::string> words;
-    for (std::string w; tokens >> w;) words.push_back(w);
-    if (words.empty()) continue;
-    BatchEntry e;
-    e.text = grover::join(words, " ");
-    if (words[0].size() > 3 &&
-        words[0].rfind(".cl") == words[0].size() - 3) {
-      if (words.size() > 1) {
-        e.error = "a .cl request takes no further arguments";
-      } else if (std::string err;
-                 !readTextFile(words[0], e.request.source, err)) {
-        e.error = "cannot read '" + words[0] + "': " + err;
-      } else {
-        e.valid = true;
-      }
-    } else {
-      e.request.appId = words[0];
-      if (words.size() > 1 && words[1] != "none") {
-        e.request.platform = words[1];
-      }
-      if (words.size() > 2) {
-        if (words[2] != "test" && words[2] != "bench") {
-          e.error = "bad scale '" + words[2] + "'";
-        }
-        e.request.scale = words[2] == "bench" ? grover::apps::Scale::Bench
-                                              : grover::apps::Scale::Test;
-      }
-      if (words.size() > 3) e.error = "too many arguments";
-      e.valid = e.error.empty();
-    }
-    entries.push_back(std::move(e));
+/// Ship a serve-batch file to a running groverd daemon (--connect).
+/// Request lines go over the wire verbatim — the daemon parses them with
+/// the same grammar, and `.cl` paths resolve on the *daemon's*
+/// filesystem. Responses are pipelined (bounded window) and rendered
+/// exactly like a local serve-batch run, followed by the daemon's
+/// cumulative stats block.
+int runConnectBatch(const std::string& file, const std::string& spec,
+                    int repeat, bool autoPolicy) {
+  namespace net = grover::net;
+  std::string contents;
+  if (std::string err; !readTextFile(file, contents, err)) {
+    std::cerr << "groverc: cannot read '" << file << "': " << err << "\n";
+    return 1;
   }
-  return entries;
+  // Comment/blank stripping only: validation is the daemon's job.
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(contents);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (const std::size_t hash = line.find('#');
+          hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::istringstream tokens(line);
+      std::vector<std::string> words;
+      for (std::string w; tokens >> w;) words.push_back(w);
+      if (!words.empty()) lines.push_back(grover::join(words, " "));
+    }
+  }
+  if (lines.empty()) {
+    std::cerr << "groverc: '" << file << "' contains no requests\n";
+    return 1;
+  }
+
+  net::Client client;
+  try {
+    client.connect(spec);
+  } catch (const std::exception& e) {
+    std::cerr << "groverc: " << e.what() << "\n";
+    return 1;
+  }
+
+  struct Slot {
+    net::Status status = net::Status::Ok;
+    std::string text;
+    bool received = false;
+  };
+  const std::size_t total = lines.size() * static_cast<std::size_t>(repeat);
+  std::vector<Slot> responses(total);
+  const net::FrameType type = autoPolicy ? net::FrameType::AutoRequest
+                                         : net::FrameType::Request;
+  // Pipeline with a bounded window so neither side's socket buffer has
+  // to absorb an unbounded batch.
+  constexpr std::size_t kWindow = 64;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0, received = 0;
+  try {
+    while (received < total) {
+      while (sent < total && sent - received < kWindow) {
+        client.sendFrame(type, sent, lines[sent % lines.size()]);
+        ++sent;
+      }
+      const net::Frame f = client.readFrame();
+      net::Status status = net::Status::Ok;
+      std::string_view text;
+      if (!net::splitStatusPayload(f.payload, status, text)) {
+        std::cerr << "groverc: bad response payload from daemon\n";
+        return 1;
+      }
+      if (f.type == net::FrameType::Error) {
+        std::cerr << "groverc: daemon reported a protocol error: " << text
+                  << "\n";
+        return 1;
+      }
+      if (f.type != net::FrameType::Response || f.id >= total ||
+          responses[f.id].received) {
+        std::cerr << "groverc: unexpected response frame (type "
+                  << static_cast<int>(f.type) << ", id " << f.id << ")\n";
+        return 1;
+      }
+      responses[f.id].status = status;
+      responses[f.id].text = text;
+      responses[f.id].received = true;
+      ++received;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "groverc: " << e.what() << "\n";
+    return 1;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // First response per distinct line, like the local mode.
+  bool anyError = false;
+  std::size_t failed = 0;
+  for (const Slot& s : responses) {
+    if (s.status != net::Status::Ok) anyError = true;
+    if (s.text.rfind("failed:", 0) == 0) ++failed;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::cout << "[" << (i + 1) << "] " << lines[i] << ": "
+              << responses[i].text << "\n";
+  }
+
+  std::cout << "\nserved " << received << " requests in "
+            << grover::fixed(seconds, 3) << " s ("
+            << grover::fixed(seconds > 0 ? received / seconds : 0, 1)
+            << " req/s), " << failed << " failed\n";
+  try {
+    client.sendFrame(net::FrameType::Stats, total, "");
+    const net::Frame f = client.readFrame();
+    net::Status status = net::Status::Ok;
+    std::string_view text;
+    if (f.type == net::FrameType::StatsResponse &&
+        net::splitStatusPayload(f.payload, status, text)) {
+      std::cout << text;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "groverc: stats request failed: " << e.what() << "\n";
+  }
+  return anyError ? 1 : 0;
 }
 
 int runServeBatch(const std::string& file, unsigned threads, int repeat,
@@ -289,7 +345,7 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
     std::cerr << "groverc: cannot read '" << file << "': " << err << "\n";
     return 1;
   }
-  std::vector<BatchEntry> entries = parseBatchFile(contents);
+  std::vector<BatchEntry> entries = grover::net::parseBatchFile(contents, file);
   if (entries.empty()) {
     std::cerr << "groverc: '" << file << "' contains no requests\n";
     return 1;
@@ -374,38 +430,10 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
     const grover::service::ArtifactPtr& a = firstResult[i];
     if (a == nullptr) {
       std::cout << "not served\n";
-    } else if (!a->ok) {
-      std::cout << "failed: "
-                << a->diagnostics.substr(0, a->diagnostics.find('\n'))
-                << "\n";
-    } else if (autoPolicy && firstAuto[i].eligible) {
-      const svc::AutoResult& r = firstAuto[i];
-      std::cout << "ok, serving "
-                << grover::policy::toString(r.decision.variant) << " ("
-                << (r.policyHit ? "policy hit" : "cold decision")
-                << ", predicted np "
-                << grover::fixed(r.decision.predictedNp, 3) << ", "
-                << grover::perf::toString(r.decision.predictedOutcome)
-                << ")";
-      if (r.measured) {
-        std::cout << ", measured np "
-                  << grover::fixed(r.measurement.measuredNp, 3) << " ("
-                  << (r.measurement.usedNative ? "native" : "interpreter")
-                  << ")";
-      }
-      std::cout << "\n";
+    } else if (autoPolicy && a->ok && firstAuto[i].eligible) {
+      std::cout << grover::net::renderAutoResultLine(firstAuto[i]) << "\n";
     } else {
-      std::size_t transformed = 0;
-      for (const auto& b : a->report.buffers) {
-        if (b.transformed) ++transformed;
-      }
-      std::cout << "ok, " << transformed << "/" << a->report.buffers.size()
-                << " buffers transformed";
-      if (a->hasEstimate) {
-        std::cout << ", np " << grover::fixed(a->normalized, 3) << " ("
-                  << grover::perf::toString(a->outcome) << ")";
-      }
-      std::cout << "\n";
+      std::cout << grover::net::renderResultLine(*a) << "\n";
     }
   }
 
@@ -414,34 +442,10 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
             << grover::fixed(seconds, 3) << " s ("
             << grover::fixed(seconds > 0 ? served / seconds : 0, 1)
             << " req/s), " << failed << " failed\n";
-  std::cout << "cache: " << s.memoryHits << " memory hits ("
-            << s.negativeHits << " negative), " << s.coalesced
-            << " coalesced, " << s.misses << " misses, " << s.diskHits
-            << " disk hits, " << s.compiles << " compiles, " << s.evictions
-            << " evictions, " << s.diskLoadFailures
-            << " disk load failures\n";
-  std::cout << "cache bytes: " << s.bytesInUse << " in " << s.entries
-            << " entries\n";
-  // Per-stage wall-time breakdown of everything the service did: parse,
-  // transform, validate, estimate-or-execute, cache.
-  std::cout << "stages: frontend " << grover::fixed(s.frontendMs, 1)
-            << " ms, grover " << grover::fixed(s.groverMs, 1)
-            << " ms, validate " << grover::fixed(s.validateMs, 1)
-            << " ms, print " << grover::fixed(s.printMs, 1)
-            << " ms, estimate " << grover::fixed(s.estimateMs, 1)
-            << " ms, execute " << grover::fixed(s.executeMs, 1)
-            << " ms, cache " << grover::fixed(s.cacheMs, 1) << " ms\n";
-  if (autoPolicy) {
-    std::cout << "policy: " << s.policyHits << " hits, " << s.policyMisses
-              << " misses, " << s.policyStores << " decisions stored, "
-              << s.policyFlips << " flips, " << s.policyMismatches
-              << " mismatches\n";
-    if (measureRate > 0) {
-      std::cout << "measure: " << s.measurements << " measured ("
-                << s.nativeMeasurements << " native), "
-                << s.policyRefreshes << " decision refreshes\n";
-    }
-  }
+  grover::net::StatsRenderOptions statsOpts;
+  statsOpts.policy = autoPolicy;
+  statsOpts.measure = measureRate > 0;
+  std::cout << grover::net::renderStats(s, statsOpts);
 
   for (const BatchEntry& e : entries) {
     if (!e.error.empty()) return 1;
@@ -464,7 +468,9 @@ int main(int argc, char** argv) {
   std::string batchFile;
   std::string cacheDir;
   std::string policyDir;
+  std::string connectSpec;
   std::size_t cacheMb = 256;
+  bool cacheMbSet = false;
   int repeat = 1;
   unsigned threads = 0;
   bool autoPolicy = false;
@@ -506,6 +512,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       cacheMb = static_cast<std::size_t>(
           parseCountFlag("--cache-mb", arg.substr(11)));
+      cacheMbSet = true;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connectSpec = arg.substr(10);
+    } else if (arg == "--version") {
+      std::cout << "groverc " << GROVER_VERSION_STRING << " (protocol v"
+                << grover::net::kProtocolVersion << ")\n";
+      return 0;
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       cacheDir = arg.substr(12);
     } else if (arg.rfind("--policy-dir=", 0) == 0) {
@@ -564,9 +577,27 @@ int main(int argc, char** argv) {
     std::cerr << "groverc: --native requires --app\n";
     return 1;
   }
+  if (!connectSpec.empty()) {
+    if (batchFile.empty()) {
+      std::cerr << "groverc: --connect requires --serve-batch\n";
+      return 1;
+    }
+    // Cache, policy, measurement and threading are properties of the
+    // daemon's service, set on the groverd command line.
+    if (!cacheDir.empty() || !policyDir.empty() || measureRate > 0 ||
+        threads != 0 || cacheMbSet) {
+      std::cerr << "groverc: --cache-dir/--policy-dir/--measure-rate/"
+                   "--threads/--cache-mb are daemon-side flags; set them "
+                   "when starting groverd\n";
+      return 1;
+    }
+  }
 
   try {
     if (!batchFile.empty()) {
+      if (!connectSpec.empty()) {
+        return runConnectBatch(batchFile, connectSpec, repeat, autoPolicy);
+      }
       return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir,
                            autoPolicy, policyDir, measureRate);
     }
