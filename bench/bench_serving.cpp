@@ -9,12 +9,23 @@
 //                    throughput a single blocking client can extract
 //   concurrent warm  4 connections pipelining the same warm traffic,
 //                    the way groverc --connect actually drives a daemon
+//   polite vs greedy a serial client's p99 while a pipelining client
+//                    saturates the daemon past its credit allowance —
+//                    the per-connection fair-admission guarantee
+//   auto measured    warm AutoRequest latency with measureRate=1 on the
+//                    background measurement queue vs measureRate=0 —
+//                    measurements must stay off the request path
 //
 // Exits non-zero when concurrent warm RPS fails to beat the
-// single-connection serial baseline: if the event loop cannot turn
-// connection concurrency + pipelining into throughput, the daemon has
-// no reason to exist. Results land in BENCH_serving.json.
+// single-connection serial baseline, when the polite client's p99
+// under greedy saturation exceeds 3x its uncontended p99, or when the
+// measured warm p50 exceeds the unmeasured one by more than 20%: if
+// the event loop cannot turn concurrency into throughput, keep one
+// client from starving another, or keep sampling off the request path,
+// the daemon has no reason to exist. Results land in
+// BENCH_serving.json.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -29,6 +40,7 @@
 #include "net/wire.h"
 #include "perf/platform.h"
 #include "service/compile_service.h"
+#include "support/diagnostics.h"
 
 namespace {
 
@@ -133,6 +145,43 @@ std::vector<double> drivePipelined(const std::string& addr,
     ++received;
   }
   return latencies;
+}
+
+/// The greedy client: pipeline far past the daemon's per-connection
+/// credits and keep hammering until told to stop, counting served vs
+/// Overloaded-rejected replies instead of treating rejection as fatal.
+void driveGreedy(const std::string& addr,
+                 const std::vector<std::string>& lines, std::size_t window,
+                 std::atomic<bool>& stop, std::atomic<std::uint64_t>& served,
+                 std::atomic<std::uint64_t>& rejected) {
+  grover::net::Client client;
+  client.connect(addr);
+  std::uint64_t sent = 0, received = 0;
+  try {
+    while (!stop.load(std::memory_order_relaxed)) {
+      while (sent - received < window) {
+        client.sendFrame(grover::net::FrameType::Request, sent,
+                         lines[sent % lines.size()]);
+        ++sent;
+      }
+      const grover::net::Frame frame = client.readFrame();
+      ++received;
+      grover::net::Status status = grover::net::Status::Ok;
+      std::string_view text;
+      if (grover::net::splitStatusPayload(frame.payload, status, text) &&
+          status == grover::net::Status::Ok) {
+        ++served;
+      } else {
+        ++rejected;
+      }
+    }
+    while (received < sent) {
+      (void)client.readFrame();
+      ++received;
+    }
+  } catch (const grover::GroverError&) {
+    // Daemon hung up mid-drain — the bench is shutting the phase down.
+  }
 }
 
 /// N connections of the same traffic, concurrently; window == 1 means
@@ -247,6 +296,95 @@ int main() {
                       net::FrameType::Request);
   printPhase("concurrent warm", warm);
 
+  // --- fairness phase: a second serving core over the same warm
+  // service, with tight per-connection credits. First the polite
+  // client's uncontended baseline; then the same traffic while a
+  // greedy pipeliner (window past its credits) saturates the daemon.
+  net::ServerConfig fairConfig;
+  fairConfig.maxAdmitted = 64;
+  fairConfig.clientCredits = 8;
+  fairConfig.admitReserve = 8;
+  net::Server fairServer(service, fairConfig);
+  fairServer.bind();
+  std::thread fairLoop([&] { fairServer.run(); });
+  const std::string fairAddr =
+      "127.0.0.1:" + std::to_string(fairServer.port());
+
+  const Clock::time_point politeAloneStart = Clock::now();
+  std::vector<double> politeAloneLat =
+      driveSerial(fairAddr, lines, kReps, net::FrameType::Request);
+  const PhaseResult politeAlone = summarize(
+      std::move(politeAloneLat),
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                politeAloneStart)
+          .count());
+  printPhase("polite alone", politeAlone);
+
+  std::atomic<bool> stopGreedy{false};
+  std::atomic<std::uint64_t> greedyServed{0}, greedyRejected{0};
+  std::thread greedy([&] {
+    driveGreedy(fairAddr, lines, /*window=*/64, stopGreedy, greedyServed,
+                greedyRejected);
+  });
+  // Let the greedy client reach saturation before measuring.
+  while (greedyRejected.load() == 0 && greedyServed.load() < 1000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Clock::time_point politeStart = Clock::now();
+  std::vector<double> politeLat =
+      driveSerial(fairAddr, lines, kReps, net::FrameType::Request);
+  const PhaseResult politeContended = summarize(
+      std::move(politeLat),
+      std::chrono::duration<double, std::milli>(Clock::now() - politeStart)
+          .count());
+  printPhase("polite vs greedy", politeContended);
+  stopGreedy.store(true);
+  greedy.join();
+  fairServer.requestStop();
+  fairLoop.join();
+  std::cout << "greedy client: " << greedyServed.load() << " served, "
+            << greedyRejected.load() << " credit-rejected\n";
+
+  // --- measurement phase: warm AutoRequest latency must not pay for
+  // sampled measurements. Baseline on the unmeasured main service,
+  // then the same traffic against a measureRate=1 service whose
+  // samples run on the background queue.
+  (void)driveSerial(addr, lines, 1, net::FrameType::AutoRequest);
+  const Clock::time_point autoBaseStart = Clock::now();
+  std::vector<double> autoBaseLat =
+      driveSerial(addr, lines, kReps, net::FrameType::AutoRequest);
+  const PhaseResult autoUnmeasured = summarize(
+      std::move(autoBaseLat),
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                autoBaseStart)
+          .count());
+  printPhase("auto unmeasured", autoUnmeasured);
+
+  service::ServiceConfig measuredConfig;
+  measuredConfig.measureRate = 1;
+  measuredConfig.measureQueueDepth = 64;
+  service::CompileService measuredService(measuredConfig);
+  net::ServerConfig measuredServerConfig;
+  net::Server measuredServer(measuredService, measuredServerConfig);
+  measuredServer.bind();
+  std::thread measuredLoop([&] { measuredServer.run(); });
+  const std::string measuredAddr =
+      "127.0.0.1:" + std::to_string(measuredServer.port());
+  (void)driveSerial(measuredAddr, lines, 1, net::FrameType::AutoRequest);
+  const Clock::time_point autoMeasuredStart = Clock::now();
+  std::vector<double> autoMeasuredLat =
+      driveSerial(measuredAddr, lines, kReps, net::FrameType::AutoRequest);
+  const PhaseResult autoMeasured = summarize(
+      std::move(autoMeasuredLat),
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                autoMeasuredStart)
+          .count());
+  printPhase("auto measured", autoMeasured);
+  const std::uint64_t measurementsDone = measuredService.stats().measurements;
+  measuredServer.requestStop();
+  measuredLoop.join();
+  measuredService.shutdown();
+
   server.requestStop();
   loop.join();
   service.shutdown();
@@ -254,6 +392,17 @@ int main() {
   const double speedup = serial.rps > 0 ? warm.rps / serial.rps : 0;
   std::cout << "\nconcurrent-warm vs serial-warm throughput: "
             << fixed(speedup, 2) << "x\n";
+  const double fairnessRatio = politeAlone.p99Ms > 0
+                                   ? politeContended.p99Ms / politeAlone.p99Ms
+                                   : 0;
+  std::cout << "polite p99 under greedy saturation: "
+            << fixed(fairnessRatio, 2) << "x uncontended\n";
+  const double measuredRatio = autoUnmeasured.p50Ms > 0
+                                   ? autoMeasured.p50Ms / autoUnmeasured.p50Ms
+                                   : 0;
+  std::cout << "measured warm p50 vs unmeasured: "
+            << fixed(measuredRatio, 2) << "x (" << measurementsDone
+            << " background measurements folded)\n";
 
   std::ostringstream json;
   json << "{\n  \"connections\": " << kConnections << ",\n  \"reps\": "
@@ -261,15 +410,47 @@ int main() {
   phaseJson(json, "mixed", mixed, true);
   phaseJson(json, "serial_warm", serial, true);
   phaseJson(json, "concurrent_warm", warm, true);
-  json << "  \"warm_speedup\": " << speedup << "\n}\n";
+  phaseJson(json, "polite_alone", politeAlone, true);
+  phaseJson(json, "polite_vs_greedy", politeContended, true);
+  phaseJson(json, "auto_unmeasured", autoUnmeasured, true);
+  phaseJson(json, "auto_measured", autoMeasured, true);
+  json << "  \"greedy_served\": " << greedyServed.load()
+       << ",\n  \"greedy_rejected\": " << greedyRejected.load()
+       << ",\n  \"fairness_p99_ratio\": " << fairnessRatio
+       << ",\n  \"measured_p50_ratio\": " << measuredRatio
+       << ",\n  \"background_measurements\": " << measurementsDone
+       << ",\n  \"warm_speedup\": " << speedup << "\n}\n";
   writeBenchJson("serving", json.str());
 
+  bool failed = false;
   if (warm.rps <= serial.rps) {
     std::cerr << "FATAL: concurrent warm serving (" << fixed(warm.rps, 0)
               << " req/s over " << kConnections
               << " connections) does not beat one serial connection ("
               << fixed(serial.rps, 0) << " req/s)\n";
-    return 1;
+    failed = true;
   }
-  return 0;
+  if (greedyRejected.load() == 0) {
+    std::cerr << "FATAL: the greedy client was never credit-rejected — "
+                 "the fairness phase did not saturate\n";
+    failed = true;
+  }
+  // Small absolute allowance on top of the 3x ratio: the uncontended
+  // p99 is sub-millisecond, where scheduler jitter dominates.
+  if (politeContended.p99Ms > 3.0 * politeAlone.p99Ms + 5.0) {
+    std::cerr << "FATAL: polite client's p99 under greedy saturation ("
+              << fixed(politeContended.p99Ms, 3) << " ms) exceeds 3x its "
+              << "uncontended p99 (" << fixed(politeAlone.p99Ms, 3)
+              << " ms) — per-connection credits are not protecting it\n";
+    failed = true;
+  }
+  if (autoMeasured.p50Ms > 1.2 * autoUnmeasured.p50Ms + 0.5) {
+    std::cerr << "FATAL: warm auto p50 with measureRate=1 ("
+              << fixed(autoMeasured.p50Ms, 3) << " ms) exceeds the "
+              << "unmeasured baseline (" << fixed(autoUnmeasured.p50Ms, 3)
+              << " ms) by more than 20% — measurement is back on the "
+              << "request path\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }

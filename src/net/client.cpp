@@ -151,4 +151,11 @@ void Client::shutdownWrite() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
+void Client::abortiveClose() {
+  if (fd_ < 0) return;
+  const linger lin{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  close();
+}
+
 }  // namespace grover::net

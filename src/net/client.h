@@ -41,6 +41,12 @@ class Client {
   /// stops sending but still reads).
   void shutdownWrite();
 
+  /// Abortive close: RST instead of FIN (SO_LINGER timeout 0). A plain
+  /// FIN now means "no more requests, still reading" to the daemon
+  /// (half-close); RST is how a vanished client looks on the wire, and
+  /// what triggers disconnect cancellation. Tests model crashes with it.
+  void abortiveClose();
+
   void close();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 

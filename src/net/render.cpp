@@ -46,7 +46,8 @@ std::string renderStats(const service::ServiceStats& s,
      << " negative), " << s.coalesced << " coalesced, " << s.misses
      << " misses, " << s.diskHits << " disk hits, " << s.compiles
      << " compiles, " << s.evictions << " evictions, "
-     << s.diskLoadFailures << " disk load failures\n";
+     << s.diskLoadFailures << " disk load failures, " << s.cancelled
+     << " cancelled\n";
   os << "cache bytes: " << s.bytesInUse << " in " << s.entries
      << " entries\n";
   // Per-stage wall-time breakdown of everything the service did: parse,
@@ -64,7 +65,8 @@ std::string renderStats(const service::ServiceStats& s,
     if (options.measure) {
       os << "measure: " << s.measurements << " measured ("
          << s.nativeMeasurements << " native), " << s.policyRefreshes
-         << " decision refreshes\n";
+         << " decision refreshes, " << s.measurementsDropped
+         << " dropped\n";
     }
   }
   return os.str();

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "net/batch.h"
 #include "net/render.h"
@@ -52,6 +53,15 @@ struct Server::Connection {
   /// Protocol violation: flush the Error frame, then close. No further
   /// reads are processed.
   bool closeAfterFlush = false;
+  /// Peer half-closed (shutdown(SHUT_WR)): it sends no more but may
+  /// still be reading. Frames already buffered are served and their
+  /// responses flushed before the connection closes.
+  bool readClosed = false;
+  /// This connection's disconnect flag, shared with service workers so
+  /// cold work for a vanished client can be abandoned (cancel.h).
+  service::CancelToken cancel;
+  /// Index in Server::connections_, maintained by swap-pop on close.
+  std::size_t slot = 0;
   Clock::time_point lastActivity = Clock::now();
 
   explicit Connection(std::size_t maxPayload) : reader(maxPayload) {}
@@ -75,6 +85,9 @@ Server::Server(service::CompileService& service, ServerConfig config,
   wake_write_fd_ = fds[1];
   setNonBlocking(wake_read_fd_);
   setNonBlocking(wake_write_fd_);
+  // EMFILE insurance: one descriptor we can give back to accept() with
+  // when the process runs out (see acceptPending).
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 Server::~Server() {
@@ -83,6 +96,9 @@ Server::~Server() {
   workers_.waitIdle();
   for (auto& conn : connections_) closeFd(conn->fd);
   connections_.clear();
+  conn_by_id_.clear();
+  conn_by_fd_.clear();
+  closeFd(reserve_fd_);
   closeFd(tcp_fd_);
   closeFd(unix_fd_);
   if (!config_.unixPath.empty()) ::unlink(config_.unixPath.c_str());
@@ -165,10 +181,13 @@ ServerStats Server::stats() const {
   s.requestsAdmitted = admitted_total_.load();
   s.responsesSent = responses_.load();
   s.rejectedOverload = overloaded_.load();
+  s.rejectedClientCredit = credit_rejected_.load();
   s.rejectedShutdown = shutdown_rejected_.load();
   s.protocolErrors = protocol_errors_.load();
   s.disconnectedMidRequest = disconnected_.load();
   s.idleTimeouts = idle_timeouts_.load();
+  s.readBudgetExhausted = read_budget_exhausted_.load();
+  s.acceptsShed = accepts_shed_.load();
   return s;
 }
 
@@ -215,18 +234,31 @@ void Server::run() {
       }
     }
 
-    // Build the poll set: listeners, wakeup pipe, connections.
+    // Build the poll set: listeners, wakeup pipe, connections. While
+    // backing off from an fd-exhausted accept(), leave the listeners
+    // out so a backlog we cannot serve does not spin the loop.
     std::vector<pollfd> fds;
     fds.push_back({wake_read_fd_, POLLIN, 0});
-    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
-    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    const Clock::time_point pollNow = Clock::now();
+    const bool acceptBackoff = pollNow < accept_backoff_until_;
+    if (!acceptBackoff) {
+      if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+      if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    }
     const std::size_t firstConn = fds.size();
+    // connId snapshot per connection pollfd: a handler can close a
+    // connection and accept() can reuse its fd within this same round,
+    // so an fd match alone does not prove the event's target is alive.
+    std::vector<std::uint64_t> pollIds;
+    pollIds.reserve(connections_.size());
     for (const auto& conn : connections_) {
       short events = 0;
-      // A poisoned connection only flushes its Error frame.
-      if (!conn->closeAfterFlush) events |= POLLIN;
+      // A poisoned connection only flushes its Error frame; a
+      // half-closed one has nothing further to read.
+      if (!conn->closeAfterFlush && !conn->readClosed) events |= POLLIN;
       if (conn->wantsWrite()) events |= POLLOUT;
       fds.push_back({conn->fd, events, 0});
+      pollIds.push_back(conn->connId);
     }
 
     int timeoutMs = -1;
@@ -246,6 +278,17 @@ void Server::run() {
       }
     }
     if (draining_) timeoutMs = timeoutMs < 0 ? 100 : std::min(timeoutMs, 100);
+    if (acceptBackoff) {
+      // Wake when the backoff expires so the listeners re-arm.
+      const auto remain =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              accept_backoff_until_ - pollNow)
+              .count() +
+          1;
+      const int cap = static_cast<int>(
+          std::min<long long>(remain, std::numeric_limits<int>::max()));
+      timeoutMs = timeoutMs < 0 ? cap : std::min(timeoutMs, cap);
+    }
 
     const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
     if (ready < 0 && errno != EINTR) {
@@ -265,26 +308,34 @@ void Server::run() {
       if (fds[i].revents & POLLIN) acceptPending(fds[i].fd);
     }
 
-    // Snapshot conn ids: handlers may close (erase) connections.
     for (std::size_t i = firstConn; i < fds.size(); ++i) {
       const pollfd& p = fds[i];
       if (p.revents == 0) continue;
-      const auto it = std::find_if(
-          connections_.begin(), connections_.end(),
-          [&](const auto& c) { return c->fd == p.fd; });
-      if (it == connections_.end()) continue;
-      Connection& conn = **it;
+      const auto it = conn_by_fd_.find(p.fd);
+      // Closed this round (and the fd possibly reused by accept):
+      // the id snapshot taken at poll-set build time is the proof.
+      if (it == conn_by_fd_.end() ||
+          it->second->connId != pollIds[i - firstConn]) {
+        continue;
+      }
+      Connection& conn = *it->second;
       const std::uint64_t connId = conn.connId;
-      if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+      if (conn.readClosed) {
+        // Half-closed peers only signal full departure (or error) now.
+        if (p.revents & (POLLHUP | POLLERR)) {
+          closeConnection(connId);
+          continue;
+        }
+      } else if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
         handleReadable(conn);
       }
       // handleReadable may have closed it; re-find before writing.
-      const auto again = std::find_if(
-          connections_.begin(), connections_.end(),
-          [&](const auto& c) { return c->connId == connId; });
-      if (again != connections_.end() && (*again)->wantsWrite()) {
-        flushWrites(**again);
-      }
+      const auto again = conn_by_id_.find(connId);
+      if (again == conn_by_id_.end()) continue;
+      if (again->second->wantsWrite()) flushWrites(*again->second);
+      // flushWrites may have closed it too (EPIPE, closeAfterFlush).
+      const auto fin = conn_by_id_.find(connId);
+      if (fin != conn_by_id_.end()) maybeCloseDrained(*fin->second);
     }
 
     // Idle sweep.
@@ -310,32 +361,95 @@ void Server::run() {
 void Server::acceptPending(int listenFd) {
   for (;;) {
     const int fd = ::accept(listenFd, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: next poll round
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors. Give the reserve fd back to the kernel,
+        // accept the pending connection so it leaves the backlog, shed
+        // it (the peer sees a clean close instead of hanging), then
+        // re-arm the reserve — and back the listeners off so the loop
+        // does not spin on a backlog it cannot serve.
+        if (reserve_fd_ >= 0) {
+          closeFd(reserve_fd_);
+          const int victim = ::accept(listenFd, nullptr, nullptr);
+          if (victim >= 0) {
+            ::close(victim);
+            ++accepts_shed_;
+          }
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        accept_backoff_until_ =
+            Clock::now() +
+            std::chrono::milliseconds(std::max(config_.acceptBackoffMs, 0));
+        if (accept_errno_logged_ != errno) {
+          accept_errno_logged_ = errno;
+          log(cat("accept: ", std::strerror(errno),
+                  "; shedding and backing off ", config_.acceptBackoffMs,
+                  " ms"));
+        }
+        return;
+      }
+      // Non-transient failure: log once per distinct errno, not per
+      // poll round.
+      if (accept_errno_logged_ != errno) {
+        accept_errno_logged_ = errno;
+        log(cat("accept failed: ", std::strerror(errno)));
+      }
+      return;
+    }
+    accept_errno_logged_ = 0;
     setNonBlocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>(config_.maxPayload);
     conn->fd = fd;
     conn->connId = next_conn_id_++;
+    conn->cancel = service::makeCancelToken();
+    conn->slot = connections_.size();
+    Connection* raw = conn.get();
     connections_.push_back(std::move(conn));
+    conn_by_id_.emplace(raw->connId, raw);
+    conn_by_fd_.emplace(fd, raw);
     ++accepted_;
   }
 }
 
 void Server::handleReadable(Connection& conn) {
-  if (conn.closeAfterFlush) return;
+  if (conn.closeAfterFlush || conn.readClosed) return;
   char buf[16384];
+  std::size_t readThisTick = 0;
   for (;;) {
-    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    std::size_t want = sizeof(buf);
+    if (config_.readBudgetBytes > 0) {
+      if (readThisTick >= config_.readBudgetBytes) {
+        // Fairness: leave the rest in the kernel buffer and yield to
+        // the other connections; the socket stays readable, so the
+        // next poll round returns immediately to continue here.
+        ++read_budget_exhausted_;
+        break;
+      }
+      want = std::min(want, config_.readBudgetBytes - readThisTick);
+    }
+    const ssize_t n = ::recv(conn.fd, buf, want, 0);
     if (n > 0) {
       conn.lastActivity = Clock::now();
+      readThisTick += static_cast<std::size_t>(n);
       conn.reader.append(buf, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // EOF or hard error: the peer is gone. In-flight requests finish in
-    // the service; their completions are dropped on arrival.
+    if (n == 0) {
+      // Half-close (shutdown(SHUT_WR)): the peer finished sending but
+      // may still be reading. Whole frames already buffered must be
+      // served and their responses flushed before the close — falling
+      // through to the frame loop below does exactly that.
+      conn.readClosed = true;
+      break;
+    }
+    // Hard error: the peer is gone in both directions. In-flight
+    // requests finish in the service; their completions are dropped.
     closeConnection(conn.connId);
     return;
   }
@@ -373,12 +487,34 @@ void Server::handleFrame(Connection& conn, Frame frame) {
                 "error: daemon is shutting down");
         return;
       }
-      if (admitted_ >= config_.maxAdmitted) {
+      // Per-connection credits first: a pipeliner past its own
+      // allowance is rejected even while the global queue has room, so
+      // one greedy client cannot starve the rest.
+      if (config_.clientCredits > 0 &&
+          conn.inflight >= config_.clientCredits) {
         ++overloaded_;
+        ++credit_rejected_;
         respond(conn, FrameType::Response, frame.id, Status::Overloaded,
-                cat("error: admission queue full (", config_.maxAdmitted,
-                    " in flight); retry later"));
+                cat("error: per-connection credit limit (",
+                    config_.clientCredits, " in flight); retry later"));
         return;
+      }
+      {
+        // Global bound, with the last admitReserve slots held back for
+        // a connection's FIRST outstanding request: even when
+        // pipeliners collectively fill the queue, a polite serial
+        // client still admits.
+        const std::size_t cap = config_.maxAdmitted;
+        const std::size_t reserve =
+            cap > 0 ? std::min(config_.admitReserve, cap - 1) : 0;
+        const std::size_t limit = conn.inflight == 0 ? cap : cap - reserve;
+        if (admitted_ >= limit) {
+          ++overloaded_;
+          respond(conn, FrameType::Response, frame.id, Status::Overloaded,
+                  cat("error: admission queue full (", config_.maxAdmitted,
+                      " in flight); retry later"));
+          return;
+        }
       }
       ++admitted_;
       ++admitted_total_;
@@ -407,7 +543,7 @@ void Server::handleFrame(Connection& conn, Frame frame) {
 void Server::dispatchRequest(Connection& conn, FrameType type,
                              std::uint64_t id, std::string payload) {
   const std::uint64_t connId = conn.connId;
-  workers_.submit([this, connId, id, type,
+  workers_.submit([this, connId, id, type, cancel = conn.cancel,
                    payload = std::move(payload)]() mutable {
     Completion c;
     c.connId = connId;
@@ -426,11 +562,12 @@ void Server::dispatchRequest(Connection& conn, FrameType type,
         // as local serve-batch, and must not fail the client's batch.
         if (type == FrameType::AutoRequest) {
           const service::AutoResult r =
-              service_.compileAuto(entry.request);
+              service_.compileAuto(entry.request, cancel);
           c.status = Status::Ok;
           c.text = renderAutoResultLine(r);
         } else {
-          const service::ArtifactPtr a = service_.run(entry.request);
+          const service::ArtifactPtr a =
+              service_.run(entry.request, cancel);
           c.status = Status::Ok;
           c.text = renderResultLine(*a);
         }
@@ -456,19 +593,22 @@ void Server::drainCompletions() {
   }
   for (Completion& c : done) {
     --admitted_;
-    const auto it = std::find_if(
-        connections_.begin(), connections_.end(),
-        [&](const auto& conn) { return conn->connId == c.connId; });
-    if (it == connections_.end()) {
-      // Client disconnected mid-request: the work is done (and cached),
-      // only the reply has nowhere to go.
+    const auto it = conn_by_id_.find(c.connId);
+    if (it == conn_by_id_.end()) {
+      // Client disconnected mid-request: the work finished in the
+      // service (or was abandoned at a stage boundary, if every waiter
+      // was gone); only the reply has nowhere to go.
       ++disconnected_;
       continue;
     }
-    Connection& conn = **it;
+    Connection& conn = *it->second;
     if (conn.inflight > 0) --conn.inflight;
     respond(conn, FrameType::Response, c.requestId, c.status, c.text);
     flushWrites(conn);
+    // flushWrites may have closed the connection; if it survived and
+    // its peer half-closed, this response may have been its last duty.
+    const auto again = conn_by_id_.find(c.connId);
+    if (again != conn_by_id_.end()) maybeCloseDrained(*again->second);
   }
 }
 
@@ -500,13 +640,31 @@ void Server::flushWrites(Connection& conn) {
   }
 }
 
+void Server::maybeCloseDrained(Connection& conn) {
+  if (conn.readClosed && conn.inflight == 0 && !conn.wantsWrite()) {
+    closeConnection(conn.connId);
+  }
+}
+
 void Server::closeConnection(std::uint64_t connId) {
-  const auto it = std::find_if(
-      connections_.begin(), connections_.end(),
-      [&](const auto& conn) { return conn->connId == connId; });
-  if (it == connections_.end()) return;
-  closeFd((*it)->fd);
-  connections_.erase(it);
+  const auto it = conn_by_id_.find(connId);
+  if (it == conn_by_id_.end()) return;
+  Connection* conn = it->second;
+  // Tell in-flight service work this waiter is gone; cold stages poll
+  // the token and abandon the compile once EVERY waiter has cancelled.
+  if (conn->cancel != nullptr) {
+    conn->cancel->store(true, std::memory_order_relaxed);
+  }
+  conn_by_fd_.erase(conn->fd);
+  conn_by_id_.erase(it);
+  closeFd(conn->fd);
+  // Swap-pop keeps close O(1); slot indices track the move.
+  const std::size_t slot = conn->slot;
+  if (slot + 1 != connections_.size()) {
+    std::swap(connections_[slot], connections_.back());
+    connections_[slot]->slot = slot;
+  }
+  connections_.pop_back();
   ++closed_;
 }
 
@@ -517,13 +675,15 @@ std::string Server::renderStatsPayload() {
   std::string text = renderStats(service_.stats(), opts);
   const ServerStats s = stats();
   text += cat("server: ", s.connectionsAccepted, " connections (",
-              connections_.size(), " open), ", s.framesReceived,
-              " frames, ", s.requestsAdmitted, " admitted, ",
-              s.responsesSent, " responses, ", s.rejectedOverload,
-              " overload-rejected, ", s.protocolErrors,
+              connections_.size(), " open, ", s.acceptsShed, " shed), ",
+              s.framesReceived, " frames, ", s.requestsAdmitted,
+              " admitted, ", s.responsesSent, " responses, ",
+              s.rejectedOverload, " overload-rejected (",
+              s.rejectedClientCredit, " credit), ", s.protocolErrors,
               " protocol errors, ", s.disconnectedMidRequest,
               " disconnected mid-request, ", s.idleTimeouts,
-              " idle timeouts\n");
+              " idle timeouts, ", s.readBudgetExhausted,
+              " read-budget yields\n");
   return text;
 }
 

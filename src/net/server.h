@@ -14,11 +14,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/wire.h"
@@ -40,6 +42,27 @@ struct ServerConfig {
   /// at once, across all connections. Excess requests are answered
   /// immediately with Status::Overloaded — backpressure, not OOM.
   std::size_t maxAdmitted = 128;
+  /// Per-connection admission credits: how many requests ONE connection
+  /// may hold admitted at once. A pipeliner past its credits is answered
+  /// Overloaded while other connections still admit — fairness, so one
+  /// greedy client cannot monopolize the global queue. Matches groverc
+  /// --connect's pipeline window so a single well-behaved client is
+  /// never rejected. 0 disables the per-connection bound.
+  std::size_t clientCredits = 64;
+  /// Global admission reserve: the last `admitReserve` slots below
+  /// maxAdmitted only admit a connection's FIRST outstanding request.
+  /// Even when several pipeliners collectively fill the queue, a polite
+  /// serial client still gets in. Clamped below maxAdmitted.
+  std::size_t admitReserve = 8;
+  /// Read fairness: max bytes drained from one connection per event-loop
+  /// tick. A faster writer keeps the rest buffered in the kernel until
+  /// the next poll round (readBudgetExhausted in stats) instead of
+  /// monopolizing the loop thread.
+  std::size_t readBudgetBytes = 64 * 1024;
+  /// How long to stop polling the listeners after accept() hit the
+  /// process fd limit (EMFILE/ENFILE); prevents a 100%-CPU poll spin on
+  /// a listener that cannot be served.
+  int acceptBackoffMs = 100;
   /// Worker threads executing service calls (0 = hardware concurrency).
   unsigned workers = 0;
   /// Close connections with no in-flight request and no traffic for
@@ -61,12 +84,22 @@ struct ServerStats {
   std::uint64_t requestsAdmitted = 0;
   std::uint64_t responsesSent = 0;
   std::uint64_t rejectedOverload = 0;
+  /// Of the overload rejections, those caused by one connection
+  /// exhausting its own credits (ServerConfig::clientCredits) rather
+  /// than the global queue filling up.
+  std::uint64_t rejectedClientCredit = 0;
   std::uint64_t rejectedShutdown = 0;
   std::uint64_t protocolErrors = 0;
   /// Completions whose connection was gone by the time the request
   /// finished — the request itself still ran to completion.
   std::uint64_t disconnectedMidRequest = 0;
   std::uint64_t idleTimeouts = 0;
+  /// Event-loop ticks on which a connection hit its per-tick read
+  /// budget (ServerConfig::readBudgetBytes) and yielded to its peers.
+  std::uint64_t readBudgetExhausted = 0;
+  /// Connections shed (accepted then immediately closed) because the
+  /// process was out of file descriptors.
+  std::uint64_t acceptsShed = 0;
 };
 
 class Server {
@@ -117,6 +150,9 @@ class Server {
   void respond(Connection& conn, FrameType type, std::uint64_t id,
                Status status, std::string_view text);
   void flushWrites(Connection& conn);
+  /// Close a connection whose read side has ended once nothing is left
+  /// to send it (no in-flight request, no buffered response bytes).
+  void maybeCloseDrained(Connection& conn);
   void closeConnection(std::uint64_t connId);
   void drainCompletions();
   [[nodiscard]] std::string renderStatsPayload();
@@ -139,16 +175,28 @@ class Server {
 
   // Loop-thread state.
   std::vector<std::unique_ptr<Connection>> connections_;
+  // O(1) lookups beside the ownership vector: completions address
+  // connections by id, poll events by fd. Kept in sync by accept/close.
+  std::unordered_map<std::uint64_t, Connection*> conn_by_id_;
+  std::unordered_map<int, Connection*> conn_by_fd_;
   std::uint64_t next_conn_id_ = 1;
   std::size_t admitted_ = 0;
   bool draining_ = false;
+  // EMFILE recovery: a reserve fd (to /dev/null) we can close to free a
+  // descriptor, accept the pending connection, shed it, and re-open the
+  // reserve — so the kernel backlog cannot wedge full of connections we
+  // will never see. Plus a listener-poll backoff to avoid spinning.
+  int reserve_fd_ = -1;
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
+  int accept_errno_logged_ = 0;
 
   // Counters are atomics only so stats() can be called from test
   // threads while the loop runs; every writer is the loop thread.
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, frames_{0},
       admitted_total_{0}, responses_{0}, overloaded_{0},
-      shutdown_rejected_{0}, protocol_errors_{0}, disconnected_{0},
-      idle_timeouts_{0};
+      credit_rejected_{0}, shutdown_rejected_{0}, protocol_errors_{0},
+      disconnected_{0}, idle_timeouts_{0}, read_budget_exhausted_{0},
+      accepts_shed_{0};
 };
 
 }  // namespace grover::net

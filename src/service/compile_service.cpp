@@ -21,6 +21,10 @@ ArtifactPtr negative(std::string diagnostics) {
   return a;
 }
 
+/// Thrown by compileUncached at a stage boundary once every waiter of
+/// the compile has disconnected; caught by the submit() worker.
+struct CancelledCompile {};
+
 }  // namespace
 
 CompileService::CompileService(ServiceConfig config)
@@ -29,7 +33,11 @@ CompileService::CompileService(ServiceConfig config)
       policy_store_(config_.policyStore),
       engine_(),
       feedback_(policy_store_),
-      pool_(config_.workers) {}
+      pool_(config_.workers) {
+  if (config_.measureRate > 0 && config_.measureQueueDepth > 0) {
+    measure_thread_ = std::thread([this] { measureLoop(); });
+  }
+}
 
 CompileService::~CompileService() { shutdown(); }
 
@@ -69,7 +77,8 @@ std::uint64_t CompileService::cacheKey(const Request& resolved) {
   return h.digest();
 }
 
-CompileService::Future CompileService::submit(Request request) {
+CompileService::Future CompileService::submit(Request request,
+                                              CancelToken cancel) {
   Request resolved = resolve(std::move(request));
   const std::uint64_t key = cacheKey(resolved);
   bump(&Counters::requests);
@@ -81,7 +90,10 @@ CompileService::Future CompileService::submit(Request request) {
     }
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
       bump(&Counters::coalesced);
-      return it->second;
+      // Joining an in-flight compile keeps it alive until *this* waiter
+      // also cancels: the scope is the union of every joiner's token.
+      it->second.cancel->addWaiter(std::move(cancel));
+      return it->second.future;
     }
     // Memory probe under the service lock: the leader publishes to the
     // cache *before* leaving inflight_, so this order can never miss a
@@ -104,13 +116,17 @@ CompileService::Future CompileService::submit(Request request) {
   ++pending_;
   auto promise = std::make_shared<std::promise<ArtifactPtr>>();
   Future future = promise->get_future().share();
-  inflight_.emplace(key, future);
+  auto scope = std::make_shared<CancelScope>();
+  scope->addWaiter(std::move(cancel));
+  inflight_.emplace(key, Inflight{future, scope});
   lock.unlock();
 
-  pool_.submit([this, key, promise,
+  pool_.submit([this, key, promise, scope,
                 resolved = std::move(resolved)]() mutable {
     ArtifactPtr artifact;
+    bool wasCancelled = false;
     try {
+      if (scope->cancelled()) throw CancelledCompile{};
       {
         StageTimer timer(*this, &Counters::cacheNs);
         artifact = cache_.loadFromDisk(key);
@@ -118,10 +134,17 @@ CompileService::Future CompileService::submit(Request request) {
       if (artifact != nullptr) {
         bump(&Counters::diskHits);
       } else {
-        artifact = compileUncached(resolved);
+        artifact = compileUncached(resolved, scope.get());
         StageTimer timer(*this, &Counters::cacheNs);
         cache_.storeToDisk(key, *artifact);
       }
+    } catch (const CancelledCompile&) {
+      // Every waiter disconnected: stop burning CPU. Nothing — not even
+      // a negative entry — is cached; the next identical request starts
+      // a fresh compile.
+      wasCancelled = true;
+      artifact =
+          negative("cancelled: every client disconnected mid-compile");
     } catch (const std::exception& e) {
       artifact = negative(std::string("internal error: ") + e.what());
     } catch (...) {
@@ -130,7 +153,7 @@ CompileService::Future CompileService::submit(Request request) {
     // Publish to the cache and leave the in-flight map BEFORE completing
     // the future: anyone who observes the future done will find the
     // artifact in the cache, never a stale in-flight entry.
-    {
+    if (!wasCancelled) {
       StageTimer timer(*this, &Counters::cacheNs);
       cache_.put(key, artifact);
     }
@@ -139,18 +162,21 @@ CompileService::Future CompileService::submit(Request request) {
       inflight_.erase(key);
       --pending_;
     }
+    // The cancelled counter bumps only after the in-flight entry is
+    // gone, so a caller that observed it never joins the doomed future.
+    if (wasCancelled) bump(&Counters::cancelled);
     cv_capacity_.notify_all();
     promise->set_value(artifact);
   });
   return future;
 }
 
-AutoResult CompileService::compileAuto(Request request) {
+AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
   Request resolved = resolve(std::move(request));
   AutoResult out;
   if (resolved.platform.empty()) {
     // Nothing to decide without a platform; serve the normal path.
-    out.artifact = run(resolved);
+    out.artifact = run(resolved, std::move(cancel));
     return out;
   }
   const perf::PlatformSpec spec = *perf::findPlatform(resolved.platform);
@@ -248,8 +274,10 @@ AutoResult CompileService::compileAuto(Request request) {
 
   bump(&Counters::policyMisses);
   // Cold: full both-variant pipeline through the cached, single-flight
-  // path, then learn the decision from the estimates.
-  out.artifact = run(resolved);
+  // path, then learn the decision from the estimates. This is the only
+  // policy-path leg that honors the cancel token — the warm builds
+  // above always complete (their artifact is what keeps serving warm).
+  out.artifact = run(resolved, std::move(cancel));
   if (out.artifact->ok && out.artifact->hasEstimate) {
     out.decision = engine_.decide(
         out.features, spec,
@@ -275,6 +303,28 @@ void CompileService::maybeMeasure(const Request& resolved, AutoResult& out) {
     measure_accum_ -= 1.0;
   }
 
+  if (config_.measureQueueDepth > 0) {
+    // Background mode: hand the sample to the measurement thread and
+    // answer now. The response reflects the pre-measurement decision;
+    // the fold (and any mismatch-triggered refresh) happens off-path.
+    bool dropped = false;
+    {
+      std::lock_guard lock(measure_mutex_);
+      if (measure_stop_) return;
+      if (measure_queue_.size() >= config_.measureQueueDepth) {
+        dropped = true;
+      } else {
+        measure_queue_.push_back({out.policyKey, resolved});
+      }
+    }
+    if (dropped) {
+      bump(&Counters::measurementsDropped);
+    } else {
+      measure_cv_.notify_one();
+    }
+    return;
+  }
+
   perf::MeasureOptions opts = config_.measure;
   opts.scale = resolved.scale;
   perf::Measurement m;
@@ -288,6 +338,46 @@ void CompileService::maybeMeasure(const Request& resolved, AutoResult& out) {
   out.decision = recordMeasurement(out.policyKey, m.measuredNp);
   out.measured = true;
   out.measurement = std::move(m);
+}
+
+void CompileService::measureLoop() {
+  for (;;) {
+    MeasureJob job;
+    {
+      std::unique_lock lock(measure_mutex_);
+      measure_cv_.wait(lock, [this] {
+        return measure_stop_ || !measure_queue_.empty();
+      });
+      // Backlog is discarded on stop: measurements are advisory and a
+      // draining daemon should not execute kernels for nobody.
+      if (measure_stop_) return;
+      job = std::move(measure_queue_.front());
+      measure_queue_.pop_front();
+    }
+
+    perf::MeasureOptions opts = config_.measure;
+    opts.scale = job.resolved.scale;
+    perf::Measurement m;
+    {
+      StageTimer timer(*this, &Counters::executeNs);
+      m = perf::measure(apps::applicationById(job.resolved.appId), opts);
+    }
+    if (!m.ok) continue;  // keep the estimate-based decision
+    bump(&Counters::measurements);
+    if (m.usedNative) bump(&Counters::nativeMeasurements);
+    // Same fold as the synchronous path; recordMeasurement absorbs a
+    // shutdown racing the refresh internally.
+    (void)recordMeasurement(job.policyKey, m.measuredNp);
+  }
+}
+
+void CompileService::stopMeasureThread() {
+  {
+    std::lock_guard lock(measure_mutex_);
+    measure_stop_ = true;
+  }
+  measure_cv_.notify_all();
+  if (measure_thread_.joinable()) measure_thread_.join();
 }
 
 policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
@@ -339,9 +429,15 @@ policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
   return refreshed;
 }
 
-ArtifactPtr CompileService::compileUncached(const Request& resolved) {
+ArtifactPtr CompileService::compileUncached(const Request& resolved,
+                                            const CancelScope* cancel) {
   bump(&Counters::compiles);
   auto artifact = std::make_shared<Artifact>();
+  // Stage-boundary cancellation poll: cheap enough to sit between every
+  // stage, coarse enough that a stage never observes a torn abort.
+  const auto checkCancelled = [cancel] {
+    if (cancel != nullptr && cancel->cancelled()) throw CancelledCompile{};
+  };
 
   Program original;
   Program transformed;
@@ -359,6 +455,7 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
       return negative(diags.str());
     }
   }
+  checkCancelled();
 
   {
     bool any = false;
@@ -388,6 +485,7 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
                           : "kernel '" + resolved.kernelName + "' not found");
     }
   }
+  checkCancelled();
 
   {
     StageTimer timer(*this, &Counters::printNs);
@@ -396,6 +494,9 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
   }
 
   if (!resolved.platform.empty()) {
+    // Estimation dominates cold latency (~hundreds of ms), so it gets a
+    // boundary check before each variant.
+    checkCancelled();
     StageTimer timer(*this, &Counters::estimateNs);
     const apps::Application& app = apps::applicationById(resolved.appId);
     const perf::PlatformSpec spec = *perf::findPlatform(resolved.platform);
@@ -405,6 +506,7 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved) {
     const perf::PerfEstimate with =
         perf::estimate(spec, *origKernel, i1.range, i1.args,
                        i1.benchSampleStride, config_.estimateThreads);
+    checkCancelled();
     apps::Instance i2 = app.makeInstance(resolved.scale);
     const perf::PerfEstimate without =
         perf::estimate(spec, *transKernel, i2.range, i2.args,
@@ -429,6 +531,9 @@ void CompileService::shutdown() {
     stopping_ = true;
   }
   cv_capacity_.notify_all();
+  // Stop the measurement thread before draining the pool: a mid-flight
+  // refresh it triggered sees stopping_ and backs out quickly.
+  stopMeasureThread();
   pool_.waitIdle();
 }
 
@@ -452,6 +557,7 @@ ServiceStats CompileService::stats() const {
   s.misses = snap.misses;
   s.diskHits = snap.diskHits;
   s.compiles = snap.compiles;
+  s.cancelled = snap.cancelled;
   s.evictions = c.evictions;
   s.diskLoadFailures = c.diskLoadFailures;
   s.diskStores = c.diskStores;
@@ -473,6 +579,7 @@ ServiceStats CompileService::stats() const {
   s.measurements = snap.measurements;
   s.nativeMeasurements = snap.nativeMeasurements;
   s.policyRefreshes = snap.policyRefreshes;
+  s.measurementsDropped = snap.measurementsDropped;
   s.policyFlips = f.flips;
   s.policyMismatches = f.mismatches;
   return s;

@@ -8,9 +8,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "perf/measure.h"
@@ -18,6 +20,7 @@
 #include "policy/feedback.h"
 #include "policy/policy_store.h"
 #include "service/artifact_cache.h"
+#include "service/cancel.h"
 #include "support/thread_pool.h"
 
 namespace grover::service {
@@ -45,6 +48,15 @@ struct ServiceConfig {
   /// Knobs of the sampled measurements (repetitions, native opt-out, …).
   /// The scale is overridden per request.
   perf::MeasureOptions measure;
+  /// Capacity of the background measurement queue. 0 (the default)
+  /// keeps the legacy synchronous behavior: a sampled request executes
+  /// its measurement inline and the response carries the measured np.
+  /// > 0 moves sampled measurements onto a dedicated low-priority
+  /// thread: the response returns immediately (as fast as an unmeasured
+  /// request) and the measured np folds into the decision store when the
+  /// background measurement completes. A full queue drops the sample
+  /// (measurementsDropped) — measurements are advisory, latency is not.
+  std::size_t measureQueueDepth = 0;
 };
 
 /// Cumulative counters; snapshot via CompileService::stats().
@@ -61,6 +73,9 @@ struct ServiceStats {
   std::uint64_t diskStores = 0;
   std::uint64_t entries = 0;
   std::uint64_t bytesInUse = 0;
+  /// Cold compiles abandoned at a stage boundary because every waiting
+  /// client disconnected (nothing is cached for them).
+  std::uint64_t cancelled = 0;
   // compileAuto() policy path.
   std::uint64_t policyHits = 0;    // warm decisions (loser pipeline skipped)
   std::uint64_t policyMisses = 0;  // cold: both variants compiled+estimated
@@ -71,6 +86,8 @@ struct ServiceStats {
   std::uint64_t measurements = 0;        // completed measurements
   std::uint64_t nativeMeasurements = 0;  // of those, ran as native code
   std::uint64_t policyRefreshes = 0;     // mismatch-triggered re-estimates
+  /// Samples dropped because the background measurement queue was full.
+  std::uint64_t measurementsDropped = 0;
   // Cumulative per-stage wall time across all compiles, in milliseconds.
   double frontendMs = 0;   // source → SSA (×2: original + transformed)
   double groverMs = 0;     // the Grover pass
@@ -128,11 +145,17 @@ class CompileService {
   /// full). Throws GroverError for malformed requests (unknown app or
   /// platform, estimation without an app) and after shutdown(). The
   /// future itself never throws: failures are negative artifacts.
-  [[nodiscard]] Future submit(Request request);
+  ///
+  /// `cancel` (optional) is the caller's disconnect flag: a *cold*
+  /// compile is abandoned at the next stage boundary once every waiter's
+  /// token is set, the future resolves to a negative "cancelled"
+  /// artifact, and nothing is cached. Warm work ignores the token.
+  [[nodiscard]] Future submit(Request request, CancelToken cancel = nullptr);
 
   /// Blocking convenience wrapper: submit + get.
-  [[nodiscard]] ArtifactPtr run(Request request) {
-    return submit(std::move(request)).get();
+  [[nodiscard]] ArtifactPtr run(Request request,
+                                CancelToken cancel = nullptr) {
+    return submit(std::move(request), std::move(cancel)).get();
   }
 
   /// Policy-driven entry point (DESIGN.md §10). Extracts the kernel's
@@ -144,7 +167,10 @@ class CompileService {
   /// (both variants + estimates), the engine derives the verdict at the
   /// paper's 5% threshold, and the decision is persisted. Requests
   /// without a platform fall back to submit() (nothing to decide).
-  [[nodiscard]] AutoResult compileAuto(Request request);
+  /// `cancel` follows the submit() contract: only the cold pipeline
+  /// honors it; warm policy-path builds run to completion.
+  [[nodiscard]] AutoResult compileAuto(Request request,
+                                       CancelToken cancel = nullptr);
 
   /// Fold a measured np for a policyKey back into the decision store
   /// (EWMA; may flip the stored decision). When the measurement newly
@@ -187,10 +213,10 @@ class CompileService {
   /// whole block atomically instead of reading fields one by one.
   struct Counters {
     std::uint64_t requests = 0, memoryHits = 0, negativeHits = 0,
-        coalesced = 0, misses = 0, diskHits = 0, compiles = 0;
+        coalesced = 0, misses = 0, diskHits = 0, compiles = 0, cancelled = 0;
     std::uint64_t policyHits = 0, policyMisses = 0, policyStores = 0;
     std::uint64_t measurements = 0, nativeMeasurements = 0,
-        policyRefreshes = 0;
+        policyRefreshes = 0, measurementsDropped = 0;
     // Cumulative per-stage wall time, nanoseconds.
     std::uint64_t frontendNs = 0, groverNs = 0, validateNs = 0,
         printNs = 0, estimateNs = 0, executeNs = 0, cacheNs = 0;
@@ -226,10 +252,19 @@ class CompileService {
     counters_.*field += delta;
   }
 
-  [[nodiscard]] ArtifactPtr compileUncached(const Request& resolved);
+  /// The full cold pipeline. `cancel` (may be null) is polled at stage
+  /// boundaries; on trigger the compile aborts by exception, caught by
+  /// the submit() worker.
+  [[nodiscard]] ArtifactPtr compileUncached(const Request& resolved,
+                                            const CancelScope* cancel);
   /// Deterministic measurement sampling of one eligible compileAuto()
-  /// result; folds the measured np into the decision store on fire.
+  /// result. Synchronous mode (measureQueueDepth == 0) measures inline
+  /// and folds the np before returning; queue mode enqueues the sample
+  /// for the background measurement thread and returns immediately.
   void maybeMeasure(const Request& resolved, AutoResult& out);
+  /// Body of the background measurement thread.
+  void measureLoop();
+  void stopMeasureThread();
 
   ServiceConfig config_;
   ArtifactCache cache_;
@@ -240,7 +275,14 @@ class CompileService {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_capacity_;
-  std::unordered_map<std::uint64_t, Future> inflight_;
+  /// One in-flight compile per cache key: the shared future every
+  /// coalescer joins, plus the aggregated cancellation scope they
+  /// register their tokens with.
+  struct Inflight {
+    Future future;
+    CancelScopePtr cancel;
+  };
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
   std::size_t pending_ = 0;
   bool stopping_ = false;
   /// Measurement sampling accumulator (guarded by mutex_): gains
@@ -249,6 +291,19 @@ class CompileService {
   /// policyKey → resolved request of the last compileAuto() that used
   /// it, so a mismatch can be re-estimated (guarded by mutex_).
   std::unordered_map<std::uint64_t, Request> auto_requests_;
+
+  /// Background measurement queue (ServiceConfig::measureQueueDepth):
+  /// sampled requests enqueue here and a dedicated low-priority thread
+  /// executes them, so measurement never rides a request's latency path.
+  struct MeasureJob {
+    std::uint64_t policyKey = 0;
+    Request resolved;
+  };
+  std::mutex measure_mutex_;
+  std::condition_variable measure_cv_;
+  std::deque<MeasureJob> measure_queue_;  // guarded by measure_mutex_
+  bool measure_stop_ = false;             // guarded by measure_mutex_
+  std::thread measure_thread_;
 
   mutable std::mutex stats_mutex_;
   Counters counters_;  // guarded by stats_mutex_

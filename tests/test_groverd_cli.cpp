@@ -126,7 +126,8 @@ TEST(GroverdCli, HelpListsTheServingFlags) {
   const RunResult r = runCommand(std::string(GROVERD_PATH) + " --help");
   EXPECT_EQ(r.exitCode, 0);
   for (const char* flag : {"--port", "--socket", "--max-queue",
-                           "--idle-timeout-ms", "--measure-rate"}) {
+                           "--client-credits", "--idle-timeout-ms",
+                           "--measure-rate", "--measure-queue-depth"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "missing " << flag << " in:\n" << r.output;
   }

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "net/client.h"
@@ -212,7 +214,11 @@ TEST(NetServing, ClientDisconnectMidRequestNeitherLeaksNorWedges) {
     doomed.sendFrame(FrameType::Request, 1, "NVD-MT SNB bench");
     ASSERT_TRUE(eventually(
         [&] { return s.server.stats().requestsAdmitted == 1; }));
-  }  // destructor closes the socket
+    // RST, not FIN: a plain close is indistinguishable from a polite
+    // half-close (which the daemon now serves to completion); a crash
+    // looks like a reset.
+    doomed.abortiveClose();
+  }
 
   // The in-flight request must complete, its completion must be dropped
   // (not leaked into a dead connection), and the admission slot freed.
@@ -443,6 +449,233 @@ TEST(NetServing, UnixDomainSocketServes) {
   EXPECT_EQ(r.status, Status::Ok) << r.text;
   s.stop();
   ::unlink(path.c_str());
+}
+
+TEST(NetServing, HalfCloseServesBufferedRequestsBeforeClosing) {
+  // Regression: a client that writes a batch then shutdown(SHUT_WR)
+  // used to lose whatever frames were still buffered when the daemon
+  // saw EOF. All of them must be served and their responses flushed
+  // before the connection closes.
+  Serving s;
+  Client client;
+  client.connect(s.addr());
+
+  // One raw burst so data and FIN land as close together as possible —
+  // the regression fired when EOF arrived with frames still undecoded.
+  std::string burst;
+  const std::vector<std::string> lines = {
+      "NVD-MT SNB test", "AMD-SS SNB test", "AMD-MT SNB test",
+      "AMD-RG SNB test"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    grover::net::appendFrame(burst, FrameType::Request,
+                             static_cast<std::uint64_t>(i + 1), lines[i]);
+  }
+  client.sendRaw(burst);
+  client.shutdownWrite();
+
+  std::size_t okCount = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Reply r = readReply(client);
+    if (r.status == Status::Ok) ++okCount;
+  }
+  EXPECT_EQ(okCount, lines.size());
+  // After the last response the daemon closes its side too.
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().connectionsClosed == 1;
+  }));
+  EXPECT_EQ(s.server.stats().disconnectedMidRequest, 0u);
+}
+
+TEST(NetServing, GreedyPipelinerIsRejectedWhilePoliteClientAdmits) {
+  // Per-connection credits: one connection pipelining past its
+  // allowance is told Overloaded while the global queue still has room
+  // for everyone else.
+  ServerConfig serverConfig;
+  serverConfig.maxAdmitted = 16;
+  serverConfig.clientCredits = 2;
+  serverConfig.admitReserve = 4;
+  serverConfig.workers = 1;  // keep admitted work in flight
+  Serving s(serverConfig);
+
+  Client greedy;
+  greedy.connect(s.addr());
+  constexpr std::size_t kBurst = 6;
+  std::string burst;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    // Same slow line on purpose: admission is per-frame, upstream
+    // coalescing does not hand credits back.
+    grover::net::appendFrame(burst, FrameType::Request,
+                             static_cast<std::uint64_t>(i + 1),
+                             "NVD-MT SNB bench");
+  }
+  greedy.sendRaw(burst);
+
+  std::size_t okCount = 0, creditRejected = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    const Reply r = readReply(greedy);
+    if (r.status == Status::Ok) {
+      ++okCount;
+    } else {
+      EXPECT_EQ(r.status, Status::Overloaded) << r.text;
+      EXPECT_NE(r.text.find("per-connection credit limit"),
+                std::string::npos)
+          << r.text;
+      ++creditRejected;
+    }
+  }
+  EXPECT_EQ(okCount, 2u);
+  EXPECT_EQ(creditRejected, kBurst - 2);
+
+  // The polite client was never crowded out.
+  Client polite;
+  polite.connect(s.addr());
+  const Reply r = request(polite, "AMD-SS SNB test", 100);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+
+  const ServerStats stats = s.server.stats();
+  EXPECT_EQ(stats.rejectedClientCredit, kBurst - 2);
+  EXPECT_EQ(stats.rejectedOverload, kBurst - 2);
+}
+
+TEST(NetServing, DisconnectDuringColdCompileCancelsAndCachesNothing) {
+  Serving s;
+  {
+    Client doomed;
+    doomed.connect(s.addr());
+    doomed.sendFrame(FrameType::Request, 1, "NVD-MT SNB bench");
+    // Wait for the cold compile to be in flight, then vanish (RST).
+    ASSERT_TRUE(
+        eventually([&] { return s.service.stats().misses == 1; }));
+    doomed.abortiveClose();
+  }
+
+  // Every waiter is gone: the compile is abandoned at the next stage
+  // boundary and counted, and its completion is dropped.
+  EXPECT_TRUE(eventually([&] {
+    return s.service.stats().cancelled == 1;
+  })) << "cold compile for the vanished client was never cancelled";
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().disconnectedMidRequest == 1;
+  }));
+
+  // Nothing — not even a negative artifact — was cached: the same
+  // request from a live client compiles fresh and succeeds.
+  Client client;
+  client.connect(s.addr());
+  const Reply r = request(client, "NVD-MT SNB bench", 2);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+  EXPECT_EQ(r.text.rfind("ok, ", 0), 0u) << r.text;
+  const ServiceStats stats = s.service.stats();
+  EXPECT_EQ(stats.negativeHits, 0u);
+  EXPECT_EQ(stats.misses, 2u);  // fresh compile, not a cache hit
+}
+
+TEST(NetServing, BackgroundMeasurementAnswersBeforeTheSampleFolds) {
+  // measureRate=1 with a background queue: the response must come back
+  // without the "measured np" suffix (the sample runs off the request
+  // path) and the measurement must fold in afterwards.
+  ServiceConfig serviceConfig;
+  serviceConfig.measureRate = 1;
+  serviceConfig.measureQueueDepth = 8;
+  Serving s({}, serviceConfig);
+
+  Client client;
+  client.connect(s.addr());
+  const Reply cold =
+      request(client, "NVD-MT SNB test", 1, FrameType::AutoRequest);
+  EXPECT_EQ(cold.status, Status::Ok) << cold.text;
+  EXPECT_EQ(cold.text.find("measured np"), std::string::npos) << cold.text;
+
+  EXPECT_TRUE(eventually([&] {
+    return s.service.stats().measurements >= 1;
+  })) << "background measurement never completed";
+
+  // The stats frame exposes the folded sample.
+  client.sendFrame(FrameType::Stats, 2, "");
+  const Reply stats = readReply(client);
+  EXPECT_EQ(stats.status, Status::Ok);
+  EXPECT_NE(stats.text.find(" measured ("), std::string::npos)
+      << stats.text;
+}
+
+TEST(NetServing, ReadBudgetYieldsBetweenConnections) {
+  // Loop fairness: one connection's firehose is drained at most
+  // readBudgetBytes per tick; every frame is still served.
+  ServerConfig serverConfig;
+  serverConfig.readBudgetBytes = 4096;
+  Serving s(serverConfig);
+
+  Client client;
+  client.connect(s.addr());
+  constexpr std::size_t kFrames = 1000;  // ~20 KiB of headers
+  std::string burst;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    grover::net::appendFrame(burst, FrameType::Stats,
+                             static_cast<std::uint64_t>(i + 1), "");
+  }
+  client.sendRaw(burst);
+
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const Reply r = readReply(client);
+    EXPECT_EQ(r.status, Status::Ok);
+  }
+  EXPECT_GE(s.server.stats().readBudgetExhausted, 1u);
+}
+
+TEST(NetServing, EmfileAcceptStormShedsAndRecovers) {
+  ServerConfig serverConfig;
+  serverConfig.acceptBackoffMs = 50;
+  Serving s(serverConfig);
+
+  // An established connection that must keep working throughout.
+  Client veteran;
+  veteran.connect(s.addr());
+  EXPECT_EQ(request(veteran, "NVD-MT SNB test", 1).status, Status::Ok);
+
+  // Clamp RLIMIT_NOFILE so exactly one more fd fits: the next client's
+  // own socket. The daemon's accept() then has nothing left and must
+  // hit EMFILE.
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  const int probe = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(probe, 0);
+  const rlim_t ceiling = static_cast<rlim_t>(probe) + 1;
+  ::close(probe);
+  rlimit tight = saved;
+  tight.rlim_cur = ceiling;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // The handshake completes in the kernel backlog, then the daemon
+  // sheds the connection (accept → immediate close) instead of leaving
+  // it wedged in the backlog forever.
+  {
+    Client shed;
+    bool rejected = false;
+    try {
+      shed.connect(s.addr());
+      (void)request(shed, "NVD-MT SNB test", 2);
+    } catch (const GroverError&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+  }
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  EXPECT_TRUE(
+      eventually([&] { return s.server.stats().acceptsShed >= 1; }));
+
+  // With descriptors back (and the backoff expired), service resumes —
+  // for the veteran and for new clients alike.
+  EXPECT_EQ(request(veteran, "AMD-SS SNB test", 3).status, Status::Ok);
+  EXPECT_TRUE(eventually([&] {
+    try {
+      Client fresh;
+      fresh.connect(s.addr());
+      return request(fresh, "NVD-MT SNB test", 4).status == Status::Ok;
+    } catch (const GroverError&) {
+      return false;
+    }
+  }));
 }
 
 }  // namespace

@@ -6,9 +6,10 @@
 //
 // Usage:
 //   groverd [--port=P] [--host=A] [--socket=PATH] [--threads=N]
-//           [--max-queue=N] [--cache-mb=M] [--cache-dir=DIR]
-//           [--policy-dir=DIR] [--measure-rate=<f>]
-//           [--idle-timeout-ms=N] [--version] [--help]
+//           [--max-queue=N] [--client-credits=N] [--cache-mb=M]
+//           [--cache-dir=DIR] [--policy-dir=DIR] [--measure-rate=<f>]
+//           [--measure-queue-depth=N] [--idle-timeout-ms=N]
+//           [--version] [--help]
 //
 // The daemon listens on 127.0.0.1:<port> (port 0 = ephemeral; the bound
 // port is printed on the "listening on" line) and optionally on a
@@ -48,6 +49,10 @@ void usage() {
       "  --max-queue=N       admission bound: requests in flight before\n"
       "                      new ones are rejected with an overload\n"
       "                      response (default 128)\n"
+      "  --client-credits=N  per-connection admission bound: one\n"
+      "                      connection's in-flight requests before IT is\n"
+      "                      rejected while others still admit (default\n"
+      "                      64 = groverc's pipeline window; 0 disables)\n"
       "  --cache-mb=M        artifact cache byte budget in MiB (default\n"
       "                      256)\n"
       "  --cache-dir=DIR     enable the on-disk artifact cache tier\n"
@@ -55,6 +60,11 @@ void usage() {
       "  --measure-rate=<f>  execute this fraction (0..1] of policy-routed\n"
       "                      requests for real and fold the measured np\n"
       "                      back into the decision store\n"
+      "  --measure-queue-depth=N\n"
+      "                      run sampled measurements on a background\n"
+      "                      queue of this depth instead of on the\n"
+      "                      request path; excess samples are dropped\n"
+      "                      (default 64; 0 = measure inline)\n"
       "  --idle-timeout-ms=N close connections idle for N ms (default\n"
       "                      60000; 0 disables)\n"
       "  --version           print the build version and exit\n"
@@ -85,6 +95,10 @@ int main(int argc, char** argv) {
   grover::net::ServerConfig serverConfig;
   serverConfig.idleTimeoutMs = 60000;
   grover::service::ServiceConfig serviceConfig;
+  // The daemon answers measured requests as fast as unmeasured ones:
+  // sampled measurements run on a background queue (local groverc keeps
+  // the legacy inline measurement so its output stays synchronous).
+  serviceConfig.measureQueueDepth = 64;
   std::size_t cacheMb = 256;
 
   for (int i = 1; i < argc; ++i) {
@@ -103,6 +117,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-queue=", 0) == 0) {
       serverConfig.maxAdmitted = static_cast<std::size_t>(
           parseCountFlag("--max-queue", arg.substr(12)));
+    } else if (arg.rfind("--client-credits=", 0) == 0) {
+      serverConfig.clientCredits = static_cast<std::size_t>(parseCountFlag(
+          "--client-credits", arg.substr(17), /*allowZero=*/true));
+    } else if (arg.rfind("--measure-queue-depth=", 0) == 0) {
+      serviceConfig.measureQueueDepth =
+          static_cast<std::size_t>(parseCountFlag(
+              "--measure-queue-depth", arg.substr(22), /*allowZero=*/true));
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       cacheMb = static_cast<std::size_t>(
           parseCountFlag("--cache-mb", arg.substr(11)));
