@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 #include "support/diagnostics.h"
 #include "support/str.h"
@@ -47,6 +48,9 @@ void Client::close() {
 
 void Client::connect(const std::string& spec) {
   close();
+  // A reused client must not carry the previous connection's buffered
+  // bytes (or its poisoned state) into the new stream.
+  reader_ = FrameReader();
   std::string host, port;
   if (splitHostPort(spec, host, port)) {
     addrinfo hints{};
@@ -59,23 +63,37 @@ void Client::connect(const std::string& spec) {
       throw GroverError(cat("cannot resolve '", spec, "': ",
                             ::gai_strerror(rc)));
     }
+    // RAII so the list is freed on every exit, including throws.
+    const std::unique_ptr<addrinfo, void (*)(addrinfo*)> owned(
+        result, ::freeaddrinfo);
+    // Walk every resolved address with a LOCAL fd: each failed attempt
+    // is closed before the next socket(), and fd_ is only ever assigned
+    // a connected socket — never left dangling mid-walk.
+    int fd = -1;
     int lastErrno = 0;
     for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-      fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-      if (fd_ < 0) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
         lastErrno = errno;
         continue;
       }
-      if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      // Report the LAST failure: with several resolved addresses the
+      // final attempt's errno is what the caller can act on, not a
+      // stale first one.
       lastErrno = errno;
-      ::close(fd_);
-      fd_ = -1;
+      ::close(fd);
+      fd = -1;
     }
-    ::freeaddrinfo(result);
-    if (fd_ < 0) {
+    if (fd < 0) {
+      // lastErrno == 0 means getaddrinfo returned an empty/unusable
+      // list and no syscall ever ran; strerror(0) would say "Success".
       throw GroverError(cat("cannot connect to ", spec, ": ",
-                            std::strerror(lastErrno)));
+                            lastErrno != 0
+                                ? std::strerror(lastErrno)
+                                : "no usable addresses resolved"));
     }
+    fd_ = fd;
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   } else {

@@ -21,7 +21,11 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connect to "host:port" (TCP) or a filesystem path (Unix-domain
-  /// socket). Throws GroverError on resolution/connect failure.
+  /// socket). A hostname may resolve to several addresses; each is
+  /// tried in order, every failed attempt's socket is closed before the
+  /// next, and the error reported on total failure is the LAST
+  /// attempt's errno. Reconnecting an instance resets its frame reader.
+  /// Throws GroverError on resolution/connect failure.
   void connect(const std::string& spec);
 
   /// Send one frame, handling partial writes. SIGPIPE-safe. Throws

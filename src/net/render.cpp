@@ -72,4 +72,96 @@ std::string renderStats(const service::ServiceStats& s,
   return os.str();
 }
 
+std::string renderServerLine(const StatsCounters& c,
+                             std::uint64_t connectionsOpen) {
+  return cat("server: ", c.connectionsAccepted, " connections (",
+             connectionsOpen, " open, ", c.acceptsShed, " shed), ",
+             c.framesReceived, " frames, ", c.requestsAdmitted,
+             " admitted, ", c.responsesSent, " responses, ",
+             c.rejectedOverload, " overload-rejected (",
+             c.rejectedClientCredit, " credit), ", c.protocolErrors,
+             " protocol errors, ", c.disconnectedMidRequest,
+             " disconnected mid-request, ", c.idleTimeouts,
+             " idle timeouts, ", c.readBudgetExhausted,
+             " read-budget yields\n");
+}
+
+std::string renderShardLine(std::size_t index, const StatsCounters& c) {
+  return cat("shard ", index, ": ", c.connectionsAccepted,
+             " connections, ", c.framesReceived, " frames, ",
+             c.requestsAdmitted, " admitted, ", c.responsesSent,
+             " responses, ", c.rejectedOverload, " overload-rejected, ",
+             c.idleTimeouts, " idle timeouts\n");
+}
+
+std::string renderStatsFrame(const StatsFrame& f) {
+  std::string out = cat(
+      "daemon: up ", fixed(static_cast<double>(f.uptimeMs) / 1000.0, 1),
+      " s, ", f.shards.size(), " shard(s), ", f.admittedNow,
+      " admitted now, ", f.connectionsOpen, " connection(s) open\n");
+  out += renderServerLine(f.totals, f.connectionsOpen);
+  if (f.shards.size() > 1) {
+    for (std::size_t i = 0; i < f.shards.size(); ++i) {
+      out += renderShardLine(i, f.shards[i]);
+    }
+  }
+  out += cat("service: ", f.cancelled, " cancelled, ", f.measurements,
+             " measurements (", f.measurementsDropped, " dropped, backlog ",
+             f.measureQueueBacklog, ")\n");
+  return out;
+}
+
+namespace {
+
+void appendCountersJson(std::string& out, const StatsCounters& c) {
+  out += cat("{\"connections_accepted\":", c.connectionsAccepted,
+             ",\"connections_closed\":", c.connectionsClosed,
+             ",\"frames_received\":", c.framesReceived,
+             ",\"requests_admitted\":", c.requestsAdmitted,
+             ",\"responses_sent\":", c.responsesSent,
+             ",\"rejected_overload\":", c.rejectedOverload,
+             ",\"rejected_client_credit\":", c.rejectedClientCredit,
+             ",\"rejected_shutdown\":", c.rejectedShutdown,
+             ",\"protocol_errors\":", c.protocolErrors,
+             ",\"disconnected_mid_request\":", c.disconnectedMidRequest,
+             ",\"idle_timeouts\":", c.idleTimeouts,
+             ",\"read_budget_exhausted\":", c.readBudgetExhausted,
+             ",\"accepts_shed\":", c.acceptsShed, "}");
+}
+
+}  // namespace
+
+std::string renderStatsFrameJson(const StatsFrame& f) {
+  std::string out = cat("{\"version\":", f.version,
+                        ",\"uptime_ms\":", f.uptimeMs,
+                        ",\"shards\":", f.shards.size(),
+                        ",\"admitted_now\":", f.admittedNow,
+                        ",\"connections_open\":", f.connectionsOpen,
+                        ",\"cancelled\":", f.cancelled,
+                        ",\"measurements\":", f.measurements,
+                        ",\"measurements_dropped\":", f.measurementsDropped,
+                        ",\"measure_queue_backlog\":", f.measureQueueBacklog,
+                        ",\"totals\":");
+  appendCountersJson(out, f.totals);
+  out += ",\"per_shard\":[";
+  for (std::size_t i = 0; i < f.shards.size(); ++i) {
+    if (i > 0) out += ',';
+    appendCountersJson(out, f.shards[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string renderHealthLine(const StatsFrame& f) {
+  return cat("health: up ",
+             fixed(static_cast<double>(f.uptimeMs) / 1000.0, 1), " s, ",
+             f.shards.size(), " shard(s), ", f.admittedNow, " admitted, ",
+             f.connectionsOpen, " open (", f.totals.connectionsAccepted,
+             " accepted, ", f.totals.acceptsShed, " shed), ",
+             f.totals.responsesSent, " responses, ",
+             f.totals.rejectedOverload, " overload-rejected, ",
+             f.cancelled, " cancelled, ", f.measurements,
+             " measured (backlog ", f.measureQueueBacklog, ")");
+}
+
 }  // namespace grover::net

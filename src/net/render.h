@@ -3,8 +3,11 @@
 // client sees exactly the lines a local run would print.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "net/wire.h"
 #include "service/compile_service.h"
 
 namespace grover::net {
@@ -29,5 +32,30 @@ struct StatsRenderOptions {
 /// frame. Ends with a newline.
 [[nodiscard]] std::string renderStats(const service::ServiceStats& s,
                                       const StatsRenderOptions& options);
+
+/// The one-line "server: ..." event-loop counter summary, shared by the
+/// daemon's rendered-text stats payload and groverc's decoding of the
+/// binary StatsFrame — same counters, byte-identical line, so the two
+/// views diff cleanly. Ends with a newline.
+[[nodiscard]] std::string renderServerLine(const StatsCounters& c,
+                                           std::uint64_t connectionsOpen);
+
+/// One per-shard counter line ("shard N: ..."). Ends with a newline.
+[[nodiscard]] std::string renderShardLine(std::size_t index,
+                                          const StatsCounters& c);
+
+/// Human-readable rendering of a decoded binary StatsFrame: a health
+/// header, the shared "server:" line, per-shard lines when the daemon
+/// runs more than one loop shard, and a "service:" summary.
+[[nodiscard]] std::string renderStatsFrame(const StatsFrame& f);
+
+/// The same snapshot as one JSON object (machine consumers; groverc
+/// --stats-json). Ends with a newline.
+[[nodiscard]] std::string renderStatsFrameJson(const StatsFrame& f);
+
+/// One-line health summary for periodic daemon logs (groverd
+/// --health-interval). No trailing newline; the caller prefixes and
+/// terminates it.
+[[nodiscard]] std::string renderHealthLine(const StatsFrame& f);
 
 }  // namespace grover::net

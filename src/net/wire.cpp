@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <cstring>
+#include <utility>
 
 #include "support/str.h"
 
@@ -46,10 +47,133 @@ std::uint64_t getU64(const char* p) {
 
 bool knownType(std::uint16_t t) {
   return t >= static_cast<std::uint16_t>(FrameType::Request) &&
-         t <= static_cast<std::uint16_t>(FrameType::Error);
+         t <= static_cast<std::uint16_t>(FrameType::StatsBinaryResponse);
+}
+
+// Fixed-size prefix of a StatsFrame before the counter blocks:
+// version u16, shard count u16, then seven u64 health fields.
+constexpr std::size_t kStatsFramePrefix = 4 + 7 * 8;
+constexpr std::size_t kStatsCountersBytes = kStatsCounterCount * 8;
+
+void putCounters(std::string& out, const StatsCounters& c) {
+  putU64(out, c.connectionsAccepted);
+  putU64(out, c.connectionsClosed);
+  putU64(out, c.framesReceived);
+  putU64(out, c.requestsAdmitted);
+  putU64(out, c.responsesSent);
+  putU64(out, c.rejectedOverload);
+  putU64(out, c.rejectedClientCredit);
+  putU64(out, c.rejectedShutdown);
+  putU64(out, c.protocolErrors);
+  putU64(out, c.disconnectedMidRequest);
+  putU64(out, c.idleTimeouts);
+  putU64(out, c.readBudgetExhausted);
+  putU64(out, c.acceptsShed);
+}
+
+void getCounters(const char* p, StatsCounters& c) {
+  c.connectionsAccepted = getU64(p + 0 * 8);
+  c.connectionsClosed = getU64(p + 1 * 8);
+  c.framesReceived = getU64(p + 2 * 8);
+  c.requestsAdmitted = getU64(p + 3 * 8);
+  c.responsesSent = getU64(p + 4 * 8);
+  c.rejectedOverload = getU64(p + 5 * 8);
+  c.rejectedClientCredit = getU64(p + 6 * 8);
+  c.rejectedShutdown = getU64(p + 7 * 8);
+  c.protocolErrors = getU64(p + 8 * 8);
+  c.disconnectedMidRequest = getU64(p + 9 * 8);
+  c.idleTimeouts = getU64(p + 10 * 8);
+  c.readBudgetExhausted = getU64(p + 11 * 8);
+  c.acceptsShed = getU64(p + 12 * 8);
 }
 
 }  // namespace
+
+bool operator==(const StatsCounters& a, const StatsCounters& b) {
+  return a.connectionsAccepted == b.connectionsAccepted &&
+         a.connectionsClosed == b.connectionsClosed &&
+         a.framesReceived == b.framesReceived &&
+         a.requestsAdmitted == b.requestsAdmitted &&
+         a.responsesSent == b.responsesSent &&
+         a.rejectedOverload == b.rejectedOverload &&
+         a.rejectedClientCredit == b.rejectedClientCredit &&
+         a.rejectedShutdown == b.rejectedShutdown &&
+         a.protocolErrors == b.protocolErrors &&
+         a.disconnectedMidRequest == b.disconnectedMidRequest &&
+         a.idleTimeouts == b.idleTimeouts &&
+         a.readBudgetExhausted == b.readBudgetExhausted &&
+         a.acceptsShed == b.acceptsShed;
+}
+
+bool operator==(const StatsFrame& a, const StatsFrame& b) {
+  return a.version == b.version && a.uptimeMs == b.uptimeMs &&
+         a.admittedNow == b.admittedNow &&
+         a.connectionsOpen == b.connectionsOpen &&
+         a.cancelled == b.cancelled && a.measurements == b.measurements &&
+         a.measurementsDropped == b.measurementsDropped &&
+         a.measureQueueBacklog == b.measureQueueBacklog &&
+         a.totals == b.totals && a.shards == b.shards;
+}
+
+std::string encodeStatsFrame(const StatsFrame& frame) {
+  std::string out;
+  out.reserve(kStatsFramePrefix +
+              kStatsCountersBytes * (1 + frame.shards.size()));
+  putU16(out, frame.version);
+  putU16(out, static_cast<std::uint16_t>(frame.shards.size()));
+  putU64(out, frame.uptimeMs);
+  putU64(out, frame.admittedNow);
+  putU64(out, frame.connectionsOpen);
+  putU64(out, frame.cancelled);
+  putU64(out, frame.measurements);
+  putU64(out, frame.measurementsDropped);
+  putU64(out, frame.measureQueueBacklog);
+  putCounters(out, frame.totals);
+  for (const StatsCounters& shard : frame.shards) putCounters(out, shard);
+  return out;
+}
+
+bool decodeStatsFrame(std::string_view data, StatsFrame& out,
+                      std::string* error) {
+  const auto fail = [&](std::string why) {
+    if (error) *error = std::move(why);
+    return false;
+  };
+  if (data.size() < 4) return fail("stats frame truncated before header");
+  const std::uint16_t version = getU16(data.data());
+  if (version != kStatsFrameVersion) {
+    return fail(cat("unsupported stats frame version ", version,
+                    " (this build speaks v", kStatsFrameVersion, ")"));
+  }
+  const std::uint16_t shardCount = getU16(data.data() + 2);
+  const std::size_t expected =
+      kStatsFramePrefix +
+      kStatsCountersBytes * (1 + static_cast<std::size_t>(shardCount));
+  if (data.size() < expected) {
+    return fail(cat("stats frame truncated: ", data.size(), " bytes, need ",
+                    expected, " for ", shardCount, " shards"));
+  }
+  if (data.size() > expected) {
+    return fail(cat("stats frame has ", data.size() - expected,
+                    " trailing bytes"));
+  }
+  const char* p = data.data();
+  out.version = version;
+  out.uptimeMs = getU64(p + 4);
+  out.admittedNow = getU64(p + 12);
+  out.connectionsOpen = getU64(p + 20);
+  out.cancelled = getU64(p + 28);
+  out.measurements = getU64(p + 36);
+  out.measurementsDropped = getU64(p + 44);
+  out.measureQueueBacklog = getU64(p + 52);
+  getCounters(p + kStatsFramePrefix, out.totals);
+  out.shards.assign(shardCount, StatsCounters{});
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    getCounters(p + kStatsFramePrefix + kStatsCountersBytes * (1 + i),
+                out.shards[i]);
+  }
+  return true;
+}
 
 const char* toString(Status status) {
   switch (status) {

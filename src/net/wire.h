@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace grover::net {
 
@@ -50,6 +51,11 @@ enum class FrameType : std::uint16_t {
   /// Daemon → client: Status byte + reason. Sent for protocol
   /// violations; the daemon closes the connection after flushing it.
   Error = 6,
+  /// Client → daemon: snapshot the counters as a binary StatsFrame
+  /// (machine consumers; the text Stats frame stays for humans).
+  StatsBinary = 7,
+  /// Daemon → client: Status byte + encoded StatsFrame.
+  StatsBinaryResponse = 8,
 };
 
 enum class Status : std::uint8_t {
@@ -89,6 +95,79 @@ void appendStatusFrame(std::string& out, FrameType type, std::uint64_t id,
 /// false for an empty payload or an out-of-range status byte.
 bool splitStatusPayload(std::string_view payload, Status& status,
                         std::string_view& text);
+
+/// The event-loop counter block of one shard (or the whole server when
+/// used as the totals). Field order is the wire order; every counter is
+/// a little-endian u64 on the wire so a monitor can diff snapshots
+/// without parsing text.
+struct StatsCounters {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t requestsAdmitted = 0;
+  std::uint64_t responsesSent = 0;
+  std::uint64_t rejectedOverload = 0;
+  std::uint64_t rejectedClientCredit = 0;
+  std::uint64_t rejectedShutdown = 0;
+  std::uint64_t protocolErrors = 0;
+  std::uint64_t disconnectedMidRequest = 0;
+  std::uint64_t idleTimeouts = 0;
+  std::uint64_t readBudgetExhausted = 0;
+  std::uint64_t acceptsShed = 0;
+
+  friend bool operator==(const StatsCounters& a, const StatsCounters& b);
+  friend bool operator!=(const StatsCounters& a, const StatsCounters& b) {
+    return !(a == b);
+  }
+};
+
+/// Number of u64 counters in StatsCounters (wire layout).
+inline constexpr std::size_t kStatsCounterCount = 13;
+
+inline constexpr std::uint16_t kStatsFrameVersion = 1;
+
+/// The versioned binary stats/health snapshot a StatsBinary request
+/// returns. Fixed little-endian layout:
+///
+///   offset  size  field
+///        0     2  version            (kStatsFrameVersion)
+///        2     2  shard count        (entries in `shards`)
+///        4     8  uptimeMs           daemon lifetime
+///       12     8  admittedNow        requests in flight right now
+///       20     8  connectionsOpen    currently open connections
+///       28     8  cancelled          service: cancelled cold compiles
+///       36     8  measurements       service: background measurements
+///       44     8  measurementsDropped service: queue-full drops
+///       52     8  measureQueueBacklog service: queue depth right now
+///       60   104  totals             StatsCounters (13 × u64)
+///      164  104×N per-shard          StatsCounters per shard, in order
+struct StatsFrame {
+  std::uint16_t version = kStatsFrameVersion;
+  std::uint64_t uptimeMs = 0;
+  std::uint64_t admittedNow = 0;
+  std::uint64_t connectionsOpen = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t measurements = 0;
+  std::uint64_t measurementsDropped = 0;
+  std::uint64_t measureQueueBacklog = 0;
+  StatsCounters totals;
+  std::vector<StatsCounters> shards;
+
+  friend bool operator==(const StatsFrame& a, const StatsFrame& b);
+  friend bool operator!=(const StatsFrame& a, const StatsFrame& b) {
+    return !(a == b);
+  }
+};
+
+/// Serialize a StatsFrame into its wire layout (no frame header; the
+/// result rides as the text part of a StatsBinaryResponse payload).
+[[nodiscard]] std::string encodeStatsFrame(const StatsFrame& frame);
+
+/// Decode a StatsFrame. Rejects truncated input, trailing bytes, and
+/// unknown versions; on failure returns false and, when `error` is
+/// non-null, explains why.
+bool decodeStatsFrame(std::string_view data, StatsFrame& out,
+                      std::string* error = nullptr);
 
 /// Incremental frame decoder: feed bytes as they arrive, pull complete
 /// frames out. Both the daemon's per-connection read path and the

@@ -580,6 +580,10 @@ ServiceStats CompileService::stats() const {
   s.nativeMeasurements = snap.nativeMeasurements;
   s.policyRefreshes = snap.policyRefreshes;
   s.measurementsDropped = snap.measurementsDropped;
+  {
+    std::lock_guard lock(measure_mutex_);
+    s.measureQueueBacklog = measure_queue_.size();
+  }
   s.policyFlips = f.flips;
   s.policyMismatches = f.mismatches;
   return s;

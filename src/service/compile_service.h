@@ -88,6 +88,9 @@ struct ServiceStats {
   std::uint64_t policyRefreshes = 0;     // mismatch-triggered re-estimates
   /// Samples dropped because the background measurement queue was full.
   std::uint64_t measurementsDropped = 0;
+  /// Jobs sitting in the background measurement queue right now (a
+  /// depth gauge, not a cumulative counter — health frames report it).
+  std::uint64_t measureQueueBacklog = 0;
   // Cumulative per-stage wall time across all compiles, in milliseconds.
   double frontendMs = 0;   // source → SSA (×2: original + transformed)
   double groverMs = 0;     // the Grover pass
@@ -299,7 +302,7 @@ class CompileService {
     std::uint64_t policyKey = 0;
     Request resolved;
   };
-  std::mutex measure_mutex_;
+  mutable std::mutex measure_mutex_;  // stats() reads the queue depth
   std::condition_variable measure_cv_;
   std::deque<MeasureJob> measure_queue_;  // guarded by measure_mutex_
   bool measure_stop_ = false;             // guarded by measure_mutex_

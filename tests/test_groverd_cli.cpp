@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -58,7 +59,7 @@ struct Daemon {
   /// Fork + exec the daemon and wait for its startup line:
   /// "groverd <ver> (protocol v1) listening on 127.0.0.1:<port>".
   /// Leaves port == 0 on failure; callers ASSERT on it.
-  void start() {
+  void start(const std::vector<std::string>& extraArgs = {}) {
     int fds[2];
     ASSERT_EQ(::pipe(fds), 0);
     pid = ::fork();
@@ -68,8 +69,14 @@ struct Daemon {
       ::dup2(fds[1], STDERR_FILENO);
       ::close(fds[0]);
       ::close(fds[1]);
-      ::execl(GROVERD_PATH, "groverd", "--port=0", "--threads=2",
-              static_cast<char*>(nullptr));
+      std::vector<char*> argv = {const_cast<char*>("groverd"),
+                                 const_cast<char*>("--port=0"),
+                                 const_cast<char*>("--threads=2")};
+      for (const std::string& arg : extraArgs) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(GROVERD_PATH, argv.data());
       ::_exit(127);
     }
     ::close(fds[1]);
@@ -208,6 +215,51 @@ TEST(GroverdCli, GrovercRejectsDaemonSideFlagsWithConnect) {
                                  " --connect=127.0.0.1:1 --threads=4");
   EXPECT_EQ(r.exitCode, 1);
   EXPECT_NE(r.output.find("daemon-side"), std::string::npos) << r.output;
+  fs::remove(batch);
+}
+
+TEST(GroverdCli, ShardedDaemonServesBinaryStatsEndToEnd) {
+  Daemon daemon;
+  daemon.start({"--loop-shards=2"});
+  ASSERT_GT(daemon.port, 0);
+  EXPECT_NE(daemon.log.find("(2 loop shards)"), std::string::npos)
+      << daemon.log;
+
+  const fs::path batch = tmpFile("stats.txt", "NVD-MT SNB test\n");
+  const RunResult served = runCommand(std::string(GROVERC_PATH) +
+                                      " --serve-batch=" + batch.string() +
+                                      " " + daemon.connectFlag());
+  EXPECT_EQ(served.exitCode, 0) << served.output;
+
+  // The binary stats frame, decoded client-side: daemon gauges, the
+  // shard breakdown, and totals reflecting the request just served.
+  const RunResult stats = runCommand(std::string(GROVERC_PATH) + " " +
+                                     daemon.connectFlag() + " --stats");
+  EXPECT_EQ(stats.exitCode, 0) << stats.output;
+  EXPECT_NE(stats.output.find("daemon: up "), std::string::npos)
+      << stats.output;
+  EXPECT_NE(stats.output.find("2 shard(s)"), std::string::npos)
+      << stats.output;
+  EXPECT_NE(stats.output.find("1 admitted"), std::string::npos)
+      << stats.output;
+
+  const RunResult json = runCommand(std::string(GROVERC_PATH) + " " +
+                                    daemon.connectFlag() + " --stats-json");
+  EXPECT_EQ(json.exitCode, 0) << json.output;
+  EXPECT_NE(json.output.find("\"shards\":2"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"per_shard\":["), std::string::npos)
+      << json.output;
+
+  // --stats is its own mode: mixing it with a batch is rejected.
+  const RunResult mixed = runCommand(std::string(GROVERC_PATH) +
+                                     " --serve-batch=" + batch.string() +
+                                     " --stats " + daemon.connectFlag());
+  EXPECT_EQ(mixed.exitCode, 1);
+
+  EXPECT_EQ(daemon.terminate(), 0) << daemon.log;
+  EXPECT_NE(daemon.log.find("clean shutdown"), std::string::npos)
+      << daemon.log;
   fs::remove(batch);
 }
 

@@ -9,12 +9,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "net/client.h"
@@ -37,6 +42,19 @@ using grover::service::CompileService;
 using grover::service::ServiceConfig;
 using grover::service::ServiceStats;
 
+/// GROVER_TEST_LOOP_SHARDS=N reruns this whole suite sharded (CI does
+/// so under TSan). Only applies to fixtures that did not ask for a
+/// shard count themselves, so explicit-config tests keep their setup.
+ServerConfig applyShardEnv(ServerConfig config) {
+  if (config.loopShards == 1) {
+    if (const char* env = std::getenv("GROVER_TEST_LOOP_SHARDS")) {
+      const int n = std::atoi(env);
+      if (n > 1) config.loopShards = static_cast<std::size_t>(n);
+    }
+  }
+  return config;
+}
+
 /// One service + one server + the event loop on a background thread.
 struct Serving {
   CompileService service;
@@ -45,7 +63,8 @@ struct Serving {
 
   explicit Serving(ServerConfig serverConfig = {},
                    ServiceConfig serviceConfig = {})
-      : service(serviceConfig), server(service, serverConfig) {
+      : service(serviceConfig),
+        server(service, applyShardEnv(serverConfig)) {
     server.bind();
     loop = std::thread([this] { server.run(); });
   }
@@ -676,6 +695,288 @@ TEST(NetServing, EmfileAcceptStormShedsAndRecovers) {
       return false;
     }
   }));
+}
+
+/// Fold one per-shard entry's counters into an accumulator — the same
+/// sum stats() itself performs, recomputed independently by the test.
+void accumulate(ServerStats& sum, const ServerStats& shard) {
+  sum.connectionsAccepted += shard.connectionsAccepted;
+  sum.connectionsClosed += shard.connectionsClosed;
+  sum.framesReceived += shard.framesReceived;
+  sum.requestsAdmitted += shard.requestsAdmitted;
+  sum.responsesSent += shard.responsesSent;
+  sum.rejectedOverload += shard.rejectedOverload;
+  sum.rejectedClientCredit += shard.rejectedClientCredit;
+  sum.rejectedShutdown += shard.rejectedShutdown;
+  sum.protocolErrors += shard.protocolErrors;
+  sum.disconnectedMidRequest += shard.disconnectedMidRequest;
+  sum.idleTimeouts += shard.idleTimeouts;
+  sum.readBudgetExhausted += shard.readBudgetExhausted;
+  sum.acceptsShed += shard.acceptsShed;
+}
+
+void expectShardsSumToTotals(const ServerStats& stats) {
+  ServerStats sum;
+  for (const ServerStats& shard : stats.shards) accumulate(sum, shard);
+  EXPECT_EQ(sum.connectionsAccepted, stats.connectionsAccepted);
+  EXPECT_EQ(sum.connectionsClosed, stats.connectionsClosed);
+  EXPECT_EQ(sum.framesReceived, stats.framesReceived);
+  EXPECT_EQ(sum.requestsAdmitted, stats.requestsAdmitted);
+  EXPECT_EQ(sum.responsesSent, stats.responsesSent);
+  EXPECT_EQ(sum.rejectedOverload, stats.rejectedOverload);
+  EXPECT_EQ(sum.rejectedClientCredit, stats.rejectedClientCredit);
+  EXPECT_EQ(sum.rejectedShutdown, stats.rejectedShutdown);
+  EXPECT_EQ(sum.protocolErrors, stats.protocolErrors);
+  EXPECT_EQ(sum.disconnectedMidRequest, stats.disconnectedMidRequest);
+  EXPECT_EQ(sum.idleTimeouts, stats.idleTimeouts);
+  EXPECT_EQ(sum.readBudgetExhausted, stats.readBudgetExhausted);
+  EXPECT_EQ(sum.acceptsShed, stats.acceptsShed);
+}
+
+TEST(NetServing, ShardedTrafficAggregatesPerShardToTotals) {
+  // Two shards with the handoff path (reusePort off): least-loaded
+  // routing is deterministic, so four concurrently-open connections
+  // MUST land on both shards — and every counter total must equal the
+  // sum of the per-shard breakdown.
+  ServerConfig serverConfig;
+  serverConfig.loopShards = 2;
+  serverConfig.reusePort = false;
+  Serving s(serverConfig);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<Client> clients(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients[i].connect(s.addr());
+    const Reply r = request(clients[i], "NVD-MT SNB test",
+                            static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(r.status, Status::Ok) << r.text;
+  }
+
+  const ServerStats stats = s.server.stats();
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.connectionsAccepted, kClients);
+  EXPECT_EQ(stats.responsesSent, kClients);
+  // Least-loaded handoff with all connections held open: neither shard
+  // can have taken them all.
+  EXPECT_GE(stats.shards[0].connectionsAccepted, 1u);
+  EXPECT_GE(stats.shards[1].connectionsAccepted, 1u);
+  // Per-shard entries carry no nested breakdown of their own.
+  EXPECT_TRUE(stats.shards[0].shards.empty());
+  expectShardsSumToTotals(stats);
+}
+
+TEST(NetServing, ReuseportShardsAggregateToTotals) {
+  // The SO_REUSEPORT path: the kernel picks the shard per connection
+  // (possibly the same one every time on loopback), so only the
+  // aggregation invariant is asserted, not the spread.
+  ServerConfig serverConfig;
+  serverConfig.loopShards = 2;
+  Serving s(serverConfig);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<Client> clients(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients[i].connect(s.addr());
+    const Reply r = request(clients[i], "AMD-SS SNB test",
+                            static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(r.status, Status::Ok) << r.text;
+  }
+
+  const ServerStats stats = s.server.stats();
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.connectionsAccepted, kClients);
+  EXPECT_EQ(stats.requestsAdmitted, kClients);
+  expectShardsSumToTotals(stats);
+}
+
+TEST(NetServing, BinaryStatsFrameRoundTripsOverTheWire) {
+  ServerConfig serverConfig;
+  serverConfig.loopShards = 2;
+  serverConfig.reusePort = false;
+  Serving s(serverConfig);
+
+  Client client;
+  client.connect(s.addr());
+  ASSERT_EQ(request(client, "NVD-MT SNB test", 1).status, Status::Ok);
+
+  client.sendFrame(FrameType::StatsBinary, 2, "");
+  const Frame frame = client.readFrame();
+  ASSERT_EQ(frame.type, FrameType::StatsBinaryResponse);
+  Status status = Status::RequestFailed;
+  std::string_view payload;
+  ASSERT_TRUE(
+      grover::net::splitStatusPayload(frame.payload, status, payload));
+  ASSERT_EQ(status, Status::Ok);
+
+  grover::net::StatsFrame decoded;
+  std::string error;
+  ASSERT_TRUE(grover::net::decodeStatsFrame(payload, decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.version, grover::net::kStatsFrameVersion);
+  ASSERT_EQ(decoded.shards.size(), 2u);
+  EXPECT_EQ(decoded.totals.requestsAdmitted, 1u);
+  EXPECT_EQ(decoded.connectionsOpen, 1u);
+  EXPECT_EQ(decoded.admittedNow, 0u);
+  // The snapshot reads each shard's atomics once and sums those same
+  // reads into the totals, so the invariant is exact, not eventual.
+  grover::net::StatsCounters sum;
+  const auto add = [](std::uint64_t grover::net::StatsCounters::* field,
+                      grover::net::StatsCounters& acc,
+                      const grover::net::StatsCounters& c) {
+    acc.*field += c.*field;
+  };
+  for (const grover::net::StatsCounters& shard : decoded.shards) {
+    add(&grover::net::StatsCounters::connectionsAccepted, sum, shard);
+    add(&grover::net::StatsCounters::connectionsClosed, sum, shard);
+    add(&grover::net::StatsCounters::framesReceived, sum, shard);
+    add(&grover::net::StatsCounters::requestsAdmitted, sum, shard);
+    add(&grover::net::StatsCounters::responsesSent, sum, shard);
+    add(&grover::net::StatsCounters::rejectedOverload, sum, shard);
+    add(&grover::net::StatsCounters::rejectedClientCredit, sum, shard);
+    add(&grover::net::StatsCounters::rejectedShutdown, sum, shard);
+    add(&grover::net::StatsCounters::protocolErrors, sum, shard);
+    add(&grover::net::StatsCounters::disconnectedMidRequest, sum, shard);
+    add(&grover::net::StatsCounters::idleTimeouts, sum, shard);
+    add(&grover::net::StatsCounters::readBudgetExhausted, sum, shard);
+    add(&grover::net::StatsCounters::acceptsShed, sum, shard);
+  }
+  EXPECT_EQ(sum, decoded.totals);
+}
+
+/// Count open descriptors via /proc/self/fd (Linux). The readdir fd
+/// itself is included both times, so before/after comparisons hold.
+int openFdCount() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(NetServing, ClientConnectFailureLeaksNoFdsAndReportsLastErrno) {
+  // Regression for the multi-address connect walk: each failed
+  // attempt's socket must be closed before the next, the addrinfo list
+  // freed on the throw path, and the error must carry the LAST errno —
+  // not a stale first one or strerror(0) ("Success").
+  //
+  // A bound-but-never-listening socket pins a port that refuses
+  // connections for the whole test: no raced rebind window.
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  const int before = openFdCount();
+  ASSERT_GT(before, 0);
+  // "localhost" may resolve to several addresses (v4 and v6); every one
+  // must be walked and every attempt's socket closed.
+  const std::string spec = "localhost:" + std::to_string(port);
+  for (int i = 0; i < 8; ++i) {
+    Client client;
+    try {
+      client.connect(spec);
+      FAIL() << "connect to a non-listening port succeeded";
+    } catch (const GroverError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("cannot connect"), std::string::npos) << what;
+      EXPECT_NE(what.find("refused"), std::string::npos) << what;
+      EXPECT_EQ(what.find("Success"), std::string::npos) << what;
+    }
+    EXPECT_FALSE(client.connected());
+  }
+  EXPECT_EQ(openFdCount(), before) << "connect() walk leaked fds";
+  ::close(blocker);
+}
+
+TEST(NetServing, SecondDaemonCannotHijackALiveUnixSocket) {
+  // Regression for the stale-socket unlink race: bind() used to unlink
+  // the path unconditionally, so a second daemon would silently steal —
+  // and on exit delete — a live daemon's socket. Now the path is only
+  // reclaimed after a probe connect() proves it dead (ECONNREFUSED).
+  const std::string path =
+      "/tmp/grover_hijack_" + std::to_string(::getpid()) + ".sock";
+  ServerConfig serverConfig;
+  serverConfig.host = "none";
+  serverConfig.unixPath = path;
+  Serving first(serverConfig);
+
+  {
+    CompileService secondService{ServiceConfig{}};
+    Server second(secondService, serverConfig);
+    EXPECT_THROW(second.bind(), GroverError);
+  }  // ~Server of the loser must NOT unlink the winner's socket
+
+  // The first daemon still owns the path and still serves.
+  Client client;
+  client.connect(path);
+  const Reply r = request(client, "NVD-MT SNB test", 1);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+  first.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(NetServing, StaleUnixSocketFileIsReclaimed) {
+  // A socket file whose owner died (bound once, never unlinked) probes
+  // ECONNREFUSED; a new daemon must reclaim the path and serve.
+  const std::string path =
+      "/tmp/grover_stale_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);  // dead owner: the file stays behind
+  }
+
+  ServerConfig serverConfig;
+  serverConfig.host = "none";
+  serverConfig.unixPath = path;
+  Serving s(serverConfig);
+  Client client;
+  client.connect(path);
+  const Reply r = request(client, "AMD-SS SNB test", 1);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+  s.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(NetServing, SlowRequestIsNotIdleClosedWhileInFlight) {
+  // Regression: an idle timeout shorter than a cold compile must not
+  // close the connection that is waiting on it — in-flight requests pin
+  // the connection, and admission/completion both count as activity.
+  ServerConfig serverConfig;
+  serverConfig.idleTimeoutMs = 50;
+  Serving s(serverConfig);
+
+  Client client;
+  client.connect(s.addr());
+  // A bench-scale request: far slower than 50 ms of wall clock.
+  const Reply r = request(client, "NVD-MT SNB bench", 1);
+  EXPECT_EQ(r.status, Status::Ok) << r.text;
+  EXPECT_EQ(s.server.stats().idleTimeouts, 0u)
+      << "connection idle-closed while its request was in flight";
+
+  // With the response delivered and the connection now genuinely idle,
+  // the timeout applies again.
+  EXPECT_THROW((void)client.readFrame(), GroverError);
+  EXPECT_TRUE(
+      eventually([&] { return s.server.stats().idleTimeouts == 1; }));
 }
 
 }  // namespace

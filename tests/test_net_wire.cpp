@@ -166,6 +166,131 @@ TEST(NetWire, CustomPayloadBoundIsEnforced) {
   EXPECT_EQ(reader.next(frame), FrameReader::Result::Error);
 }
 
+grover::net::StatsFrame sampleStatsFrame() {
+  // Every field non-zero and distinct so a byte transposed anywhere in
+  // the layout changes the decoded struct.
+  grover::net::StatsFrame f;
+  f.uptimeMs = 12345;
+  f.admittedNow = 3;
+  f.connectionsOpen = 7;
+  f.cancelled = 2;
+  f.measurements = 41;
+  f.measurementsDropped = 5;
+  f.measureQueueBacklog = 11;
+  std::uint64_t v = 100;
+  const auto fill = [&v](grover::net::StatsCounters& c) {
+    c.connectionsAccepted = v++;
+    c.connectionsClosed = v++;
+    c.framesReceived = v++;
+    c.requestsAdmitted = v++;
+    c.responsesSent = v++;
+    c.rejectedOverload = v++;
+    c.rejectedClientCredit = v++;
+    c.rejectedShutdown = v++;
+    c.protocolErrors = v++;
+    c.disconnectedMidRequest = v++;
+    c.idleTimeouts = v++;
+    c.readBudgetExhausted = v++;
+    c.acceptsShed = v++;
+  };
+  fill(f.totals);
+  f.shards.resize(2);
+  fill(f.shards[0]);
+  fill(f.shards[1]);
+  return f;
+}
+
+TEST(NetWire, StatsFrameRoundTrips) {
+  const grover::net::StatsFrame original = sampleStatsFrame();
+  const std::string bytes = grover::net::encodeStatsFrame(original);
+  // 4-byte header, 7 u64 health fields, then 13 u64 counters for the
+  // totals and each of the two shards.
+  EXPECT_EQ(bytes.size(), 4 + 7 * 8 + 3 * (13 * 8));
+
+  grover::net::StatsFrame decoded;
+  std::string error;
+  ASSERT_TRUE(grover::net::decodeStatsFrame(bytes, decoded, &error))
+      << error;
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(NetWire, StatsFrameWithNoShardsRoundTrips) {
+  grover::net::StatsFrame original = sampleStatsFrame();
+  original.shards.clear();
+  grover::net::StatsFrame decoded;
+  ASSERT_TRUE(grover::net::decodeStatsFrame(
+      grover::net::encodeStatsFrame(original), decoded, nullptr));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(NetWire, StatsFrameTruncationIsRejectedAtEveryLength) {
+  // Like the frame decoder, the stats decoder must never read past the
+  // bytes it was handed: EVERY proper prefix is an error, not a crash
+  // or a half-decoded struct.
+  const std::string bytes =
+      grover::net::encodeStatsFrame(sampleStatsFrame());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    grover::net::StatsFrame decoded;
+    std::string error;
+    EXPECT_FALSE(grover::net::decodeStatsFrame(
+        std::string_view(bytes.data(), cut), decoded, &error))
+        << "prefix of " << cut << " bytes decoded";
+    EXPECT_NE(error.find("truncated"), std::string::npos)
+        << "cut at " << cut << ": " << error;
+  }
+}
+
+TEST(NetWire, StatsFrameTrailingBytesAreRejected) {
+  std::string bytes = grover::net::encodeStatsFrame(sampleStatsFrame());
+  bytes += '\0';
+  grover::net::StatsFrame decoded;
+  std::string error;
+  EXPECT_FALSE(grover::net::decodeStatsFrame(bytes, decoded, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(NetWire, StatsFrameUnknownVersionIsRejected) {
+  std::string bytes = grover::net::encodeStatsFrame(sampleStatsFrame());
+  bytes[0] = static_cast<char>(grover::net::kStatsFrameVersion + 1);
+  grover::net::StatsFrame decoded;
+  std::string error;
+  EXPECT_FALSE(grover::net::decodeStatsFrame(bytes, decoded, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(NetWire, StatsFrameLyingShardCountIsTruncation) {
+  // Poisoned header: the shard count claims more blocks than the bytes
+  // carry. The decoder must size-check against the count, not trust it.
+  std::string bytes = grover::net::encodeStatsFrame(sampleStatsFrame());
+  bytes[2] = static_cast<char>(200);  // shard count, little-endian
+  grover::net::StatsFrame decoded;
+  std::string error;
+  EXPECT_FALSE(grover::net::decodeStatsFrame(bytes, decoded, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(NetWire, StatsBinaryFrameTypesRideTheFrameCodec) {
+  // The binary stats payload travels inside an ordinary frame; the
+  // codec must pass the new types and the raw bytes through untouched.
+  const std::string payload =
+      grover::net::encodeStatsFrame(sampleStatsFrame());
+  std::string bytes;
+  appendFrame(bytes, FrameType::StatsBinary, 5, "");
+  appendFrame(bytes, FrameType::StatsBinaryResponse, 5, payload);
+
+  FrameReader reader;
+  reader.append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Result::Frame);
+  EXPECT_EQ(frame.type, FrameType::StatsBinary);
+  ASSERT_EQ(reader.next(frame), FrameReader::Result::Frame);
+  EXPECT_EQ(frame.type, FrameType::StatsBinaryResponse);
+  ASSERT_EQ(frame.payload, payload);
+  grover::net::StatsFrame decoded;
+  EXPECT_TRUE(grover::net::decodeStatsFrame(frame.payload, decoded,
+                                            nullptr));
+}
+
 TEST(NetWire, PartialHeaderAndPayloadNeedMore) {
   std::string bytes;
   appendFrame(bytes, FrameType::Request, 9, "hello world");

@@ -8,6 +8,7 @@
 //   groverc --serve-batch=<file> [--threads=N] [--repeat=K]
 //           [--cache-mb=M] [--cache-dir=DIR] [--auto] [--policy-dir=DIR]
 //           [--measure-rate=<f>] [--connect=<host:port|socket>]
+//   groverc --connect=<spec> --stats[-json]
 //
 // The first form reads an OpenCL C kernel, runs the full pipeline
 // (front-end → SSA → Grover), prints the Table III-style index report, and
@@ -99,6 +100,9 @@ void usage() {
       "                    unix socket path instead of serving them\n"
       "                    in-process (--auto and --repeat apply; cache/\n"
       "                    policy/measure flags are daemon-side)\n"
+      "  --stats           with --connect: fetch the daemon's binary\n"
+      "                    stats/health frame and print it as text\n"
+      "  --stats-json      like --stats, as one JSON object\n"
       "  --version         print the build version and exit\n";
 }
 
@@ -335,6 +339,44 @@ int runConnectBatch(const std::string& file, const std::string& spec,
   return anyError ? 1 : 0;
 }
 
+/// Fetch the daemon's binary StatsFrame (--connect --stats[-json]):
+/// send one StatsBinary frame, decode the fixed-layout response, and
+/// render it — the "server:" line is byte-identical to the rendered-text
+/// stats payload, so the two views can be diffed.
+int runConnectStats(const std::string& spec, bool json) {
+  namespace net = grover::net;
+  net::Client client;
+  try {
+    client.connect(spec);
+    client.sendFrame(net::FrameType::StatsBinary, 1, "");
+    const net::Frame f = client.readFrame();
+    net::Status status = net::Status::Ok;
+    std::string_view blob;
+    if (!net::splitStatusPayload(f.payload, status, blob)) {
+      std::cerr << "groverc: bad stats response payload from daemon\n";
+      return 1;
+    }
+    if (f.type != net::FrameType::StatsBinaryResponse ||
+        status != net::Status::Ok) {
+      std::cerr << "groverc: daemon did not return a stats frame ("
+                << net::toString(status) << ": " << blob << ")\n";
+      return 1;
+    }
+    net::StatsFrame stats;
+    std::string err;
+    if (!net::decodeStatsFrame(blob, stats, &err)) {
+      std::cerr << "groverc: cannot decode stats frame: " << err << "\n";
+      return 1;
+    }
+    std::cout << (json ? net::renderStatsFrameJson(stats)
+                       : net::renderStatsFrame(stats));
+  } catch (const std::exception& e) {
+    std::cerr << "groverc: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int runServeBatch(const std::string& file, unsigned threads, int repeat,
                   std::size_t cacheMb, const std::string& cacheDir,
                   bool autoPolicy, const std::string& policyDir,
@@ -475,6 +517,8 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   bool autoPolicy = false;
   bool nativeExec = false;
+  bool statsMode = false;
+  bool statsJson = false;
   double measureRate = 0;
   grover::grv::GroverOptions options;
   bool showBefore = false;
@@ -525,6 +569,11 @@ int main(int argc, char** argv) {
       policyDir = arg.substr(13);
     } else if (arg == "--auto") {
       autoPolicy = true;
+    } else if (arg == "--stats") {
+      statsMode = true;
+    } else if (arg == "--stats-json") {
+      statsMode = true;
+      statsJson = true;
     } else if (arg == "--native") {
       nativeExec = true;
     } else if (arg.rfind("--measure-rate=", 0) == 0) {
@@ -577,9 +626,21 @@ int main(int argc, char** argv) {
     std::cerr << "groverc: --native requires --app\n";
     return 1;
   }
+  if (statsMode) {
+    if (connectSpec.empty()) {
+      std::cerr << "groverc: --stats requires --connect\n";
+      return 1;
+    }
+    if (!batchFile.empty()) {
+      std::cerr << "groverc: --stats and --serve-batch are separate modes; "
+                   "run them as two invocations\n";
+      return 1;
+    }
+    return runConnectStats(connectSpec, statsJson);
+  }
   if (!connectSpec.empty()) {
     if (batchFile.empty()) {
-      std::cerr << "groverc: --connect requires --serve-batch\n";
+      std::cerr << "groverc: --connect requires --serve-batch (or --stats)\n";
       return 1;
     }
     // Cache, policy, measurement and threading are properties of the

@@ -6,9 +6,10 @@
 //
 // Usage:
 //   groverd [--port=P] [--host=A] [--socket=PATH] [--threads=N]
-//           [--max-queue=N] [--client-credits=N] [--cache-mb=M]
-//           [--cache-dir=DIR] [--policy-dir=DIR] [--measure-rate=<f>]
-//           [--measure-queue-depth=N] [--idle-timeout-ms=N]
+//           [--loop-shards=N] [--max-queue=N] [--client-credits=N]
+//           [--cache-mb=M] [--cache-dir=DIR] [--policy-dir=DIR]
+//           [--measure-rate=<f>] [--measure-queue-depth=N]
+//           [--idle-timeout-ms=N] [--health-interval=N]
 //           [--version] [--help]
 //
 // The daemon listens on 127.0.0.1:<port> (port 0 = ephemeral; the bound
@@ -16,13 +17,18 @@
 // Unix-domain socket. SIGINT/SIGTERM drain gracefully: in-flight
 // requests complete, new ones are rejected with a shutting-down status,
 // and the process exits 0 after logging final stats.
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "native/engine.h"
+#include "net/render.h"
 #include "net/server.h"
 #include "service/compile_service.h"
 #include "support/diagnostics.h"
@@ -46,6 +52,9 @@ void usage() {
       "  --socket=PATH       also listen on a Unix-domain socket\n"
       "  --threads=N         service worker threads (default: hardware\n"
       "                      concurrency)\n"
+      "  --loop-shards=N     independent event-loop shards; each has its\n"
+      "                      own SO_REUSEPORT TCP listener and poll set\n"
+      "                      (default 1 = the single classic loop)\n"
       "  --max-queue=N       admission bound: requests in flight before\n"
       "                      new ones are rejected with an overload\n"
       "                      response (default 128)\n"
@@ -67,6 +76,8 @@ void usage() {
       "                      (default 64; 0 = measure inline)\n"
       "  --idle-timeout-ms=N close connections idle for N ms (default\n"
       "                      60000; 0 disables)\n"
+      "  --health-interval=N log a one-line binary-stats health summary\n"
+      "                      every N seconds (default 0 = off)\n"
       "  --version           print the build version and exit\n"
       "  --help              this text\n";
 }
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
   // the legacy inline measurement so its output stays synchronous).
   serviceConfig.measureQueueDepth = 64;
   std::size_t cacheMb = 256;
+  int healthIntervalS = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +160,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
       serverConfig.idleTimeoutMs = static_cast<int>(parseCountFlag(
           "--idle-timeout-ms", arg.substr(18), /*allowZero=*/true));
+    } else if (arg.rfind("--loop-shards=", 0) == 0) {
+      serverConfig.loopShards = static_cast<std::size_t>(
+          parseCountFlag("--loop-shards", arg.substr(14)));
+    } else if (arg.rfind("--health-interval=", 0) == 0) {
+      healthIntervalS = static_cast<int>(parseCountFlag(
+          "--health-interval", arg.substr(18), /*allowZero=*/true));
     } else if (arg == "--version") {
       std::cout << "groverd " << GROVER_VERSION_STRING << " (protocol v"
                 << grover::net::kProtocolVersion << ")\n";
@@ -195,10 +213,41 @@ int main(int argc, char** argv) {
     } else {
       std::cout << serverConfig.unixPath;
     }
+    if (serverConfig.loopShards > 1) {
+      std::cout << " (" << serverConfig.loopShards << " loop shards)";
+    }
     std::cout << std::endl;  // flushed: scripts wait for this line
+
+    // Periodic health line, driven by the same binary StatsFrame a
+    // StatsBinary wire request returns — what a monitor would see.
+    std::thread health;
+    std::mutex healthMutex;
+    std::condition_variable healthCv;
+    bool healthStop = false;
+    if (healthIntervalS > 0) {
+      health = std::thread([&] {
+        std::unique_lock lock(healthMutex);
+        while (!healthCv.wait_for(lock,
+                                  std::chrono::seconds(healthIntervalS),
+                                  [&] { return healthStop; })) {
+          const grover::net::StatsFrame f = server.statsFrame();
+          std::cerr << "groverd: " << grover::net::renderHealthLine(f)
+                    << "\n";
+        }
+      });
+    }
 
     server.run();
     g_server = nullptr;
+
+    if (health.joinable()) {
+      {
+        std::lock_guard lock(healthMutex);
+        healthStop = true;
+      }
+      healthCv.notify_all();
+      health.join();
+    }
 
     const grover::net::ServerStats s = server.stats();
     const grover::service::ServiceStats svc = service.stats();
