@@ -145,6 +145,21 @@ ValidationReport validateTransform(ir::Function& fn,
   return report;
 }
 
+ValidationReport validateTransform(ir::Function& fn,
+                                   const grv::GroverResult& result,
+                                   const sym::ProveOptions& prove,
+                                   sym::SymbolicReport* symOut) {
+  ValidationReport report = validateTransform(fn, result);
+  sym::SymbolicReport symbolic = sym::proveRaceFreedom(fn, prove);
+  if (symbolic.status == sym::ProofStatus::Refuted) {
+    std::string message = "kernel '" + fn.name() + "' has a provable race";
+    if (symbolic.witness) message += ": " + symbolic.witness->str();
+    report.issues.push_back({"symbolic-race", std::move(message)});
+  }
+  if (symOut != nullptr) *symOut = std::move(symbolic);
+  return report;
+}
+
 void validateTransformOrThrow(ir::Function& fn,
                               const grv::GroverResult& result) {
   ValidationReport report = validateTransform(fn, result);

@@ -10,6 +10,7 @@
 
 #include "grover/grover_pass.h"
 #include "ir/function.h"
+#include "sym/prover.h"
 
 namespace grover::check {
 
@@ -37,6 +38,16 @@ struct ValidationReport {
 /// it. Never mutates the function.
 [[nodiscard]] ValidationReport validateTransform(ir::Function& fn,
                                                  const grv::GroverResult& result);
+
+/// As validateTransform, but additionally discharges the symbolic
+/// barrier/race obligations (src/sym) under `prove` and returns the full
+/// SymbolicReport through `symOut` (may be null). A Refuted kernel adds a
+/// "symbolic-race" issue carrying the witness; Proved and Unknown add
+/// nothing — Unknown degrades soundly to the structural checks above,
+/// never a silent pass claim.
+[[nodiscard]] ValidationReport validateTransform(
+    ir::Function& fn, const grv::GroverResult& result,
+    const sym::ProveOptions& prove, sym::SymbolicReport* symOut);
 
 /// Same, but throws GroverError listing every issue when validation fails.
 void validateTransformOrThrow(ir::Function& fn,

@@ -72,6 +72,17 @@ bool implicitlyConvertible(ir::Type* from, ir::Type* to) {
 }
 
 bool Sema::check(TranslationUnit& tu) {
+  // Duplicate kernel names first: downstream lookups (Program::kernel,
+  // serve-batch "<path.cl> <kernel-name>") resolve by name and would
+  // silently pick whichever function the module lists first.
+  std::unordered_map<std::string, SourceLoc> seen;
+  for (const auto& kernel : tu.kernels) {
+    const auto [it, inserted] = seen.emplace(kernel->name, kernel->loc);
+    if (!inserted) {
+      diags_.error(kernel->loc,
+                   cat("redefinition of function '", kernel->name, "'"));
+    }
+  }
   for (auto& kernel : tu.kernels) checkKernel(*kernel);
   return !diags_.hasErrors();
 }

@@ -55,6 +55,13 @@ struct GroverOptions {
   /// on the first violation. Off by default: it costs a verifier walk per
   /// stage and exists for tests, fuzzing, and --validate runs.
   bool validate = false;
+  /// Run the symbolic barrier/race prover (src/sym) on the kernel before
+  /// and after the transform. runGrover itself ignores the flag — proving
+  /// needs a launch geometry, which only the callers that own one (the
+  /// compile service, groverc, groverfuzz) can supply — but it rides in
+  /// GroverOptions so it flows through Request, the artifact cache key,
+  /// and the serve-batch wire unchanged.
+  bool prove = false;
 };
 
 /// Run Grover on one kernel. The kernel must be in SSA form (post mem2reg).

@@ -20,12 +20,15 @@ BatchEntry parseRequestLine(const std::string& line) {
   if (words.empty()) return e;  // blank/comment-only: text stays empty
   e.text = join(words, " ");
   if (words[0].size() > 3 && words[0].rfind(".cl") == words[0].size() - 3) {
-    if (words.size() > 1) {
-      e.error = "a .cl request takes no further arguments";
+    if (words.size() > 2) {
+      e.error = "too many arguments (expected <path.cl> [<kernel-name>])";
     } else if (std::string err;
                !readTextFile(words[0], e.request.source, err)) {
       e.error = "cannot read '" + words[0] + "': " + err;
     } else {
+      // Optional second word picks one __kernel out of a multi-kernel
+      // source; without it every kernel in the file is transformed.
+      if (words.size() == 2) e.request.kernelName = words[1];
       e.valid = true;
     }
   } else {

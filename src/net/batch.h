@@ -3,7 +3,9 @@
 // exactly one grammar line):
 //
 //   <app-id> [<platform>|none] [test|bench]   # built-in app
-//   <path/to/kernel.cl>                       # raw kernel, transform only
+//   <path/to/kernel.cl> [<kernel-name>]       # raw kernel, transform only
+//                                             # (name picks one __kernel
+//                                             #  out of a multi-kernel file)
 //
 // `#` starts a comment; blank lines are skipped. Malformed lines are
 // reported with file name + line number so a bad request in a thousand-

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/str.h"
+#include "sym/report.h"
 
 namespace grover::net {
 
@@ -21,6 +22,14 @@ std::string renderResultLine(const service::Artifact& a) {
     os << ", np " << fixed(a.normalized, 3) << " ("
        << perf::toString(a.outcome) << ")";
   }
+  if (a.proofVetoed) {
+    os << ", transform vetoed: " << a.proofNote;
+  } else if (a.proofTransformed != sym::ProofStatus::Unchecked) {
+    os << ", proof " << sym::toString(a.proofTransformed);
+    if (a.proofOriginal == sym::ProofStatus::Refuted) {
+      os << " (original already racy)";
+    }
+  }
   return os.str();
 }
 
@@ -31,7 +40,12 @@ std::string renderAutoResultLine(const service::AutoResult& r) {
   os << "ok, serving " << policy::toString(r.decision.variant) << " ("
      << (r.policyHit ? "policy hit" : "cold decision") << ", predicted np "
      << fixed(r.decision.predictedNp, 3) << ", "
-     << perf::toString(r.decision.predictedOutcome) << ")";
+     << perf::toString(r.decision.predictedOutcome);
+  if (r.decision.proof != sym::ProofStatus::Unchecked) {
+    os << ", proof " << sym::toString(r.decision.proof);
+    if (r.decision.source == "proof") os << " veto";
+  }
+  os << ")";
   if (r.measured) {
     os << ", measured np " << fixed(r.measurement.measuredNp, 3) << " ("
        << (r.measurement.usedNative ? "native" : "interpreter") << ")";
@@ -66,8 +80,14 @@ std::string renderStats(const service::ServiceStats& s,
       os << "measure: " << s.measurements << " measured ("
          << s.nativeMeasurements << " native), " << s.policyRefreshes
          << " decision refreshes, " << s.measurementsDropped
-         << " dropped\n";
+         << " dropped, " << s.staleRemeasures << " stale re-measures\n";
     }
+  }
+  if (options.prove) {
+    os << "prove: " << s.proofsRun << " proofs (" << s.proofsProved
+       << " proved, " << s.proofsRefuted << " refuted, " << s.proofsUnknown
+       << " unknown), " << s.proofVetoes << " vetoes, "
+       << fixed(s.proveMs, 1) << " ms\n";
   }
   return os.str();
 }
@@ -107,7 +127,8 @@ std::string renderStatsFrame(const StatsFrame& f) {
   }
   out += cat("service: ", f.cancelled, " cancelled, ", f.measurements,
              " measurements (", f.measurementsDropped, " dropped, backlog ",
-             f.measureQueueBacklog, ")\n");
+             f.measureQueueBacklog, "), ", f.proofsRun, " proofs (",
+             f.proofsRefuted, " refuted)\n");
   return out;
 }
 
@@ -141,6 +162,8 @@ std::string renderStatsFrameJson(const StatsFrame& f) {
                         ",\"measurements\":", f.measurements,
                         ",\"measurements_dropped\":", f.measurementsDropped,
                         ",\"measure_queue_backlog\":", f.measureQueueBacklog,
+                        ",\"proofs_run\":", f.proofsRun,
+                        ",\"proofs_refuted\":", f.proofsRefuted,
                         ",\"totals\":");
   appendCountersJson(out, f.totals);
   out += ",\"per_shard\":[";
@@ -161,7 +184,8 @@ std::string renderHealthLine(const StatsFrame& f) {
              f.totals.responsesSent, " responses, ",
              f.totals.rejectedOverload, " overload-rejected, ",
              f.cancelled, " cancelled, ", f.measurements,
-             " measured (backlog ", f.measureQueueBacklog, ")");
+             " measured (backlog ", f.measureQueueBacklog, "), ",
+             f.proofsRun, " proofs (", f.proofsRefuted, " refuted)");
 }
 
 }  // namespace grover::net

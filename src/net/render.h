@@ -25,6 +25,7 @@ namespace grover::net {
 struct StatsRenderOptions {
   bool policy = false;   ///< include the "policy:" line (--auto)
   bool measure = false;  ///< include the "measure:" line (--measure-rate)
+  bool prove = false;    ///< include the "prove:" line (--prove)
 };
 
 /// The multi-line cache/stages(/policy/measure) stats block groverc

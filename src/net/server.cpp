@@ -396,6 +396,8 @@ StatsFrame Server::statsFrame() const {
   f.measurements = svc.measurements;
   f.measurementsDropped = svc.measurementsDropped;
   f.measureQueueBacklog = svc.measureQueueBacklog;
+  f.proofsRun = svc.proofsRun;
+  f.proofsRefuted = svc.proofsRefuted;
   return f;
 }
 
@@ -856,6 +858,9 @@ void Server::Shard::dispatchRequest(Connection& conn, FrameType type,
       c.status = Status::RequestFailed;
       c.text = "error: " + entry.error;
     } else {
+      // The daemon's --prove policy applies to every request; the
+      // grammar has no per-line way to opt out of safety.
+      entry.request.options.prove |= server.config_.prove;
       try {
         // Status::Ok means "the request was served" — a negative
         // artifact ("failed: <diagnostic>") is a served verdict, same
@@ -975,6 +980,7 @@ std::string Server::renderStatsPayload() {
   StatsRenderOptions opts;
   opts.policy = true;
   opts.measure = true;
+  opts.prove = config_.prove;
   std::string text = renderStats(service_.stats(), opts);
   const ServerStats s = stats();
   text += renderServerLine(toCounters(s), openConnections());

@@ -99,6 +99,11 @@ struct ServerConfig {
   /// accepted fd to the least-loaded shard, which is also always how
   /// Unix-domain connections are distributed.
   bool reusePort = true;
+  /// Run the symbolic race prover on every request (groverd --prove):
+  /// options.prove is forced onto each parsed grammar line, so a
+  /// transformed kernel whose original was race-free but whose
+  /// transformed IR is Refuted is never served.
+  bool prove = false;
 };
 
 /// Event-loop counters. `shards` holds the per-shard breakdown (one

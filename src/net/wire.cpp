@@ -51,8 +51,8 @@ bool knownType(std::uint16_t t) {
 }
 
 // Fixed-size prefix of a StatsFrame before the counter blocks:
-// version u16, shard count u16, then seven u64 health fields.
-constexpr std::size_t kStatsFramePrefix = 4 + 7 * 8;
+// version u16, shard count u16, then nine u64 health fields.
+constexpr std::size_t kStatsFramePrefix = 4 + 9 * 8;
 constexpr std::size_t kStatsCountersBytes = kStatsCounterCount * 8;
 
 void putCounters(std::string& out, const StatsCounters& c) {
@@ -112,6 +112,7 @@ bool operator==(const StatsFrame& a, const StatsFrame& b) {
          a.cancelled == b.cancelled && a.measurements == b.measurements &&
          a.measurementsDropped == b.measurementsDropped &&
          a.measureQueueBacklog == b.measureQueueBacklog &&
+         a.proofsRun == b.proofsRun && a.proofsRefuted == b.proofsRefuted &&
          a.totals == b.totals && a.shards == b.shards;
 }
 
@@ -128,6 +129,8 @@ std::string encodeStatsFrame(const StatsFrame& frame) {
   putU64(out, frame.measurements);
   putU64(out, frame.measurementsDropped);
   putU64(out, frame.measureQueueBacklog);
+  putU64(out, frame.proofsRun);
+  putU64(out, frame.proofsRefuted);
   putCounters(out, frame.totals);
   for (const StatsCounters& shard : frame.shards) putCounters(out, shard);
   return out;
@@ -166,6 +169,8 @@ bool decodeStatsFrame(std::string_view data, StatsFrame& out,
   out.measurements = getU64(p + 36);
   out.measurementsDropped = getU64(p + 44);
   out.measureQueueBacklog = getU64(p + 52);
+  out.proofsRun = getU64(p + 60);
+  out.proofsRefuted = getU64(p + 68);
   getCounters(p + kStatsFramePrefix, out.totals);
   out.shards.assign(shardCount, StatsCounters{});
   for (std::size_t i = 0; i < shardCount; ++i) {

@@ -124,7 +124,7 @@ struct StatsCounters {
 /// Number of u64 counters in StatsCounters (wire layout).
 inline constexpr std::size_t kStatsCounterCount = 13;
 
-inline constexpr std::uint16_t kStatsFrameVersion = 1;
+inline constexpr std::uint16_t kStatsFrameVersion = 2;
 
 /// The versioned binary stats/health snapshot a StatsBinary request
 /// returns. Fixed little-endian layout:
@@ -139,8 +139,13 @@ inline constexpr std::uint16_t kStatsFrameVersion = 1;
 ///       36     8  measurements       service: background measurements
 ///       44     8  measurementsDropped service: queue-full drops
 ///       52     8  measureQueueBacklog service: queue depth right now
-///       60   104  totals             StatsCounters (13 × u64)
-///      164  104×N per-shard          StatsCounters per shard, in order
+///       60     8  proofsRun          service: symbolic prover runs (v2)
+///       68     8  proofsRefuted      service: refuted kernels (v2)
+///       76   104  totals             StatsCounters (13 × u64)
+///      180  104×N per-shard          StatsCounters per shard, in order
+///
+/// Version 2 inserted the two prover gauges before the totals; v1
+/// decoders reject v2 frames by the version check, never misparse them.
 struct StatsFrame {
   std::uint16_t version = kStatsFrameVersion;
   std::uint64_t uptimeMs = 0;
@@ -150,6 +155,8 @@ struct StatsFrame {
   std::uint64_t measurements = 0;
   std::uint64_t measurementsDropped = 0;
   std::uint64_t measureQueueBacklog = 0;
+  std::uint64_t proofsRun = 0;
+  std::uint64_t proofsRefuted = 0;
   StatsCounters totals;
   std::vector<StatsCounters> shards;
 

@@ -49,6 +49,9 @@ Decision FeedbackLoop::recordMeasurement(std::uint64_t key,
       !d.mismatch && relDiff > config_.mismatchTolerance;
   if (crossed) d.mismatch = true;
 
+  // Fresh evidence restarts the age-decay clock: clear the stamp so
+  // store() re-stamps with the current wall clock.
+  d.storedAtMs = 0;
   store_.store(key, d);
 
   ++stats_.measurements;

@@ -1,6 +1,8 @@
 #include "policy/policy_store.h"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,13 +20,16 @@ namespace {
 // ---- on-disk decision format ---------------------------------------------
 //
 // Same conventions as the artifact cache (service/artifact_cache.cpp):
-//   groverpol 1
+//   groverpol 2
 //   key <hex16>
 //   i <name> <integer>
 //   b <name> <u64 bit pattern>      (doubles, bit-exact)
 //   s <name> <len>\n<len raw bytes>\n
 //   end
 // Any deviation throws → the caller deletes the file and reports a miss.
+// Version 2 added the proof status and store timestamp; v1 files fail the
+// header check and are dropped like any other corrupt entry — decisions
+// are re-derivable, so a one-time cold restart beats a migration path.
 
 class Writer {
  public:
@@ -102,7 +107,7 @@ class Reader {
 
 std::string serialize(std::uint64_t key, const Decision& d) {
   Writer w;
-  w.os_ << "groverpol 1\n" << "key " << toHex64(key) << "\n";
+  w.os_ << "groverpol 2\n" << "key " << toHex64(key) << "\n";
   w.num("variant", static_cast<std::int64_t>(d.variant));
   w.num("outcome", static_cast<std::int64_t>(d.predictedOutcome));
   w.bits("predictedNp", d.predictedNp);
@@ -111,13 +116,15 @@ std::string serialize(std::uint64_t key, const Decision& d) {
   w.bits("ewmaNp", d.ewmaNp);
   w.num("observations", static_cast<std::int64_t>(d.observations));
   w.num("mismatch", d.mismatch ? 1 : 0);
+  w.num("proof", static_cast<std::int64_t>(d.proof));
+  w.num("storedAtMs", static_cast<std::int64_t>(d.storedAtMs));
   w.os_ << "end\n";
   return w.os_.str();
 }
 
 Decision deserialize(std::uint64_t key, std::string text) {
   Reader r(std::move(text));
-  r.expectLine("groverpol 1");
+  r.expectLine("groverpol 2");
   r.expectLine("key " + toHex64(key));
   Decision d;
   const std::int64_t variant = r.num("variant");
@@ -140,6 +147,14 @@ Decision deserialize(std::uint64_t key, std::string text) {
   if (observations < 0) throw GroverError("policy: bad observation count");
   d.observations = static_cast<std::uint64_t>(observations);
   d.mismatch = r.num("mismatch") != 0;
+  const std::int64_t proof = r.num("proof");
+  if (proof < 0 || proof > static_cast<std::int64_t>(sym::ProofStatus::Unknown)) {
+    throw GroverError("policy: bad proof status");
+  }
+  d.proof = static_cast<sym::ProofStatus>(proof);
+  const std::int64_t storedAtMs = r.num("storedAtMs");
+  if (storedAtMs < 0) throw GroverError("policy: bad store timestamp");
+  d.storedAtMs = static_cast<std::uint64_t>(storedAtMs);
   r.expectLine("end");
   return d;
 }
@@ -156,6 +171,25 @@ const char* toString(Variant v) {
 
 Variant Decision::variantFor(double np, double threshold) {
   return np > 1.0 + threshold ? Variant::Transformed : Variant::Original;
+}
+
+double decayedConfidence(const Decision& d, double priorConfidence,
+                         std::uint64_t nowMs, std::uint64_t horizonMs) {
+  if (horizonMs == 0 || d.storedAtMs == 0 || nowMs <= d.storedAtMs) {
+    return d.confidence;
+  }
+  const double age = static_cast<double>(nowMs - d.storedAtMs);
+  const double factor = std::exp2(-age / static_cast<double>(horizonMs));
+  // Decay only toward the floor; a decision already below the prior's
+  // confidence (e.g. a contradicted estimate) is not pulled back up.
+  if (d.confidence <= priorConfidence) return d.confidence;
+  return priorConfidence + (d.confidence - priorConfidence) * factor;
+}
+
+bool shouldRemeasure(const Decision& d, std::uint64_t nowMs,
+                     std::uint64_t horizonMs) {
+  if (!d.mismatch || horizonMs == 0 || d.storedAtMs == 0) return false;
+  return nowMs >= d.storedAtMs + horizonMs;
 }
 
 PolicyStore::PolicyStore(Config config) : config_(std::move(config)) {
@@ -192,8 +226,17 @@ std::optional<Decision> PolicyStore::lookup(std::uint64_t key) {
 }
 
 void PolicyStore::store(std::uint64_t key, const Decision& decision) {
-  putMemory(key, decision);
-  storeToDisk(key, decision);
+  // Stamp the store time unless the caller set one (tests construct
+  // deliberately stale entries to exercise decay).
+  Decision stamped = decision;
+  if (stamped.storedAtMs == 0) {
+    stamped.storedAtMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  putMemory(key, stamped);
+  storeToDisk(key, stamped);
 }
 
 void PolicyStore::putMemory(std::uint64_t key, const Decision& decision) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "perf/estimator.h"
+#include "sym/report.h"
 
 namespace grover::policy {
 
@@ -50,10 +51,35 @@ struct Decision {
   /// this kernel shape.
   bool mismatch = false;
 
+  // --- proof state (see sym/report.h) ----------------------------------
+  /// Verdict of the symbolic race prover on the *transformed* kernel at
+  /// decision time. Unchecked when the decision was made without --prove.
+  /// Refuted forces Variant::Original and an automatic Loss verdict
+  /// regardless of np — a transform that introduces a race never wins.
+  sym::ProofStatus proof = sym::ProofStatus::Unchecked;
+  /// Wall clock of the store that produced this entry (ms since epoch);
+  /// drives confidence decay. 0 = unstamped (legacy/test entries).
+  std::uint64_t storedAtMs = 0;
+
   /// The variant np says to serve (ties/Similar keep the original: the
   /// author's code wins unless the transform is a proven gain).
   [[nodiscard]] static Variant variantFor(double np, double threshold);
 };
+
+/// Age-decayed confidence: halves every `horizonMs` toward the
+/// feature-prior floor `priorConfidence`, so a year-old estimate carries
+/// no more weight than a cold prior. horizonMs == 0 disables decay, and
+/// an unstamped decision (storedAtMs == 0) never decays.
+[[nodiscard]] double decayedConfidence(const Decision& d,
+                                       double priorConfidence,
+                                       std::uint64_t nowMs,
+                                       std::uint64_t horizonMs);
+
+/// Whether a stale entry whose measurements contradict its prediction
+/// should be re-measured instead of trusted: mismatch is flagged and at
+/// least one decay horizon has passed since it was stored.
+[[nodiscard]] bool shouldRemeasure(const Decision& d, std::uint64_t nowMs,
+                                   std::uint64_t horizonMs);
 
 class PolicyStore {
  public:

@@ -15,6 +15,7 @@
 #include "apps/app.h"
 #include "grover/grover_pass.h"
 #include "perf/estimator.h"
+#include "sym/report.h"
 
 namespace grover::service {
 
@@ -53,10 +54,24 @@ struct Artifact {
   double normalized = 0;
   perf::Outcome outcome = perf::Outcome::Similar;
 
+  // Symbolic prover verdicts (Request::options.prove); Unchecked when the
+  // request did not ask for proofs. Aggregated worst-of across every
+  // kernel the request matched: Refuted > Unknown > Proved.
+  sym::ProofStatus proofOriginal = sym::ProofStatus::Unchecked;
+  sym::ProofStatus proofTransformed = sym::ProofStatus::Unchecked;
+  /// One-line summary of the decisive verdict (the witness on a
+  /// refutation, the Unknown reason, or the pair count).
+  std::string proofNote;
+  /// The safety veto fired: the original kernel is not Refuted but the
+  /// transformed IR is — the transform *introduced* a provable race, so
+  /// the original must be served regardless of predicted np.
+  bool proofVetoed = false;
+
   /// Approximate memory footprint, used for the cache byte budget.
   [[nodiscard]] std::size_t byteSize() const {
     std::size_t n = sizeof(Artifact) + diagnostics.size() +
-                    originalText.size() + transformedText.size();
+                    originalText.size() + transformedText.size() +
+                    proofNote.size();
     for (const auto& b : report.buffers) {
       n += sizeof(b) + b.bufferName.size() + b.reason.size() +
            b.glIndex.size() + b.lsIndex.size() + b.llIndex.size() +

@@ -21,7 +21,7 @@ namespace {
 // ---- on-disk artifact format ---------------------------------------------
 //
 // Line-oriented header plus length-prefixed payloads:
-//   groverart 1
+//   groverart 2
 //   key <hex16>
 //   i <name> <integer>
 //   b <name> <u64 bit pattern>      (doubles, bit-exact)
@@ -108,7 +108,7 @@ class Reader {
 
 std::string serialize(std::uint64_t key, const Artifact& a) {
   Writer w;
-  w.os_ << "groverart 1\n" << "key " << toHex64(key) << "\n";
+  w.os_ << "groverart 2\n" << "key " << toHex64(key) << "\n";
   w.num("ok", a.ok ? 1 : 0);
   w.str("diagnostics", a.diagnostics);
   w.num("anyTransformed", a.report.anyTransformed ? 1 : 0);
@@ -133,10 +133,21 @@ std::string serialize(std::uint64_t key, const Artifact& a) {
   w.bits("cyclesWithoutLM", a.cyclesWithoutLM);
   w.bits("normalized", a.normalized);
   w.num("outcome", static_cast<std::int64_t>(a.outcome));
+  w.num("proofOriginal", static_cast<std::int64_t>(a.proofOriginal));
+  w.num("proofTransformed", static_cast<std::int64_t>(a.proofTransformed));
+  w.str("proofNote", a.proofNote);
+  w.num("proofVetoed", a.proofVetoed ? 1 : 0);
   w.str("original", a.originalText);
   w.str("transformed", a.transformedText);
   w.os_ << "end\n";
   return w.os_.str();
+}
+
+sym::ProofStatus toProofStatus(std::int64_t v) {
+  if (v < 0 || v > static_cast<std::int64_t>(sym::ProofStatus::Unknown)) {
+    throw GroverError("artifact: bad proof status");
+  }
+  return static_cast<sym::ProofStatus>(v);
 }
 
 grv::IndexPattern toPattern(std::int64_t v) {
@@ -158,7 +169,7 @@ void requireRoundTrip(const std::string& text) {
 
 Artifact deserialize(std::uint64_t key, std::string text) {
   Reader r(std::move(text));
-  r.expectLine("groverart 1");
+  r.expectLine("groverart 2");
   r.expectLine("key " + toHex64(key));
   Artifact a;
   a.ok = r.num("ok") != 0;
@@ -194,6 +205,10 @@ Artifact deserialize(std::uint64_t key, std::string text) {
     throw GroverError("artifact: bad outcome");
   }
   a.outcome = static_cast<perf::Outcome>(outcome);
+  a.proofOriginal = toProofStatus(r.num("proofOriginal"));
+  a.proofTransformed = toProofStatus(r.num("proofTransformed"));
+  a.proofNote = r.str("proofNote");
+  a.proofVetoed = r.num("proofVetoed") != 0;
   a.originalText = r.str("original");
   a.transformedText = r.str("transformed");
   r.expectLine("end");

@@ -10,6 +10,8 @@
 #include "perf/platform.h"
 #include "support/diagnostics.h"
 #include "support/hash.h"
+#include "sym/prover.h"
+#include "sym/witness_check.h"
 
 namespace grover::service {
 namespace {
@@ -24,6 +26,28 @@ ArtifactPtr negative(std::string diagnostics) {
 /// Thrown by compileUncached at a stage boundary once every waiter of
 /// the compile has disconnected; caught by the submit() worker.
 struct CancelledCompile {};
+
+std::uint64_t wallClockMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Worst-of aggregation for multi-kernel requests: one refuted kernel
+/// refutes the artifact, one unknown kernel degrades it.
+sym::ProofStatus worseOf(sym::ProofStatus a, sym::ProofStatus b) {
+  const auto rank = [](sym::ProofStatus s) {
+    switch (s) {
+      case sym::ProofStatus::Refuted: return 3;
+      case sym::ProofStatus::Unknown: return 2;
+      case sym::ProofStatus::Proved: return 1;
+      case sym::ProofStatus::Unchecked: return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
 
 }  // namespace
 
@@ -63,7 +87,7 @@ Request CompileService::resolve(Request request) {
 
 std::uint64_t CompileService::cacheKey(const Request& resolved) {
   Fnv1a h;
-  h.update(std::string_view("groverc-artifact-key-v1"));
+  h.update(std::string_view("groverc-artifact-key-v2"));
   h.update(std::string_view(resolved.source));
   h.update(std::string_view(resolved.kernelName));
   h.update(static_cast<std::uint64_t>(resolved.options.onlyBuffers.size()));
@@ -72,6 +96,7 @@ std::uint64_t CompileService::cacheKey(const Request& resolved) {
   }
   h.update(resolved.options.removeBarriers);
   h.update(resolved.options.cleanup);
+  h.update(resolved.options.prove);
   h.update(std::string_view(resolved.platform));
   h.update(static_cast<std::uint64_t>(resolved.scale));
   return h.digest();
@@ -213,6 +238,7 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
   }
   tag.update(resolved.options.removeBarriers);
   tag.update(resolved.options.cleanup);
+  tag.update(resolved.options.prove);
   out.policyKey = policy::featureKey(out.features, spec.name, tag.digest());
   out.eligible = true;
 
@@ -222,6 +248,23 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
     bump(&Counters::policyHits);
     out.policyHit = true;
     out.decision = *warm;
+    // A decision whose transform was Refuted can never serve the
+    // transformed variant, whatever the stored bytes claim (defense
+    // against hand-edited or corrupted policy directories).
+    if (out.decision.proof == sym::ProofStatus::Refuted) {
+      out.decision.variant = policy::Variant::Original;
+      out.decision.predictedOutcome = perf::Outcome::Loss;
+    }
+    // Age-decay the stored confidence toward the feature-prior floor; a
+    // stale entry whose measurements contradict its prediction is
+    // re-measured inline instead of trusted for another horizon.
+    const std::uint64_t now = wallClockMs();
+    out.decision.confidence = policy::decayedConfidence(
+        out.decision, engine_.prior(out.features, spec).confidence, now,
+        config_.policyDecayHorizonMs);
+    const bool remeasure = policy::shouldRemeasure(
+        *warm, now, config_.policyDecayHorizonMs);
+    if (remeasure) bump(&Counters::staleRemeasures);
     // A full artifact may already be cached for this exact request —
     // serving it is free and strictly more informative.
     {
@@ -231,7 +274,7 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
       }
     }
     if (out.artifact != nullptr) {
-      maybeMeasure(resolved, out);
+      maybeMeasure(resolved, out, remeasure);
       return out;
     }
     // Warm fast path: build only the winning variant from the module we
@@ -265,10 +308,13 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
       artifact->originalText = ir::printModule(*program.module);
     }
     artifact->ok = true;
+    // The warm path deliberately does not re-prove: proof status was
+    // settled when the decision was learned and rides in decision.proof,
+    // so a --prove warm hit costs exactly what an unproved one does.
     // Deliberately NOT cache_.put(): the artifact is partial (one
     // variant, no estimate) and must not shadow full artifacts.
     out.artifact = std::move(artifact);
-    maybeMeasure(resolved, out);
+    maybeMeasure(resolved, out, remeasure);
     return out;
   }
 
@@ -283,6 +329,16 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
         out.features, spec,
         policy::EstimatePair{out.artifact->cyclesWithLM,
                              out.artifact->cyclesWithoutLM});
+    out.decision.proof = out.artifact->proofTransformed;
+    if (out.artifact->proofVetoed) {
+      // The transform introduced a provable race: automatic Loss and the
+      // original is served, regardless of what np predicted. Full
+      // confidence — a proof does not decay like an estimate does.
+      out.decision.variant = policy::Variant::Original;
+      out.decision.predictedOutcome = perf::Outcome::Loss;
+      out.decision.confidence = 1.0;
+      out.decision.source = "proof";
+    }
     policy_store_.store(out.policyKey, out.decision);
     bump(&Counters::policyStores);
   }
@@ -290,20 +346,26 @@ AutoResult CompileService::compileAuto(Request request, CancelToken cancel) {
   return out;
 }
 
-void CompileService::maybeMeasure(const Request& resolved, AutoResult& out) {
+void CompileService::maybeMeasure(const Request& resolved, AutoResult& out,
+                                  bool force) {
   if (!out.eligible || out.artifact == nullptr || !out.artifact->ok) return;
   {
     std::lock_guard lock(mutex_);
     // Remember the request even when this one isn't sampled: a later
     // recordMeasurement() mismatch needs it to re-run the pipeline.
     auto_requests_[out.policyKey] = resolved;
-    if (config_.measureRate <= 0) return;
-    measure_accum_ += std::min(config_.measureRate, 1.0);
-    if (measure_accum_ < 1.0) return;
-    measure_accum_ -= 1.0;
+    if (!force) {
+      if (config_.measureRate <= 0) return;
+      measure_accum_ += std::min(config_.measureRate, 1.0);
+      if (measure_accum_ < 1.0) return;
+      measure_accum_ -= 1.0;
+    }
   }
 
-  if (config_.measureQueueDepth > 0) {
+  // Forced re-measures (stale contradicted decisions) always run inline:
+  // the point is that the entry must not be served unexamined again, so
+  // the fold has to land before this response does.
+  if (!force && config_.measureQueueDepth > 0) {
     // Background mode: hand the sample to the measurement thread and
     // answer now. The response reflects the pre-measurement decision;
     // the fold (and any mismatch-triggered refresh) happens off-path.
@@ -424,6 +486,7 @@ policy::Decision CompileService::recordMeasurement(std::uint64_t policyKey,
       policy::Decision::variantFor(refreshed.predictedNp, threshold);
   refreshed.predictedOutcome =
       perf::classify(refreshed.predictedNp, threshold);
+  refreshed.storedAtMs = 0;  // re-stamp: the refresh restarts the clock
   policy_store_.store(policyKey, refreshed);
   bump(&Counters::policyRefreshes);
   return refreshed;
@@ -491,6 +554,69 @@ ArtifactPtr CompileService::compileUncached(const Request& resolved,
     StageTimer timer(*this, &Counters::printNs);
     artifact->originalText = ir::printModule(*original.module);
     artifact->transformedText = ir::printModule(*transformed.module);
+  }
+
+  if (resolved.options.prove) {
+    checkCancelled();
+    StageTimer timer(*this, &Counters::proveNs);
+    // App requests prove under their real launch geometry and argument
+    // values; raw sources prove under a per-kernel geometry with the
+    // dimensions the kernel never queries collapsed to extent 1.
+    sym::ProveOptions popts;
+    const bool haveLaunch = !resolved.appId.empty();
+    if (haveLaunch) {
+      const apps::Application& app = apps::applicationById(resolved.appId);
+      const apps::Instance instance = app.makeInstance(resolved.scale);
+      popts = sym::proveOptionsForLaunch(instance.range, instance.args);
+    }
+    const auto proveMatching = [&](Program& program) {
+      sym::ProofStatus agg = sym::ProofStatus::Unchecked;
+      std::string note;
+      for (const auto& fn : program.module->functions()) {
+        if (!fn->isKernel()) continue;
+        if (!resolved.kernelName.empty() &&
+            fn->name() != resolved.kernelName) {
+          continue;
+        }
+        sym::SymbolicReport report = sym::proveRaceFreedom(
+            *fn, haveLaunch ? popts : sym::proveOptionsForKernel(*fn));
+        bump(&Counters::proofsRun);
+        switch (report.status) {
+          case sym::ProofStatus::Proved:
+            bump(&Counters::proofsProved);
+            break;
+          case sym::ProofStatus::Refuted:
+            bump(&Counters::proofsRefuted);
+            break;
+          default:
+            bump(&Counters::proofsUnknown);
+            break;
+        }
+        const sym::ProofStatus before = agg;
+        agg = worseOf(report.status, agg);
+        if (agg != before || note.empty()) {
+          note = fn->name() + ": " + report.summary();
+        }
+      }
+      return std::make_pair(agg, note);
+    };
+    const auto [origStatus, origNote] = proveMatching(original);
+    const auto [transStatus, transNote] = proveMatching(transformed);
+    artifact->proofOriginal = origStatus;
+    artifact->proofTransformed = transStatus;
+    artifact->proofNote =
+        worseOf(transStatus, origStatus) == transStatus ? transNote
+                                                        : origNote;
+    // The veto: an originally race-free (or at worst Unknown) kernel
+    // whose transformed IR is provably racy must never be served
+    // transformed — the transform manufactured the race. An original
+    // that is itself Refuted stays the author's problem; Grover did not
+    // make it worse.
+    if (origStatus != sym::ProofStatus::Refuted &&
+        transStatus == sym::ProofStatus::Refuted) {
+      artifact->proofVetoed = true;
+      bump(&Counters::proofVetoes);
+    }
   }
 
   if (!resolved.platform.empty()) {
@@ -573,6 +699,13 @@ ServiceStats CompileService::stats() const {
   s.estimateMs = ms(snap.estimateNs);
   s.executeMs = ms(snap.executeNs);
   s.cacheMs = ms(snap.cacheNs);
+  s.proveMs = ms(snap.proveNs);
+  s.proofsRun = snap.proofsRun;
+  s.proofsProved = snap.proofsProved;
+  s.proofsRefuted = snap.proofsRefuted;
+  s.proofsUnknown = snap.proofsUnknown;
+  s.proofVetoes = snap.proofVetoes;
+  s.staleRemeasures = snap.staleRemeasures;
   s.policyHits = snap.policyHits;
   s.policyMisses = snap.policyMisses;
   s.policyStores = snap.policyStores;

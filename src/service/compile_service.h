@@ -57,6 +57,11 @@ struct ServiceConfig {
   /// background measurement completes. A full queue drops the sample
   /// (measurementsDropped) — measurements are advisory, latency is not.
   std::size_t measureQueueDepth = 0;
+  /// Confidence half-life of stored policy decisions, in milliseconds
+  /// (policy::decayedConfidence). A warm hit older than one horizon
+  /// whose measurements contradict its prediction (mismatch flag) is
+  /// re-measured inline instead of trusted. 0 disables decay.
+  std::uint64_t policyDecayHorizonMs = 0;
 };
 
 /// Cumulative counters; snapshot via CompileService::stats().
@@ -91,6 +96,15 @@ struct ServiceStats {
   /// Jobs sitting in the background measurement queue right now (a
   /// depth gauge, not a cumulative counter — health frames report it).
   std::uint64_t measureQueueBacklog = 0;
+  // Symbolic prover (Request::options.prove).
+  std::uint64_t proofsRun = 0;      // kernels the prover executed on
+  std::uint64_t proofsProved = 0;   // of those, Proved
+  std::uint64_t proofsRefuted = 0;  // of those, Refuted (witness found)
+  std::uint64_t proofsUnknown = 0;  // of those, Unknown (sound fallback)
+  std::uint64_t proofVetoes = 0;    // transforms refused: race introduced
+  /// Stale contradicted policy entries re-measured past the decay
+  /// horizon (ServiceConfig::policyDecayHorizonMs).
+  std::uint64_t staleRemeasures = 0;
   // Cumulative per-stage wall time across all compiles, in milliseconds.
   double frontendMs = 0;   // source → SSA (×2: original + transformed)
   double groverMs = 0;     // the Grover pass
@@ -99,6 +113,7 @@ struct ServiceStats {
   double estimateMs = 0;   // trace-driven with/without-LM estimation
   double executeMs = 0;    // sampled real executions (both variants)
   double cacheMs = 0;      // artifact-cache probes/stores, memory + disk
+  double proveMs = 0;      // symbolic prover runs (original + transformed)
 };
 
 /// Result of the policy-driven compileAuto() path.
@@ -220,9 +235,12 @@ class CompileService {
     std::uint64_t policyHits = 0, policyMisses = 0, policyStores = 0;
     std::uint64_t measurements = 0, nativeMeasurements = 0,
         policyRefreshes = 0, measurementsDropped = 0;
+    std::uint64_t proofsRun = 0, proofsProved = 0, proofsRefuted = 0,
+        proofsUnknown = 0, proofVetoes = 0, staleRemeasures = 0;
     // Cumulative per-stage wall time, nanoseconds.
     std::uint64_t frontendNs = 0, groverNs = 0, validateNs = 0,
-        printNs = 0, estimateNs = 0, executeNs = 0, cacheNs = 0;
+        printNs = 0, estimateNs = 0, executeNs = 0, cacheNs = 0,
+        proveNs = 0;
   };
 
   /// RAII stage clock: adds the elapsed nanoseconds to one Counters
@@ -264,7 +282,10 @@ class CompileService {
   /// result. Synchronous mode (measureQueueDepth == 0) measures inline
   /// and folds the np before returning; queue mode enqueues the sample
   /// for the background measurement thread and returns immediately.
-  void maybeMeasure(const Request& resolved, AutoResult& out);
+  /// `force` bypasses the sampling accumulator and always measures
+  /// inline — the stale-contradicted-decision re-measure path.
+  void maybeMeasure(const Request& resolved, AutoResult& out,
+                    bool force = false);
   /// Body of the background measurement thread.
   void measureLoop();
   void stopMeasureThread();

@@ -1,0 +1,1355 @@
+#include "sym/prover.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/dominators.h"
+#include "ir/basic_block.h"
+#include "ir/casting.h"
+#include "ir/instruction.h"
+#include "support/rational.h"
+
+namespace grover::sym {
+namespace {
+
+using ir::AddrSpace;
+
+// ---------------------------------------------------------------------------
+// Symbols and symbolic affine expressions.
+// ---------------------------------------------------------------------------
+
+enum class SymKind : std::uint8_t {
+  LocalId,    // l_d of one work-item; per-item in obligations
+  GroupId,    // w_d of the (single) symbolic group; shared
+  Trip,       // iteration counter of a summarized loop; per-item
+  TripCount,  // total trips of a summarized loop
+  Abstract,   // anything outside the affine theory
+};
+
+struct SymInfo {
+  SymKind kind = SymKind::Abstract;
+  unsigned dim = 0;   // LocalId/GroupId
+  unsigned loop = 0;  // Trip/TripCount: loop serial
+  /// Same value for every work-item of the group. Refined downward only.
+  bool uniform = false;
+  std::string name;
+  bool hasLo = false, hasHi = false;
+  std::int64_t lo = 0, hi = 0;
+  /// Serials of loops enclosing the symbol's creation: the value may take
+  /// a different concrete value on every iteration of each of them.
+  std::vector<unsigned> scope;
+};
+
+/// Affine combination of symbols: sum(coeff * sym) + k, exact rationals.
+struct SExpr {
+  std::map<unsigned, Rational> terms;
+  Rational k;
+
+  SExpr() = default;
+  explicit SExpr(Rational c) : k(c) {}
+
+  [[nodiscard]] bool isConst() const { return terms.empty(); }
+  [[nodiscard]] bool isIntConst() const {
+    return terms.empty() && k.isInteger();
+  }
+
+  void addTerm(unsigned sym, const Rational& c) {
+    if (c.isZero()) return;
+    auto [it, fresh] = terms.emplace(sym, c);
+    if (!fresh) {
+      it->second += c;
+      if (it->second.isZero()) terms.erase(it);
+    }
+  }
+  SExpr& operator+=(const SExpr& o) {
+    for (const auto& [s, c] : o.terms) addTerm(s, c);
+    k += o.k;
+    return *this;
+  }
+  SExpr& operator-=(const SExpr& o) {
+    for (const auto& [s, c] : o.terms) addTerm(s, -c);
+    k -= o.k;
+    return *this;
+  }
+  SExpr& operator*=(const Rational& c) {
+    if (c.isZero()) {
+      terms.clear();
+      k = Rational(0);
+      return *this;
+    }
+    for (auto& [s, coeff] : terms) coeff *= c;
+    k *= c;
+    return *this;
+  }
+  friend SExpr operator+(SExpr a, const SExpr& b) { return a += b; }
+  friend SExpr operator-(SExpr a, const SExpr& b) { return a -= b; }
+  friend bool operator==(const SExpr&, const SExpr&) = default;
+
+  [[nodiscard]] bool contains(unsigned sym) const {
+    return terms.contains(sym);
+  }
+};
+
+SExpr symExpr(unsigned sym) {
+  SExpr e;
+  e.addTerm(sym, Rational(1));
+  return e;
+}
+
+/// Substitution map sym -> expression (missing syms stay themselves).
+using Subst = std::unordered_map<unsigned, SExpr>;
+
+SExpr applySubst(const SExpr& e, const Subst& sigma) {
+  SExpr out(e.k);
+  for (const auto& [s, c] : e.terms) {
+    auto it = sigma.find(s);
+    if (it == sigma.end()) {
+      out.addTerm(s, c);
+    } else {
+      SExpr sub = it->second;
+      sub *= c;
+      out += sub;
+    }
+  }
+  return out;
+}
+
+/// One conjunct of a path condition: expr REL 0.
+struct PathC {
+  SExpr e;
+  Rel rel = Rel::Le;
+};
+
+struct Buffer {
+  const ir::Value* base = nullptr;
+  std::string name;
+  AddrSpace space = AddrSpace::Global;
+};
+
+struct Access {
+  int buffer = -1;
+  bool isWrite = false;
+  SExpr index;
+  std::vector<PathC> path;
+  bool pathComplete = true;  // false: some branch condition was dropped
+  SExpr phase;
+  bool phaseOk = true;  // false: barrier count not expressible
+  std::string desc;
+};
+
+/// Execution state: about to execute `block`, phis not yet applied.
+struct State {
+  ir::BasicBlock* block = nullptr;
+  ir::BasicBlock* pred = nullptr;
+  std::unordered_map<const ir::Value*, SExpr> env;
+  std::vector<PathC> path;
+  bool pathComplete = true;
+  SExpr phase;
+  bool phaseOk = true;
+};
+
+struct LoopInfo {
+  ir::BasicBlock* header = nullptr;
+  std::unordered_set<ir::BasicBlock*> blocks;
+  std::vector<ir::BasicBlock*> latches;
+};
+
+struct RunOut {
+  std::vector<State> atStop;  // states that reached the loop header again
+  std::vector<State> exits;   // states that left the loop region
+};
+
+// ---------------------------------------------------------------------------
+// The symbolic executor.
+// ---------------------------------------------------------------------------
+
+class Prover {
+ public:
+  Prover(ir::Function& fn, const ProveOptions& opt) : fn_(fn), opt_(opt) {}
+
+  SymbolicReport run();
+
+ private:
+  // --- symbols ---
+  unsigned newSym(SymInfo info) {
+    syms_.push_back(std::move(info));
+    return static_cast<unsigned>(syms_.size() - 1);
+  }
+  unsigned localIdSym(unsigned d);
+  unsigned groupIdSym(unsigned d);
+  unsigned abstractSym(std::string name, bool uniform) {
+    SymInfo si;
+    si.kind = SymKind::Abstract;
+    si.uniform = uniform;
+    si.name = std::move(name);
+    si.scope = loopStack_;
+    return newSym(si);
+  }
+
+  /// Uniformity of an expression under current symbol flags. Trip and
+  /// TripCount symbols can optionally be treated as uniform (used when
+  /// asking whether a loop guard is id-dependent *apart from* trips).
+  bool uniformExpr(const SExpr& e, bool tripsAsUniform = false) const {
+    for (const auto& [s, c] : e.terms) {
+      const SymInfo& si = syms_[s];
+      if (tripsAsUniform &&
+          (si.kind == SymKind::Trip || si.kind == SymKind::TripCount))
+        continue;
+      if (!si.uniform) return false;
+    }
+    return true;
+  }
+
+  // --- evaluation ---
+  SExpr evalIn(State& st, ir::Value* v);
+  struct LinCond {
+    SExpr e;
+    Rel rel;
+  };
+  std::optional<LinCond> analyzeCond(State& st, ir::Value* cond);
+  static LinCond negate(LinCond c);
+
+  struct Ptr {
+    int buffer = -1;
+    SExpr off;
+    bool ok = false;
+  };
+  Ptr resolvePointer(State& st, ir::Value* ptr);
+  int bufferFor(const ir::Value* base);
+
+  void recordAccess(State& st, int buf, const SExpr& off, bool isWrite,
+                    const ir::Instruction* inst);
+  std::string render(const SExpr& e) const;
+
+  // --- execution ---
+  std::vector<State> stepBlock(State st);
+  RunOut runPaths(std::vector<State> init, const LoopInfo* loop,
+                  unsigned depth);
+  std::vector<State> summarizeLoop(State entry, const LoopInfo& loop,
+                                   unsigned depth);
+
+  void ceiling(const std::string& note) {
+    if (!ceiling_) ceilingNote_ = note;
+    ceiling_ = true;
+  }
+
+  // --- obligations ---
+  void discharge(SymbolicReport& rep);
+  Obligation solvePair(const Access& a1, const Access& a2,
+                       SymbolicReport& rep);
+
+  ir::Function& fn_;
+  const ProveOptions& opt_;
+
+  std::vector<SymInfo> syms_;
+  int localIds_[3] = {-1, -1, -1};
+  int groupIds_[3] = {-1, -1, -1};
+  std::unordered_map<const ir::Value*, unsigned> argSyms_;
+
+  std::vector<Buffer> buffers_;
+  std::unordered_map<const ir::Value*, int> bufferIds_;
+  std::vector<Access> accesses_;
+
+  std::unordered_map<ir::BasicBlock*, LoopInfo> loops_;
+  std::vector<unsigned> loopStack_;  // serials of loops being summarized
+  unsigned loopSerial_ = 0;
+  std::unordered_map<unsigned, unsigned> tripSymOfLoop_;  // serial -> sym
+
+  /// Path-condition expressions active at each barrier; checked for
+  /// id-dependence after all uniform flags are final.
+  std::vector<SExpr> barrierConds_;
+
+  bool ceiling_ = false;       // Proved is no longer possible
+  std::string ceilingNote_;
+  bool divergence_ = false;    // barrier under id-dependent control
+  unsigned steps_ = 0, forks_ = 0;
+};
+
+unsigned Prover::localIdSym(unsigned d) {
+  if (localIds_[d] < 0) {
+    SymInfo si;
+    si.kind = SymKind::LocalId;
+    si.dim = d;
+    si.uniform = false;
+    si.name = d == 0 ? "lx" : d == 1 ? "ly" : "lz";
+    si.hasLo = si.hasHi = true;
+    si.lo = 0;
+    si.hi = static_cast<std::int64_t>(opt_.localSize[d]) - 1;
+    localIds_[d] = static_cast<int>(newSym(si));
+  }
+  return static_cast<unsigned>(localIds_[d]);
+}
+
+unsigned Prover::groupIdSym(unsigned d) {
+  if (groupIds_[d] < 0) {
+    SymInfo si;
+    si.kind = SymKind::GroupId;
+    si.dim = d;
+    si.uniform = true;
+    si.name = d == 0 ? "wx" : d == 1 ? "wy" : "wz";
+    si.hasLo = si.hasHi = true;
+    si.lo = 0;
+    si.hi = static_cast<std::int64_t>(opt_.numGroups[d]) - 1;
+    groupIds_[d] = static_cast<int>(newSym(si));
+  }
+  return static_cast<unsigned>(groupIds_[d]);
+}
+
+SExpr Prover::evalIn(State& st, ir::Value* v) {
+  if (auto* ci = ir::dyn_cast<ir::ConstantInt>(v))
+    return SExpr(Rational(ci->value()));
+  if (auto it = st.env.find(v); it != st.env.end()) return it->second;
+  if (auto* arg = ir::dyn_cast<ir::Argument>(v)) {
+    for (const auto& [idx, val] : opt_.intArgs)
+      if (idx == arg->index()) return SExpr(Rational(val));
+    auto it = argSyms_.find(arg);
+    if (it == argSyms_.end()) {
+      std::string name = arg->name().empty()
+                             ? "arg" + std::to_string(arg->index())
+                             : arg->name();
+      // Scalar kernel arguments are launch-uniform by the OpenCL model.
+      unsigned s = newSym({SymKind::Abstract, 0, 0, true, std::move(name),
+                           false, false, 0, 0, {}});
+      it = argSyms_.emplace(arg, s).first;
+    }
+    return symExpr(it->second);
+  }
+  // Unexecuted/untracked definition (e.g. defined in an exited loop, or a
+  // float-rooted chain): a fresh per-path opaque. Cached in the state env
+  // so later uses on the same path agree with each other.
+  std::string name =
+      v->name().empty() ? "v" + std::to_string(v->slot()) : v->name();
+  SExpr e = symExpr(abstractSym(std::move(name), /*uniform=*/false));
+  st.env.emplace(v, e);
+  return e;
+}
+
+Prover::LinCond Prover::negate(LinCond c) {
+  switch (c.rel) {
+    case Rel::Eq:
+      return {std::move(c.e), Rel::Ne};
+    case Rel::Ne:
+      return {std::move(c.e), Rel::Eq};
+    case Rel::Le: {
+      // !(e <= 0)  <=>  e >= 1  <=>  -e + 1 <= 0.
+      SExpr neg;
+      neg -= c.e;
+      neg.k += Rational(1);
+      return {std::move(neg), Rel::Le};
+    }
+  }
+  std::abort();
+}
+
+std::optional<Prover::LinCond> Prover::analyzeCond(State& st,
+                                                   ir::Value* cond) {
+  auto* cmp = ir::dyn_cast<ir::ICmpInst>(cond);
+  if (cmp == nullptr) return std::nullopt;
+  if (!cmp->lhs()->type()->isInteger()) return std::nullopt;
+  SExpr d = evalIn(st, cmp->lhs());
+  d -= evalIn(st, cmp->rhs());
+  switch (cmp->pred()) {
+    case ir::CmpPred::EQ:
+      return LinCond{std::move(d), Rel::Eq};
+    case ir::CmpPred::NE:
+      return LinCond{std::move(d), Rel::Ne};
+    case ir::CmpPred::SLT:  // l < r  <=>  l - r + 1 <= 0
+      d.k += Rational(1);
+      return LinCond{std::move(d), Rel::Le};
+    case ir::CmpPred::SLE:
+      return LinCond{std::move(d), Rel::Le};
+    case ir::CmpPred::SGT: {  // l > r  <=>  r - l + 1 <= 0
+      SExpr neg;
+      neg -= d;
+      neg.k += Rational(1);
+      return LinCond{std::move(neg), Rel::Le};
+    }
+    case ir::CmpPred::SGE: {
+      SExpr neg;
+      neg -= d;
+      return LinCond{std::move(neg), Rel::Le};
+    }
+    default:
+      // Unsigned predicates would need non-negativity facts we do not
+      // track; dropping the constraint over-approximates soundly.
+      return std::nullopt;
+  }
+}
+
+int Prover::bufferFor(const ir::Value* base) {
+  auto it = bufferIds_.find(base);
+  if (it != bufferIds_.end()) return it->second;
+  Buffer b;
+  b.base = base;
+  b.name = base->name().empty() ? "buf" + std::to_string(buffers_.size())
+                                : base->name();
+  if (auto* al = ir::dyn_cast<ir::AllocaInst>(base)) {
+    b.space = al->space();
+  } else {
+    b.space = base->type()->addrSpace();
+  }
+  buffers_.push_back(b);
+  int id = static_cast<int>(buffers_.size() - 1);
+  bufferIds_.emplace(base, id);
+  return id;
+}
+
+Prover::Ptr Prover::resolvePointer(State& st, ir::Value* ptr) {
+  Ptr out;
+  while (auto* gep = ir::dyn_cast<ir::GepInst>(ptr)) {
+    out.off += evalIn(st, gep->index());
+    ptr = gep->pointer();
+  }
+  // Distinct pointer arguments are assumed not to alias (the same
+  // assumption the transform itself makes when it maps a local buffer to
+  // the one global array that fills it).
+  if (ir::isa<ir::AllocaInst>(ptr) ||
+      (ir::isa<ir::Argument>(ptr) && ptr->type()->isPointer())) {
+    out.buffer = bufferFor(ptr);
+    out.ok = true;
+  }
+  return out;
+}
+
+std::string Prover::render(const SExpr& e) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [s, c] : e.terms) {
+    if (!first) os << (c.num() < 0 ? " - " : " + ");
+    if (first && c.num() < 0) os << "-";
+    Rational a = c.num() < 0 ? -c : c;
+    if (!a.isOne()) os << a.str() << "*";
+    os << syms_[s].name;
+    first = false;
+  }
+  if (first) {
+    os << e.k.str();
+  } else if (!e.k.isZero()) {
+    os << (e.k.num() < 0 ? " - " : " + ")
+       << (e.k.num() < 0 ? (-e.k).str() : e.k.str());
+  }
+  return os.str();
+}
+
+void Prover::recordAccess(State& st, int buf, const SExpr& off, bool isWrite,
+                          const ir::Instruction* inst) {
+  Access a;
+  a.buffer = buf;
+  a.isWrite = isWrite;
+  a.index = off;
+  a.path = st.path;
+  a.pathComplete = st.pathComplete;
+  a.phase = st.phase;
+  a.phaseOk = st.phaseOk;
+  std::ostringstream os;
+  os << (isWrite ? "store " : "load ") << buffers_[buf].name << "["
+     << render(off) << "]";
+  if (inst->loc().valid()) os << " @" << inst->loc().str();
+  a.desc = os.str();
+  accesses_.push_back(std::move(a));
+}
+
+std::vector<State> Prover::stepBlock(State st) {
+  if (++steps_ > opt_.maxPaths * 64) {
+    ceiling("path budget exhausted");
+    return {};
+  }
+  ir::BasicBlock* bb = st.block;
+
+  // Phi nodes first, in parallel, using values from the incoming edge.
+  if (st.pred != nullptr) {
+    std::vector<std::pair<ir::PhiInst*, SExpr>> incoming;
+    for (ir::PhiInst* phi : bb->phis()) {
+      if (!phi->type()->isInteger()) continue;
+      incoming.emplace_back(phi, evalIn(st, phi->incomingForBlock(st.pred)));
+    }
+    for (auto& [phi, e] : incoming) st.env[phi] = std::move(e);
+  }
+
+  for (const auto& instPtr : *bb) {
+    ir::Instruction* inst = instPtr.get();
+    if (ir::isa<ir::PhiInst>(inst) || inst->isTerminator()) continue;
+
+    if (auto* ld = ir::dyn_cast<ir::LoadInst>(inst)) {
+      Ptr p = resolvePointer(st, ld->pointer());
+      if (!p.ok) {
+        ceiling("unresolved pointer base");
+      } else if (buffers_[p.buffer].space != AddrSpace::Private) {
+        recordAccess(st, p.buffer, p.off, /*isWrite=*/false, inst);
+      }
+      if (ld->type()->isInteger()) {
+        std::string nm = ld->name().empty() ? "mem" : ld->name();
+        st.env[inst] = symExpr(abstractSym(std::move(nm), false));
+      }
+      continue;
+    }
+    if (auto* stOp = ir::dyn_cast<ir::StoreInst>(inst)) {
+      Ptr p = resolvePointer(st, stOp->pointer());
+      if (!p.ok) {
+        ceiling("unresolved pointer base");
+      } else if (buffers_[p.buffer].space != AddrSpace::Private) {
+        recordAccess(st, p.buffer, p.off, /*isWrite=*/true, inst);
+      }
+      continue;
+    }
+    if (auto* call = ir::dyn_cast<ir::CallInst>(inst)) {
+      switch (call->builtin()) {
+        case ir::Builtin::Barrier:
+          for (const PathC& c : st.path) barrierConds_.push_back(c.e);
+          if (!st.pathComplete) divergence_ = true;
+          st.phase.k += Rational(1);
+          continue;
+        case ir::Builtin::GetLocalId:
+        case ir::Builtin::GetGroupId:
+        case ir::Builtin::GetGlobalId:
+        case ir::Builtin::GetLocalSize:
+        case ir::Builtin::GetNumGroups:
+        case ir::Builtin::GetGlobalSize: {
+          auto dim = call->constDimension();
+          if (!dim || *dim > 2) {
+            st.env[inst] = symExpr(abstractSym("id?", false));
+            continue;
+          }
+          unsigned d = *dim;
+          auto L = static_cast<std::int64_t>(opt_.localSize[d]);
+          auto G = static_cast<std::int64_t>(opt_.numGroups[d]);
+          SExpr e;
+          switch (call->builtin()) {
+            case ir::Builtin::GetLocalId:
+              e = symExpr(localIdSym(d));
+              break;
+            case ir::Builtin::GetGroupId:
+              e = symExpr(groupIdSym(d));
+              break;
+            case ir::Builtin::GetGlobalId:
+              e = symExpr(groupIdSym(d));
+              e *= Rational(L);
+              e += symExpr(localIdSym(d));
+              break;
+            case ir::Builtin::GetLocalSize:
+              e = SExpr(Rational(L));
+              break;
+            case ir::Builtin::GetNumGroups:
+              e = SExpr(Rational(G));
+              break;
+            default:  // GetGlobalSize
+              e = SExpr(Rational(L * G));
+              break;
+          }
+          st.env[inst] = std::move(e);
+          continue;
+        }
+        case ir::Builtin::IMin:
+        case ir::Builtin::IMax:
+        case ir::Builtin::IAbs:
+        case ir::Builtin::Clamp:
+        case ir::Builtin::Mul24:
+        case ir::Builtin::Mad24: {
+          std::vector<SExpr> args;
+          bool allConst = true, uniform = true;
+          for (unsigned i = 0; i < call->numArgs(); ++i) {
+            args.push_back(evalIn(st, call->arg(i)));
+            allConst = allConst && args.back().isIntConst();
+            uniform = uniform && uniformExpr(args.back());
+          }
+          if (allConst) {
+            auto cv = [&](unsigned i) { return args[i].k.asInteger(); };
+            std::int64_t r = 0;
+            switch (call->builtin()) {
+              case ir::Builtin::IMin: r = std::min(cv(0), cv(1)); break;
+              case ir::Builtin::IMax: r = std::max(cv(0), cv(1)); break;
+              case ir::Builtin::IAbs: r = std::abs(cv(0)); break;
+              case ir::Builtin::Clamp:
+                r = std::clamp(cv(0), cv(1), cv(2));
+                break;
+              case ir::Builtin::Mul24: r = cv(0) * cv(1); break;
+              default: r = cv(0) * cv(1) + cv(2); break;  // Mad24
+            }
+            st.env[inst] = SExpr(Rational(r));
+          } else {
+            std::string nm =
+                call->name().empty() ? "call" : call->name();
+            st.env[inst] = symExpr(abstractSym(std::move(nm), uniform));
+          }
+          continue;
+        }
+        default:
+          continue;  // float math etc.; env-miss yields an opaque later
+      }
+    }
+    if (auto* bin = ir::dyn_cast<ir::BinaryInst>(inst)) {
+      if (!inst->type()->isInteger()) continue;
+      SExpr l = evalIn(st, bin->lhs());
+      SExpr r = evalIn(st, bin->rhs());
+      std::optional<SExpr> res;
+      switch (bin->op()) {
+        case ir::BinaryOp::Add:
+          res = l + r;
+          break;
+        case ir::BinaryOp::Sub:
+          res = l - r;
+          break;
+        case ir::BinaryOp::Mul:
+          if (r.isConst()) {
+            l *= r.k;
+            res = std::move(l);
+          } else if (l.isConst()) {
+            r *= l.k;
+            res = std::move(r);
+          }
+          break;
+        case ir::BinaryOp::Shl:
+          if (r.isIntConst() && r.k.asInteger() >= 0 &&
+              r.k.asInteger() < 62) {
+            l *= Rational(std::int64_t{1} << r.k.asInteger());
+            res = std::move(l);
+          }
+          break;
+        case ir::BinaryOp::SDiv:
+        case ir::BinaryOp::SRem:
+        case ir::BinaryOp::AShr:
+        case ir::BinaryOp::LShr:
+        case ir::BinaryOp::And:
+        case ir::BinaryOp::Or:
+        case ir::BinaryOp::Xor:
+          if (l.isIntConst() && r.isIntConst()) {
+            std::int64_t a = l.k.asInteger(), b = r.k.asInteger();
+            std::int64_t v = 0;
+            bool ok = true;
+            switch (bin->op()) {
+              case ir::BinaryOp::SDiv: ok = b != 0; v = ok ? a / b : 0; break;
+              case ir::BinaryOp::SRem: ok = b != 0; v = ok ? a % b : 0; break;
+              case ir::BinaryOp::AShr:
+                ok = b >= 0 && b < 64;
+                v = ok ? (a >> b) : 0;
+                break;
+              case ir::BinaryOp::LShr:
+                ok = b >= 0 && b < 64;
+                v = ok ? static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(a) >> b)
+                       : 0;
+                break;
+              case ir::BinaryOp::And: v = a & b; break;
+              case ir::BinaryOp::Or: v = a | b; break;
+              default: v = a ^ b; break;
+            }
+            if (ok) res = SExpr(Rational(v));
+          }
+          break;
+        default:
+          break;  // float ops on an int type cannot occur
+      }
+      if (res) {
+        st.env[inst] = std::move(*res);
+      } else {
+        bool uniform = uniformExpr(l) && uniformExpr(r);
+        std::string nm = inst->name().empty()
+                             ? ir::toString(bin->op())
+                             : inst->name();
+        st.env[inst] = symExpr(abstractSym(std::move(nm), uniform));
+      }
+      continue;
+    }
+    if (auto* cast = ir::dyn_cast<ir::CastInst>(inst)) {
+      // Int<->int casts are width changes of values the front-end already
+      // keeps in range (the transform's own no-overflow assumption).
+      if (inst->type()->isInteger() && cast->value()->type()->isInteger()) {
+        st.env[inst] = evalIn(st, cast->value());
+      } else if (inst->type()->isInteger()) {
+        std::string nm = inst->name().empty() ? "cast" : inst->name();
+        st.env[inst] = symExpr(abstractSym(std::move(nm), false));
+      }
+      continue;
+    }
+    if (auto* sel = ir::dyn_cast<ir::SelectInst>(inst)) {
+      if (!inst->type()->isInteger()) continue;
+      SExpr t = evalIn(st, sel->ifTrue());
+      SExpr f = evalIn(st, sel->ifFalse());
+      bool uniform = uniformExpr(t) && uniformExpr(f);
+      if (uniform) {
+        auto lc = analyzeCond(st, sel->condition());
+        uniform = lc && uniformExpr(lc->e);
+      }
+      std::string nm = inst->name().empty() ? "sel" : inst->name();
+      st.env[inst] = symExpr(abstractSym(std::move(nm), uniform));
+      continue;
+    }
+    // ICmp/FCmp results are consumed lazily by analyzeCond; geps by
+    // resolvePointer; everything else int-typed gets an opaque on demand.
+    if (inst->type()->isInteger() &&
+        (ir::isa<ir::ExtractElementInst>(inst) ||
+         ir::isa<ir::InsertElementInst>(inst))) {
+      std::string nm = inst->name().empty() ? "vec" : inst->name();
+      st.env[inst] = symExpr(abstractSym(std::move(nm), false));
+    }
+  }
+
+  // Terminator.
+  ir::Instruction* term = bb->terminator();
+  if (ir::isa<ir::RetInst>(term)) return {};
+  if (auto* br = ir::dyn_cast<ir::BrInst>(term)) {
+    st.pred = bb;
+    st.block = br->dest();
+    std::vector<State> out;
+    out.push_back(std::move(st));
+    return out;
+  }
+  auto* cbr = ir::cast<ir::CondBrInst>(term);
+  auto lc = analyzeCond(st, cbr->condition());
+  if (lc && lc->e.isConst()) {
+    // Constant condition: take the one feasible edge.
+    const Rational& c = lc->e.k;
+    bool truth = false;
+    switch (lc->rel) {
+      case Rel::Eq: truth = c.isZero(); break;
+      case Rel::Ne: truth = !c.isZero(); break;
+      case Rel::Le: truth = c < Rational(0) || c.isZero(); break;
+    }
+    st.pred = bb;
+    st.block = truth ? cbr->ifTrue() : cbr->ifFalse();
+    std::vector<State> out;
+    out.push_back(std::move(st));
+    return out;
+  }
+  if (++forks_ > opt_.maxPaths) {
+    ceiling("fork budget exhausted");
+    return {};
+  }
+  State tSt = st;
+  tSt.pred = bb;
+  tSt.block = cbr->ifTrue();
+  State fSt = std::move(st);
+  fSt.pred = bb;
+  fSt.block = cbr->ifFalse();
+  if (lc) {
+    tSt.path.push_back({lc->e, lc->rel});
+    fSt.path.push_back({negate(*lc).e, negate(*lc).rel});
+  } else {
+    tSt.pathComplete = false;
+    fSt.pathComplete = false;
+  }
+  std::vector<State> out;
+  out.push_back(std::move(tSt));
+  out.push_back(std::move(fSt));
+  return out;
+}
+
+RunOut Prover::runPaths(std::vector<State> init, const LoopInfo* loop,
+                        unsigned depth) {
+  RunOut out;
+  std::vector<State> stack = std::move(init);
+  while (!stack.empty()) {
+    if (ceiling_ && steps_ > opt_.maxPaths * 64) break;
+    State st = std::move(stack.back());
+    stack.pop_back();
+    if (loop != nullptr) {
+      if (st.block == loop->header) {
+        out.atStop.push_back(std::move(st));
+        continue;
+      }
+      if (!loop->blocks.contains(st.block)) {
+        out.exits.push_back(std::move(st));
+        continue;
+      }
+    }
+    if (auto it = loops_.find(st.block); it != loops_.end()) {
+      std::vector<State> after =
+          summarizeLoop(std::move(st), it->second, depth + 1);
+      for (State& s : after) stack.push_back(std::move(s));
+      continue;
+    }
+    std::vector<State> succ = stepBlock(std::move(st));
+    for (State& s : succ) stack.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<State> Prover::summarizeLoop(State entry, const LoopInfo& loop,
+                                         unsigned depth) {
+  if (depth > opt_.maxLoopDepth) {
+    ceiling("loop nesting too deep");
+    return {};
+  }
+  unsigned serial = loopSerial_++;
+  loopStack_.push_back(serial);
+  std::string sfx = std::to_string(serial);
+
+  unsigned tripSym = newSym({SymKind::Trip, 0, serial, false, "t" + sfx,
+                             true, false, 0, 0, loopStack_});
+  unsigned countSym = newSym({SymKind::TripCount, 0, serial, false,
+                              "T" + sfx, true, false, 0, 0, {}});
+  tripSymOfLoop_[serial] = tripSym;
+
+  // Header phis become fresh opaques standing for "value at iteration t".
+  std::vector<ir::PhiInst*> phis;
+  std::vector<unsigned> phiSyms;
+  std::vector<SExpr> phiInit;
+  for (ir::PhiInst* phi : loop.header->phis()) {
+    if (!phi->type()->isInteger()) continue;
+    SExpr init = evalIn(entry, phi->incomingForBlock(entry.pred));
+    std::string nm =
+        phi->name().empty() ? "phi" + sfx : phi->name() + "." + sfx;
+    unsigned s = abstractSym(nm, uniformExpr(init));
+    phis.push_back(phi);
+    phiSyms.push_back(s);
+    phiInit.push_back(std::move(init));
+  }
+
+  std::size_t accessStart = accesses_.size();
+  std::size_t bcondStart = barrierConds_.size();
+  std::size_t entryPathLen = entry.path.size();
+  SExpr entryPhase = entry.phase;
+  bool entryPhaseOk = entry.phaseOk;
+
+  State headerState = std::move(entry);
+  for (std::size_t i = 0; i < phis.size(); ++i)
+    headerState.env[phis[i]] = symExpr(phiSyms[i]);
+  headerState.pred = nullptr;  // phis are pre-bound; do not re-apply
+  std::vector<State> succ = stepBlock(std::move(headerState));
+
+  std::vector<State> bodyInit, headerExits;
+  for (State& s : succ) {
+    if (loop.blocks.contains(s.block))
+      bodyInit.push_back(std::move(s));
+    else
+      headerExits.push_back(std::move(s));
+  }
+  RunOut body = runPaths(std::move(bodyInit), &loop, depth);
+
+  std::size_t accessEnd = accesses_.size();
+  std::size_t bcondEnd = barrierConds_.size();
+
+  // Refine phi uniformity with the latch values, then classify induction.
+  std::vector<std::optional<Rational>> step(phis.size());
+  bool first = true;
+  for (State& s : body.atStop) {
+    for (std::size_t i = 0; i < phis.size(); ++i) {
+      SExpr lv = evalIn(s, phis[i]->incomingForBlock(s.pred));
+      if (!uniformExpr(lv)) syms_[phiSyms[i]].uniform = false;
+      SExpr d = lv - symExpr(phiSyms[i]);
+      if (first) {
+        if (d.isIntConst()) step[i] = d.k;
+      } else if (step[i] && !(d.isIntConst() && d.k == *step[i])) {
+        step[i] = std::nullopt;
+      }
+    }
+    first = false;
+  }
+
+  // Barrier delta per iteration: must be one concrete constant on every
+  // back-edge path, else phase tracking is lost for this region.
+  bool phaseBroken = !entryPhaseOk;
+  std::optional<Rational> delta;
+  for (State& s : body.atStop) {
+    if (!s.phaseOk) phaseBroken = true;
+    SExpr d = s.phase - entryPhase;
+    if (!d.isIntConst() || d.k.num() < 0) {
+      phaseBroken = true;
+    } else if (!delta) {
+      delta = d.k;
+    } else if (*delta != d.k) {
+      phaseBroken = true;
+    }
+  }
+  bool loopHasBarrier =
+      phaseBroken || (delta && !delta->isZero()) || bcondEnd > bcondStart;
+
+  // Substitutions: body occurrences see iteration t, header exits see
+  // iteration T (the first guard failure), in-body exits (break/return
+  // paths) see the last executed iteration T-1.
+  Subst sBody, sExitHeader, sExitBody;
+  if (body.atStop.empty()) {
+    // The body never reaches the latch: at most one iteration executes.
+    for (std::size_t i = 0; i < phis.size(); ++i) {
+      sBody[phiSyms[i]] = phiInit[i];
+      sExitHeader[phiSyms[i]] = phiInit[i];
+      sExitBody[phiSyms[i]] = phiInit[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < phis.size(); ++i) {
+      if (step[i]) {
+        SExpr t = symExpr(tripSym);
+        t *= *step[i];
+        sBody[phiSyms[i]] = phiInit[i] + t;
+        SExpr atT = symExpr(countSym);
+        atT *= *step[i];
+        sExitHeader[phiSyms[i]] = phiInit[i] + atT;
+        SExpr atT1 = symExpr(countSym) - SExpr(Rational(1));
+        atT1 *= *step[i];
+        sExitBody[phiSyms[i]] = phiInit[i] + atT1;
+      } else {
+        // Value at exit is a different unknown than the value at a body
+        // iteration; conflating them could prove false equalities.
+        unsigned exitSym =
+            newSym({SymKind::Abstract, 0, 0, syms_[phiSyms[i]].uniform,
+                    syms_[phiSyms[i]].name + "'", false, false, 0, 0,
+                    std::vector<unsigned>(loopStack_.begin(),
+                                          loopStack_.end() - 1)});
+        sExitHeader[phiSyms[i]] = symExpr(exitSym);
+        sExitBody[phiSyms[i]] = symExpr(exitSym);
+      }
+    }
+  }
+
+  bool summarized = !body.atStop.empty();
+
+  // Rewrite the accesses recorded inside the loop region.
+  for (std::size_t i = accessStart; i < accessEnd; ++i) {
+    Access& a = accesses_[i];
+    a.index = applySubst(a.index, sBody);
+    for (PathC& c : a.path) c.e = applySubst(c.e, sBody);
+    if (summarized) {
+      if (phaseBroken) {
+        a.phaseOk = false;
+      } else if (!delta->isZero()) {
+        SExpr tb = symExpr(tripSym);
+        tb *= *delta;
+        a.phase += tb;
+      }
+      // 0 <= t is a symbol bound; tie t to the shared trip count.
+      SExpr le = symExpr(tripSym) - symExpr(countSym);
+      le.k += Rational(1);
+      a.path.push_back({std::move(le), Rel::Le});
+    } else if (phaseBroken) {
+      a.phaseOk = false;
+    }
+  }
+  for (std::size_t i = bcondStart; i < bcondEnd; ++i)
+    barrierConds_[i] = applySubst(barrierConds_[i], sBody);
+
+  // Guard uniformity: the constraints separating "stay" from "leave",
+  // with trip symbols themselves set aside, decide whether items of one
+  // group can disagree on the trip count.
+  bool guardUniform = true;
+  auto scanGuard = [&](const State& s) {
+    for (std::size_t i = entryPathLen; i < s.path.size(); ++i)
+      if (!uniformExpr(s.path[i].e, /*tripsAsUniform=*/true))
+        guardUniform = false;
+  };
+
+  // Rewrite the continuation states.
+  std::vector<State> continuations;
+  auto finishExit = [&](State& s, const Subst& sigma, bool fromBody) {
+    for (auto& [v, e] : s.env) e = applySubst(e, sigma);
+    for (PathC& c : s.path) c.e = applySubst(c.e, sigma);
+    if (summarized) {
+      if (phaseBroken) {
+        s.phaseOk = false;
+      } else if (!delta->isZero()) {
+        // T full iterations of barriers before a header exit; a break
+        // path leaves during iteration T-1.
+        SExpr tb = symExpr(countSym);
+        if (fromBody) tb.k -= Rational(1);
+        tb *= *delta;
+        s.phase += tb;
+      }
+      if (fromBody) {
+        // A break path implies at least one iteration ran.
+        SExpr ge;
+        ge -= symExpr(countSym);
+        ge.k += Rational(1);
+        s.path.push_back({std::move(ge), Rel::Le});
+      }
+    } else if (phaseBroken) {
+      s.phaseOk = false;
+    }
+    scanGuard(s);
+    continuations.push_back(std::move(s));
+  };
+  for (State& s : headerExits) finishExit(s, sExitHeader, false);
+  for (State& s : body.exits) finishExit(s, sExitBody, true);
+
+  syms_[tripSym].uniform = guardUniform;
+  syms_[countSym].uniform = guardUniform;
+  // Items disagreeing on the trip count of a barrier loop execute
+  // different barrier sequences: classic divergence.
+  if (loopHasBarrier && !guardUniform) divergence_ = true;
+
+  loopStack_.pop_back();
+  return continuations;
+}
+
+// ---------------------------------------------------------------------------
+// Loop discovery.
+// ---------------------------------------------------------------------------
+
+bool findLoops(ir::Function& fn,
+               std::unordered_map<ir::BasicBlock*, LoopInfo>& loops) {
+  analysis::DominatorTree dom(fn);
+  for (ir::BasicBlock* bb : dom.rpo()) {
+    for (ir::BasicBlock* s : bb->successors()) {
+      if (!dom.isReachable(s)) continue;
+      if (dom.dominates(s, bb)) {
+        loops[s].header = s;
+        loops[s].latches.push_back(bb);
+      } else if (s != bb) {
+        // A retreating edge to a non-dominator = irreducible region.
+        bool retreating = false;
+        const auto& order = dom.rpo();
+        std::size_t ib = order.size(), is = order.size();
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          if (order[i] == bb) ib = i;
+          if (order[i] == s) is = i;
+        }
+        retreating = is <= ib;
+        if (retreating) return false;
+      }
+    }
+  }
+  for (auto& [header, info] : loops) {
+    info.blocks.insert(header);
+    std::vector<ir::BasicBlock*> work = info.latches;
+    while (!work.empty()) {
+      ir::BasicBlock* b = work.back();
+      work.pop_back();
+      if (!dom.isReachable(b) || info.blocks.contains(b)) continue;
+      info.blocks.insert(b);
+      for (ir::BasicBlock* p : b->predecessors()) work.push_back(p);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Obligation discharge.
+// ---------------------------------------------------------------------------
+
+Obligation Prover::solvePair(const Access& a1, const Access& a2,
+                             SymbolicReport& rep) {
+  Obligation ob;
+  ob.buffer = buffers_[a1.buffer].name;
+  ob.access1 = a1.desc;
+  ob.access2 = a2.desc;
+
+  bool noWitness = !a1.pathComplete || !a2.pathComplete;
+
+  // Loops whose trip counters are pinned equal by the phase equation: a
+  // uniform value that varies only with such loops is the same concrete
+  // value on both sides and may share one variable.
+  std::set<unsigned> syncLoops;
+  bool usePhase = a1.phaseOk && a2.phaseOk;
+  if (usePhase) {
+    for (const auto& [serial, tsym] : tripSymOfLoop_) {
+      auto i1 = a1.phase.terms.find(tsym);
+      auto i2 = a2.phase.terms.find(tsym);
+      if (i1 != a1.phase.terms.end() && i2 != a2.phase.terms.end() &&
+          i1->second == i2->second && !i1->second.isZero())
+        syncLoops.insert(serial);
+    }
+  } else {
+    noWitness = true;
+  }
+
+  System sys;
+  // (symId, side) -> var; side 0 = shared.
+  std::map<std::pair<unsigned, int>, unsigned> vars;
+  bool sawAbstract = false;
+  auto varFor = [&](unsigned symId, int side) -> unsigned {
+    const SymInfo& si = syms_[symId];
+    bool shared = false;
+    switch (si.kind) {
+      case SymKind::GroupId:
+        shared = true;
+        break;
+      case SymKind::TripCount:
+        shared = si.uniform;
+        break;
+      case SymKind::Abstract: {
+        sawAbstract = true;
+        shared = si.uniform;
+        for (unsigned L : si.scope)
+          if (!syncLoops.contains(L)) shared = false;
+        break;
+      }
+      case SymKind::LocalId:
+      case SymKind::Trip:
+        shared = false;
+        break;
+    }
+    int key = shared ? 0 : side;
+    auto it = vars.find({symId, key});
+    if (it != vars.end()) return it->second;
+    std::string nm = si.name;
+    if (!shared) nm += side == 1 ? "_i" : "_j";
+    unsigned v;
+    if (si.hasLo && si.hasHi) {
+      v = sys.addVar(nm, si.lo, si.hi);
+    } else {
+      v = sys.addVar(nm);
+      // lo <= x  <=>  -x + lo <= 0 (System bounds come in pairs only).
+      if (si.hasLo) sys.add({{{v, -1}}, si.lo, Rel::Le});
+    }
+    return vars.insert({{symId, key}, v}).first->second;
+  };
+
+  auto addConstraint = [&](const SExpr& e1, int side1, const SExpr* e2,
+                           int side2, Rel rel) {
+    // Collect rational terms, clear denominators, emit one constraint.
+    std::map<unsigned, Rational> acc;  // solver var -> coeff
+    Rational k;
+    auto fold = [&](const SExpr& e, int side, Rational sign) {
+      for (const auto& [s, c] : e.terms) {
+        unsigned v = varFor(s, side);
+        auto [it, fresh] = acc.emplace(v, c * sign);
+        if (!fresh) it->second += c * sign;
+      }
+      k += e.k * sign;
+    };
+    fold(e1, side1, Rational(1));
+    if (e2 != nullptr) fold(*e2, side2, Rational(-1));
+    std::int64_t mult = 1;
+    for (const auto& [v, c] : acc) mult = std::lcm(mult, c.den());
+    mult = std::lcm(mult, k.den());
+    Constraint c;
+    for (const auto& [v, coeff] : acc) {
+      Rational scaled = coeff * Rational(mult);
+      if (!scaled.isZero()) c.terms.push_back({v, scaled.asInteger()});
+    }
+    c.constant = (k * Rational(mult)).asInteger();
+    c.rel = rel;
+    sys.add(std::move(c));
+  };
+
+  addConstraint(a1.index, 1, &a2.index, 2, Rel::Eq);
+  if (usePhase) addConstraint(a1.phase, 1, &a2.phase, 2, Rel::Eq);
+  for (const PathC& c : a1.path) addConstraint(c.e, 1, nullptr, 0, c.rel);
+  for (const PathC& c : a2.path) addConstraint(c.e, 2, nullptr, 0, c.rel);
+
+  if (sawAbstract) noWitness = true;
+
+  // i != j: the two items differ in at least one local dimension of
+  // extent > 1. Case-split into strict orderings per dimension.
+  std::vector<std::pair<unsigned, unsigned>> diseqs;  // (var_i, var_j)
+  for (unsigned d = 0; d < 3; ++d) {
+    if (opt_.localSize[d] <= 1) continue;
+    diseqs.emplace_back(varFor(localIdSym(d), 1), varFor(localIdSym(d), 2));
+  }
+  if (diseqs.empty()) {
+    ob.status = ProofStatus::Proved;
+    ob.note = "single-item group";
+    return ob;
+  }
+
+  bool anyUnknown = false;
+  std::string unknownNote;
+  for (const auto& [vi, vj] : diseqs) {
+    for (int dir = 0; dir < 2; ++dir) {
+      System s = sys;
+      // vi < vj or vj < vi.
+      if (dir == 0) {
+        s.add({{{vi, 1}, {vj, -1}}, 1, Rel::Le});
+      } else {
+        s.add({{{vj, 1}, {vi, -1}}, 1, Rel::Le});
+      }
+      SolveResult r = solve(s, opt_.solver);
+      if (r.status == SolveStatus::Sat) {
+        if (noWitness) {
+          ob.status = ProofStatus::Unknown;
+          ob.note = "possible race (constraints imprecise)";
+          return ob;
+        }
+        ob.status = ProofStatus::Refuted;
+        // Build the witness from the model.
+        RaceWitness w;
+        w.buffer = ob.buffer;
+        w.access1 = a1.desc;
+        w.access2 = a2.desc;
+        w.write1 = a1.isWrite;
+        w.write2 = a2.isWrite;
+        auto valOf = [&](unsigned symId, int side) -> std::int64_t {
+          const SymInfo& si = syms_[symId];
+          for (int key : {side, 0}) {
+            auto it = vars.find({symId, key});
+            if (it != vars.end() && it->second < r.model.size())
+              return r.model[it->second];
+          }
+          return si.hasLo ? si.lo : 0;
+        };
+        for (unsigned d = 0; d < 3; ++d) {
+          if (localIds_[d] >= 0) {
+            w.item1.localId[d] = valOf(localIds_[d], 1);
+            w.item2.localId[d] = valOf(localIds_[d], 2);
+          }
+          if (groupIds_[d] >= 0) w.groupId[d] = valOf(groupIds_[d], 1);
+        }
+        for (unsigned symId = 0; symId < syms_.size(); ++symId) {
+          const SymInfo& si = syms_[symId];
+          if (si.kind == SymKind::Trip) {
+            if (vars.contains({symId, 1}))
+              w.item1.trips.emplace_back(si.name, valOf(symId, 1));
+            if (vars.contains({symId, 2}))
+              w.item2.trips.emplace_back(si.name, valOf(symId, 2));
+          } else if (si.kind == SymKind::TripCount &&
+                     (vars.contains({symId, 0}) ||
+                      vars.contains({symId, 1}))) {
+            w.shared.emplace_back(si.name, valOf(symId, 1));
+          }
+        }
+        auto phaseOf = [&](const SExpr& p, int side) -> std::int64_t {
+          Rational acc = p.k;
+          for (const auto& [s2, c] : p.terms)
+            acc += c * Rational(valOf(s2, side));
+          return acc.isInteger() ? acc.asInteger() : 0;
+        };
+        w.phase1 = phaseOf(a1.phase, 1);
+        w.phase2 = phaseOf(a2.phase, 2);
+        if (!rep.witness) rep.witness = w;
+        ob.note = w.str();
+        return ob;
+      }
+      if (r.status == SolveStatus::Unknown) {
+        anyUnknown = true;
+        if (unknownNote.empty()) unknownNote = r.note;
+      }
+    }
+  }
+  if (anyUnknown) {
+    ob.status = ProofStatus::Unknown;
+    ob.note = "solver: " + unknownNote;
+  } else {
+    ob.status = ProofStatus::Proved;
+  }
+  return ob;
+}
+
+void Prover::discharge(SymbolicReport& rep) {
+  rep.accesses = static_cast<unsigned>(accesses_.size());
+  bool capped = false;
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    if (buffers_[b].space == AddrSpace::Private ||
+        buffers_[b].space == AddrSpace::Constant)
+      continue;
+    std::vector<const Access*> accs;
+    for (const Access& a : accesses_)
+      if (a.buffer == static_cast<int>(b)) accs.push_back(&a);
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      for (std::size_t j = i; j < accs.size(); ++j) {
+        if (!accs[i]->isWrite && !accs[j]->isWrite) continue;
+        if (rep.pairs >= opt_.maxPairs) {
+          capped = true;
+          break;
+        }
+        ++rep.pairs;
+        Obligation ob = solvePair(*accs[i], *accs[j], rep);
+        switch (ob.status) {
+          case ProofStatus::Proved: ++rep.proved; break;
+          case ProofStatus::Refuted: ++rep.refuted; break;
+          default: ++rep.unknown; break;
+        }
+        if (opt_.keepObligations && rep.obligations.size() < 64 &&
+            ob.status != ProofStatus::Proved)
+          rep.obligations.push_back(std::move(ob));
+      }
+      if (capped) break;
+    }
+    if (capped) break;
+  }
+  if (capped) ceiling("obligation budget exhausted");
+}
+
+SymbolicReport Prover::run() {
+  auto t0 = std::chrono::steady_clock::now();
+  SymbolicReport rep;
+  rep.kernelName = fn_.name();
+
+  if (fn_.entry() == nullptr) {
+    rep.status = ProofStatus::Unknown;
+    rep.note = "empty function";
+    return rep;
+  }
+  if (!findLoops(fn_, loops_)) {
+    rep.status = ProofStatus::Unknown;
+    rep.note = "irreducible control flow";
+    return rep;
+  }
+
+  State init;
+  init.block = fn_.entry();
+  std::vector<State> start;
+  start.push_back(std::move(init));
+  runPaths(std::move(start), nullptr, 0);
+
+  // Deferred divergence check: a barrier under any condition that is
+  // id-dependent once all uniformity flags settled.
+  for (const SExpr& e : barrierConds_)
+    if (!uniformExpr(e)) divergence_ = true;
+
+  discharge(rep);
+
+  if (rep.refuted > 0) {
+    rep.status = ProofStatus::Refuted;
+  } else if (ceiling_ || divergence_ || rep.unknown > 0) {
+    rep.status = ProofStatus::Unknown;
+    if (ceiling_) {
+      rep.note = ceilingNote_;
+    } else if (divergence_) {
+      rep.note = "barrier under id-dependent control";
+    } else {
+      rep.note = std::to_string(rep.unknown) + " obligation(s) undecided";
+    }
+  } else {
+    rep.status = ProofStatus::Proved;
+  }
+  rep.millis = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  return rep;
+}
+
+}  // namespace
+
+SymbolicReport proveRaceFreedom(ir::Function& fn,
+                                const ProveOptions& options) {
+  Prover p(fn, options);
+  return p.run();
+}
+
+ProveOptions proveOptionsForKernel(const ir::Function& fn) {
+  // Highest dimension the kernel actually queries; a call with a
+  // non-constant dimension conservatively marks every dimension used.
+  unsigned maxDim = 0;
+  bool anyId = false;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : *bb) {
+      const auto* call = ir::dyn_cast<ir::CallInst>(inst.get());
+      if (call == nullptr) continue;
+      switch (call->builtin()) {
+        case ir::Builtin::GetLocalId:
+        case ir::Builtin::GetGroupId:
+        case ir::Builtin::GetGlobalId:
+        case ir::Builtin::GetLocalSize:
+        case ir::Builtin::GetNumGroups:
+        case ir::Builtin::GetGlobalSize: {
+          anyId = true;
+          const auto dim = call->constDimension();
+          if (!dim) {
+            maxDim = 2;
+          } else if (*dim > maxDim) {
+            maxDim = std::min(*dim, 2u);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  ProveOptions opts;
+  for (unsigned d = 0; d < 3; ++d) {
+    if (!anyId || d > maxDim) {
+      opts.localSize[d] = 1;
+      opts.numGroups[d] = 1;
+    }
+  }
+  return opts;
+}
+
+}  // namespace grover::sym

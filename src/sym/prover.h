@@ -1,0 +1,62 @@
+// Symbolic race/barrier prover (DESIGN.md §13).
+//
+// Symbolically executes a kernel's SSA IR for one *generic* work-group,
+// modeling local ids as free bounded symbols, summarizing natural loops
+// with symbolic trip counters, and tracking a barrier phase counter along
+// every path. Every pair of accesses to the same local or global buffer
+// with at least one write becomes an obligation: the linear system
+//     index_i == index_j  ∧  phase_i == phase_j  ∧  path_i ∧ path_j
+//     ∧  (i ≠ j, split per local dimension)
+// is handed to the sym::solve decision procedure. Unsat on every pair ⇒
+// Proved. A model over fully precise constraints ⇒ Refuted with a
+// concrete witness (local ids + loop trips). Anything the theory cannot
+// express (nonlinear indices, data-dependent pointers, divergent
+// barriers, budget) degrades to Unknown — never to a silent pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/function.h"
+#include "sym/report.h"
+#include "sym/solver.h"
+
+namespace grover::sym {
+
+struct ProveOptions {
+  /// Work-group geometry the proof is relative to. Races are checked
+  /// between two items of one (symbolic) group; local ids range over
+  /// [0, localSize[d]) and group ids over [0, numGroups[d]).
+  std::array<std::uint32_t, 3> localSize{16, 16, 1};
+  std::array<std::uint32_t, 3> numGroups{2, 2, 1};
+  /// Concrete values for integer scalar arguments, by argument index.
+  /// Unbound integer arguments become free uniform symbols (the proof
+  /// then holds for every value, but refutations involving them cannot
+  /// produce a concrete witness).
+  std::vector<std::pair<unsigned, std::int64_t>> intArgs;
+
+  unsigned maxPaths = 64;     // CondBr forks before giving up
+  unsigned maxPairs = 512;    // access-pair obligations per kernel
+  unsigned maxLoopDepth = 8;  // nesting of summarized loops
+  SolveBudget solver;
+  /// Keep per-obligation detail in the report (capped at 64 entries).
+  bool keepObligations = true;
+};
+
+/// Prove intra-work-group race-freedom of `fn` under the given geometry.
+/// The function is not modified. Scope boundary: two symbolic work-items
+/// of the *same* group — inter-group interleavings (which barriers cannot
+/// order anyway) are outside the model and stay the job of the PR 3
+/// structural validator and the differential fuzzer.
+[[nodiscard]] SymbolicReport proveRaceFreedom(ir::Function& fn,
+                                              const ProveOptions& options = {});
+
+/// ProveOptions for a kernel whose launch geometry is unknown (raw .cl
+/// sources): dimensions the kernel never queries through an id/size
+/// intrinsic collapse to extent 1, so a 1-D kernel is not refuted by a
+/// phantom second work-group dimension the launch would never have.
+[[nodiscard]] ProveOptions proveOptionsForKernel(const ir::Function& fn);
+
+}  // namespace grover::sym

@@ -1,0 +1,79 @@
+#include "sym/report.h"
+
+#include <sstream>
+
+namespace grover::sym {
+
+const char* toString(ProofStatus s) {
+  switch (s) {
+    case ProofStatus::Unchecked: return "unchecked";
+    case ProofStatus::Proved: return "proved";
+    case ProofStatus::Refuted: return "refuted";
+    case ProofStatus::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+void renderItem(std::ostringstream& os, const char* tag,
+                const WitnessItem& it) {
+  os << tag << "=(" << it.localId[0] << "," << it.localId[1] << ","
+     << it.localId[2] << ")";
+  for (const auto& [name, value] : it.trips)
+    os << " " << name << "=" << value;
+}
+
+}  // namespace
+
+std::string RaceWitness::str() const {
+  std::ostringstream os;
+  os << "race on " << buffer << ": " << access1 << " vs " << access2
+     << " | ";
+  renderItem(os, "item1", item1);
+  os << " phase=" << phase1 << " | ";
+  renderItem(os, "item2", item2);
+  os << " phase=" << phase2;
+  os << " | group=(" << groupId[0] << "," << groupId[1] << ","
+     << groupId[2] << ")";
+  for (const auto& [name, value] : shared) os << " " << name << "=" << value;
+  return os.str();
+}
+
+std::string SymbolicReport::summary() const {
+  std::ostringstream os;
+  os << toString(status);
+  switch (status) {
+    case ProofStatus::Proved:
+      os << " (" << pairs << (pairs == 1 ? " pair" : " pairs") << ")";
+      break;
+    case ProofStatus::Refuted:
+      if (witness) os << ": " << witness->buffer;
+      break;
+    case ProofStatus::Unknown:
+      if (!note.empty()) os << " (" << note << ")";
+      break;
+    case ProofStatus::Unchecked:
+      break;
+  }
+  return os.str();
+}
+
+std::string SymbolicReport::str() const {
+  std::ostringstream os;
+  os << "kernel " << kernelName << ": " << toString(status) << "\n";
+  os << "  accesses=" << accesses << " pairs=" << pairs
+     << " proved=" << proved << " refuted=" << refuted
+     << " unknown=" << unknown << "\n";
+  if (!note.empty()) os << "  note: " << note << "\n";
+  if (witness) os << "  witness: " << witness->str() << "\n";
+  for (const auto& ob : obligations) {
+    os << "  [" << toString(ob.status) << "] " << ob.buffer << ": "
+       << ob.access1 << " vs " << ob.access2;
+    if (!ob.note.empty()) os << " (" << ob.note << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace grover::sym

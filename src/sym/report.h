@@ -1,0 +1,85 @@
+// Result types of the symbolic race prover (DESIGN.md §13). Kept free of
+// IR dependencies so the policy store and the serving layer can carry
+// proof status without pulling in the compiler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grover::sym {
+
+/// Verdict of a proof attempt. Proved and Refuted are exact (a Refuted
+/// verdict carries a concrete witness); Unknown means the kernel used a
+/// construct outside the prover's theory (nonlinear index, unresolved
+/// pointer, divergent barrier, budget) and the caller must fall back to
+/// the structural validator — never treat Unknown as safe. Unchecked is
+/// the resting state of consumers that cache proof status (policy
+/// decisions, artifacts) before any prover ran.
+enum class ProofStatus : std::uint8_t {
+  Unchecked,
+  Proved,
+  Refuted,
+  Unknown,
+};
+[[nodiscard]] const char* toString(ProofStatus s);
+
+/// One of the two colliding work-items of a witness.
+struct WitnessItem {
+  std::array<std::int64_t, 3> localId{0, 0, 0};
+  /// Loop trip values, e.g. {"t0", 3}: the iteration of loop 0 at which
+  /// this item performs its access.
+  std::vector<std::pair<std::string, std::int64_t>> trips;
+};
+
+/// Concrete assignment refuting race-freedom: two distinct work-items of
+/// one work-group whose accesses hit the same element of one buffer in
+/// the same barrier interval, at least one of them writing.
+struct RaceWitness {
+  std::string buffer;
+  std::string access1, access2;  // rendered, e.g. "store tile[lx]"
+  bool write1 = false, write2 = false;
+  WitnessItem item1, item2;
+  std::int64_t phase1 = 0, phase2 = 0;  // barrier interval index
+  std::array<std::int64_t, 3> groupId{0, 0, 0};
+  /// Values of shared symbols the witness depends on (group ids, loop
+  /// trip counts, unbound arguments).
+  std::vector<std::pair<std::string, std::int64_t>> shared;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// One discharged pair-of-accesses obligation.
+struct Obligation {
+  std::string buffer;
+  std::string access1, access2;
+  ProofStatus status = ProofStatus::Unknown;
+  std::string note;
+};
+
+/// Outcome of proveRaceFreedom on one kernel.
+struct SymbolicReport {
+  ProofStatus status = ProofStatus::Unknown;
+  std::string kernelName;
+  /// Top-level reason when the verdict is Unknown (unsupported CFG,
+  /// divergent barrier, solver budget, ...).
+  std::string note;
+  unsigned accesses = 0;  // recorded local/global accesses
+  unsigned pairs = 0;     // obligations discharged
+  unsigned proved = 0, refuted = 0, unknown = 0;
+  std::optional<RaceWitness> witness;  // first refutation
+  double millis = 0;
+  /// Per-obligation detail (capped; see ProveOptions::keepObligations).
+  std::vector<Obligation> obligations;
+
+  /// One line for verdict rendering, e.g.
+  /// "proved (9 pairs)" or "refuted: tile[lx] vs tile[lx]".
+  [[nodiscard]] std::string summary() const;
+  /// Multi-line report for --prove output and CI artifacts.
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace grover::sym

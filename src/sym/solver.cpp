@@ -1,0 +1,686 @@
+#include "sym/solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace grover::sym {
+
+namespace {
+
+using std::int64_t;
+using i128 = __int128;
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min();
+
+[[nodiscard]] bool fitsI64(i128 v) {
+  return v >= static_cast<i128>(kNegInf) && v <= static_cast<i128>(kInf);
+}
+
+[[nodiscard]] int64_t floorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+[[nodiscard]] int64_t ceilDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Mutable working copy of the system for one decision case.
+struct Work {
+  const System* sys = nullptr;
+  std::vector<Constraint> cs;  // Eq/Le only, kept normalized
+  // Current bounds; sentinel kNegInf/kInf = unbounded on that side.
+  std::vector<int64_t> lo, hi;
+  const SolveBudget* budget = nullptr;
+  std::uint64_t* nodes = nullptr;  // shared across Ne cases
+  std::string note;
+
+  /// Eliminations in chronological order; reconstruct in reverse.
+  struct Elim {
+    enum class Kind : std::uint8_t { Subst, Fm } kind = Kind::Subst;
+    unsigned var = 0;
+    // Subst: var = sign * (sum(terms) + constant); terms over surviving
+    // vars, sign in {+1,-1}.
+    std::vector<LinTerm> terms;
+    int64_t constant = 0;
+    int64_t sign = 1;
+    // Fm: original Le constraints the var appeared in.
+    std::vector<Constraint> involved;
+  };
+  std::vector<Elim> elims;
+
+  [[nodiscard]] bool bounded(unsigned v) const {
+    return lo[v] != kNegInf && hi[v] != kInf;
+  }
+};
+
+enum class Step : std::uint8_t { Ok, Unsat, Unknown };
+
+/// Merge duplicate vars, drop zero coefficients. Returns Unsat for a
+/// violated constant constraint; trivially-true constraints shrink to
+/// empty terms with a satisfied constant and are dropped by the caller.
+Step normalizeConstraint(Constraint& c) {
+  std::sort(c.terms.begin(), c.terms.end(),
+            [](const LinTerm& a, const LinTerm& b) { return a.var < b.var; });
+  std::vector<LinTerm> out;
+  for (const auto& t : c.terms) {
+    if (!out.empty() && out.back().var == t.var) {
+      i128 sum = static_cast<i128>(out.back().coeff) + t.coeff;
+      if (!fitsI64(sum)) return Step::Unknown;
+      out.back().coeff = static_cast<int64_t>(sum);
+      if (out.back().coeff == 0) out.pop_back();
+    } else if (t.coeff != 0) {
+      out.push_back(t);
+    }
+  }
+  c.terms = std::move(out);
+  if (c.terms.empty()) {
+    bool ok = c.rel == Rel::Eq ? c.constant == 0 : c.constant <= 0;
+    return ok ? Step::Ok : Step::Unsat;
+  }
+  return Step::Ok;
+}
+
+/// Substitute var := sign * (sum(terms) + constant) into `c`.
+Step substituteInto(Constraint& c, unsigned var, int64_t sign,
+                    const std::vector<LinTerm>& terms, int64_t constant) {
+  int64_t coeff = 0;
+  for (const auto& t : c.terms) {
+    if (t.var == var) coeff = t.coeff;
+  }
+  if (coeff == 0) return Step::Ok;
+  std::erase_if(c.terms, [&](const LinTerm& t) { return t.var == var; });
+  i128 mult = static_cast<i128>(coeff) * sign;
+  for (const auto& t : terms) {
+    i128 nc = mult * t.coeff;
+    if (!fitsI64(nc)) return Step::Unknown;
+    c.terms.push_back({t.var, static_cast<int64_t>(nc)});
+  }
+  i128 nk = static_cast<i128>(c.constant) + mult * constant;
+  if (!fitsI64(nk)) return Step::Unknown;
+  c.constant = static_cast<int64_t>(nk);
+  return normalizeConstraint(c);
+}
+
+/// One full simplification pass: gcd reduction, singleton bounds,
+/// fixed-var substitution, unit-coefficient equality elimination, and
+/// interval propagation. Runs to fixpoint (with a pass cap).
+Step simplify(Work& w) {
+  for (unsigned pass = 0; pass < 256; ++pass) {
+    bool changed = false;
+    // Normalize + gcd + singletons.
+    for (std::size_t ci = 0; ci < w.cs.size(); ++ci) {
+      Constraint& c = w.cs[ci];
+      Step s = normalizeConstraint(c);
+      if (s != Step::Ok) return s;
+      if (c.terms.empty()) {
+        w.cs.erase(w.cs.begin() + static_cast<std::ptrdiff_t>(ci));
+        --ci;
+        changed = true;
+        continue;
+      }
+      int64_t g = 0;
+      for (const auto& t : c.terms) g = std::gcd(g, std::abs(t.coeff));
+      if (g > 1) {
+        if (c.rel == Rel::Eq) {
+          if (c.constant % g != 0) return Step::Unsat;  // GCD test
+          for (auto& t : c.terms) t.coeff /= g;
+          c.constant /= g;
+        } else {
+          // sum(c/g * x) <= floor(-k/g)
+          for (auto& t : c.terms) t.coeff /= g;
+          c.constant = -floorDiv(-c.constant, g);
+        }
+        changed = true;
+      }
+      if (c.terms.size() == 1) {
+        unsigned v = c.terms[0].var;
+        int64_t a = c.terms[0].coeff;
+        if (c.rel == Rel::Eq) {
+          if (c.constant % a != 0) return Step::Unsat;
+          int64_t val = -c.constant / a;
+          if (val > w.lo[v]) w.lo[v] = val;
+          if (val < w.hi[v]) w.hi[v] = val;
+        } else if (a > 0) {
+          int64_t ub = floorDiv(-c.constant, a);
+          if (ub < w.hi[v]) w.hi[v] = ub;
+        } else {
+          int64_t lb = ceilDiv(-c.constant, a);
+          if (lb > w.lo[v]) w.lo[v] = lb;
+        }
+        if (w.lo[v] > w.hi[v]) return Step::Unsat;
+        w.cs.erase(w.cs.begin() + static_cast<std::ptrdiff_t>(ci));
+        --ci;
+        changed = true;
+        continue;
+      }
+    }
+    // Substitute fixed vars.
+    for (unsigned v = 0; v < w.lo.size(); ++v) {
+      if (w.lo[v] != w.hi[v] || w.lo[v] == kNegInf) continue;
+      bool appears = false;
+      for (const auto& c : w.cs) {
+        for (const auto& t : c.terms) appears |= t.var == v;
+      }
+      if (!appears) continue;
+      for (auto& c : w.cs) {
+        Step s = substituteInto(c, v, 1, {}, w.lo[v]);
+        if (s == Step::Unsat) return Step::Unsat;
+        if (s == Step::Unknown) return Step::Unknown;
+      }
+      changed = true;
+    }
+    // Unit-coefficient equality elimination (one per pass). Prefer
+    // unbounded vars: eliminating them costs nothing, while a bounded
+    // var leaves its bounds behind as inequalities.
+    std::size_t bestC = w.cs.size();
+    unsigned bestV = 0;
+    bool bestUnbounded = false;
+    for (std::size_t ci = 0; ci < w.cs.size(); ++ci) {
+      const Constraint& c = w.cs[ci];
+      if (c.rel != Rel::Eq) continue;
+      for (const auto& t : c.terms) {
+        if (t.coeff != 1 && t.coeff != -1) continue;
+        bool unb = w.lo[t.var] == kNegInf && w.hi[t.var] == kInf;
+        if (bestC == w.cs.size() || (unb && !bestUnbounded)) {
+          bestC = ci;
+          bestV = t.var;
+          bestUnbounded = unb;
+        }
+      }
+    }
+    if (bestC != w.cs.size()) {
+      Constraint eq = w.cs[bestC];
+      w.cs.erase(w.cs.begin() + static_cast<std::ptrdiff_t>(bestC));
+      int64_t a = 0;
+      std::vector<LinTerm> rest;
+      for (const auto& t : eq.terms) {
+        if (t.var == bestV) {
+          a = t.coeff;
+        } else {
+          rest.push_back(t);
+        }
+      }
+      // a*v + rest + k == 0  =>  v = -(rest + k)/a, a = +-1.
+      int64_t sign = a == 1 ? -1 : 1;
+      Work::Elim e;
+      e.kind = Work::Elim::Kind::Subst;
+      e.var = bestV;
+      e.sign = sign;
+      e.terms = rest;
+      e.constant = eq.constant;
+      // Keep the var's bounds as inequalities over the substituted form:
+      // lo <= sign*(rest+k) <= hi.
+      if (w.lo[bestV] != kNegInf) {
+        Constraint lb;  // lo - sign*(rest+k) <= 0
+        for (const auto& t : rest) lb.terms.push_back({t.var, -sign * t.coeff});
+        lb.constant = w.lo[bestV] - sign * eq.constant;
+        lb.rel = Rel::Le;
+        w.cs.push_back(std::move(lb));
+      }
+      if (w.hi[bestV] != kInf) {
+        Constraint ub;  // sign*(rest+k) - hi <= 0
+        for (const auto& t : rest) ub.terms.push_back({t.var, sign * t.coeff});
+        ub.constant = sign * eq.constant - w.hi[bestV];
+        ub.rel = Rel::Le;
+        w.cs.push_back(std::move(ub));
+      }
+      for (auto& c : w.cs) {
+        Step s = substituteInto(c, bestV, sign, rest, eq.constant);
+        if (s == Step::Unsat) return Step::Unsat;
+        if (s == Step::Unknown) return Step::Unknown;
+      }
+      // Mark eliminated: fully unconstrained from here on.
+      w.lo[bestV] = kNegInf;
+      w.hi[bestV] = kInf;
+      w.elims.push_back(std::move(e));
+      changed = true;
+    }
+    // Interval propagation.
+    for (const auto& c : w.cs) {
+      for (const auto& t : c.terms) {
+        // t.coeff * x <= / == -(k + sum of others): derive the extreme
+        // of the RHS from the other vars' bounds.
+        i128 restMax = -static_cast<i128>(c.constant);
+        i128 restMin = -static_cast<i128>(c.constant);
+        bool maxInf = false, minInf = false;
+        for (const auto& o : c.terms) {
+          if (o.var == t.var) continue;
+          int64_t olo = w.lo[o.var], ohi = w.hi[o.var];
+          if (o.coeff > 0) {
+            if (olo == kNegInf) maxInf = true;
+            else restMax -= static_cast<i128>(o.coeff) * olo;
+            if (ohi == kInf) minInf = true;
+            else restMin -= static_cast<i128>(o.coeff) * ohi;
+          } else {
+            if (ohi == kInf) maxInf = true;
+            else restMax -= static_cast<i128>(o.coeff) * ohi;
+            if (olo == kNegInf) minInf = true;
+            else restMin -= static_cast<i128>(o.coeff) * olo;
+          }
+        }
+        auto tightenHi = [&](i128 bound128) {
+          if (!fitsI64(bound128)) return;
+          int64_t b = static_cast<int64_t>(bound128);
+          int64_t nb = t.coeff > 0 ? floorDiv(b, t.coeff) : ceilDiv(b, t.coeff);
+          if (t.coeff > 0) {
+            if (nb < w.hi[t.var]) { w.hi[t.var] = nb; changed = true; }
+          } else {
+            if (nb > w.lo[t.var]) { w.lo[t.var] = nb; changed = true; }
+          }
+        };
+        auto tightenLo = [&](i128 bound128) {
+          if (!fitsI64(bound128)) return;
+          int64_t b = static_cast<int64_t>(bound128);
+          int64_t nb = t.coeff > 0 ? ceilDiv(b, t.coeff) : floorDiv(b, t.coeff);
+          if (t.coeff > 0) {
+            if (nb > w.lo[t.var]) { w.lo[t.var] = nb; changed = true; }
+          } else {
+            if (nb < w.hi[t.var]) { w.hi[t.var] = nb; changed = true; }
+          }
+        };
+        // coeff*x <= restMax always; for Eq also coeff*x >= restMin.
+        if (!maxInf) tightenHi(restMax);
+        if (c.rel == Rel::Eq && !minInf) tightenLo(restMin);
+        if (w.lo[t.var] > w.hi[t.var]) return Step::Unsat;
+      }
+    }
+    if (!changed) return Step::Ok;
+  }
+  return Step::Ok;  // pass cap: bounds are valid, DFS still decides
+}
+
+/// Fourier–Motzkin elimination of every unbounded variable that still
+/// appears in a constraint. Exact over rationals: an Unsat afterwards is
+/// an Unsat of the original; Sat requires integer reconstruction.
+Step fourierMotzkin(Work& w) {
+  for (;;) {
+    unsigned victim = 0;
+    bool found = false;
+    for (const auto& c : w.cs) {
+      for (const auto& t : c.terms) {
+        if (w.lo[t.var] == kNegInf || w.hi[t.var] == kInf) {
+          victim = t.var;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) return Step::Ok;
+    // Equalities with the victim must have been eliminated already; a
+    // surviving one has no unit coefficient anywhere.
+    for (const auto& c : w.cs) {
+      if (c.rel != Rel::Eq) continue;
+      for (const auto& t : c.terms) {
+        if (t.var == victim) {
+          w.note = "equality over unbounded variable without unit coefficient";
+          return Step::Unknown;
+        }
+      }
+    }
+    std::vector<Constraint> lower, upper, rest;
+    for (auto& c : w.cs) {
+      int64_t coeff = 0;
+      for (const auto& t : c.terms) {
+        if (t.var == victim) coeff = t.coeff;
+      }
+      if (coeff == 0) rest.push_back(std::move(c));
+      else if (coeff > 0) upper.push_back(std::move(c));
+      else lower.push_back(std::move(c));
+    }
+    // Propagation may have absorbed constraints into the victim's bounds
+    // (e.g. a singleton after fixing other vars). Materialize them so the
+    // combination step and reconstruction both see the full picture.
+    if (w.lo[victim] != kNegInf) {
+      lower.push_back({{{victim, -1}}, w.lo[victim], Rel::Le});
+      w.lo[victim] = kNegInf;
+    }
+    if (w.hi[victim] != kInf) {
+      upper.push_back({{{victim, 1}}, -w.hi[victim], Rel::Le});
+      w.hi[victim] = kInf;
+    }
+    Work::Elim e;
+    e.kind = Work::Elim::Kind::Fm;
+    e.var = victim;
+    e.involved = lower;
+    e.involved.insert(e.involved.end(), upper.begin(), upper.end());
+    if (rest.size() + lower.size() * upper.size() >
+        w.budget->maxFmConstraints) {
+      w.note = "Fourier-Motzkin growth cap";
+      return Step::Unknown;
+    }
+    for (const auto& l : lower) {
+      int64_t a = 0;  // < 0
+      for (const auto& t : l.terms) {
+        if (t.var == victim) a = t.coeff;
+      }
+      for (const auto& u : upper) {
+        int64_t b = 0;  // > 0
+        for (const auto& t : u.terms) {
+          if (t.var == victim) b = t.coeff;
+        }
+        // b*L + (-a)*U eliminates the victim.
+        Constraint c;
+        c.rel = Rel::Le;
+        for (const auto& t : l.terms) {
+          if (t.var == victim) continue;
+          i128 nc = static_cast<i128>(b) * t.coeff;
+          if (!fitsI64(nc)) { w.note = "coefficient overflow"; return Step::Unknown; }
+          c.terms.push_back({t.var, static_cast<int64_t>(nc)});
+        }
+        for (const auto& t : u.terms) {
+          if (t.var == victim) continue;
+          i128 nc = static_cast<i128>(-a) * t.coeff;
+          if (!fitsI64(nc)) { w.note = "coefficient overflow"; return Step::Unknown; }
+          c.terms.push_back({t.var, static_cast<int64_t>(nc)});
+        }
+        i128 nk = static_cast<i128>(b) * l.constant +
+                  static_cast<i128>(-a) * u.constant;
+        if (!fitsI64(nk)) { w.note = "coefficient overflow"; return Step::Unknown; }
+        c.constant = static_cast<int64_t>(nk);
+        Step s = normalizeConstraint(c);
+        if (s == Step::Unsat) return Step::Unsat;
+        if (s == Step::Unknown) return Step::Unknown;
+        if (!c.terms.empty()) rest.push_back(std::move(c));
+      }
+    }
+    w.cs = std::move(rest);
+    w.elims.push_back(std::move(e));
+    Step s = simplify(w);
+    if (s != Step::Ok) return s;
+  }
+}
+
+[[nodiscard]] bool evalHolds(const Constraint& c,
+                             const std::vector<int64_t>& model) {
+  i128 sum = c.constant;
+  for (const auto& t : c.terms) sum += static_cast<i128>(t.coeff) * model[t.var];
+  return c.rel == Rel::Eq ? sum == 0 : sum <= 0;
+}
+
+enum class Rebuild : std::uint8_t { Ok, Infeasible, Overflow };
+
+/// Reconstruct eliminated vars into `model` (reverse chronological).
+[[nodiscard]] Rebuild reconstruct(const Work& w,
+                                  std::vector<int64_t>& model) {
+  for (auto it = w.elims.rbegin(); it != w.elims.rend(); ++it) {
+    const auto& e = *it;
+    if (e.kind == Work::Elim::Kind::Subst) {
+      i128 v = e.constant;
+      for (const auto& t : e.terms) {
+        v += static_cast<i128>(t.coeff) * model[t.var];
+      }
+      v *= e.sign;
+      if (!fitsI64(v)) return Rebuild::Overflow;
+      model[e.var] = static_cast<int64_t>(v);
+      continue;
+    }
+    // Fm: intersect the intervals implied by the involved constraints.
+    int64_t lo = kNegInf, hi = kInf;
+    for (const auto& c : e.involved) {
+      int64_t a = 0;
+      i128 rest = c.constant;
+      for (const auto& t : c.terms) {
+        if (t.var == e.var) a = t.coeff;
+        else rest += static_cast<i128>(t.coeff) * model[t.var];
+      }
+      // a*x + rest <= 0  =>  a*x <= -rest.
+      if (!fitsI64(-rest)) return Rebuild::Overflow;
+      int64_t r = static_cast<int64_t>(-rest);
+      if (a > 0) hi = std::min(hi, floorDiv(r, a));
+      else lo = std::max(lo, ceilDiv(r, a));
+    }
+    if (lo > hi) return Rebuild::Infeasible;
+    model[e.var] = lo != kNegInf ? lo : (hi != kInf ? hi : 0);
+  }
+  return Rebuild::Ok;
+}
+
+Step dfs(Work& w, std::vector<int64_t>& model);
+
+/// Leaf: every var fixed. Verify constraints and reconstruct.
+Step tryLeaf(Work& w, std::vector<int64_t>& model) {
+  for (unsigned v = 0; v < w.lo.size(); ++v) {
+    model[v] = w.lo[v] == kNegInf ? (w.hi[v] == kInf ? 0 : w.hi[v]) : w.lo[v];
+  }
+  for (const auto& c : w.cs) {
+    if (!evalHolds(c, model)) return Step::Unsat;
+  }
+  switch (reconstruct(w, model)) {
+    case Rebuild::Ok: return Step::Ok;  // Ok == Sat here
+    case Rebuild::Overflow:
+      w.note = "reconstruction overflow";
+      return Step::Unknown;
+    case Rebuild::Infeasible: {
+      // With a single FM elimination the interval is exact, so an empty
+      // interval really is infeasible. With two or more, a different
+      // choice for a later var might have worked: stay conservative.
+      unsigned fmCount = 0;
+      for (const auto& e : w.elims) {
+        if (e.kind == Work::Elim::Kind::Fm) ++fmCount;
+      }
+      if (fmCount <= 1) return Step::Unsat;
+      w.note = "integer reconstruction after Fourier-Motzkin failed";
+      return Step::Unknown;
+    }
+  }
+  return Step::Unknown;
+}
+
+Step dfs(Work& w, std::vector<int64_t>& model) {
+  if (++*w.nodes > w.budget->maxNodes) {
+    w.note = "node budget exhausted";
+    return Step::Unknown;
+  }
+  // Propagate; prune on conflict.
+  {
+    Step s = simplify(w);
+    if (s == Step::Unsat) return Step::Unsat;
+    if (s == Step::Unknown) return Step::Unknown;
+  }
+  // Pick the unassigned constrained var with the smallest domain.
+  unsigned best = 0;
+  i128 bestWidth = -1;
+  for (const auto& c : w.cs) {
+    for (const auto& t : c.terms) {
+      unsigned v = t.var;
+      if (w.lo[v] == w.hi[v]) continue;
+      if (w.lo[v] == kNegInf || w.hi[v] == kInf) {
+        w.note = "unbounded variable reached search";
+        return Step::Unknown;
+      }
+      i128 width = static_cast<i128>(w.hi[v]) - w.lo[v];
+      if (bestWidth < 0 || width < bestWidth) {
+        bestWidth = width;
+        best = v;
+      }
+    }
+  }
+  if (bestWidth < 0) return tryLeaf(w, model);
+  if (bestWidth >= w.budget->maxDomain) {
+    w.note = "variable domain too wide";
+    return Step::Unknown;
+  }
+  bool sawUnknown = false;
+  for (int64_t v = w.lo[best]; v <= w.hi[best]; ++v) {
+    Work child = w;
+    child.lo[best] = v;
+    child.hi[best] = v;
+    Step s = dfs(child, model);
+    *w.nodes = *child.nodes;  // shared pointer, but note may differ
+    if (s == Step::Ok) {
+      w.elims = child.elims;  // reconstruction already folded into model
+      return Step::Ok;
+    }
+    if (s == Step::Unknown) {
+      w.note = child.note;
+      sawUnknown = true;
+      if (*w.nodes > w.budget->maxNodes) return Step::Unknown;
+    }
+  }
+  return sawUnknown ? Step::Unknown : Step::Unsat;
+}
+
+/// Decide one Ne-free case.
+Step solveCase(Work& w, std::vector<int64_t>& model) {
+  Step s = simplify(w);
+  if (s != Step::Ok) return s;
+  s = fourierMotzkin(w);
+  if (s != Step::Ok) return s;
+  return dfs(w, model);
+}
+
+}  // namespace
+
+const char* toString(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Unsat: return "unsat";
+    case SolveStatus::Sat: return "sat";
+    case SolveStatus::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+unsigned System::addVar(std::string name) {
+  names_.push_back(std::move(name));
+  lo_.push_back(0);
+  hi_.push_back(0);
+  has_lo_.push_back(0);
+  has_hi_.push_back(0);
+  return static_cast<unsigned>(names_.size() - 1);
+}
+
+unsigned System::addVar(std::string name, std::int64_t lo, std::int64_t hi) {
+  names_.push_back(std::move(name));
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  has_lo_.push_back(1);
+  has_hi_.push_back(1);
+  return static_cast<unsigned>(names_.size() - 1);
+}
+
+std::string System::str() const {
+  std::ostringstream os;
+  for (unsigned v = 0; v < numVars(); ++v) {
+    os << names_[v];
+    if (has_lo_[v] != 0 || has_hi_[v] != 0) {
+      os << " in [" << (has_lo_[v] != 0 ? std::to_string(lo_[v]) : "-inf")
+         << ", " << (has_hi_[v] != 0 ? std::to_string(hi_[v]) : "inf") << "]";
+    }
+    os << (v + 1 < numVars() ? "; " : "\n");
+  }
+  for (const auto& c : constraints_) {
+    bool first = true;
+    for (const auto& t : c.terms) {
+      if (!first) os << " + ";
+      first = false;
+      if (t.coeff != 1) os << t.coeff << "*";
+      os << names_[t.var];
+    }
+    if (c.constant != 0 || first) {
+      if (!first) os << " + ";
+      os << c.constant;
+    }
+    os << (c.rel == Rel::Eq ? " == 0" : c.rel == Rel::Le ? " <= 0" : " != 0")
+       << "\n";
+  }
+  return os.str();
+}
+
+SolveResult solve(const System& system, const SolveBudget& budget) {
+  SolveResult result;
+  std::vector<const Constraint*> nes;
+  std::vector<Constraint> base;
+  for (const auto& c : system.constraints()) {
+    if (c.rel == Rel::Ne) nes.push_back(&c);
+    else base.push_back(c);
+  }
+  if (nes.size() > budget.maxNeSplits) {
+    result.status = SolveStatus::Unknown;
+    result.note = "too many disequalities";
+    return result;
+  }
+  std::uint64_t nodes = 0;
+  bool sawUnknown = false;
+  std::string note;
+  const auto cases = std::uint64_t{1} << nes.size();
+  for (std::uint64_t mask = 0; mask < cases; ++mask) {
+    Work w;
+    w.sys = &system;
+    w.budget = &budget;
+    w.nodes = &nodes;
+    w.cs = base;
+    for (std::size_t i = 0; i < nes.size(); ++i) {
+      Constraint c;
+      c.rel = Rel::Le;
+      if ((mask >> i & 1) == 0) {
+        // sum + k <= -1
+        c.terms = nes[i]->terms;
+        c.constant = nes[i]->constant + 1;
+      } else {
+        // sum + k >= 1  =>  -sum - k + 1 <= 0
+        for (const auto& t : nes[i]->terms) c.terms.push_back({t.var, -t.coeff});
+        c.constant = -nes[i]->constant + 1;
+      }
+      w.cs.push_back(std::move(c));
+    }
+    w.lo.resize(system.numVars());
+    w.hi.resize(system.numVars());
+    for (unsigned v = 0; v < system.numVars(); ++v) {
+      w.lo[v] = system.hasLo(v) ? system.lo(v) : kNegInf;
+      w.hi[v] = system.hasHi(v) ? system.hi(v) : kInf;
+      if (w.lo[v] > w.hi[v]) {
+        result.status = SolveStatus::Unsat;
+        return result;
+      }
+    }
+    std::vector<int64_t> model(system.numVars(), 0);
+    Step s = solveCase(w, model);
+    if (s == Step::Ok) {
+      // Final guard: a Sat verdict is only ever returned with a model that
+      // provably satisfies the original system. A reconstruction defect
+      // degrades to Unknown instead of an unsound witness.
+      bool valid = true;
+      for (unsigned v = 0; v < system.numVars() && valid; ++v) {
+        if (system.hasLo(v) && model[v] < system.lo(v)) valid = false;
+        if (system.hasHi(v) && model[v] > system.hi(v)) valid = false;
+      }
+      for (const auto& c : system.constraints()) {
+        if (!valid) break;
+        i128 sum = c.constant;
+        for (const auto& t : c.terms)
+          sum += static_cast<i128>(t.coeff) * model[t.var];
+        valid = c.rel == Rel::Eq   ? sum == 0
+                : c.rel == Rel::Le ? sum <= 0
+                                   : sum != 0;
+      }
+      if (valid) {
+        result.status = SolveStatus::Sat;
+        result.model = std::move(model);
+        result.nodes = nodes;
+        return result;
+      }
+      sawUnknown = true;
+      note = "model failed final verification";
+      continue;
+    }
+    if (s == Step::Unknown) {
+      sawUnknown = true;
+      note = w.note;
+    }
+  }
+  result.status = sawUnknown ? SolveStatus::Unknown : SolveStatus::Unsat;
+  result.note = note;
+  result.nodes = nodes;
+  return result;
+}
+
+}  // namespace grover::sym

@@ -1,0 +1,104 @@
+// Linear-integer solver for the symbolic race prover (DESIGN.md §13).
+//
+// Decides conjunctions of linear equalities, inequalities and
+// disequalities over integer variables with optional inclusive bounds —
+// the obligation systems the prover emits are tiny (a dozen variables,
+// coefficients that are tile sizes and pitches), so a complete decision
+// procedure for the bounded case is affordable: GCD divisibility tests
+// and unit-coefficient equality elimination first, Fourier–Motzkin for
+// the unbounded variables (sound for Unsat only), then depth-first
+// search with interval propagation over the bounded variables, which is
+// exhaustive up to the node budget. Every verdict is conservative:
+// Unsat and Sat are exact, anything the procedure cannot decide within
+// its budgets is Unknown, never a guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace grover::sym {
+
+/// sum(coeff * var) + constant REL 0.
+enum class Rel : std::uint8_t {
+  Eq,  // == 0
+  Le,  // <= 0
+  Ne,  // != 0 (expanded by case split inside the solver)
+};
+
+struct LinTerm {
+  unsigned var = 0;
+  std::int64_t coeff = 0;
+};
+
+struct Constraint {
+  std::vector<LinTerm> terms;
+  std::int64_t constant = 0;
+  Rel rel = Rel::Eq;
+};
+
+enum class SolveStatus : std::uint8_t { Unsat, Sat, Unknown };
+[[nodiscard]] const char* toString(SolveStatus s);
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::Unknown;
+  /// One value per variable when status == Sat (unconstrained variables
+  /// get their lower bound, or 0 when unbounded).
+  std::vector<std::int64_t> model;
+  /// Why the solver gave up (status == Unknown).
+  std::string note;
+  std::uint64_t nodes = 0;  // DFS nodes explored
+};
+
+/// A conjunction of constraints over integer variables.
+class System {
+ public:
+  /// Unbounded integer variable.
+  unsigned addVar(std::string name);
+  /// Variable with inclusive bounds lo <= x <= hi.
+  unsigned addVar(std::string name, std::int64_t lo, std::int64_t hi);
+
+  void add(Constraint c) { constraints_.push_back(std::move(c)); }
+  /// Convenience: sum(terms) + constant REL 0.
+  void add(std::vector<LinTerm> terms, std::int64_t constant, Rel rel) {
+    constraints_.push_back({std::move(terms), constant, rel});
+  }
+
+  [[nodiscard]] unsigned numVars() const {
+    return static_cast<unsigned>(names_.size());
+  }
+  [[nodiscard]] const std::string& varName(unsigned v) const {
+    return names_[v];
+  }
+  [[nodiscard]] bool hasLo(unsigned v) const { return has_lo_[v] != 0; }
+  [[nodiscard]] bool hasHi(unsigned v) const { return has_hi_[v] != 0; }
+  [[nodiscard]] std::int64_t lo(unsigned v) const { return lo_[v]; }
+  [[nodiscard]] std::int64_t hi(unsigned v) const { return hi_[v]; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Render the system for reports/debugging.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::int64_t> lo_, hi_;
+  std::vector<std::uint8_t> has_lo_, has_hi_;
+  std::vector<Constraint> constraints_;
+};
+
+struct SolveBudget {
+  std::uint64_t maxNodes = 200000;   // DFS nodes across all Ne cases
+  unsigned maxNeSplits = 8;          // Ne constraints expanded by case split
+  unsigned maxFmConstraints = 400;   // Fourier–Motzkin growth cap
+  std::int64_t maxDomain = 1 << 14;  // widest branchable variable domain
+};
+
+/// Decide the system. Complete (Sat/Unsat) when every variable is
+/// bounded and the search fits the budget; degrades to Unknown otherwise.
+[[nodiscard]] SolveResult solve(const System& system,
+                                const SolveBudget& budget = {});
+
+}  // namespace grover::sym

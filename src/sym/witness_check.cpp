@@ -1,0 +1,115 @@
+#include "sym/witness_check.h"
+
+#include <cstdint>
+#include <sstream>
+#include <variant>
+
+#include "rt/trace.h"
+#include "support/diagnostics.h"
+
+namespace grover::sym {
+
+ProveOptions proveOptionsForLaunch(const rt::NDRange& range,
+                                   const std::vector<rt::KernelArg>& args) {
+  ProveOptions opt;
+  opt.localSize = range.local;
+  opt.numGroups = range.numGroups();
+  for (unsigned i = 0; i < args.size(); ++i) {
+    if (const auto* v = std::get_if<std::int64_t>(&args[i].value))
+      opt.intArgs.emplace_back(i, *v);
+  }
+  return opt;
+}
+
+WitnessCheck confirmWitness(ir::Function& fn, const RaceWitness& witness,
+                            const rt::NDRange& range,
+                            const std::vector<rt::KernelArg>& args) {
+  WitnessCheck out;
+  const auto& L = range.local;
+  auto linearItem = [&](const WitnessItem& it) -> std::int64_t {
+    for (unsigned d = 0; d < 3; ++d)
+      if (it.localId[d] < 0 ||
+          it.localId[d] >= static_cast<std::int64_t>(L[d]))
+        return -1;
+    return it.localId[0] + it.localId[1] * L[0] +
+           it.localId[2] * L[0] * L[1];
+  };
+  const std::int64_t i1 = linearItem(witness.item1);
+  const std::int64_t i2 = linearItem(witness.item2);
+  if (i1 < 0 || i2 < 0) {
+    out.detail = "witness local ids outside the launch geometry";
+    return out;
+  }
+  if (i1 == i2) {
+    out.detail = "witness items are the same work-item";
+    return out;
+  }
+
+  const auto groups = range.numGroups();
+  std::array<std::uint32_t, 3> gid{};
+  for (unsigned d = 0; d < 3; ++d) {
+    if (witness.groupId[d] < 0 ||
+        witness.groupId[d] >= static_cast<std::int64_t>(groups[d])) {
+      out.detail = "witness group id outside the launch geometry";
+      return out;
+    }
+    gid[d] = static_cast<std::uint32_t>(witness.groupId[d]);
+  }
+
+  rt::GroupTrace trace;
+  try {
+    rt::KernelImage image(fn, range, args);
+    rt::GroupExecutor exec(image);
+    exec.setTrace(&trace);
+    exec.runGroup(gid);
+  } catch (const GroverError& e) {
+    out.detail = std::string("interpreter failed: ") + e.what();
+    return out;
+  }
+
+  // Phase of access k = number of completed barriers before it.
+  struct Ev {
+    const rt::MemAccess* a;
+    std::uint32_t phase;
+  };
+  std::vector<Ev> of1, of2;
+  std::size_t nextBarrier = 0;
+  std::uint32_t phase = 0;
+  for (std::size_t k = 0; k < trace.accesses.size(); ++k) {
+    while (nextBarrier < trace.barriers.size() &&
+           trace.barriers[nextBarrier] == k) {
+      ++phase;
+      ++nextBarrier;
+    }
+    const rt::MemAccess& a = trace.accesses[k];
+    if (a.space == ir::AddrSpace::Private) continue;
+    if (a.workItem == static_cast<std::uint32_t>(i1))
+      of1.push_back({&a, phase});
+    if (a.workItem == static_cast<std::uint32_t>(i2))
+      of2.push_back({&a, phase});
+  }
+
+  for (const Ev& e1 : of1) {
+    for (const Ev& e2 : of2) {
+      if (e1.phase != e2.phase) continue;
+      if (e1.a->space != e2.a->space) continue;
+      if (!e1.a->isWrite && !e2.a->isWrite) continue;
+      const bool overlap = e1.a->address < e2.a->address + e2.a->size &&
+                           e2.a->address < e1.a->address + e1.a->size;
+      if (!overlap) continue;
+      std::ostringstream os;
+      os << "collision confirmed: items " << i1 << " and " << i2
+         << " both touch "
+         << (e1.a->space == ir::AddrSpace::Local ? "local" : "global")
+         << " address " << e1.a->address << " in phase " << e1.phase
+         << (e1.a->isWrite || e2.a->isWrite ? " (write involved)" : "");
+      out.confirmed = true;
+      out.detail = os.str();
+      return out;
+    }
+  }
+  out.detail = "no same-phase overlapping access pair between the items";
+  return out;
+}
+
+}  // namespace grover::sym

@@ -1,0 +1,36 @@
+// Concrete confirmation of prover refutations (DESIGN.md §13).
+//
+// A Refuted verdict is only trusted end-to-end after the decoded
+// interpreter executes the witness work-group and the two named items
+// really do touch the same address in the same barrier interval with at
+// least one write. groverfuzz --prove and the CI prove-sweep fail hard
+// on a witness the interpreter contradicts — that would be a prover bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "rt/interpreter.h"
+#include "rt/ndrange.h"
+#include "sym/prover.h"
+
+namespace grover::sym {
+
+struct WitnessCheck {
+  bool confirmed = false;
+  std::string detail;
+};
+
+/// Execute the witness's work-group concretely and look for a same-phase
+/// overlapping access pair (>= 1 write) between the two witness items.
+[[nodiscard]] WitnessCheck confirmWitness(
+    ir::Function& fn, const RaceWitness& witness, const rt::NDRange& range,
+    const std::vector<rt::KernelArg>& args);
+
+/// ProveOptions matching a concrete launch: geometry from the range,
+/// integer scalar arguments bound to their launch values.
+[[nodiscard]] ProveOptions proveOptionsForLaunch(
+    const rt::NDRange& range, const std::vector<rt::KernelArg>& args);
+
+}  // namespace grover::sym

@@ -56,10 +56,25 @@ TEST(NetBatch, TooManyArgumentsIsRejected) {
       << e.error;
 }
 
-TEST(NetBatch, ClPathTakesNoArguments) {
-  const BatchEntry e = parseRequestLine("kernel.cl SNB");
+// The multi-kernel satellite: a second word on a `.cl` line names the
+// kernel to serve out of a multi-kernel file.
+TEST(NetBatch, ClPathTakesAnOptionalKernelName) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("net_batch_name_" + std::to_string(::getpid()) + ".cl");
+  std::ofstream(path, std::ios::trunc)
+      << "__kernel void k(__global int* a) { a[0] = 1; }\n"
+      << "__kernel void other(__global int* a) { a[0] = 2; }\n";
+  const BatchEntry e = parseRequestLine(path.string() + " other");
+  ASSERT_TRUE(e.valid) << e.error;
+  EXPECT_EQ(e.request.kernelName, "other");
+  fs::remove(path);
+}
+
+TEST(NetBatch, ClPathRejectsMoreThanTwoWords) {
+  const BatchEntry e = parseRequestLine("kernel.cl name extra");
   EXPECT_FALSE(e.valid);
-  EXPECT_NE(e.error.find("no further arguments"), std::string::npos)
+  EXPECT_NE(e.error.find("too many arguments"), std::string::npos)
       << e.error;
 }
 

@@ -177,6 +177,8 @@ grover::net::StatsFrame sampleStatsFrame() {
   f.measurements = 41;
   f.measurementsDropped = 5;
   f.measureQueueBacklog = 11;
+  f.proofsRun = 17;
+  f.proofsRefuted = 4;
   std::uint64_t v = 100;
   const auto fill = [&v](grover::net::StatsCounters& c) {
     c.connectionsAccepted = v++;
@@ -203,9 +205,9 @@ grover::net::StatsFrame sampleStatsFrame() {
 TEST(NetWire, StatsFrameRoundTrips) {
   const grover::net::StatsFrame original = sampleStatsFrame();
   const std::string bytes = grover::net::encodeStatsFrame(original);
-  // 4-byte header, 7 u64 health fields, then 13 u64 counters for the
-  // totals and each of the two shards.
-  EXPECT_EQ(bytes.size(), 4 + 7 * 8 + 3 * (13 * 8));
+  // 4-byte header, 9 u64 health fields (v2 added the two proof gauges),
+  // then 13 u64 counters for the totals and each of the two shards.
+  EXPECT_EQ(bytes.size(), 4 + 9 * 8 + 3 * (13 * 8));
 
   grover::net::StatsFrame decoded;
   std::string error;

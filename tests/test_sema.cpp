@@ -49,6 +49,23 @@ TEST(Sema, KernelMustReturnVoid) {
   EXPECT_NE(checkSource("__kernel int k() { return 1; }"), "");
 }
 
+TEST(Sema, DuplicateKernelNamesAreRejected) {
+  const std::string diags = checkSource(R"(
+__kernel void k(__global float* out) { out[0] = 1.0f; }
+__kernel void k(__global float* out) { out[0] = 2.0f; }
+)");
+  EXPECT_NE(diags.find("redefinition of function 'k'"), std::string::npos)
+      << diags;
+}
+
+TEST(Sema, DistinctKernelNamesInOneFileAreFine) {
+  EXPECT_EQ(checkSource(R"(
+__kernel void a(__global float* out) { out[0] = 1.0f; }
+__kernel void b(__global float* out) { out[0] = 2.0f; }
+)"),
+            "");
+}
+
 TEST(Sema, KernelPointerParamNeedsAddressSpace) {
   EXPECT_NE(checkSource("__kernel void k(float* p) { }"), "");
   EXPECT_EQ(checkSource("__kernel void k(__global float* p) { }"), "");

@@ -47,6 +47,8 @@
 #include "perf/platform.h"
 #include "policy/policy_store.h"
 #include "service/compile_service.h"
+#include "sym/prover.h"
+#include "sym/witness_check.h"
 #include "support/diagnostics.h"
 #include "support/io.h"
 #include "support/str.h"
@@ -65,6 +67,18 @@ void usage() {
       "  --validate        run the post-Grover semantic validator (and the\n"
       "                    IR verifier after every stage); fails on any\n"
       "                    violation\n"
+      "  --prove           run the symbolic barrier/race prover on every\n"
+      "                    kernel before and after the transform; a\n"
+      "                    transform that turns a race-free kernel into a\n"
+      "                    refuted one is vetoed (exit 1). With\n"
+      "                    --serve-batch the veto serves the original\n"
+      "                    instead\n"
+      "  --prove-apps      prove every built-in Table I application\n"
+      "                    (original + transformed, real launch geometry);\n"
+      "                    exit 1 on a refuted original or a witness the\n"
+      "                    interpreter contradicts — the CI prove-sweep\n"
+      "  --prove-report=<f> with --prove-apps: write the full symbolic\n"
+      "                    reports to <f> (CI artifact)\n"
       "  --before          also print the IR before the transformation\n"
       "  --report-only     print the index report, no IR\n"
       "  --analyze         only classify local-memory usage, no transform\n"
@@ -92,6 +106,10 @@ void usage() {
       "                    engine: warm per-kernel/per-platform decisions\n"
       "                    compile only the winning variant\n"
       "  --policy-dir=DIR  persist policy decisions on disk (with --auto)\n"
+      "  --policy-horizon-ms=<ms>  with --auto: confidence half-life of\n"
+      "                    stored decisions; stale contradicted entries\n"
+      "                    re-measure instead of being trusted (default\n"
+      "                    0 = no decay)\n"
       "  --measure-rate=<f> with --auto: execute this fraction (0..1] of\n"
       "                    served requests for real and fold the measured\n"
       "                    np back into the decision store\n"
@@ -213,6 +231,96 @@ int runAppComparison(const std::string& appId, const std::string& platform,
 }
 
 using grover::net::BatchEntry;
+
+/// The CI prove-sweep (--prove-apps): prove every built-in application's
+/// kernel — original and transformed — under its real launch geometry.
+/// Failure conditions are prover *bugs*, not kernel properties: a
+/// Refuted original (every Table I kernel is race-free by construction)
+/// or a Refuted witness the decoded interpreter cannot reproduce. A
+/// Refuted transformed kernel is the veto working as designed and only
+/// reported.
+int runProveApps(const std::string& reportPath,
+                 const std::string& scaleName) {
+  namespace sym = grover::sym;
+  const grover::apps::Scale scale = scaleName == "test"
+                                        ? grover::apps::Scale::Test
+                                        : grover::apps::Scale::Bench;
+  std::ostringstream report;
+  std::size_t proved = 0, unknown = 0, refutedOriginals = 0,
+              refutedTransforms = 0, contradicted = 0;
+  for (const auto& app : grover::apps::allApplications()) {
+    const grover::apps::Instance instance = app->makeInstance(scale);
+    const sym::ProveOptions popts =
+        sym::proveOptionsForLaunch(instance.range, instance.args);
+
+    grover::Program original = grover::compile(app->source());
+    grover::ir::Function* origKernel = original.kernel(app->kernelName());
+    const sym::SymbolicReport orig =
+        sym::proveRaceFreedom(*origKernel, popts);
+
+    grover::Program transformed = grover::compile(app->source());
+    grover::ir::Function* transKernel =
+        transformed.kernel(app->kernelName());
+    grover::grv::GroverOptions gopts;
+    gopts.onlyBuffers = app->buffersToDisable();
+    (void)grover::grv::runGrover(*transKernel, gopts);
+    const sym::SymbolicReport trans =
+        sym::proveRaceFreedom(*transKernel, popts);
+
+    std::cout << app->id() << ": original " << orig.summary()
+              << "; transformed " << trans.summary() << "\n";
+    report << "=== " << app->id() << " ===\n--- original ---\n"
+           << orig.str() << "--- transformed ---\n" << trans.str();
+
+    switch (orig.status) {
+      case sym::ProofStatus::Proved: ++proved; break;
+      case sym::ProofStatus::Refuted: ++refutedOriginals; break;
+      default: ++unknown; break;
+    }
+    if (orig.status == sym::ProofStatus::Refuted) {
+      std::cerr << "groverc: PROVER BUG: original kernel of " << app->id()
+                << " was refuted — Table I kernels are race-free\n";
+    }
+    if (trans.status == sym::ProofStatus::Refuted) ++refutedTransforms;
+
+    // Every witness must reproduce on the decoded interpreter; one that
+    // does not is an unsound refutation.
+    const auto crossCheck = [&](const sym::SymbolicReport& r,
+                                grover::ir::Function& fn,
+                                const char* which) {
+      if (r.status != sym::ProofStatus::Refuted || !r.witness) return;
+      const sym::WitnessCheck check = sym::confirmWitness(
+          fn, *r.witness, instance.range, instance.args);
+      report << which << " witness check: "
+             << (check.confirmed ? "confirmed" : "CONTRADICTED") << " ("
+             << check.detail << ")\n";
+      if (!check.confirmed) {
+        ++contradicted;
+        std::cerr << "groverc: PROVER BUG: " << which << " witness of "
+                  << app->id() << " contradicted by the interpreter: "
+                  << check.detail << "\n";
+      }
+    };
+    crossCheck(orig, *origKernel, "original");
+    crossCheck(trans, *transKernel, "transformed");
+  }
+
+  std::cout << "\nprove-sweep: " << proved << " proved, " << unknown
+            << " unknown, " << refutedOriginals << " refuted originals, "
+            << refutedTransforms << " refuted transforms (vetoed), "
+            << contradicted << " contradicted witnesses\n";
+  if (!reportPath.empty()) {
+    std::ofstream out(reportPath, std::ios::trunc);
+    out << report.str();
+    if (!out.good()) {
+      std::cerr << "groverc: cannot write report to '" << reportPath
+                << "'\n";
+      return 1;
+    }
+    std::cout << "report written to " << reportPath << "\n";
+  }
+  return (refutedOriginals > 0 || contradicted > 0) ? 1 : 0;
+}
 
 /// Ship a serve-batch file to a running groverd daemon (--connect).
 /// Request lines go over the wire verbatim — the daemon parses them with
@@ -380,7 +488,8 @@ int runConnectStats(const std::string& spec, bool json) {
 int runServeBatch(const std::string& file, unsigned threads, int repeat,
                   std::size_t cacheMb, const std::string& cacheDir,
                   bool autoPolicy, const std::string& policyDir,
-                  double measureRate) {
+                  double measureRate, bool prove,
+                  std::uint64_t policyHorizonMs) {
   namespace svc = grover::service;
   std::string contents;
   if (std::string err; !readTextFile(file, contents, err)) {
@@ -392,6 +501,11 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
     std::cerr << "groverc: '" << file << "' contains no requests\n";
     return 1;
   }
+  if (prove) {
+    // Same rule as groverd --prove: proving is a serving-side policy,
+    // applied to every request line.
+    for (BatchEntry& e : entries) e.request.options.prove = true;
+  }
 
   svc::ServiceConfig config;
   config.workers = threads;
@@ -399,6 +513,7 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
   config.cache.diskDir = cacheDir;
   config.policyStore.diskDir = policyDir;
   config.measureRate = measureRate;
+  config.policyDecayHorizonMs = policyHorizonMs;
   svc::CompileService service(config);
   if (measureRate > 0) {
     const grover::native::NativeEngine& engine =
@@ -487,6 +602,7 @@ int runServeBatch(const std::string& file, unsigned threads, int repeat,
   grover::net::StatsRenderOptions statsOpts;
   statsOpts.policy = autoPolicy;
   statsOpts.measure = measureRate > 0;
+  statsOpts.prove = prove;
   std::cout << grover::net::renderStats(s, statsOpts);
 
   for (const BatchEntry& e : entries) {
@@ -519,6 +635,9 @@ int main(int argc, char** argv) {
   bool nativeExec = false;
   bool statsMode = false;
   bool statsJson = false;
+  bool proveApps = false;
+  std::string proveReport;
+  std::uint64_t policyHorizonMs = 0;
   double measureRate = 0;
   grover::grv::GroverOptions options;
   bool showBefore = false;
@@ -537,6 +656,14 @@ int main(int argc, char** argv) {
       options.cleanup = false;
     } else if (arg == "--validate") {
       options.validate = true;
+    } else if (arg == "--prove") {
+      options.prove = true;
+    } else if (arg == "--prove-apps") {
+      proveApps = true;
+    } else if (arg.rfind("--prove-report=", 0) == 0) {
+      proveReport = arg.substr(15);
+    } else if (arg.rfind("--policy-horizon-ms=", 0) == 0) {
+      policyHorizonMs = parseCountFlag("--policy-horizon-ms", arg.substr(20));
     } else if (arg == "--before") {
       showBefore = true;
     } else if (arg == "--report-only") {
@@ -618,6 +745,14 @@ int main(int argc, char** argv) {
     std::cerr << "groverc: --auto requires --serve-batch\n";
     return 1;
   }
+  if (!proveReport.empty() && !proveApps) {
+    std::cerr << "groverc: --prove-report requires --prove-apps\n";
+    return 1;
+  }
+  if (policyHorizonMs > 0 && !autoPolicy) {
+    std::cerr << "groverc: --policy-horizon-ms requires --auto\n";
+    return 1;
+  }
   if (measureRate > 0 && !autoPolicy) {
     std::cerr << "groverc: --measure-rate requires --auto\n";
     return 1;
@@ -655,12 +790,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (proveApps) {
+      return runProveApps(proveReport, scaleName);
+    }
     if (!batchFile.empty()) {
       if (!connectSpec.empty()) {
         return runConnectBatch(batchFile, connectSpec, repeat, autoPolicy);
       }
       return runServeBatch(batchFile, threads, repeat, cacheMb, cacheDir,
-                           autoPolicy, policyDir, measureRate);
+                           autoPolicy, policyDir, measureRate,
+                           options.prove, policyHorizonMs);
     }
     if (!appId.empty()) {
       return runAppComparison(appId, platformName, scaleName, threads,
@@ -680,6 +819,7 @@ int main(int argc, char** argv) {
 
     grover::Program program = grover::compile(source);
     bool anyKernel = false;
+    bool anyVeto = false;
     for (const auto& fn : program.module->functions()) {
       if (!fn->isKernel()) continue;
       if (!kernelName.empty() && fn->name() != kernelName) continue;
@@ -692,8 +832,33 @@ int main(int argc, char** argv) {
       if (showBefore) {
         std::cout << "--- before ---\n" << grover::ir::printFunction(*fn);
       }
+      // Prove the original before the in-place transform consumes it.
+      // No launch geometry is available for a raw source; the inferred
+      // per-kernel geometry (computed once, before the transform) keeps
+      // the two proofs comparable for the veto check.
+      grover::sym::SymbolicReport proofBefore;
+      grover::sym::ProveOptions proveOpts;
+      if (options.prove) {
+        proveOpts = grover::sym::proveOptionsForKernel(*fn);
+        proofBefore = grover::sym::proveRaceFreedom(*fn, proveOpts);
+        std::cout << "proof (original): " << proofBefore.summary() << "\n";
+      }
       const auto result = grover::grv::runGrover(*fn, options);
       printReport(result);
+      if (options.prove) {
+        const grover::sym::SymbolicReport proofAfter =
+            grover::sym::proveRaceFreedom(*fn, proveOpts);
+        std::cout << "proof (transformed): " << proofAfter.summary()
+                  << "\n";
+        if (proofBefore.status != grover::sym::ProofStatus::Refuted &&
+            proofAfter.status == grover::sym::ProofStatus::Refuted) {
+          anyVeto = true;
+          std::cerr << "groverc: transform vetoed for kernel '"
+                    << fn->name()
+                    << "': the transformed IR has a provable race the "
+                       "original does not\n";
+        }
+      }
       if (!reportOnly) {
         std::cout << "--- after ---\n" << grover::ir::printFunction(*fn);
       }
@@ -702,6 +867,7 @@ int main(int argc, char** argv) {
       std::cerr << "no matching kernel found\n";
       return 1;
     }
+    if (anyVeto) return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -9,6 +9,7 @@
 //           [--loop-shards=N] [--max-queue=N] [--client-credits=N]
 //           [--cache-mb=M] [--cache-dir=DIR] [--policy-dir=DIR]
 //           [--measure-rate=<f>] [--measure-queue-depth=N]
+//           [--prove] [--policy-horizon-ms=N]
 //           [--idle-timeout-ms=N] [--health-interval=N]
 //           [--version] [--help]
 //
@@ -74,6 +75,14 @@ void usage() {
       "                      queue of this depth instead of on the\n"
       "                      request path; excess samples are dropped\n"
       "                      (default 64; 0 = measure inline)\n"
+      "  --prove             run the symbolic race prover on every\n"
+      "                      request; a transform whose original was\n"
+      "                      race-free but whose transformed IR has a\n"
+      "                      provable race is vetoed (original served)\n"
+      "  --policy-horizon-ms=N\n"
+      "                      decay warm decision confidence with age\n"
+      "                      (half-life N ms) and re-measure stale\n"
+      "                      contradicted entries (default 0 = off)\n"
       "  --idle-timeout-ms=N close connections idle for N ms (default\n"
       "                      60000; 0 disables)\n"
       "  --health-interval=N log a one-line binary-stats health summary\n"
@@ -157,6 +166,11 @@ int main(int argc, char** argv) {
                   << "' (expected a number in (0, 1])\n";
         return 1;
       }
+    } else if (arg == "--prove") {
+      serverConfig.prove = true;
+    } else if (arg.rfind("--policy-horizon-ms=", 0) == 0) {
+      serviceConfig.policyDecayHorizonMs = parseCountFlag(
+          "--policy-horizon-ms", arg.substr(20), /*allowZero=*/true);
     } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
       serverConfig.idleTimeoutMs = static_cast<int>(parseCountFlag(
           "--idle-timeout-ms", arg.substr(18), /*allowZero=*/true));

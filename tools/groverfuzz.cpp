@@ -1,8 +1,8 @@
 // groverfuzz — differential kernel fuzzer for the Grover transform.
 //
 // Usage:
-//   groverfuzz [--seeds=N] [--seed=S] [--validate] [--native]
-//              [--out-dir=DIR] [--verbose]
+//   groverfuzz [--seeds=N] [--seed=S] [--validate] [--native] [--prove]
+//              [--mine=DIR] [--out-dir=DIR] [--verbose]
 //
 // Each seed deterministically generates one staging kernel (plus near-miss
 // variants Grover must reject), compiles it with and without the Grover
@@ -10,17 +10,37 @@
 // tree-walking reference oracle, and requires all outputs to be
 // bit-identical. Failures are greedily shrunk to a minimal kernel and
 // written to --out-dir as an on-disk reproducer.
+//
+// --prove additionally runs the symbolic race prover on every generated
+// original under its real launch geometry and cross-checks the verdict
+// against the family contract: Race-family kernels are genuinely racy, so
+// a Proved verdict there is a soundness bug, and every Refuted witness is
+// re-executed concretely on the decoded interpreter — a witness the
+// interpreter contradicts is a prover bug and fails the run.
+//
+// --mine=DIR turns the fuzzer into a corpus miner: kernels whose policy
+// feature vector lands in a cell no previously mined kernel occupies are
+// written to DIR as mined_<key>.cl; the seen-set persists in DIR/seen.txt
+// so repeated runs keep extending coverage instead of re-mining it.
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "check/differential.h"
 #include "check/kernel_gen.h"
+#include "grovercl/compiler.h"
 #include "native/engine.h"
+#include "policy/features.h"
+#include "rt/interpreter.h"
+#include "sym/prover.h"
+#include "sym/witness_check.h"
 
 namespace {
 
@@ -39,9 +59,180 @@ void usage() {
       "                the JIT-compiled native backend and require\n"
       "                bit-identity with the decoded interpreter (skipped\n"
       "                with a warning when no system C compiler is found)\n"
+      "  --prove       run the symbolic race prover on every generated\n"
+      "                original; Race-family kernels must not come back\n"
+      "                Proved, any other family must not come back Refuted,\n"
+      "                and every Refuted witness must be confirmed by\n"
+      "                concrete execution on the decoded interpreter\n"
+      "  --mine=DIR    corpus miner: keep kernels whose policy feature\n"
+      "                vector hits a cell no mined kernel has hit before\n"
+      "                (seen-set persisted in DIR/seen.txt)\n"
       "  --out-dir=DIR where to write shrunk reproducers (default: .)\n"
       "  --verbose     print one line per seed\n";
 }
+
+/// Prover leg bookkeeping for one fuzz run.
+struct ProveStats {
+  unsigned proved = 0;
+  unsigned refuted = 0;
+  unsigned unknown = 0;
+  unsigned confirmedWitnesses = 0;
+  unsigned failures = 0;
+};
+
+/// Prove the original of one generated kernel under its real launch
+/// geometry and check the verdict against the family contract. Returns
+/// false (and prints a diagnostic) on a contract violation or a witness
+/// the interpreter contradicts.
+bool proveSeed(const GeneratedKernel& kernel, ProveStats& stats,
+               bool verbose) {
+  namespace sym = grover::sym;
+  namespace rt = grover::rt;
+  grover::Program program = grover::compile(kernel.source);
+  grover::ir::Function* fn = nullptr;
+  for (const auto& f : program.module->functions()) {
+    if (f->isKernel() && f->name() == kernel.kernelName) {
+      fn = f.get();
+      break;
+    }
+  }
+  if (fn == nullptr) {
+    ++stats.failures;
+    std::cout << "seed " << kernel.spec.seed
+              << ": PROVE FAIL kernel '" << kernel.kernelName
+              << "' not found after compile\n";
+    return false;
+  }
+  rt::NDRange range;
+  range.dims = kernel.dims;
+  range.global = kernel.global;
+  range.local = kernel.local;
+  range.validate();
+  const std::vector<float> input = grover::check::makeInput(kernel);
+  rt::Buffer in = rt::Buffer::fromVector(input);
+  rt::Buffer out = rt::Buffer::zeros<float>(kernel.ioFloats);
+  const std::vector<rt::KernelArg> args = {rt::KernelArg::buffer(&out),
+                                           rt::KernelArg::buffer(&in)};
+  const sym::SymbolicReport report =
+      sym::proveRaceFreedom(*fn, sym::proveOptionsForLaunch(range, args));
+
+  const bool racyFamily =
+      kernel.spec.family == grover::check::KernelFamily::Race;
+  bool ok = true;
+  switch (report.status) {
+    case sym::ProofStatus::Proved:
+      ++stats.proved;
+      if (racyFamily) {
+        // Proving a genuinely racy kernel race-free is a soundness bug.
+        ok = false;
+        std::cout << "seed " << kernel.spec.seed
+                  << ": PROVE FAIL Race-family kernel came back Proved ("
+                  << report.summary() << ")\n";
+      }
+      break;
+    case sym::ProofStatus::Refuted: {
+      ++stats.refuted;
+      if (!racyFamily) {
+        ok = false;
+        std::cout << "seed " << kernel.spec.seed << ": PROVE FAIL "
+                  << grover::check::toString(kernel.spec.family)
+                  << " kernel spuriously refuted (" << report.summary()
+                  << ")\n";
+      }
+      if (report.witness.has_value()) {
+        const sym::WitnessCheck check =
+            sym::confirmWitness(*fn, *report.witness, range, args);
+        if (check.confirmed) {
+          ++stats.confirmedWitnesses;
+        } else {
+          ok = false;
+          std::cout << "seed " << kernel.spec.seed
+                    << ": PROVE FAIL witness contradicted by concrete "
+                       "execution: "
+                    << check.detail << "\n  witness: "
+                    << report.witness->str() << "\n";
+        }
+      } else {
+        ok = false;
+        std::cout << "seed " << kernel.spec.seed
+                  << ": PROVE FAIL Refuted without a witness\n";
+      }
+      break;
+    }
+    default:
+      ++stats.unknown;
+      break;
+  }
+  if (!ok) ++stats.failures;
+  if (ok && verbose) {
+    std::cout << "seed " << kernel.spec.seed << ": prove "
+              << report.summary() << "\n";
+  }
+  return ok;
+}
+
+/// Policy-feature corpus miner state: the set of feature-cell keys any
+/// previous or current run has kept, persisted one hex key per line.
+struct Miner {
+  std::string dir;
+  std::string seenPath;
+  std::unordered_set<std::uint64_t> seen;
+  unsigned kept = 0;
+
+  explicit Miner(std::string directory) : dir(std::move(directory)) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    seenPath = dir + "/seen.txt";
+    std::ifstream file(seenPath);
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty()) continue;
+      seen.insert(std::strtoull(line.c_str(), nullptr, 16));
+    }
+  }
+
+  /// Keep the kernel when its feature cell is new; returns true if kept.
+  bool offer(const GeneratedKernel& kernel, bool verbose) {
+    grover::Program program = grover::compile(kernel.source);
+    grover::ir::Function* fn = nullptr;
+    for (const auto& f : program.module->functions()) {
+      if (f->isKernel() && f->name() == kernel.kernelName) {
+        fn = f.get();
+        break;
+      }
+    }
+    if (fn == nullptr) return false;
+    grover::rt::NDRange range;
+    range.dims = kernel.dims;
+    range.global = kernel.global;
+    range.local = kernel.local;
+    range.validate();
+    const grover::policy::KernelFeatures features =
+        grover::policy::extractFeatures(*fn, &range);
+    const std::uint64_t key =
+        grover::policy::featureKey(features, "mine", 0);
+    if (!seen.insert(key).second) return false;
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(key));
+    {
+      std::ofstream cl(dir + "/mined_" + hex + ".cl");
+      cl << "// seed " << kernel.spec.seed << ": " << kernel.describe()
+         << "\n"
+         << kernel.source;
+    }
+    {
+      std::ofstream seenFile(seenPath, std::ios::app);
+      seenFile << hex << "\n";
+    }
+    ++kept;
+    if (verbose) {
+      std::cout << "seed " << kernel.spec.seed << ": mined cell " << hex
+                << " (" << kernel.describe() << ")\n";
+    }
+    return true;
+  }
+};
 
 /// Greedy shrink: repeatedly adopt the first one-step-smaller spec that
 /// still fails the differential check (any phase counts), until no
@@ -105,8 +296,10 @@ int main(int argc, char** argv) {
   bool haveSingleSeed = false;
   bool validate = false;
   bool nativeLeg = false;
+  bool prove = false;
   bool verbose = false;
   std::string outDir = ".";
+  std::string mineDir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +320,14 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (arg == "--native") {
       nativeLeg = true;
+    } else if (arg == "--prove") {
+      prove = true;
+    } else if (arg.rfind("--mine=", 0) == 0) {
+      mineDir = arg.substr(7);
+      if (mineDir.empty()) {
+        std::cerr << "bad --mine value (expected a directory)\n";
+        return 2;
+      }
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -160,8 +361,13 @@ int main(int argc, char** argv) {
 
   std::map<std::string, unsigned> byFamily;
   unsigned transformed = 0, rejected = 0, failures = 0, nativeChecked = 0;
+  ProveStats proveStats;
+  std::unique_ptr<Miner> miner;
+  if (!mineDir.empty()) miner = std::make_unique<Miner>(mineDir);
   for (const std::uint64_t seed : seedList) {
     const GeneratedKernel kernel = grover::check::generateKernel(seed);
+    if (prove) proveSeed(kernel, proveStats, verbose);
+    if (miner) miner->offer(kernel, verbose);
     const DiffOutcome outcome = runDifferential(kernel, validate, nativeLeg);
     ++byFamily[grover::check::toString(kernel.spec.family)];
     if (outcome.ok) {
@@ -196,8 +402,20 @@ int main(int argc, char** argv) {
     std::cout << "native leg: " << nativeChecked << "/" << seedList.size()
               << " seed(s) cross-checked bit-exact\n";
   }
+  if (prove) {
+    std::cout << "prove leg: " << proveStats.proved << " proved, "
+              << proveStats.refuted << " refuted ("
+              << proveStats.confirmedWitnesses << " witness(es) confirmed), "
+              << proveStats.unknown << " unknown, " << proveStats.failures
+              << " failure(s)\n";
+  }
+  if (miner) {
+    std::cout << "mine: kept " << miner->kept << " kernel(s), "
+              << miner->seen.size() << " feature cell(s) seen ("
+              << miner->seenPath << ")\n";
+  }
   for (const auto& [family, count] : byFamily) {
     std::cout << "  " << family << ": " << count << "\n";
   }
-  return failures == 0 ? 0 : 1;
+  return failures == 0 && proveStats.failures == 0 ? 0 : 1;
 }
